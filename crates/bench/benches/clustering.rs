@@ -1,0 +1,34 @@
+//! Criterion benchmarks for the clustering / reordering methods (Step 0 of
+//! Algorithm 1): the per-ordering preprocessing cost behind Table 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hkrr_clustering::{cluster, ClusteringMethod};
+use hkrr_datasets::registry::{COVTYPE, SUSY};
+use hkrr_datasets::generate;
+use std::hint::black_box;
+
+fn bench_orderings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 1200;
+    for spec in [&SUSY, &COVTYPE] {
+        let ds = generate(spec, n, 16, 3);
+        for method in [
+            ClusteringMethod::Natural,
+            ClusteringMethod::KdTree,
+            ClusteringMethod::PcaTree,
+            ClusteringMethod::TwoMeans { seed: 7 },
+        ] {
+            let id = BenchmarkId::new(spec.name, method.label());
+            group.bench_with_input(id, &method, |b, &m| {
+                b.iter(|| black_box(cluster(&ds.train, m, 16)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings);
+criterion_main!(benches);

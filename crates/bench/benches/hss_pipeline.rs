@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the HSS pipeline: compression, ULV
+//! factorization and solve (the three phases of Fig. 7b / Table 4), plus
+//! an ablation of the compression tolerance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hkrr_clustering::{cluster, ClusteringMethod};
+use hkrr_datasets::generate;
+use hkrr_datasets::registry::SUSY;
+use hkrr_hss::{construct::compress_symmetric, HssOptions, UlvFactorization};
+use hkrr_kernel::{KernelFunction, KernelMatrix, NormalizationStats, Normalizer};
+use std::hint::black_box;
+
+fn setup(n: usize) -> (KernelMatrix, hkrr_clustering::ClusterTree) {
+    let ds = generate(&SUSY, n, 16, 5);
+    let stats = NormalizationStats::fit(&ds.train, Normalizer::ZScore);
+    let normalized = stats.transform(&ds.train);
+    let ordering = cluster(&normalized, ClusteringMethod::TwoMeans { seed: 11 }, 16);
+    let permuted = normalized.select_rows(ordering.permutation());
+    (
+        KernelMatrix::new(permuted, KernelFunction::gaussian(SUSY.default_h)),
+        ordering.tree().clone(),
+    )
+}
+
+fn bench_hss_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hss");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 800;
+    let (km, tree) = setup(n);
+    let opts = HssOptions {
+        tolerance: 1e-2,
+        ..Default::default()
+    };
+
+    group.bench_function(BenchmarkId::new("compress", n), |b| {
+        b.iter(|| black_box(compress_symmetric(&km, &km, tree.clone(), &opts).unwrap()));
+    });
+
+    let mut hss = compress_symmetric(&km, &km, tree.clone(), &opts).unwrap();
+    hss.set_diagonal_shift(SUSY.default_lambda);
+    group.bench_function(BenchmarkId::new("ulv_factor", n), |b| {
+        b.iter(|| black_box(UlvFactorization::factor(&hss).unwrap()));
+    });
+
+    let factor = UlvFactorization::factor(&hss).unwrap();
+    let rhs: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    group.bench_function(BenchmarkId::new("ulv_solve", n), |b| {
+        b.iter(|| black_box(factor.solve(&rhs).unwrap()));
+    });
+
+    group.bench_function(BenchmarkId::new("matvec", n), |b| {
+        let x = vec![1.0; n];
+        let mut y = vec![0.0; n];
+        b.iter(|| {
+            hss.matvec(&x, &mut y);
+            black_box(&y);
+        });
+    });
+    group.finish();
+}
+
+fn bench_tolerance_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hss_tolerance_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let (km, tree) = setup(800);
+    for &tol in &[1e-1, 1e-2, 1e-4] {
+        group.bench_with_input(BenchmarkId::from_parameter(tol), &tol, |b, &tol| {
+            let opts = HssOptions {
+                tolerance: tol,
+                ..Default::default()
+            };
+            b.iter(|| black_box(compress_symmetric(&km, &km, tree.clone(), &opts).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hss_phases, bench_tolerance_ablation);
+criterion_main!(benches);

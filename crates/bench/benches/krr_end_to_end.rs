@@ -1,0 +1,82 @@
+//! Criterion benchmarks for the end-to-end kernel-ridge-regression
+//! pipeline (Algorithm 1), comparing the dense baseline against the HSS
+//! solvers and the clustering orderings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hkrr_clustering::ClusteringMethod;
+use hkrr_core::{KrrConfig, KrrModel, SolverKind};
+use hkrr_datasets::generate;
+use hkrr_datasets::registry::SUSY;
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("krr_train");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 600;
+    let ds = generate(&SUSY, n, 64, 9);
+    for solver in [
+        SolverKind::DenseCholesky,
+        SolverKind::Hss,
+        SolverKind::HssWithHSampling,
+    ] {
+        let cfg = KrrConfig {
+            h: SUSY.default_h,
+            lambda: SUSY.default_lambda,
+            solver,
+            ..KrrConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("solver", solver.label()), &cfg, |b, cfg| {
+            b.iter(|| black_box(KrrModel::fit(&ds.train, &ds.train_labels, cfg).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_orderings_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("krr_ordering_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let ds = generate(&SUSY, 1000, 64, 10);
+    for method in [
+        ClusteringMethod::Natural,
+        ClusteringMethod::KdTree,
+        ClusteringMethod::TwoMeans { seed: 3 },
+    ] {
+        let cfg = KrrConfig {
+            h: SUSY.default_h,
+            lambda: SUSY.default_lambda,
+            clustering: method,
+            solver: SolverKind::Hss,
+            ..KrrConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("ordering", method.label()), &cfg, |b, cfg| {
+            b.iter(|| black_box(KrrModel::fit(&ds.train, &ds.train_labels, cfg).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("krr_predict");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let ds = generate(&SUSY, 600, 300, 11);
+    let cfg = KrrConfig {
+        h: SUSY.default_h,
+        lambda: SUSY.default_lambda,
+        solver: SolverKind::Hss,
+        ..KrrConfig::default()
+    };
+    let model = KrrModel::fit(&ds.train, &ds.train_labels, &cfg).unwrap();
+    group.bench_function("predict_300", |b| {
+        b.iter(|| black_box(model.predict(&ds.test)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_orderings_end_to_end, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks for the dense linear-algebra substrate:
+//! GEMM, QR, column-pivoted QR, SVD and Cholesky at the block sizes that
+//! occur inside the hierarchical formats.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hkrr_linalg::random::{gaussian_matrix, Pcg64};
+use hkrr_linalg::{blas, cholesky, qr, svd};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[64usize, 128, 256] {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let a = gaussian_matrix(&mut rng, n, n);
+        let b = gaussian_matrix(&mut rng, n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(blas::matmul(&a, &b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_factorizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factorizations");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 96;
+    let mut rng = Pcg64::seed_from_u64(2);
+    let a = gaussian_matrix(&mut rng, n, n);
+    let spd = {
+        let mut m = blas::matmul(&a, &a.transpose());
+        m.shift_diagonal(n as f64 * 0.1);
+        m
+    };
+    group.bench_function("householder_qr_96", |b| {
+        b.iter(|| black_box(qr::householder_qr(&a)))
+    });
+    group.bench_function("cpqr_96", |b| {
+        b.iter(|| black_box(qr::column_pivoted_qr(&a, 1e-10, 0)))
+    });
+    group.bench_function("jacobi_svd_96", |b| {
+        b.iter(|| black_box(svd::svd(&a).unwrap()))
+    });
+    group.bench_function("cholesky_96", |b| {
+        b.iter(|| black_box(cholesky::cholesky(&spd).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_factorizations);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Figure 1 (a, b): singular values of the GAS1K kernel matrix with and
+//! without two-means (2MN) preprocessing, for h in {0.1, 1, 10}.
+//!
+//! Prints two CSV blocks: the off-diagonal `n/2 x n/2` block (Fig. 1a) and
+//! the full kernel matrix (Fig. 1b).  Each column is one (h, ordering)
+//! combination, matching the legend of the paper's figure.
+
+use hkrr_bench::{print_series, scaled};
+use hkrr_clustering::{cluster, ClusteringMethod};
+use hkrr_datasets::generator::gas1k;
+use hkrr_kernel::{KernelFunction, KernelMatrix, NormalizationStats, Normalizer};
+use hkrr_linalg::svd::singular_values;
+
+fn main() {
+    let n = scaled(512).min(1000);
+    let ds = gas1k(42);
+    let stats = NormalizationStats::fit(&ds.train, Normalizer::ZScore);
+    let points = stats.transform(&ds.train).submatrix(0, n, 0, ds.train.ncols());
+
+    let orderings = [
+        ("NP", ClusteringMethod::Natural),
+        ("2MN", ClusteringMethod::TwoMeans { seed: 7 }),
+    ];
+    let bandwidths = [0.1, 1.0, 10.0];
+
+    let mut block_series: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut full_series: Vec<(String, Vec<f64>)> = Vec::new();
+
+    for (label, method) in orderings {
+        let ordering = cluster(&points, method, 16);
+        let permuted = points.select_rows(ordering.permutation());
+        for &h in &bandwidths {
+            let km = KernelMatrix::new(permuted.clone(), KernelFunction::gaussian(h));
+            let k = km.assemble_dense();
+            let half = n / 2;
+            let block = k.submatrix(0, half, half, n);
+            block_series.push((format!("h={h} {label}"), singular_values(&block)));
+            full_series.push((format!("h={h} {label}"), singular_values(&k)));
+        }
+    }
+
+    let half = n / 2;
+    let xs_block: Vec<f64> = (1..=half).map(|i| i as f64).collect();
+    let cols_block: Vec<(&str, &[f64])> = block_series
+        .iter()
+        .map(|(name, vals)| (name.as_str(), vals.as_slice()))
+        .collect();
+    print_series(
+        &format!("Figure 1a: singular values of the off-diagonal {half}x{half} block (GAS1K-like, n={n})"),
+        "k",
+        &cols_block,
+        &xs_block,
+    );
+
+    let xs_full: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+    let cols_full: Vec<(&str, &[f64])> = full_series
+        .iter()
+        .map(|(name, vals)| (name.as_str(), vals.as_slice()))
+        .collect();
+    print_series(
+        &format!("Figure 1b: singular values of the full kernel matrix (GAS1K-like, n={n})"),
+        "k",
+        &cols_full,
+        &xs_full,
+    );
+
+    // Headline check reproduced from the paper: at h = 1 the 2MN ordering
+    // should show much faster off-diagonal singular-value decay than NP.
+    let np_h1 = &block_series[1].1;
+    let mn_h1 = &block_series[4].1;
+    let np_rank = np_h1.iter().filter(|&&s| s > 0.01).count();
+    let mn_rank = mn_h1.iter().filter(|&&s| s > 0.01).count();
+    println!("\nh=1 effective rank (sigma > 0.01): NP={np_rank}  2MN={mn_rank}");
+}

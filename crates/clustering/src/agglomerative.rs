@@ -1,0 +1,204 @@
+//! Agglomerative (average-linkage) clustering.
+//!
+//! The paper reports experimenting with agglomerative / hierarchical
+//! clusterings and finding them good at reducing ranks but not competitive
+//! overall because of O(n²) memory and limited parallelism.  The method is
+//! included so that comparison can be reproduced on small inputs.
+//!
+//! The dendrogram produced by successive merges is binarized into a
+//! [`ClusterTree`]: merges coarser than the leaf size become internal
+//! nodes, finer structure is flattened into leaves.
+
+use crate::tree::{ClusterNode, ClusterOrdering, ClusterTree};
+use hkrr_linalg::Matrix;
+
+/// A node of the intermediate dendrogram.
+struct DendroNode {
+    members: Vec<usize>,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+/// Builds the agglomerative (average-linkage) ordering.
+///
+/// Complexity is O(n² d) memory-free distance evaluations with O(n²) merges
+/// in the worst case — use only for modest `n` (the tests use a few
+/// hundred points).
+pub fn agglomerative_ordering(points: &Matrix, leaf_size: usize) -> ClusterOrdering {
+    let n = points.nrows();
+    if n == 0 {
+        return ClusterOrdering::new(vec![], ClusterTree::single_node(0));
+    }
+    if n == 1 {
+        return ClusterOrdering::new(vec![0], ClusterTree::single_node(1));
+    }
+
+    // Active clusters, each a dendrogram node id.
+    let mut dendro: Vec<DendroNode> = (0..n)
+        .map(|i| DendroNode {
+            members: vec![i],
+            left: None,
+            right: None,
+        })
+        .collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    // Centroids of the active clusters (average linkage approximated by
+    // centroid linkage to keep merges O(active²) rather than O(n²) each).
+    let d = points.ncols();
+    let mut centroids: Vec<Vec<f64>> = (0..n).map(|i| points.row(i).to_vec()).collect();
+
+    while active.len() > 1 {
+        // Find the closest pair of active clusters.
+        let mut best = (0usize, 1usize);
+        let mut best_d = f64::INFINITY;
+        for a in 0..active.len() {
+            for b in (a + 1)..active.len() {
+                let ca = &centroids[active[a]];
+                let cb = &centroids[active[b]];
+                let dist: f64 = ca
+                    .iter()
+                    .zip(cb.iter())
+                    .map(|(x, y)| {
+                        let d = x - y;
+                        d * d
+                    })
+                    .sum();
+                if dist < best_d {
+                    best_d = dist;
+                    best = (a, b);
+                }
+            }
+        }
+        let (ai, bi) = best;
+        let a_id = active[ai];
+        let b_id = active[bi];
+        // Merge.
+        let mut members = dendro[a_id].members.clone();
+        members.extend_from_slice(&dendro[b_id].members);
+        let wa = dendro[a_id].members.len() as f64;
+        let wb = dendro[b_id].members.len() as f64;
+        let mut c = vec![0.0; d];
+        for k in 0..d {
+            c[k] = (centroids[a_id][k] * wa + centroids[b_id][k] * wb) / (wa + wb);
+        }
+        dendro.push(DendroNode {
+            members,
+            left: Some(a_id),
+            right: Some(b_id),
+        });
+        centroids.push(c);
+        let new_id = dendro.len() - 1;
+        // Remove the two merged clusters from the active set (remove the
+        // larger index first so the smaller one stays valid).
+        active.remove(bi);
+        active.remove(ai);
+        active.push(new_id);
+    }
+
+    // Binarize the dendrogram into a ClusterTree, flattening sub-trees whose
+    // size is at most leaf_size into leaves.
+    let root_dendro = active[0];
+    let mut permutation: Vec<usize> = Vec::with_capacity(n);
+    let mut nodes: Vec<ClusterNode> = Vec::new();
+    let root = flatten(&dendro, root_dendro, leaf_size, &mut permutation, &mut nodes);
+    let tree = ClusterTree::from_parts(nodes, root);
+    ClusterOrdering::new(permutation, tree)
+}
+
+fn flatten(
+    dendro: &[DendroNode],
+    id: usize,
+    leaf_size: usize,
+    permutation: &mut Vec<usize>,
+    nodes: &mut Vec<ClusterNode>,
+) -> usize {
+    let node = &dendro[id];
+    let start = permutation.len();
+    let size = node.members.len();
+    let is_small = size <= leaf_size;
+    match (node.left, node.right) {
+        (Some(l), Some(r)) if !is_small => {
+            let left_id = flatten(dendro, l, leaf_size, permutation, nodes);
+            let right_id = flatten(dendro, r, leaf_size, permutation, nodes);
+            nodes.push(ClusterNode {
+                start,
+                size,
+                left: Some(left_id),
+                right: Some(right_id),
+                parent: None,
+            });
+            let nid = nodes.len() - 1;
+            nodes[left_id].parent = Some(nid);
+            nodes[right_id].parent = Some(nid);
+            nid
+        }
+        _ => {
+            permutation.extend_from_slice(&node.members);
+            nodes.push(ClusterNode {
+                start,
+                size,
+                left: None,
+                right: None,
+                parent: None,
+            });
+            nodes.len() - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{permutation_is_valid, ClusteringQuality};
+    use hkrr_linalg::random::Pcg64;
+
+    #[test]
+    fn two_blobs_are_separated_at_the_root() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let points = Matrix::from_fn(80, 2, |i, _| {
+            let c = if i % 2 == 0 { -6.0 } else { 6.0 };
+            c + rng.next_gaussian()
+        });
+        let ord = agglomerative_ordering(&points, 8);
+        assert!(permutation_is_valid(ord.permutation(), 80));
+        ord.tree().validate().unwrap();
+        let q = ClusteringQuality::at_root_split(&points, &ord);
+        assert!(q.inter_cluster_distance > 2.0 * q.intra_cluster_distance);
+    }
+
+    #[test]
+    fn small_inputs() {
+        let ord = agglomerative_ordering(&Matrix::zeros(0, 3), 4);
+        assert_eq!(ord.len(), 0);
+        let ord = agglomerative_ordering(&Matrix::zeros(1, 3), 4);
+        assert_eq!(ord.permutation(), &[0]);
+        let ord = agglomerative_ordering(&Matrix::zeros(3, 3), 4);
+        assert_eq!(ord.len(), 3);
+        ord.tree().validate().unwrap();
+    }
+
+    #[test]
+    fn permutation_covers_all_points() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let points = Matrix::from_fn(60, 3, |_, _| rng.next_gaussian());
+        let ord = agglomerative_ordering(&points, 10);
+        assert!(permutation_is_valid(ord.permutation(), 60));
+        // Leaves cover everything exactly once.
+        let total: usize = ord
+            .tree()
+            .leaves()
+            .iter()
+            .map(|&l| ord.tree().node(l).size)
+            .sum();
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let points = Matrix::from_fn(50, 2, |_, _| rng.next_gaussian());
+        let a = agglomerative_ordering(&points, 8);
+        let b = agglomerative_ordering(&points, 8);
+        assert_eq!(a.permutation(), b.permutation());
+    }
+}

@@ -1,0 +1,139 @@
+//! K-d tree ordering (KD).
+//!
+//! The data is split along the coordinate dimension of maximum spread, at
+//! the mean value of that coordinate.  Splitting at the mean is cheaper and
+//! — on normalized data — usually fine, but can produce very unbalanced
+//! splits in the presence of outliers, so the split falls back to the
+//! median when one side would be 100× smaller than the other (the guard
+//! described in Section 4.3 of the paper).
+
+use crate::splitter::{threshold_split, Splitter};
+use hkrr_linalg::Matrix;
+
+/// Splitter for the recursive k-d tree ordering.
+#[derive(Debug, Default)]
+pub struct KdSplitter;
+
+impl KdSplitter {
+    /// Creates the splitter.
+    pub fn new() -> Self {
+        KdSplitter
+    }
+}
+
+impl Splitter for KdSplitter {
+    fn split(&mut self, points: &Matrix, idx: &[usize]) -> (Vec<usize>, Vec<usize>) {
+        if idx.len() < 2 {
+            return (idx.to_vec(), vec![]);
+        }
+        let d = points.ncols();
+        // Per-coordinate mean and spread over this subset.
+        let mut mean = vec![0.0; d];
+        let mut min = vec![f64::INFINITY; d];
+        let mut max = vec![f64::NEG_INFINITY; d];
+        for &i in idx {
+            for (k, &x) in points.row(i).iter().enumerate() {
+                mean[k] += x;
+                if x < min[k] {
+                    min[k] = x;
+                }
+                if x > max[k] {
+                    max[k] = x;
+                }
+            }
+        }
+        let inv = 1.0 / idx.len() as f64;
+        for m in mean.iter_mut() {
+            *m *= inv;
+        }
+        // Dimension of maximum spread.
+        let (split_dim, spread) = (0..d)
+            .map(|k| (k, max[k] - min[k]))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap_or((0, 0.0));
+        if spread <= 0.0 {
+            // All points identical in every coordinate.
+            return (idx.to_vec(), vec![]);
+        }
+        let values: Vec<f64> = idx.iter().map(|&i| points[(i, split_dim)]).collect();
+        threshold_split(idx, &values, mean[split_dim])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{permutation_is_valid, ClusteringQuality};
+    use crate::splitter::build_ordering;
+    use hkrr_linalg::random::Pcg64;
+
+    #[test]
+    fn splits_along_dimension_of_max_spread() {
+        // Spread is 10 along dim 1, tiny along dim 0.
+        let points = Matrix::from_fn(100, 2, |i, j| {
+            if j == 0 {
+                0.001 * i as f64
+            } else if i < 50 {
+                -5.0
+            } else {
+                5.0
+            }
+        });
+        let mut s = KdSplitter::new();
+        let idx: Vec<usize> = (0..100).collect();
+        let (l, r) = s.split(&points, &idx);
+        assert_eq!(l.len(), 50);
+        assert_eq!(r.len(), 50);
+        assert!(l.iter().all(|&i| i < 50));
+        assert!(r.iter().all(|&i| i >= 50));
+    }
+
+    #[test]
+    fn full_ordering_is_valid_and_separating() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let points = Matrix::from_fn(400, 5, |i, _| {
+            let c = if i % 2 == 0 { -4.0 } else { 4.0 };
+            c + rng.next_gaussian()
+        });
+        let ord = build_ordering(&points, 16, &mut KdSplitter::new());
+        assert!(permutation_is_valid(ord.permutation(), 400));
+        ord.tree().validate().unwrap();
+        let q = ClusteringQuality::at_root_split(&points, &ord);
+        assert!(q.inter_cluster_distance > q.intra_cluster_distance);
+    }
+
+    #[test]
+    fn identical_points_do_not_split() {
+        let points = Matrix::filled(30, 4, 2.0);
+        let mut s = KdSplitter::new();
+        let idx: Vec<usize> = (0..30).collect();
+        let (l, r) = s.split(&points, &idx);
+        assert_eq!(l.len(), 30);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn outlier_triggers_median_fallback() {
+        // One extreme outlier: a mean split would isolate it alone
+        // (1 vs 499 is more than 100x) so the median fallback kicks in.
+        let mut points = Matrix::zeros(500, 1);
+        for i in 0..499 {
+            points[(i, 0)] = (i as f64) * 1e-4;
+        }
+        points[(499, 0)] = 1e6;
+        let mut s = KdSplitter::new();
+        let idx: Vec<usize> = (0..500).collect();
+        let (l, r) = s.split(&points, &idx);
+        assert_eq!(l.len(), 250);
+        assert_eq!(r.len(), 250);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let points = Matrix::from_fn(200, 3, |_, _| rng.next_gaussian());
+        let a = build_ordering(&points, 16, &mut KdSplitter::new());
+        let b = build_ordering(&points, 16, &mut KdSplitter::new());
+        assert_eq!(a.permutation(), b.permutation());
+    }
+}

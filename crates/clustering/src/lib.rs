@@ -1,0 +1,170 @@
+//! # hkrr-clustering
+//!
+//! Data-point clustering and reordering (Step 0 of the paper's Algorithm 1).
+//!
+//! Reordering the input points so that nearby points get consecutive indices
+//! makes the off-diagonal blocks of the kernel matrix numerically low-rank,
+//! which is what the HSS and H-matrix formats exploit.  This crate provides
+//! the four orderings compared in the paper — natural (NP), k-d tree (KD),
+//! PCA tree (PCA) and recursive two-means (2MN) — plus an agglomerative
+//! (average-linkage) ordering for the comparison discussed in Section 4.3.
+//!
+//! Every method produces a [`ClusterOrdering`]: a permutation of the input
+//! points together with the binary [`ClusterTree`] whose leaves become the
+//! diagonal blocks of the hierarchical matrix formats.
+
+pub mod agglomerative;
+pub mod kd_tree;
+pub mod metrics;
+pub mod natural;
+pub mod pca_tree;
+pub mod splitter;
+pub mod tree;
+pub mod two_means;
+
+pub use metrics::{permutation_is_valid, ClusteringQuality, TreeStats};
+pub use splitter::Splitter;
+pub use tree::{ClusterNode, ClusterOrdering, ClusterTree};
+
+use hkrr_linalg::Matrix;
+
+/// Default HSS leaf size used throughout the paper's experiments.
+pub const DEFAULT_LEAF_SIZE: usize = 16;
+
+/// The clustering / reordering methods compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusteringMethod {
+    /// No preprocessing: keep the natural order and split index ranges in
+    /// half (the paper's NP baseline).
+    Natural,
+    /// Recursive k-d tree split along the dimension of maximum spread at
+    /// the mean value (falls back to the median for very unbalanced splits).
+    KdTree,
+    /// Recursive split along the first principal component at the mean
+    /// projection.
+    PcaTree,
+    /// Recursive two-means (the paper's 2MN), a divisive special case of
+    /// k-means with distance-proportional seeding.
+    TwoMeans {
+        /// RNG seed for the cluster-representative initialization.
+        seed: u64,
+    },
+    /// Agglomerative average-linkage clustering (O(n²) memory — small
+    /// inputs only, included for the comparison in Section 4.3).
+    Agglomerative,
+}
+
+impl ClusteringMethod {
+    /// Short display label matching the paper's table headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ClusteringMethod::Natural => "NP",
+            ClusteringMethod::KdTree => "KD",
+            ClusteringMethod::PcaTree => "PCA",
+            ClusteringMethod::TwoMeans { .. } => "2MN",
+            ClusteringMethod::Agglomerative => "AGG",
+        }
+    }
+
+    /// All methods compared in Table 2 (in the paper's column order).
+    pub fn table2_methods(seed: u64) -> Vec<ClusteringMethod> {
+        vec![
+            ClusteringMethod::Natural,
+            ClusteringMethod::KdTree,
+            ClusteringMethod::PcaTree,
+            ClusteringMethod::TwoMeans { seed },
+        ]
+    }
+}
+
+/// Clusters `points` (rows) with the requested method and returns the
+/// ordering (permutation + cluster tree) with the given leaf size.
+pub fn cluster(points: &Matrix, method: ClusteringMethod, leaf_size: usize) -> ClusterOrdering {
+    assert!(leaf_size >= 1, "leaf_size must be at least 1");
+    match method {
+        ClusteringMethod::Natural => natural::natural_ordering(points.nrows(), leaf_size),
+        ClusteringMethod::KdTree => {
+            splitter::build_ordering(points, leaf_size, &mut kd_tree::KdSplitter::new())
+        }
+        ClusteringMethod::PcaTree => {
+            splitter::build_ordering(points, leaf_size, &mut pca_tree::PcaSplitter::new())
+        }
+        ClusteringMethod::TwoMeans { seed } => splitter::build_ordering(
+            points,
+            leaf_size,
+            &mut two_means::TwoMeansSplitter::new(seed),
+        ),
+        ClusteringMethod::Agglomerative => agglomerative::agglomerative_ordering(points, leaf_size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hkrr_linalg::random::{gaussian_matrix, Pcg64};
+
+    fn clustered_points(seed: u64, n: usize, d: usize) -> Matrix {
+        // Two well-separated blobs.
+        let mut rng = Pcg64::seed_from_u64(seed);
+        Matrix::from_fn(n, d, |i, _| {
+            let center = if i < n / 2 { -5.0 } else { 5.0 };
+            center + rng.next_gaussian()
+        })
+    }
+
+    #[test]
+    fn all_methods_produce_valid_orderings() {
+        let points = clustered_points(1, 200, 3);
+        for method in [
+            ClusteringMethod::Natural,
+            ClusteringMethod::KdTree,
+            ClusteringMethod::PcaTree,
+            ClusteringMethod::TwoMeans { seed: 7 },
+            ClusteringMethod::Agglomerative,
+        ] {
+            let ord = cluster(&points, method, 16);
+            assert!(
+                permutation_is_valid(ord.permutation(), 200),
+                "{} produced an invalid permutation",
+                method.label()
+            );
+            ord.tree().validate().unwrap();
+            assert_eq!(ord.tree().root_size(), 200);
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(ClusteringMethod::Natural.label(), "NP");
+        assert_eq!(ClusteringMethod::KdTree.label(), "KD");
+        assert_eq!(ClusteringMethod::PcaTree.label(), "PCA");
+        assert_eq!(ClusteringMethod::TwoMeans { seed: 0 }.label(), "2MN");
+        assert_eq!(ClusteringMethod::table2_methods(0).len(), 4);
+    }
+
+    #[test]
+    fn leaf_size_is_respected() {
+        let points = clustered_points(2, 150, 2);
+        for method in [
+            ClusteringMethod::Natural,
+            ClusteringMethod::KdTree,
+            ClusteringMethod::TwoMeans { seed: 3 },
+        ] {
+            let ord = cluster(&points, method, 10);
+            let stats = TreeStats::from_tree(ord.tree());
+            assert!(
+                stats.max_leaf_size <= 2 * 10,
+                "{}: leaf of size {} exceeds twice the target",
+                method.label(),
+                stats.max_leaf_size
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_leaf_size_is_rejected() {
+        let points = Matrix::zeros(10, 2);
+        let _ = cluster(&points, ClusteringMethod::Natural, 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Diagnostics for orderings and cluster trees.
+
+use crate::tree::{ClusterOrdering, ClusterTree};
+use hkrr_linalg::Matrix;
+
+/// Checks that `perm` is a permutation of `0..n`.
+pub fn permutation_is_valid(perm: &[usize], n: usize) -> bool {
+    if perm.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &p in perm {
+        if p >= n || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+/// Structural statistics of a cluster tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Total number of nodes.
+    pub num_nodes: usize,
+    /// Number of leaves.
+    pub num_leaves: usize,
+    /// Tree depth (single node = 1).
+    pub depth: usize,
+    /// Smallest leaf size.
+    pub min_leaf_size: usize,
+    /// Largest leaf size.
+    pub max_leaf_size: usize,
+}
+
+impl TreeStats {
+    /// Computes the statistics of a tree.
+    pub fn from_tree(tree: &ClusterTree) -> Self {
+        let leaves = tree.leaves();
+        let sizes: Vec<usize> = leaves.iter().map(|&l| tree.node(l).size).collect();
+        TreeStats {
+            num_nodes: tree.num_nodes(),
+            num_leaves: leaves.len(),
+            depth: tree.depth(),
+            min_leaf_size: sizes.iter().copied().min().unwrap_or(0),
+            max_leaf_size: sizes.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+/// Separation quality of the top-level split of an ordering: average
+/// intra-cluster distance of the two children versus the distance between
+/// their centroids.
+#[derive(Debug, Clone)]
+pub struct ClusteringQuality {
+    /// Mean distance of a point to its own cluster centroid.
+    pub intra_cluster_distance: f64,
+    /// Distance between the two top-level cluster centroids.
+    pub inter_cluster_distance: f64,
+}
+
+impl ClusteringQuality {
+    /// Measures the quality of the root split of `ordering` on `points`
+    /// (the original, un-permuted point matrix).
+    pub fn at_root_split(points: &Matrix, ordering: &ClusterOrdering) -> Self {
+        let tree = ordering.tree();
+        let root = tree.node(tree.root());
+        let perm = ordering.permutation();
+        let (left_range, right_range) = match (root.left, root.right) {
+            (Some(l), Some(r)) => (tree.node(l).range(), tree.node(r).range()),
+            _ => {
+                // Single-leaf tree: treat the first/second half as clusters.
+                let n = perm.len();
+                (0..n / 2, n / 2..n)
+            }
+        };
+        let d = points.ncols();
+        let centroid = |range: &std::ops::Range<usize>| -> Vec<f64> {
+            let mut c = vec![0.0; d];
+            if range.is_empty() {
+                return c;
+            }
+            for pos in range.clone() {
+                for (ck, &x) in c.iter_mut().zip(points.row(perm[pos]).iter()) {
+                    *ck += x;
+                }
+            }
+            let inv = 1.0 / range.len() as f64;
+            for ck in c.iter_mut() {
+                *ck *= inv;
+            }
+            c
+        };
+        let cl = centroid(&left_range);
+        let cr = centroid(&right_range);
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let mut intra = 0.0;
+        let mut count = 0usize;
+        for pos in left_range.clone() {
+            intra += dist(points.row(perm[pos]), &cl);
+            count += 1;
+        }
+        for pos in right_range.clone() {
+            intra += dist(points.row(perm[pos]), &cr);
+            count += 1;
+        }
+        ClusteringQuality {
+            intra_cluster_distance: if count > 0 { intra / count as f64 } else { 0.0 },
+            inter_cluster_distance: dist(&cl, &cr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::natural::natural_ordering;
+
+    #[test]
+    fn permutation_validation() {
+        assert!(permutation_is_valid(&[2, 0, 1], 3));
+        assert!(!permutation_is_valid(&[0, 0, 1], 3));
+        assert!(!permutation_is_valid(&[0, 1, 3], 3));
+        assert!(!permutation_is_valid(&[0, 1], 3));
+        assert!(permutation_is_valid(&[], 0));
+    }
+
+    #[test]
+    fn tree_stats_of_balanced_tree() {
+        let ord = natural_ordering(64, 8);
+        let s = TreeStats::from_tree(ord.tree());
+        assert_eq!(s.num_leaves, 8);
+        assert_eq!(s.depth, 4);
+        assert_eq!(s.min_leaf_size, 8);
+        assert_eq!(s.max_leaf_size, 8);
+        assert_eq!(s.num_nodes, 15);
+    }
+
+    #[test]
+    fn quality_distinguishes_separated_from_mixed_order() {
+        // Two blobs; natural order alternates between them so the root split
+        // mixes them badly, giving low inter-cluster distance.
+        let points = Matrix::from_fn(100, 1, |i, _| if i % 2 == 0 { -5.0 } else { 5.0 });
+        let natural = natural_ordering(100, 16);
+        let q_mixed = ClusteringQuality::at_root_split(&points, &natural);
+        assert!(q_mixed.inter_cluster_distance < 1.0);
+
+        // A perfect ordering groups the blobs contiguously.
+        let mut perm: Vec<usize> = (0..100).filter(|i| i % 2 == 0).collect();
+        perm.extend((0..100).filter(|i| i % 2 == 1));
+        let ord = crate::tree::ClusterOrdering::new(perm, natural.tree().clone());
+        let q_sep = ClusteringQuality::at_root_split(&points, &ord);
+        assert!(q_sep.inter_cluster_distance > 9.0);
+        assert!(q_sep.intra_cluster_distance < 1.0);
+    }
+
+    #[test]
+    fn quality_on_single_leaf_tree() {
+        let points = Matrix::from_fn(10, 2, |i, _| i as f64);
+        let ord = natural_ordering(10, 16);
+        let q = ClusteringQuality::at_root_split(&points, &ord);
+        assert!(q.inter_cluster_distance.is_finite());
+        assert!(q.intra_cluster_distance.is_finite());
+    }
+}

@@ -1,0 +1,96 @@
+//! The "no preprocessing" (NP) baseline ordering.
+//!
+//! The input order is kept as-is and the HSS tree is a complete binary tree
+//! obtained by recursively splitting index ranges into two equal (±1)
+//! halves, exactly as the paper's baseline.
+
+use crate::tree::{ClusterNode, ClusterOrdering, ClusterTree};
+
+/// Builds the natural ordering of `n` points with the given leaf size.
+pub fn natural_ordering(n: usize, leaf_size: usize) -> ClusterOrdering {
+    let mut nodes = Vec::new();
+    let root = split_range(0, n, leaf_size, &mut nodes);
+    let tree = ClusterTree::from_parts(nodes, root);
+    ClusterOrdering::new((0..n).collect(), tree)
+}
+
+fn split_range(start: usize, size: usize, leaf_size: usize, nodes: &mut Vec<ClusterNode>) -> usize {
+    if size <= leaf_size {
+        nodes.push(ClusterNode {
+            start,
+            size,
+            left: None,
+            right: None,
+            parent: None,
+        });
+        return nodes.len() - 1;
+    }
+    let half = size / 2;
+    let left_id = split_range(start, half, leaf_size, nodes);
+    let right_id = split_range(start + half, size - half, leaf_size, nodes);
+    nodes.push(ClusterNode {
+        start,
+        size,
+        left: Some(left_id),
+        right: Some(right_id),
+        parent: None,
+    });
+    let id = nodes.len() - 1;
+    nodes[left_id].parent = Some(id);
+    nodes[right_id].parent = Some(id);
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::TreeStats;
+
+    #[test]
+    fn permutation_is_identity() {
+        let ord = natural_ordering(100, 16);
+        assert_eq!(ord.permutation(), (0..100).collect::<Vec<_>>());
+        ord.tree().validate().unwrap();
+    }
+
+    #[test]
+    fn tree_is_balanced() {
+        let ord = natural_ordering(1024, 16);
+        let stats = TreeStats::from_tree(ord.tree());
+        // A perfectly balanced split of 1024 into leaves of 16 gives depth 7.
+        assert_eq!(stats.depth, 7);
+        assert_eq!(stats.num_leaves, 64);
+        assert_eq!(stats.min_leaf_size, 16);
+        assert_eq!(stats.max_leaf_size, 16);
+    }
+
+    #[test]
+    fn odd_sizes_split_within_one() {
+        let ord = natural_ordering(101, 10);
+        ord.tree().validate().unwrap();
+        let stats = TreeStats::from_tree(ord.tree());
+        assert!(stats.max_leaf_size <= 10);
+        assert!(stats.min_leaf_size >= 5);
+        let total: usize = ord
+            .tree()
+            .leaves()
+            .iter()
+            .map(|&l| ord.tree().node(l).size)
+            .sum();
+        assert_eq!(total, 101);
+    }
+
+    #[test]
+    fn tiny_input_is_single_leaf() {
+        let ord = natural_ordering(7, 16);
+        assert_eq!(ord.tree().num_nodes(), 1);
+        assert_eq!(ord.len(), 7);
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let ord = natural_ordering(0, 16);
+        assert_eq!(ord.len(), 0);
+        assert_eq!(ord.tree().num_nodes(), 1);
+    }
+}

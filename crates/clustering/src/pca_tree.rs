@@ -1,0 +1,167 @@
+//! PCA-tree ordering (PCA).
+//!
+//! At each recursion step the points of the current cluster are projected
+//! onto the first principal component of that cluster (the direction of
+//! maximum variance) and split at the mean projection.  This generalizes
+//! the k-d tree split from coordinate axes to arbitrary directions, at the
+//! cost of computing a `d x d` covariance matrix and its leading
+//! eigenvector per node.
+
+use crate::splitter::{threshold_split, Splitter};
+use hkrr_linalg::eig::power_iteration;
+use hkrr_linalg::Matrix;
+
+/// Splitter for the recursive PCA-tree ordering.
+#[derive(Debug)]
+pub struct PcaSplitter {
+    /// Counter mixed into the power-iteration seed so every node uses a
+    /// different (but deterministic) start vector.
+    node_counter: u64,
+}
+
+impl PcaSplitter {
+    /// Creates the splitter.
+    pub fn new() -> Self {
+        PcaSplitter { node_counter: 0 }
+    }
+}
+
+impl Default for PcaSplitter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Splitter for PcaSplitter {
+    fn split(&mut self, points: &Matrix, idx: &[usize]) -> (Vec<usize>, Vec<usize>) {
+        if idx.len() < 2 {
+            return (idx.to_vec(), vec![]);
+        }
+        let d = points.ncols();
+        self.node_counter += 1;
+
+        // Mean of the subset.
+        let mut mean = vec![0.0; d];
+        for &i in idx {
+            for (k, &x) in points.row(i).iter().enumerate() {
+                mean[k] += x;
+            }
+        }
+        let inv = 1.0 / idx.len() as f64;
+        for m in mean.iter_mut() {
+            *m *= inv;
+        }
+
+        // Covariance matrix of the subset (d x d, small).
+        let mut cov = Matrix::zeros(d, d);
+        for &i in idx {
+            let row = points.row(i);
+            for a in 0..d {
+                let da = row[a] - mean[a];
+                for b in a..d {
+                    let db = row[b] - mean[b];
+                    cov[(a, b)] += da * db;
+                }
+            }
+        }
+        for a in 0..d {
+            for b in a..d {
+                let v = cov[(a, b)] * inv;
+                cov[(a, b)] = v;
+                cov[(b, a)] = v;
+            }
+        }
+
+        // Leading principal direction.
+        let (variance, direction) = power_iteration(&cov, 200, 1e-10, 1000 + self.node_counter);
+        if variance <= 1e-30 {
+            // Degenerate cluster (all points identical).
+            return (idx.to_vec(), vec![]);
+        }
+
+        // Project onto the principal direction and split at the mean
+        // projection (which is zero since the data was centred).
+        let values: Vec<f64> = idx
+            .iter()
+            .map(|&i| {
+                points
+                    .row(i)
+                    .iter()
+                    .zip(direction.iter())
+                    .zip(mean.iter())
+                    .map(|((&x, &dir), &m)| (x - m) * dir)
+                    .sum()
+            })
+            .collect();
+        threshold_split(idx, &values, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{permutation_is_valid, ClusteringQuality};
+    use crate::splitter::build_ordering;
+    use hkrr_linalg::random::Pcg64;
+
+    #[test]
+    fn splits_along_diagonal_direction() {
+        // Two blobs separated along the (1, 1) diagonal — an axis-aligned
+        // k-d split would work too, but the principal direction must align
+        // with the diagonal and separate them perfectly.
+        let mut rng = Pcg64::seed_from_u64(1);
+        let points = Matrix::from_fn(200, 2, |i, _| {
+            let c = if i < 100 { -3.0 } else { 3.0 };
+            c + 0.3 * rng.next_gaussian()
+        });
+        let mut s = PcaSplitter::new();
+        let idx: Vec<usize> = (0..200).collect();
+        let (l, r) = s.split(&points, &idx);
+        assert_eq!(l.len() + r.len(), 200);
+        let l_ok = l.iter().all(|&i| i < 100) || l.iter().all(|&i| i >= 100);
+        let r_ok = r.iter().all(|&i| i < 100) || r.iter().all(|&i| i >= 100);
+        assert!(l_ok && r_ok, "PCA split mixed the two blobs");
+    }
+
+    #[test]
+    fn full_ordering_is_valid() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let points = Matrix::from_fn(300, 6, |i, j| {
+            let c = if i % 3 == 0 { -2.0 } else { 2.0 };
+            c * (1.0 + j as f64 * 0.1) + rng.next_gaussian()
+        });
+        let ord = build_ordering(&points, 16, &mut PcaSplitter::new());
+        assert!(permutation_is_valid(ord.permutation(), 300));
+        ord.tree().validate().unwrap();
+        let q = ClusteringQuality::at_root_split(&points, &ord);
+        assert!(q.inter_cluster_distance > q.intra_cluster_distance);
+    }
+
+    #[test]
+    fn identical_points_do_not_split() {
+        let points = Matrix::filled(25, 3, -1.0);
+        let mut s = PcaSplitter::new();
+        let idx: Vec<usize> = (0..25).collect();
+        let (l, r) = s.split(&points, &idx);
+        assert_eq!(l.len(), 25);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let points = Matrix::from_fn(150, 4, |_, _| rng.next_gaussian());
+        let a = build_ordering(&points, 16, &mut PcaSplitter::new());
+        let b = build_ordering(&points, 16, &mut PcaSplitter::new());
+        assert_eq!(a.permutation(), b.permutation());
+    }
+
+    #[test]
+    fn single_point_returns_unsplit() {
+        let points = Matrix::zeros(1, 2);
+        let mut s = PcaSplitter::new();
+        let (l, r) = s.split(&points, &[0]);
+        assert_eq!(l, vec![0]);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Generic divisive tree construction.
+//!
+//! All the divisive orderings (KD, PCA, 2MN) share the same recursion: split
+//! the current index set into two groups, recurse, and record the resulting
+//! binary tree.  Each method only has to provide the [`Splitter`] that
+//! performs one binary split.
+
+use crate::tree::{ClusterNode, ClusterOrdering, ClusterTree};
+use hkrr_linalg::Matrix;
+
+/// One binary split of a set of points.
+pub trait Splitter {
+    /// Splits the points whose *original* indices are listed in `idx` into
+    /// two groups.  Implementations should aim for large inter-group and
+    /// small intra-group distances; returning an empty group signals that
+    /// the split failed and the caller should stop recursing.
+    fn split(&mut self, points: &Matrix, idx: &[usize]) -> (Vec<usize>, Vec<usize>);
+}
+
+/// Builds a [`ClusterOrdering`] by recursively applying `splitter` until
+/// clusters have at most `leaf_size` points.
+pub fn build_ordering(
+    points: &Matrix,
+    leaf_size: usize,
+    splitter: &mut dyn Splitter,
+) -> ClusterOrdering {
+    let n = points.nrows();
+    let mut permutation: Vec<usize> = Vec::with_capacity(n);
+    let mut nodes: Vec<ClusterNode> = Vec::new();
+    let all: Vec<usize> = (0..n).collect();
+    let root = build_rec(points, all, leaf_size, splitter, &mut permutation, &mut nodes);
+    let tree = ClusterTree::from_parts(nodes, root);
+    ClusterOrdering::new(permutation, tree)
+}
+
+fn build_rec(
+    points: &Matrix,
+    idx: Vec<usize>,
+    leaf_size: usize,
+    splitter: &mut dyn Splitter,
+    permutation: &mut Vec<usize>,
+    nodes: &mut Vec<ClusterNode>,
+) -> usize {
+    let start = permutation.len();
+    let size = idx.len();
+    if size <= leaf_size {
+        permutation.extend_from_slice(&idx);
+        nodes.push(ClusterNode {
+            start,
+            size,
+            left: None,
+            right: None,
+            parent: None,
+        });
+        return nodes.len() - 1;
+    }
+    let (left_idx, right_idx) = splitter.split(points, &idx);
+    if left_idx.is_empty() || right_idx.is_empty() {
+        // Degenerate split (e.g. all points identical): make this a leaf
+        // even though it exceeds the target size — correctness over shape.
+        permutation.extend_from_slice(&idx);
+        nodes.push(ClusterNode {
+            start,
+            size,
+            left: None,
+            right: None,
+            parent: None,
+        });
+        return nodes.len() - 1;
+    }
+    debug_assert_eq!(left_idx.len() + right_idx.len(), size);
+    let left_id = build_rec(points, left_idx, leaf_size, splitter, permutation, nodes);
+    let right_id = build_rec(points, right_idx, leaf_size, splitter, permutation, nodes);
+    nodes.push(ClusterNode {
+        start,
+        size,
+        left: Some(left_id),
+        right: Some(right_id),
+        parent: None,
+    });
+    let id = nodes.len() - 1;
+    nodes[left_id].parent = Some(id);
+    nodes[right_id].parent = Some(id);
+    id
+}
+
+/// Splits an index set into two groups according to a per-point scalar
+/// value and a threshold (points with `value < threshold` go left).
+///
+/// Falls back to a median split when one side would end up with fewer than
+/// `1/100` of the points — the imbalance guard described in the paper's
+/// k-d tree section.
+pub fn threshold_split(
+    idx: &[usize],
+    values: &[f64],
+    threshold: f64,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut left = Vec::with_capacity(idx.len() / 2);
+    let mut right = Vec::with_capacity(idx.len() / 2);
+    for (&i, &v) in idx.iter().zip(values.iter()) {
+        if v < threshold {
+            left.push(i);
+        } else {
+            right.push(i);
+        }
+    }
+    let too_unbalanced = 100 * left.len() < right.len() || 100 * right.len() < left.len();
+    if too_unbalanced {
+        return median_split(idx, values);
+    }
+    (left, right)
+}
+
+/// Splits an index set at the median of the per-point values, guaranteeing
+/// a balanced (±1) split.
+pub fn median_split(idx: &[usize], values: &[f64]) -> (Vec<usize>, Vec<usize>) {
+    let mut order: Vec<usize> = (0..idx.len()).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+    let half = idx.len() / 2;
+    let left = order[..half].iter().map(|&k| idx[k]).collect();
+    let right = order[half..].iter().map(|&k| idx[k]).collect();
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::permutation_is_valid;
+
+    /// Splitter that always halves the set (order-preserving).
+    struct Halver;
+
+    impl Splitter for Halver {
+        fn split(&mut self, _points: &Matrix, idx: &[usize]) -> (Vec<usize>, Vec<usize>) {
+            let half = idx.len() / 2;
+            (idx[..half].to_vec(), idx[half..].to_vec())
+        }
+    }
+
+    /// Splitter that always fails, to exercise the degenerate-leaf path.
+    struct NeverSplit;
+
+    impl Splitter for NeverSplit {
+        fn split(&mut self, _points: &Matrix, idx: &[usize]) -> (Vec<usize>, Vec<usize>) {
+            (idx.to_vec(), vec![])
+        }
+    }
+
+    #[test]
+    fn recursion_builds_valid_tree_and_permutation() {
+        let points = Matrix::zeros(100, 2);
+        let ord = build_ordering(&points, 8, &mut Halver);
+        assert!(permutation_is_valid(ord.permutation(), 100));
+        ord.tree().validate().unwrap();
+        // Halving preserves the original order.
+        assert_eq!(ord.permutation(), (0..100).collect::<Vec<_>>());
+        // All leaves at most the leaf size.
+        for &l in &ord.tree().leaves() {
+            assert!(ord.tree().node(l).size <= 8);
+        }
+    }
+
+    #[test]
+    fn failed_split_becomes_oversized_leaf() {
+        let points = Matrix::zeros(50, 2);
+        let ord = build_ordering(&points, 8, &mut NeverSplit);
+        ord.tree().validate().unwrap();
+        assert_eq!(ord.tree().num_nodes(), 1);
+        assert_eq!(ord.tree().node(ord.tree().root()).size, 50);
+    }
+
+    #[test]
+    fn small_input_is_a_single_leaf() {
+        let points = Matrix::zeros(5, 3);
+        let ord = build_ordering(&points, 16, &mut Halver);
+        assert_eq!(ord.tree().num_nodes(), 1);
+        assert_eq!(ord.len(), 5);
+    }
+
+    #[test]
+    fn threshold_split_partitions_by_value() {
+        let idx = vec![10, 11, 12, 13];
+        let values = vec![0.1, 0.9, 0.2, 0.8];
+        let (l, r) = threshold_split(&idx, &values, 0.5);
+        assert_eq!(l, vec![10, 12]);
+        assert_eq!(r, vec![11, 13]);
+    }
+
+    #[test]
+    fn threshold_split_falls_back_to_median_when_unbalanced() {
+        // 200 points, threshold puts only 1 on the left -> median fallback.
+        let idx: Vec<usize> = (0..200).collect();
+        let mut values = vec![1.0; 200];
+        values[0] = -1.0;
+        let (l, r) = threshold_split(&idx, &values, 0.0);
+        assert_eq!(l.len(), 100);
+        assert_eq!(r.len(), 100);
+    }
+
+    #[test]
+    fn median_split_is_balanced() {
+        let idx: Vec<usize> = (0..11).collect();
+        let values: Vec<f64> = (0..11).map(|i| (10 - i) as f64).collect();
+        let (l, r) = median_split(&idx, &values);
+        assert_eq!(l.len(), 5);
+        assert_eq!(r.len(), 6);
+        // The left half holds the smallest values (largest original indices).
+        assert!(l.contains(&10) && l.contains(&6));
+    }
+}

@@ -1,0 +1,320 @@
+//! The binary cluster tree shared by every ordering method.
+//!
+//! A [`ClusterTree`] partitions the *reordered* index range `0..n` into a
+//! binary hierarchy; its leaves are the diagonal blocks of the HSS
+//! representation (Figure 2/3 of the paper) and its internal structure is
+//! reused as the block cluster tree of the H-matrix format.
+
+/// One node of the cluster tree, owning the contiguous index range
+/// `start..start + size` of the *permuted* point set.
+#[derive(Debug, Clone)]
+pub struct ClusterNode {
+    /// First permuted index owned by this node.
+    pub start: usize,
+    /// Number of permuted indices owned by this node.
+    pub size: usize,
+    /// Index of the left child in the tree's node array, if any.
+    pub left: Option<usize>,
+    /// Index of the right child in the tree's node array, if any.
+    pub right: Option<usize>,
+    /// Index of the parent node (`None` for the root).
+    pub parent: Option<usize>,
+}
+
+impl ClusterNode {
+    /// Half-open index range owned by this node.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.size
+    }
+
+    /// Whether the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.left.is_none() && self.right.is_none()
+    }
+}
+
+/// A binary tree of nested index clusters.
+#[derive(Debug, Clone)]
+pub struct ClusterTree {
+    nodes: Vec<ClusterNode>,
+    root: usize,
+}
+
+impl ClusterTree {
+    /// Builds a tree from a node array and root id (used by the builders in
+    /// this crate).
+    pub(crate) fn from_parts(nodes: Vec<ClusterNode>, root: usize) -> Self {
+        ClusterTree { nodes, root }
+    }
+
+    /// Builds the degenerate single-node tree over `0..n`.
+    pub fn single_node(n: usize) -> Self {
+        ClusterTree {
+            nodes: vec![ClusterNode {
+                start: 0,
+                size: n,
+                left: None,
+                right: None,
+                parent: None,
+            }],
+            root: 0,
+        }
+    }
+
+    /// Id of the root node.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Number of indices covered by the root (i.e. `n`).
+    pub fn root_size(&self) -> usize {
+        self.nodes[self.root].size
+    }
+
+    /// Total number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Access to a node by id.
+    pub fn node(&self, id: usize) -> &ClusterNode {
+        &self.nodes[id]
+    }
+
+    /// All nodes (in construction order).
+    pub fn nodes(&self) -> &[ClusterNode] {
+        &self.nodes
+    }
+
+    /// Whether node `id` is a leaf.
+    pub fn is_leaf(&self, id: usize) -> bool {
+        self.nodes[id].is_leaf()
+    }
+
+    /// Ids of all leaves, ordered left to right (by index range).
+    pub fn leaves(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_leaf())
+            .collect();
+        out.sort_by_key(|&i| self.nodes[i].start);
+        out
+    }
+
+    /// Post-order traversal of the node ids (children before parents),
+    /// matching the HSS tree numbering of Figure 3 in the paper.
+    pub fn postorder(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        self.postorder_rec(self.root, &mut order);
+        order
+    }
+
+    fn postorder_rec(&self, id: usize, order: &mut Vec<usize>) {
+        let node = &self.nodes[id];
+        if let Some(l) = node.left {
+            self.postorder_rec(l, order);
+        }
+        if let Some(r) = node.right {
+            self.postorder_rec(r, order);
+        }
+        order.push(id);
+    }
+
+    /// Depth of the tree (a single node has depth 1).
+    pub fn depth(&self) -> usize {
+        self.depth_rec(self.root)
+    }
+
+    fn depth_rec(&self, id: usize) -> usize {
+        let node = &self.nodes[id];
+        match (node.left, node.right) {
+            (None, None) => 1,
+            (l, r) => {
+                1 + l
+                    .map(|c| self.depth_rec(c))
+                    .unwrap_or(0)
+                    .max(r.map(|c| self.depth_rec(c)).unwrap_or(0))
+            }
+        }
+    }
+
+    /// Checks the structural invariants: every internal node has exactly two
+    /// children whose ranges partition the parent's range, parent pointers
+    /// are consistent, and the root covers `0..root_size()`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("cluster tree has no nodes".to_string());
+        }
+        let root = &self.nodes[self.root];
+        if root.start != 0 {
+            return Err("root range must start at 0".to_string());
+        }
+        if root.parent.is_some() {
+            return Err("root must not have a parent".to_string());
+        }
+        for (id, node) in self.nodes.iter().enumerate() {
+            match (node.left, node.right) {
+                (None, None) => {
+                    if node.size == 0 && self.nodes.len() > 1 {
+                        return Err(format!("leaf {id} owns an empty range"));
+                    }
+                }
+                (Some(l), Some(r)) => {
+                    let ln = &self.nodes[l];
+                    let rn = &self.nodes[r];
+                    if ln.start != node.start {
+                        return Err(format!("node {id}: left child does not start at parent start"));
+                    }
+                    if rn.start != ln.start + ln.size {
+                        return Err(format!("node {id}: children ranges are not contiguous"));
+                    }
+                    if ln.size + rn.size != node.size {
+                        return Err(format!("node {id}: children do not partition the range"));
+                    }
+                    if ln.parent != Some(id) || rn.parent != Some(id) {
+                        return Err(format!("node {id}: child parent pointers are wrong"));
+                    }
+                }
+                _ => {
+                    return Err(format!("node {id} has exactly one child"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The result of a clustering method: the permutation to apply to the data
+/// points plus the cluster tree over the permuted indices.
+#[derive(Debug, Clone)]
+pub struct ClusterOrdering {
+    permutation: Vec<usize>,
+    tree: ClusterTree,
+}
+
+impl ClusterOrdering {
+    /// Creates an ordering from its parts.
+    pub fn new(permutation: Vec<usize>, tree: ClusterTree) -> Self {
+        assert_eq!(
+            permutation.len(),
+            tree.root_size(),
+            "permutation length and tree size disagree"
+        );
+        ClusterOrdering { permutation, tree }
+    }
+
+    /// The permutation: position `i` of the reordered data holds original
+    /// point `permutation()[i]`.
+    pub fn permutation(&self) -> &[usize] {
+        &self.permutation
+    }
+
+    /// The cluster tree over the permuted indices.
+    pub fn tree(&self) -> &ClusterTree {
+        &self.tree
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.permutation.len()
+    }
+
+    /// Whether the ordering covers zero points.
+    pub fn is_empty(&self) -> bool {
+        self.permutation.is_empty()
+    }
+
+    /// The inverse permutation: original index -> position in the new order.
+    pub fn inverse_permutation(&self) -> Vec<usize> {
+        let mut inv = vec![0usize; self.permutation.len()];
+        for (new_pos, &orig) in self.permutation.iter().enumerate() {
+            inv[orig] = new_pos;
+        }
+        inv
+    }
+
+    /// Applies the ordering to a label vector (or any per-point payload).
+    pub fn apply<T: Clone>(&self, values: &[T]) -> Vec<T> {
+        assert_eq!(values.len(), self.permutation.len(), "apply: length mismatch");
+        self.permutation.iter().map(|&i| values[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_level_tree() -> ClusterTree {
+        // root(0..4) -> [0..2], [2..4]
+        let nodes = vec![
+            ClusterNode { start: 0, size: 4, left: Some(1), right: Some(2), parent: None },
+            ClusterNode { start: 0, size: 2, left: None, right: None, parent: Some(0) },
+            ClusterNode { start: 2, size: 2, left: None, right: None, parent: Some(0) },
+        ];
+        ClusterTree::from_parts(nodes, 0)
+    }
+
+    #[test]
+    fn single_node_tree_is_valid() {
+        let t = ClusterTree::single_node(10);
+        t.validate().unwrap();
+        assert_eq!(t.root_size(), 10);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.leaves(), vec![0]);
+        assert_eq!(t.postorder(), vec![0]);
+    }
+
+    #[test]
+    fn three_level_structure() {
+        let t = three_level_tree();
+        t.validate().unwrap();
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.leaves(), vec![1, 2]);
+        assert_eq!(t.postorder(), vec![1, 2, 0]);
+        assert!(t.is_leaf(1));
+        assert!(!t.is_leaf(0));
+        assert_eq!(t.node(2).range(), 2..4);
+    }
+
+    #[test]
+    fn validation_catches_bad_partition() {
+        let nodes = vec![
+            ClusterNode { start: 0, size: 4, left: Some(1), right: Some(2), parent: None },
+            ClusterNode { start: 0, size: 3, left: None, right: None, parent: Some(0) },
+            ClusterNode { start: 2, size: 2, left: None, right: None, parent: Some(0) },
+        ];
+        let t = ClusterTree::from_parts(nodes, 0);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_single_child() {
+        let nodes = vec![
+            ClusterNode { start: 0, size: 2, left: Some(1), right: None, parent: None },
+            ClusterNode { start: 0, size: 2, left: None, right: None, parent: Some(0) },
+        ];
+        let t = ClusterTree::from_parts(nodes, 0);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn ordering_permutation_roundtrip() {
+        let t = three_level_tree();
+        let ord = ClusterOrdering::new(vec![2, 0, 3, 1], t);
+        assert_eq!(ord.len(), 4);
+        assert!(!ord.is_empty());
+        let inv = ord.inverse_permutation();
+        for (new_pos, &orig) in ord.permutation().iter().enumerate() {
+            assert_eq!(inv[orig], new_pos);
+        }
+        let labels = vec![10, 20, 30, 40];
+        assert_eq!(ord.apply(&labels), vec![30, 10, 40, 20]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ordering_rejects_mismatched_sizes() {
+        let t = three_level_tree();
+        let _ = ClusterOrdering::new(vec![0, 1, 2], t);
+    }
+}

@@ -1,0 +1,246 @@
+//! Recursive two-means (2MN) clustering — the paper's best-performing
+//! preprocessing.
+//!
+//! Each split runs a small k-means with k = 2: the first representative is
+//! chosen uniformly at random, the second with probability proportional to
+//! the squared distance from the first (the k-means++ style seeding the
+//! paper describes), followed by Lloyd iterations until assignments stop
+//! changing or the iteration cap is reached.
+
+use crate::splitter::{median_split, Splitter};
+use hkrr_linalg::{Matrix, Pcg64};
+use rayon::prelude::*;
+
+/// Splitter performing one 2-means split per node.
+pub struct TwoMeansSplitter {
+    rng: Pcg64,
+    /// Maximum Lloyd iterations per split ("typically only a few iterations
+    /// are required" — the cap keeps worst cases bounded).
+    max_iters: usize,
+}
+
+impl TwoMeansSplitter {
+    /// Creates the splitter with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        TwoMeansSplitter {
+            rng: Pcg64::seed_from_u64(seed),
+            max_iters: 25,
+        }
+    }
+
+    /// Overrides the Lloyd iteration cap.
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters.max(1);
+        self
+    }
+
+    fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| {
+                let d = x - y;
+                d * d
+            })
+            .sum()
+    }
+}
+
+impl Splitter for TwoMeansSplitter {
+    fn split(&mut self, points: &Matrix, idx: &[usize]) -> (Vec<usize>, Vec<usize>) {
+        let n = idx.len();
+        if n < 2 {
+            return (idx.to_vec(), vec![]);
+        }
+        // Seed: first representative uniform, second proportional to squared
+        // distance from the first.
+        let first = idx[self.rng.next_usize(n)];
+        let d2_first: Vec<f64> = idx
+            .iter()
+            .map(|&i| Self::squared_distance(points.row(i), points.row(first)))
+            .collect();
+        let total: f64 = d2_first.iter().sum();
+        let second = if total <= 0.0 {
+            // All points identical to the first representative: give up and
+            // let the caller fall back to a leaf / median split.
+            let vals: Vec<f64> = (0..n).map(|k| k as f64).collect();
+            return median_split(idx, &vals);
+        } else {
+            let mut target = self.rng.next_f64() * total;
+            let mut chosen = idx[n - 1];
+            for (k, &d2) in d2_first.iter().enumerate() {
+                if target <= d2 {
+                    chosen = idx[k];
+                    break;
+                }
+                target -= d2;
+            }
+            chosen
+        };
+
+        let d = points.ncols();
+        let mut c0: Vec<f64> = points.row(first).to_vec();
+        let mut c1: Vec<f64> = points.row(second).to_vec();
+        let mut assign = vec![false; n]; // false -> cluster 0, true -> cluster 1
+
+        for _ in 0..self.max_iters {
+            // Assignment step (parallel over the points of this node).
+            let new_assign: Vec<bool> = idx
+                .par_iter()
+                .map(|&i| {
+                    let p = points.row(i);
+                    Self::squared_distance(p, &c1) < Self::squared_distance(p, &c0)
+                })
+                .collect();
+            let changed = new_assign
+                .iter()
+                .zip(assign.iter())
+                .any(|(a, b)| a != b);
+            assign = new_assign;
+
+            // Update step.
+            let mut sum0 = vec![0.0; d];
+            let mut sum1 = vec![0.0; d];
+            let mut n0 = 0usize;
+            let mut n1 = 0usize;
+            for (k, &i) in idx.iter().enumerate() {
+                let p = points.row(i);
+                if assign[k] {
+                    for (s, &x) in sum1.iter_mut().zip(p.iter()) {
+                        *s += x;
+                    }
+                    n1 += 1;
+                } else {
+                    for (s, &x) in sum0.iter_mut().zip(p.iter()) {
+                        *s += x;
+                    }
+                    n0 += 1;
+                }
+            }
+            if n0 == 0 || n1 == 0 {
+                // One cluster swallowed everything; fall back to a balanced
+                // split along the distance to the surviving centroid.
+                let c = if n0 == 0 { &c1 } else { &c0 };
+                let vals: Vec<f64> = idx
+                    .iter()
+                    .map(|&i| Self::squared_distance(points.row(i), c))
+                    .collect();
+                return median_split(idx, &vals);
+            }
+            for (s, cnt) in [(&mut sum0, n0), (&mut sum1, n1)] {
+                let inv = 1.0 / cnt as f64;
+                for x in s.iter_mut() {
+                    *x *= inv;
+                }
+            }
+            c0 = sum0;
+            c1 = sum1;
+            if !changed {
+                break;
+            }
+        }
+
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for (k, &i) in idx.iter().enumerate() {
+            if assign[k] {
+                right.push(i);
+            } else {
+                left.push(i);
+            }
+        }
+        (left, right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{permutation_is_valid, ClusteringQuality};
+    use crate::splitter::build_ordering;
+    use hkrr_linalg::random::Pcg64 as Rng;
+
+    fn two_blob_points(seed: u64, n: usize, d: usize, separation: f64) -> Matrix {
+        let mut rng = Rng::seed_from_u64(seed);
+        Matrix::from_fn(n, d, |i, _| {
+            let center = if i % 2 == 0 { -separation } else { separation };
+            center + rng.next_gaussian()
+        })
+    }
+
+    #[test]
+    fn separates_two_well_separated_blobs() {
+        let points = two_blob_points(1, 200, 3, 10.0);
+        let mut splitter = TwoMeansSplitter::new(42);
+        let idx: Vec<usize> = (0..200).collect();
+        let (l, r) = splitter.split(&points, &idx);
+        assert_eq!(l.len() + r.len(), 200);
+        // Every point in one group shares the same parity (same blob).
+        let l_parity: Vec<usize> = l.iter().map(|&i| i % 2).collect();
+        let r_parity: Vec<usize> = r.iter().map(|&i| i % 2).collect();
+        assert!(l_parity.windows(2).all(|w| w[0] == w[1]));
+        assert!(r_parity.windows(2).all(|w| w[0] == w[1]));
+        assert_ne!(l_parity[0], r_parity[0]);
+    }
+
+    #[test]
+    fn full_ordering_is_valid_and_improves_locality() {
+        let points = two_blob_points(2, 300, 4, 8.0);
+        let ord = build_ordering(&points, 16, &mut TwoMeansSplitter::new(7));
+        assert!(permutation_is_valid(ord.permutation(), 300));
+        ord.tree().validate().unwrap();
+        // The top-level split should have much larger inter- than
+        // intra-cluster distance.
+        let q = ClusteringQuality::at_root_split(&points, &ord);
+        assert!(
+            q.inter_cluster_distance > 2.0 * q.intra_cluster_distance,
+            "2MN failed to separate the blobs: {q:?}"
+        );
+    }
+
+    #[test]
+    fn identical_points_fall_back_gracefully() {
+        let points = Matrix::filled(40, 3, 1.0);
+        let mut splitter = TwoMeansSplitter::new(3);
+        let idx: Vec<usize> = (0..40).collect();
+        let (l, r) = splitter.split(&points, &idx);
+        // Must still produce a usable two-way split.
+        assert_eq!(l.len() + r.len(), 40);
+        assert!(!l.is_empty() && !r.is_empty());
+    }
+
+    #[test]
+    fn tiny_sets_are_returned_unsplit() {
+        let points = Matrix::zeros(1, 2);
+        let mut splitter = TwoMeansSplitter::new(5);
+        let (l, r) = splitter.split(&points, &[0]);
+        assert_eq!(l, vec![0]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let points = two_blob_points(4, 120, 3, 6.0);
+        let a = build_ordering(&points, 16, &mut TwoMeansSplitter::new(99));
+        let b = build_ordering(&points, 16, &mut TwoMeansSplitter::new(99));
+        assert_eq!(a.permutation(), b.permutation());
+    }
+
+    #[test]
+    fn different_seeds_may_differ_but_stay_valid() {
+        let points = two_blob_points(5, 150, 3, 2.0);
+        let a = build_ordering(&points, 16, &mut TwoMeansSplitter::new(1));
+        let b = build_ordering(&points, 16, &mut TwoMeansSplitter::new(2));
+        assert!(permutation_is_valid(a.permutation(), 150));
+        assert!(permutation_is_valid(b.permutation(), 150));
+    }
+
+    #[test]
+    fn max_iter_override() {
+        let points = two_blob_points(6, 80, 2, 4.0);
+        let mut s = TwoMeansSplitter::new(11).with_max_iters(1);
+        let idx: Vec<usize> = (0..80).collect();
+        let (l, r) = s.split(&points, &idx);
+        assert_eq!(l.len() + r.len(), 80);
+        assert!(!l.is_empty() && !r.is_empty());
+    }
+}

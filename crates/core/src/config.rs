@@ -1,0 +1,167 @@
+//! Training configuration.
+
+use hkrr_clustering::ClusteringMethod;
+use hkrr_kernel::{KernelFunction, Normalizer};
+
+/// The solver used for the training system `(K + λI) w = y`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolverKind {
+    /// Assemble the dense kernel matrix and solve with Cholesky — the exact
+    /// (non-compressed) baseline of the paper, `O(n²)` memory, `O(n³)` time.
+    DenseCholesky,
+    /// Randomized HSS compression with dense kernel-matrix sampling,
+    /// factored with ULV.  Sampling costs `O(n²)` per random block.
+    Hss,
+    /// HSS compression whose random sampling products are evaluated through
+    /// an intermediate H-matrix approximation — the paper's accelerated
+    /// construction (Section 3.2 / Table 4).
+    HssWithHSampling,
+}
+
+impl SolverKind {
+    /// Short label used in reports and benchmark tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SolverKind::DenseCholesky => "dense",
+            SolverKind::Hss => "hss",
+            SolverKind::HssWithHSampling => "hss+h",
+        }
+    }
+}
+
+/// Configuration of one kernel-ridge-regression training run.
+#[derive(Debug, Clone, Copy)]
+pub struct KrrConfig {
+    /// Gaussian bandwidth `h`.
+    pub h: f64,
+    /// Ridge regularization `λ`.
+    pub lambda: f64,
+    /// Clustering / reordering method (Step 0 of Algorithm 1).
+    pub clustering: ClusteringMethod,
+    /// HSS / H-matrix leaf size (the paper uses 16).
+    pub leaf_size: usize,
+    /// Feature normalization (the paper's default is z-score).
+    pub normalization: Normalizer,
+    /// Which solver to use for the training system.
+    pub solver: SolverKind,
+    /// Relative compression tolerance for HSS (and ACA) compression.
+    pub tolerance: f64,
+    /// Admissibility parameter for the H-matrix sampler.
+    pub eta: f64,
+    /// Seed for every randomized component (sampling, 2-means seeding).
+    pub seed: u64,
+}
+
+impl Default for KrrConfig {
+    fn default() -> Self {
+        KrrConfig {
+            h: 1.0,
+            lambda: 1.0,
+            clustering: ClusteringMethod::TwoMeans { seed: 0x2e35 },
+            leaf_size: hkrr_clustering::DEFAULT_LEAF_SIZE,
+            normalization: Normalizer::ZScore,
+            solver: SolverKind::Hss,
+            // The paper reports that a compression tolerance of 0.1 does not
+            // degrade classification accuracy; 1e-2 keeps a safety margin.
+            tolerance: 1e-2,
+            eta: 2.0,
+            seed: 0xacce55,
+        }
+    }
+}
+
+impl KrrConfig {
+    /// Returns a copy with a different bandwidth.
+    pub fn with_h(mut self, h: f64) -> Self {
+        self.h = h;
+        self
+    }
+
+    /// Returns a copy with a different regularization.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Returns a copy with a different clustering method.
+    pub fn with_clustering(mut self, clustering: ClusteringMethod) -> Self {
+        self.clustering = clustering;
+        self
+    }
+
+    /// Returns a copy with a different solver.
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// The Gaussian kernel described by this configuration.
+    pub fn kernel(&self) -> KernelFunction {
+        KernelFunction::gaussian(self.h)
+    }
+
+    /// Basic validation of the numeric parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.h <= 0.0 || !self.h.is_finite() {
+            return Err(format!("bandwidth h must be positive, got {}", self.h));
+        }
+        if self.lambda < 0.0 || !self.lambda.is_finite() {
+            return Err(format!("lambda must be non-negative, got {}", self.lambda));
+        }
+        if self.leaf_size == 0 {
+            return Err("leaf_size must be at least 1".to_string());
+        }
+        if self.tolerance <= 0.0 {
+            return Err("tolerance must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_matches_paper_choices() {
+        let c = KrrConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.leaf_size, 16);
+        assert_eq!(c.normalization, Normalizer::ZScore);
+        assert!(matches!(c.clustering, ClusteringMethod::TwoMeans { .. }));
+        assert_eq!(c.kernel().bandwidth(), Some(1.0));
+    }
+
+    #[test]
+    fn builder_methods_override_fields() {
+        let c = KrrConfig::default()
+            .with_h(2.5)
+            .with_lambda(0.3)
+            .with_clustering(ClusteringMethod::KdTree)
+            .with_solver(SolverKind::DenseCholesky);
+        assert_eq!(c.h, 2.5);
+        assert_eq!(c.lambda, 0.3);
+        assert_eq!(c.clustering, ClusteringMethod::KdTree);
+        assert_eq!(c.solver, SolverKind::DenseCholesky);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(KrrConfig::default().with_h(0.0).validate().is_err());
+        assert!(KrrConfig::default().with_h(f64::NAN).validate().is_err());
+        assert!(KrrConfig::default().with_lambda(-1.0).validate().is_err());
+        let mut c = KrrConfig::default();
+        c.leaf_size = 0;
+        assert!(c.validate().is_err());
+        c = KrrConfig::default();
+        c.tolerance = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn solver_labels() {
+        assert_eq!(SolverKind::DenseCholesky.label(), "dense");
+        assert_eq!(SolverKind::Hss.label(), "hss");
+        assert_eq!(SolverKind::HssWithHSampling.label(), "hss+h");
+    }
+}

@@ -1,0 +1,328 @@
+//! The binary kernel-ridge-regression classifier (Algorithm 1 of the paper).
+
+use crate::config::{KrrConfig, SolverKind};
+use crate::report::TrainingReport;
+use crate::KrrError;
+use hkrr_clustering::cluster;
+use hkrr_hmatrix::{build_hmatrix, HOptions};
+use hkrr_hss::construct::{compress_symmetric, HssOptions};
+use hkrr_hss::UlvFactorization;
+use hkrr_kernel::{CrossKernel, KernelMatrix, NormalizationStats};
+use hkrr_linalg::{cholesky, Matrix};
+use std::time::Instant;
+
+/// A trained binary classifier.
+#[derive(Debug, Clone)]
+pub struct KrrModel {
+    /// Normalized, reordered training points (the order the weights refer to).
+    train_points: Matrix,
+    /// Weight vector `w = (K + λI)^{-1} y` in the reordered index space.
+    weights: Vec<f64>,
+    kernel: hkrr_kernel::KernelFunction,
+    norm_stats: NormalizationStats,
+    report: TrainingReport,
+    config: KrrConfig,
+}
+
+impl KrrModel {
+    /// Trains a classifier on `train` (rows are points) with ±1 `labels`.
+    pub fn fit(train: &Matrix, labels: &[f64], config: &KrrConfig) -> Result<KrrModel, KrrError> {
+        config.validate().map_err(KrrError::InvalidInput)?;
+        let n = train.nrows();
+        if n == 0 {
+            return Err(KrrError::InvalidInput("empty training set".to_string()));
+        }
+        if labels.len() != n {
+            return Err(KrrError::InvalidInput(format!(
+                "{} labels for {} training points",
+                labels.len(),
+                n
+            )));
+        }
+        if labels.iter().any(|l| !l.is_finite() || *l == 0.0) {
+            return Err(KrrError::InvalidInput(
+                "labels must be finite, non-zero (±1)".to_string(),
+            ));
+        }
+
+        let mut report = TrainingReport::new(config.solver, n, train.ncols());
+
+        // Step 0a: normalization (fit on train only).
+        let norm_stats = NormalizationStats::fit(train, config.normalization);
+        let normalized = norm_stats.transform(train);
+
+        // Step 0b: clustering-based reordering.
+        let t = Instant::now();
+        let ordering = cluster(&normalized, config.clustering, config.leaf_size);
+        report.clustering_seconds = t.elapsed().as_secs_f64();
+        let permuted = normalized.select_rows(ordering.permutation());
+        let permuted_labels: Vec<f64> = ordering.apply(labels);
+
+        // Step 1: the (implicit) kernel matrix on the reordered points.
+        let kernel = config.kernel();
+        let km = KernelMatrix::new(permuted.clone(), kernel);
+
+        // Step 2: solve (K + λI) w = y with the requested solver.
+        let weights = match config.solver {
+            SolverKind::DenseCholesky => {
+                let t = Instant::now();
+                let k_dense = km.assemble_regularized(config.lambda);
+                report.hss_other_seconds = t.elapsed().as_secs_f64();
+                report.matrix_memory_bytes = k_dense.memory_bytes();
+
+                let t = Instant::now();
+                let factor = cholesky::cholesky(&k_dense)?;
+                report.factorization_seconds = t.elapsed().as_secs_f64();
+
+                let t = Instant::now();
+                let w = factor.solve(&permuted_labels)?;
+                report.solve_seconds = t.elapsed().as_secs_f64();
+                w
+            }
+            SolverKind::Hss | SolverKind::HssWithHSampling => {
+                let hss_opts = HssOptions {
+                    tolerance: config.tolerance,
+                    seed: config.seed,
+                    ..HssOptions::default()
+                };
+                let tree = ordering.tree().clone();
+
+                // Optional H-matrix sampler (the paper's accelerated
+                // sampling path).
+                let sampler_h = if config.solver == SolverKind::HssWithHSampling {
+                    let t = Instant::now();
+                    let h = build_hmatrix(
+                        &km,
+                        &permuted,
+                        ordering.tree(),
+                        &HOptions {
+                            tolerance: config.tolerance,
+                            eta: config.eta,
+                            max_rank: 0,
+                        },
+                    );
+                    report.h_construction_seconds = t.elapsed().as_secs_f64();
+                    report.sampler_memory_bytes = h.memory_bytes();
+                    Some(h)
+                } else {
+                    None
+                };
+
+                let mut hss = match &sampler_h {
+                    Some(h) => compress_symmetric(&km, h, tree, &hss_opts)?,
+                    None => compress_symmetric(&km, &km, tree, &hss_opts)?,
+                };
+                report.hss_sampling_seconds = hss.construction_stats().sampling_seconds;
+                report.hss_other_seconds = hss.construction_stats().other_seconds;
+                report.matrix_memory_bytes = hss.memory_bytes();
+                report.max_rank = hss.max_rank();
+
+                hss.set_diagonal_shift(config.lambda);
+
+                let t = Instant::now();
+                let factor = UlvFactorization::factor(&hss)?;
+                report.factorization_seconds = t.elapsed().as_secs_f64();
+
+                let t = Instant::now();
+                let w = factor.solve(&permuted_labels)?;
+                report.solve_seconds = t.elapsed().as_secs_f64();
+                w
+            }
+        };
+
+        Ok(KrrModel {
+            train_points: permuted,
+            weights,
+            kernel,
+            norm_stats,
+            report,
+            config: *config,
+        })
+    }
+
+    /// Raw decision values `w · K'(x'_i, ·)` for each test point.
+    pub fn decision_values(&self, test: &Matrix) -> Vec<f64> {
+        let test_n = self.norm_stats.transform(test);
+        let ck = CrossKernel::new(test_n, self.train_points.clone(), self.kernel);
+        ck.predict_scores(&self.weights)
+    }
+
+    /// Predicted ±1 labels (Step 4 of Algorithm 1).
+    pub fn predict(&self, test: &Matrix) -> Vec<f64> {
+        self.decision_values(test)
+            .into_iter()
+            .map(|s| if s >= 0.0 { 1.0 } else { -1.0 })
+            .collect()
+    }
+
+    /// The weight vector (in the reordered training index space).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Performance report of the training run.
+    pub fn report(&self) -> &TrainingReport {
+        &self.report
+    }
+
+    /// The configuration the model was trained with.
+    pub fn config(&self) -> &KrrConfig {
+        &self.config
+    }
+
+    /// Number of training points.
+    pub fn num_train(&self) -> usize {
+        self.train_points.nrows()
+    }
+}
+
+/// Classification accuracy: the fraction of predictions whose sign matches
+/// the true label (Eq. 2.1 of the paper).
+pub fn accuracy(predicted: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "accuracy: length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let correct = predicted
+        .iter()
+        .zip(truth.iter())
+        .filter(|(p, t)| p.signum() == t.signum())
+        .count();
+    correct as f64 / predicted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{KrrConfig, SolverKind};
+    use hkrr_clustering::ClusteringMethod;
+    use hkrr_datasets::registry::LETTER;
+    use hkrr_datasets::generate;
+
+    fn quick_config(solver: SolverKind) -> KrrConfig {
+        KrrConfig {
+            h: LETTER.default_h,
+            lambda: LETTER.default_lambda,
+            solver,
+            ..KrrConfig::default()
+        }
+    }
+
+    #[test]
+    fn dense_baseline_classifies_separable_data() {
+        let ds = generate(&LETTER, 400, 120, 1);
+        let model =
+            KrrModel::fit(&ds.train, &ds.train_labels, &quick_config(SolverKind::DenseCholesky))
+                .unwrap();
+        let pred = model.predict(&ds.test);
+        let acc = accuracy(&pred, &ds.test_labels);
+        assert!(acc > 0.9, "dense accuracy {acc}");
+        assert_eq!(model.num_train(), 400);
+    }
+
+    #[test]
+    fn hss_solver_matches_dense_accuracy() {
+        let ds = generate(&LETTER, 500, 150, 2);
+        let dense =
+            KrrModel::fit(&ds.train, &ds.train_labels, &quick_config(SolverKind::DenseCholesky))
+                .unwrap();
+        let hss = KrrModel::fit(&ds.train, &ds.train_labels, &quick_config(SolverKind::Hss))
+            .unwrap();
+        let acc_dense = accuracy(&dense.predict(&ds.test), &ds.test_labels);
+        let acc_hss = accuracy(&hss.predict(&ds.test), &ds.test_labels);
+        assert!(
+            (acc_dense - acc_hss).abs() <= 0.03,
+            "dense {acc_dense} vs HSS {acc_hss}"
+        );
+        assert!(hss.report().max_rank > 0);
+    }
+
+    #[test]
+    fn h_sampling_path_produces_usable_model() {
+        let ds = generate(&LETTER, 400, 100, 3);
+        let model = KrrModel::fit(
+            &ds.train,
+            &ds.train_labels,
+            &quick_config(SolverKind::HssWithHSampling),
+        )
+        .unwrap();
+        let acc = accuracy(&model.predict(&ds.test), &ds.test_labels);
+        assert!(acc > 0.85, "hss+h accuracy {acc}");
+        assert!(model.report().h_construction_seconds >= 0.0);
+        assert!(model.report().sampler_memory_bytes > 0);
+    }
+
+    #[test]
+    fn hss_memory_is_reported_and_below_dense_for_clustered_order() {
+        let ds = generate(&LETTER, 600, 50, 4);
+        let cfg = quick_config(SolverKind::Hss)
+            .with_clustering(ClusteringMethod::TwoMeans { seed: 1 });
+        let model = KrrModel::fit(&ds.train, &ds.train_labels, &cfg).unwrap();
+        let dense_bytes = 600 * 600 * 8;
+        assert!(model.report().matrix_memory_bytes > 0);
+        assert!(
+            model.report().matrix_memory_bytes < dense_bytes,
+            "HSS memory {} should be below dense {}",
+            model.report().matrix_memory_bytes,
+            dense_bytes
+        );
+    }
+
+    #[test]
+    fn predictions_are_signs() {
+        let ds = generate(&LETTER, 200, 40, 5);
+        let model =
+            KrrModel::fit(&ds.train, &ds.train_labels, &quick_config(SolverKind::Hss)).unwrap();
+        for p in model.predict(&ds.test) {
+            assert!(p == 1.0 || p == -1.0);
+        }
+        // Decision values carry the magnitudes used by one-vs-all.
+        let dv = model.decision_values(&ds.test);
+        assert_eq!(dv.len(), 40);
+        assert!(dv.iter().any(|v| v.abs() > 0.0));
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let ds = generate(&LETTER, 50, 10, 6);
+        let cfg = quick_config(SolverKind::DenseCholesky);
+        // Wrong label count.
+        assert!(matches!(
+            KrrModel::fit(&ds.train, &ds.train_labels[..40], &cfg),
+            Err(KrrError::InvalidInput(_))
+        ));
+        // Zero labels.
+        let zeros = vec![0.0; 50];
+        assert!(matches!(
+            KrrModel::fit(&ds.train, &zeros, &cfg),
+            Err(KrrError::InvalidInput(_))
+        ));
+        // Empty training set.
+        assert!(matches!(
+            KrrModel::fit(&Matrix::zeros(0, 16), &[], &cfg),
+            Err(KrrError::InvalidInput(_))
+        ));
+        // Invalid hyperparameter.
+        assert!(KrrModel::fit(&ds.train, &ds.train_labels, &cfg.with_h(-1.0)).is_err());
+    }
+
+    #[test]
+    fn accuracy_metric() {
+        assert_eq!(accuracy(&[1.0, -1.0, 1.0, 1.0], &[1.0, -1.0, -1.0, 1.0]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[2.5, -0.1], &[1.0, -1.0]), 1.0);
+    }
+
+    #[test]
+    fn report_time_breakdown_is_populated() {
+        let ds = generate(&LETTER, 300, 30, 7);
+        let model =
+            KrrModel::fit(&ds.train, &ds.train_labels, &quick_config(SolverKind::Hss)).unwrap();
+        let r = model.report();
+        assert_eq!(r.num_train, 300);
+        assert_eq!(r.dim, 16);
+        assert!(r.total_seconds() > 0.0);
+        assert!(r.hss_construction_seconds() > 0.0);
+        assert!(r.factorization_seconds >= 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! One-vs-all multi-class classification (Section 2 of the paper).
+//!
+//! For `c` classes the paper trains `c` binary classifiers that differ only
+//! in the labels; each test point is assigned to the class whose classifier
+//! reports the largest (confidence) decision value.
+
+use crate::config::KrrConfig;
+use crate::model::KrrModel;
+use crate::KrrError;
+use hkrr_linalg::Matrix;
+
+/// A one-vs-all ensemble of binary KRR classifiers.
+pub struct MulticlassKrr {
+    classifiers: Vec<KrrModel>,
+}
+
+impl MulticlassKrr {
+    /// Trains one binary classifier per class.
+    ///
+    /// `labels` are class indices in `0..num_classes`.
+    pub fn fit(
+        train: &Matrix,
+        labels: &[usize],
+        num_classes: usize,
+        config: &KrrConfig,
+    ) -> Result<Self, KrrError> {
+        if num_classes < 2 {
+            return Err(KrrError::InvalidInput(
+                "multi-class problems need at least two classes".to_string(),
+            ));
+        }
+        if labels.len() != train.nrows() {
+            return Err(KrrError::InvalidInput(format!(
+                "{} labels for {} training points",
+                labels.len(),
+                train.nrows()
+            )));
+        }
+        if labels.iter().any(|&l| l >= num_classes) {
+            return Err(KrrError::InvalidInput(
+                "label index out of range".to_string(),
+            ));
+        }
+        let mut classifiers = Vec::with_capacity(num_classes);
+        for class in 0..num_classes {
+            let binary: Vec<f64> = labels
+                .iter()
+                .map(|&l| if l == class { 1.0 } else { -1.0 })
+                .collect();
+            classifiers.push(KrrModel::fit(train, &binary, config)?);
+        }
+        Ok(MulticlassKrr { classifiers })
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classifiers.len()
+    }
+
+    /// Access to the underlying binary classifiers.
+    pub fn classifiers(&self) -> &[KrrModel] {
+        &self.classifiers
+    }
+
+    /// Per-class confidence values `|w_c · K'(x'_i, ·)|` is not used
+    /// directly; the paper's rule is `argmax_c y'(c)_i`, implemented here on
+    /// the raw decision values.
+    pub fn decision_matrix(&self, test: &Matrix) -> Matrix {
+        let m = test.nrows();
+        let c = self.classifiers.len();
+        let mut out = Matrix::zeros(m, c);
+        for (j, clf) in self.classifiers.iter().enumerate() {
+            out.set_col(j, &clf.decision_values(test));
+        }
+        out
+    }
+
+    /// Predicted class index for every test point.
+    pub fn predict(&self, test: &Matrix) -> Vec<usize> {
+        let scores = self.decision_matrix(test);
+        (0..test.nrows())
+            .map(|i| {
+                let mut best = 0;
+                let mut best_v = f64::NEG_INFINITY;
+                for j in 0..self.classifiers.len() {
+                    if scores[(i, j)] > best_v {
+                        best_v = scores[(i, j)];
+                        best = j;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Multi-class accuracy (fraction of exactly matching class labels).
+    pub fn accuracy(&self, test: &Matrix, truth: &[usize]) -> f64 {
+        assert_eq!(test.nrows(), truth.len(), "accuracy: length mismatch");
+        if truth.is_empty() {
+            return 0.0;
+        }
+        let pred = self.predict(test);
+        let correct = pred.iter().zip(truth.iter()).filter(|(p, t)| p == t).count();
+        correct as f64 / truth.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverKind;
+    use hkrr_datasets::generate_multiclass;
+    use hkrr_datasets::registry::PEN;
+
+    fn config() -> KrrConfig {
+        KrrConfig {
+            h: PEN.default_h,
+            lambda: PEN.default_lambda,
+            solver: SolverKind::Hss,
+            ..KrrConfig::default()
+        }
+    }
+
+    #[test]
+    fn one_vs_all_classifies_multiclass_digits() {
+        let ds = generate_multiclass(&PEN, 4, 400, 120, 1);
+        let model = MulticlassKrr::fit(&ds.train, &ds.train_labels, 4, &config()).unwrap();
+        assert_eq!(model.num_classes(), 4);
+        assert_eq!(model.classifiers().len(), 4);
+        let acc = model.accuracy(&ds.test, &ds.test_labels);
+        assert!(acc > 0.8, "multi-class accuracy {acc}");
+    }
+
+    #[test]
+    fn decision_matrix_shape_and_argmax_consistency() {
+        let ds = generate_multiclass(&PEN, 3, 200, 30, 2);
+        let model = MulticlassKrr::fit(&ds.train, &ds.train_labels, 3, &config()).unwrap();
+        let scores = model.decision_matrix(&ds.test);
+        assert_eq!(scores.shape(), (30, 3));
+        let pred = model.predict(&ds.test);
+        for (i, &p) in pred.iter().enumerate() {
+            for j in 0..3 {
+                assert!(scores[(i, p)] >= scores[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let ds = generate_multiclass(&PEN, 3, 60, 10, 3);
+        assert!(MulticlassKrr::fit(&ds.train, &ds.train_labels, 1, &config()).is_err());
+        assert!(MulticlassKrr::fit(&ds.train, &ds.train_labels[..50], 3, &config()).is_err());
+        let bad_labels = vec![7usize; 60];
+        assert!(MulticlassKrr::fit(&ds.train, &bad_labels, 3, &config()).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Per-run performance report: the metrics the paper tabulates.
+
+use crate::config::SolverKind;
+
+/// Timing, memory and rank information gathered during one training run.
+///
+/// The time breakdown matches Table 4 of the paper: H-matrix construction,
+/// HSS construction split into the sampling products and everything else,
+/// ULV factorization, and the triangular solve.
+#[derive(Debug, Clone)]
+pub struct TrainingReport {
+    /// Which solver produced this report.
+    pub solver: SolverKind,
+    /// Number of training points.
+    pub num_train: usize,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Seconds spent clustering / reordering the input (Step 0).
+    pub clustering_seconds: f64,
+    /// Seconds spent building the H-matrix sampler (0 when unused).
+    pub h_construction_seconds: f64,
+    /// Seconds spent in the HSS random-sampling products.
+    pub hss_sampling_seconds: f64,
+    /// Seconds spent in the rest of the HSS construction.
+    pub hss_other_seconds: f64,
+    /// Seconds spent in the ULV factorization (or dense Cholesky).
+    pub factorization_seconds: f64,
+    /// Seconds spent solving for the weight vector.
+    pub solve_seconds: f64,
+    /// Memory of the compressed (or dense) training matrix, in bytes.
+    pub matrix_memory_bytes: usize,
+    /// Memory of the H-matrix sampler, in bytes (0 when unused).
+    pub sampler_memory_bytes: usize,
+    /// Maximum HSS rank (0 for the dense solver).
+    pub max_rank: usize,
+}
+
+impl TrainingReport {
+    /// Creates an empty report for the given solver and problem size.
+    pub fn new(solver: SolverKind, num_train: usize, dim: usize) -> Self {
+        TrainingReport {
+            solver,
+            num_train,
+            dim,
+            clustering_seconds: 0.0,
+            h_construction_seconds: 0.0,
+            hss_sampling_seconds: 0.0,
+            hss_other_seconds: 0.0,
+            factorization_seconds: 0.0,
+            solve_seconds: 0.0,
+            matrix_memory_bytes: 0,
+            sampler_memory_bytes: 0,
+            max_rank: 0,
+        }
+    }
+
+    /// Total HSS construction time (sampling + other).
+    pub fn hss_construction_seconds(&self) -> f64 {
+        self.hss_sampling_seconds + self.hss_other_seconds
+    }
+
+    /// Total training time (everything except prediction).
+    pub fn total_seconds(&self) -> f64 {
+        self.clustering_seconds
+            + self.h_construction_seconds
+            + self.hss_construction_seconds()
+            + self.factorization_seconds
+            + self.solve_seconds
+    }
+
+    /// Compressed-matrix memory in MB (Table 2 / Figure 5 / Figure 7a).
+    pub fn matrix_memory_mb(&self) -> f64 {
+        self.matrix_memory_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl std::fmt::Display for TrainingReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "solver={} n={} d={} mem={:.2}MB max-rank={}",
+            self.solver.label(),
+            self.num_train,
+            self.dim,
+            self.matrix_memory_mb(),
+            self.max_rank
+        )?;
+        writeln!(
+            f,
+            "  clustering {:.3}s | H constr {:.3}s | HSS constr {:.3}s (sampling {:.3}s, other {:.3}s)",
+            self.clustering_seconds,
+            self.h_construction_seconds,
+            self.hss_construction_seconds(),
+            self.hss_sampling_seconds,
+            self.hss_other_seconds
+        )?;
+        write!(
+            f,
+            "  factorization {:.3}s | solve {:.3}s | total {:.3}s",
+            self.factorization_seconds,
+            self.solve_seconds,
+            self.total_seconds()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let mut r = TrainingReport::new(SolverKind::Hss, 1000, 8);
+        r.clustering_seconds = 0.1;
+        r.h_construction_seconds = 0.2;
+        r.hss_sampling_seconds = 0.3;
+        r.hss_other_seconds = 0.4;
+        r.factorization_seconds = 0.5;
+        r.solve_seconds = 0.6;
+        assert!((r.hss_construction_seconds() - 0.7).abs() < 1e-12);
+        assert!((r.total_seconds() - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_conversion_and_display() {
+        let mut r = TrainingReport::new(SolverKind::DenseCholesky, 10, 2);
+        r.matrix_memory_bytes = 2 * 1024 * 1024;
+        assert!((r.matrix_memory_mb() - 2.0).abs() < 1e-12);
+        let text = r.to_string();
+        assert!(text.contains("solver=dense"));
+        assert!(text.contains("mem=2.00MB"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Multi-class dataset generation for the one-vs-all experiments.
+//!
+//! Several of the paper's datasets (MNIST, PEN, LETTER, COVTYPE, GAS) have
+//! more than two classes; the paper handles them with one-vs-all binary
+//! classifiers (Section 2).  This module generates Gaussian-mixture
+//! datasets with `c` classes and provides the one-vs-all label extraction.
+
+use crate::registry::DatasetSpec;
+use hkrr_linalg::{Matrix, Pcg64};
+
+/// A multi-class dataset with integer class labels `0..num_classes`.
+#[derive(Debug, Clone)]
+pub struct MulticlassDataset {
+    /// Dataset name.
+    pub name: String,
+    /// Training features, `n x d`.
+    pub train: Matrix,
+    /// Training class indices.
+    pub train_labels: Vec<usize>,
+    /// Test features, `m x d`.
+    pub test: Matrix,
+    /// True test class indices.
+    pub test_labels: Vec<usize>,
+    /// Number of classes `c`.
+    pub num_classes: usize,
+}
+
+impl MulticlassDataset {
+    /// Binary ±1 labels for the one-vs-all classifier of class `c`
+    /// (`+1` for points of class `c`, `-1` otherwise).
+    pub fn one_vs_all_labels(&self, class: usize) -> Vec<f64> {
+        self.train_labels
+            .iter()
+            .map(|&l| if l == class { 1.0 } else { -1.0 })
+            .collect()
+    }
+
+    /// Number of training points.
+    pub fn num_train(&self) -> usize {
+        self.train.nrows()
+    }
+
+    /// Number of test points.
+    pub fn num_test(&self) -> usize {
+        self.test.nrows()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.train.ncols()
+    }
+}
+
+/// Generates a `num_classes`-way dataset following a spec's geometry.
+pub fn generate_multiclass(
+    spec: &DatasetSpec,
+    num_classes: usize,
+    n_train: usize,
+    n_test: usize,
+    seed: u64,
+) -> MulticlassDataset {
+    assert!(num_classes >= 2, "need at least two classes");
+    let mut rng = Pcg64::seed_from_u64(seed ^ 0x51ed_2706_11c0_ffee);
+    let d = spec.dim;
+
+    // One mixture of blobs per class.
+    let mut centres: Vec<(Vec<f64>, usize)> = Vec::new();
+    for class in 0..num_classes {
+        let class_shift: Vec<f64> = (0..d)
+            .map(|_| spec.class_separation * rng.next_gaussian())
+            .collect();
+        for _ in 0..spec.clusters_per_class {
+            let centre: Vec<f64> = (0..d)
+                .map(|j| class_shift[j] + 0.5 * spec.class_separation * rng.next_gaussian())
+                .collect();
+            centres.push((centre, class));
+        }
+    }
+
+    let sample = |n: usize, rng: &mut Pcg64| -> (Matrix, Vec<usize>) {
+        let mut data = Matrix::zeros(n, d);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let (centre, class) = &centres[rng.next_usize(centres.len())];
+            for j in 0..d {
+                data[(i, j)] = centre[j] + spec.noise * rng.next_gaussian();
+            }
+            labels.push(*class);
+        }
+        (data, labels)
+    };
+
+    let (train, train_labels) = sample(n_train, &mut rng);
+    let (test, test_labels) = sample(n_test, &mut rng);
+    MulticlassDataset {
+        name: spec.name.to_string(),
+        train,
+        train_labels,
+        test,
+        test_labels,
+        num_classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{MNIST, PEN};
+
+    #[test]
+    fn shapes_and_label_ranges() {
+        let ds = generate_multiclass(&PEN, 10, 300, 60, 1);
+        assert_eq!(ds.num_train(), 300);
+        assert_eq!(ds.num_test(), 60);
+        assert_eq!(ds.dim(), 16);
+        assert_eq!(ds.num_classes, 10);
+        assert!(ds.train_labels.iter().all(|&l| l < 10));
+        assert!(ds.test_labels.iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn one_vs_all_labels_are_consistent() {
+        let ds = generate_multiclass(&PEN, 4, 200, 20, 2);
+        for class in 0..4 {
+            let ova = ds.one_vs_all_labels(class);
+            assert_eq!(ova.len(), 200);
+            for (i, &l) in ova.iter().enumerate() {
+                if ds.train_labels[i] == class {
+                    assert_eq!(l, 1.0);
+                } else {
+                    assert_eq!(l, -1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_class_is_represented() {
+        let ds = generate_multiclass(&MNIST, 10, 1000, 100, 3);
+        for class in 0..10 {
+            assert!(
+                ds.train_labels.iter().any(|&l| l == class),
+                "class {class} missing from the training split"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = generate_multiclass(&PEN, 3, 100, 10, 5);
+        let b = generate_multiclass(&PEN, 3, 100, 10, 5);
+        assert!(a.train.approx_eq(&b.train, 0.0));
+        assert_eq!(a.train_labels, b.train_labels);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_single_class() {
+        let _ = generate_multiclass(&PEN, 1, 10, 5, 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Named dataset specifications mirroring the paper's evaluation datasets.
+
+/// Specification of a synthetic dataset emulating one of the paper's
+/// real-world datasets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset name as used in the paper's tables.
+    pub name: &'static str,
+    /// Feature dimension `d` (matches the paper).
+    pub dim: usize,
+    /// Number of Gaussian clusters generated per class.
+    pub clusters_per_class: usize,
+    /// Distance scale between class centroids; smaller values make the
+    /// classification problem harder (e.g. SUSY, HEPMASS).
+    pub class_separation: f64,
+    /// Standard deviation of the within-cluster noise.
+    pub noise: f64,
+    /// Gaussian bandwidth `h` used in Table 2 of the paper.
+    pub default_h: f64,
+    /// Ridge parameter `λ` used in Table 2 of the paper.
+    pub default_lambda: f64,
+    /// Classification accuracy reported in Table 2 (for EXPERIMENTS.md
+    /// comparisons), as a fraction.
+    pub paper_accuracy: f64,
+}
+
+/// SUSY: high-energy physics, d = 8, the hardest problem in Table 2.
+pub const SUSY: DatasetSpec = DatasetSpec {
+    name: "SUSY",
+    dim: 8,
+    clusters_per_class: 4,
+    class_separation: 1.0,
+    noise: 1.0,
+    default_h: 1.0,
+    default_lambda: 4.0,
+    paper_accuracy: 0.801,
+};
+
+/// LETTER: handwritten letter recognition, d = 16.
+pub const LETTER: DatasetSpec = DatasetSpec {
+    name: "LETTER",
+    dim: 16,
+    clusters_per_class: 6,
+    class_separation: 4.0,
+    noise: 0.7,
+    default_h: 0.5,
+    default_lambda: 1.0,
+    paper_accuracy: 1.0,
+};
+
+/// PEN: pen-based handwritten digit recognition, d = 16.
+pub const PEN: DatasetSpec = DatasetSpec {
+    name: "PEN",
+    dim: 16,
+    clusters_per_class: 5,
+    class_separation: 3.5,
+    noise: 0.8,
+    default_h: 1.0,
+    default_lambda: 1.0,
+    paper_accuracy: 0.998,
+};
+
+/// HEPMASS: high-energy physics, d = 27.
+pub const HEPMASS: DatasetSpec = DatasetSpec {
+    name: "HEPMASS",
+    dim: 27,
+    clusters_per_class: 3,
+    class_separation: 1.6,
+    noise: 1.0,
+    default_h: 1.5,
+    default_lambda: 2.0,
+    paper_accuracy: 0.911,
+};
+
+/// COVTYPE: forest cover type from cartographic variables, d = 54.
+pub const COVTYPE: DatasetSpec = DatasetSpec {
+    name: "COVTYPE",
+    dim: 54,
+    clusters_per_class: 5,
+    class_separation: 2.5,
+    noise: 0.9,
+    default_h: 1.0,
+    default_lambda: 1.0,
+    paper_accuracy: 0.971,
+};
+
+/// GAS: chemical sensor measurements, d = 128.
+pub const GAS: DatasetSpec = DatasetSpec {
+    name: "GAS",
+    dim: 128,
+    clusters_per_class: 4,
+    class_separation: 3.0,
+    noise: 0.8,
+    default_h: 1.5,
+    default_lambda: 4.0,
+    paper_accuracy: 0.995,
+};
+
+/// MNIST: handwritten digits (extended 8M variant in the paper), d = 784.
+pub const MNIST: DatasetSpec = DatasetSpec {
+    name: "MNIST",
+    dim: 784,
+    clusters_per_class: 8,
+    class_separation: 2.8,
+    noise: 0.9,
+    default_h: 4.0,
+    default_lambda: 3.0,
+    paper_accuracy: 0.972,
+};
+
+/// The seven datasets of Table 2, in the paper's row order.
+pub fn all_table2_specs() -> Vec<DatasetSpec> {
+    vec![SUSY, LETTER, PEN, HEPMASS, COVTYPE, GAS, MNIST]
+}
+
+/// Looks a specification up by (case-insensitive) name.
+pub fn spec_by_name(name: &str) -> Option<DatasetSpec> {
+    all_table2_specs()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_seven_datasets_in_paper_order() {
+        let specs = all_table2_specs();
+        assert_eq!(specs.len(), 7);
+        let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec!["SUSY", "LETTER", "PEN", "HEPMASS", "COVTYPE", "GAS", "MNIST"]
+        );
+    }
+
+    #[test]
+    fn dimensions_match_the_paper() {
+        assert_eq!(SUSY.dim, 8);
+        assert_eq!(LETTER.dim, 16);
+        assert_eq!(PEN.dim, 16);
+        assert_eq!(HEPMASS.dim, 27);
+        assert_eq!(COVTYPE.dim, 54);
+        assert_eq!(GAS.dim, 128);
+        assert_eq!(MNIST.dim, 784);
+    }
+
+    #[test]
+    fn hyperparameters_match_table2() {
+        assert_eq!(SUSY.default_h, 1.0);
+        assert_eq!(SUSY.default_lambda, 4.0);
+        assert_eq!(GAS.default_h, 1.5);
+        assert_eq!(GAS.default_lambda, 4.0);
+        assert_eq!(MNIST.default_h, 4.0);
+        assert_eq!(MNIST.default_lambda, 3.0);
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert_eq!(spec_by_name("susy"), Some(SUSY));
+        assert_eq!(spec_by_name("MNIST"), Some(MNIST));
+        assert_eq!(spec_by_name("unknown"), None);
+    }
+
+    #[test]
+    fn all_specs_are_well_formed() {
+        for s in all_table2_specs() {
+            assert!(s.dim > 0);
+            assert!(s.clusters_per_class > 0);
+            assert!(s.class_separation > 0.0);
+            assert!(s.noise > 0.0);
+            assert!(s.default_h > 0.0);
+            assert!(s.default_lambda > 0.0);
+            assert!((0.0..=1.0).contains(&s.paper_accuracy));
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Adaptive Cross Approximation (ACA) with partial pivoting.
+//!
+//! ACA builds a low-rank approximation `A(I, J) ≈ U V^T` of an admissible
+//! block by sampling whole rows and columns of the block — it never forms
+//! the block densely, which is what keeps the H-matrix construction
+//! quasi-linear.  This is the low-rank scheme used for the admissible
+//! blocks in Section 3.2 of the paper.
+
+use hkrr_linalg::{blas, LinearOperator, LowRank, Matrix};
+
+/// Options for the ACA compressor.
+#[derive(Debug, Clone, Copy)]
+pub struct AcaOptions {
+    /// Relative stopping tolerance: iteration stops when the new rank-one
+    /// term is smaller than `tolerance` times the running Frobenius-norm
+    /// estimate of the block.
+    pub tolerance: f64,
+    /// Hard cap on the rank (0 = limited only by the block size).
+    pub max_rank: usize,
+}
+
+impl Default for AcaOptions {
+    fn default() -> Self {
+        AcaOptions {
+            tolerance: 1e-6,
+            max_rank: 0,
+        }
+    }
+}
+
+/// Compresses the block `op(rows, cols)` with partially-pivoted ACA.
+pub fn aca_compress(
+    op: &dyn LinearOperator,
+    rows: &[usize],
+    cols: &[usize],
+    opts: &AcaOptions,
+) -> LowRank {
+    let m = rows.len();
+    let n = cols.len();
+    if m == 0 || n == 0 {
+        return LowRank::zero(m, n);
+    }
+    let max_rank = if opts.max_rank == 0 {
+        m.min(n)
+    } else {
+        opts.max_rank.min(m.min(n))
+    };
+
+    let mut us: Vec<Vec<f64>> = Vec::new();
+    let mut vs: Vec<Vec<f64>> = Vec::new();
+    let mut used_rows = vec![false; m];
+    let mut norm_est_sq = 0.0_f64;
+    let mut next_row = 0usize;
+
+    for _ in 0..max_rank {
+        // Residual of the pivot row: A(i*, :) - Σ u_k[i*] v_k.
+        let mut pivot_row = next_row;
+        let mut v_new: Vec<f64> = Vec::new();
+        let mut found = false;
+        // If the chosen row has an (almost) zero residual, try the other
+        // unused rows before giving up.
+        for _attempt in 0..m {
+            if used_rows[pivot_row] {
+                pivot_row = (pivot_row + 1) % m;
+                continue;
+            }
+            let mut r: Vec<f64> = (0..n)
+                .map(|j| op.entry(rows[pivot_row], cols[j]))
+                .collect();
+            for (u, v) in us.iter().zip(vs.iter()) {
+                let coeff = u[pivot_row];
+                if coeff != 0.0 {
+                    for (rj, vj) in r.iter_mut().zip(v.iter()) {
+                        *rj -= coeff * vj;
+                    }
+                }
+            }
+            let max_abs = r.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()));
+            if max_abs > 1e-300 {
+                v_new = r;
+                found = true;
+                break;
+            }
+            used_rows[pivot_row] = true;
+            pivot_row = (pivot_row + 1) % m;
+        }
+        if !found {
+            break;
+        }
+        used_rows[pivot_row] = true;
+
+        // Column pivot: largest entry of the row residual.
+        let (pivot_col, &pivot_val) = v_new
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap();
+        // Residual of the pivot column: A(:, j*) - Σ v_k[j*] u_k, scaled so
+        // that u_new v_new^T reproduces the cross exactly.
+        let mut u_new: Vec<f64> = (0..m)
+            .map(|i| op.entry(rows[i], cols[pivot_col]))
+            .collect();
+        for (u, v) in us.iter().zip(vs.iter()) {
+            let coeff = v[pivot_col];
+            if coeff != 0.0 {
+                for (ui, uo) in u_new.iter_mut().zip(u.iter()) {
+                    *ui -= coeff * uo;
+                }
+            }
+        }
+        for vj in v_new.iter_mut() {
+            *vj /= pivot_val;
+        }
+
+        // Convergence test on the running Frobenius-norm estimate.
+        let u_norm = blas::nrm2(&u_new);
+        let v_norm = blas::nrm2(&v_new);
+        let term_norm = u_norm * v_norm;
+        // Update ||A_k||_F^2 ≈ ||A_{k-1}||_F^2 + 2 Σ cross terms + ||term||².
+        let mut cross = 0.0;
+        for (u, v) in us.iter().zip(vs.iter()) {
+            cross += blas::dot(u, &u_new) * blas::dot(v, &v_new);
+        }
+        norm_est_sq += 2.0 * cross + term_norm * term_norm;
+
+        // Pick the next pivot row as the largest residual entry of u_new
+        // among unused rows (before pushing, so the pivot row itself is
+        // excluded).
+        next_row = (0..m)
+            .filter(|&i| !used_rows[i])
+            .max_by(|&a, &b| u_new[a].abs().partial_cmp(&u_new[b].abs()).unwrap())
+            .unwrap_or(0);
+
+        us.push(u_new);
+        vs.push(v_new);
+
+        if term_norm <= opts.tolerance * norm_est_sq.max(0.0).sqrt() {
+            break;
+        }
+    }
+
+    let k = us.len();
+    let mut u = Matrix::zeros(m, k);
+    let mut v = Matrix::zeros(n, k);
+    for (j, (uc, vc)) in us.iter().zip(vs.iter()).enumerate() {
+        u.set_col(j, uc);
+        v.set_col(j, vc);
+    }
+    LowRank::new(u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hkrr_kernel::{KernelFunction, KernelMatrix};
+    use hkrr_linalg::random::{gaussian_matrix, Pcg64};
+
+    #[test]
+    fn aca_recovers_exact_low_rank_block() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let u = gaussian_matrix(&mut rng, 40, 3);
+        let v = gaussian_matrix(&mut rng, 3, 30);
+        let a = blas::matmul(&u, &v);
+        let rows: Vec<usize> = (0..40).collect();
+        let cols: Vec<usize> = (0..30).collect();
+        let lr = aca_compress(&a, &rows, &cols, &AcaOptions::default());
+        assert!(lr.rank() <= 5);
+        assert!(blas::relative_error(&a, &lr.to_dense()) < 1e-10);
+    }
+
+    #[test]
+    fn aca_on_well_separated_kernel_block_is_low_rank() {
+        // Two clusters of points far apart: the interaction block decays
+        // fast and ACA should need only a handful of terms.
+        let mut rng = Pcg64::seed_from_u64(2);
+        let n = 60;
+        let points = Matrix::from_fn(2 * n, 3, |i, _| {
+            let c = if i < n { 0.0 } else { 8.0 };
+            c + 0.5 * rng.next_gaussian()
+        });
+        let km = KernelMatrix::new(points, KernelFunction::gaussian(1.0));
+        let rows: Vec<usize> = (0..n).collect();
+        let cols: Vec<usize> = (n..2 * n).collect();
+        let lr = aca_compress(
+            &km,
+            &rows,
+            &cols,
+            &AcaOptions {
+                tolerance: 1e-8,
+                max_rank: 0,
+            },
+        );
+        let exact = km.sub_block(&rows, &cols);
+        assert!(lr.rank() < 20, "rank {} unexpectedly high", lr.rank());
+        assert!(blas::relative_error(&exact, &lr.to_dense()) < 1e-5);
+    }
+
+    #[test]
+    fn aca_respects_max_rank() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let a = gaussian_matrix(&mut rng, 25, 25);
+        let rows: Vec<usize> = (0..25).collect();
+        let lr = aca_compress(
+            &a,
+            &rows,
+            &rows,
+            &AcaOptions {
+                tolerance: 0.0,
+                max_rank: 4,
+            },
+        );
+        assert_eq!(lr.rank(), 4);
+    }
+
+    #[test]
+    fn aca_of_zero_block_has_rank_zero() {
+        let a = Matrix::zeros(10, 12);
+        let rows: Vec<usize> = (0..10).collect();
+        let cols: Vec<usize> = (0..12).collect();
+        let lr = aca_compress(&a, &rows, &cols, &AcaOptions::default());
+        assert_eq!(lr.rank(), 0);
+        assert!(lr.to_dense().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn aca_of_empty_block() {
+        let a = Matrix::zeros(5, 5);
+        let lr = aca_compress(&a, &[], &[0, 1], &AcaOptions::default());
+        assert_eq!(lr.nrows(), 0);
+        assert_eq!(lr.ncols(), 2);
+        assert_eq!(lr.rank(), 0);
+    }
+
+    #[test]
+    fn aca_full_rank_block_reproduces_exactly() {
+        let mut rng = Pcg64::seed_from_u64(4);
+        let a = gaussian_matrix(&mut rng, 12, 12);
+        let rows: Vec<usize> = (0..12).collect();
+        let lr = aca_compress(
+            &a,
+            &rows,
+            &rows,
+            &AcaOptions {
+                tolerance: 1e-14,
+                max_rank: 0,
+            },
+        );
+        assert!(blas::relative_error(&a, &lr.to_dense()) < 1e-10);
+    }
+
+    #[test]
+    fn tighter_tolerance_gives_higher_rank() {
+        // Kernel block with geometric singular-value decay.
+        let n = 40;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            (-((i as f64 - j as f64 - 20.0) / 8.0).powi(2)).exp()
+        });
+        let rows: Vec<usize> = (0..n).collect();
+        let loose = aca_compress(
+            &a,
+            &rows,
+            &rows,
+            &AcaOptions {
+                tolerance: 1e-2,
+                max_rank: 0,
+            },
+        );
+        let tight = aca_compress(
+            &a,
+            &rows,
+            &rows,
+            &AcaOptions {
+                tolerance: 1e-10,
+                max_rank: 0,
+            },
+        );
+        assert!(tight.rank() >= loose.rank());
+        assert!(
+            blas::relative_error(&a, &tight.to_dense())
+                <= blas::relative_error(&a, &loose.to_dense()) + 1e-12
+        );
+    }
+}

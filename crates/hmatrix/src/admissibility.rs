@@ -1,0 +1,181 @@
+//! Cluster geometry and the strong admissibility condition.
+//!
+//! A pair of clusters `(s, t)` is *admissible* — i.e. their interaction
+//! block can be low-rank compressed — when the clusters are well separated:
+//! `min(diam(s), diam(t)) <= eta * dist(s, t)`.  Diameters and distances
+//! are measured on axis-aligned bounding boxes of the cluster's points,
+//! which is the standard (and cheap) choice.
+
+use hkrr_clustering::ClusterTree;
+use hkrr_linalg::Matrix;
+
+/// Axis-aligned bounding box of a set of points.
+#[derive(Debug, Clone)]
+pub struct BoundingBox {
+    /// Per-coordinate minima.
+    pub min: Vec<f64>,
+    /// Per-coordinate maxima.
+    pub max: Vec<f64>,
+}
+
+impl BoundingBox {
+    /// Bounding box of a contiguous row range of `points`.
+    pub fn from_rows(points: &Matrix, range: std::ops::Range<usize>) -> Self {
+        let d = points.ncols();
+        let mut min = vec![f64::INFINITY; d];
+        let mut max = vec![f64::NEG_INFINITY; d];
+        for i in range {
+            for (k, &x) in points.row(i).iter().enumerate() {
+                if x < min[k] {
+                    min[k] = x;
+                }
+                if x > max[k] {
+                    max[k] = x;
+                }
+            }
+        }
+        if min.iter().any(|v| !v.is_finite()) {
+            // Empty range: collapse to the origin.
+            min = vec![0.0; d];
+            max = vec![0.0; d];
+        }
+        BoundingBox { min, max }
+    }
+
+    /// Euclidean diameter of the box.
+    pub fn diameter(&self) -> f64 {
+        self.min
+            .iter()
+            .zip(self.max.iter())
+            .map(|(lo, hi)| (hi - lo) * (hi - lo))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Euclidean distance between two boxes (0 if they overlap).
+    pub fn distance(&self, other: &BoundingBox) -> f64 {
+        self.min
+            .iter()
+            .zip(self.max.iter())
+            .zip(other.min.iter().zip(other.max.iter()))
+            .map(|((alo, ahi), (blo, bhi))| {
+                let gap = if ahi < blo {
+                    blo - ahi
+                } else if bhi < alo {
+                    alo - bhi
+                } else {
+                    0.0
+                };
+                gap * gap
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Precomputed bounding boxes for every node of a cluster tree.
+#[derive(Debug, Clone)]
+pub struct ClusterGeometry {
+    boxes: Vec<BoundingBox>,
+}
+
+impl ClusterGeometry {
+    /// Computes the bounding box of every tree node from the *permuted*
+    /// point matrix (row `i` of `points` is the point at permuted index
+    /// `i`).
+    pub fn new(points: &Matrix, tree: &ClusterTree) -> Self {
+        let boxes = (0..tree.num_nodes())
+            .map(|id| BoundingBox::from_rows(points, tree.node(id).range()))
+            .collect();
+        ClusterGeometry { boxes }
+    }
+
+    /// Bounding box of tree node `id`.
+    pub fn bounding_box(&self, id: usize) -> &BoundingBox {
+        &self.boxes[id]
+    }
+
+    /// Strong admissibility test for the cluster pair `(s, t)`.
+    pub fn is_admissible(&self, s: usize, t: usize, eta: f64) -> bool {
+        let bs = &self.boxes[s];
+        let bt = &self.boxes[t];
+        let dist = bs.distance(bt);
+        if dist <= 0.0 {
+            return false;
+        }
+        bs.diameter().min(bt.diameter()) <= eta * dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hkrr_clustering::{cluster, ClusteringMethod};
+
+    #[test]
+    fn bounding_box_of_points() {
+        let p = Matrix::from_rows(&[vec![0.0, 1.0], vec![2.0, -1.0], vec![1.0, 0.5]]);
+        let b = BoundingBox::from_rows(&p, 0..3);
+        assert_eq!(b.min, vec![0.0, -1.0]);
+        assert_eq!(b.max, vec![2.0, 1.0]);
+        assert!((b.diameter() - (4.0_f64 + 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_between_separated_and_overlapping_boxes() {
+        let a = BoundingBox {
+            min: vec![0.0, 0.0],
+            max: vec![1.0, 1.0],
+        };
+        let b = BoundingBox {
+            min: vec![4.0, 0.0],
+            max: vec![5.0, 1.0],
+        };
+        assert!((a.distance(&b) - 3.0).abs() < 1e-12);
+        let c = BoundingBox {
+            min: vec![0.5, 0.5],
+            max: vec![2.0, 2.0],
+        };
+        assert_eq!(a.distance(&c), 0.0);
+    }
+
+    #[test]
+    fn empty_range_collapses_to_origin() {
+        let p = Matrix::zeros(5, 2);
+        let b = BoundingBox::from_rows(&p, 3..3);
+        assert_eq!(b.diameter(), 0.0);
+    }
+
+    #[test]
+    fn admissibility_separates_far_clusters() {
+        // Two tight blobs far apart: the sibling pair at the root must be
+        // admissible; a cluster against itself (distance 0) never is.
+        let n = 64;
+        let points = Matrix::from_fn(n, 2, |i, j| {
+            let c = if i < n / 2 { 0.0 } else { 100.0 };
+            c + 0.01 * ((i * 7 + j) % 13) as f64
+        });
+        let ordering = cluster(&points, ClusteringMethod::KdTree, 8);
+        let permuted = points.select_rows(ordering.permutation());
+        let geom = ClusterGeometry::new(&permuted, ordering.tree());
+        let root = ordering.tree().root();
+        let c1 = ordering.tree().node(root).left.unwrap();
+        let c2 = ordering.tree().node(root).right.unwrap();
+        assert!(geom.is_admissible(c1, c2, 1.0));
+        assert!(!geom.is_admissible(c1, c1, 1.0));
+    }
+
+    #[test]
+    fn small_eta_is_stricter() {
+        let points = Matrix::from_fn(40, 1, |i, _| i as f64);
+        let ordering = cluster(&points, ClusteringMethod::Natural, 8);
+        let geom = ClusterGeometry::new(&points, ordering.tree());
+        let root = ordering.tree().root();
+        let c1 = ordering.tree().node(root).left.unwrap();
+        let c2 = ordering.tree().node(root).right.unwrap();
+        // Adjacent half-lines: diam 19, dist 1 -> admissible only for
+        // very large eta.
+        assert!(!geom.is_admissible(c1, c2, 1.0));
+        assert!(geom.is_admissible(c1, c2, 25.0));
+    }
+}

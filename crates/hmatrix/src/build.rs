@@ -1,0 +1,257 @@
+//! Block cluster tree traversal: assembling the H-matrix.
+//!
+//! Starting from the (root, root) cluster pair, each pair is classified as
+//! admissible (→ ACA low-rank block), a pair of leaves (→ dense block), or
+//! neither (→ recurse into the 2×2 children pairs).  Block compression is
+//! parallelized over the discovered pairs with rayon.
+
+use crate::aca::{aca_compress, AcaOptions};
+use crate::admissibility::ClusterGeometry;
+use crate::{HBlock, HBlockKind, HMatrix};
+use hkrr_clustering::ClusterTree;
+use hkrr_linalg::{LinearOperator, Matrix};
+use rayon::prelude::*;
+
+/// Options for H-matrix construction.
+#[derive(Debug, Clone, Copy)]
+pub struct HOptions {
+    /// Relative ACA tolerance for admissible blocks.
+    pub tolerance: f64,
+    /// Admissibility parameter `eta`; larger values compress more block
+    /// pairs (weaker separation requirement).
+    pub eta: f64,
+    /// Hard cap on the rank of a compressed block (0 = unlimited).
+    pub max_rank: usize,
+}
+
+impl Default for HOptions {
+    fn default() -> Self {
+        HOptions {
+            tolerance: 1e-6,
+            eta: 2.0,
+            max_rank: 0,
+        }
+    }
+}
+
+/// Builds the H-matrix approximation of `op` over the cluster tree `tree`.
+///
+/// `points` must be the *permuted* point matrix (row `i` holds the point at
+/// permuted index `i`) so the cluster geometry matches the operator's index
+/// space.
+pub fn build_hmatrix(
+    op: &dyn LinearOperator,
+    points: &Matrix,
+    tree: &ClusterTree,
+    opts: &HOptions,
+) -> HMatrix {
+    let n = op.nrows();
+    assert_eq!(op.ncols(), n, "build_hmatrix: operator must be square");
+    assert_eq!(
+        points.nrows(),
+        n,
+        "build_hmatrix: points and operator dimension mismatch"
+    );
+    assert_eq!(
+        tree.root_size(),
+        n,
+        "build_hmatrix: cluster tree does not cover the operator"
+    );
+
+    let geometry = ClusterGeometry::new(points, tree);
+
+    // Discover the block partition first (cheap), then compress the blocks
+    // in parallel (expensive).
+    #[derive(Clone, Copy)]
+    enum Plan {
+        Dense,
+        LowRank,
+    }
+    let mut plan: Vec<(usize, usize, Plan)> = Vec::new();
+    let mut stack = vec![(tree.root(), tree.root())];
+    while let Some((s, t)) = stack.pop() {
+        let ns = tree.node(s);
+        let nt = tree.node(t);
+        if s != t && geometry.is_admissible(s, t, opts.eta) {
+            plan.push((s, t, Plan::LowRank));
+            continue;
+        }
+        match ((ns.left, ns.right), (nt.left, nt.right)) {
+            ((Some(sl), Some(sr)), (Some(tl), Some(tr))) => {
+                stack.push((sl, tl));
+                stack.push((sl, tr));
+                stack.push((sr, tl));
+                stack.push((sr, tr));
+            }
+            ((Some(sl), Some(sr)), (None, None)) => {
+                stack.push((sl, t));
+                stack.push((sr, t));
+            }
+            ((None, None), (Some(tl), Some(tr))) => {
+                stack.push((s, tl));
+                stack.push((s, tr));
+            }
+            _ => {
+                plan.push((s, t, Plan::Dense));
+            }
+        }
+    }
+
+    let aca_opts = AcaOptions {
+        tolerance: opts.tolerance,
+        max_rank: opts.max_rank,
+    };
+    let blocks: Vec<HBlock> = plan
+        .par_iter()
+        .map(|&(s, t, kind)| {
+            let rows_range = tree.node(s).range();
+            let cols_range = tree.node(t).range();
+            let rows: Vec<usize> = rows_range.clone().collect();
+            let cols: Vec<usize> = cols_range.clone().collect();
+            let kind = match kind {
+                Plan::Dense => HBlockKind::Dense(op.sub_block(&rows, &cols)),
+                Plan::LowRank => HBlockKind::LowRank(aca_compress(op, &rows, &cols, &aca_opts)),
+            };
+            HBlock {
+                rows: rows_range,
+                cols: cols_range,
+                kind,
+            }
+        })
+        .collect();
+
+    HMatrix::from_blocks(n, blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HBlockKind;
+    use hkrr_clustering::{cluster, ClusteringMethod};
+    use hkrr_kernel::{KernelFunction, KernelMatrix};
+    use hkrr_linalg::blas;
+    use hkrr_linalg::random::Pcg64;
+
+    fn clustered_points(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        Matrix::from_fn(n, d, |i, _| {
+            let c = ((i % 4) as f64) * 6.0;
+            c + rng.next_gaussian()
+        })
+    }
+
+    #[test]
+    fn partition_covers_matrix_and_compresses_far_blocks() {
+        let points = clustered_points(240, 2, 1);
+        let ordering = cluster(&points, ClusteringMethod::TwoMeans { seed: 3 }, 16);
+        let permuted = points.select_rows(ordering.permutation());
+        let km = KernelMatrix::new(permuted.clone(), KernelFunction::gaussian(1.0));
+        let h = build_hmatrix(&km, &permuted, ordering.tree(), &HOptions::default());
+        let stats = h.stats();
+        assert!(stats.num_lowrank_blocks > 0, "no admissible blocks found");
+        assert!(stats.num_dense_blocks > 0);
+        let dense = km.assemble_dense();
+        assert!(blas::relative_error(&dense, &h.to_dense()) < 1e-4);
+    }
+
+    #[test]
+    fn eta_zero_disables_compression() {
+        let points = clustered_points(100, 2, 2);
+        let ordering = cluster(&points, ClusteringMethod::KdTree, 16);
+        let permuted = points.select_rows(ordering.permutation());
+        let km = KernelMatrix::new(permuted.clone(), KernelFunction::gaussian(1.0));
+        let h = build_hmatrix(
+            &km,
+            &permuted,
+            ordering.tree(),
+            &HOptions {
+                eta: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(h.stats().num_lowrank_blocks, 0);
+        // With every block dense the representation is exact.
+        let dense = km.assemble_dense();
+        assert!(blas::relative_error(&dense, &h.to_dense()) < 1e-14);
+    }
+
+    #[test]
+    fn larger_eta_compresses_more_blocks() {
+        let points = clustered_points(200, 3, 3);
+        let ordering = cluster(&points, ClusteringMethod::TwoMeans { seed: 9 }, 16);
+        let permuted = points.select_rows(ordering.permutation());
+        let km = KernelMatrix::new(permuted.clone(), KernelFunction::gaussian(1.0));
+        let strict = build_hmatrix(
+            &km,
+            &permuted,
+            ordering.tree(),
+            &HOptions {
+                eta: 0.5,
+                ..Default::default()
+            },
+        );
+        let loose = build_hmatrix(
+            &km,
+            &permuted,
+            ordering.tree(),
+            &HOptions {
+                eta: 4.0,
+                ..Default::default()
+            },
+        );
+        // Looser admissibility compresses larger blocks: the matrix area
+        // covered by low-rank blocks can only grow (the block *count* may
+        // shrink because admissibility then triggers higher in the tree).
+        let lowrank_area = |h: &HMatrix| -> usize {
+            h.blocks()
+                .iter()
+                .filter(|b| matches!(b.kind, HBlockKind::LowRank(_)))
+                .map(|b| b.rows.len() * b.cols.len())
+                .sum()
+        };
+        assert!(lowrank_area(&loose) >= lowrank_area(&strict));
+    }
+
+    #[test]
+    fn single_leaf_tree_gives_one_dense_block() {
+        let points = clustered_points(12, 2, 4);
+        let ordering = cluster(&points, ClusteringMethod::Natural, 16);
+        let km = KernelMatrix::new(points.clone(), KernelFunction::gaussian(1.0));
+        let h = build_hmatrix(&km, &points, ordering.tree(), &HOptions::default());
+        assert_eq!(h.blocks().len(), 1);
+        assert!(matches!(h.blocks()[0].kind, HBlockKind::Dense(_)));
+    }
+
+    #[test]
+    fn hmatrix_as_sampler_for_hss_construction() {
+        // The paper's synergy: compress with H, then use its fast matvec to
+        // build the HSS form.  Verify the resulting HSS is still an accurate
+        // representation of the original kernel matrix.
+        let points = clustered_points(256, 3, 5);
+        let ordering = cluster(&points, ClusteringMethod::TwoMeans { seed: 11 }, 16);
+        let permuted = points.select_rows(ordering.permutation());
+        let km = KernelMatrix::new(permuted.clone(), KernelFunction::gaussian(1.5));
+        let h = build_hmatrix(
+            &km,
+            &permuted,
+            ordering.tree(),
+            &HOptions {
+                tolerance: 1e-8,
+                ..Default::default()
+            },
+        );
+        let hss = hkrr_hss::construct::compress_symmetric(
+            &km,
+            &h,
+            ordering.tree().clone(),
+            &hkrr_hss::HssOptions {
+                tolerance: 1e-7,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let dense = km.assemble_dense();
+        let err = blas::relative_error(&dense, &hss.to_dense());
+        assert!(err < 1e-4, "HSS-from-H-sampling error {err}");
+    }
+}

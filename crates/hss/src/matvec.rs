@@ -1,0 +1,254 @@
+//! HSS matrix-vector products.
+//!
+//! The product `y = A x` is evaluated in two sweeps over the HSS tree: an
+//! upward sweep that compresses the input vector onto the nested column
+//! bases (`z_i = V_i^T x_{I_i}`, computed hierarchically through the
+//! transfer matrices), and a downward sweep that accumulates the coupling
+//! contributions through the `B` blocks and expands them back through the
+//! row bases.  The cost is `O(r n)` with `r` the maximum HSS rank.
+
+use crate::HssMatrix;
+use hkrr_linalg::{blas, LinearOperator, Matrix};
+
+impl HssMatrix {
+    /// `y = (A + λI) x`, where `λ` is the current diagonal shift (already
+    /// folded into the leaf blocks).
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "HssMatrix::matvec: x length mismatch");
+        assert_eq!(y.len(), self.n, "HssMatrix::matvec: y length mismatch");
+        let tree = &self.tree;
+        let root = tree.root();
+
+        // Degenerate single-block representation.
+        if tree.num_nodes() == 1 {
+            let d = self.nodes[root].d.as_ref().expect("single node stores D");
+            blas::gemv(d, x, y);
+            return;
+        }
+
+        let post = tree.postorder();
+
+        // Upward sweep: z_i = (nested V_i)^T x restricted to node i.
+        let mut z: Vec<Vec<f64>> = vec![Vec::new(); tree.num_nodes()];
+        for &id in &post {
+            if id == root {
+                continue;
+            }
+            let node = tree.node(id);
+            let u = self.nodes[id].u.as_ref().expect("non-root node has a basis");
+            if node.is_leaf() {
+                let xi = &x[node.range()];
+                let mut zi = vec![0.0; u.ncols()];
+                blas::gemv_t(u, xi, &mut zi);
+                z[id] = zi;
+            } else {
+                let c1 = node.left.unwrap();
+                let c2 = node.right.unwrap();
+                let merged: Vec<f64> = z[c1].iter().chain(z[c2].iter()).copied().collect();
+                let mut zi = vec![0.0; u.ncols()];
+                blas::gemv_t(u, &merged, &mut zi);
+                z[id] = zi;
+            }
+        }
+
+        // Downward sweep: f_i collects the contribution of everything
+        // outside node i, expressed in the node's row basis.
+        let mut f: Vec<Vec<f64>> = vec![Vec::new(); tree.num_nodes()];
+        for &id in post.iter().rev() {
+            let node = tree.node(id);
+            if node.is_leaf() {
+                continue;
+            }
+            let c1 = node.left.unwrap();
+            let c2 = node.right.unwrap();
+            let b12 = self.nodes[id].b12.as_ref().expect("internal node has B12");
+            let b21 = self.nodes[id].b21.as_ref().expect("internal node has B21");
+            let k1 = self.nodes[c1].rank;
+            let k2 = self.nodes[c2].rank;
+
+            let mut f1 = vec![0.0; k1];
+            let mut f2 = vec![0.0; k2];
+            if id != root {
+                // Pass the parent's contribution through the transfer matrix.
+                let u = self.nodes[id].u.as_ref().unwrap();
+                let fi = &f[id];
+                let mut g = vec![0.0; u.nrows()];
+                blas::gemv(u, fi, &mut g);
+                f1.copy_from_slice(&g[..k1]);
+                f2.copy_from_slice(&g[k1..]);
+            }
+            // Sibling coupling through the B blocks.
+            let mut tmp1 = vec![0.0; k1];
+            blas::gemv(b12, &z[c2], &mut tmp1);
+            blas::axpy(1.0, &tmp1, &mut f1);
+            let mut tmp2 = vec![0.0; k2];
+            blas::gemv(b21, &z[c1], &mut tmp2);
+            blas::axpy(1.0, &tmp2, &mut f2);
+
+            f[c1] = f1;
+            f[c2] = f2;
+        }
+
+        // Leaves: y(I_i) = D_i x(I_i) + U_i f_i.
+        for &id in &post {
+            let node = tree.node(id);
+            if !node.is_leaf() || id == root {
+                continue;
+            }
+            let d = self.nodes[id].d.as_ref().expect("leaf stores D");
+            let u = self.nodes[id].u.as_ref().unwrap();
+            let range = node.range();
+            let xi = &x[range.clone()];
+            let mut yi = vec![0.0; node.size];
+            blas::gemv(d, xi, &mut yi);
+            if u.ncols() > 0 && !f[id].is_empty() {
+                let mut corr = vec![0.0; node.size];
+                blas::gemv(u, &f[id], &mut corr);
+                blas::axpy(1.0, &corr, &mut yi);
+            }
+            y[range].copy_from_slice(&yi);
+        }
+    }
+
+    /// Multi-vector product `Y = A X` (column by column).
+    pub fn matmat(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.nrows(), self.n, "HssMatrix::matmat: dimension mismatch");
+        let mut out = Matrix::zeros(self.n, x.ncols());
+        let mut y = vec![0.0; self.n];
+        for j in 0..x.ncols() {
+            self.matvec(&x.col(j), &mut y);
+            out.set_col(j, &y);
+        }
+        out
+    }
+}
+
+impl LinearOperator for HssMatrix {
+    fn nrows(&self) -> usize {
+        self.n
+    }
+
+    fn ncols(&self) -> usize {
+        self.n
+    }
+
+    /// Entry access reconstructs a full column through a matvec, so it is
+    /// `O(r n)` per entry — fine for spot checks, not for assembling blocks.
+    fn entry(&self, i: usize, j: usize) -> f64 {
+        let mut x = vec![0.0; self.n];
+        x[j] = 1.0;
+        let mut y = vec![0.0; self.n];
+        self.matvec(&x, &mut y);
+        y[i]
+    }
+
+    fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        HssMatrix::matvec(self, x, y);
+    }
+
+    fn rmatvec(&self, x: &[f64], y: &mut [f64]) {
+        // Symmetric representation.
+        HssMatrix::matvec(self, x, y);
+    }
+
+    fn matmat(&self, x: &Matrix) -> Matrix {
+        HssMatrix::matmat(self, x)
+    }
+
+    fn rmatmat(&self, x: &Matrix) -> Matrix {
+        HssMatrix::matmat(self, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::construct::{compress_symmetric, HssOptions};
+    use hkrr_clustering::{cluster, ClusteringMethod};
+    use hkrr_linalg::random::Pcg64;
+    use hkrr_linalg::{blas, LinearOperator, Matrix};
+
+    fn kernel_1d(n: usize, h: f64) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            let d = (i as f64 - j as f64) / n as f64;
+            (-d * d / (2.0 * h * h)).exp()
+        })
+    }
+
+    fn build(n: usize, leaf: usize, tol: f64) -> (Matrix, crate::HssMatrix) {
+        let a = kernel_1d(n, 0.07);
+        let points = Matrix::from_fn(n, 1, |i, _| i as f64);
+        let tree = cluster(&points, ClusteringMethod::Natural, leaf).tree().clone();
+        let opts = HssOptions {
+            tolerance: tol,
+            ..Default::default()
+        };
+        let hss = compress_symmetric(&a, &a, tree, &opts).unwrap();
+        (a, hss)
+    }
+
+    #[test]
+    fn matvec_matches_dense_gemv() {
+        let (a, hss) = build(200, 16, 1e-8);
+        let mut rng = Pcg64::seed_from_u64(1);
+        let x: Vec<f64> = (0..200).map(|_| rng.next_gaussian()).collect();
+        let mut y_hss = vec![0.0; 200];
+        let mut y_ref = vec![0.0; 200];
+        hss.matvec(&x, &mut y_hss);
+        blas::gemv(&a, &x, &mut y_ref);
+        let scale = blas::nrm2(&y_ref);
+        let err = y_hss
+            .iter()
+            .zip(y_ref.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+            / scale;
+        assert!(err < 1e-6, "relative matvec error {err}");
+    }
+
+    #[test]
+    fn matmat_matches_dense_matmul() {
+        let (a, hss) = build(128, 16, 1e-8);
+        let mut rng = Pcg64::seed_from_u64(2);
+        let x = hkrr_linalg::random::gaussian_matrix(&mut rng, 128, 5);
+        let y_hss = hss.matmat(&x);
+        let y_ref = blas::matmul(&a, &x);
+        assert!(blas::relative_error(&y_ref, &y_hss) < 1e-6);
+    }
+
+    #[test]
+    fn operator_entry_matches_dense() {
+        let (a, hss) = build(96, 16, 1e-9);
+        for &(i, j) in &[(0, 0), (5, 80), (50, 3), (95, 95)] {
+            assert!((LinearOperator::entry(&hss, i, j) - a[(i, j)]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matvec_on_unit_vectors_reconstructs_columns() {
+        let (a, hss) = build(80, 8, 1e-9);
+        let dense = hss.to_dense();
+        assert!(blas::relative_error(&a, &dense) < 1e-6);
+    }
+
+    #[test]
+    fn rmatvec_equals_matvec_for_symmetric_matrix() {
+        let (_, hss) = build(64, 8, 1e-8);
+        let mut rng = Pcg64::seed_from_u64(3);
+        let x: Vec<f64> = (0..64).map(|_| rng.next_gaussian()).collect();
+        let mut y1 = vec![0.0; 64];
+        let mut y2 = vec![0.0; 64];
+        hss.matvec(&x, &mut y1);
+        LinearOperator::rmatvec(&hss, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matvec_rejects_wrong_length() {
+        let (_, hss) = build(32, 8, 1e-6);
+        let x = vec![0.0; 31];
+        let mut y = vec![0.0; 32];
+        hss.matvec(&x, &mut y);
+    }
+}

@@ -1,0 +1,109 @@
+//! Summary statistics of an HSS representation (the metrics of Section 4.2
+//! of the paper: memory, maximum rank, structure).
+
+use crate::HssMatrix;
+
+/// Aggregate statistics of a compressed HSS matrix.
+#[derive(Debug, Clone)]
+pub struct HssStats {
+    /// Matrix dimension.
+    pub dim: usize,
+    /// Total memory of all stored factors, in bytes.
+    pub memory_bytes: usize,
+    /// Total memory in MB (the unit of Table 2 / Figure 5).
+    pub memory_mb: f64,
+    /// Memory a dense matrix of the same size would need, in bytes.
+    pub dense_bytes: usize,
+    /// Compression ratio `dense / compressed` (> 1 means compression).
+    pub compression_ratio: f64,
+    /// Largest HSS rank over all nodes ("Maximum rank" in the paper).
+    pub max_rank: usize,
+    /// Ranks of every non-root node, in postorder.
+    pub ranks: Vec<usize>,
+    /// Number of tree nodes.
+    pub num_nodes: usize,
+    /// Number of leaves.
+    pub num_leaves: usize,
+}
+
+impl HssStats {
+    /// Gathers the statistics of a compressed matrix.
+    pub fn from_matrix(hss: &HssMatrix) -> Self {
+        let dim = hss.dim();
+        let memory_bytes = hss.memory_bytes();
+        let dense_bytes = dim * dim * std::mem::size_of::<f64>();
+        let tree = hss.tree();
+        let root = tree.root();
+        let ranks: Vec<usize> = tree
+            .postorder()
+            .into_iter()
+            .filter(|&id| id != root)
+            .map(|id| hss.node_data(id).rank)
+            .collect();
+        HssStats {
+            dim,
+            memory_bytes,
+            memory_mb: memory_bytes as f64 / (1024.0 * 1024.0),
+            dense_bytes,
+            compression_ratio: if memory_bytes > 0 {
+                dense_bytes as f64 / memory_bytes as f64
+            } else {
+                f64::INFINITY
+            },
+            max_rank: hss.max_rank(),
+            ranks,
+            num_nodes: tree.num_nodes(),
+            num_leaves: tree.leaves().len(),
+        }
+    }
+}
+
+impl std::fmt::Display for HssStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "HSS n={} mem={:.2}MB ({:.1}x vs dense) max-rank={} leaves={}",
+            self.dim, self.memory_mb, self.compression_ratio, self.max_rank, self.num_leaves
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::construct::{compress_symmetric, HssOptions};
+    use hkrr_clustering::{cluster, ClusteringMethod};
+    use hkrr_linalg::Matrix;
+
+    fn build(n: usize) -> crate::HssMatrix {
+        let a = Matrix::from_fn(n, n, |i, j| {
+            let d = (i as f64 - j as f64) / n as f64;
+            (-d * d / 0.02).exp()
+        });
+        let points = Matrix::from_fn(n, 1, |i, _| i as f64);
+        let tree = cluster(&points, ClusteringMethod::Natural, 16).tree().clone();
+        compress_symmetric(&a, &a, tree, &HssOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn stats_are_consistent_with_matrix() {
+        let hss = build(256);
+        let s = hss.stats();
+        assert_eq!(s.dim, 256);
+        assert_eq!(s.memory_bytes, hss.memory_bytes());
+        assert_eq!(s.max_rank, hss.max_rank());
+        assert_eq!(s.dense_bytes, 256 * 256 * 8);
+        assert!(s.compression_ratio > 1.0, "expected compression, got {}", s.compression_ratio);
+        assert_eq!(s.num_nodes, hss.tree().num_nodes());
+        assert_eq!(s.num_leaves, hss.tree().leaves().len());
+        assert_eq!(s.ranks.len(), s.num_nodes - 1);
+        assert_eq!(s.ranks.iter().copied().max().unwrap(), s.max_rank);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let hss = build(128);
+        let text = hss.stats().to_string();
+        assert!(text.contains("n=128"));
+        assert!(text.contains("max-rank"));
+    }
+}

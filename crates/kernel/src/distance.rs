@@ -1,0 +1,154 @@
+//! Pairwise-distance helpers shared by the clustering algorithms and the
+//! kernel-matrix assembly.
+
+use hkrr_linalg::Matrix;
+use rayon::prelude::*;
+
+/// Squared Euclidean distance between row `i` and row `j` of `points`.
+#[inline]
+pub fn row_distance_sq(points: &Matrix, i: usize, j: usize) -> f64 {
+    crate::kernels::squared_distance(points.row(i), points.row(j))
+}
+
+/// Full pairwise squared-distance matrix (`n x n`).
+///
+/// Only used on small inputs (agglomerative clustering, diagnostics); the
+/// scalable paths never materialize it.
+pub fn pairwise_sq_distances(points: &Matrix) -> Matrix {
+    let n = points.nrows();
+    let mut d = Matrix::zeros(n, n);
+    // Parallel over rows; each task fills one disjoint row.
+    let cols = n;
+    d.data_mut()
+        .par_chunks_mut(cols)
+        .enumerate()
+        .for_each(|(i, row)| {
+            for (j, dst) in row.iter_mut().enumerate() {
+                *dst = crate::kernels::squared_distance(points.row(i), points.row(j));
+            }
+        });
+    d
+}
+
+/// Squared distances from every row of `points` to a single `center`.
+pub fn distances_to_center(points: &Matrix, center: &[f64]) -> Vec<f64> {
+    (0..points.nrows())
+        .into_par_iter()
+        .map(|i| crate::kernels::squared_distance(points.row(i), center))
+        .collect()
+}
+
+/// Centroid (mean point) of the selected rows.
+pub fn centroid(points: &Matrix, idx: &[usize]) -> Vec<f64> {
+    let d = points.ncols();
+    let mut c = vec![0.0; d];
+    if idx.is_empty() {
+        return c;
+    }
+    for &i in idx {
+        for (cd, &x) in c.iter_mut().zip(points.row(i).iter()) {
+            *cd += x;
+        }
+    }
+    let inv = 1.0 / idx.len() as f64;
+    for cd in c.iter_mut() {
+        *cd *= inv;
+    }
+    c
+}
+
+/// Per-coordinate mean and spread (max - min) of the selected rows.
+///
+/// Used by the k-d tree ordering to pick the splitting dimension.
+pub fn coordinate_stats(points: &Matrix, idx: &[usize]) -> (Vec<f64>, Vec<f64>) {
+    let d = points.ncols();
+    let mut mean = vec![0.0; d];
+    let mut min = vec![f64::INFINITY; d];
+    let mut max = vec![f64::NEG_INFINITY; d];
+    for &i in idx {
+        for (k, &x) in points.row(i).iter().enumerate() {
+            mean[k] += x;
+            if x < min[k] {
+                min[k] = x;
+            }
+            if x > max[k] {
+                max[k] = x;
+            }
+        }
+    }
+    let inv = if idx.is_empty() { 0.0 } else { 1.0 / idx.len() as f64 };
+    for m in mean.iter_mut() {
+        *m *= inv;
+    }
+    let spread: Vec<f64> = (0..d)
+        .map(|k| {
+            if idx.is_empty() {
+                0.0
+            } else {
+                max[k] - min[k]
+            }
+        })
+        .collect();
+    (mean, spread)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_points() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![3.0, 4.0],
+        ])
+    }
+
+    #[test]
+    fn row_distance_matches_manual() {
+        let p = sample_points();
+        assert_eq!(row_distance_sq(&p, 0, 1), 1.0);
+        assert_eq!(row_distance_sq(&p, 0, 3), 25.0);
+        assert_eq!(row_distance_sq(&p, 2, 2), 0.0);
+    }
+
+    #[test]
+    fn pairwise_matrix_is_symmetric_with_zero_diagonal() {
+        let p = sample_points();
+        let d = pairwise_sq_distances(&p);
+        assert!(d.is_symmetric(1e-15));
+        for i in 0..4 {
+            assert_eq!(d[(i, i)], 0.0);
+        }
+        assert_eq!(d[(0, 3)], 25.0);
+    }
+
+    #[test]
+    fn distances_to_center_matches_rowwise() {
+        let p = sample_points();
+        let c = vec![1.0, 1.0];
+        let d = distances_to_center(&p, &c);
+        assert_eq!(d, vec![2.0, 1.0, 2.0, 13.0]);
+    }
+
+    #[test]
+    fn centroid_of_subset() {
+        let p = sample_points();
+        let c = centroid(&p, &[0, 1]);
+        assert_eq!(c, vec![0.5, 0.0]);
+        let all = centroid(&p, &[0, 1, 2, 3]);
+        assert_eq!(all, vec![1.0, 1.5]);
+        assert_eq!(centroid(&p, &[]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn coordinate_stats_mean_and_spread() {
+        let p = sample_points();
+        let (mean, spread) = coordinate_stats(&p, &[0, 1, 2, 3]);
+        assert_eq!(mean, vec![1.0, 1.5]);
+        assert_eq!(spread, vec![3.0, 4.0]);
+        let (_, spread_sub) = coordinate_stats(&p, &[0, 1]);
+        assert_eq!(spread_sub, vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Kernel functions.
+//!
+//! The paper studies the Gaussian radial basis function (Eq. 1.1); the
+//! Laplacian, polynomial and linear kernels are provided as well so the
+//! pipeline can be exercised on kernels with different rank behaviour.
+
+/// A positive (semi-)definite kernel `K(x, y)` on `R^d`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelFunction {
+    /// Gaussian RBF: `exp(-||x - y||^2 / (2 h^2))` — Eq. (1.1) of the paper.
+    Gaussian {
+        /// Bandwidth `h`.  Small `h` drives `K` towards the identity; large
+        /// `h` towards the rank-one all-ones matrix.
+        h: f64,
+    },
+    /// Laplacian kernel: `exp(-||x - y|| / h)`.
+    Laplacian {
+        /// Bandwidth `h`.
+        h: f64,
+    },
+    /// Polynomial kernel: `(x·y + c)^degree`.
+    Polynomial {
+        /// Polynomial degree.
+        degree: u32,
+        /// Additive constant `c`.
+        c: f64,
+    },
+    /// Linear kernel: `x·y` (recovers classical ridge regression).
+    Linear,
+}
+
+impl KernelFunction {
+    /// The most common constructor: a Gaussian kernel of bandwidth `h`.
+    pub fn gaussian(h: f64) -> Self {
+        assert!(h > 0.0, "Gaussian kernel requires h > 0");
+        KernelFunction::Gaussian { h }
+    }
+
+    /// Evaluates the kernel on two points.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the points have different dimensions.
+    #[inline]
+    pub fn evaluate(&self, x: &[f64], y: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), y.len(), "kernel points must share dimension");
+        match *self {
+            KernelFunction::Gaussian { h } => {
+                let d2 = squared_distance(x, y);
+                (-d2 / (2.0 * h * h)).exp()
+            }
+            KernelFunction::Laplacian { h } => {
+                let d = squared_distance(x, y).sqrt();
+                (-d / h).exp()
+            }
+            KernelFunction::Polynomial { degree, c } => {
+                let dot: f64 = x.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+                (dot + c).powi(degree as i32)
+            }
+            KernelFunction::Linear => x.iter().zip(y.iter()).map(|(a, b)| a * b).sum(),
+        }
+    }
+
+    /// Evaluates the kernel from a precomputed squared distance (only valid
+    /// for radial kernels).
+    ///
+    /// # Panics
+    /// Panics for non-radial kernels.
+    #[inline]
+    pub fn evaluate_from_sq_dist(&self, d2: f64) -> f64 {
+        match *self {
+            KernelFunction::Gaussian { h } => (-d2 / (2.0 * h * h)).exp(),
+            KernelFunction::Laplacian { h } => (-d2.sqrt() / h).exp(),
+            _ => panic!("evaluate_from_sq_dist is only defined for radial kernels"),
+        }
+    }
+
+    /// Whether the kernel depends only on the distance `||x - y||`.
+    pub fn is_radial(&self) -> bool {
+        matches!(
+            self,
+            KernelFunction::Gaussian { .. } | KernelFunction::Laplacian { .. }
+        )
+    }
+
+    /// Returns the bandwidth for radial kernels.
+    pub fn bandwidth(&self) -> Option<f64> {
+        match *self {
+            KernelFunction::Gaussian { h } | KernelFunction::Laplacian { h } => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Returns a copy of this kernel with a different bandwidth (radial
+    /// kernels only); non-radial kernels are returned unchanged.
+    pub fn with_bandwidth(&self, h: f64) -> Self {
+        match *self {
+            KernelFunction::Gaussian { .. } => KernelFunction::Gaussian { h },
+            KernelFunction::Laplacian { .. } => KernelFunction::Laplacian { h },
+            other => other,
+        }
+    }
+}
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn squared_distance(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        let d = a - b;
+        s += d * d;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_kernel_at_zero_distance_is_one() {
+        let k = KernelFunction::gaussian(1.0);
+        let x = vec![1.0, 2.0, 3.0];
+        assert!((k.evaluate(&x, &x) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gaussian_kernel_decays_with_distance() {
+        let k = KernelFunction::gaussian(1.0);
+        let o = vec![0.0, 0.0];
+        let near = k.evaluate(&o, &[0.5, 0.0]);
+        let far = k.evaluate(&o, &[3.0, 0.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+        // exact value: exp(-9/2)
+        assert!((far - (-4.5_f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gaussian_bandwidth_limits() {
+        // h -> 0: K approaches identity (off-diagonal entries vanish).
+        let k_small = KernelFunction::gaussian(1e-3);
+        assert!(k_small.evaluate(&[0.0], &[1.0]) < 1e-100);
+        // h -> infinity: K approaches the all-ones matrix.
+        let k_large = KernelFunction::gaussian(1e6);
+        assert!((k_large.evaluate(&[0.0], &[1.0]) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gaussian_is_symmetric() {
+        let k = KernelFunction::gaussian(2.0);
+        let x = vec![1.0, -2.0, 0.5];
+        let y = vec![0.0, 4.0, 2.0];
+        assert_eq!(k.evaluate(&x, &y), k.evaluate(&y, &x));
+    }
+
+    #[test]
+    fn laplacian_kernel_values() {
+        let k = KernelFunction::Laplacian { h: 2.0 };
+        assert!((k.evaluate(&[0.0], &[0.0]) - 1.0).abs() < 1e-15);
+        assert!((k.evaluate(&[0.0], &[2.0]) - (-1.0_f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn polynomial_and_linear_kernels() {
+        let p = KernelFunction::Polynomial { degree: 2, c: 1.0 };
+        assert_eq!(p.evaluate(&[1.0, 2.0], &[3.0, 4.0]), (11.0 + 1.0) * 12.0);
+        let l = KernelFunction::Linear;
+        assert_eq!(l.evaluate(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn radial_classification() {
+        assert!(KernelFunction::gaussian(1.0).is_radial());
+        assert!(KernelFunction::Laplacian { h: 1.0 }.is_radial());
+        assert!(!KernelFunction::Linear.is_radial());
+        assert_eq!(KernelFunction::gaussian(3.0).bandwidth(), Some(3.0));
+        assert_eq!(KernelFunction::Linear.bandwidth(), None);
+    }
+
+    #[test]
+    fn evaluate_from_sq_dist_matches_evaluate() {
+        let k = KernelFunction::gaussian(1.5);
+        let x = vec![1.0, 2.0];
+        let y = vec![-1.0, 0.5];
+        let d2 = squared_distance(&x, &y);
+        assert!((k.evaluate(&x, &y) - k.evaluate_from_sq_dist(d2)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_sq_dist_panics_for_linear() {
+        KernelFunction::Linear.evaluate_from_sq_dist(1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gaussian_requires_positive_bandwidth() {
+        let _ = KernelFunction::gaussian(0.0);
+    }
+
+    #[test]
+    fn with_bandwidth_changes_only_radial() {
+        let g = KernelFunction::gaussian(1.0).with_bandwidth(2.0);
+        assert_eq!(g.bandwidth(), Some(2.0));
+        let l = KernelFunction::Linear.with_bandwidth(2.0);
+        assert_eq!(l, KernelFunction::Linear);
+    }
+
+    #[test]
+    fn squared_distance_basic() {
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(squared_distance(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # hkrr-kernel
+//!
+//! Kernel functions, pairwise-distance utilities and the *partially
+//! matrix-free* kernel-matrix operator used by the hierarchical solvers.
+//!
+//! The central type is [`KernelMatrix`]: it holds the (reordered) training
+//! points and a [`KernelFunction`] and exposes the kernel matrix
+//! `K_ij = K(x_i, x_j)` through the [`hkrr_linalg::LinearOperator`] trait —
+//! individual entries and parallel matrix-vector products — without ever
+//! storing the full `n x n` matrix.  This mirrors the interface STRUMPACK's
+//! randomized HSS construction consumes.
+
+pub mod distance;
+pub mod kernel_matrix;
+pub mod kernels;
+pub mod normalize;
+
+pub use kernel_matrix::{CrossKernel, KernelMatrix};
+pub use kernels::KernelFunction;
+pub use normalize::{NormalizationStats, Normalizer};

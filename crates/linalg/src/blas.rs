@@ -1,0 +1,343 @@
+//! BLAS-like dense kernels (level 1, 2 and 3) with rayon parallelism.
+//!
+//! The level-3 kernels parallelize over row blocks of the output matrix;
+//! this keeps every rayon task writing to a disjoint slice of the output so
+//! no synchronization is needed, following the data-parallel style of the
+//! rayon guide.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Below this many output elements the parallel GEMM/GEMV kernels fall back
+/// to the sequential path; spawning rayon tasks for tiny blocks costs more
+/// than the multiply itself.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// Dot product of two equally-long slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm of a slice.
+pub fn nrm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// `y += alpha * x` for slices.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales a slice in place: `x *= alpha`.
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Squared Euclidean distance between two points.
+pub fn distance_sq(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "distance_sq: length mismatch");
+    x.iter()
+        .zip(y.iter())
+        .map(|(a, b)| {
+            let d = a - b;
+            d * d
+        })
+        .sum()
+}
+
+/// Dense matrix-vector product `y = A x` (sequential core).
+fn gemv_seq(a: &Matrix, x: &[f64], y: &mut [f64]) {
+    for i in 0..a.nrows() {
+        y[i] = dot(a.row(i), x);
+    }
+}
+
+/// Dense matrix-vector product `y = A x`, parallel over rows of `A`.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemv(a: &Matrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(a.ncols(), x.len(), "gemv: A.ncols != x.len");
+    assert_eq!(a.nrows(), y.len(), "gemv: A.nrows != y.len");
+    if a.nrows() * a.ncols() < PAR_THRESHOLD {
+        gemv_seq(a, x, y);
+        return;
+    }
+    y.par_iter_mut().enumerate().for_each(|(i, yi)| {
+        *yi = dot(a.row(i), x);
+    });
+}
+
+/// Dense transposed matrix-vector product `y = A^T x`.
+pub fn gemv_t(a: &Matrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(a.nrows(), x.len(), "gemv_t: A.nrows != x.len");
+    assert_eq!(a.ncols(), y.len(), "gemv_t: A.ncols != y.len");
+    for yi in y.iter_mut() {
+        *yi = 0.0;
+    }
+    for i in 0..a.nrows() {
+        axpy(x[i], a.row(i), y);
+    }
+}
+
+/// General matrix multiply `C = A * B`.
+///
+/// Parallelizes over rows of `C`; each task owns a disjoint row slice.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "matmul: inner dimensions do not match ({}x{} * {}x{})",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols()
+    );
+    let (m, k) = a.shape();
+    let n = b.ncols();
+    let mut c = Matrix::zeros(m, n);
+    let work = m * n * k;
+    if work < PAR_THRESHOLD * 8 {
+        matmul_into_seq(a, b, &mut c);
+        return c;
+    }
+    let b_data = b.data();
+    c.data_mut()
+        .par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, crow)| {
+            let arow = a.row(i);
+            for (l, &ail) in arow.iter().enumerate() {
+                if ail == 0.0 {
+                    continue;
+                }
+                let brow = &b_data[l * n..(l + 1) * n];
+                for (cj, bj) in crow.iter_mut().zip(brow.iter()) {
+                    *cj += ail * bj;
+                }
+            }
+        });
+    c
+}
+
+fn matmul_into_seq(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    let n = b.ncols();
+    for i in 0..m {
+        // i-k-j loop order streams rows of B, friendly to row-major storage.
+        for l in 0..k {
+            let ail = a[(i, l)];
+            if ail == 0.0 {
+                continue;
+            }
+            let brow = b.row(l);
+            let crow = c.row_mut(i);
+            for j in 0..n {
+                crow[j] += ail * brow[j];
+            }
+        }
+    }
+}
+
+/// `C = A^T * B`.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.nrows(), b.nrows(), "matmul_tn: row mismatch");
+    // Transposing A is O(mk) while the multiply is O(mkn); the copy is cheap
+    // and lets us reuse the row-parallel kernel.
+    matmul(&a.transpose(), b)
+}
+
+/// `C = A * B^T`.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.ncols(), b.ncols(), "matmul_nt: col mismatch");
+    let (m, k) = a.shape();
+    let n = b.nrows();
+    let mut c = Matrix::zeros(m, n);
+    let work = m * n * k;
+    if work < PAR_THRESHOLD * 8 {
+        for i in 0..m {
+            for j in 0..n {
+                c[(i, j)] = dot(a.row(i), b.row(j));
+            }
+        }
+        return c;
+    }
+    c.data_mut()
+        .par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, crow)| {
+            let arow = a.row(i);
+            for (j, cj) in crow.iter_mut().enumerate() {
+                *cj = dot(arow, b.row(j));
+            }
+        });
+    c
+}
+
+/// Symmetric rank-k update `C = A * A^T` (returns the full symmetric matrix).
+pub fn syrk(a: &Matrix) -> Matrix {
+    let m = a.nrows();
+    let mut c = Matrix::zeros(m, m);
+    for i in 0..m {
+        for j in i..m {
+            let v = dot(a.row(i), a.row(j));
+            c[(i, j)] = v;
+            c[(j, i)] = v;
+        }
+    }
+    c
+}
+
+/// `y = alpha * A x + beta * y`.
+pub fn gemv_full(alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(a.ncols(), x.len(), "gemv_full: A.ncols != x.len");
+    assert_eq!(a.nrows(), y.len(), "gemv_full: A.nrows != y.len");
+    for i in 0..a.nrows() {
+        y[i] = alpha * dot(a.row(i), x) + beta * y[i];
+    }
+}
+
+/// Computes the relative Frobenius-norm error `||A - B||_F / ||A||_F`.
+///
+/// Returns the absolute error when `||A||_F` is zero.
+pub fn relative_error(a: &Matrix, b: &Matrix) -> f64 {
+    let diff = a.sub(b).norm_fro();
+    let denom = a.norm_fro();
+    if denom == 0.0 {
+        diff
+    } else {
+        diff / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::Pcg64;
+
+    #[test]
+    fn dot_axpy_nrm2() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![4.0, 5.0, 6.0];
+        assert_eq!(dot(&x, &y), 32.0);
+        assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        let mut z = y.clone();
+        axpy(2.0, &x, &mut z);
+        assert_eq!(z, vec![6.0, 9.0, 12.0]);
+        let mut w = x.clone();
+        scal(0.5, &mut w);
+        assert_eq!(w, vec![0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn distance() {
+        assert_eq!(distance_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn gemv_matches_manual() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = vec![1.0, 0.0, -1.0];
+        let mut y = vec![0.0; 2];
+        gemv(&a, &x, &mut y);
+        assert_eq!(y, vec![-2.0, -2.0]);
+        let mut yt = vec![0.0; 3];
+        gemv_t(&a, &[1.0, 1.0], &mut yt);
+        assert_eq!(yt, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn gemv_full_alpha_beta() {
+        let a = Matrix::identity(3);
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![1.0, 1.0, 1.0];
+        gemv_full(2.0, &a, &x, -1.0, &mut y);
+        assert_eq!(y, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = matmul(&a, &b);
+        assert!(c.approx_eq(&Matrix::from_vec(2, 2, vec![19.0, 22.0, 43.0, 50.0]), 1e-14));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        let a = crate::random::gaussian_matrix(&mut rng, 17, 23);
+        let c = matmul(&a, &Matrix::identity(23));
+        assert!(c.approx_eq(&a, 1e-13));
+        let c2 = matmul(&Matrix::identity(17), &a);
+        assert!(c2.approx_eq(&a, 1e-13));
+    }
+
+    #[test]
+    fn parallel_matmul_matches_sequential() {
+        let mut rng = Pcg64::seed_from_u64(11);
+        let a = crate::random::gaussian_matrix(&mut rng, 120, 90);
+        let b = crate::random::gaussian_matrix(&mut rng, 90, 70);
+        let c_par = matmul(&a, &b);
+        let mut c_seq = Matrix::zeros(120, 70);
+        matmul_into_seq(&a, &b, &mut c_seq);
+        assert!(relative_error(&c_seq, &c_par) < 1e-13);
+    }
+
+    #[test]
+    fn transposed_products() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let a = crate::random::gaussian_matrix(&mut rng, 20, 15);
+        let b = crate::random::gaussian_matrix(&mut rng, 20, 10);
+        let c = matmul_tn(&a, &b);
+        let c_ref = matmul(&a.transpose(), &b);
+        assert!(relative_error(&c_ref, &c) < 1e-13);
+        let d = matmul_nt(&a, &crate::random::gaussian_matrix(&mut rng, 8, 15));
+        assert_eq!(d.shape(), (20, 8));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        let a = crate::random::gaussian_matrix(&mut rng, 30, 12);
+        let b = crate::random::gaussian_matrix(&mut rng, 25, 12);
+        let c = matmul_nt(&a, &b);
+        let c_ref = matmul(&a, &b.transpose());
+        assert!(relative_error(&c_ref, &c) < 1e-13);
+    }
+
+    #[test]
+    fn syrk_is_symmetric_and_correct() {
+        let mut rng = Pcg64::seed_from_u64(9);
+        let a = crate::random::gaussian_matrix(&mut rng, 10, 6);
+        let c = syrk(&a);
+        assert!(c.is_symmetric(1e-14));
+        let c_ref = matmul(&a, &a.transpose());
+        assert!(relative_error(&c_ref, &c) < 1e-13);
+    }
+
+    #[test]
+    fn relative_error_zero_for_equal() {
+        let a = Matrix::identity(4);
+        assert_eq!(relative_error(&a, &a), 0.0);
+        let z = Matrix::zeros(2, 2);
+        assert_eq!(relative_error(&z, &z), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_dim_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = matmul(&a, &b);
+    }
+}

@@ -1,0 +1,194 @@
+//! Cholesky factorization for symmetric positive-definite matrices.
+//!
+//! `K + λI` with a Gaussian kernel and `λ > 0` is symmetric positive
+//! definite, so the *exact* (dense, non-compressed) baseline of Algorithm 1
+//! uses Cholesky; the hierarchical solvers are validated against it.
+
+use crate::matrix::Matrix;
+use crate::triangular;
+use crate::{LinalgError, LinalgResult};
+
+/// Lower-triangular Cholesky factor `A = L L^T`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+/// Computes the Cholesky factorization of a symmetric positive-definite
+/// matrix.
+///
+/// Only the lower triangle of `a` is referenced.
+///
+/// # Errors
+/// Returns [`LinalgError::NotPositiveDefinite`] if a non-positive pivot is
+/// encountered, and [`LinalgError::DimensionMismatch`] for non-square input.
+pub fn cholesky(a: &Matrix) -> LinalgResult<Cholesky> {
+    if !a.is_square() {
+        return Err(LinalgError::DimensionMismatch {
+            context: format!("cholesky on {}x{} matrix", a.nrows(), a.ncols()),
+        });
+    }
+    let n = a.nrows();
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        // Diagonal entry.
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= l[(j, k)] * l[(j, k)];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: j });
+        }
+        let djj = d.sqrt();
+        l[(j, j)] = djj;
+        // Column below the diagonal.
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / djj;
+        }
+    }
+    Ok(Cholesky { l })
+}
+
+impl Cholesky {
+    /// The lower-triangular factor.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Solves `A x = b` via forward and back substitution.
+    pub fn solve(&self, b: &[f64]) -> LinalgResult<Vec<f64>> {
+        let y = triangular::solve_lower(&self.l, b)?;
+        triangular::solve_lower_transpose(&self.l, &y)
+    }
+
+    /// Solves `A X = B` for a matrix of right-hand sides.
+    pub fn solve_multi(&self, b: &Matrix) -> LinalgResult<Matrix> {
+        assert_eq!(b.nrows(), self.dim(), "Cholesky::solve_multi: dim mismatch");
+        let mut x = Matrix::zeros(b.nrows(), b.ncols());
+        for j in 0..b.ncols() {
+            let col = self.solve(&b.col(j))?;
+            x.set_col(j, &col);
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of the original matrix (`2 Σ log L_ii`).
+    pub fn log_determinant(&self) -> f64 {
+        2.0 * (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>()
+    }
+
+    /// Reconstructs `L L^T`.
+    pub fn reconstruct(&self) -> Matrix {
+        crate::blas::matmul_nt(&self.l, &self.l)
+    }
+}
+
+/// Convenience one-shot SPD solve.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> LinalgResult<Vec<f64>> {
+    cholesky(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{gemv, matmul, relative_error};
+    use crate::random::{gaussian_matrix, Pcg64};
+
+    fn random_spd(seed: u64, n: usize) -> Matrix {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let b = gaussian_matrix(&mut rng, n, n);
+        let mut a = matmul(&b, &b.transpose());
+        a.shift_diagonal(n as f64 * 0.1);
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_spd_matrix() {
+        let a = random_spd(1, 20);
+        let f = cholesky(&a).unwrap();
+        assert!(relative_error(&a, &f.reconstruct()) < 1e-11);
+    }
+
+    #[test]
+    fn factor_is_lower_triangular_with_positive_diag() {
+        let a = random_spd(2, 10);
+        let f = cholesky(&a).unwrap();
+        for i in 0..10 {
+            assert!(f.factor()[(i, i)] > 0.0);
+            for j in (i + 1)..10 {
+                assert_eq!(f.factor()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_residual_is_small() {
+        let a = random_spd(3, 30);
+        let mut rng = Pcg64::seed_from_u64(4);
+        let x_true: Vec<f64> = (0..30).map(|_| rng.next_gaussian()).collect();
+        let mut b = vec![0.0; 30];
+        gemv(&a, &x_true, &mut b);
+        let x = solve_spd(&a, &b).unwrap();
+        let err: f64 = x
+            .iter()
+            .zip(x_true.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-8, "max error {err}");
+    }
+
+    #[test]
+    fn solve_multi_matches_single() {
+        let a = random_spd(5, 12);
+        let mut rng = Pcg64::seed_from_u64(6);
+        let b = gaussian_matrix(&mut rng, 12, 3);
+        let f = cholesky(&a).unwrap();
+        let x = f.solve_multi(&b).unwrap();
+        for j in 0..3 {
+            let xj = f.solve(&b.col(j)).unwrap();
+            for i in 0..12 {
+                assert!((x[(i, j)] - xj[i]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn log_determinant_of_diagonal() {
+        let a = Matrix::from_diag(&[2.0, 4.0, 8.0]);
+        let f = cholesky(&a).unwrap();
+        assert!((f.log_determinant() - (2.0_f64 * 4.0 * 8.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected() {
+        let a = Matrix::from_diag(&[1.0, -1.0, 2.0]);
+        assert!(matches!(
+            cholesky(&a),
+            Err(LinalgError::NotPositiveDefinite { pivot: 1 })
+        ));
+    }
+
+    #[test]
+    fn rectangular_is_rejected() {
+        assert!(matches!(
+            cholesky(&Matrix::zeros(2, 3)),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_factor_is_identity() {
+        let f = cholesky(&Matrix::identity(5)).unwrap();
+        assert!(f.factor().approx_eq(&Matrix::identity(5), 1e-15));
+        assert_eq!(f.solve(&[1.0; 5]).unwrap(), vec![1.0; 5]);
+    }
+}

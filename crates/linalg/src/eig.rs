@@ -1,0 +1,234 @@
+//! Symmetric eigensolvers.
+//!
+//! The PCA-tree clustering needs the leading principal direction of a data
+//! block; the classical Jacobi eigensolver is provided for full spectra
+//! (small covariance matrices, `d x d`), and a power iteration for the
+//! leading eigenvector when only the first principal component is needed.
+
+use crate::blas;
+use crate::matrix::Matrix;
+use crate::{LinalgError, LinalgResult};
+
+/// Eigendecomposition `A = V diag(λ) V^T` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEig {
+    /// Eigenvalues in non-increasing order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors stored as columns, in the same order.
+    pub vectors: Matrix,
+}
+
+const MAX_JACOBI_SWEEPS: usize = 64;
+
+/// Cyclic Jacobi eigensolver for symmetric matrices.
+///
+/// # Errors
+/// Returns [`LinalgError::DimensionMismatch`] for non-square input and
+/// [`LinalgError::NoConvergence`] if the sweep budget is exhausted.
+pub fn symmetric_eig(a: &Matrix) -> LinalgResult<SymmetricEig> {
+    if !a.is_square() {
+        return Err(LinalgError::DimensionMismatch {
+            context: format!("symmetric_eig on {}x{} matrix", a.nrows(), a.ncols()),
+        });
+    }
+    let n = a.nrows();
+    if n == 0 {
+        return Ok(SymmetricEig {
+            values: vec![],
+            vectors: Matrix::zeros(0, 0),
+        });
+    }
+    let mut w = a.clone();
+    let mut v = Matrix::identity(n);
+    let eps = 1e-14 * a.norm_fro().max(f64::MIN_POSITIVE);
+
+    let mut converged = false;
+    for _ in 0..MAX_JACOBI_SWEEPS {
+        // Off-diagonal Frobenius norm decides convergence.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += w[(i, j)] * w[(i, j)];
+            }
+        }
+        if off.sqrt() <= eps {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = w[(p, q)];
+                if apq.abs() <= eps / (n as f64) {
+                    continue;
+                }
+                let app = w[(p, p)];
+                let aqq = w[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (1.0 + theta * theta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply the rotation on both sides: W <- J^T W J.
+                for k in 0..n {
+                    let wkp = w[(k, p)];
+                    let wkq = w[(k, q)];
+                    w[(k, p)] = c * wkp - s * wkq;
+                    w[(k, q)] = s * wkp + c * wkq;
+                }
+                for k in 0..n {
+                    let wpk = w[(p, k)];
+                    let wqk = w[(q, k)];
+                    w[(p, k)] = c * wpk - s * wqk;
+                    w[(q, k)] = s * wpk + c * wqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    if !converged {
+        return Err(LinalgError::NoConvergence {
+            iterations: MAX_JACOBI_SWEEPS,
+        });
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| w[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (out_j, &j) in order.iter().enumerate() {
+        vectors.set_col(out_j, &v.col(j));
+    }
+    Ok(SymmetricEig { values, vectors })
+}
+
+/// Leading eigenvector of a symmetric positive semi-definite matrix via
+/// power iteration.
+///
+/// Returns `(eigenvalue, eigenvector)`.  Used by PCA-tree clustering where
+/// the covariance matrix is `d x d` and only the dominant direction is
+/// needed.
+pub fn power_iteration(a: &Matrix, max_iter: usize, tol: f64, seed: u64) -> (f64, Vec<f64>) {
+    assert!(a.is_square(), "power_iteration: matrix must be square");
+    let n = a.nrows();
+    if n == 0 {
+        return (0.0, vec![]);
+    }
+    let mut rng = crate::random::Pcg64::seed_from_u64(seed);
+    let mut v = vec![0.0; n];
+    rng.fill_gaussian(&mut v);
+    let norm = blas::nrm2(&v);
+    blas::scal(1.0 / norm, &mut v);
+
+    let mut lambda = 0.0;
+    let mut next = vec![0.0; n];
+    for _ in 0..max_iter {
+        blas::gemv(a, &v, &mut next);
+        let new_lambda = blas::dot(&v, &next);
+        let norm = blas::nrm2(&next);
+        if norm == 0.0 {
+            return (0.0, v);
+        }
+        for (vi, ni) in v.iter_mut().zip(next.iter()) {
+            *vi = ni / norm;
+        }
+        if (new_lambda - lambda).abs() <= tol * new_lambda.abs().max(1.0) {
+            return (new_lambda, v);
+        }
+        lambda = new_lambda;
+    }
+    (lambda, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{matmul, matmul_tn, relative_error};
+    use crate::random::{gaussian_matrix, Pcg64};
+
+    fn random_symmetric(seed: u64, n: usize) -> Matrix {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let a = gaussian_matrix(&mut rng, n, n);
+        a.add(&a.transpose()).scaled(0.5)
+    }
+
+    #[test]
+    fn eig_reconstructs_symmetric_matrix() {
+        let a = random_symmetric(1, 10);
+        let e = symmetric_eig(&a).unwrap();
+        let lam = Matrix::from_diag(&e.values);
+        let rec = matmul(&matmul(&e.vectors, &lam), &e.vectors.transpose());
+        assert!(relative_error(&a, &rec) < 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = random_symmetric(2, 12);
+        let e = symmetric_eig(&a).unwrap();
+        let vtv = matmul_tn(&e.vectors, &e.vectors);
+        assert!(relative_error(&Matrix::identity(12), &vtv) < 1e-10);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = random_symmetric(3, 9);
+        let e = symmetric_eig(&a).unwrap();
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn eig_of_diagonal_matrix() {
+        let d = Matrix::from_diag(&[1.0, 4.0, 2.0]);
+        let e = symmetric_eig(&d).unwrap();
+        assert!((e.values[0] - 4.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eig_rejects_rectangular() {
+        let a = Matrix::zeros(3, 4);
+        assert!(matches!(
+            symmetric_eig(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn eig_empty_matrix() {
+        let e = symmetric_eig(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+    }
+
+    #[test]
+    fn power_iteration_finds_dominant_direction() {
+        // Covariance-like matrix with a clearly dominant direction.
+        let a = Matrix::from_diag(&[10.0, 1.0, 0.5, 0.1]);
+        let (lambda, v) = power_iteration(&a, 500, 1e-12, 7);
+        assert!((lambda - 10.0).abs() < 1e-6);
+        assert!(v[0].abs() > 0.999);
+    }
+
+    #[test]
+    fn power_iteration_matches_jacobi_on_random_spd() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        let b = gaussian_matrix(&mut rng, 8, 8);
+        let a = matmul(&b, &b.transpose()); // SPD
+        let e = symmetric_eig(&a).unwrap();
+        let (lambda, _) = power_iteration(&a, 2000, 1e-13, 11);
+        assert!((lambda - e.values[0]).abs() / e.values[0] < 1e-6);
+    }
+
+    #[test]
+    fn power_iteration_on_zero_matrix() {
+        let a = Matrix::zeros(5, 5);
+        let (lambda, v) = power_iteration(&a, 10, 1e-10, 3);
+        assert_eq!(lambda, 0.0);
+        assert_eq!(v.len(), 5);
+    }
+}

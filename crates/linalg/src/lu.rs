@@ -1,0 +1,244 @@
+//! LU factorization with partial pivoting and the associated solver.
+//!
+//! The ULV factorization of the HSS format reduces the problem to a final
+//! dense solve at the root; that solve (and the dense baselines in the
+//! benchmarks) uses this module.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, LinalgResult};
+
+/// LU factorization `P A = L U` with partial (row) pivoting.
+///
+/// `L` and `U` are stored packed in a single matrix: the unit diagonal of
+/// `L` is implicit.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    packed: Matrix,
+    /// Row permutation: row `i` of the factored matrix came from row
+    /// `pivots[i]` of the original.
+    pivots: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    sign: f64,
+}
+
+/// Computes the LU factorization of a square matrix.
+///
+/// # Errors
+/// Returns [`LinalgError::Singular`] when no usable pivot exists in some
+/// column.
+pub fn lu(a: &Matrix) -> LinalgResult<Lu> {
+    if !a.is_square() {
+        return Err(LinalgError::DimensionMismatch {
+            context: format!("lu on {}x{} matrix", a.nrows(), a.ncols()),
+        });
+    }
+    let n = a.nrows();
+    let mut m = a.clone();
+    let mut pivots: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+
+    for k in 0..n {
+        // Partial pivoting: largest magnitude in column k at or below row k.
+        let mut p = k;
+        let mut best = m[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = m[(i, k)].abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        if best == 0.0 {
+            return Err(LinalgError::Singular { pivot: k });
+        }
+        if p != k {
+            for j in 0..n {
+                let tmp = m[(k, j)];
+                m[(k, j)] = m[(p, j)];
+                m[(p, j)] = tmp;
+            }
+            pivots.swap(k, p);
+            sign = -sign;
+        }
+        let pivot = m[(k, k)];
+        for i in (k + 1)..n {
+            let factor = m[(i, k)] / pivot;
+            m[(i, k)] = factor;
+            for j in (k + 1)..n {
+                m[(i, j)] -= factor * m[(k, j)];
+            }
+        }
+    }
+    Ok(Lu {
+        packed: m,
+        pivots,
+        sign,
+    })
+}
+
+impl Lu {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.packed.nrows()
+    }
+
+    /// Solves `A x = b` using the stored factorization.
+    pub fn solve(&self, b: &[f64]) -> LinalgResult<Vec<f64>> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "Lu::solve: rhs length mismatch");
+        // Apply the row permutation to b.
+        let mut x: Vec<f64> = self.pivots.iter().map(|&p| b[p]).collect();
+        // Forward substitution with the unit-lower factor.
+        for i in 0..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.packed[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        // Back substitution with the upper factor.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.packed[(i, j)] * x[j];
+            }
+            let d = self.packed[(i, i)];
+            if d == 0.0 {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` for a matrix of right-hand sides.
+    pub fn solve_multi(&self, b: &Matrix) -> LinalgResult<Matrix> {
+        assert_eq!(b.nrows(), self.dim(), "Lu::solve_multi: dim mismatch");
+        let mut x = Matrix::zeros(b.nrows(), b.ncols());
+        for j in 0..b.ncols() {
+            let col = self.solve(&b.col(j))?;
+            x.set_col(j, &col);
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..self.dim() {
+            det *= self.packed[(i, i)];
+        }
+        det
+    }
+
+    /// Explicitly forms the inverse (used only in tests and tiny blocks).
+    pub fn inverse(&self) -> LinalgResult<Matrix> {
+        self.solve_multi(&Matrix::identity(self.dim()))
+    }
+}
+
+/// One-shot dense solve `A x = b`.
+pub fn solve(a: &Matrix, b: &[f64]) -> LinalgResult<Vec<f64>> {
+    lu(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{gemv, matmul, relative_error};
+    use crate::random::{gaussian_matrix, Pcg64};
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let n = 25;
+        let a = {
+            let mut a = gaussian_matrix(&mut rng, n, n);
+            a.shift_diagonal(5.0); // keep well conditioned
+            a
+        };
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut b = vec![0.0; n];
+        gemv(&a, &x_true, &mut b);
+        let x = solve(&a, &b).unwrap();
+        let err: f64 = x
+            .iter()
+            .zip(x_true.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-9, "max error {err}");
+    }
+
+    #[test]
+    fn multi_rhs_solve() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let a = {
+            let mut a = gaussian_matrix(&mut rng, 12, 12);
+            a.shift_diagonal(4.0);
+            a
+        };
+        let b = gaussian_matrix(&mut rng, 12, 5);
+        let f = lu(&a).unwrap();
+        let x = f.solve_multi(&b).unwrap();
+        assert!(relative_error(&b, &matmul(&a, &x)) < 1e-10);
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let a = Matrix::identity(6);
+        let f = lu(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(f.solve(&b).unwrap(), b);
+        assert!((f.determinant() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn determinant_of_diagonal() {
+        let d = Matrix::from_diag(&[2.0, 3.0, 4.0]);
+        assert!((lu(&d).unwrap().determinant() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_tracks_permutation() {
+        // Permutation matrix swapping two rows has determinant -1.
+        let mut p = Matrix::zeros(2, 2);
+        p[(0, 1)] = 1.0;
+        p[(1, 0)] = 1.0;
+        assert!((lu(&p).unwrap().determinant() + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let mut a = gaussian_matrix(&mut rng, 10, 10);
+        a.shift_diagonal(6.0);
+        let inv = lu(&a).unwrap().inverse().unwrap();
+        assert!(relative_error(&Matrix::identity(10), &matmul(&a, &inv)) < 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = 1.0;
+        // third row/column all zero -> singular
+        assert!(matches!(lu(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rectangular_matrix_is_rejected() {
+        let a = Matrix::zeros(3, 4);
+        assert!(matches!(
+            lu(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = solve(&a, &[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,624 @@
+//! Dense row-major matrix type used throughout the workspace.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major, `f64` matrix.
+///
+/// The storage layout is row-major because the dominant access pattern in
+/// the hierarchical-matrix code is extracting row blocks (index sets of a
+/// cluster) and multiplying skinny sampling matrices, both of which stream
+/// rows.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a generator function `f(i, j)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of rows.
+    ///
+    /// # Panics
+    /// Panics if the rows do not all have the same length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "Matrix::from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Creates a column vector (`n x 1`) from a slice.
+    pub fn column_vector(v: &[f64]) -> Self {
+        Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` when the matrix has zero rows or zero columns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Returns `true` when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable access to the underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the underlying row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Immutable view of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        debug_assert!(j < self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Overwrites column `j` with the values in `v`.
+    pub fn set_col(&mut self, j: usize, v: &[f64]) {
+        assert_eq!(v.len(), self.rows, "set_col: length mismatch");
+        for i in 0..self.rows {
+            self[(i, j)] = v[i];
+        }
+    }
+
+    /// Overwrites row `i` with the values in `v`.
+    pub fn set_row(&mut self, i: usize, v: &[f64]) {
+        assert_eq!(v.len(), self.cols, "set_row: length mismatch");
+        self.row_mut(i).copy_from_slice(v);
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Extracts the contiguous submatrix with rows `r0..r1` and columns
+    /// `c0..c1` (half-open ranges).
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
+        assert!(r0 <= r1 && r1 <= self.rows, "submatrix: bad row range");
+        assert!(c0 <= c1 && c1 <= self.cols, "submatrix: bad col range");
+        let mut out = Matrix::zeros(r1 - r0, c1 - c0);
+        for i in r0..r1 {
+            out.row_mut(i - r0)
+                .copy_from_slice(&self.row(i)[c0..c1]);
+        }
+        out
+    }
+
+    /// Extracts the (possibly non-contiguous) submatrix `A(rows, cols)`.
+    pub fn select(&self, row_idx: &[usize], col_idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(row_idx.len(), col_idx.len());
+        for (oi, &i) in row_idx.iter().enumerate() {
+            for (oj, &j) in col_idx.iter().enumerate() {
+                out[(oi, oj)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Extracts the rows of `A` listed in `row_idx` (all columns).
+    pub fn select_rows(&self, row_idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(row_idx.len(), self.cols);
+        for (oi, &i) in row_idx.iter().enumerate() {
+            out.row_mut(oi).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Extracts the columns of `A` listed in `col_idx` (all rows).
+    pub fn select_cols(&self, col_idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, col_idx.len());
+        for i in 0..self.rows {
+            for (oj, &j) in col_idx.iter().enumerate() {
+                out[(i, oj)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Writes `block` into this matrix with its upper-left corner at
+    /// `(r0, c0)`.
+    pub fn set_block(&mut self, r0: usize, c0: usize, block: &Matrix) {
+        assert!(
+            r0 + block.rows <= self.rows && c0 + block.cols <= self.cols,
+            "set_block: block does not fit"
+        );
+        for i in 0..block.rows {
+            self.row_mut(r0 + i)[c0..c0 + block.cols].copy_from_slice(block.row(i));
+        }
+    }
+
+    /// Horizontally concatenates `self` and `other` (same number of rows).
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hstack: row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        out.set_block(0, 0, self);
+        out.set_block(0, self.cols, other);
+        out
+    }
+
+    /// Vertically concatenates `self` and `other` (same number of columns).
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vstack: col mismatch");
+        let mut out = Matrix::zeros(self.rows + other.rows, self.cols);
+        out.set_block(0, 0, self);
+        out.set_block(self.rows, 0, other);
+        out
+    }
+
+    /// Builds a block-diagonal matrix `diag(self, other)`.
+    pub fn block_diag(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows + other.rows, self.cols + other.cols);
+        out.set_block(0, 0, self);
+        out.set_block(self.rows, self.cols, other);
+        out
+    }
+
+    /// Adds `value` to each diagonal entry in place (the `K + λI` shift of
+    /// Algorithm 1).
+    pub fn shift_diagonal(&mut self, value: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += value;
+        }
+    }
+
+    /// Returns the main diagonal as a vector.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry (the max norm).
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()))
+    }
+
+    /// One norm (maximum absolute column sum).
+    pub fn norm_one(&self) -> f64 {
+        let mut best = 0.0_f64;
+        for j in 0..self.cols {
+            let s: f64 = (0..self.rows).map(|i| self[(i, j)].abs()).sum();
+            best = best.max(s);
+        }
+        best
+    }
+
+    /// Infinity norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        let mut best = 0.0_f64;
+        for i in 0..self.rows {
+            let s: f64 = self.row(i).iter().map(|x| x.abs()).sum();
+            best = best.max(s);
+        }
+        best
+    }
+
+    /// In-place scaling by a scalar.
+    pub fn scale(&mut self, alpha: f64) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Returns `self * alpha` as a new matrix.
+    pub fn scaled(&self, alpha: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale(alpha);
+        out
+    }
+
+    /// Element-wise sum `self + other`.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "add: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Element-wise difference `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "sub: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// In-place `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Applies a symmetric permutation: returns `A(perm, perm)`.
+    pub fn permute_symmetric(&self, perm: &[usize]) -> Matrix {
+        assert!(self.is_square(), "permute_symmetric: matrix must be square");
+        assert_eq!(perm.len(), self.rows, "permute_symmetric: perm length");
+        Matrix::from_fn(self.rows, self.cols, |i, j| self[(perm[i], perm[j])])
+    }
+
+    /// Applies a row permutation: returns `A(perm, :)`.
+    pub fn permute_rows(&self, perm: &[usize]) -> Matrix {
+        assert_eq!(perm.len(), self.rows, "permute_rows: perm length");
+        self.select_rows(perm)
+    }
+
+    /// Checks symmetry up to an absolute tolerance.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Approximate equality check with absolute tolerance `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Memory footprint of the matrix payload in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_show = 8;
+        for i in 0..self.rows.min(max_show) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(max_show) {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            if self.cols > max_show {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > max_show {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(3, 4);
+        assert_eq!(z.shape(), (3, 4));
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(1, 0)], 0.0);
+        assert_eq!(i.diagonal(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn from_fn_and_indexing() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(1, 2)], 12.0);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+        assert_eq!(m.col(2), vec![2.0, 12.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i + 2 * j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(t[(4, 2)], m[(2, 4)]);
+        assert!(m.approx_eq(&t.transpose(), 0.0));
+    }
+
+    #[test]
+    fn submatrix_and_select() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let s = m.submatrix(1, 3, 2, 4);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s[(0, 0)], m[(1, 2)]);
+        let sel = m.select(&[0, 3], &[1, 2]);
+        assert_eq!(sel[(1, 0)], m[(3, 1)]);
+        let rows = m.select_rows(&[2, 0]);
+        assert_eq!(rows.row(0), m.row(2));
+        let cols = m.select_cols(&[3]);
+        assert_eq!(cols.col(0), m.col(3));
+    }
+
+    #[test]
+    fn stacking_and_block_diag() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        let h = a.hstack(&b);
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h[(0, 3)], 2.0);
+        let v = a.vstack(&b);
+        assert_eq!(v.shape(), (4, 2));
+        assert_eq!(v[(3, 0)], 2.0);
+        let d = a.block_diag(&b);
+        assert_eq!(d.shape(), (4, 4));
+        assert_eq!(d[(0, 3)], 0.0);
+        assert_eq!(d[(3, 3)], 2.0);
+    }
+
+    #[test]
+    fn set_block_roundtrip() {
+        let mut m = Matrix::zeros(5, 5);
+        let b = Matrix::filled(2, 3, 7.0);
+        m.set_block(1, 2, &b);
+        assert_eq!(m[(1, 2)], 7.0);
+        assert_eq!(m[(2, 4)], 7.0);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert!(m.submatrix(1, 3, 2, 5).approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_vec(2, 2, vec![3.0, 0.0, -4.0, 0.0]);
+        assert!((m.norm_fro() - 5.0).abs() < 1e-12);
+        assert_eq!(m.norm_max(), 4.0);
+        assert_eq!(m.norm_one(), 7.0);
+        assert_eq!(m.norm_inf(), 4.0);
+    }
+
+    #[test]
+    fn shift_diagonal_adds_lambda() {
+        let mut m = Matrix::identity(3);
+        m.shift_diagonal(2.5);
+        assert_eq!(m[(0, 0)], 3.5);
+        assert_eq!(m[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = Matrix::identity(2);
+        let s = a.add(&b);
+        assert_eq!(s[(0, 0)], 1.0);
+        let d = s.sub(&b);
+        assert!(d.approx_eq(&a, 0.0));
+        let mut c = a.clone();
+        c.axpy(2.0, &b);
+        assert_eq!(c[(1, 1)], a[(1, 1)] + 2.0);
+        assert_eq!(a.scaled(3.0)[(1, 1)], 6.0);
+    }
+
+    #[test]
+    fn symmetric_permutation() {
+        let m = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let p = vec![2, 0, 1];
+        let pm = m.permute_symmetric(&p);
+        assert_eq!(pm[(0, 0)], m[(2, 2)]);
+        assert_eq!(pm[(0, 1)], m[(2, 0)]);
+        assert_eq!(pm[(2, 1)], m[(1, 0)]);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = Matrix::from_fn(3, 3, |i, j| (i + j) as f64);
+        assert!(s.is_symmetric(0.0));
+        let ns = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        assert!(!ns.is_symmetric(1e-12));
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1.0));
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let m = Matrix::zeros(10, 20);
+        assert_eq!(m.memory_bytes(), 10 * 20 * 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_wrong_length_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn row_col_setters() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set_row(1, &[1.0, 2.0, 3.0]);
+        m.set_col(0, &[9.0, 8.0]);
+        assert_eq!(m[(1, 0)], 8.0);
+        assert_eq!(m[(1, 2)], 3.0);
+        assert_eq!(m[(0, 0)], 9.0);
+    }
+
+    #[test]
+    fn column_vector_and_diag() {
+        let v = Matrix::column_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(v.shape(), (3, 1));
+        let d = Matrix::from_diag(&[1.0, 2.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+}

@@ -1,0 +1,465 @@
+//! Householder QR and column-pivoted (rank-revealing) QR factorizations.
+
+use crate::blas;
+use crate::matrix::Matrix;
+
+/// Thin QR factorization `A = Q R` with `Q` of size `m x k`, `R` of size
+/// `k x n`, `k = min(m, n)`.
+#[derive(Debug, Clone)]
+pub struct QrFactors {
+    /// Orthonormal factor (`m x k`).
+    pub q: Matrix,
+    /// Upper-triangular factor (`k x n`).
+    pub r: Matrix,
+}
+
+/// Column-pivoted QR factorization `A P = Q R` with a numerical-rank
+/// estimate.
+#[derive(Debug, Clone)]
+pub struct PivotedQr {
+    /// Orthonormal factor (`m x k`).
+    pub q: Matrix,
+    /// Upper-triangular factor (`k x n`), columns in pivoted order.
+    pub r: Matrix,
+    /// Column permutation: column `j` of `R` corresponds to column
+    /// `perm[j]` of `A`.
+    pub perm: Vec<usize>,
+    /// Numerical rank detected at the requested tolerance.
+    pub rank: usize,
+}
+
+/// Householder QR of a general rectangular matrix.
+///
+/// Returns the thin factorization; `Q` has orthonormal columns and
+/// `Q R` reconstructs `A` to machine precision.
+pub fn householder_qr(a: &Matrix) -> QrFactors {
+    let (m, n) = a.shape();
+    let k = m.min(n);
+    let mut r = a.clone();
+    // Householder vectors, stored per reflection (the j-th has length m - j).
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        // Build the Householder vector annihilating R[j+1.., j].
+        let mut v: Vec<f64> = (j..m).map(|i| r[(i, j)]).collect();
+        let alpha = blas::nrm2(&v);
+        if alpha == 0.0 {
+            vs.push(vec![0.0; m - j]);
+            continue;
+        }
+        let sign = if v[0] >= 0.0 { 1.0 } else { -1.0 };
+        v[0] += sign * alpha;
+        let vnorm = blas::nrm2(&v);
+        if vnorm > 0.0 {
+            blas::scal(1.0 / vnorm, &mut v);
+        }
+        // Apply the reflector to the trailing columns of R.
+        for col in j..n {
+            let mut proj = 0.0;
+            for (off, &vi) in v.iter().enumerate() {
+                proj += vi * r[(j + off, col)];
+            }
+            proj *= 2.0;
+            for (off, &vi) in v.iter().enumerate() {
+                r[(j + off, col)] -= proj * vi;
+            }
+        }
+        vs.push(v);
+    }
+
+    // Form the thin Q by applying the reflectors to the first k columns of I.
+    let mut q = Matrix::zeros(m, k);
+    for i in 0..k {
+        q[(i, i)] = 1.0;
+    }
+    for j in (0..k).rev() {
+        let v = &vs[j];
+        if v.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        for col in 0..k {
+            let mut proj = 0.0;
+            for (off, &vi) in v.iter().enumerate() {
+                proj += vi * q[(j + off, col)];
+            }
+            proj *= 2.0;
+            for (off, &vi) in v.iter().enumerate() {
+                q[(j + off, col)] -= proj * vi;
+            }
+        }
+    }
+
+    // Zero out the strictly-lower part of R and truncate to k rows.
+    let mut r_thin = Matrix::zeros(k, n);
+    for i in 0..k {
+        for j in i..n {
+            r_thin[(i, j)] = r[(i, j)];
+        }
+    }
+    // Normalize so that the diagonal of R is non-negative (convenient and
+    // makes the factorization unique for full-rank A).
+    for i in 0..k {
+        if r_thin[(i, i)] < 0.0 {
+            for j in i..n {
+                r_thin[(i, j)] = -r_thin[(i, j)];
+            }
+            for row in 0..m {
+                q[(row, i)] = -q[(row, i)];
+            }
+        }
+    }
+    QrFactors { q, r: r_thin }
+}
+
+/// Orthonormalizes the columns of `a` (thin Q factor only).
+pub fn orthonormalize(a: &Matrix) -> Matrix {
+    householder_qr(a).q
+}
+
+/// Full QR factorization `A = Q R` with a square orthogonal `Q` (`m x m`)
+/// and `R` of size `m x n` (upper trapezoidal).
+///
+/// The ULV factorization needs the *full* orthogonal factor so it can zero
+/// out the coupling rows of each HSS block; the thin factorization is not
+/// enough there.
+pub fn full_qr(a: &Matrix) -> (Matrix, Matrix) {
+    let (m, n) = a.shape();
+    let k = m.min(n);
+    let mut r = a.clone();
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        let mut v: Vec<f64> = (j..m).map(|i| r[(i, j)]).collect();
+        let alpha = blas::nrm2(&v);
+        if alpha == 0.0 {
+            vs.push(vec![0.0; m - j]);
+            continue;
+        }
+        let sign = if v[0] >= 0.0 { 1.0 } else { -1.0 };
+        v[0] += sign * alpha;
+        let vnorm = blas::nrm2(&v);
+        if vnorm > 0.0 {
+            blas::scal(1.0 / vnorm, &mut v);
+        }
+        for col in j..n {
+            let mut proj = 0.0;
+            for (off, &vi) in v.iter().enumerate() {
+                proj += vi * r[(j + off, col)];
+            }
+            proj *= 2.0;
+            for (off, &vi) in v.iter().enumerate() {
+                r[(j + off, col)] -= proj * vi;
+            }
+        }
+        vs.push(v);
+    }
+
+    // Accumulate the full Q by applying the reflectors to the identity.
+    let mut q = Matrix::identity(m);
+    for j in (0..k).rev() {
+        let v = &vs[j];
+        if v.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        for col in 0..m {
+            let mut proj = 0.0;
+            for (off, &vi) in v.iter().enumerate() {
+                proj += vi * q[(j + off, col)];
+            }
+            proj *= 2.0;
+            for (off, &vi) in v.iter().enumerate() {
+                q[(j + off, col)] -= proj * vi;
+            }
+        }
+    }
+
+    // Zero the strictly-lower part of R below the diagonal.
+    for j in 0..n {
+        for i in (j + 1)..m {
+            r[(i, j)] = 0.0;
+        }
+    }
+    (q, r)
+}
+
+/// Column-pivoted QR (Golub-Businger) with early termination.
+///
+/// The factorization stops as soon as the largest remaining column norm
+/// drops below `tol` times the largest initial column norm, or after
+/// `max_rank` steps (`max_rank = 0` means no cap).  This is the
+/// rank-revealing workhorse behind low-rank compression and interpolative
+/// decompositions.
+pub fn column_pivoted_qr(a: &Matrix, tol: f64, max_rank: usize) -> PivotedQr {
+    let (m, n) = a.shape();
+    let kmax = {
+        let k = m.min(n);
+        if max_rank == 0 {
+            k
+        } else {
+            k.min(max_rank)
+        }
+    };
+    let mut work = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut col_norms: Vec<f64> = (0..n).map(|j| blas::nrm2(&work.col(j))).collect();
+    let norm_ref = col_norms.iter().cloned().fold(0.0_f64, f64::max);
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(kmax);
+    let mut rank = 0;
+
+    for j in 0..kmax {
+        // Pivot: bring the column with the largest remaining norm to front.
+        let (pivot, &pivot_norm) = col_norms[j..]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(off, v)| (j + off, v))
+            .unwrap();
+        if norm_ref == 0.0 || pivot_norm <= tol * norm_ref {
+            break;
+        }
+        if pivot != j {
+            // Swap columns j and pivot in the working matrix and bookkeeping.
+            for i in 0..m {
+                let tmp = work[(i, j)];
+                work[(i, j)] = work[(i, pivot)];
+                work[(i, pivot)] = tmp;
+            }
+            perm.swap(j, pivot);
+            col_norms.swap(j, pivot);
+        }
+
+        // Householder reflector for column j.
+        let mut v: Vec<f64> = (j..m).map(|i| work[(i, j)]).collect();
+        let alpha = blas::nrm2(&v);
+        if alpha == 0.0 {
+            break;
+        }
+        let sign = if v[0] >= 0.0 { 1.0 } else { -1.0 };
+        v[0] += sign * alpha;
+        let vnorm = blas::nrm2(&v);
+        blas::scal(1.0 / vnorm, &mut v);
+        for col in j..n {
+            let mut proj = 0.0;
+            for (off, &vi) in v.iter().enumerate() {
+                proj += vi * work[(j + off, col)];
+            }
+            proj *= 2.0;
+            for (off, &vi) in v.iter().enumerate() {
+                work[(j + off, col)] -= proj * vi;
+            }
+        }
+        vs.push(v);
+        rank = j + 1;
+
+        // Recompute the trailing column norms exactly.  The classical
+        // running downdate loses accuracy through cancellation and then
+        // over-estimates the numerical rank; at the block sizes used inside
+        // the hierarchical formats the exact recomputation is cheap.
+        for col in (j + 1)..n {
+            let tail: Vec<f64> = ((j + 1)..m).map(|i| work[(i, col)]).collect();
+            col_norms[col] = blas::nrm2(&tail);
+        }
+    }
+
+    // Assemble thin Q (m x rank).
+    let mut q = Matrix::zeros(m, rank);
+    for i in 0..rank {
+        q[(i, i)] = 1.0;
+    }
+    for j in (0..rank).rev() {
+        let v = &vs[j];
+        for col in 0..rank {
+            let mut proj = 0.0;
+            for (off, &vi) in v.iter().enumerate() {
+                proj += vi * q[(j + off, col)];
+            }
+            proj *= 2.0;
+            for (off, &vi) in v.iter().enumerate() {
+                q[(j + off, col)] -= proj * vi;
+            }
+        }
+    }
+
+    // Upper-trapezoidal R (rank x n), in pivoted column order.
+    let mut r = Matrix::zeros(rank, n);
+    for i in 0..rank {
+        for jc in i..n {
+            r[(i, jc)] = work[(i, jc)];
+        }
+    }
+
+    PivotedQr { q, r, perm, rank }
+}
+
+impl PivotedQr {
+    /// Reconstructs the original matrix (undoing the column permutation).
+    pub fn reconstruct(&self) -> Matrix {
+        let qr = blas::matmul(&self.q, &self.r);
+        let n = self.perm.len();
+        let mut out = Matrix::zeros(qr.nrows(), n);
+        for (j, &pj) in self.perm.iter().enumerate() {
+            out.set_col(pj, &qr.col(j));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{matmul, matmul_tn, relative_error};
+    use crate::random::{gaussian_matrix, Pcg64};
+
+    fn check_orthonormal(q: &Matrix, tol: f64) {
+        let qtq = matmul_tn(q, q);
+        let eye = Matrix::identity(q.ncols());
+        assert!(
+            relative_error(&eye, &qtq) < tol,
+            "Q^T Q deviates from identity by {}",
+            relative_error(&eye, &qtq)
+        );
+    }
+
+    #[test]
+    fn qr_reconstructs_tall_matrix() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let a = gaussian_matrix(&mut rng, 30, 12);
+        let f = householder_qr(&a);
+        assert_eq!(f.q.shape(), (30, 12));
+        assert_eq!(f.r.shape(), (12, 12));
+        check_orthonormal(&f.q, 1e-12);
+        assert!(relative_error(&a, &matmul(&f.q, &f.r)) < 1e-12);
+    }
+
+    #[test]
+    fn qr_reconstructs_wide_matrix() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let a = gaussian_matrix(&mut rng, 8, 20);
+        let f = householder_qr(&a);
+        assert_eq!(f.q.shape(), (8, 8));
+        assert_eq!(f.r.shape(), (8, 20));
+        check_orthonormal(&f.q, 1e-12);
+        assert!(relative_error(&a, &matmul(&f.q, &f.r)) < 1e-12);
+    }
+
+    #[test]
+    fn qr_r_is_upper_triangular_with_nonneg_diag() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let a = gaussian_matrix(&mut rng, 15, 15);
+        let f = householder_qr(&a);
+        for i in 0..15 {
+            assert!(f.r[(i, i)] >= 0.0);
+            for j in 0..i {
+                assert!(f.r[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_of_zero_matrix() {
+        let a = Matrix::zeros(6, 4);
+        let f = householder_qr(&a);
+        assert!(matmul(&f.q, &f.r).approx_eq(&a, 1e-14));
+    }
+
+    #[test]
+    fn orthonormalize_returns_orthonormal_basis() {
+        let mut rng = Pcg64::seed_from_u64(4);
+        let a = gaussian_matrix(&mut rng, 40, 10);
+        let q = orthonormalize(&a);
+        check_orthonormal(&q, 1e-12);
+    }
+
+    #[test]
+    fn cpqr_detects_exact_low_rank() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        let u = gaussian_matrix(&mut rng, 40, 5);
+        let v = gaussian_matrix(&mut rng, 5, 30);
+        let a = matmul(&u, &v); // rank 5 by construction
+        let f = column_pivoted_qr(&a, 1e-10, 0);
+        assert_eq!(f.rank, 5);
+        check_orthonormal(&f.q, 1e-12);
+        assert!(relative_error(&a, &f.reconstruct()) < 1e-10);
+    }
+
+    #[test]
+    fn cpqr_full_rank_matrix() {
+        let mut rng = Pcg64::seed_from_u64(6);
+        let a = gaussian_matrix(&mut rng, 20, 20);
+        let f = column_pivoted_qr(&a, 1e-14, 0);
+        assert_eq!(f.rank, 20);
+        assert!(relative_error(&a, &f.reconstruct()) < 1e-11);
+    }
+
+    #[test]
+    fn cpqr_respects_max_rank_cap() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        let a = gaussian_matrix(&mut rng, 30, 30);
+        let f = column_pivoted_qr(&a, 0.0, 7);
+        assert_eq!(f.rank, 7);
+        assert_eq!(f.q.shape(), (30, 7));
+        assert_eq!(f.r.shape(), (7, 30));
+    }
+
+    #[test]
+    fn cpqr_pivot_diagonal_is_decreasing() {
+        let mut rng = Pcg64::seed_from_u64(8);
+        let a = gaussian_matrix(&mut rng, 25, 25);
+        let f = column_pivoted_qr(&a, 1e-14, 0);
+        for i in 1..f.rank {
+            assert!(
+                f.r[(i, i)].abs() <= f.r[(i - 1, i - 1)].abs() + 1e-10,
+                "pivot magnitudes should be non-increasing"
+            );
+        }
+    }
+
+    #[test]
+    fn cpqr_perm_is_a_permutation() {
+        let mut rng = Pcg64::seed_from_u64(9);
+        let a = gaussian_matrix(&mut rng, 10, 18);
+        let f = column_pivoted_qr(&a, 1e-14, 0);
+        let mut p = f.perm.clone();
+        p.sort_unstable();
+        assert_eq!(p, (0..18).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cpqr_zero_matrix_has_rank_zero() {
+        let a = Matrix::zeros(12, 9);
+        let f = column_pivoted_qr(&a, 1e-12, 0);
+        assert_eq!(f.rank, 0);
+    }
+
+    #[test]
+    fn full_qr_produces_square_orthogonal_q() {
+        let mut rng = Pcg64::seed_from_u64(21);
+        let a = gaussian_matrix(&mut rng, 14, 5);
+        let (q, r) = full_qr(&a);
+        assert_eq!(q.shape(), (14, 14));
+        assert_eq!(r.shape(), (14, 5));
+        let qtq = matmul_tn(&q, &q);
+        assert!(relative_error(&Matrix::identity(14), &qtq) < 1e-12);
+        assert!(relative_error(&a, &matmul(&q, &r)) < 1e-12);
+        // R is upper trapezoidal.
+        for j in 0..5 {
+            for i in (j + 1)..14 {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn full_qr_of_wide_and_empty() {
+        let mut rng = Pcg64::seed_from_u64(22);
+        let a = gaussian_matrix(&mut rng, 4, 9);
+        let (q, r) = full_qr(&a);
+        assert_eq!(q.shape(), (4, 4));
+        assert!(relative_error(&a, &matmul(&q, &r)) < 1e-12);
+
+        let e = Matrix::zeros(3, 0);
+        let (q, r) = full_qr(&e);
+        assert!(q.approx_eq(&Matrix::identity(3), 0.0));
+        assert_eq!(r.shape(), (3, 0));
+    }
+}

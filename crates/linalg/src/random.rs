@@ -1,0 +1,242 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every experiment in the workspace (dataset synthesis, randomized HSS
+//! sampling, two-means initialization, tuner search) must be reproducible
+//! from a seed, so the workspace carries its own small PCG64 generator
+//! instead of depending on an external RNG crate whose default seeding is
+//! entropy-based.
+
+/// A PCG-XSL-RR 128/64 pseudo-random generator.
+///
+/// 128-bit state, 64-bit output, with the standard PCG multiplier.  The
+/// stream constant is fixed so that two generators with the same seed
+/// produce identical sequences on every platform.
+#[derive(Clone, Debug)]
+pub struct Pcg64 {
+    state: u128,
+    inc: u128,
+}
+
+const PCG_MULTIPLIER: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+const PCG_DEFAULT_STREAM: u128 = 0x5851_f42d_4c95_7f2d_1405_7b7e_f767_814f;
+
+impl Pcg64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut rng = Pcg64 {
+            state: 0,
+            inc: (PCG_DEFAULT_STREAM << 1) | 1,
+        };
+        rng.state = rng.state.wrapping_add(seed as u128);
+        rng.next_u64();
+        rng.state = rng.state.wrapping_add((seed as u128) << 64 | 0x9e37_79b9);
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(PCG_MULTIPLIER)
+            .wrapping_add(self.inc);
+        let state = self.state;
+        // XSL-RR output function: xor-fold the 128-bit state then rotate.
+        let xored = ((state >> 64) as u64) ^ (state as u64);
+        let rot = (state >> 122) as u32;
+        xored.rotate_right(rot)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn next_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "next_usize: empty range");
+        // Modulo bias is negligible for the ranges used here (n << 2^64).
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Standard normal sample via the Box-Muller transform.
+    pub fn next_gaussian(&mut self) -> f64 {
+        // Draw u1 away from zero to keep ln(u1) finite.
+        let u1 = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let u1 = if u1 <= f64::MIN_POSITIVE { f64::MIN_POSITIVE } else { u1 };
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.next_gaussian()
+    }
+
+    /// Fills a slice with standard normal samples.
+    pub fn fill_gaussian(&mut self, out: &mut [f64]) {
+        for x in out.iter_mut() {
+            *x = self.next_gaussian();
+        }
+    }
+
+    /// Returns `k` distinct indices sampled without replacement from `[0, n)`.
+    ///
+    /// Uses a partial Fisher-Yates shuffle; O(n) memory, O(k) swaps.
+    ///
+    /// # Panics
+    /// Panics if `k > n`.
+    pub fn sample_without_replacement(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "sample_without_replacement: k > n");
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.next_usize(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+
+    /// Shuffles a slice in place (Fisher-Yates).
+    pub fn shuffle<T>(&mut self, data: &mut [T]) {
+        let n = data.len();
+        if n < 2 {
+            return;
+        }
+        for i in (1..n).rev() {
+            let j = self.next_usize(i + 1);
+            data.swap(i, j);
+        }
+    }
+
+    /// Derives an independent generator for a sub-task (e.g. a rayon worker)
+    /// from this generator's stream.
+    pub fn split(&mut self) -> Pcg64 {
+        Pcg64::seed_from_u64(self.next_u64())
+    }
+}
+
+/// A `rows x cols` matrix with independent standard normal entries.
+pub fn gaussian_matrix(rng: &mut Pcg64, rows: usize, cols: usize) -> crate::Matrix {
+    let mut data = vec![0.0; rows * cols];
+    rng.fill_gaussian(&mut data);
+    crate::Matrix::from_vec(rows, cols, data)
+}
+
+/// A `rows x cols` matrix with independent uniform entries in `[lo, hi)`.
+pub fn uniform_matrix(rng: &mut Pcg64, rows: usize, cols: usize, lo: f64, hi: f64) -> crate::Matrix {
+    let data = (0..rows * cols).map(|_| rng.uniform(lo, hi)).collect();
+    crate::Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Pcg64::seed_from_u64(42);
+        let mut b = Pcg64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Pcg64::seed_from_u64(1);
+        let mut b = Pcg64::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.uniform(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn next_usize_bounds() {
+        let mut rng = Pcg64::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(rng.next_usize(17) < 17);
+        }
+        assert_eq!(rng.next_usize(1), 0);
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = Pcg64::seed_from_u64(123);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean too far from 0: {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance too far from 1: {var}");
+    }
+
+    #[test]
+    fn gaussian_with_params() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        let n = 20_000;
+        let mean_est =
+            (0..n).map(|_| rng.gaussian(3.0, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean_est - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn sample_without_replacement_is_distinct() {
+        let mut rng = Pcg64::seed_from_u64(11);
+        let s = rng.sample_without_replacement(50, 20);
+        assert_eq!(s.len(), 20);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(sorted.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut rng = Pcg64::seed_from_u64(13);
+        let mut v: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut rng = Pcg64::seed_from_u64(17);
+        let mut s1 = rng.split();
+        let mut s2 = rng.split();
+        let same = (0..32).filter(|_| s1.next_u64() == s2.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn matrix_generators() {
+        let mut rng = Pcg64::seed_from_u64(21);
+        let g = gaussian_matrix(&mut rng, 10, 5);
+        assert_eq!(g.shape(), (10, 5));
+        let u = uniform_matrix(&mut rng, 4, 4, 2.0, 3.0);
+        assert!(u.data().iter().all(|&x| (2.0..3.0).contains(&x)));
+    }
+}

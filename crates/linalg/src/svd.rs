@@ -1,0 +1,288 @@
+//! Singular value decomposition via one-sided Jacobi rotations.
+//!
+//! The paper's singular-value studies (Fig. 1, Table 1) and the truncated
+//! low-rank compression need full accuracy on small-to-medium matrices; the
+//! one-sided Jacobi algorithm is simple, unconditionally stable, and
+//! computes small singular values to high relative accuracy.
+
+use crate::blas;
+use crate::matrix::Matrix;
+use crate::{LinalgError, LinalgResult};
+
+/// Full (thin) singular value decomposition `A = U diag(S) V^T`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m x k` with `k = min(m, n)`.
+    pub u: Matrix,
+    /// Singular values in non-increasing order, length `k`.
+    pub s: Vec<f64>,
+    /// Transposed right singular vectors, `k x n`.
+    pub vt: Matrix,
+}
+
+impl Svd {
+    /// Reconstructs `U diag(S) V^T`.
+    pub fn reconstruct(&self) -> Matrix {
+        let k = self.s.len();
+        let mut us = self.u.clone();
+        for j in 0..k {
+            for i in 0..us.nrows() {
+                us[(i, j)] *= self.s[j];
+            }
+        }
+        blas::matmul(&us, &self.vt)
+    }
+
+    /// Numerical rank: number of singular values above `tol` (absolute).
+    pub fn rank(&self, tol: f64) -> usize {
+        self.s.iter().filter(|&&x| x > tol).count()
+    }
+
+    /// Numerical rank relative to the largest singular value.
+    pub fn rank_relative(&self, rel_tol: f64) -> usize {
+        if self.s.is_empty() {
+            return 0;
+        }
+        let cutoff = rel_tol * self.s[0];
+        self.s.iter().filter(|&&x| x > cutoff).count()
+    }
+}
+
+const MAX_SWEEPS: usize = 60;
+
+/// One-sided Jacobi SVD.
+///
+/// Handles any rectangular shape (internally transposes when `m < n`).
+/// Returns an error only if the sweeps fail to converge, which for the
+/// tolerance used here does not happen for finite input.
+pub fn svd(a: &Matrix) -> LinalgResult<Svd> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Ok(Svd {
+            u: Matrix::zeros(m, 0),
+            s: vec![],
+            vt: Matrix::zeros(0, n),
+        });
+    }
+    if m < n {
+        // A = U S V^T  <=>  A^T = V S U^T.
+        let t = svd(&a.transpose())?;
+        return Ok(Svd {
+            u: t.vt.transpose(),
+            s: t.s,
+            vt: t.u.transpose(),
+        });
+    }
+
+    // Work on columns of a copy of A; V accumulates the right rotations.
+    let mut w = a.clone();
+    let mut v = Matrix::identity(n);
+    let eps = 1e-14;
+
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0_f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Gram entries of the (p, q) column pair.
+                let mut alpha = 0.0;
+                let mut beta = 0.0;
+                let mut gamma = 0.0;
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    alpha += wp * wp;
+                    beta += wq * wq;
+                    gamma += wp * wq;
+                }
+                off = off.max(gamma.abs() / (alpha.sqrt() * beta.sqrt() + f64::MIN_POSITIVE));
+                if gamma.abs() <= eps * (alpha * beta).sqrt() || gamma == 0.0 {
+                    continue;
+                }
+                // Jacobi rotation that annihilates the (p, q) Gram entry.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    w[(i, p)] = c * wp - s * wq;
+                    w[(i, q)] = s * wp + c * wq;
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = c * vp - s * vq;
+                    v[(i, q)] = s * vp + c * vq;
+                }
+            }
+        }
+        if off < eps {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        // One-sided Jacobi converges in practice; treat exhaustion of the
+        // sweep budget as failure rather than returning a wrong answer.
+        return Err(LinalgError::NoConvergence {
+            iterations: MAX_SWEEPS,
+        });
+    }
+
+    // Singular values are the column norms of the rotated matrix.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n).map(|j| blas::nrm2(&w.col(j))).collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+
+    let mut s = Vec::with_capacity(n);
+    let mut u = Matrix::zeros(m, n);
+    let mut vt = Matrix::zeros(n, n);
+    for (out_j, &j) in order.iter().enumerate() {
+        let sigma = norms[j];
+        s.push(sigma);
+        if sigma > 0.0 {
+            for i in 0..m {
+                u[(i, out_j)] = w[(i, j)] / sigma;
+            }
+        } else {
+            // Null column: any unit vector orthogonal to the others keeps U
+            // well defined; use the canonical basis vector as a fallback.
+            u[(out_j.min(m - 1), out_j)] = 1.0;
+        }
+        for i in 0..n {
+            vt[(out_j, i)] = v[(i, j)];
+        }
+    }
+
+    Ok(Svd { u, s, vt })
+}
+
+/// Convenience wrapper returning only the singular values (non-increasing).
+pub fn singular_values(a: &Matrix) -> Vec<f64> {
+    svd(a).map(|f| f.s).unwrap_or_default()
+}
+
+/// Effective rank used in Table 1 of the paper: the number of singular
+/// values strictly greater than `threshold`.
+pub fn effective_rank(a: &Matrix, threshold: f64) -> usize {
+    singular_values(a).iter().filter(|&&x| x > threshold).count()
+}
+
+/// Spectral norm (largest singular value) of the matrix.
+pub fn spectral_norm(a: &Matrix) -> f64 {
+    singular_values(a).first().copied().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{matmul, matmul_tn, relative_error};
+    use crate::random::{gaussian_matrix, Pcg64};
+
+    fn check_orthonormal_cols(q: &Matrix, tol: f64) {
+        let qtq = matmul_tn(q, q);
+        assert!(relative_error(&Matrix::identity(q.ncols()), &qtq) < tol);
+    }
+
+    #[test]
+    fn svd_reconstructs_square() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let a = gaussian_matrix(&mut rng, 12, 12);
+        let f = svd(&a).unwrap();
+        assert!(relative_error(&a, &f.reconstruct()) < 1e-10);
+        check_orthonormal_cols(&f.u, 1e-10);
+        check_orthonormal_cols(&f.vt.transpose(), 1e-10);
+    }
+
+    #[test]
+    fn svd_reconstructs_tall_and_wide() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let tall = gaussian_matrix(&mut rng, 25, 8);
+        let f = svd(&tall).unwrap();
+        assert_eq!(f.u.shape(), (25, 8));
+        assert_eq!(f.s.len(), 8);
+        assert_eq!(f.vt.shape(), (8, 8));
+        assert!(relative_error(&tall, &f.reconstruct()) < 1e-10);
+
+        let wide = gaussian_matrix(&mut rng, 6, 19);
+        let f = svd(&wide).unwrap();
+        assert_eq!(f.u.shape(), (6, 6));
+        assert_eq!(f.s.len(), 6);
+        assert_eq!(f.vt.shape(), (6, 19));
+        assert!(relative_error(&wide, &f.reconstruct()) < 1e-10);
+    }
+
+    #[test]
+    fn singular_values_are_sorted_and_nonnegative() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let a = gaussian_matrix(&mut rng, 15, 10);
+        let s = singular_values(&a);
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn svd_of_diagonal_matrix_recovers_diagonal() {
+        let d = Matrix::from_diag(&[5.0, 3.0, 1.0, 0.5]);
+        let s = singular_values(&d);
+        assert!((s[0] - 5.0).abs() < 1e-12);
+        assert!((s[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn svd_detects_exact_rank_deficiency() {
+        let mut rng = Pcg64::seed_from_u64(4);
+        let u = gaussian_matrix(&mut rng, 20, 3);
+        let v = gaussian_matrix(&mut rng, 3, 20);
+        let a = matmul(&u, &v);
+        let f = svd(&a).unwrap();
+        assert_eq!(f.rank_relative(1e-10), 3);
+        assert!(f.s[3] < 1e-9 * f.s[0]);
+    }
+
+    #[test]
+    fn effective_rank_matches_threshold_semantics() {
+        let d = Matrix::from_diag(&[2.0, 0.5, 0.011, 0.009, 1e-8]);
+        assert_eq!(effective_rank(&d, 0.01), 3);
+        assert_eq!(effective_rank(&d, 1.0), 1);
+    }
+
+    #[test]
+    fn spectral_norm_of_identity() {
+        assert!((spectral_norm(&Matrix::identity(7)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn svd_of_zero_and_empty() {
+        let z = Matrix::zeros(4, 3);
+        let f = svd(&z).unwrap();
+        assert!(f.s.iter().all(|&x| x == 0.0));
+        let e = Matrix::zeros(0, 5);
+        let f = svd(&e).unwrap();
+        assert!(f.s.is_empty());
+    }
+
+    #[test]
+    fn svd_orthogonal_input_gives_unit_singular_values() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        let a = gaussian_matrix(&mut rng, 16, 16);
+        let q = crate::qr::householder_qr(&a).q;
+        let s = singular_values(&q);
+        for &x in &s {
+            assert!((x - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rank_absolute_and_relative_agree_on_scaled_identity() {
+        let a = Matrix::identity(6).scaled(10.0);
+        let f = svd(&a).unwrap();
+        assert_eq!(f.rank(1.0), 6);
+        assert_eq!(f.rank(10.5), 0);
+        assert_eq!(f.rank_relative(0.5), 6);
+    }
+}

@@ -1,0 +1,216 @@
+//! Triangular solves (single and multiple right-hand sides).
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, LinalgResult};
+
+/// Solves `L x = b` with `L` lower triangular.
+///
+/// # Errors
+/// Returns [`LinalgError::Singular`] when a diagonal entry is zero.
+pub fn solve_lower(l: &Matrix, b: &[f64]) -> LinalgResult<Vec<f64>> {
+    let n = l.nrows();
+    assert!(l.is_square(), "solve_lower: L must be square");
+    assert_eq!(b.len(), n, "solve_lower: rhs length mismatch");
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        let row = l.row(i);
+        for j in 0..i {
+            s -= row[j] * x[j];
+        }
+        let d = row[i];
+        if d == 0.0 {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves `U x = b` with `U` upper triangular.
+pub fn solve_upper(u: &Matrix, b: &[f64]) -> LinalgResult<Vec<f64>> {
+    let n = u.nrows();
+    assert!(u.is_square(), "solve_upper: U must be square");
+    assert_eq!(b.len(), n, "solve_upper: rhs length mismatch");
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        let row = u.row(i);
+        for j in (i + 1)..n {
+            s -= row[j] * x[j];
+        }
+        let d = row[i];
+        if d == 0.0 {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves `L^T x = b` with `L` lower triangular (i.e. an upper-triangular
+/// solve using the transpose of `L` without forming it).
+pub fn solve_lower_transpose(l: &Matrix, b: &[f64]) -> LinalgResult<Vec<f64>> {
+    let n = l.nrows();
+    assert!(l.is_square(), "solve_lower_transpose: L must be square");
+    assert_eq!(b.len(), n, "solve_lower_transpose: rhs length mismatch");
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for j in (i + 1)..n {
+            s -= l[(j, i)] * x[j];
+        }
+        let d = l[(i, i)];
+        if d == 0.0 {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves `L X = B` column by column, with `B` a matrix of right-hand sides.
+pub fn solve_lower_multi(l: &Matrix, b: &Matrix) -> LinalgResult<Matrix> {
+    assert_eq!(l.nrows(), b.nrows(), "solve_lower_multi: dim mismatch");
+    let mut x = Matrix::zeros(b.nrows(), b.ncols());
+    for j in 0..b.ncols() {
+        let col = solve_lower(l, &b.col(j))?;
+        x.set_col(j, &col);
+    }
+    Ok(x)
+}
+
+/// Solves `U X = B` column by column, with `B` a matrix of right-hand sides.
+pub fn solve_upper_multi(u: &Matrix, b: &Matrix) -> LinalgResult<Matrix> {
+    assert_eq!(u.nrows(), b.nrows(), "solve_upper_multi: dim mismatch");
+    let mut x = Matrix::zeros(b.nrows(), b.ncols());
+    for j in 0..b.ncols() {
+        let col = solve_upper(u, &b.col(j))?;
+        x.set_col(j, &col);
+    }
+    Ok(x)
+}
+
+/// Solves `x^T U = b^T`, i.e. `U^T x = b`, with `U` upper triangular.
+pub fn solve_upper_transpose(u: &Matrix, b: &[f64]) -> LinalgResult<Vec<f64>> {
+    let n = u.nrows();
+    assert!(u.is_square(), "solve_upper_transpose: U must be square");
+    assert_eq!(b.len(), n, "solve_upper_transpose: rhs length mismatch");
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for j in 0..i {
+            s -= u[(j, i)] * x[j];
+        }
+        let d = u[(i, i)];
+        if d == 0.0 {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{gemv, gemv_t, nrm2};
+    use crate::random::{gaussian_matrix, Pcg64};
+
+    fn random_lower(seed: u64, n: usize) -> Matrix {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let mut l = gaussian_matrix(&mut rng, n, n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                l[(i, j)] = 0.0;
+            }
+            // Keep the diagonal well away from zero.
+            l[(i, i)] = 2.0 + l[(i, i)].abs();
+        }
+        l
+    }
+
+    #[test]
+    fn lower_solve_residual_is_small() {
+        let l = random_lower(1, 20);
+        let mut rng = Pcg64::seed_from_u64(2);
+        let b: Vec<f64> = (0..20).map(|_| rng.next_gaussian()).collect();
+        let x = solve_lower(&l, &b).unwrap();
+        let mut r = vec![0.0; 20];
+        gemv(&l, &x, &mut r);
+        let err: f64 = r.iter().zip(b.iter()).map(|(a, b)| (a - b).abs()).sum();
+        assert!(err < 1e-10);
+    }
+
+    #[test]
+    fn upper_solve_residual_is_small() {
+        let u = random_lower(3, 15).transpose();
+        let mut rng = Pcg64::seed_from_u64(4);
+        let b: Vec<f64> = (0..15).map(|_| rng.next_gaussian()).collect();
+        let x = solve_upper(&u, &b).unwrap();
+        let mut r = vec![0.0; 15];
+        gemv(&u, &x, &mut r);
+        let err = nrm2(&r.iter().zip(b.iter()).map(|(a, b)| a - b).collect::<Vec<_>>());
+        assert!(err < 1e-10);
+    }
+
+    #[test]
+    fn lower_transpose_solve_matches_explicit_transpose() {
+        let l = random_lower(5, 12);
+        let mut rng = Pcg64::seed_from_u64(6);
+        let b: Vec<f64> = (0..12).map(|_| rng.next_gaussian()).collect();
+        let x1 = solve_lower_transpose(&l, &b).unwrap();
+        let x2 = solve_upper(&l.transpose(), &b).unwrap();
+        for (a, b) in x1.iter().zip(x2.iter()) {
+            assert!((a - b).abs() < 1e-11);
+        }
+        // Verify L^T x = b directly.
+        let mut r = vec![0.0; 12];
+        gemv_t(&l, &x1, &mut r);
+        for (ri, bi) in r.iter().zip(b.iter()) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn upper_transpose_solve() {
+        let u = random_lower(11, 10).transpose();
+        let mut rng = Pcg64::seed_from_u64(12);
+        let b: Vec<f64> = (0..10).map(|_| rng.next_gaussian()).collect();
+        let x = solve_upper_transpose(&u, &b).unwrap();
+        let mut r = vec![0.0; 10];
+        gemv_t(&u, &x, &mut r);
+        for (ri, bi) in r.iter().zip(b.iter()) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn multi_rhs_solves() {
+        let l = random_lower(7, 10);
+        let mut rng = Pcg64::seed_from_u64(8);
+        let b = gaussian_matrix(&mut rng, 10, 4);
+        let x = solve_lower_multi(&l, &b).unwrap();
+        let rec = crate::blas::matmul(&l, &x);
+        assert!(crate::blas::relative_error(&b, &rec) < 1e-11);
+
+        let u = l.transpose();
+        let xu = solve_upper_multi(&u, &b).unwrap();
+        let rec = crate::blas::matmul(&u, &xu);
+        assert!(crate::blas::relative_error(&b, &rec) < 1e-11);
+    }
+
+    #[test]
+    fn singular_diagonal_is_reported() {
+        let mut l = Matrix::identity(3);
+        l[(1, 1)] = 0.0;
+        assert!(matches!(
+            solve_lower(&l, &[1.0, 1.0, 1.0]),
+            Err(LinalgError::Singular { pivot: 1 })
+        ));
+        assert!(matches!(
+            solve_upper(&l, &[1.0, 1.0, 1.0]),
+            Err(LinalgError::Singular { pivot: 1 })
+        ));
+    }
+}

@@ -1,0 +1,129 @@
+//! Exhaustive grid search (the baseline of Figure 6a).
+
+use crate::objective::Objective;
+use crate::{Evaluation, TuningResult};
+
+/// A rectangular `(h, λ)` grid.
+#[derive(Debug, Clone, Copy)]
+pub struct GridSpec {
+    /// Smallest bandwidth.
+    pub h_min: f64,
+    /// Largest bandwidth.
+    pub h_max: f64,
+    /// Number of bandwidth grid points.
+    pub h_steps: usize,
+    /// Smallest regularization.
+    pub lambda_min: f64,
+    /// Largest regularization.
+    pub lambda_max: f64,
+    /// Number of regularization grid points.
+    pub lambda_steps: usize,
+}
+
+impl GridSpec {
+    /// The `(h, λ)` values of the grid (row-major: h outer, λ inner).
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let hs = linspace(self.h_min, self.h_max, self.h_steps);
+        let ls = linspace(self.lambda_min, self.lambda_max, self.lambda_steps);
+        let mut out = Vec::with_capacity(hs.len() * ls.len());
+        for &h in &hs {
+            for &l in &ls {
+                out.push((h, l));
+            }
+        }
+        out
+    }
+
+    /// Total number of grid evaluations.
+    pub fn num_points(&self) -> usize {
+        self.h_steps * self.lambda_steps
+    }
+}
+
+fn linspace(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
+    assert!(steps >= 1, "linspace needs at least one step");
+    if steps == 1 {
+        return vec![lo];
+    }
+    (0..steps)
+        .map(|i| lo + (hi - lo) * i as f64 / (steps - 1) as f64)
+        .collect()
+}
+
+/// Evaluates the objective on every grid point (the paper's 128² fine grid,
+/// scaled down by the caller).
+pub fn grid_search(objective: &dyn Objective, spec: &GridSpec) -> TuningResult {
+    let history: Vec<Evaluation> = spec
+        .points()
+        .into_iter()
+        .map(|(h, lambda)| Evaluation {
+            h,
+            lambda,
+            accuracy: objective.evaluate(h, lambda),
+        })
+        .collect();
+    TuningResult::from_history(history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Objective;
+
+    /// Analytic objective with a unique maximum at (h, λ) = (2, 3).
+    struct Quadratic;
+
+    impl Objective for Quadratic {
+        fn evaluate(&self, h: f64, lambda: f64) -> f64 {
+            1.0 - (h - 2.0).powi(2) - 0.5 * (lambda - 3.0).powi(2)
+        }
+    }
+
+    #[test]
+    fn grid_covers_expected_number_of_points() {
+        let spec = GridSpec {
+            h_min: 0.5,
+            h_max: 2.0,
+            h_steps: 4,
+            lambda_min: 1.0,
+            lambda_max: 10.0,
+            lambda_steps: 3,
+        };
+        let pts = spec.points();
+        assert_eq!(pts.len(), 12);
+        assert_eq!(spec.num_points(), 12);
+        assert_eq!(pts[0], (0.5, 1.0));
+        assert_eq!(pts[11], (2.0, 10.0));
+    }
+
+    #[test]
+    fn grid_search_finds_the_grid_optimum() {
+        let spec = GridSpec {
+            h_min: 0.0,
+            h_max: 4.0,
+            h_steps: 9,
+            lambda_min: 0.0,
+            lambda_max: 6.0,
+            lambda_steps: 7,
+        };
+        let result = grid_search(&Quadratic, &spec);
+        assert_eq!(result.num_evaluations(), 63);
+        assert!((result.best.h - 2.0).abs() < 1e-12);
+        assert!((result.best.lambda - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_grid() {
+        let spec = GridSpec {
+            h_min: 1.5,
+            h_max: 1.5,
+            h_steps: 1,
+            lambda_min: 2.0,
+            lambda_max: 2.0,
+            lambda_steps: 1,
+        };
+        let result = grid_search(&Quadratic, &spec);
+        assert_eq!(result.num_evaluations(), 1);
+        assert_eq!(result.best.h, 1.5);
+    }
+}

@@ -1,0 +1,82 @@
+//! # hkrr-tuner
+//!
+//! Hyperparameter tuning of `(h, λ)` for kernel ridge regression.
+//!
+//! The paper compares an exhaustive grid search (128² runs, Figure 6a)
+//! against the black-box optimization of OpenTuner (100 runs, Figure 6b)
+//! and finds the budgeted black-box search both cheaper and better.
+//! OpenTuner itself is a Python framework, so this crate substitutes a
+//! budgeted derivative-free optimizer with the same interface: random
+//! exploration followed by shrinking local refinement around the incumbent.
+//!
+//! Both tuners exploit the structure the paper highlights: changing `λ`
+//! only shifts the diagonal of the compressed matrix, so for a fixed `h`
+//! many `λ` values can be evaluated against a single compression.
+
+pub mod grid;
+pub mod objective;
+pub mod search;
+
+pub use grid::{grid_search, GridSpec};
+pub use objective::{Objective, ValidationObjective};
+pub use search::{black_box_search, SearchOptions};
+
+/// One evaluated hyperparameter point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Gaussian bandwidth.
+    pub h: f64,
+    /// Ridge parameter.
+    pub lambda: f64,
+    /// Validation accuracy obtained with these parameters.
+    pub accuracy: f64,
+}
+
+/// The outcome of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuningResult {
+    /// The best parameters found.
+    pub best: Evaluation,
+    /// Every evaluation performed, in order.
+    pub history: Vec<Evaluation>,
+}
+
+impl TuningResult {
+    /// Number of objective evaluations spent.
+    pub fn num_evaluations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Builds the result from a history, picking the best entry.
+    pub fn from_history(history: Vec<Evaluation>) -> Self {
+        let best = history
+            .iter()
+            .copied()
+            .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).unwrap())
+            .expect("tuning produced no evaluations");
+        TuningResult { best, history }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_picks_best_evaluation() {
+        let history = vec![
+            Evaluation { h: 1.0, lambda: 1.0, accuracy: 0.7 },
+            Evaluation { h: 2.0, lambda: 0.5, accuracy: 0.9 },
+            Evaluation { h: 0.5, lambda: 2.0, accuracy: 0.8 },
+        ];
+        let r = TuningResult::from_history(history);
+        assert_eq!(r.best.h, 2.0);
+        assert_eq!(r.num_evaluations(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_history_is_an_error() {
+        let _ = TuningResult::from_history(vec![]);
+    }
+}

@@ -1,0 +1,105 @@
+//! The tuning objective: validation accuracy of a KRR classifier.
+
+use hkrr_core::{accuracy, KrrConfig, KrrModel};
+use hkrr_linalg::Matrix;
+
+/// Anything that maps `(h, λ)` to a score to be maximized.
+pub trait Objective {
+    /// Evaluates the objective; larger is better.
+    fn evaluate(&self, h: f64, lambda: f64) -> f64;
+}
+
+/// Validation-set accuracy of a classifier trained with the given
+/// hyperparameters (the objective used in Section 5.3 of the paper).
+pub struct ValidationObjective<'a> {
+    train: &'a Matrix,
+    train_labels: &'a [f64],
+    validation: &'a Matrix,
+    validation_labels: &'a [f64],
+    base_config: KrrConfig,
+}
+
+impl<'a> ValidationObjective<'a> {
+    /// Creates the objective from a train/validation split and a base
+    /// configuration (solver, clustering, tolerance) whose `h` and `λ` are
+    /// overridden at every evaluation.
+    pub fn new(
+        train: &'a Matrix,
+        train_labels: &'a [f64],
+        validation: &'a Matrix,
+        validation_labels: &'a [f64],
+        base_config: KrrConfig,
+    ) -> Self {
+        assert_eq!(train.nrows(), train_labels.len(), "train labels mismatch");
+        assert_eq!(
+            validation.nrows(),
+            validation_labels.len(),
+            "validation labels mismatch"
+        );
+        ValidationObjective {
+            train,
+            train_labels,
+            validation,
+            validation_labels,
+            base_config,
+        }
+    }
+}
+
+impl Objective for ValidationObjective<'_> {
+    fn evaluate(&self, h: f64, lambda: f64) -> f64 {
+        let config = self.base_config.with_h(h).with_lambda(lambda);
+        match KrrModel::fit(self.train, self.train_labels, &config) {
+            Ok(model) => accuracy(&model.predict(self.validation), self.validation_labels),
+            // Failed fits (e.g. numerically singular systems) score zero so
+            // the search simply moves away from them.
+            Err(_) => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hkrr_core::SolverKind;
+    use hkrr_datasets::generate;
+    use hkrr_datasets::registry::LETTER;
+
+    #[test]
+    fn good_parameters_score_higher_than_bad_ones() {
+        let ds = generate(&LETTER, 300, 80, 1);
+        let base = KrrConfig {
+            solver: SolverKind::DenseCholesky,
+            ..KrrConfig::default()
+        };
+        let obj = ValidationObjective::new(
+            &ds.train,
+            &ds.train_labels,
+            &ds.test,
+            &ds.test_labels,
+            base,
+        );
+        let good = obj.evaluate(LETTER.default_h, LETTER.default_lambda);
+        // A wildly wrong bandwidth makes the kernel matrix nearly identity
+        // or nearly all-ones and hurts accuracy.
+        let bad = obj.evaluate(1e-4, 100.0);
+        assert!(good > bad, "good {good} should beat bad {bad}");
+        assert!(good > 0.85);
+    }
+
+    #[test]
+    fn invalid_parameters_score_zero() {
+        let ds = generate(&LETTER, 60, 20, 2);
+        let obj = ValidationObjective::new(
+            &ds.train,
+            &ds.train_labels,
+            &ds.test,
+            &ds.test_labels,
+            KrrConfig {
+                solver: SolverKind::DenseCholesky,
+                ..KrrConfig::default()
+            },
+        );
+        assert_eq!(obj.evaluate(-1.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! One-vs-all multi-class classification on a PEN-digits-like dataset
+//! (Section 2 of the paper: c binary classifiers, argmax of the decision
+//! values).
+//!
+//! Run with:  cargo run --release --example multiclass_digits
+
+use hkrr::prelude::*;
+
+fn main() {
+    let spec = spec_by_name("PEN").unwrap();
+    let num_classes = 10;
+    let ds = generate_multiclass(&spec, num_classes, 2000, 400, 99);
+    println!(
+        "PEN-like digits: {} classes, {} train / {} test points, dimension {}",
+        num_classes,
+        ds.num_train(),
+        ds.num_test(),
+        ds.dim()
+    );
+
+    let config = KrrConfig {
+        h: spec.default_h,
+        lambda: spec.default_lambda,
+        clustering: ClusteringMethod::TwoMeans { seed: 5 },
+        solver: SolverKind::Hss,
+        ..KrrConfig::default()
+    };
+
+    // One binary HSS-compressed classifier per digit.
+    let model = MulticlassKrr::fit(&ds.train, &ds.train_labels, num_classes, &config).unwrap();
+    let acc = model.accuracy(&ds.test, &ds.test_labels);
+    println!("\nmulti-class accuracy: {:.1}%", 100.0 * acc);
+
+    // Per-class one-vs-all accuracy (the paper predicts a single digit,
+    // e.g. "5", per binary problem).
+    println!("\nper-class one-vs-all binary accuracy:");
+    for (class, clf) in model.classifiers().iter().enumerate() {
+        let binary_truth: Vec<f64> = ds
+            .test_labels
+            .iter()
+            .map(|&l| if l == class { 1.0 } else { -1.0 })
+            .collect();
+        let binary_acc = accuracy(&clf.predict(&ds.test), &binary_truth);
+        println!("  digit {class}: {:.1}%", 100.0 * binary_acc);
+    }
+
+    println!(
+        "\ncompressed memory per classifier: {:.2} MB (max rank {})",
+        model.classifiers()[0].report().matrix_memory_mb(),
+        model.classifiers()[0].report().max_rank
+    );
+}

@@ -1,0 +1,54 @@
+//! SUSY classification with hyperparameter tuning and H-matrix accelerated
+//! sampling — the paper's flagship workload (Tables 2-4) in miniature.
+//!
+//! Run with:  cargo run --release --example susy_classification
+
+use hkrr::prelude::*;
+
+fn main() {
+    let spec = spec_by_name("SUSY").unwrap();
+    // Train / validation / test splits.
+    let ds = generate(&spec, 2400, 400, 123);
+    let n_train = 2000;
+    let train = ds.train.submatrix(0, n_train, 0, ds.train.ncols());
+    let train_labels = ds.train_labels[..n_train].to_vec();
+    let valid = ds.train.submatrix(n_train, ds.train.nrows(), 0, ds.train.ncols());
+    let valid_labels = ds.train_labels[n_train..].to_vec();
+
+    // 1. Tune (h, lambda) with the budgeted black-box search (the paper's
+    //    OpenTuner stand-in), using the HSS solver inside the objective.
+    let base = KrrConfig {
+        solver: SolverKind::Hss,
+        clustering: ClusteringMethod::TwoMeans { seed: 1 },
+        ..KrrConfig::default()
+    };
+    let objective = ValidationObjective::new(&train, &train_labels, &valid, &valid_labels, base);
+    let tuning = black_box_search(
+        &objective,
+        &SearchOptions {
+            h_range: (0.1, 4.0),
+            lambda_range: (0.5, 10.0),
+            budget: 20,
+            ..Default::default()
+        },
+    );
+    println!(
+        "tuned in {} evaluations: h = {:.3}, lambda = {:.3} (validation accuracy {:.1}%)",
+        tuning.num_evaluations(),
+        tuning.best.h,
+        tuning.best.lambda,
+        100.0 * tuning.best.accuracy
+    );
+
+    // 2. Retrain on the full training set with the tuned parameters and the
+    //    H-matrix accelerated sampling path.
+    let config = base
+        .with_h(tuning.best.h)
+        .with_lambda(tuning.best.lambda)
+        .with_solver(SolverKind::HssWithHSampling);
+    let model = KrrModel::fit(&ds.train, &ds.train_labels, &config).unwrap();
+    let acc = accuracy(&model.predict(&ds.test), &ds.test_labels);
+
+    println!("\ntest accuracy: {:.1}%", 100.0 * acc);
+    println!("\ntraining report:\n{}", model.report());
+}

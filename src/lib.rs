@@ -1,0 +1,39 @@
+//! # hkrr — hierarchical-matrix kernel ridge regression
+//!
+//! Umbrella crate re-exporting the full public API of the workspace, which
+//! reproduces *"A Study of Clustering Techniques and Hierarchical Matrix
+//! Formats for Kernel Ridge Regression"* (Rebrova et al., 2018):
+//!
+//! * [`linalg`] — dense linear-algebra substrate (matrices, QR/SVD/LU/
+//!   Cholesky, the partially matrix-free [`linalg::LinearOperator`] trait),
+//! * [`kernel`] — Gaussian (and other) kernels, the implicit kernel-matrix
+//!   operator, feature normalization,
+//! * [`datasets`] — seeded synthetic stand-ins for the paper's UCI / MNIST
+//!   datasets,
+//! * [`clustering`] — the NP / KD / PCA / 2MN orderings and cluster trees,
+//! * [`hss`] — randomized HSS compression and the ULV solver,
+//! * [`hmatrix`] — strong-admissibility H-matrices with ACA, used as the
+//!   fast sampler,
+//! * [`krr`] — Algorithm 1 end to end (binary + one-vs-all classification),
+//! * [`tuner`] — grid search and black-box tuning of `(h, λ)`.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use hkrr_clustering as clustering;
+pub use hkrr_core as krr;
+pub use hkrr_datasets as datasets;
+pub use hkrr_hmatrix as hmatrix;
+pub use hkrr_hss as hss;
+pub use hkrr_kernel as kernel;
+pub use hkrr_linalg as linalg;
+pub use hkrr_tuner as tuner;
+
+/// Convenience prelude with the types most programs need.
+pub mod prelude {
+    pub use hkrr_clustering::{ClusteringMethod, DEFAULT_LEAF_SIZE};
+    pub use hkrr_core::{accuracy, KrrConfig, KrrModel, MulticlassKrr, SolverKind};
+    pub use hkrr_datasets::{generate, generate_multiclass, spec_by_name, DatasetSpec};
+    pub use hkrr_kernel::{KernelFunction, KernelMatrix, Normalizer};
+    pub use hkrr_linalg::{LinearOperator, Matrix};
+    pub use hkrr_tuner::{black_box_search, grid_search, GridSpec, SearchOptions, ValidationObjective};
+}

@@ -1,0 +1,158 @@
+//! Property-based tests (proptest) on the core compression invariants:
+//! for randomly generated point clouds, bandwidths and tolerances, the
+//! hierarchical representations must agree with the dense kernel matrix
+//! and the ULV solve must satisfy its residual bound.
+
+use hkrr::clustering::{cluster, ClusteringMethod};
+use hkrr::hmatrix::{build_hmatrix, HOptions};
+use hkrr::hss::{construct::compress_symmetric, HssOptions, UlvFactorization};
+use hkrr::kernel::{KernelFunction, KernelMatrix};
+use hkrr::linalg::{blas, Matrix, Pcg64};
+use proptest::prelude::*;
+
+/// Generates a clustered point cloud: `n` points in `d` dimensions drawn
+/// around `blobs` random centres.
+fn make_points(n: usize, d: usize, blobs: usize, seed: u64) -> Matrix {
+    let mut rng = Pcg64::seed_from_u64(seed);
+    let centres: Vec<Vec<f64>> = (0..blobs)
+        .map(|_| (0..d).map(|_| 4.0 * rng.next_gaussian()).collect())
+        .collect();
+    Matrix::from_fn(n, d, |i, j| centres[i % blobs][j] + 0.5 * rng.next_gaussian())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// HSS compression + matvec agrees with the dense kernel matrix to the
+    /// requested tolerance, for arbitrary clustered geometry and bandwidth.
+    #[test]
+    fn hss_matvec_matches_dense(
+        n in 64usize..200,
+        d in 1usize..6,
+        blobs in 1usize..5,
+        h in 0.5f64..4.0,
+        seed in 0u64..1000,
+        method_sel in 0usize..3,
+    ) {
+        let points = make_points(n, d, blobs, seed);
+        let method = match method_sel {
+            0 => ClusteringMethod::Natural,
+            1 => ClusteringMethod::KdTree,
+            _ => ClusteringMethod::TwoMeans { seed },
+        };
+        let ordering = cluster(&points, method, 16);
+        let permuted = points.select_rows(ordering.permutation());
+        let km = KernelMatrix::new(permuted, KernelFunction::gaussian(h));
+        let hss = compress_symmetric(
+            &km,
+            &km,
+            ordering.tree().clone(),
+            &HssOptions { tolerance: 1e-6, ..Default::default() },
+        ).unwrap();
+
+        let dense = km.assemble_dense();
+        let mut rng = Pcg64::seed_from_u64(seed ^ 0xabc);
+        let x: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mut y_hss = vec![0.0; n];
+        let mut y_ref = vec![0.0; n];
+        hss.matvec(&x, &mut y_hss);
+        blas::gemv(&dense, &x, &mut y_ref);
+        let err = y_hss.iter().zip(&y_ref).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+            / blas::nrm2(&y_ref).max(1e-30);
+        prop_assert!(err < 1e-3, "relative matvec error {err}");
+        // Memory never exceeds a small multiple of dense.
+        prop_assert!(hss.memory_bytes() <= 3 * dense.memory_bytes());
+    }
+
+    /// The ULV solve of the regularized kernel system has a tiny residual
+    /// with respect to the compressed operator, for arbitrary lambda > 0.
+    #[test]
+    fn ulv_solve_residual_is_small(
+        n in 64usize..180,
+        d in 1usize..5,
+        h in 0.5f64..3.0,
+        lambda in 0.01f64..10.0,
+        seed in 0u64..1000,
+    ) {
+        let points = make_points(n, d, 3, seed);
+        let ordering = cluster(&points, ClusteringMethod::TwoMeans { seed }, 16);
+        let permuted = points.select_rows(ordering.permutation());
+        let km = KernelMatrix::new(permuted, KernelFunction::gaussian(h));
+        let mut hss = compress_symmetric(
+            &km,
+            &km,
+            ordering.tree().clone(),
+            &HssOptions { tolerance: 1e-4, ..Default::default() },
+        ).unwrap();
+        hss.set_diagonal_shift(lambda);
+        let factor = UlvFactorization::factor(&hss).unwrap();
+
+        let mut rng = Pcg64::seed_from_u64(seed ^ 0x123);
+        let b: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let x = factor.solve(&b).unwrap();
+        let mut ax = vec![0.0; n];
+        hss.matvec(&x, &mut ax);
+        let res = ax.iter().zip(&b).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+            / blas::nrm2(&b);
+        prop_assert!(res < 1e-8, "residual {res}");
+    }
+
+    /// The H-matrix approximation agrees with the dense kernel matrix and
+    /// its block partition always covers each entry exactly once.
+    #[test]
+    fn hmatrix_agrees_with_dense(
+        n in 64usize..200,
+        d in 1usize..4,
+        blobs in 2usize..6,
+        h in 0.5f64..3.0,
+        seed in 0u64..1000,
+    ) {
+        let points = make_points(n, d, blobs, seed);
+        let ordering = cluster(&points, ClusteringMethod::TwoMeans { seed }, 16);
+        let permuted = points.select_rows(ordering.permutation());
+        let km = KernelMatrix::new(permuted.clone(), KernelFunction::gaussian(h));
+        let hm = build_hmatrix(&km, &permuted, ordering.tree(), &HOptions {
+            tolerance: 1e-6,
+            ..Default::default()
+        });
+        let dense = km.assemble_dense();
+        let err = blas::relative_error(&dense, &hm.to_dense());
+        prop_assert!(err < 1e-3, "H reconstruction error {err}");
+
+        let mut covered = vec![0u32; n * n];
+        for b in hm.blocks() {
+            for i in b.rows.clone() {
+                for j in b.cols.clone() {
+                    covered[i * n + j] += 1;
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    /// Every clustering method returns a valid permutation and a tree whose
+    /// leaves partition the index range, for arbitrary inputs.
+    #[test]
+    fn clustering_invariants(
+        n in 1usize..400,
+        d in 1usize..8,
+        blobs in 1usize..6,
+        seed in 0u64..1000,
+        leaf in 4usize..40,
+    ) {
+        let points = make_points(n, d, blobs, seed);
+        for method in [
+            ClusteringMethod::Natural,
+            ClusteringMethod::KdTree,
+            ClusteringMethod::PcaTree,
+            ClusteringMethod::TwoMeans { seed },
+        ] {
+            let ordering = cluster(&points, method, leaf);
+            prop_assert!(hkrr::clustering::permutation_is_valid(ordering.permutation(), n));
+            prop_assert!(ordering.tree().validate().is_ok());
+            let total: usize = ordering.tree().leaves().iter()
+                .map(|&l| ordering.tree().node(l).size).sum();
+            prop_assert_eq!(total, n);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Cross-crate integration tests: the full Algorithm-1 pipeline, solver
+//! equivalence, and the clustering/memory claims of the paper, exercised
+//! through the public `hkrr` API.
+
+use hkrr::prelude::*;
+
+fn letter_dataset(seed: u64, n_train: usize, n_test: usize) -> hkrr::datasets::Dataset {
+    generate(&spec_by_name("LETTER").unwrap(), n_train, n_test, seed)
+}
+
+#[test]
+fn hss_and_dense_solvers_agree_on_accuracy_and_weights() {
+    let spec = spec_by_name("LETTER").unwrap();
+    let ds = letter_dataset(1, 600, 150);
+    let base = KrrConfig {
+        h: spec.default_h,
+        lambda: spec.default_lambda,
+        clustering: ClusteringMethod::TwoMeans { seed: 3 },
+        ..KrrConfig::default()
+    };
+
+    let dense = KrrModel::fit(
+        &ds.train,
+        &ds.train_labels,
+        &base.with_solver(SolverKind::DenseCholesky),
+    )
+    .unwrap();
+    let hss = KrrModel::fit(&ds.train, &ds.train_labels, &base.with_solver(SolverKind::Hss))
+        .unwrap();
+
+    let acc_dense = accuracy(&dense.predict(&ds.test), &ds.test_labels);
+    let acc_hss = accuracy(&hss.predict(&ds.test), &ds.test_labels);
+    assert!(acc_dense > 0.9, "dense accuracy {acc_dense}");
+    assert!(
+        (acc_dense - acc_hss).abs() <= 0.03,
+        "accuracy gap: dense {acc_dense}, hss {acc_hss}"
+    );
+
+    // The decision values (not just the signs) should be close: the paper's
+    // observation that the sign computation only needs a few digits.
+    let dv_dense = dense.decision_values(&ds.test);
+    let dv_hss = hss.decision_values(&ds.test);
+    let mut agree = 0;
+    for (a, b) in dv_dense.iter().zip(dv_hss.iter()) {
+        if a.signum() == b.signum() {
+            agree += 1;
+        }
+    }
+    assert!(agree as f64 / dv_dense.len() as f64 > 0.95);
+}
+
+#[test]
+fn all_three_solvers_produce_models_on_every_dataset_family() {
+    for name in ["SUSY", "LETTER", "COVTYPE"] {
+        let spec = spec_by_name(name).unwrap();
+        let ds = generate(&spec, 300, 60, 11);
+        for solver in [
+            SolverKind::DenseCholesky,
+            SolverKind::Hss,
+            SolverKind::HssWithHSampling,
+        ] {
+            let cfg = KrrConfig {
+                h: spec.default_h,
+                lambda: spec.default_lambda,
+                solver,
+                ..KrrConfig::default()
+            };
+            let model = KrrModel::fit(&ds.train, &ds.train_labels, &cfg)
+                .unwrap_or_else(|e| panic!("{name}/{solver:?} failed: {e}"));
+            let preds = model.predict(&ds.test);
+            assert_eq!(preds.len(), 60);
+            assert!(preds.iter().all(|&p| p == 1.0 || p == -1.0));
+        }
+    }
+}
+
+#[test]
+fn clustering_reduces_hss_memory_without_hurting_accuracy() {
+    // The paper's Table 2 claim, at small scale: 2MN uses (much) less
+    // memory than the natural ordering and the accuracy is unchanged.
+    let spec = spec_by_name("GAS").unwrap();
+    let ds = generate(&spec, 800, 150, 5);
+    let base = KrrConfig {
+        h: spec.default_h,
+        lambda: spec.default_lambda,
+        solver: SolverKind::Hss,
+        ..KrrConfig::default()
+    };
+
+    let natural = KrrModel::fit(
+        &ds.train,
+        &ds.train_labels,
+        &base.with_clustering(ClusteringMethod::Natural),
+    )
+    .unwrap();
+    let two_means = KrrModel::fit(
+        &ds.train,
+        &ds.train_labels,
+        &base.with_clustering(ClusteringMethod::TwoMeans { seed: 9 }),
+    )
+    .unwrap();
+
+    let mem_np = natural.report().matrix_memory_bytes;
+    let mem_2mn = two_means.report().matrix_memory_bytes;
+    assert!(
+        (mem_2mn as f64) < 0.9 * mem_np as f64,
+        "2MN memory {mem_2mn} should be well below NP memory {mem_np}"
+    );
+
+    let acc_np = accuracy(&natural.predict(&ds.test), &ds.test_labels);
+    let acc_2mn = accuracy(&two_means.predict(&ds.test), &ds.test_labels);
+    assert!((acc_np - acc_2mn).abs() <= 0.05, "NP {acc_np} vs 2MN {acc_2mn}");
+}
+
+#[test]
+fn lambda_is_a_cheap_update_through_the_public_api() {
+    // Changing lambda (but not h) must not change the compressed memory —
+    // only the diagonal is updated.
+    let spec = spec_by_name("SUSY").unwrap();
+    let ds = generate(&spec, 400, 50, 13);
+    let cfg = KrrConfig {
+        h: spec.default_h,
+        solver: SolverKind::Hss,
+        ..KrrConfig::default()
+    };
+    let a = KrrModel::fit(&ds.train, &ds.train_labels, &cfg.with_lambda(0.5)).unwrap();
+    let b = KrrModel::fit(&ds.train, &ds.train_labels, &cfg.with_lambda(8.0)).unwrap();
+    assert_eq!(
+        a.report().matrix_memory_bytes,
+        b.report().matrix_memory_bytes,
+        "lambda must not affect the compressed-matrix memory"
+    );
+    assert_eq!(a.report().max_rank, b.report().max_rank);
+}
+
+#[test]
+fn multiclass_one_vs_all_through_the_public_api() {
+    let spec = spec_by_name("PEN").unwrap();
+    let ds = generate_multiclass(&spec, 5, 500, 120, 21);
+    let cfg = KrrConfig {
+        h: spec.default_h,
+        lambda: spec.default_lambda,
+        solver: SolverKind::Hss,
+        ..KrrConfig::default()
+    };
+    let model = MulticlassKrr::fit(&ds.train, &ds.train_labels, 5, &cfg).unwrap();
+    let acc = model.accuracy(&ds.test, &ds.test_labels);
+    assert!(acc > 0.75, "multi-class accuracy {acc}");
+    let preds = model.predict(&ds.test);
+    assert!(preds.iter().all(|&p| p < 5));
+}
+
+#[test]
+fn tuner_improves_over_a_bad_starting_point() {
+    let spec = spec_by_name("SUSY").unwrap();
+    let ds = generate(&spec, 500, 150, 31);
+    let n_train = 400;
+    let train = ds.train.submatrix(0, n_train, 0, ds.train.ncols());
+    let train_labels = ds.train_labels[..n_train].to_vec();
+    let valid = ds.train.submatrix(n_train, 500, 0, ds.train.ncols());
+    let valid_labels = ds.train_labels[n_train..].to_vec();
+
+    let base = KrrConfig {
+        solver: SolverKind::Hss,
+        ..KrrConfig::default()
+    };
+    let objective = ValidationObjective::new(&train, &train_labels, &valid, &valid_labels, base);
+    // A deliberately bad configuration.
+    let bad = hkrr::tuner::Objective::evaluate(&objective, 1e-3, 10.0);
+    let tuned = black_box_search(
+        &objective,
+        &SearchOptions {
+            budget: 15,
+            ..Default::default()
+        },
+    );
+    assert!(
+        tuned.best.accuracy >= bad,
+        "tuning ({}) should not lose to a bad fixed point ({bad})",
+        tuned.best.accuracy
+    );
+    assert_eq!(tuned.num_evaluations(), 15);
+}
+
+#[test]
+fn reproducibility_fixed_seeds_give_identical_models() {
+    let spec = spec_by_name("LETTER").unwrap();
+    let ds = letter_dataset(77, 300, 50);
+    let cfg = KrrConfig {
+        h: spec.default_h,
+        lambda: spec.default_lambda,
+        solver: SolverKind::Hss,
+        clustering: ClusteringMethod::TwoMeans { seed: 42 },
+        ..KrrConfig::default()
+    };
+    let a = KrrModel::fit(&ds.train, &ds.train_labels, &cfg).unwrap();
+    let b = KrrModel::fit(&ds.train, &ds.train_labels, &cfg).unwrap();
+    assert_eq!(a.weights(), b.weights());
+    assert_eq!(a.predict(&ds.test), b.predict(&ds.test));
+}
