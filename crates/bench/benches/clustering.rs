@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hkrr_clustering::{cluster, ClusteringMethod};
-use hkrr_datasets::registry::{COVTYPE, SUSY};
 use hkrr_datasets::generate;
+use hkrr_datasets::registry::{COVTYPE, SUSY};
 use std::hint::black_box;
 
 fn bench_orderings(c: &mut Criterion) {

@@ -45,7 +45,9 @@ fn bench_hss_phases(c: &mut Criterion) {
     });
 
     let factor = UlvFactorization::factor(&hss).unwrap();
-    let rhs: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let rhs: Vec<f64> = (0..n)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
     group.bench_function(BenchmarkId::new("ulv_solve", n), |b| {
         b.iter(|| black_box(factor.solve(&rhs).unwrap()));
     });

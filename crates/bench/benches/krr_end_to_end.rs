@@ -27,9 +27,13 @@ fn bench_solvers(c: &mut Criterion) {
             solver,
             ..KrrConfig::default()
         };
-        group.bench_with_input(BenchmarkId::new("solver", solver.label()), &cfg, |b, cfg| {
-            b.iter(|| black_box(KrrModel::fit(&ds.train, &ds.train_labels, cfg).unwrap()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("solver", solver.label()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| black_box(KrrModel::fit(&ds.train, &ds.train_labels, cfg).unwrap()));
+            },
+        );
     }
     group.finish();
 }
@@ -52,9 +56,13 @@ fn bench_orderings_end_to_end(c: &mut Criterion) {
             solver: SolverKind::Hss,
             ..KrrConfig::default()
         };
-        group.bench_with_input(BenchmarkId::new("ordering", method.label()), &cfg, |b, cfg| {
-            b.iter(|| black_box(KrrModel::fit(&ds.train, &ds.train_labels, cfg).unwrap()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ordering", method.label()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| black_box(KrrModel::fit(&ds.train, &ds.train_labels, cfg).unwrap()));
+            },
+        );
     }
     group.finish();
 }
@@ -78,5 +86,10 @@ fn bench_prediction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solvers, bench_orderings_end_to_end, bench_prediction);
+criterion_group!(
+    benches,
+    bench_solvers,
+    bench_orderings_end_to_end,
+    bench_prediction
+);
 criterion_main!(benches);

@@ -15,7 +15,9 @@ fn main() {
     let n = scaled(512).min(1000);
     let ds = gas1k(42);
     let stats = NormalizationStats::fit(&ds.train, Normalizer::ZScore);
-    let points = stats.transform(&ds.train).submatrix(0, n, 0, ds.train.ncols());
+    let points = stats
+        .transform(&ds.train)
+        .submatrix(0, n, 0, ds.train.ncols());
 
     let orderings = [
         ("NP", ClusteringMethod::Natural),

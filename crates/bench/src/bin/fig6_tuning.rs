@@ -14,7 +14,9 @@ fn main() {
     // Split off a validation set from the tail of the generated training data.
     let train = ds.train.submatrix(0, n_train, 0, ds.train.ncols());
     let train_labels = ds.train_labels[..n_train].to_vec();
-    let valid = ds.train.submatrix(n_train, n_train + n_valid, 0, ds.train.ncols());
+    let valid = ds
+        .train
+        .submatrix(n_train, n_train + n_valid, 0, ds.train.ncols());
     let valid_labels = ds.train_labels[n_train..].to_vec();
 
     let base = KrrConfig {
@@ -47,7 +49,14 @@ fn main() {
 
     print_table(
         "Figure 6: grid search vs black-box tuning on SUSY-like data",
-        ["method", "evaluations", "best h", "best lambda", "best accuracy"].as_slice(),
+        [
+            "method",
+            "evaluations",
+            "best h",
+            "best lambda",
+            "best accuracy",
+        ]
+        .as_slice(),
         &[
             vec![
                 "grid search".to_string(),

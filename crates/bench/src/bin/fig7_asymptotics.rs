@@ -6,10 +6,10 @@
 
 use hkrr_bench::{dataset, print_series, scaled};
 use hkrr_clustering::{cluster, ClusteringMethod};
+use hkrr_datasets::registry::SUSY;
 use hkrr_hmatrix::{build_hmatrix, HOptions};
 use hkrr_hss::{construct::compress_symmetric, HssOptions, UlvFactorization};
 use hkrr_kernel::{KernelMatrix, NormalizationStats, Normalizer};
-use hkrr_datasets::registry::SUSY;
 use std::time::Instant;
 
 fn main() {
@@ -29,7 +29,10 @@ fn main() {
         let normalized = stats.transform(&ds.train);
         let ordering = cluster(&normalized, ClusteringMethod::TwoMeans { seed: 9 }, 16);
         let permuted = normalized.select_rows(ordering.permutation());
-        let km = KernelMatrix::new(permuted.clone(), hkrr_kernel::KernelFunction::gaussian(SUSY.default_h));
+        let km = KernelMatrix::new(
+            permuted.clone(),
+            hkrr_kernel::KernelFunction::gaussian(SUSY.default_h),
+        );
 
         let h = build_hmatrix(
             &km,
@@ -56,7 +59,9 @@ fn main() {
         let factor = UlvFactorization::factor(&hss).expect("ULV factorization failed");
         factor_time.push(t.elapsed().as_secs_f64());
 
-        let b: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let t = Instant::now();
         let _x = factor.solve(&b).expect("solve failed");
         solve_time.push(t.elapsed().as_secs_f64());

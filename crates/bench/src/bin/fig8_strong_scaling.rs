@@ -6,9 +6,9 @@
 
 use hkrr_bench::{dataset, print_series, scaled, with_threads};
 use hkrr_clustering::{cluster, ClusteringMethod};
+use hkrr_datasets::spec_by_name;
 use hkrr_hss::{construct::compress_symmetric, HssOptions, UlvFactorization};
 use hkrr_kernel::{KernelFunction, KernelMatrix, NormalizationStats, Normalizer};
-use hkrr_datasets::spec_by_name;
 use std::time::Instant;
 
 fn main() {

@@ -41,7 +41,9 @@ fn main() {
     }
 
     print_table(
-        &format!("Table 2: HSS memory (MB) per ordering + accuracy ({n_train} train / {n_test} test)"),
+        &format!(
+            "Table 2: HSS memory (MB) per ordering + accuracy ({n_train} train / {n_test} test)"
+        ),
         &[
             "Dataset (dim)",
             "params",

@@ -47,10 +47,20 @@ fn main() {
     print_table(
         "Table 3: large-scale prediction with the paper's hyperparameters",
         &[
-            "Dataset", "N (paper)", "N (here)", "d", "h", "lambda", "Acc", "Acc (paper)",
-            "train time", "HSS MB",
+            "Dataset",
+            "N (paper)",
+            "N (here)",
+            "d",
+            "h",
+            "lambda",
+            "Acc",
+            "Acc (paper)",
+            "train time",
+            "HSS MB",
         ],
         &rows,
     );
-    println!("\nExpected shape (paper): MNIST/COVTYPE reach ~99%, HEPMASS ~90%, SUSY is hardest (~73%).");
+    println!(
+        "\nExpected shape (paper): MNIST/COVTYPE reach ~99%, HEPMASS ~90%, SUSY is hardest (~73%)."
+    );
 }

@@ -35,7 +35,11 @@ pub fn dataset(spec: &DatasetSpec, n_train: usize, n_test: usize, seed: u64) -> 
 
 /// The default configuration used by the table/figure binaries for a given
 /// dataset spec and clustering method.
-pub fn config_for(spec: &DatasetSpec, clustering: ClusteringMethod, solver: SolverKind) -> KrrConfig {
+pub fn config_for(
+    spec: &DatasetSpec,
+    clustering: ClusteringMethod,
+    solver: SolverKind,
+) -> KrrConfig {
     KrrConfig {
         h: spec.default_h,
         lambda: spec.default_lambda,
@@ -125,7 +129,11 @@ mod tests {
     #[test]
     fn train_and_score_helper() {
         let ds = dataset(&LETTER, 200, 50, 1);
-        let cfg = config_for(&LETTER, ClusteringMethod::Natural, SolverKind::DenseCholesky);
+        let cfg = config_for(
+            &LETTER,
+            ClusteringMethod::Natural,
+            SolverKind::DenseCholesky,
+        );
         let (model, secs) = train_timed(&ds, &cfg);
         assert!(secs > 0.0);
         assert!(test_accuracy(&model, &ds) > 0.8);

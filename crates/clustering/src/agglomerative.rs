@@ -100,7 +100,13 @@ pub fn agglomerative_ordering(points: &Matrix, leaf_size: usize) -> ClusterOrder
     let root_dendro = active[0];
     let mut permutation: Vec<usize> = Vec::with_capacity(n);
     let mut nodes: Vec<ClusterNode> = Vec::new();
-    let root = flatten(&dendro, root_dendro, leaf_size, &mut permutation, &mut nodes);
+    let root = flatten(
+        &dendro,
+        root_dendro,
+        leaf_size,
+        &mut permutation,
+        &mut nodes,
+    );
     let tree = ClusterTree::from_parts(nodes, root);
     ClusterOrdering::new(permutation, tree)
 }

@@ -101,7 +101,7 @@ pub fn cluster(points: &Matrix, method: ClusteringMethod, leaf_size: usize) -> C
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hkrr_linalg::random::{gaussian_matrix, Pcg64};
+    use hkrr_linalg::random::Pcg64;
 
     fn clustered_points(seed: u64, n: usize, d: usize) -> Matrix {
         // Two well-separated blobs.

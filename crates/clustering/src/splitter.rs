@@ -28,7 +28,14 @@ pub fn build_ordering(
     let mut permutation: Vec<usize> = Vec::with_capacity(n);
     let mut nodes: Vec<ClusterNode> = Vec::new();
     let all: Vec<usize> = (0..n).collect();
-    let root = build_rec(points, all, leaf_size, splitter, &mut permutation, &mut nodes);
+    let root = build_rec(
+        points,
+        all,
+        leaf_size,
+        splitter,
+        &mut permutation,
+        &mut nodes,
+    );
     let tree = ClusterTree::from_parts(nodes, root);
     ClusterOrdering::new(permutation, tree)
 }
@@ -90,11 +97,7 @@ fn build_rec(
 /// Falls back to a median split when one side would end up with fewer than
 /// `1/100` of the points — the imbalance guard described in the paper's
 /// k-d tree section.
-pub fn threshold_split(
-    idx: &[usize],
-    values: &[f64],
-    threshold: f64,
-) -> (Vec<usize>, Vec<usize>) {
+pub fn threshold_split(idx: &[usize], values: &[f64], threshold: f64) -> (Vec<usize>, Vec<usize>) {
     let mut left = Vec::with_capacity(idx.len() / 2);
     let mut right = Vec::with_capacity(idx.len() / 2);
     for (&i, &v) in idx.iter().zip(values.iter()) {

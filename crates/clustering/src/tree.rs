@@ -162,7 +162,9 @@ impl ClusterTree {
                     let ln = &self.nodes[l];
                     let rn = &self.nodes[r];
                     if ln.start != node.start {
-                        return Err(format!("node {id}: left child does not start at parent start"));
+                        return Err(format!(
+                            "node {id}: left child does not start at parent start"
+                        ));
                     }
                     if rn.start != ln.start + ln.size {
                         return Err(format!("node {id}: children ranges are not contiguous"));
@@ -234,8 +236,15 @@ impl ClusterOrdering {
 
     /// Applies the ordering to a label vector (or any per-point payload).
     pub fn apply<T: Clone>(&self, values: &[T]) -> Vec<T> {
-        assert_eq!(values.len(), self.permutation.len(), "apply: length mismatch");
-        self.permutation.iter().map(|&i| values[i].clone()).collect()
+        assert_eq!(
+            values.len(),
+            self.permutation.len(),
+            "apply: length mismatch"
+        );
+        self.permutation
+            .iter()
+            .map(|&i| values[i].clone())
+            .collect()
     }
 }
 
@@ -246,9 +255,27 @@ mod tests {
     fn three_level_tree() -> ClusterTree {
         // root(0..4) -> [0..2], [2..4]
         let nodes = vec![
-            ClusterNode { start: 0, size: 4, left: Some(1), right: Some(2), parent: None },
-            ClusterNode { start: 0, size: 2, left: None, right: None, parent: Some(0) },
-            ClusterNode { start: 2, size: 2, left: None, right: None, parent: Some(0) },
+            ClusterNode {
+                start: 0,
+                size: 4,
+                left: Some(1),
+                right: Some(2),
+                parent: None,
+            },
+            ClusterNode {
+                start: 0,
+                size: 2,
+                left: None,
+                right: None,
+                parent: Some(0),
+            },
+            ClusterNode {
+                start: 2,
+                size: 2,
+                left: None,
+                right: None,
+                parent: Some(0),
+            },
         ];
         ClusterTree::from_parts(nodes, 0)
     }
@@ -279,9 +306,27 @@ mod tests {
     #[test]
     fn validation_catches_bad_partition() {
         let nodes = vec![
-            ClusterNode { start: 0, size: 4, left: Some(1), right: Some(2), parent: None },
-            ClusterNode { start: 0, size: 3, left: None, right: None, parent: Some(0) },
-            ClusterNode { start: 2, size: 2, left: None, right: None, parent: Some(0) },
+            ClusterNode {
+                start: 0,
+                size: 4,
+                left: Some(1),
+                right: Some(2),
+                parent: None,
+            },
+            ClusterNode {
+                start: 0,
+                size: 3,
+                left: None,
+                right: None,
+                parent: Some(0),
+            },
+            ClusterNode {
+                start: 2,
+                size: 2,
+                left: None,
+                right: None,
+                parent: Some(0),
+            },
         ];
         let t = ClusterTree::from_parts(nodes, 0);
         assert!(t.validate().is_err());
@@ -290,8 +335,20 @@ mod tests {
     #[test]
     fn validation_catches_single_child() {
         let nodes = vec![
-            ClusterNode { start: 0, size: 2, left: Some(1), right: None, parent: None },
-            ClusterNode { start: 0, size: 2, left: None, right: None, parent: Some(0) },
+            ClusterNode {
+                start: 0,
+                size: 2,
+                left: Some(1),
+                right: None,
+                parent: None,
+            },
+            ClusterNode {
+                start: 0,
+                size: 2,
+                left: None,
+                right: None,
+                parent: Some(0),
+            },
         ];
         let t = ClusterTree::from_parts(nodes, 0);
         assert!(t.validate().is_err());

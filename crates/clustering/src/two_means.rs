@@ -91,10 +91,7 @@ impl Splitter for TwoMeansSplitter {
                     Self::squared_distance(p, &c1) < Self::squared_distance(p, &c0)
                 })
                 .collect();
-            let changed = new_assign
-                .iter()
-                .zip(assign.iter())
-                .any(|(a, b)| a != b);
+            let changed = new_assign.iter().zip(assign.iter()).any(|(a, b)| a != b);
             assign = new_assign;
 
             // Update step.

@@ -150,11 +150,15 @@ mod tests {
         assert!(KrrConfig::default().with_h(0.0).validate().is_err());
         assert!(KrrConfig::default().with_h(f64::NAN).validate().is_err());
         assert!(KrrConfig::default().with_lambda(-1.0).validate().is_err());
-        let mut c = KrrConfig::default();
-        c.leaf_size = 0;
+        let c = KrrConfig {
+            leaf_size: 0,
+            ..KrrConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = KrrConfig::default();
-        c.tolerance = 0.0;
+        let c = KrrConfig {
+            tolerance: 0.0,
+            ..KrrConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -196,8 +196,8 @@ mod tests {
     use super::*;
     use crate::config::{KrrConfig, SolverKind};
     use hkrr_clustering::ClusteringMethod;
-    use hkrr_datasets::registry::LETTER;
     use hkrr_datasets::generate;
+    use hkrr_datasets::registry::LETTER;
 
     fn quick_config(solver: SolverKind) -> KrrConfig {
         KrrConfig {
@@ -211,9 +211,12 @@ mod tests {
     #[test]
     fn dense_baseline_classifies_separable_data() {
         let ds = generate(&LETTER, 400, 120, 1);
-        let model =
-            KrrModel::fit(&ds.train, &ds.train_labels, &quick_config(SolverKind::DenseCholesky))
-                .unwrap();
+        let model = KrrModel::fit(
+            &ds.train,
+            &ds.train_labels,
+            &quick_config(SolverKind::DenseCholesky),
+        )
+        .unwrap();
         let pred = model.predict(&ds.test);
         let acc = accuracy(&pred, &ds.test_labels);
         assert!(acc > 0.9, "dense accuracy {acc}");
@@ -223,11 +226,14 @@ mod tests {
     #[test]
     fn hss_solver_matches_dense_accuracy() {
         let ds = generate(&LETTER, 500, 150, 2);
-        let dense =
-            KrrModel::fit(&ds.train, &ds.train_labels, &quick_config(SolverKind::DenseCholesky))
-                .unwrap();
-        let hss = KrrModel::fit(&ds.train, &ds.train_labels, &quick_config(SolverKind::Hss))
-            .unwrap();
+        let dense = KrrModel::fit(
+            &ds.train,
+            &ds.train_labels,
+            &quick_config(SolverKind::DenseCholesky),
+        )
+        .unwrap();
+        let hss =
+            KrrModel::fit(&ds.train, &ds.train_labels, &quick_config(SolverKind::Hss)).unwrap();
         let acc_dense = accuracy(&dense.predict(&ds.test), &ds.test_labels);
         let acc_hss = accuracy(&hss.predict(&ds.test), &ds.test_labels);
         assert!(
@@ -255,8 +261,8 @@ mod tests {
     #[test]
     fn hss_memory_is_reported_and_below_dense_for_clustered_order() {
         let ds = generate(&LETTER, 600, 50, 4);
-        let cfg = quick_config(SolverKind::Hss)
-            .with_clustering(ClusteringMethod::TwoMeans { seed: 1 });
+        let cfg =
+            quick_config(SolverKind::Hss).with_clustering(ClusteringMethod::TwoMeans { seed: 1 });
         let model = KrrModel::fit(&ds.train, &ds.train_labels, &cfg).unwrap();
         let dense_bytes = 600 * 600 * 8;
         assert!(model.report().matrix_memory_bytes > 0);
@@ -308,7 +314,10 @@ mod tests {
 
     #[test]
     fn accuracy_metric() {
-        assert_eq!(accuracy(&[1.0, -1.0, 1.0, 1.0], &[1.0, -1.0, -1.0, 1.0]), 0.75);
+        assert_eq!(
+            accuracy(&[1.0, -1.0, 1.0, 1.0], &[1.0, -1.0, -1.0, 1.0]),
+            0.75
+        );
         assert_eq!(accuracy(&[], &[]), 0.0);
         assert_eq!(accuracy(&[2.5, -0.1], &[1.0, -1.0]), 1.0);
     }

@@ -100,7 +100,11 @@ impl MulticlassKrr {
             return 0.0;
         }
         let pred = self.predict(test);
-        let correct = pred.iter().zip(truth.iter()).filter(|(p, t)| p == t).count();
+        let correct = pred
+            .iter()
+            .zip(truth.iter())
+            .filter(|(p, t)| p == t)
+            .count();
         correct as f64 / truth.len() as f64
     }
 }

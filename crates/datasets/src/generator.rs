@@ -170,8 +170,16 @@ mod tests {
         let mut correct = 0;
         for i in 0..ds.num_test() {
             let x = ds.test.row(i);
-            let dp: f64 = x.iter().zip(&mean_pos).map(|(a, b)| (a - b) * (a - b)).sum();
-            let dn: f64 = x.iter().zip(&mean_neg).map(|(a, b)| (a - b) * (a - b)).sum();
+            let dp: f64 = x
+                .iter()
+                .zip(&mean_pos)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            let dn: f64 = x
+                .iter()
+                .zip(&mean_neg)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
             let pred = if dp < dn { 1.0 } else { -1.0 };
             if pred == ds.test_labels[i] {
                 correct += 1;

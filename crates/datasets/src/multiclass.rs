@@ -139,7 +139,7 @@ mod tests {
         let ds = generate_multiclass(&MNIST, 10, 1000, 100, 3);
         for class in 0..10 {
             assert!(
-                ds.train_labels.iter().any(|&l| l == class),
+                ds.train_labels.contains(&class),
                 "class {class} missing from the training split"
             );
         }

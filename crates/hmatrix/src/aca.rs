@@ -64,9 +64,7 @@ pub fn aca_compress(
                 pivot_row = (pivot_row + 1) % m;
                 continue;
             }
-            let mut r: Vec<f64> = (0..n)
-                .map(|j| op.entry(rows[pivot_row], cols[j]))
-                .collect();
+            let mut r: Vec<f64> = (0..n).map(|j| op.entry(rows[pivot_row], cols[j])).collect();
             for (u, v) in us.iter().zip(vs.iter()) {
                 let coeff = u[pivot_row];
                 if coeff != 0.0 {
@@ -97,9 +95,7 @@ pub fn aca_compress(
             .unwrap();
         // Residual of the pivot column: A(:, j*) - Σ v_k[j*] u_k, scaled so
         // that u_new v_new^T reproduces the cross exactly.
-        let mut u_new: Vec<f64> = (0..m)
-            .map(|i| op.entry(rows[i], cols[pivot_col]))
-            .collect();
+        let mut u_new: Vec<f64> = (0..m).map(|i| op.entry(rows[i], cols[pivot_col])).collect();
         for (u, v) in us.iter().zip(vs.iter()) {
             let coeff = v[pivot_col];
             if coeff != 0.0 {

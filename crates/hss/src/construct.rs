@@ -401,7 +401,8 @@ mod tests {
         let mut rng = Pcg64::seed_from_u64(3);
         let noise = Matrix::from_fn(n, n, |_, _| 1e-9 * rng.next_gaussian());
         let sampler = a.add(&noise.add(&noise.transpose()));
-        let hss = compress_symmetric(&a, &sampler, ordering(n, 16), &HssOptions::default()).unwrap();
+        let hss =
+            compress_symmetric(&a, &sampler, ordering(n, 16), &HssOptions::default()).unwrap();
         let err = blas::relative_error(&a, &hss.to_dense());
         assert!(err < 1e-5, "reconstruction error {err}");
     }

@@ -35,7 +35,10 @@ impl HssMatrix {
                 continue;
             }
             let node = tree.node(id);
-            let u = self.nodes[id].u.as_ref().expect("non-root node has a basis");
+            let u = self.nodes[id]
+                .u
+                .as_ref()
+                .expect("non-root node has a basis");
             if node.is_leaf() {
                 let xi = &x[node.range()];
                 let mut zi = vec![0.0; u.ncols()];
@@ -177,7 +180,9 @@ mod tests {
     fn build(n: usize, leaf: usize, tol: f64) -> (Matrix, crate::HssMatrix) {
         let a = kernel_1d(n, 0.07);
         let points = Matrix::from_fn(n, 1, |i, _| i as f64);
-        let tree = cluster(&points, ClusteringMethod::Natural, leaf).tree().clone();
+        let tree = cluster(&points, ClusteringMethod::Natural, leaf)
+            .tree()
+            .clone();
         let opts = HssOptions {
             tolerance: tol,
             ..Default::default()

@@ -80,7 +80,9 @@ mod tests {
             (-d * d / 0.02).exp()
         });
         let points = Matrix::from_fn(n, 1, |i, _| i as f64);
-        let tree = cluster(&points, ClusteringMethod::Natural, 16).tree().clone();
+        let tree = cluster(&points, ClusteringMethod::Natural, 16)
+            .tree()
+            .clone();
         compress_symmetric(&a, &a, tree, &HssOptions::default()).unwrap()
     }
 
@@ -92,7 +94,11 @@ mod tests {
         assert_eq!(s.memory_bytes, hss.memory_bytes());
         assert_eq!(s.max_rank, hss.max_rank());
         assert_eq!(s.dense_bytes, 256 * 256 * 8);
-        assert!(s.compression_ratio > 1.0, "expected compression, got {}", s.compression_ratio);
+        assert!(
+            s.compression_ratio > 1.0,
+            "expected compression, got {}",
+            s.compression_ratio
+        );
         assert_eq!(s.num_nodes, hss.tree().num_nodes());
         assert_eq!(s.num_leaves, hss.tree().leaves().len());
         assert_eq!(s.ranks.len(), s.num_nodes - 1);

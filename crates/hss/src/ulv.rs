@@ -100,8 +100,7 @@ impl UlvFactorization {
                 let u = nd.u.as_ref().expect("non-root internal node stores Ũ");
                 let k1 = f1.rank;
                 let u_top = blas::matmul(&f1.uhat, &u.submatrix(0, k1, 0, u.ncols()));
-                let u_bottom =
-                    blas::matmul(&f2.uhat, &u.submatrix(k1, u.nrows(), 0, u.ncols()));
+                let u_bottom = blas::matmul(&f2.uhat, &u.submatrix(k1, u.nrows(), 0, u.ncols()));
                 (d_full, u_top.vstack(&u_bottom))
             };
 
@@ -339,7 +338,9 @@ mod tests {
     fn build_shifted(n: usize, h: f64, lambda: f64, tol: f64) -> (Matrix, crate::HssMatrix) {
         let a = kernel_1d(n, h);
         let points = Matrix::from_fn(n, 1, |i, _| i as f64);
-        let tree = cluster(&points, ClusteringMethod::Natural, 16).tree().clone();
+        let tree = cluster(&points, ClusteringMethod::Natural, 16)
+            .tree()
+            .clone();
         let opts = HssOptions {
             tolerance: tol,
             ..Default::default()
@@ -425,7 +426,9 @@ mod tests {
         let n = 64;
         let a = Matrix::identity(n);
         let points = Matrix::from_fn(n, 1, |i, _| i as f64);
-        let tree = cluster(&points, ClusteringMethod::Natural, 16).tree().clone();
+        let tree = cluster(&points, ClusteringMethod::Natural, 16)
+            .tree()
+            .clone();
         let mut hss = compress_symmetric(&a, &a, tree, &HssOptions::default()).unwrap();
         hss.set_diagonal_shift(3.0);
         let f = UlvFactorization::factor(&hss).unwrap();
@@ -444,7 +447,9 @@ mod tests {
         let n = 128;
         let a = kernel_1d(n, 0.08);
         let points = Matrix::from_fn(n, 1, |i, _| i as f64);
-        let tree = cluster(&points, ClusteringMethod::Natural, 16).tree().clone();
+        let tree = cluster(&points, ClusteringMethod::Natural, 16)
+            .tree()
+            .clone();
         let mut hss = compress_symmetric(
             &a,
             &a,

@@ -76,18 +76,16 @@ pub fn coordinate_stats(points: &Matrix, idx: &[usize]) -> (Vec<f64>, Vec<f64>) 
             }
         }
     }
-    let inv = if idx.is_empty() { 0.0 } else { 1.0 / idx.len() as f64 };
+    let inv = if idx.is_empty() {
+        0.0
+    } else {
+        1.0 / idx.len() as f64
+    };
     for m in mean.iter_mut() {
         *m *= inv;
     }
     let spread: Vec<f64> = (0..d)
-        .map(|k| {
-            if idx.is_empty() {
-                0.0
-            } else {
-                max[k] - min[k]
-            }
-        })
+        .map(|k| if idx.is_empty() { 0.0 } else { max[k] - min[k] })
         .collect();
     (mean, spread)
 }

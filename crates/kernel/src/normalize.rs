@@ -40,7 +40,8 @@ impl NormalizationStats {
             Normalizer::None => {}
             Normalizer::ZScore => {
                 for j in 0..d {
-                    let mean: f64 = (0..train.nrows()).map(|i| train[(i, j)]).sum::<f64>() / n as f64;
+                    let mean: f64 =
+                        (0..train.nrows()).map(|i| train[(i, j)]).sum::<f64>() / n as f64;
                     let var: f64 = (0..train.nrows())
                         .map(|i| {
                             let x = train[(i, j)] - mean;
@@ -153,7 +154,8 @@ mod tests {
     fn test_set_uses_train_statistics() {
         let train = Matrix::from_rows(&[vec![0.0], vec![2.0], vec![4.0]]);
         let test = Matrix::from_rows(&[vec![6.0]]);
-        let (_, test_t, stats) = NormalizationStats::fit_transform(&train, &test, Normalizer::ZScore);
+        let (_, test_t, stats) =
+            NormalizationStats::fit_transform(&train, &test, Normalizer::ZScore);
         // Train mean is 2, std is sqrt(8/3).
         let expected = (6.0 - 2.0) / (8.0_f64 / 3.0).sqrt();
         assert!((test_t[(0, 0)] - expected).abs() < 1e-12);

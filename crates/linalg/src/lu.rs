@@ -228,10 +228,7 @@ mod tests {
     #[test]
     fn rectangular_matrix_is_rejected() {
         let a = Matrix::zeros(3, 4);
-        assert!(matches!(
-            lu(&a),
-            Err(LinalgError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(lu(&a), Err(LinalgError::DimensionMismatch { .. })));
     }
 
     #[test]

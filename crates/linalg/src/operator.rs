@@ -166,7 +166,11 @@ impl<'a, T: LinearOperator> PermutedOperator<'a, T> {
     /// Panics if the operator is not square or `perm` is not a permutation
     /// of `0..n`.
     pub fn new(inner: &'a T, perm: Vec<usize>) -> Self {
-        assert_eq!(inner.nrows(), inner.ncols(), "PermutedOperator: must be square");
+        assert_eq!(
+            inner.nrows(),
+            inner.ncols(),
+            "PermutedOperator: must be square"
+        );
         assert_eq!(perm.len(), inner.nrows(), "PermutedOperator: perm length");
         let mut check = perm.clone();
         check.sort_unstable();
@@ -236,7 +240,11 @@ pub struct ShiftedOperator<'a, T: LinearOperator> {
 impl<'a, T: LinearOperator> ShiftedOperator<'a, T> {
     /// Wraps `inner` as `inner + shift * I`.
     pub fn new(inner: &'a T, shift: f64) -> Self {
-        assert_eq!(inner.nrows(), inner.ncols(), "ShiftedOperator: must be square");
+        assert_eq!(
+            inner.nrows(),
+            inner.ncols(),
+            "ShiftedOperator: must be square"
+        );
         ShiftedOperator { inner, shift }
     }
 

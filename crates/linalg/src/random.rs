@@ -72,7 +72,11 @@ impl Pcg64 {
     pub fn next_gaussian(&mut self) -> f64 {
         // Draw u1 away from zero to keep ln(u1) finite.
         let u1 = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        let u1 = if u1 <= f64::MIN_POSITIVE { f64::MIN_POSITIVE } else { u1 };
+        let u1 = if u1 <= f64::MIN_POSITIVE {
+            f64::MIN_POSITIVE
+        } else {
+            u1
+        };
         let u2 = self.next_f64();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
@@ -133,7 +137,13 @@ pub fn gaussian_matrix(rng: &mut Pcg64, rows: usize, cols: usize) -> crate::Matr
 }
 
 /// A `rows x cols` matrix with independent uniform entries in `[lo, hi)`.
-pub fn uniform_matrix(rng: &mut Pcg64, rows: usize, cols: usize, lo: f64, hi: f64) -> crate::Matrix {
+pub fn uniform_matrix(
+    rng: &mut Pcg64,
+    rows: usize,
+    cols: usize,
+    lo: f64,
+    hi: f64,
+) -> crate::Matrix {
     let data = (0..rows * cols).map(|_| rng.uniform(lo, hi)).collect();
     crate::Matrix::from_vec(rows, cols, data)
 }
@@ -194,8 +204,7 @@ mod tests {
     fn gaussian_with_params() {
         let mut rng = Pcg64::seed_from_u64(5);
         let n = 20_000;
-        let mean_est =
-            (0..n).map(|_| rng.gaussian(3.0, 0.5)).sum::<f64>() / n as f64;
+        let mean_est = (0..n).map(|_| rng.gaussian(3.0, 0.5)).sum::<f64>() / n as f64;
         assert!((mean_est - 3.0).abs() < 0.05);
     }
 

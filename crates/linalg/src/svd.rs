@@ -167,7 +167,10 @@ pub fn singular_values(a: &Matrix) -> Vec<f64> {
 /// Effective rank used in Table 1 of the paper: the number of singular
 /// values strictly greater than `threshold`.
 pub fn effective_rank(a: &Matrix, threshold: f64) -> usize {
-    singular_values(a).iter().filter(|&&x| x > threshold).count()
+    singular_values(a)
+        .iter()
+        .filter(|&&x| x > threshold)
+        .count()
 }
 
 /// Spectral norm (largest singular value) of the matrix.

@@ -150,7 +150,12 @@ mod tests {
         let x = solve_upper(&u, &b).unwrap();
         let mut r = vec![0.0; 15];
         gemv(&u, &x, &mut r);
-        let err = nrm2(&r.iter().zip(b.iter()).map(|(a, b)| a - b).collect::<Vec<_>>());
+        let err = nrm2(
+            &r.iter()
+                .zip(b.iter())
+                .map(|(a, b)| a - b)
+                .collect::<Vec<_>>(),
+        );
         assert!(err < 1e-10);
     }
 

@@ -1,0 +1,348 @@
+//! Offline stand-in for [proptest](https://docs.rs/proptest), covering the
+//! API subset the workspace's property tests use: the `proptest!` macro with
+//! an optional `#![proptest_config(...)]` header, numeric-range strategies
+//! (`lo..hi` on `usize`, `u64`, `i64`, `f64`), and the `prop_assert!` /
+//! `prop_assert_eq!` assertion macros.
+//!
+//! Differences from the real crate, deliberately accepted for an offline
+//! build: inputs are drawn from a deterministic per-test SplitMix64 stream
+//! (seeded from the test name), there is **no shrinking** — a failing case
+//! reports the exact inputs that failed instead of a minimized one — and the
+//! default case count is 32 rather than 256. Swapping in the real crate is a
+//! one-line edit of `[workspace.dependencies]` in the root manifest.
+
+use std::fmt::Write as _;
+use std::ops::Range;
+
+/// What `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A failed (or rejected) test case, carrying the formatted reason.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic SplitMix64 stream used to draw inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of random values of one type, mirroring `proptest::Strategy`.
+///
+/// Only what the numeric-range syntax (`lo..hi`) needs: every strategy can
+/// sample a value; there is no value tree and no shrinking.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty usize range strategy");
+        self.start + (rng.next_u64() as usize) % (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn sample(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty u64 range strategy");
+        self.start + rng.next_u64() % (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+    fn sample(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty i64 range strategy");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add((rng.next_u64() % span) as i64)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// Drives one property: draws inputs, runs the case, panics on failure.
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// A runner for the named property (the name seeds the input stream, so
+    /// every property sees its own deterministic sequence).
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner { config, seed, name }
+    }
+
+    /// Runs the property for every configured case.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for i in 0..self.config.cases {
+            let mut rng = TestRng::new(self.seed ^ (u64::from(i) << 32));
+            if let Err(e) = case(&mut rng) {
+                panic!(
+                    "property `{}` failed at case {}/{}: {}",
+                    self.name,
+                    i + 1,
+                    self.config.cases,
+                    e
+                );
+            }
+        }
+    }
+}
+
+/// Formats `name = value` pairs for failure messages.
+pub fn format_inputs(pairs: &[(&str, &dyn std::fmt::Debug)]) -> String {
+    let mut s = String::new();
+    for (k, v) in pairs {
+        let _ = write!(s, "{k} = {v:?}, ");
+    }
+    s.truncate(s.len().saturating_sub(2));
+    s
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that checks the body against random draws.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one `fn` item at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::new($cfg, stringify!($name));
+            runner.run(|rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                let __inputs = $crate::format_inputs(&[
+                    $((stringify!($arg), &$arg as &dyn ::std::fmt::Debug)),+
+                ]);
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                __outcome.map_err(|e| {
+                    $crate::TestCaseError::fail(format!("{e}\n  inputs: {__inputs}"))
+                })
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` that reports the failing inputs instead of unwinding directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $fmt:literal $($args:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($fmt $($args)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                left,
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let a = Strategy::sample(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&a));
+            let b = Strategy::sample(&(0.5f64..4.0), &mut rng);
+            assert!((0.5..4.0).contains(&b));
+            let c = Strategy::sample(&(0u64..1000), &mut rng);
+            assert!(c < 1000);
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself works end to end, including multiple arguments
+        /// and trailing commas.
+        #[test]
+        fn macro_smoke(
+            n in 1usize..50,
+            x in 0.0f64..1.0,
+            s in 0u64..9,
+        ) {
+            prop_assert!((1..50).contains(&n));
+            prop_assert!((0.0..1.0).contains(&x), "x out of range: {x}");
+            prop_assert_eq!(s, s);
+            prop_assert_ne!(n, 0);
+        }
+    }
+
+    // A property defined without `#[test]` so it can be invoked manually to
+    // observe the failure path.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(2))]
+
+        fn always_fails(n in 0usize..10) {
+            prop_assert!(n > 100, "n was {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failing_property_reports_inputs() {
+        always_fails();
+    }
+}

@@ -1,0 +1,605 @@
+//! Offline stand-in for [rayon](https://docs.rs/rayon), covering exactly the
+//! API subset this workspace uses: `par_iter` / `par_iter_mut` /
+//! `par_chunks_mut` on slices, `into_par_iter` on index ranges, the
+//! `map` / `enumerate` / `for_each` / `collect` / `sum` adaptors on those,
+//! and `ThreadPoolBuilder::install` for pinning a thread count.
+//!
+//! Unlike rayon's work-stealing deques, this shim statically partitions each
+//! parallel call across scoped `std::thread` workers. That is a good fit for
+//! the uniform, data-parallel loops in the linear-algebra and kernel-matrix
+//! hot paths (GEMM/GEMV rows, pairwise distances, per-block compressions),
+//! at the cost of load balancing for skewed workloads. The build exists so
+//! the workspace compiles in an offline container; substituting the real
+//! crate is a one-line edit of `[workspace.dependencies]` in the root
+//! manifest and everything here keeps the same call-site syntax.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`]; 0 = no
+    /// override. Thread-local so concurrent `install`s (e.g. `cargo test`
+    /// running `#[test]`s in parallel threads) cannot observe each other.
+    static POOL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Items-per-worker floor, so tiny loops do not pay thread-spawn latency.
+const MIN_ITEMS_PER_THREAD: usize = 64;
+
+/// The number of worker threads a parallel call issued from the current
+/// thread may use.
+pub fn current_num_threads() -> usize {
+    match POOL_OVERRIDE.get() {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+fn threads_for(len: usize) -> usize {
+    current_num_threads()
+        .min(len.div_ceil(MIN_ITEMS_PER_THREAD))
+        .max(1)
+}
+
+/// Splits `0..len` into `parts` contiguous ranges of near-equal size.
+fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Marks the current thread as a pool worker: nested parallel calls issued
+/// from inside a worker run sequentially instead of spawning another
+/// full-width set of threads (real rayon reuses its one pool for nested
+/// work; without this, nested `par_iter`s would oversubscribe the machine
+/// quadratically and escape any [`ThreadPool::install`] cap).
+fn mark_worker() {
+    POOL_OVERRIDE.set(1);
+}
+
+/// Runs `f(i)` for every `i in 0..len` across worker threads and returns the
+/// results in index order.
+fn run_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads_for(len);
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let mut out: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = chunk_ranges(len, threads)
+            .into_iter()
+            .map(|r| {
+                s.spawn(move || {
+                    mark_worker();
+                    r.map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        out = handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect();
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Everything call sites need, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Source traits (the `par_iter` / `into_par_iter` entry points)
+// ---------------------------------------------------------------------------
+
+/// `into_par_iter()` on owned containers; implemented for index ranges.
+pub trait IntoParallelIterator {
+    /// The parallel iterator this container converts into.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// `par_iter()` on shared slices (and anything that derefs to one).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: 'a;
+    /// Borrows `self` as a parallel iterator over `&Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// `par_iter_mut()` on exclusive slices (and anything that derefs to one).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The borrowed item type.
+    type Item: 'a;
+    /// Borrows `self` as a parallel iterator over `&mut Item`.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// `par_chunks_mut()` on exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits `self` into `size`-sized mutable chunks processed in parallel.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut { slice: self, size }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterators and adaptors
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over an index range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps every index through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> MapRange<R, F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        MapRange {
+            range: self.range,
+            f,
+            _out: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs `f` for every index in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        run_indexed(self.range.len(), |i| f(self.range.start + i));
+    }
+}
+
+/// A mapped [`ParRange`].
+pub struct MapRange<R, F> {
+    range: Range<usize>,
+    f: F,
+    _out: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<R, F> MapRange<R, F>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    /// Collects the mapped values in index order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        let start = self.range.start;
+        let f = &self.f;
+        run_indexed(self.range.len(), move |i| f(start + i))
+            .into_iter()
+            .collect()
+    }
+
+    /// Sums the mapped values.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        self.collect::<Vec<R>>().into_iter().sum()
+    }
+}
+
+/// Parallel iterator over `&T` items of a slice.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> MapSlice<'a, T, R, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        MapSlice {
+            slice: self.slice,
+            f,
+            _out: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs `f` for every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        run_indexed(self.slice.len(), |i| f(&self.slice[i]));
+    }
+}
+
+/// A mapped [`ParIter`].
+pub struct MapSlice<'a, T, R, F> {
+    slice: &'a [T],
+    f: F,
+    _out: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<'a, T: Sync, R, F> MapSlice<'a, T, R, F>
+where
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Collects the mapped values in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        let f = &self.f;
+        let slice = self.slice;
+        run_indexed(slice.len(), move |i| f(&slice[i]))
+            .into_iter()
+            .collect()
+    }
+
+    /// Sums the mapped values.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        self.collect::<Vec<R>>().into_iter().sum()
+    }
+}
+
+/// Parallel iterator over `&mut T` items of a slice.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> EnumerateMut<'a, T> {
+        EnumerateMut { slice: self.slice }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        EnumerateMut { slice: self.slice }.for_each(|(_, item)| f(item));
+    }
+}
+
+/// An enumerated [`ParIterMut`].
+pub struct EnumerateMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> EnumerateMut<'_, T> {
+    /// Runs `f((index, &mut item))` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        let len = self.slice.len();
+        let threads = threads_for(len);
+        if threads <= 1 {
+            for (i, item) in self.slice.iter_mut().enumerate() {
+                f((i, item));
+            }
+            return;
+        }
+        std::thread::scope(|s| {
+            let f = &f;
+            let mut rest = self.slice;
+            let mut base = 0;
+            for r in chunk_ranges(len, threads) {
+                let (head, tail) = rest.split_at_mut(r.len());
+                rest = tail;
+                let offset = base;
+                base += head.len();
+                s.spawn(move || {
+                    mark_worker();
+                    for (k, item) in head.iter_mut().enumerate() {
+                        f((offset + k, item));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Parallel iterator over `size`-sized mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its chunk index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut {
+            slice: self.slice,
+            size: self.size,
+        }
+    }
+
+    /// Runs `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// An enumerated [`ParChunksMut`].
+pub struct EnumerateChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<T: Send> EnumerateChunksMut<'_, T> {
+    /// Runs `f((chunk_index, chunk))` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let n_chunks = self.slice.len().div_ceil(self.size.max(1));
+        let threads = threads_for(self.slice.len()).min(n_chunks.max(1));
+        if threads <= 1 {
+            for (i, chunk) in self.slice.chunks_mut(self.size.max(1)).enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        // Deal chunks round-robin into one bucket per worker; chunk sizes are
+        // uniform so this stays balanced without work stealing.
+        let mut buckets: Vec<Vec<(usize, &mut [T])>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, chunk) in self.slice.chunks_mut(self.size.max(1)).enumerate() {
+            buckets[i % threads].push((i, chunk));
+        }
+        std::thread::scope(|s| {
+            let f = &f;
+            for bucket in buckets {
+                s.spawn(move || {
+                    mark_worker();
+                    for (i, chunk) in bucket {
+                        f((i, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread pools
+// ---------------------------------------------------------------------------
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; construction cannot fail in
+/// the shim, the type exists for signature compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fm.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (machine) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the pool at `n` worker threads (0 = machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count cap, mirroring `rayon::ThreadPool`.
+///
+/// The shim has no persistent workers: [`ThreadPool::install`] sets a
+/// thread-local thread-count override for the duration of the closure, which
+/// every parallel call issued from the calling thread consults. The override
+/// is restored by an RAII guard, so it does not leak when `f` panics (e.g.
+/// under `cargo test`, which catches test panics and reuses the thread).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+/// Restores the previous override even if the installed closure panics.
+struct OverrideGuard(usize);
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        POOL_OVERRIDE.set(self.0);
+    }
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count as the calling thread's cap.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = OverrideGuard(POOL_OVERRIDE.replace(self.num_threads));
+        f()
+    }
+
+    /// The thread count this pool was built with (machine default if 0).
+    pub fn current_num_threads(&self) -> usize {
+        match self.num_threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(move || {
+            mark_worker();
+            b()
+        });
+        let ra = a();
+        let rb = hb.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_for_each() {
+        let mut v = vec![0usize; 5000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i + 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_chunk_once() {
+        let mut v = vec![0u32; 1037];
+        v.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i as u32 + 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x > 0));
+        assert_eq!(v[0], 1);
+        assert_eq!(v[1036], 1037u32.div_ceil(64));
+    }
+
+    #[test]
+    fn slice_map_sum_matches_sequential() {
+        let v: Vec<f64> = (0..4096).map(|i| i as f64).collect();
+        let s: f64 = v.par_iter().map(|&x| x * 0.5).sum();
+        assert_eq!(s, v.iter().map(|&x| x * 0.5).sum::<f64>());
+    }
+
+    #[test]
+    fn install_caps_thread_count() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let inside = pool.install(super::current_num_threads);
+        assert_eq!(inside, 2);
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_sequentially_inside_workers() {
+        // Inner parallel calls issued from a worker thread must see a
+        // thread budget of 1, so nesting cannot oversubscribe the machine.
+        let observed: Vec<usize> = (0..2 * super::MIN_ITEMS_PER_THREAD)
+            .into_par_iter()
+            .map(|_| super::current_num_threads())
+            .collect();
+        // Multi-core: outer workers are marked and report 1. Single-core:
+        // the call degrades to the sequential path, which also reports 1.
+        assert!(observed.iter().all(|&n| n == 1), "observed {observed:?}");
+    }
+
+    #[test]
+    fn install_restores_override_when_the_closure_panics() {
+        let before = super::current_num_threads();
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| panic!("boom"))
+        }));
+        assert!(outcome.is_err());
+        assert_eq!(super::current_num_threads(), before);
+    }
+}

@@ -65,9 +65,21 @@ mod tests {
     #[test]
     fn result_picks_best_evaluation() {
         let history = vec![
-            Evaluation { h: 1.0, lambda: 1.0, accuracy: 0.7 },
-            Evaluation { h: 2.0, lambda: 0.5, accuracy: 0.9 },
-            Evaluation { h: 0.5, lambda: 2.0, accuracy: 0.8 },
+            Evaluation {
+                h: 1.0,
+                lambda: 1.0,
+                accuracy: 0.7,
+            },
+            Evaluation {
+                h: 2.0,
+                lambda: 0.5,
+                accuracy: 0.9,
+            },
+            Evaluation {
+                h: 0.5,
+                lambda: 2.0,
+                accuracy: 0.8,
+            },
         ];
         let r = TuningResult::from_history(history);
         assert_eq!(r.best.h, 2.0);

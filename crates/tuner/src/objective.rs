@@ -72,13 +72,8 @@ mod tests {
             solver: SolverKind::DenseCholesky,
             ..KrrConfig::default()
         };
-        let obj = ValidationObjective::new(
-            &ds.train,
-            &ds.train_labels,
-            &ds.test,
-            &ds.test_labels,
-            base,
-        );
+        let obj =
+            ValidationObjective::new(&ds.train, &ds.train_labels, &ds.test, &ds.test_labels, base);
         let good = obj.evaluate(LETTER.default_h, LETTER.default_lambda);
         // A wildly wrong bandwidth makes the kernel matrix nearly identity
         // or nearly all-ones and hurts accuracy.

@@ -48,8 +48,8 @@ pub fn black_box_search(objective: &dyn Objective, opts: &SearchOptions) -> Tuni
     let mut rng = Pcg64::seed_from_u64(opts.seed);
     let mut history: Vec<Evaluation> = Vec::with_capacity(opts.budget);
 
-    let explore = ((opts.budget as f64 * opts.exploration_fraction).ceil() as usize)
-        .clamp(1, opts.budget);
+    let explore =
+        ((opts.budget as f64 * opts.exploration_fraction).ceil() as usize).clamp(1, opts.budget);
 
     // Phase 1: log-uniform random exploration.
     for _ in 0..explore {

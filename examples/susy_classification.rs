@@ -12,7 +12,9 @@ fn main() {
     let n_train = 2000;
     let train = ds.train.submatrix(0, n_train, 0, ds.train.ncols());
     let train_labels = ds.train_labels[..n_train].to_vec();
-    let valid = ds.train.submatrix(n_train, ds.train.nrows(), 0, ds.train.ncols());
+    let valid = ds
+        .train
+        .submatrix(n_train, ds.train.nrows(), 0, ds.train.ncols());
     let valid_labels = ds.train_labels[n_train..].to_vec();
 
     // 1. Tune (h, lambda) with the budgeted black-box search (the paper's

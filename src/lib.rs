@@ -35,5 +35,7 @@ pub mod prelude {
     pub use hkrr_datasets::{generate, generate_multiclass, spec_by_name, DatasetSpec};
     pub use hkrr_kernel::{KernelFunction, KernelMatrix, Normalizer};
     pub use hkrr_linalg::{LinearOperator, Matrix};
-    pub use hkrr_tuner::{black_box_search, grid_search, GridSpec, SearchOptions, ValidationObjective};
+    pub use hkrr_tuner::{
+        black_box_search, grid_search, GridSpec, SearchOptions, ValidationObjective,
+    };
 }

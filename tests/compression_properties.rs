@@ -17,7 +17,9 @@ fn make_points(n: usize, d: usize, blobs: usize, seed: u64) -> Matrix {
     let centres: Vec<Vec<f64>> = (0..blobs)
         .map(|_| (0..d).map(|_| 4.0 * rng.next_gaussian()).collect())
         .collect();
-    Matrix::from_fn(n, d, |i, j| centres[i % blobs][j] + 0.5 * rng.next_gaussian())
+    Matrix::from_fn(n, d, |i, j| {
+        centres[i % blobs][j] + 0.5 * rng.next_gaussian()
+    })
 }
 
 proptest! {

@@ -25,8 +25,12 @@ fn hss_and_dense_solvers_agree_on_accuracy_and_weights() {
         &base.with_solver(SolverKind::DenseCholesky),
     )
     .unwrap();
-    let hss = KrrModel::fit(&ds.train, &ds.train_labels, &base.with_solver(SolverKind::Hss))
-        .unwrap();
+    let hss = KrrModel::fit(
+        &ds.train,
+        &ds.train_labels,
+        &base.with_solver(SolverKind::Hss),
+    )
+    .unwrap();
 
     let acc_dense = accuracy(&dense.predict(&ds.test), &ds.test_labels);
     let acc_hss = accuracy(&hss.predict(&ds.test), &ds.test_labels);
@@ -109,7 +113,10 @@ fn clustering_reduces_hss_memory_without_hurting_accuracy() {
 
     let acc_np = accuracy(&natural.predict(&ds.test), &ds.test_labels);
     let acc_2mn = accuracy(&two_means.predict(&ds.test), &ds.test_labels);
-    assert!((acc_np - acc_2mn).abs() <= 0.05, "NP {acc_np} vs 2MN {acc_2mn}");
+    assert!(
+        (acc_np - acc_2mn).abs() <= 0.05,
+        "NP {acc_np} vs 2MN {acc_2mn}"
+    );
 }
 
 #[test]

@@ -1,0 +1,129 @@
+//! Workspace smoke test: drives the quickstart path — synthetic dataset →
+//! clustering → HSS compression → ULV solve → prediction — entirely through
+//! the umbrella crate's re-export surface (`hkrr::…` and `hkrr::prelude`),
+//! so a broken re-export or a leaf-crate API drift fails here even when the
+//! leaf crates' own tests still pass.
+
+use hkrr::prelude::*;
+
+/// The end-to-end quickstart path at test scale, through the prelude only.
+#[test]
+fn quickstart_path_through_prelude() {
+    let spec = spec_by_name("LETTER").expect("LETTER spec registered");
+    let ds = generate(&spec, 400, 100, 42);
+    assert_eq!(ds.num_train(), 400);
+    assert_eq!(ds.num_test(), 100);
+    assert_eq!(ds.dim(), spec.dim);
+
+    let hss_config = KrrConfig {
+        h: spec.default_h,
+        lambda: spec.default_lambda,
+        clustering: ClusteringMethod::TwoMeans { seed: 7 },
+        solver: SolverKind::Hss,
+        ..KrrConfig::default()
+    };
+    let hss_model = KrrModel::fit(&ds.train, &ds.train_labels, &hss_config).unwrap();
+    let hss_acc = accuracy(&hss_model.predict(&ds.test), &ds.test_labels);
+
+    let dense_config = hss_config.with_solver(SolverKind::DenseCholesky);
+    let dense_model = KrrModel::fit(&ds.train, &ds.train_labels, &dense_config).unwrap();
+    let dense_acc = accuracy(&dense_model.predict(&ds.test), &ds.test_labels);
+
+    // The paper's central claim at toy scale: the compressed solver tracks
+    // the exact one. Both should clear chance by a wide margin, and agree.
+    assert!(dense_acc > 0.6, "dense accuracy {dense_acc}");
+    assert!(
+        (hss_acc - dense_acc).abs() < 0.1,
+        "HSS accuracy {hss_acc} diverges from dense {dense_acc}"
+    );
+
+    // The training report carries the paper's resource metrics.
+    let report = hss_model.report();
+    assert!(report.matrix_memory_mb() > 0.0);
+    assert!(report.max_rank > 0);
+    assert!(report.total_seconds() >= 0.0);
+}
+
+/// The same pipeline assembled from the individual re-exported crates
+/// (cluster → compress → shift → factor → solve), checking the pieces line
+/// up across `hkrr::clustering` / `hkrr::kernel` / `hkrr::hss`.
+#[test]
+fn manual_pipeline_through_reexports() {
+    use hkrr::hss::{construct::compress_symmetric, HssOptions, UlvFactorization};
+    use hkrr::kernel::{KernelFunction, KernelMatrix};
+    use hkrr::linalg::{blas, Pcg64};
+
+    let mut rng = Pcg64::seed_from_u64(3);
+    let n = 256;
+    let points = hkrr::linalg::Matrix::from_fn(
+        n,
+        4,
+        |i, _| if i % 2 == 0 { 3.0 } else { -3.0 } + rng.next_gaussian(),
+    );
+
+    let ordering = hkrr::clustering::cluster(&points, ClusteringMethod::KdTree, DEFAULT_LEAF_SIZE);
+    assert!(hkrr::clustering::permutation_is_valid(
+        ordering.permutation(),
+        n
+    ));
+
+    let permuted = points.select_rows(ordering.permutation());
+    let km = KernelMatrix::new(permuted, KernelFunction::gaussian(1.5));
+    let mut hss = compress_symmetric(
+        &km,
+        &km,
+        ordering.tree().clone(),
+        &HssOptions {
+            tolerance: 1e-6,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    hss.set_diagonal_shift(0.5);
+    let factor = UlvFactorization::factor(&hss).unwrap();
+    let b: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+    let x = factor.solve(&b).unwrap();
+
+    let mut ax = vec![0.0; n];
+    hss.matvec(&x, &mut ax);
+    let res_num: f64 = ax
+        .iter()
+        .zip(&b)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    let res = res_num / blas::nrm2(&b);
+    assert!(res < 1e-8, "ULV residual {res}");
+}
+
+/// The tuner's re-export surface: a tiny grid search over (h, lambda) runs
+/// every grid point and reports the best one.
+#[test]
+fn tuner_grid_search_through_prelude() {
+    let spec = spec_by_name("PEN").expect("PEN spec registered");
+    let ds = generate(&spec, 200, 60, 11);
+    let objective = ValidationObjective::new(
+        &ds.train,
+        &ds.train_labels,
+        &ds.test,
+        &ds.test_labels,
+        KrrConfig::default(),
+    );
+    let grid = GridSpec {
+        h_min: spec.default_h * 0.5,
+        h_max: spec.default_h,
+        h_steps: 2,
+        lambda_min: spec.default_lambda,
+        lambda_max: spec.default_lambda,
+        lambda_steps: 1,
+    };
+    let result = grid_search(&objective, &grid);
+    assert_eq!(result.num_evaluations(), 2);
+    let best_seen = result
+        .history
+        .iter()
+        .map(|e| e.accuracy)
+        .fold(0.0, f64::max);
+    assert!(result.best.accuracy >= best_seen - 1e-12);
+}
