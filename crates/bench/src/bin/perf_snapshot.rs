@@ -1,0 +1,117 @@
+//! Pipeline perf snapshot: runs the fixed workload matrix (dense vs HSS vs
+//! H-matrix-accelerated HSS, at 1 / 2 / all threads) and writes the
+//! machine-readable trajectory to `BENCH_pipeline.json`.
+//!
+//! Environment:
+//! * `HKRR_BENCH_SCALE` — global problem-size multiplier (default 1.0; CI
+//!   uses 0.1 for a fast smoke snapshot).
+//! * `HKRR_BENCH_OUT` — output path (default `BENCH_pipeline.json`).
+//! * `HKRR_PERF_SUMMARY` — when set, a markdown summary is appended to this
+//!   file (CI points it at `$GITHUB_STEP_SUMMARY`).
+
+use hkrr_bench::perf::{self, PerfOptions};
+
+fn main() {
+    let opts = PerfOptions::standard();
+    eprintln!(
+        "perf_snapshot: scale {}, thread sweep {:?}, {} workloads",
+        hkrr_bench::bench_scale(),
+        opts.thread_counts,
+        opts.workloads.len()
+    );
+    let report = perf::run(&opts);
+
+    let json = report.to_json();
+    perf::json::validate(&json).expect("generated BENCH_pipeline.json must be well-formed JSON");
+    let out_path =
+        std::env::var("HKRR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("failed to write {out_path}: {e}"));
+    println!("wrote {out_path} ({} bytes)", json.len());
+
+    // Human-readable summary (also the markdown that lands in CI's step
+    // summary).
+    let rows: Vec<Vec<String>> = report
+        .cases
+        .iter()
+        .map(|c| {
+            vec![
+                c.workload.clone(),
+                c.solver.to_string(),
+                c.threads.to_string(),
+                format!("{:.3}", c.construction_seconds),
+                format!("{:.3}", c.factorization_seconds),
+                format!("{:.3}", c.total_seconds),
+                format!("{:.4}", c.accuracy),
+                format!("{:.1}", c.compression_ratio),
+                c.max_rank.to_string(),
+            ]
+        })
+        .collect();
+    hkrr_bench::print_table(
+        "Pipeline perf snapshot",
+        &[
+            "workload",
+            "solver",
+            "threads",
+            "constr(s)",
+            "factor(s)",
+            "total(s)",
+            "accuracy",
+            "compr×",
+            "rank",
+        ],
+        &rows,
+    );
+    let speedup_rows: Vec<Vec<String>> = report
+        .speedups
+        .iter()
+        .map(|s| {
+            vec![
+                s.workload.clone(),
+                s.solver.to_string(),
+                s.threads.to_string(),
+                format!("{:.2}", s.construction),
+                format!("{:.2}", s.factorization),
+                format!("{:.2}", s.construct_plus_factor),
+                format!("{:.2}", s.total),
+                format!("{:+.4}", s.accuracy_delta),
+            ]
+        })
+        .collect();
+    if speedup_rows.is_empty() {
+        println!("\n(single-threaded host: no speedup rows)");
+    } else {
+        hkrr_bench::print_table(
+            "Speedups: all threads vs 1 thread",
+            &[
+                "workload",
+                "solver",
+                "threads",
+                "constr×",
+                "factor×",
+                "constr+factor×",
+                "total×",
+                "Δacc",
+            ],
+            &speedup_rows,
+        );
+    }
+
+    if let Ok(summary_path) = std::env::var("HKRR_PERF_SUMMARY") {
+        if !summary_path.is_empty() {
+            use std::io::Write as _;
+            let md = report.to_markdown_summary();
+            match std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&summary_path)
+            {
+                Ok(mut f) => {
+                    let _ = f.write_all(md.as_bytes());
+                    println!("appended markdown summary to {summary_path}");
+                }
+                Err(e) => eprintln!("could not append summary to {summary_path}: {e}"),
+            }
+        }
+    }
+}

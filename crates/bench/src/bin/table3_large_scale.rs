@@ -28,7 +28,8 @@ fn main() {
             solver: SolverKind::HssWithHSampling,
             ..KrrConfig::default()
         };
-        let (model, secs) = train_timed(&ds, &cfg);
+        let (model, timings) = train_timed(&ds, &cfg);
+        let secs = timings.total_seconds;
         let acc = test_accuracy(&model, &ds);
         rows.push(vec![
             name.to_string(),

@@ -9,6 +9,8 @@
 //! seconds; set the environment variable `HKRR_BENCH_SCALE` (a positive
 //! float) to scale the training-set sizes up or down.
 
+pub mod perf;
+
 use hkrr_clustering::ClusteringMethod;
 use hkrr_core::{accuracy, KrrConfig, KrrModel, SolverKind};
 use hkrr_datasets::{generate, Dataset, DatasetSpec};
@@ -49,12 +51,36 @@ pub fn config_for(
     }
 }
 
-/// Trains a model, returning it together with the measured wall-clock
-/// training time in seconds.
-pub fn train_timed(ds: &Dataset, config: &KrrConfig) -> (KrrModel, f64) {
+/// Wall-clock timing breakdown of one training run, split into the phases
+/// the JSON perf harness tracks separately.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrainTimings {
+    /// Total wall-clock fit time (all phases, including clustering).
+    pub total_seconds: f64,
+    /// Matrix construction: H-matrix sampler (when used) plus HSS
+    /// compression — or dense assembly for the Cholesky baseline.
+    pub construction_seconds: f64,
+    /// ULV factorization (or dense Cholesky).
+    pub factorization_seconds: f64,
+    /// Solve for the weight vector.
+    pub solve_seconds: f64,
+}
+
+/// Trains a model, returning it together with the measured training time
+/// broken down by phase (construction and factorization are reported
+/// separately — the perf harness tracks their speedups independently).
+pub fn train_timed(ds: &Dataset, config: &KrrConfig) -> (KrrModel, TrainTimings) {
     let t = Instant::now();
     let model = KrrModel::fit(&ds.train, &ds.train_labels, config).expect("training failed");
-    (model, t.elapsed().as_secs_f64())
+    let total_seconds = t.elapsed().as_secs_f64();
+    let report = model.report();
+    let timings = TrainTimings {
+        total_seconds,
+        construction_seconds: report.h_construction_seconds + report.hss_construction_seconds(),
+        factorization_seconds: report.factorization_seconds,
+        solve_seconds: report.solve_seconds,
+    };
+    (model, timings)
 }
 
 /// Test-set accuracy of a trained model on a dataset.
@@ -134,8 +160,15 @@ mod tests {
             ClusteringMethod::Natural,
             SolverKind::DenseCholesky,
         );
-        let (model, secs) = train_timed(&ds, &cfg);
-        assert!(secs > 0.0);
+        let (model, timings) = train_timed(&ds, &cfg);
+        assert!(timings.total_seconds > 0.0);
+        assert!(timings.factorization_seconds >= 0.0);
+        assert!(timings.construction_seconds >= 0.0);
+        // The phases are timed separately and must fit inside the total.
+        assert!(
+            timings.construction_seconds + timings.factorization_seconds + timings.solve_seconds
+                <= timings.total_seconds
+        );
         assert!(test_accuracy(&model, &ds) > 0.8);
     }
 

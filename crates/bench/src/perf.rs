@@ -1,0 +1,599 @@
+//! JSON perf-tracking harness: the machine-readable pipeline trajectory.
+//!
+//! [`run`] executes a fixed workload matrix — solver (dense Cholesky vs HSS
+//! vs HSS with H-matrix-accelerated sampling) crossed with thread counts
+//! (1 / 2 / all) over a small and a medium problem — and records wall times
+//! per phase (construction, factorization, solve), achieved parallel
+//! speedups, compression ratios, and test accuracy. [`PerfReport::to_json`]
+//! serializes the result as `BENCH_pipeline.json` so CI can archive one
+//! snapshot per commit and future PRs are judged against recorded numbers
+//! instead of anecdotes.
+//!
+//! The dense baseline runs once per workload (at the full thread count):
+//! its wall time anchors the dense-vs-hierarchical comparison, while the
+//! speedup rows compare each HSS solver against its own single-thread run.
+//!
+//! JSON is emitted by a small hand-rolled writer (the workspace builds
+//! offline, without serde) and checked by the [`json`] syntax validator
+//! before anything is written to disk.
+
+use crate::{dataset, test_accuracy, train_timed, with_threads};
+use hkrr_clustering::ClusteringMethod;
+use hkrr_core::{KrrConfig, SolverKind};
+use hkrr_datasets::registry::{LETTER, SUSY};
+use hkrr_datasets::DatasetSpec;
+use std::fmt::Write as _;
+
+/// One problem instance of the workload matrix.
+#[derive(Debug, Clone)]
+pub struct PerfWorkload {
+    /// Stable name used in the JSON (`"small"` / `"medium"`).
+    pub name: &'static str,
+    /// Synthetic stand-in generated for this workload.
+    pub spec: DatasetSpec,
+    /// Number of training points (already scaled by `HKRR_BENCH_SCALE`).
+    pub n_train: usize,
+    /// Number of test points.
+    pub n_test: usize,
+    /// RNG seed for the dataset.
+    pub seed: u64,
+}
+
+/// Options describing the full snapshot run.
+#[derive(Debug, Clone)]
+pub struct PerfOptions {
+    /// Problems to measure.
+    pub workloads: Vec<PerfWorkload>,
+    /// Thread counts for the hierarchical solvers (ascending, deduplicated).
+    pub thread_counts: Vec<usize>,
+}
+
+impl PerfOptions {
+    /// The standard small/medium matrix with 1 / 2 / all-threads sweeps,
+    /// scaled by `HKRR_BENCH_SCALE`.
+    pub fn standard() -> Self {
+        let max_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut thread_counts = vec![1, 2, max_threads];
+        thread_counts.sort_unstable();
+        thread_counts.dedup();
+        thread_counts.retain(|&t| t <= max_threads);
+        PerfOptions {
+            workloads: vec![
+                PerfWorkload {
+                    name: "small",
+                    spec: LETTER,
+                    n_train: crate::scaled(600),
+                    n_test: crate::scaled(150).min(200),
+                    seed: 42,
+                },
+                PerfWorkload {
+                    name: "medium",
+                    spec: SUSY,
+                    n_train: crate::scaled(2000),
+                    n_test: crate::scaled(300).min(400),
+                    seed: 43,
+                },
+            ],
+            thread_counts,
+        }
+    }
+}
+
+/// One measured (workload, solver, threads) cell.
+#[derive(Debug, Clone)]
+pub struct PerfCase {
+    /// Workload name (`"small"` / `"medium"`).
+    pub workload: String,
+    /// Solver label (`"dense"`, `"hss"`, `"hss+h"`).
+    pub solver: &'static str,
+    /// Thread count the run was pinned to.
+    pub threads: usize,
+    /// Training-set size.
+    pub n_train: usize,
+    /// Test-set size.
+    pub n_test: usize,
+    /// Seconds in matrix construction (H sampler + HSS compression, or
+    /// dense assembly).
+    pub construction_seconds: f64,
+    /// Seconds in the ULV factorization (or dense Cholesky).
+    pub factorization_seconds: f64,
+    /// Seconds in the weight solve.
+    pub solve_seconds: f64,
+    /// Total wall-clock training seconds.
+    pub total_seconds: f64,
+    /// Test-set accuracy of the trained model.
+    pub accuracy: f64,
+    /// Memory of the (compressed or dense) training matrix, in bytes.
+    pub matrix_memory_bytes: usize,
+    /// Dense bytes divided by compressed bytes (1.0 for the dense solver).
+    pub compression_ratio: f64,
+    /// Maximum HSS rank (0 for dense).
+    pub max_rank: usize,
+}
+
+/// Parallel speedup of one (workload, solver) pair: all-threads vs 1.
+#[derive(Debug, Clone)]
+pub struct PerfSpeedup {
+    /// Workload name.
+    pub workload: String,
+    /// Solver label.
+    pub solver: &'static str,
+    /// The "all" thread count the speedup compares against 1 thread.
+    pub threads: usize,
+    /// Construction speedup (t₁ / t_all).
+    pub construction: f64,
+    /// Factorization speedup.
+    pub factorization: f64,
+    /// Combined construction + factorization speedup (the tentpole metric).
+    pub construct_plus_factor: f64,
+    /// Total wall-clock speedup.
+    pub total: f64,
+    /// `accuracy(all threads) − accuracy(1 thread)`; the parallel schedules
+    /// are bitwise deterministic, so this must be exactly zero.
+    pub accuracy_delta: f64,
+}
+
+/// The full snapshot: every measured cell plus derived speedups.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// `HKRR_BENCH_SCALE` in effect for the run.
+    pub scale: f64,
+    /// Hardware concurrency of the host.
+    pub host_threads: usize,
+    /// Every measured cell.
+    pub cases: Vec<PerfCase>,
+    /// All-threads-vs-1 speedups per (workload, hierarchical solver).
+    pub speedups: Vec<PerfSpeedup>,
+}
+
+fn config_for(spec: &DatasetSpec, solver: SolverKind) -> KrrConfig {
+    KrrConfig {
+        h: spec.default_h,
+        lambda: spec.default_lambda,
+        clustering: ClusteringMethod::TwoMeans { seed: 7 },
+        solver,
+        ..KrrConfig::default()
+    }
+}
+
+fn measure(
+    workload: &PerfWorkload,
+    ds: &hkrr_datasets::Dataset,
+    solver: SolverKind,
+    threads: usize,
+) -> PerfCase {
+    let cfg = config_for(&workload.spec, solver);
+    let (model, timings) = with_threads(threads, || train_timed(ds, &cfg));
+    let accuracy = test_accuracy(&model, ds);
+    let report = model.report();
+    let dense_bytes = workload.n_train * workload.n_train * std::mem::size_of::<f64>();
+    let compression_ratio = if report.matrix_memory_bytes > 0 {
+        dense_bytes as f64 / report.matrix_memory_bytes as f64
+    } else {
+        1.0
+    };
+    PerfCase {
+        workload: workload.name.to_string(),
+        solver: solver.label(),
+        threads,
+        n_train: workload.n_train,
+        n_test: workload.n_test,
+        construction_seconds: timings.construction_seconds,
+        factorization_seconds: timings.factorization_seconds,
+        solve_seconds: timings.solve_seconds,
+        total_seconds: timings.total_seconds,
+        accuracy,
+        matrix_memory_bytes: report.matrix_memory_bytes,
+        compression_ratio,
+        max_rank: report.max_rank,
+    }
+}
+
+fn ratio(baseline: f64, current: f64) -> f64 {
+    if current > 0.0 {
+        baseline / current
+    } else {
+        1.0
+    }
+}
+
+/// Runs the workload matrix and assembles the report.
+pub fn run(opts: &PerfOptions) -> PerfReport {
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let max_threads = opts.thread_counts.iter().copied().max().unwrap_or(1);
+    let mut cases = Vec::new();
+    let mut speedups = Vec::new();
+
+    for workload in &opts.workloads {
+        // One dataset per workload, shared by every (solver, threads) cell.
+        let ds = dataset(
+            &workload.spec,
+            workload.n_train,
+            workload.n_test,
+            workload.seed,
+        );
+
+        // Dense baseline: one run at full parallelism.
+        cases.push(measure(
+            workload,
+            &ds,
+            SolverKind::DenseCholesky,
+            max_threads,
+        ));
+
+        for solver in [SolverKind::Hss, SolverKind::HssWithHSampling] {
+            let runs: Vec<PerfCase> = opts
+                .thread_counts
+                .iter()
+                .map(|&t| measure(workload, &ds, solver, t))
+                .collect();
+            let base = runs.first().expect("at least one thread count").clone();
+            let top = runs.last().expect("at least one thread count").clone();
+            if top.threads > base.threads {
+                speedups.push(PerfSpeedup {
+                    workload: workload.name.to_string(),
+                    solver: solver.label(),
+                    threads: top.threads,
+                    construction: ratio(base.construction_seconds, top.construction_seconds),
+                    factorization: ratio(base.factorization_seconds, top.factorization_seconds),
+                    construct_plus_factor: ratio(
+                        base.construction_seconds + base.factorization_seconds,
+                        top.construction_seconds + top.factorization_seconds,
+                    ),
+                    total: ratio(base.total_seconds, top.total_seconds),
+                    accuracy_delta: top.accuracy - base.accuracy,
+                });
+            }
+            cases.extend(runs);
+        }
+    }
+
+    PerfReport {
+        scale: crate::bench_scale(),
+        host_threads,
+        cases,
+        speedups,
+    }
+}
+
+fn push_json_f64(out: &mut String, value: f64) {
+    // JSON has no NaN/Infinity; clamp to null-free sentinels.
+    if value.is_finite() {
+        let _ = write!(out, "{value:.6}");
+    } else {
+        out.push_str("0.0");
+    }
+}
+
+impl PerfCase {
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"workload\":\"{}\",\"solver\":\"{}\",\"threads\":{},\"n_train\":{},\"n_test\":{},",
+            self.workload, self.solver, self.threads, self.n_train, self.n_test
+        );
+        out.push_str("\"construction_seconds\":");
+        push_json_f64(out, self.construction_seconds);
+        out.push_str(",\"factorization_seconds\":");
+        push_json_f64(out, self.factorization_seconds);
+        out.push_str(",\"solve_seconds\":");
+        push_json_f64(out, self.solve_seconds);
+        out.push_str(",\"total_seconds\":");
+        push_json_f64(out, self.total_seconds);
+        out.push_str(",\"accuracy\":");
+        push_json_f64(out, self.accuracy);
+        let _ = write!(out, ",\"matrix_memory_bytes\":{}", self.matrix_memory_bytes);
+        out.push_str(",\"compression_ratio\":");
+        push_json_f64(out, self.compression_ratio);
+        let _ = write!(out, ",\"max_rank\":{}}}", self.max_rank);
+    }
+}
+
+impl PerfSpeedup {
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"workload\":\"{}\",\"solver\":\"{}\",\"threads\":{},",
+            self.workload, self.solver, self.threads
+        );
+        out.push_str("\"construction\":");
+        push_json_f64(out, self.construction);
+        out.push_str(",\"factorization\":");
+        push_json_f64(out, self.factorization);
+        out.push_str(",\"construct_plus_factor\":");
+        push_json_f64(out, self.construct_plus_factor);
+        out.push_str(",\"total\":");
+        push_json_f64(out, self.total);
+        out.push_str(",\"accuracy_delta\":");
+        push_json_f64(out, self.accuracy_delta);
+        out.push('}');
+    }
+}
+
+impl PerfReport {
+    /// Serializes the report (schema `hkrr-perf/1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": \"hkrr-perf/1\",\n  \"scale\": ");
+        push_json_f64(&mut out, self.scale);
+        let _ = write!(out, ",\n  \"host_threads\": {},\n", self.host_threads);
+        out.push_str("  \"cases\": [\n");
+        for (i, case) in self.cases.iter().enumerate() {
+            out.push_str("    ");
+            case.write_json(&mut out);
+            out.push_str(if i + 1 < self.cases.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"speedups\": [\n");
+        for (i, speedup) in self.speedups.iter().enumerate() {
+            out.push_str("    ");
+            speedup.write_json(&mut out);
+            out.push_str(if i + 1 < self.speedups.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Markdown table of the speedups and accuracy, for `$GITHUB_STEP_SUMMARY`.
+    pub fn to_markdown_summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "## Pipeline perf snapshot (scale {}, {} host threads)\n",
+            self.scale, self.host_threads
+        );
+        let _ = writeln!(
+            out,
+            "| workload | solver | threads | construct× | factor× | constr+factor× | total× | Δaccuracy |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+        for s in &self.speedups {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {:+.4} |",
+                s.workload,
+                s.solver,
+                s.threads,
+                s.construction,
+                s.factorization,
+                s.construct_plus_factor,
+                s.total,
+                s.accuracy_delta
+            );
+        }
+        if self.speedups.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n_Single-threaded host: no parallel speedup rows recorded._"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\n| workload | solver | threads | total (s) | accuracy | compression× | max rank |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+        for c in &self.cases {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {:.3} | {:.4} | {:.1} | {} |",
+                c.workload,
+                c.solver,
+                c.threads,
+                c.total_seconds,
+                c.accuracy,
+                c.compression_ratio,
+                c.max_rank
+            );
+        }
+        out
+    }
+}
+
+/// Minimal JSON syntax validation, so the harness can assert its output is
+/// well-formed before writing it (the workspace has no serde to round-trip
+/// through).
+pub mod json {
+    /// Validates that `s` is exactly one well-formed JSON value.
+    pub fn validate(s: &str) -> Result<(), String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        skip_ws(bytes, &mut pos);
+        value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(())
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => string(b, pos),
+            Some(b't') => literal(b, pos, "true"),
+            Some(b'f') => literal(b, pos, "false"),
+            Some(b'n') => literal(b, pos, "null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+            other => Err(format!("unexpected {other:?} at offset {pos}")),
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        *pos += 1; // '{'
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(());
+        }
+        loop {
+            skip_ws(b, pos);
+            string(b, pos)?;
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b':') {
+                return Err(format!("expected ':' at offset {pos}"));
+            }
+            *pos += 1;
+            skip_ws(b, pos);
+            value(b, pos)?;
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?} at {pos}")),
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        *pos += 1; // '['
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(());
+        }
+        loop {
+            skip_ws(b, pos);
+            value(b, pos)?;
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?} at {pos}")),
+            }
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at offset {pos}"));
+        }
+        *pos += 1;
+        while let Some(&c) = b.get(*pos) {
+            match c {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                b'\\' => *pos += 2,
+                _ => *pos += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        while b
+            .get(*pos)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            *pos += 1;
+        }
+        if *pos == start {
+            return Err(format!("empty number at offset {start}"));
+        }
+        Ok(())
+    }
+
+    fn literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at offset {pos}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_validator_accepts_and_rejects() {
+        json::validate("{\"a\": [1, 2.5, -3e4], \"b\": {\"c\": null}}").unwrap();
+        json::validate("[true, false, \"x\\\"y\"]").unwrap();
+        assert!(json::validate("{\"a\": }").is_err());
+        assert!(json::validate("[1, 2").is_err());
+        assert!(json::validate("{} trailing").is_err());
+        assert!(json::validate("{\"k\" 1}").is_err());
+    }
+
+    #[test]
+    fn tiny_snapshot_emits_well_formed_json() {
+        // A deliberately tiny matrix so the test stays fast: one workload,
+        // thread counts {1, 2} to force a speedup row even on 1-core hosts.
+        let opts = PerfOptions {
+            workloads: vec![PerfWorkload {
+                name: "small",
+                spec: hkrr_datasets::registry::LETTER,
+                n_train: 160,
+                n_test: 40,
+                seed: 9,
+            }],
+            thread_counts: vec![1, 2],
+        };
+        let report = run(&opts);
+        assert_eq!(
+            report.cases.len(),
+            1 + 2 * 2,
+            "dense + 2 solvers × 2 threads"
+        );
+        assert_eq!(report.speedups.len(), 2);
+        for s in &report.speedups {
+            // Bitwise-deterministic parallel schedule: identical accuracy.
+            assert_eq!(s.accuracy_delta, 0.0, "{}/{}", s.workload, s.solver);
+        }
+        let json = report.to_json();
+        json::validate(&json).unwrap();
+        for key in [
+            "\"schema\": \"hkrr-perf/1\"",
+            "construction_seconds",
+            "factorization_seconds",
+            "compression_ratio",
+            "construct_plus_factor",
+            "accuracy_delta",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let md = report.to_markdown_summary();
+        assert!(md.contains("| workload | solver |"));
+    }
+
+    #[test]
+    fn standard_options_cover_the_workload_matrix() {
+        let opts = PerfOptions::standard();
+        assert_eq!(opts.workloads.len(), 2);
+        assert_eq!(opts.workloads[0].name, "small");
+        assert_eq!(opts.workloads[1].name, "medium");
+        assert!(!opts.thread_counts.is_empty());
+        assert_eq!(opts.thread_counts[0], 1);
+        let mut sorted = opts.thread_counts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, opts.thread_counts, "ascending and deduplicated");
+    }
+}

@@ -119,6 +119,31 @@ impl ClusterTree {
         order.push(id);
     }
 
+    /// Node ids grouped by depth: `levels()[0]` holds the root, the last
+    /// entry the deepest nodes. All nodes within one level own disjoint
+    /// index ranges and depend only on deeper levels, so bottom-up
+    /// algorithms (HSS compression, ULV factorization) process the groups
+    /// in reverse order and parallelize freely *within* each group.
+    pub fn levels(&self) -> Vec<Vec<usize>> {
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        let mut current = vec![self.root];
+        while !current.is_empty() {
+            let mut next = Vec::new();
+            for &id in &current {
+                let node = &self.nodes[id];
+                if let Some(l) = node.left {
+                    next.push(l);
+                }
+                if let Some(r) = node.right {
+                    next.push(r);
+                }
+            }
+            out.push(current);
+            current = next;
+        }
+        out
+    }
+
     /// Depth of the tree (a single node has depth 1).
     pub fn depth(&self) -> usize {
         self.depth_rec(self.root)
@@ -301,6 +326,32 @@ mod tests {
         assert!(t.is_leaf(1));
         assert!(!t.is_leaf(0));
         assert_eq!(t.node(2).range(), 2..4);
+    }
+
+    #[test]
+    fn levels_group_nodes_by_depth() {
+        let t = three_level_tree();
+        assert_eq!(t.levels(), vec![vec![0], vec![1, 2]]);
+        let single = ClusterTree::single_node(5);
+        assert_eq!(single.levels(), vec![vec![0]]);
+    }
+
+    #[test]
+    fn levels_cover_every_node_exactly_once_and_respect_postorder() {
+        let t = three_level_tree();
+        let levels = t.levels();
+        let mut seen: Vec<usize> = levels.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..t.num_nodes()).collect::<Vec<_>>());
+        // Reverse-level order is a valid bottom-up schedule: every child
+        // appears in a deeper level than its parent.
+        for (depth, level) in levels.iter().enumerate() {
+            for &id in level {
+                if let Some(p) = t.node(id).parent {
+                    assert!(levels[depth - 1].contains(&p));
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,12 +13,19 @@
 //! The HSS rank is detected adaptively: if the interpolative decompositions
 //! saturate the available sample columns, the construction restarts with
 //! twice as many random vectors (up to a cap).
+//!
+//! The bottom-up pass is **level-parallel**: all nodes of one tree level
+//! only read results their children produced on deeper levels, so each
+//! level is compressed concurrently (one scoped worker per node, scratch
+//! kept per-node). Per-node arithmetic is unchanged from the sequential
+//! schedule, so the result is bitwise identical for every thread count.
 
 use crate::{HssMatrix, HssNodeData};
 use hkrr_clustering::ClusterTree;
 use hkrr_linalg::low_rank::interpolative_decomposition;
 use hkrr_linalg::random::{gaussian_matrix, Pcg64};
 use hkrr_linalg::{LinearOperator, Matrix};
+use rayon::prelude::*;
 use std::time::Instant;
 
 /// Options controlling the randomized HSS construction.
@@ -215,84 +222,41 @@ fn build_pass(
         return PassResult::Done(nodes);
     }
 
-    for id in tree.postorder() {
-        let node = tree.node(id);
-        let is_root = id == root;
-
-        if node.is_leaf() {
-            let idx: Vec<usize> = node.range().collect();
-            let d = entries.sub_block(&idx, &idx);
-            let r_loc = r.select_rows(&idx);
-            let s_rows = s.select_rows(&idx);
-            // Off-diagonal sample: subtract the diagonal block's contribution.
-            let s_loc = s_rows.sub(&hkrr_linalg::blas::matmul(&d, &r_loc));
-
-            let (sel, x) = row_id(&s_loc, opts.tolerance, opts.max_rank);
-            let k = sel.len();
-            if k + 2 >= num_samples && k < idx.len() {
-                saturated = true;
+    // Bottom-up, one level at a time. Every node of a level depends only on
+    // its children (compressed on a deeper level), so the whole level is
+    // compressed concurrently; results are scattered sequentially, then the
+    // consumed child scratch is released.
+    for level in tree.levels().iter().rev() {
+        let results: Vec<(usize, HssNodeData, Option<NodeScratch>, bool)> = level
+            .par_iter()
+            .with_min_len(1)
+            .map(|&id| {
+                let (data, scr, sat) = compress_node(
+                    entries,
+                    tree,
+                    id,
+                    id == root,
+                    r,
+                    s,
+                    opts,
+                    num_samples,
+                    &nodes,
+                    &scratch,
+                );
+                (id, data, scr, sat)
+            })
+            .collect();
+        for (id, data, scr, sat) in results {
+            saturated |= sat;
+            nodes[id] = data;
+            scratch[id] = scr;
+        }
+        for &id in level {
+            let node = tree.node(id);
+            if let (Some(c1), Some(c2)) = (node.left, node.right) {
+                scratch[c1] = None;
+                scratch[c2] = None;
             }
-            let skeleton: Vec<usize> = sel.iter().map(|&p| idx[p]).collect();
-            let reduced_r = hkrr_linalg::blas::matmul_tn(&x, &r_loc);
-            let reduced_s = s_loc.select_rows(&sel);
-
-            nodes[id].d = Some(d);
-            nodes[id].u = Some(x);
-            nodes[id].rank = k;
-            nodes[id].skeleton = skeleton;
-            scratch[id] = Some(NodeScratch {
-                reduced_r,
-                reduced_s,
-            });
-        } else {
-            let c1 = node.left.expect("internal node has two children");
-            let c2 = node.right.expect("internal node has two children");
-            let skel1 = nodes[c1].skeleton.clone();
-            let skel2 = nodes[c2].skeleton.clone();
-            let b12 = entries.sub_block(&skel1, &skel2);
-            let b21 = b12.transpose();
-
-            if is_root {
-                nodes[id].b12 = Some(b12);
-                nodes[id].b21 = Some(b21);
-                continue;
-            }
-
-            let s1 = scratch[c1].take().expect("child scratch missing");
-            let s2 = scratch[c2].take().expect("child scratch missing");
-            // Remove the sibling coupling from the children's samples so the
-            // local sample only sees the exterior of this node.
-            let top = s1
-                .reduced_s
-                .sub(&hkrr_linalg::blas::matmul(&b12, &s2.reduced_r));
-            let bottom = s2
-                .reduced_s
-                .sub(&hkrr_linalg::blas::matmul(&b21, &s1.reduced_r));
-            let s_loc = top.vstack(&bottom);
-
-            let (sel, x) = row_id(&s_loc, opts.tolerance, opts.max_rank);
-            let k = sel.len();
-            if k + 2 >= num_samples && k < s_loc.nrows() {
-                saturated = true;
-            }
-            let k1 = nodes[c1].rank;
-            let skeleton: Vec<usize> = sel
-                .iter()
-                .map(|&p| if p < k1 { skel1[p] } else { skel2[p - k1] })
-                .collect();
-            let merged_r = s1.reduced_r.vstack(&s2.reduced_r);
-            let reduced_r = hkrr_linalg::blas::matmul_tn(&x, &merged_r);
-            let reduced_s = s_loc.select_rows(&sel);
-
-            nodes[id].b12 = Some(b12);
-            nodes[id].b21 = Some(b21);
-            nodes[id].u = Some(x);
-            nodes[id].rank = k;
-            nodes[id].skeleton = skeleton;
-            scratch[id] = Some(NodeScratch {
-                reduced_r,
-                reduced_s,
-            });
         }
     }
 
@@ -300,6 +264,111 @@ fn build_pass(
         PassResult::Saturated(nodes)
     } else {
         PassResult::Done(nodes)
+    }
+}
+
+/// Compresses one node from its children's results (already in `nodes` /
+/// `scratch`). Pure with respect to the shared state, so all nodes of a
+/// level can run concurrently. Returns the node payload, the scratch its
+/// parent will consume, and whether the ID saturated the sample budget.
+fn compress_node(
+    entries: &dyn LinearOperator,
+    tree: &ClusterTree,
+    id: usize,
+    is_root: bool,
+    r: &Matrix,
+    s: &Matrix,
+    opts: &HssOptions,
+    num_samples: usize,
+    nodes: &[HssNodeData],
+    scratch: &[Option<NodeScratch>],
+) -> (HssNodeData, Option<NodeScratch>, bool) {
+    let node = tree.node(id);
+    let mut out = HssNodeData::empty();
+    let mut saturated = false;
+
+    if node.is_leaf() {
+        let idx: Vec<usize> = node.range().collect();
+        let d = entries.sub_block(&idx, &idx);
+        let r_loc = r.select_rows(&idx);
+        let s_rows = s.select_rows(&idx);
+        // Off-diagonal sample: subtract the diagonal block's contribution.
+        let s_loc = s_rows.sub(&hkrr_linalg::blas::matmul(&d, &r_loc));
+
+        let (sel, x) = row_id(&s_loc, opts.tolerance, opts.max_rank);
+        let k = sel.len();
+        if k + 2 >= num_samples && k < idx.len() {
+            saturated = true;
+        }
+        let skeleton: Vec<usize> = sel.iter().map(|&p| idx[p]).collect();
+        let reduced_r = hkrr_linalg::blas::matmul_tn(&x, &r_loc);
+        let reduced_s = s_loc.select_rows(&sel);
+
+        out.d = Some(d);
+        out.u = Some(x);
+        out.rank = k;
+        out.skeleton = skeleton;
+        (
+            out,
+            Some(NodeScratch {
+                reduced_r,
+                reduced_s,
+            }),
+            saturated,
+        )
+    } else {
+        let c1 = node.left.expect("internal node has two children");
+        let c2 = node.right.expect("internal node has two children");
+        let skel1 = &nodes[c1].skeleton;
+        let skel2 = &nodes[c2].skeleton;
+        let b12 = entries.sub_block(skel1, skel2);
+        let b21 = b12.transpose();
+
+        if is_root {
+            out.b12 = Some(b12);
+            out.b21 = Some(b21);
+            return (out, None, false);
+        }
+
+        let s1 = scratch[c1].as_ref().expect("child scratch missing");
+        let s2 = scratch[c2].as_ref().expect("child scratch missing");
+        // Remove the sibling coupling from the children's samples so the
+        // local sample only sees the exterior of this node.
+        let top = s1
+            .reduced_s
+            .sub(&hkrr_linalg::blas::matmul(&b12, &s2.reduced_r));
+        let bottom = s2
+            .reduced_s
+            .sub(&hkrr_linalg::blas::matmul(&b21, &s1.reduced_r));
+        let s_loc = top.vstack(&bottom);
+
+        let (sel, x) = row_id(&s_loc, opts.tolerance, opts.max_rank);
+        let k = sel.len();
+        if k + 2 >= num_samples && k < s_loc.nrows() {
+            saturated = true;
+        }
+        let k1 = nodes[c1].rank;
+        let skeleton: Vec<usize> = sel
+            .iter()
+            .map(|&p| if p < k1 { skel1[p] } else { skel2[p - k1] })
+            .collect();
+        let merged_r = s1.reduced_r.vstack(&s2.reduced_r);
+        let reduced_r = hkrr_linalg::blas::matmul_tn(&x, &merged_r);
+        let reduced_s = s_loc.select_rows(&sel);
+
+        out.b12 = Some(b12);
+        out.b21 = Some(b21);
+        out.u = Some(x);
+        out.rank = k;
+        out.skeleton = skeleton;
+        (
+            out,
+            Some(NodeScratch {
+                reduced_r,
+                reduced_s,
+            }),
+            saturated,
+        )
     }
 }
 

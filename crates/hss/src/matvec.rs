@@ -6,9 +6,20 @@
 //! transfer matrices), and a downward sweep that accumulates the coupling
 //! contributions through the `B` blocks and expands them back through the
 //! row bases.  The cost is `O(r n)` with `r` the maximum HSS rank.
+//!
+//! The leaf stages — compressing `x` onto the leaf bases and expanding the
+//! final `D_i x_i + U_i f_i` outputs — dominate that cost and run in
+//! parallel over the (disjoint) leaves; the internal-node sweeps operate on
+//! rank-sized vectors and stay sequential. `matmat` additionally
+//! parallelizes over the independent columns of `X`.
 
 use crate::HssMatrix;
 use hkrr_linalg::{blas, LinearOperator, Matrix};
+use rayon::prelude::*;
+
+/// Leaves-per-worker floor for the parallel leaf stages: one leaf costs a
+/// `leaf_size²` GEMV, so a handful per worker amortizes thread spawn.
+const LEAVES_PER_THREAD: usize = 8;
 
 impl HssMatrix {
     /// `y = (A + λI) x`, where `λ` is the current diagonal shift (already
@@ -27,31 +38,41 @@ impl HssMatrix {
         }
 
         let post = tree.postorder();
+        let leaves = tree.leaves();
 
-        // Upward sweep: z_i = (nested V_i)^T x restricted to node i.
+        // Upward sweep: z_i = (nested V_i)^T x restricted to node i. The
+        // leaf compressions touch disjoint slices of `x` and run in
+        // parallel; the internal merges are rank-sized and stay sequential.
         let mut z: Vec<Vec<f64>> = vec![Vec::new(); tree.num_nodes()];
+        let leaf_z: Vec<(usize, Vec<f64>)> = leaves
+            .par_iter()
+            .with_min_len(LEAVES_PER_THREAD)
+            .map(|&id| {
+                let u = self.nodes[id].u.as_ref().expect("leaf has a basis");
+                let xi = &x[tree.node(id).range()];
+                let mut zi = vec![0.0; u.ncols()];
+                blas::gemv_t(u, xi, &mut zi);
+                (id, zi)
+            })
+            .collect();
+        for (id, zi) in leaf_z {
+            z[id] = zi;
+        }
         for &id in &post {
-            if id == root {
+            let node = tree.node(id);
+            if id == root || node.is_leaf() {
                 continue;
             }
-            let node = tree.node(id);
             let u = self.nodes[id]
                 .u
                 .as_ref()
                 .expect("non-root node has a basis");
-            if node.is_leaf() {
-                let xi = &x[node.range()];
-                let mut zi = vec![0.0; u.ncols()];
-                blas::gemv_t(u, xi, &mut zi);
-                z[id] = zi;
-            } else {
-                let c1 = node.left.unwrap();
-                let c2 = node.right.unwrap();
-                let merged: Vec<f64> = z[c1].iter().chain(z[c2].iter()).copied().collect();
-                let mut zi = vec![0.0; u.ncols()];
-                blas::gemv_t(u, &merged, &mut zi);
-                z[id] = zi;
-            }
+            let c1 = node.left.unwrap();
+            let c2 = node.right.unwrap();
+            let merged: Vec<f64> = z[c1].iter().chain(z[c2].iter()).copied().collect();
+            let mut zi = vec![0.0; u.ncols()];
+            blas::gemv_t(u, &merged, &mut zi);
+            z[id] = zi;
         }
 
         // Downward sweep: f_i collects the contribution of everything
@@ -92,35 +113,48 @@ impl HssMatrix {
             f[c2] = f2;
         }
 
-        // Leaves: y(I_i) = D_i x(I_i) + U_i f_i.
-        for &id in &post {
-            let node = tree.node(id);
-            if !node.is_leaf() || id == root {
-                continue;
-            }
-            let d = self.nodes[id].d.as_ref().expect("leaf stores D");
-            let u = self.nodes[id].u.as_ref().unwrap();
-            let range = node.range();
-            let xi = &x[range.clone()];
-            let mut yi = vec![0.0; node.size];
-            blas::gemv(d, xi, &mut yi);
-            if u.ncols() > 0 && !f[id].is_empty() {
-                let mut corr = vec![0.0; node.size];
-                blas::gemv(u, &f[id], &mut corr);
-                blas::axpy(1.0, &corr, &mut yi);
-            }
-            y[range].copy_from_slice(&yi);
+        // Leaves: y(I_i) = D_i x(I_i) + U_i f_i, in parallel over the
+        // disjoint leaf ranges.
+        let leaf_y: Vec<(usize, Vec<f64>)> = leaves
+            .par_iter()
+            .with_min_len(LEAVES_PER_THREAD)
+            .map(|&id| {
+                let node = tree.node(id);
+                let d = self.nodes[id].d.as_ref().expect("leaf stores D");
+                let u = self.nodes[id].u.as_ref().unwrap();
+                let xi = &x[node.range()];
+                let mut yi = vec![0.0; node.size];
+                blas::gemv(d, xi, &mut yi);
+                if u.ncols() > 0 && !f[id].is_empty() {
+                    let mut corr = vec![0.0; node.size];
+                    blas::gemv(u, &f[id], &mut corr);
+                    blas::axpy(1.0, &corr, &mut yi);
+                }
+                (id, yi)
+            })
+            .collect();
+        for (id, yi) in leaf_y {
+            y[tree.node(id).range()].copy_from_slice(&yi);
         }
     }
 
-    /// Multi-vector product `Y = A X` (column by column).
+    /// Multi-vector product `Y = A X`; the columns are independent and
+    /// evaluated in parallel (nested per-column parallelism degrades to the
+    /// sequential leaf sweep inside the workers).
     pub fn matmat(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.nrows(), self.n, "HssMatrix::matmat: dimension mismatch");
+        let cols: Vec<Vec<f64>> = (0..x.ncols())
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|j| {
+                let mut y = vec![0.0; self.n];
+                self.matvec(&x.col(j), &mut y);
+                y
+            })
+            .collect();
         let mut out = Matrix::zeros(self.n, x.ncols());
-        let mut y = vec![0.0; self.n];
-        for j in 0..x.ncols() {
-            self.matvec(&x.col(j), &mut y);
-            out.set_col(j, &y);
+        for (j, col) in cols.iter().enumerate() {
+            out.set_col(j, col);
         }
         out
     }

@@ -8,12 +8,20 @@
 //! The root solves a single dense system of size `rank(c1) + rank(c2)`.
 //! Both factorization and solve cost `O(r² n)` / `O(r n)`, which is what
 //! makes the kernel ridge regression training step scale.
+//!
+//! The factorization is **level-parallel**: independent sibling subtrees
+//! factor concurrently (each node only needs its children's factors), and
+//! the top levels — where fewer nodes than workers remain — degrade to the
+//! sequential schedule naturally. Per-node arithmetic is identical to the
+//! sequential order, so factors are bitwise reproducible across thread
+//! counts.
 
 use crate::HssMatrix;
 use hkrr_clustering::ClusterTree;
 use hkrr_linalg::lu::{lu, Lu};
 use hkrr_linalg::qr::full_qr;
 use hkrr_linalg::{blas, LinalgError, LinalgResult, Matrix};
+use rayon::prelude::*;
 
 /// Per-node data stored by the factorization.
 struct NodeFactor {
@@ -72,39 +80,57 @@ impl UlvFactorization {
             });
         }
 
-        for id in tree.postorder() {
-            if id == root {
+        // Bottom-up, level-parallel: each node needs only its children's
+        // factors, which the previous (deeper) level produced. Independent
+        // sibling subtrees therefore factor concurrently; near the root the
+        // level population drops below the worker count and the schedule
+        // serializes on its own.
+        for level in tree.levels().iter().rev() {
+            let ids: Vec<usize> = level.iter().copied().filter(|&id| id != root).collect();
+            if ids.is_empty() {
                 continue;
             }
-            let node = tree.node(id);
-            let nd = hss.node_data(id);
-            // Assemble the block to eliminate and the basis coupling it to
-            // the rest of the system.
-            let (d_full, u_full) = if node.is_leaf() {
-                let d = nd.d.as_ref().expect("leaf stores D").clone();
-                let u = nd.u.as_ref().expect("leaf stores U").clone();
-                (d, u)
-            } else {
-                let c1 = node.left.unwrap();
-                let c2 = node.right.unwrap();
-                let f1 = factors[c1].as_ref().expect("child factored first");
-                let f2 = factors[c2].as_ref().expect("child factored first");
-                let b12 = nd.b12.as_ref().expect("internal node stores B12");
-                let b21 = nd.b21.as_ref().expect("internal node stores B21");
-                let off12 = blas::matmul(&blas::matmul(&f1.uhat, b12), &f2.uhat.transpose());
-                let off21 = blas::matmul(&blas::matmul(&f2.uhat, b21), &f1.uhat.transpose());
-                let top = f1.dtilde.hstack(&off12);
-                let bottom = off21.hstack(&f2.dtilde);
-                let d_full = top.vstack(&bottom);
+            let results: Vec<LinalgResult<(usize, NodeFactor)>> = ids
+                .par_iter()
+                .with_min_len(1)
+                .map(|&id| {
+                    let node = tree.node(id);
+                    let nd = hss.node_data(id);
+                    // Assemble the block to eliminate and the basis coupling
+                    // it to the rest of the system.
+                    let (d_full, u_full) = if node.is_leaf() {
+                        let d = nd.d.as_ref().expect("leaf stores D").clone();
+                        let u = nd.u.as_ref().expect("leaf stores U").clone();
+                        (d, u)
+                    } else {
+                        let c1 = node.left.unwrap();
+                        let c2 = node.right.unwrap();
+                        let f1 = factors[c1].as_ref().expect("child factored first");
+                        let f2 = factors[c2].as_ref().expect("child factored first");
+                        let b12 = nd.b12.as_ref().expect("internal node stores B12");
+                        let b21 = nd.b21.as_ref().expect("internal node stores B21");
+                        let off12 =
+                            blas::matmul(&blas::matmul(&f1.uhat, b12), &f2.uhat.transpose());
+                        let off21 =
+                            blas::matmul(&blas::matmul(&f2.uhat, b21), &f1.uhat.transpose());
+                        let top = f1.dtilde.hstack(&off12);
+                        let bottom = off21.hstack(&f2.dtilde);
+                        let d_full = top.vstack(&bottom);
 
-                let u = nd.u.as_ref().expect("non-root internal node stores Ũ");
-                let k1 = f1.rank;
-                let u_top = blas::matmul(&f1.uhat, &u.submatrix(0, k1, 0, u.ncols()));
-                let u_bottom = blas::matmul(&f2.uhat, &u.submatrix(k1, u.nrows(), 0, u.ncols()));
-                (d_full, u_top.vstack(&u_bottom))
-            };
-
-            factors[id] = Some(factor_node(&d_full, &u_full)?);
+                        let u = nd.u.as_ref().expect("non-root internal node stores Ũ");
+                        let k1 = f1.rank;
+                        let u_top = blas::matmul(&f1.uhat, &u.submatrix(0, k1, 0, u.ncols()));
+                        let u_bottom =
+                            blas::matmul(&f2.uhat, &u.submatrix(k1, u.nrows(), 0, u.ncols()));
+                        (d_full, u_top.vstack(&u_bottom))
+                    };
+                    factor_node(&d_full, &u_full).map(|f| (id, f))
+                })
+                .collect();
+            for result in results {
+                let (id, f) = result?;
+                factors[id] = Some(f);
+            }
         }
 
         // Root: dense solve over the children's surviving unknowns.
@@ -237,13 +263,18 @@ impl UlvFactorization {
         Ok(x)
     }
 
-    /// Solves `A X = B` for a matrix of right-hand sides.
+    /// Solves `A X = B` for a matrix of right-hand sides; the columns are
+    /// independent and solved in parallel.
     pub fn solve_multi(&self, b: &Matrix) -> LinalgResult<Matrix> {
         assert_eq!(b.nrows(), self.n, "UlvFactorization::solve_multi: dims");
+        let cols: Vec<LinalgResult<Vec<f64>>> = (0..b.ncols())
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|j| self.solve(&b.col(j)))
+            .collect();
         let mut x = Matrix::zeros(self.n, b.ncols());
-        for j in 0..b.ncols() {
-            let col = self.solve(&b.col(j))?;
-            x.set_col(j, &col);
+        for (j, col) in cols.into_iter().enumerate() {
+            x.set_col(j, &col?);
         }
         Ok(x)
     }

@@ -1,0 +1,115 @@
+//! Parallel-vs-sequential consistency of the HSS pipeline.
+//!
+//! The level-parallel construction, ULV factorization and matvec are
+//! scheduled so that per-node arithmetic is identical to the sequential
+//! order; these tests pin that property across thread counts (via the
+//! shared `hkrr_bench::with_threads` pool helper) and across repeated runs
+//! with a fixed seed.
+
+use hkrr_bench::with_threads;
+use hkrr_clustering::{cluster, ClusteringMethod};
+use hkrr_hss::construct::{compress_symmetric, HssOptions};
+use hkrr_hss::UlvFactorization;
+use hkrr_linalg::Matrix;
+use proptest::prelude::*;
+
+fn kernel_1d(n: usize, h: f64) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        let d = (i as f64 - j as f64) / n as f64;
+        (-d * d / (2.0 * h * h)).exp()
+    })
+}
+
+/// Output of one full pipeline run: matvec result, solve result, max rank.
+struct PipelineRun {
+    matvec: Vec<f64>,
+    solve: Vec<f64>,
+    max_rank: usize,
+}
+
+/// Compresses, factors, matvecs and solves under a pinned thread count.
+fn run_pipeline(n: usize, h: f64, lambda: f64, seed: u64, threads: usize) -> PipelineRun {
+    let a = kernel_1d(n, h);
+    let points = Matrix::from_fn(n, 1, |i, _| i as f64);
+    let tree = cluster(&points, ClusteringMethod::Natural, 16)
+        .tree()
+        .clone();
+    let opts = HssOptions {
+        tolerance: 1e-8,
+        seed,
+        ..HssOptions::default()
+    };
+    with_threads(threads, move || {
+        let mut hss = compress_symmetric(&a, &a, tree, &opts).expect("compression failed");
+        hss.set_diagonal_shift(lambda);
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 + 11) % 101) as f64 / 101.0 - 0.5)
+            .collect();
+        let mut y = vec![0.0; n];
+        hss.matvec(&x, &mut y);
+        let factor = UlvFactorization::factor(&hss).expect("factorization failed");
+        let b: Vec<f64> = (0..n).map(|i| ((i * 53 + 29) % 97) as f64 / 97.0).collect();
+        let solve = factor.solve(&b).expect("solve failed");
+        PipelineRun {
+            matvec: y,
+            solve,
+            max_rank: hss.max_rank(),
+        }
+    })
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Construction, ULV factorization/solve and matvec agree with the
+    /// sequential (1-thread) path for arbitrary problem sizes, bandwidths
+    /// and thread counts.
+    #[test]
+    fn parallel_pipeline_matches_sequential(
+        n in 96usize..200,
+        h in 0.04f64..0.15,
+        lambda in 0.2f64..3.0,
+        threads in 2usize..5,
+    ) {
+        let sequential = run_pipeline(n, h, lambda, 0x5eed, 1);
+        let parallel = run_pipeline(n, h, lambda, 0x5eed, threads);
+        prop_assert_eq!(sequential.max_rank, parallel.max_rank);
+        prop_assert_eq!(sequential.matvec.len(), parallel.matvec.len());
+        let dm = max_abs_diff(&sequential.matvec, &parallel.matvec);
+        prop_assert!(dm < 1e-10, "matvec diff {} at {} threads", dm, threads);
+        let ds = max_abs_diff(&sequential.solve, &parallel.solve);
+        prop_assert!(ds < 1e-10, "solve diff {} at {} threads", ds, threads);
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_deterministic() {
+    // Same seed, same thread count, twice: the level-parallel schedule must
+    // be bitwise reproducible (no data races, no order-dependent sums).
+    let first = run_pipeline(160, 0.07, 1.5, 77, 4);
+    let second = run_pipeline(160, 0.07, 1.5, 77, 4);
+    assert_eq!(first.max_rank, second.max_rank);
+    assert_eq!(first.matvec, second.matvec, "matvec must be bitwise equal");
+    assert_eq!(first.solve, second.solve, "solve must be bitwise equal");
+}
+
+#[test]
+fn thread_count_sweep_is_bitwise_stable() {
+    // Stronger than the 1e-10 property: on this schedule every per-node
+    // computation is independent of the thread count, so the whole sweep
+    // must agree bitwise with the sequential result.
+    let baseline = run_pipeline(128, 0.09, 0.8, 5, 1);
+    for threads in [2, 3, 8] {
+        let run = run_pipeline(128, 0.09, 0.8, 5, threads);
+        assert_eq!(baseline.matvec, run.matvec, "{threads} threads: matvec");
+        assert_eq!(baseline.solve, run.solve, "{threads} threads: solve");
+        assert_eq!(baseline.max_rank, run.max_rank, "{threads} threads: rank");
+    }
+}

@@ -93,13 +93,25 @@ pub trait LinearOperator: Sync {
     }
 
     /// Extracts the dense sub-block `A(rows, cols)`.
+    ///
+    /// The default implementation evaluates one output row per task in
+    /// parallel — entry evaluation can be expensive (a closed-form kernel
+    /// costs `O(d)` per entry), and the HSS construction extracts leaf and
+    /// skeleton blocks on its hot path.
     fn sub_block(&self, rows: &[usize], cols: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(rows.len(), cols.len());
-        for (oi, &i) in rows.iter().enumerate() {
-            for (oj, &j) in cols.iter().enumerate() {
-                out[(oi, oj)] = self.entry(i, j);
-            }
+        if rows.is_empty() || cols.is_empty() {
+            return out;
         }
+        out.data_mut()
+            .par_chunks_mut(cols.len())
+            .enumerate()
+            .for_each(|(oi, row)| {
+                let i = rows[oi];
+                for (oj, &j) in cols.iter().enumerate() {
+                    row[oj] = self.entry(i, j);
+                }
+            });
         out
     }
 

@@ -1,8 +1,9 @@
 //! Offline stand-in for [rayon](https://docs.rs/rayon), covering exactly the
 //! API subset this workspace uses: `par_iter` / `par_iter_mut` /
 //! `par_chunks_mut` on slices, `into_par_iter` on index ranges, the
-//! `map` / `enumerate` / `for_each` / `collect` / `sum` adaptors on those,
-//! and `ThreadPoolBuilder::install` for pinning a thread count.
+//! `map` / `enumerate` / `for_each` / `collect` / `sum` / `with_min_len`
+//! adaptors on those, and `ThreadPoolBuilder::install` for pinning a thread
+//! count.
 //!
 //! Unlike rayon's work-stealing deques, this shim statically partitions each
 //! parallel call across scoped `std::thread` workers. That is a good fit for
@@ -23,7 +24,9 @@ thread_local! {
     static POOL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
 }
 
-/// Items-per-worker floor, so tiny loops do not pay thread-spawn latency.
+/// Default items-per-worker floor, so tiny loops do not pay thread-spawn
+/// latency. Coarse-grained callers (one heavy task per item, e.g. one HSS
+/// node compression) lower it with `with_min_len(1)`.
 const MIN_ITEMS_PER_THREAD: usize = 64;
 
 /// The number of worker threads a parallel call issued from the current
@@ -36,8 +39,12 @@ pub fn current_num_threads() -> usize {
 }
 
 fn threads_for(len: usize) -> usize {
+    threads_for_min(len, MIN_ITEMS_PER_THREAD)
+}
+
+fn threads_for_min(len: usize, min_len: usize) -> usize {
     current_num_threads()
-        .min(len.div_ceil(MIN_ITEMS_PER_THREAD))
+        .min(len.div_ceil(min_len.max(1)))
         .max(1)
 }
 
@@ -65,13 +72,13 @@ fn mark_worker() {
 }
 
 /// Runs `f(i)` for every `i in 0..len` across worker threads and returns the
-/// results in index order.
-fn run_indexed<R, F>(len: usize, f: F) -> Vec<R>
+/// results in index order. `min_len` is the items-per-worker floor.
+fn run_indexed<R, F>(len: usize, min_len: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let threads = threads_for(len);
+    let threads = threads_for_min(len, min_len);
     if threads <= 1 {
         return (0..len).map(f).collect();
     }
@@ -117,7 +124,10 @@ pub trait IntoParallelIterator {
 impl IntoParallelIterator for Range<usize> {
     type Iter = ParRange;
     fn into_par_iter(self) -> ParRange {
-        ParRange { range: self }
+        ParRange {
+            range: self,
+            min_len: MIN_ITEMS_PER_THREAD,
+        }
     }
 }
 
@@ -132,14 +142,20 @@ pub trait IntoParallelRefIterator<'a> {
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = T;
     fn par_iter(&'a self) -> ParIter<'a, T> {
-        ParIter { slice: self }
+        ParIter {
+            slice: self,
+            min_len: MIN_ITEMS_PER_THREAD,
+        }
     }
 }
 
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = T;
     fn par_iter(&'a self) -> ParIter<'a, T> {
-        ParIter { slice: self }
+        ParIter {
+            slice: self,
+            min_len: MIN_ITEMS_PER_THREAD,
+        }
     }
 }
 
@@ -184,9 +200,18 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
 /// Parallel iterator over an index range.
 pub struct ParRange {
     range: Range<usize>,
+    min_len: usize,
 }
 
 impl ParRange {
+    /// Sets the minimum number of indices processed per worker thread
+    /// (mirrors rayon's `IndexedParallelIterator::with_min_len`). Use `1`
+    /// when every index is a coarse task worth its own thread.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Maps every index through `f` in parallel.
     pub fn map<R, F>(self, f: F) -> MapRange<R, F>
     where
@@ -195,6 +220,7 @@ impl ParRange {
     {
         MapRange {
             range: self.range,
+            min_len: self.min_len,
             f,
             _out: std::marker::PhantomData,
         }
@@ -205,13 +231,14 @@ impl ParRange {
     where
         F: Fn(usize) + Sync,
     {
-        run_indexed(self.range.len(), |i| f(self.range.start + i));
+        run_indexed(self.range.len(), self.min_len, |i| f(self.range.start + i));
     }
 }
 
 /// A mapped [`ParRange`].
 pub struct MapRange<R, F> {
     range: Range<usize>,
+    min_len: usize,
     f: F,
     _out: std::marker::PhantomData<fn() -> R>,
 }
@@ -221,6 +248,12 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    /// Sets the minimum number of items processed per worker thread.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Collects the mapped values in index order.
     pub fn collect<C>(self) -> C
     where
@@ -228,7 +261,7 @@ where
     {
         let start = self.range.start;
         let f = &self.f;
-        run_indexed(self.range.len(), move |i| f(start + i))
+        run_indexed(self.range.len(), self.min_len, move |i| f(start + i))
             .into_iter()
             .collect()
     }
@@ -245,9 +278,18 @@ where
 /// Parallel iterator over `&T` items of a slice.
 pub struct ParIter<'a, T> {
     slice: &'a [T],
+    min_len: usize,
 }
 
 impl<'a, T: Sync> ParIter<'a, T> {
+    /// Sets the minimum number of items processed per worker thread
+    /// (mirrors rayon's `IndexedParallelIterator::with_min_len`). Use `1`
+    /// when every item is a coarse task worth its own thread.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Maps every item through `f` in parallel.
     pub fn map<R, F>(self, f: F) -> MapSlice<'a, T, R, F>
     where
@@ -256,6 +298,7 @@ impl<'a, T: Sync> ParIter<'a, T> {
     {
         MapSlice {
             slice: self.slice,
+            min_len: self.min_len,
             f,
             _out: std::marker::PhantomData,
         }
@@ -266,13 +309,14 @@ impl<'a, T: Sync> ParIter<'a, T> {
     where
         F: Fn(&'a T) + Sync,
     {
-        run_indexed(self.slice.len(), |i| f(&self.slice[i]));
+        run_indexed(self.slice.len(), self.min_len, |i| f(&self.slice[i]));
     }
 }
 
 /// A mapped [`ParIter`].
 pub struct MapSlice<'a, T, R, F> {
     slice: &'a [T],
+    min_len: usize,
     f: F,
     _out: std::marker::PhantomData<fn() -> R>,
 }
@@ -282,6 +326,12 @@ where
     R: Send,
     F: Fn(&'a T) -> R + Sync,
 {
+    /// Sets the minimum number of items processed per worker thread.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Collects the mapped values in input order.
     pub fn collect<C>(self) -> C
     where
@@ -289,7 +339,7 @@ where
     {
         let f = &self.f;
         let slice = self.slice;
-        run_indexed(slice.len(), move |i| f(&slice[i]))
+        run_indexed(slice.len(), self.min_len, move |i| f(&slice[i]))
             .into_iter()
             .collect()
     }
@@ -557,6 +607,38 @@ mod tests {
         assert!(v.iter().all(|&x| x > 0));
         assert_eq!(v[0], 1);
         assert_eq!(v[1036], 1037u32.div_ceil(64));
+    }
+
+    #[test]
+    fn with_min_len_keeps_order_on_tiny_inputs() {
+        // Below the default 64-item floor the call would stay sequential;
+        // with_min_len(1) forces a multi-thread split (where cores allow)
+        // and the collected order must still match the input order.
+        let ids = vec![3usize, 1, 4, 1, 5, 9, 2, 6];
+        let doubled: Vec<usize> = ids.par_iter().with_min_len(1).map(|&x| 2 * x).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10, 18, 4, 12]);
+        let range: Vec<usize> = (10..14)
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|i| i)
+            .collect();
+        assert_eq!(range, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn with_min_len_composes_after_map() {
+        let v: Vec<usize> = (0..6)
+            .into_par_iter()
+            .map(|i| i * i)
+            .with_min_len(1)
+            .collect();
+        assert_eq!(v, vec![0, 1, 4, 9, 16, 25]);
+        let s: usize = vec![1usize, 2, 3]
+            .par_iter()
+            .map(|&x| x)
+            .with_min_len(1)
+            .sum();
+        assert_eq!(s, 6);
     }
 
     #[test]

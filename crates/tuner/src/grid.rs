@@ -1,7 +1,12 @@
 //! Exhaustive grid search (the baseline of Figure 6a).
+//!
+//! Every `(h, λ)` grid point is an independent training run, so the whole
+//! grid is evaluated in parallel — the embarrassingly parallel outer loop
+//! the paper distributes across nodes.
 
 use crate::objective::Objective;
 use crate::{Evaluation, TuningResult};
+use rayon::prelude::*;
 
 /// A rectangular `(h, λ)` grid.
 #[derive(Debug, Clone, Copy)]
@@ -51,12 +56,14 @@ fn linspace(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
 }
 
 /// Evaluates the objective on every grid point (the paper's 128² fine grid,
-/// scaled down by the caller).
+/// scaled down by the caller). Candidates are independent and evaluated in
+/// parallel; the history keeps the deterministic row-major grid order.
 pub fn grid_search(objective: &dyn Objective, spec: &GridSpec) -> TuningResult {
-    let history: Vec<Evaluation> = spec
-        .points()
-        .into_iter()
-        .map(|(h, lambda)| Evaluation {
+    let points = spec.points();
+    let history: Vec<Evaluation> = points
+        .par_iter()
+        .with_min_len(1)
+        .map(|&(h, lambda)| Evaluation {
             h,
             lambda,
             accuracy: objective.evaluate(h, lambda),

@@ -4,7 +4,12 @@ use hkrr_core::{accuracy, KrrConfig, KrrModel};
 use hkrr_linalg::Matrix;
 
 /// Anything that maps `(h, λ)` to a score to be maximized.
-pub trait Objective {
+///
+/// Implementations must be `Sync`: both tuners evaluate independent
+/// candidates concurrently, so the objective is shared across worker
+/// threads (each evaluation trains its own model and holds no mutable
+/// state).
+pub trait Objective: Sync {
     /// Evaluates the objective; larger is better.
     fn evaluate(&self, h: f64, lambda: f64) -> f64;
 }

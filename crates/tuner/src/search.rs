@@ -5,10 +5,16 @@
 //! refinement around the incumbent with a geometrically shrinking radius.
 //! This mirrors how OpenTuner is used in the paper: a derivative-free
 //! optimizer that needs an order of magnitude fewer runs than a fine grid.
+//!
+//! The exploration phase draws its whole candidate batch up front (so the
+//! RNG stream is unchanged) and evaluates the independent candidates in
+//! parallel; the refinement phase stays sequential because each step's
+//! proposal depends on the incumbent of the previous one.
 
 use crate::objective::Objective;
 use crate::{Evaluation, TuningResult};
 use hkrr_linalg::Pcg64;
+use rayon::prelude::*;
 
 /// Options for the black-box search.
 #[derive(Debug, Clone, Copy)]
@@ -51,16 +57,27 @@ pub fn black_box_search(objective: &dyn Objective, opts: &SearchOptions) -> Tuni
     let explore =
         ((opts.budget as f64 * opts.exploration_fraction).ceil() as usize).clamp(1, opts.budget);
 
-    // Phase 1: log-uniform random exploration.
-    for _ in 0..explore {
-        let h = log_uniform(&mut rng, opts.h_range.0, opts.h_range.1);
-        let lambda = log_uniform(&mut rng, opts.lambda_range.0, opts.lambda_range.1);
-        history.push(Evaluation {
-            h,
-            lambda,
-            accuracy: objective.evaluate(h, lambda),
-        });
-    }
+    // Phase 1: log-uniform random exploration. Draw the whole batch first
+    // (identical RNG stream to the sequential schedule), then evaluate the
+    // independent candidates in parallel, preserving draw order.
+    let candidates: Vec<(f64, f64)> = (0..explore)
+        .map(|_| {
+            let h = log_uniform(&mut rng, opts.h_range.0, opts.h_range.1);
+            let lambda = log_uniform(&mut rng, opts.lambda_range.0, opts.lambda_range.1);
+            (h, lambda)
+        })
+        .collect();
+    history.extend(
+        candidates
+            .par_iter()
+            .with_min_len(1)
+            .map(|&(h, lambda)| Evaluation {
+                h,
+                lambda,
+                accuracy: objective.evaluate(h, lambda),
+            })
+            .collect::<Vec<Evaluation>>(),
+    );
 
     // Phase 2: shrinking local refinement around the incumbent.
     let remaining = opts.budget - explore;
