@@ -9,6 +9,7 @@
 //! * `HKRR_PERF_SUMMARY` — when set, a markdown summary is appended to this
 //!   file (CI points it at `$GITHUB_STEP_SUMMARY`).
 
+use hkrr_bench::json;
 use hkrr_bench::perf::{self, PerfOptions};
 
 fn main() {
@@ -22,7 +23,7 @@ fn main() {
     let report = perf::run(&opts);
 
     let json = report.to_json();
-    perf::json::validate(&json).expect("generated BENCH_pipeline.json must be well-formed JSON");
+    json::validate(&json).expect("generated BENCH_pipeline.json must be well-formed JSON");
     let out_path =
         std::env::var("HKRR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("failed to write {out_path}: {e}"));

@@ -1,0 +1,376 @@
+//! Minimal hand-rolled JSON support shared by every snapshot writer in the
+//! workspace (`BENCH_pipeline.json` from the perf harness,
+//! `BENCH_serve.json` from the serving load generator).
+//!
+//! The build container has no registry access, hence no serde; this module
+//! provides the one encoder ([`JsonWriter`]) and the one syntax validator
+//! ([`validate`]) so the two snapshot formats cannot drift apart in their
+//! escaping or number formatting.
+
+use std::fmt::Write as _;
+
+/// An append-only JSON encoder producing compact (whitespace-free) output.
+///
+/// Comma placement is tracked internally: callers just alternate
+/// `key`/value calls inside objects and value calls inside arrays. Non-
+/// finite floats are clamped to `0.0` (JSON has no NaN/Infinity) and floats
+/// are written with six decimal places, matching the historical
+/// `BENCH_pipeline.json` format.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// One frame per open container: `(is_array, has_items)`.
+    stack: Vec<(bool, bool)>,
+    /// A key was just written; the next value completes the pair.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Finishes encoding and returns the buffer.
+    ///
+    /// # Panics
+    /// Panics if containers are still open (an encoder bug, not a data
+    /// error).
+    pub fn finish(self) -> String {
+        assert!(
+            self.stack.is_empty() && !self.pending_key,
+            "JsonWriter::finish with unclosed containers"
+        );
+        self.buf
+    }
+
+    fn pre_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some((is_array, has_items)) = self.stack.last_mut() {
+            debug_assert!(*is_array, "object members need a key first");
+            if *has_items {
+                self.buf.push(',');
+            }
+            *has_items = true;
+        }
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.buf, "\\u{:04x}", c as u32);
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    /// Writes an object member key (inside an open object).
+    pub fn key(&mut self, k: &str) {
+        if let Some((is_array, has_items)) = self.stack.last_mut() {
+            debug_assert!(!*is_array, "keys are only valid inside objects");
+            if *has_items {
+                self.buf.push(',');
+            }
+            *has_items = true;
+        }
+        self.push_escaped(k);
+        self.buf.push(':');
+        self.pending_key = true;
+    }
+
+    /// Opens an object (as a root value, array element, or member value).
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.buf.push('{');
+        self.stack.push((false, false));
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        let frame = self.stack.pop();
+        debug_assert_eq!(frame.map(|(a, _)| a), Some(false), "not inside an object");
+        self.buf.push('}');
+    }
+
+    /// Opens an array.
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.buf.push('[');
+        self.stack.push((true, false));
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        let frame = self.stack.pop();
+        debug_assert_eq!(frame.map(|(a, _)| a), Some(true), "not inside an array");
+        self.buf.push(']');
+    }
+
+    /// Writes a string value.
+    pub fn value_str(&mut self, s: &str) {
+        self.pre_value();
+        self.push_escaped(s);
+    }
+
+    /// Writes a float value (`{:.6}`, non-finite clamped to `0.0`).
+    pub fn value_f64(&mut self, v: f64) {
+        self.pre_value();
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v:.6}");
+        } else {
+            self.buf.push_str("0.0");
+        }
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn value_u64(&mut self, v: u64) {
+        self.pre_value();
+        let _ = write!(self.buf, "{v}");
+    }
+
+    /// Writes a boolean value.
+    pub fn value_bool(&mut self, v: bool) {
+        self.pre_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Convenience: `key` + string value.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.value_str(v);
+    }
+
+    /// Convenience: `key` + float value.
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.value_f64(v);
+    }
+
+    /// Convenience: `key` + unsigned integer value.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.value_u64(v);
+    }
+
+    /// Convenience: `key` + usize value.
+    pub fn field_usize(&mut self, k: &str, v: usize) {
+        self.field_u64(k, v as u64);
+    }
+}
+
+/// Validates that `s` is exactly one well-formed JSON value — every
+/// snapshot writer asserts its output through this before touching disk.
+pub fn validate(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        other => Err(format!("unexpected {other:?} at offset {pos}")),
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at offset {pos}"));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or '}}', got {other:?} at {pos}")),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or ']', got {other:?} at {pos}")),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at offset {pos}"));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => *pos += 2,
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while b
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    if *pos == start {
+        return Err(format!("empty number at offset {start}"));
+    }
+    Ok(())
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at offset {pos}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        validate("{\"a\": [1, 2.5, -3e4], \"b\": {\"c\": null}}").unwrap();
+        validate("[true, false, \"x\\\"y\"]").unwrap();
+        assert!(validate("{\"a\": }").is_err());
+        assert!(validate("[1, 2").is_err());
+        assert!(validate("{} trailing").is_err());
+        assert!(validate("{\"k\" 1}").is_err());
+    }
+
+    #[test]
+    fn writer_produces_valid_compact_json() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("schema", "test/1");
+        w.field_f64("ratio", 1.23456789);
+        w.field_u64("count", 42);
+        w.key("flags");
+        w.begin_array();
+        w.value_bool(true);
+        w.value_bool(false);
+        w.end_array();
+        w.key("nested");
+        w.begin_array();
+        for i in 0..2 {
+            w.begin_object();
+            w.field_usize("i", i);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        let out = w.finish();
+        validate(&out).unwrap();
+        assert_eq!(
+            out,
+            "{\"schema\":\"test/1\",\"ratio\":1.234568,\"count\":42,\
+             \"flags\":[true,false],\"nested\":[{\"i\":0},{\"i\":1}]}"
+        );
+    }
+
+    #[test]
+    fn writer_escapes_and_clamps() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("quote\"back\\slash", "line\nbreak\tand\u{1}ctl");
+        w.field_f64("nan", f64::NAN);
+        w.field_f64("inf", f64::INFINITY);
+        w.end_object();
+        let out = w.finish();
+        validate(&out).unwrap();
+        assert!(out.contains("\\\"back\\\\slash"));
+        assert!(out.contains("line\\nbreak\\tand\\u0001ctl"));
+        assert!(out.contains("\"nan\":0.0"));
+        assert!(out.contains("\"inf\":0.0"));
+    }
+
+    #[test]
+    fn writer_handles_empty_containers_and_arrays_of_values() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.value_f64(1.0);
+        w.value_str("two");
+        w.begin_object();
+        w.end_object();
+        w.begin_array();
+        w.end_array();
+        w.end_array();
+        let out = w.finish();
+        validate(&out).unwrap();
+        assert_eq!(out, "[1.000000,\"two\",{},[]]");
+    }
+}

@@ -9,6 +9,7 @@
 //! seconds; set the environment variable `HKRR_BENCH_SCALE` (a positive
 //! float) to scale the training-set sizes up or down.
 
+pub mod json;
 pub mod perf;
 
 use hkrr_clustering::ClusteringMethod;

@@ -13,10 +13,12 @@
 //! its wall time anchors the dense-vs-hierarchical comparison, while the
 //! speedup rows compare each HSS solver against its own single-thread run.
 //!
-//! JSON is emitted by a small hand-rolled writer (the workspace builds
-//! offline, without serde) and checked by the [`json`] syntax validator
-//! before anything is written to disk.
+//! JSON is emitted by the workspace's shared hand-rolled writer (the build
+//! is offline, without serde) and checked by the shared syntax validator
+//! before anything is written to disk; both live in [`crate::json`] and are
+//! shared with the serving snapshot (`BENCH_serve.json`).
 
+use crate::json::JsonWriter;
 use crate::{dataset, test_accuracy, train_timed, with_threads};
 use hkrr_clustering::ClusteringMethod;
 use hkrr_core::{KrrConfig, SolverKind};
@@ -256,89 +258,63 @@ pub fn run(opts: &PerfOptions) -> PerfReport {
     }
 }
 
-fn push_json_f64(out: &mut String, value: f64) {
-    // JSON has no NaN/Infinity; clamp to null-free sentinels.
-    if value.is_finite() {
-        let _ = write!(out, "{value:.6}");
-    } else {
-        out.push_str("0.0");
-    }
-}
-
 impl PerfCase {
-    fn write_json(&self, out: &mut String) {
-        let _ = write!(
-            out,
-            "{{\"workload\":\"{}\",\"solver\":\"{}\",\"threads\":{},\"n_train\":{},\"n_test\":{},",
-            self.workload, self.solver, self.threads, self.n_train, self.n_test
-        );
-        out.push_str("\"construction_seconds\":");
-        push_json_f64(out, self.construction_seconds);
-        out.push_str(",\"factorization_seconds\":");
-        push_json_f64(out, self.factorization_seconds);
-        out.push_str(",\"solve_seconds\":");
-        push_json_f64(out, self.solve_seconds);
-        out.push_str(",\"total_seconds\":");
-        push_json_f64(out, self.total_seconds);
-        out.push_str(",\"accuracy\":");
-        push_json_f64(out, self.accuracy);
-        let _ = write!(out, ",\"matrix_memory_bytes\":{}", self.matrix_memory_bytes);
-        out.push_str(",\"compression_ratio\":");
-        push_json_f64(out, self.compression_ratio);
-        let _ = write!(out, ",\"max_rank\":{}}}", self.max_rank);
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_str("workload", &self.workload);
+        w.field_str("solver", self.solver);
+        w.field_usize("threads", self.threads);
+        w.field_usize("n_train", self.n_train);
+        w.field_usize("n_test", self.n_test);
+        w.field_f64("construction_seconds", self.construction_seconds);
+        w.field_f64("factorization_seconds", self.factorization_seconds);
+        w.field_f64("solve_seconds", self.solve_seconds);
+        w.field_f64("total_seconds", self.total_seconds);
+        w.field_f64("accuracy", self.accuracy);
+        w.field_usize("matrix_memory_bytes", self.matrix_memory_bytes);
+        w.field_f64("compression_ratio", self.compression_ratio);
+        w.field_usize("max_rank", self.max_rank);
+        w.end_object();
     }
 }
 
 impl PerfSpeedup {
-    fn write_json(&self, out: &mut String) {
-        let _ = write!(
-            out,
-            "{{\"workload\":\"{}\",\"solver\":\"{}\",\"threads\":{},",
-            self.workload, self.solver, self.threads
-        );
-        out.push_str("\"construction\":");
-        push_json_f64(out, self.construction);
-        out.push_str(",\"factorization\":");
-        push_json_f64(out, self.factorization);
-        out.push_str(",\"construct_plus_factor\":");
-        push_json_f64(out, self.construct_plus_factor);
-        out.push_str(",\"total\":");
-        push_json_f64(out, self.total);
-        out.push_str(",\"accuracy_delta\":");
-        push_json_f64(out, self.accuracy_delta);
-        out.push('}');
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_str("workload", &self.workload);
+        w.field_str("solver", self.solver);
+        w.field_usize("threads", self.threads);
+        w.field_f64("construction", self.construction);
+        w.field_f64("factorization", self.factorization);
+        w.field_f64("construct_plus_factor", self.construct_plus_factor);
+        w.field_f64("total", self.total);
+        w.field_f64("accuracy_delta", self.accuracy_delta);
+        w.end_object();
     }
 }
 
 impl PerfReport {
     /// Serializes the report (schema `hkrr-perf/1`).
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(4096);
-        out.push_str("{\n  \"schema\": \"hkrr-perf/1\",\n  \"scale\": ");
-        push_json_f64(&mut out, self.scale);
-        let _ = write!(out, ",\n  \"host_threads\": {},\n", self.host_threads);
-        out.push_str("  \"cases\": [\n");
-        for (i, case) in self.cases.iter().enumerate() {
-            out.push_str("    ");
-            case.write_json(&mut out);
-            out.push_str(if i + 1 < self.cases.len() {
-                ",\n"
-            } else {
-                "\n"
-            });
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("schema", "hkrr-perf/1");
+        w.field_f64("scale", self.scale);
+        w.field_usize("host_threads", self.host_threads);
+        w.key("cases");
+        w.begin_array();
+        for case in &self.cases {
+            case.write_json(&mut w);
         }
-        out.push_str("  ],\n  \"speedups\": [\n");
-        for (i, speedup) in self.speedups.iter().enumerate() {
-            out.push_str("    ");
-            speedup.write_json(&mut out);
-            out.push_str(if i + 1 < self.speedups.len() {
-                ",\n"
-            } else {
-                "\n"
-            });
+        w.end_array();
+        w.key("speedups");
+        w.begin_array();
+        for speedup in &self.speedups {
+            speedup.write_json(&mut w);
         }
-        out.push_str("  ]\n}\n");
-        out
+        w.end_array();
+        w.end_object();
+        w.finish()
     }
 
     /// Markdown table of the speedups and accuracy, for `$GITHUB_STEP_SUMMARY`.
@@ -396,151 +372,10 @@ impl PerfReport {
     }
 }
 
-/// Minimal JSON syntax validation, so the harness can assert its output is
-/// well-formed before writing it (the workspace has no serde to round-trip
-/// through).
-pub mod json {
-    /// Validates that `s` is exactly one well-formed JSON value.
-    pub fn validate(s: &str) -> Result<(), String> {
-        let bytes = s.as_bytes();
-        let mut pos = 0usize;
-        skip_ws(bytes, &mut pos);
-        value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing bytes at offset {pos}"));
-        }
-        Ok(())
-    }
-
-    fn skip_ws(b: &[u8], pos: &mut usize) {
-        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-            *pos += 1;
-        }
-    }
-
-    fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
-        match b.get(*pos) {
-            Some(b'{') => object(b, pos),
-            Some(b'[') => array(b, pos),
-            Some(b'"') => string(b, pos),
-            Some(b't') => literal(b, pos, "true"),
-            Some(b'f') => literal(b, pos, "false"),
-            Some(b'n') => literal(b, pos, "null"),
-            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
-            other => Err(format!("unexpected {other:?} at offset {pos}")),
-        }
-    }
-
-    fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
-        *pos += 1; // '{'
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b'}') {
-            *pos += 1;
-            return Ok(());
-        }
-        loop {
-            skip_ws(b, pos);
-            string(b, pos)?;
-            skip_ws(b, pos);
-            if b.get(*pos) != Some(&b':') {
-                return Err(format!("expected ':' at offset {pos}"));
-            }
-            *pos += 1;
-            skip_ws(b, pos);
-            value(b, pos)?;
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b'}') => {
-                    *pos += 1;
-                    return Ok(());
-                }
-                other => return Err(format!("expected ',' or '}}', got {other:?} at {pos}")),
-            }
-        }
-    }
-
-    fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
-        *pos += 1; // '['
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b']') {
-            *pos += 1;
-            return Ok(());
-        }
-        loop {
-            skip_ws(b, pos);
-            value(b, pos)?;
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b']') => {
-                    *pos += 1;
-                    return Ok(());
-                }
-                other => return Err(format!("expected ',' or ']', got {other:?} at {pos}")),
-            }
-        }
-    }
-
-    fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
-        if b.get(*pos) != Some(&b'"') {
-            return Err(format!("expected string at offset {pos}"));
-        }
-        *pos += 1;
-        while let Some(&c) = b.get(*pos) {
-            match c {
-                b'"' => {
-                    *pos += 1;
-                    return Ok(());
-                }
-                b'\\' => *pos += 2,
-                _ => *pos += 1,
-            }
-        }
-        Err("unterminated string".to_string())
-    }
-
-    fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
-        let start = *pos;
-        if b.get(*pos) == Some(&b'-') {
-            *pos += 1;
-        }
-        while b
-            .get(*pos)
-            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
-        {
-            *pos += 1;
-        }
-        if *pos == start {
-            return Err(format!("empty number at offset {start}"));
-        }
-        Ok(())
-    }
-
-    fn literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
-        if b[*pos..].starts_with(lit.as_bytes()) {
-            *pos += lit.len();
-            Ok(())
-        } else {
-            Err(format!("bad literal at offset {pos}"))
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn json_validator_accepts_and_rejects() {
-        json::validate("{\"a\": [1, 2.5, -3e4], \"b\": {\"c\": null}}").unwrap();
-        json::validate("[true, false, \"x\\\"y\"]").unwrap();
-        assert!(json::validate("{\"a\": }").is_err());
-        assert!(json::validate("[1, 2").is_err());
-        assert!(json::validate("{} trailing").is_err());
-        assert!(json::validate("{\"k\" 1}").is_err());
-    }
+    use crate::json;
 
     #[test]
     fn tiny_snapshot_emits_well_formed_json() {
@@ -570,7 +405,7 @@ mod tests {
         let json = report.to_json();
         json::validate(&json).unwrap();
         for key in [
-            "\"schema\": \"hkrr-perf/1\"",
+            "\"schema\":\"hkrr-perf/1\"",
             "construction_seconds",
             "factorization_seconds",
             "compression_ratio",

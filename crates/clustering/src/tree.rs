@@ -47,6 +47,25 @@ impl ClusterTree {
         ClusterTree { nodes, root }
     }
 
+    /// Rebuilds a tree from an explicit node array and root id — the public
+    /// counterpart of the internal constructor, used when a tree is restored
+    /// from a serialized model. The structural invariants are validated so a
+    /// corrupted serialization cannot produce an inconsistent hierarchy.
+    pub fn from_nodes(nodes: Vec<ClusterNode>, root: usize) -> Result<Self, String> {
+        // Only the root id needs a pre-check (validate() indexes it);
+        // dangling child/parent references are caught by validate()'s
+        // bounds-checked reachability walk.
+        if root >= nodes.len() {
+            return Err(format!(
+                "root id {root} out of range for {} nodes",
+                nodes.len()
+            ));
+        }
+        let tree = ClusterTree { nodes, root };
+        tree.validate()?;
+        Ok(tree)
+    }
+
     /// Builds the degenerate single-node tree over `0..n`.
     pub fn single_node(n: usize) -> Self {
         ClusterTree {
@@ -164,7 +183,8 @@ impl ClusterTree {
 
     /// Checks the structural invariants: every internal node has exactly two
     /// children whose ranges partition the parent's range, parent pointers
-    /// are consistent, and the root covers `0..root_size()`.
+    /// are consistent, every node is reachable from the root, and the root
+    /// covers `0..root_size()`.
     pub fn validate(&self) -> Result<(), String> {
         if self.nodes.is_empty() {
             return Err("cluster tree has no nodes".to_string());
@@ -175,6 +195,31 @@ impl ClusterTree {
         }
         if root.parent.is_some() {
             return Err("root must not have a parent".to_string());
+        }
+        // Reachability: a multi-node tree whose root is a leaf (or that
+        // contains orphan nodes) is degenerate — bottom-up algorithms and
+        // restored factorizations assume every node hangs off the root.
+        let mut reached = 0usize;
+        let mut stack = vec![self.root];
+        let mut seen = vec![false; self.nodes.len()];
+        while let Some(id) = stack.pop() {
+            if id >= self.nodes.len() {
+                return Err(format!("child reference {id} is out of range"));
+            }
+            if seen[id] {
+                return Err(format!("node {id} is reachable twice from the root"));
+            }
+            seen[id] = true;
+            reached += 1;
+            let node = &self.nodes[id];
+            stack.extend(node.left.iter().chain(node.right.iter()));
+        }
+        if reached != self.nodes.len() {
+            return Err(format!(
+                "{} of {} nodes are unreachable from the root",
+                self.nodes.len() - reached,
+                self.nodes.len()
+            ));
         }
         for (id, node) in self.nodes.iter().enumerate() {
             match (node.left, node.right) {
@@ -403,6 +448,25 @@ mod tests {
         ];
         let t = ClusterTree::from_parts(nodes, 0);
         assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn from_nodes_roundtrips_and_validates() {
+        let t = three_level_tree();
+        let rebuilt = ClusterTree::from_nodes(t.nodes().to_vec(), t.root()).unwrap();
+        assert_eq!(rebuilt.num_nodes(), t.num_nodes());
+        assert_eq!(rebuilt.root(), t.root());
+        assert_eq!(rebuilt.postorder(), t.postorder());
+
+        // Out-of-range root and dangling child references are rejected.
+        assert!(ClusterTree::from_nodes(t.nodes().to_vec(), 99).is_err());
+        let mut bad = t.nodes().to_vec();
+        bad[0].left = Some(42);
+        assert!(ClusterTree::from_nodes(bad, 0).is_err());
+        // Structural invariants still apply.
+        let mut unbalanced = t.nodes().to_vec();
+        unbalanced[1].size = 3;
+        assert!(ClusterTree::from_nodes(unbalanced, 0).is_err());
     }
 
     #[test]

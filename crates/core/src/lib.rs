@@ -24,7 +24,7 @@ pub mod multiclass;
 pub mod report;
 
 pub use config::{KrrConfig, SolverKind};
-pub use model::{accuracy, KrrModel};
+pub use model::{accuracy, KrrModel, ModelParts, TrainedFactors};
 pub use multiclass::MulticlassKrr;
 pub use report::TrainingReport;
 

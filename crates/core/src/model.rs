@@ -6,10 +6,46 @@ use crate::KrrError;
 use hkrr_clustering::cluster;
 use hkrr_hmatrix::{build_hmatrix, HOptions};
 use hkrr_hss::construct::{compress_symmetric, HssOptions};
-use hkrr_hss::UlvFactorization;
-use hkrr_kernel::{CrossKernel, KernelMatrix, NormalizationStats};
-use hkrr_linalg::{cholesky, Matrix};
+use hkrr_hss::{HssMatrix, UlvFactorization};
+use hkrr_kernel::{cross_scores_into, KernelMatrix, NormalizationStats};
+use hkrr_linalg::{cholesky, is_permutation, Matrix};
 use std::time::Instant;
+
+/// The compressed training operator and its factorization, retained after
+/// an HSS fit so serving-side persistence can round-trip them and a loaded
+/// model can solve for new label vectors without re-compressing or
+/// re-factoring anything.
+#[derive(Debug, Clone)]
+pub struct TrainedFactors {
+    /// The compressed `K + λI` (the shift is recorded in
+    /// [`HssMatrix::diagonal_shift`]).
+    pub hss: HssMatrix,
+    /// Its ULV factorization, reusable for many right-hand sides.
+    pub ulv: UlvFactorization,
+}
+
+/// Everything a [`KrrModel`] is made of, for persistence: the inverse of
+/// the model's accessors, consumed by [`KrrModel::from_parts`].
+#[derive(Debug, Clone)]
+pub struct ModelParts {
+    /// Normalized, reordered training points.
+    pub train_points: Matrix,
+    /// Weight vector in the reordered index space.
+    pub weights: Vec<f64>,
+    /// The kernel function.
+    pub kernel: hkrr_kernel::KernelFunction,
+    /// Normalization statistics fitted on the raw training data.
+    pub norm_stats: NormalizationStats,
+    /// Training report.
+    pub report: TrainingReport,
+    /// Training configuration.
+    pub config: KrrConfig,
+    /// Clustering permutation: position `i` of the reordered training set
+    /// holds original point `permutation[i]`.
+    pub permutation: Vec<usize>,
+    /// Retained compressed operator + factorization (HSS solvers only).
+    pub factors: Option<TrainedFactors>,
+}
 
 /// A trained binary classifier.
 #[derive(Debug, Clone)]
@@ -22,6 +58,10 @@ pub struct KrrModel {
     norm_stats: NormalizationStats,
     report: TrainingReport,
     config: KrrConfig,
+    /// Clustering permutation (original index of each reordered position).
+    permutation: Vec<usize>,
+    /// Compressed operator + ULV factors, retained by the HSS solvers.
+    factors: Option<TrainedFactors>,
 }
 
 impl KrrModel {
@@ -63,7 +103,7 @@ impl KrrModel {
         let km = KernelMatrix::new(permuted.clone(), kernel);
 
         // Step 2: solve (K + λI) w = y with the requested solver.
-        let weights = match config.solver {
+        let (weights, factors) = match config.solver {
             SolverKind::DenseCholesky => {
                 let t = Instant::now();
                 let k_dense = km.assemble_regularized(config.lambda);
@@ -77,7 +117,7 @@ impl KrrModel {
                 let t = Instant::now();
                 let w = factor.solve(&permuted_labels)?;
                 report.solve_seconds = t.elapsed().as_secs_f64();
-                w
+                (w, None)
             }
             SolverKind::Hss | SolverKind::HssWithHSampling => {
                 let hss_opts = HssOptions {
@@ -126,7 +166,7 @@ impl KrrModel {
                 let t = Instant::now();
                 let w = factor.solve(&permuted_labels)?;
                 report.solve_seconds = t.elapsed().as_secs_f64();
-                w
+                (w, Some(TrainedFactors { hss, ulv: factor }))
             }
         };
 
@@ -137,27 +177,185 @@ impl KrrModel {
             norm_stats,
             report,
             config: *config,
+            permutation: ordering.permutation().to_vec(),
+            factors,
         })
+    }
+
+    /// Rebuilds a model from persisted parts, validating their mutual
+    /// consistency. The numerical content is taken as-is, so a
+    /// save → load round trip reproduces predictions bitwise.
+    pub fn from_parts(parts: ModelParts) -> Result<KrrModel, KrrError> {
+        let ModelParts {
+            train_points,
+            weights,
+            kernel,
+            norm_stats,
+            report,
+            config,
+            permutation,
+            factors,
+        } = parts;
+        let n = train_points.nrows();
+        if weights.len() != n {
+            return Err(KrrError::InvalidInput(format!(
+                "{} weights for {} training points",
+                weights.len(),
+                n
+            )));
+        }
+        if norm_stats.dim() != train_points.ncols() {
+            return Err(KrrError::InvalidInput(format!(
+                "normalization covers {} features, training points have {}",
+                norm_stats.dim(),
+                train_points.ncols()
+            )));
+        }
+        if permutation.len() != n || !is_permutation(&permutation) {
+            return Err(KrrError::InvalidInput(format!(
+                "clustering permutation is not a permutation of 0..{n}"
+            )));
+        }
+        if let Some(f) = &factors {
+            if f.hss.dim() != n || f.ulv.dim() != n {
+                return Err(KrrError::InvalidInput(format!(
+                    "retained factors are {}x{} / {}x{}, model has {n} points",
+                    f.hss.dim(),
+                    f.hss.dim(),
+                    f.ulv.dim(),
+                    f.ulv.dim()
+                )));
+            }
+        }
+        Ok(KrrModel {
+            train_points,
+            weights,
+            kernel,
+            norm_stats,
+            report,
+            config,
+            permutation,
+            factors,
+        })
+    }
+
+    /// Decomposes the model into its persistable parts (the inverse of
+    /// [`KrrModel::from_parts`]).
+    pub fn into_parts(self) -> ModelParts {
+        ModelParts {
+            train_points: self.train_points,
+            weights: self.weights,
+            kernel: self.kernel,
+            norm_stats: self.norm_stats,
+            report: self.report,
+            config: self.config,
+            permutation: self.permutation,
+            factors: self.factors,
+        }
     }
 
     /// Raw decision values `w · K'(x'_i, ·)` for each test point.
     pub fn decision_values(&self, test: &Matrix) -> Vec<f64> {
+        let mut out = vec![0.0; test.nrows()];
+        self.decision_values_into(test, &mut out);
+        out
+    }
+
+    /// [`KrrModel::decision_values`] into a caller-provided buffer, so hot
+    /// serving paths can reuse allocations across prediction batches (no
+    /// per-call clone of the training points either — the cross-kernel is
+    /// evaluated against borrowed storage).
+    ///
+    /// # Panics
+    /// Panics when `out.len() != test.nrows()` or the test dimension does
+    /// not match the training dimension.
+    pub fn decision_values_into(&self, test: &Matrix, out: &mut [f64]) {
         let test_n = self.norm_stats.transform(test);
-        let ck = CrossKernel::new(test_n, self.train_points.clone(), self.kernel);
-        ck.predict_scores(&self.weights)
+        cross_scores_into(&test_n, &self.train_points, self.kernel, &self.weights, out);
     }
 
     /// Predicted ±1 labels (Step 4 of Algorithm 1).
     pub fn predict(&self, test: &Matrix) -> Vec<f64> {
-        self.decision_values(test)
-            .into_iter()
-            .map(|s| if s >= 0.0 { 1.0 } else { -1.0 })
-            .collect()
+        let mut out = vec![0.0; test.nrows()];
+        self.predict_into(test, &mut out);
+        out
+    }
+
+    /// [`KrrModel::predict`] into a caller-provided buffer.
+    pub fn predict_into(&self, test: &Matrix, out: &mut [f64]) {
+        self.decision_values_into(test, out);
+        for s in out.iter_mut() {
+            *s = if *s >= 0.0 { 1.0 } else { -1.0 };
+        }
+    }
+
+    /// Solves `(K + λI) w = y` for a fresh label vector using the retained
+    /// ULV factorization — no re-clustering, re-compression or
+    /// re-factorization. `labels` are given in the *original* training
+    /// order (the same order [`KrrModel::fit`] consumed); the stored
+    /// clustering permutation is applied internally.
+    ///
+    /// Returns the new weight vector (in the reordered index space, like
+    /// [`KrrModel::weights`]). Fails for models trained with the dense
+    /// solver, which retains no factorization.
+    pub fn solve_new_labels(&self, labels: &[f64]) -> Result<Vec<f64>, KrrError> {
+        if labels.len() != self.num_train() {
+            return Err(KrrError::InvalidInput(format!(
+                "{} labels for {} training points",
+                labels.len(),
+                self.num_train()
+            )));
+        }
+        let factors = self.factors.as_ref().ok_or_else(|| {
+            KrrError::InvalidInput(
+                "model retains no factorization (dense solver, or factors discarded)".to_string(),
+            )
+        })?;
+        let permuted: Vec<f64> = self.permutation.iter().map(|&i| labels[i]).collect();
+        Ok(factors.ulv.solve(&permuted)?)
     }
 
     /// The weight vector (in the reordered training index space).
     pub fn weights(&self) -> &[f64] {
         &self.weights
+    }
+
+    /// The normalized, reordered training points the weights refer to.
+    pub fn train_points(&self) -> &Matrix {
+        &self.train_points
+    }
+
+    /// The kernel function the model predicts with.
+    pub fn kernel(&self) -> hkrr_kernel::KernelFunction {
+        self.kernel
+    }
+
+    /// The normalization statistics fitted on the raw training data.
+    pub fn norm_stats(&self) -> &NormalizationStats {
+        &self.norm_stats
+    }
+
+    /// The clustering permutation: position `i` of the reordered training
+    /// set holds original point `permutation()[i]`.
+    pub fn permutation(&self) -> &[usize] {
+        &self.permutation
+    }
+
+    /// The retained compressed operator + ULV factorization (`None` for the
+    /// dense solver or after [`KrrModel::discard_factors`]).
+    pub fn factors(&self) -> Option<&TrainedFactors> {
+        self.factors.as_ref()
+    }
+
+    /// Drops the retained factorization to reclaim memory. Prediction is
+    /// unaffected; [`KrrModel::solve_new_labels`] stops working.
+    pub fn discard_factors(&mut self) {
+        self.factors = None;
+    }
+
+    /// Raw input feature dimension the model expects at prediction time.
+    pub fn dim(&self) -> usize {
+        self.norm_stats.dim()
     }
 
     /// Performance report of the training run.
@@ -286,6 +484,90 @@ mod tests {
         let dv = model.decision_values(&ds.test);
         assert_eq!(dv.len(), 40);
         assert!(dv.iter().any(|v| v.abs() > 0.0));
+    }
+
+    #[test]
+    fn into_parts_from_parts_roundtrips_predictions_bitwise() {
+        let ds = generate(&LETTER, 300, 60, 11);
+        let model =
+            KrrModel::fit(&ds.train, &ds.train_labels, &quick_config(SolverKind::Hss)).unwrap();
+        let reference = model.decision_values(&ds.test);
+        let rebuilt = KrrModel::from_parts(model.clone().into_parts()).unwrap();
+        assert_eq!(rebuilt.decision_values(&ds.test), reference);
+        assert_eq!(rebuilt.weights(), model.weights());
+        assert_eq!(rebuilt.permutation(), model.permutation());
+        assert!(rebuilt.factors().is_some(), "HSS fit retains its factors");
+        assert_eq!(rebuilt.dim(), 16);
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_pieces() {
+        let ds = generate(&LETTER, 100, 10, 12);
+        let model =
+            KrrModel::fit(&ds.train, &ds.train_labels, &quick_config(SolverKind::Hss)).unwrap();
+        // Wrong weight count.
+        let mut parts = model.clone().into_parts();
+        parts.weights.pop();
+        assert!(matches!(
+            KrrModel::from_parts(parts),
+            Err(KrrError::InvalidInput(_))
+        ));
+        // Corrupted permutation.
+        let mut parts = model.clone().into_parts();
+        parts.permutation[0] = parts.permutation[1];
+        assert!(matches!(
+            KrrModel::from_parts(parts),
+            Err(KrrError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn buffered_prediction_paths_match_allocating_ones() {
+        let ds = generate(&LETTER, 250, 70, 13);
+        let model =
+            KrrModel::fit(&ds.train, &ds.train_labels, &quick_config(SolverKind::Hss)).unwrap();
+        let dv = model.decision_values(&ds.test);
+        let pred = model.predict(&ds.test);
+        let mut buf = vec![f64::NAN; 70];
+        model.decision_values_into(&ds.test, &mut buf);
+        assert_eq!(buf, dv);
+        model.predict_into(&ds.test, &mut buf);
+        assert_eq!(buf, pred);
+    }
+
+    #[test]
+    fn solve_new_labels_reuses_the_factorization() {
+        let ds = generate(&LETTER, 200, 20, 14);
+        let model =
+            KrrModel::fit(&ds.train, &ds.train_labels, &quick_config(SolverKind::Hss)).unwrap();
+        // Solving for the original labels reproduces the weights bitwise:
+        // the exact same stored factors, the exact same arithmetic.
+        let w = model.solve_new_labels(&ds.train_labels).unwrap();
+        assert_eq!(w, model.weights());
+        // Flipped labels flip the weights' meaning — a genuinely new solve.
+        let flipped: Vec<f64> = ds.train_labels.iter().map(|l| -l).collect();
+        let w_flipped = model.solve_new_labels(&flipped).unwrap();
+        assert_ne!(w_flipped, model.weights());
+        // Dense models retain no factors.
+        let dense = KrrModel::fit(
+            &ds.train,
+            &ds.train_labels,
+            &quick_config(SolverKind::DenseCholesky),
+        )
+        .unwrap();
+        assert!(dense.factors().is_none());
+        assert!(dense.solve_new_labels(&ds.train_labels).is_err());
+        // Wrong label count is rejected before touching the factors.
+        assert!(model.solve_new_labels(&ds.train_labels[..10]).is_err());
+        // Discarding factors frees them (and disables new solves).
+        let mut discarded = model.clone();
+        discarded.discard_factors();
+        assert!(discarded.factors().is_none());
+        assert!(discarded.solve_new_labels(&ds.train_labels).is_err());
+        assert_eq!(
+            discarded.decision_values(&ds.test),
+            model.decision_values(&ds.test)
+        );
     }
 
     #[test]

@@ -47,7 +47,13 @@ impl MulticlassKrr {
                 .iter()
                 .map(|&l| if l == class { 1.0 } else { -1.0 })
                 .collect();
-            classifiers.push(KrrModel::fit(train, &binary, config)?);
+            let mut model = KrrModel::fit(train, &binary, config)?;
+            // One-vs-all keeps `num_classes` models alive at once; holding
+            // every per-class HSS form + ULV factorization would multiply
+            // the retained memory by the class count for factors nothing
+            // here re-solves with. Prediction only needs points + weights.
+            model.discard_factors();
+            classifiers.push(model);
         }
         Ok(MulticlassKrr { classifiers })
     }

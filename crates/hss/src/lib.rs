@@ -31,7 +31,7 @@ pub mod ulv;
 
 pub use construct::{ConstructionStats, HssOptions};
 pub use stats::HssStats;
-pub use ulv::UlvFactorization;
+pub use ulv::{UlvFactorization, UlvNodeFactor};
 
 use hkrr_clustering::ClusterTree;
 use hkrr_linalg::Matrix;
@@ -84,9 +84,123 @@ pub struct HssMatrix {
 }
 
 impl HssMatrix {
+    /// Rebuilds a compressed matrix from its stored parts — the inverse of
+    /// the [`HssMatrix::tree`] / [`HssMatrix::nodes`] /
+    /// [`HssMatrix::diagonal_shift`] / [`HssMatrix::construction_stats`]
+    /// accessors — validating the structure against the tree so a corrupted
+    /// serialization cannot produce an inconsistent representation.
+    pub fn from_parts(
+        tree: ClusterTree,
+        nodes: Vec<HssNodeData>,
+        diagonal_shift: f64,
+        construction: ConstructionStats,
+    ) -> Result<Self, construct::HssError> {
+        use construct::HssError;
+        tree.validate().map_err(HssError::DimensionMismatch)?;
+        if nodes.len() != tree.num_nodes() {
+            return Err(HssError::DimensionMismatch(format!(
+                "{} node payloads for a {}-node tree",
+                nodes.len(),
+                tree.num_nodes()
+            )));
+        }
+        let n = tree.root_size();
+        for (id, nd) in nodes.iter().enumerate() {
+            let node = tree.node(id);
+            if node.is_leaf() {
+                match nd.d.as_ref() {
+                    Some(d) if d.nrows() == node.size && d.ncols() == node.size => {}
+                    Some(d) => {
+                        return Err(HssError::DimensionMismatch(format!(
+                            "leaf {id} diagonal block is {}x{}, node owns {} indices",
+                            d.nrows(),
+                            d.ncols(),
+                            node.size
+                        )))
+                    }
+                    None => {
+                        return Err(HssError::DimensionMismatch(format!(
+                            "leaf {id} is missing its diagonal block"
+                        )))
+                    }
+                }
+            }
+            // Basis blocks: every non-root node needs one, sized so the
+            // matvec sweeps cannot index out of bounds. (Single-node trees
+            // have no basis at all.)
+            if id != tree.root() {
+                let expected_rows = if node.is_leaf() {
+                    node.size
+                } else {
+                    let c1 = node.left.unwrap();
+                    let c2 = node.right.unwrap();
+                    nodes[c1].rank + nodes[c2].rank
+                };
+                match nd.u.as_ref() {
+                    Some(u) if u.nrows() == expected_rows && u.ncols() == nd.rank => {}
+                    Some(u) => {
+                        return Err(HssError::DimensionMismatch(format!(
+                            "node {id}: basis is {}x{}, expected {expected_rows}x{}",
+                            u.nrows(),
+                            u.ncols(),
+                            nd.rank
+                        )))
+                    }
+                    None => {
+                        return Err(HssError::DimensionMismatch(format!(
+                            "non-root node {id} is missing its basis"
+                        )))
+                    }
+                }
+            }
+            if !node.is_leaf() {
+                let c1 = node.left.unwrap();
+                let c2 = node.right.unwrap();
+                let (k1, k2) = (nodes[c1].rank, nodes[c2].rank);
+                let b12_ok = nd
+                    .b12
+                    .as_ref()
+                    .is_some_and(|b| b.nrows() == k1 && b.ncols() == k2);
+                let b21_ok = nd
+                    .b21
+                    .as_ref()
+                    .is_some_and(|b| b.nrows() == k2 && b.ncols() == k1);
+                if !b12_ok || !b21_ok {
+                    return Err(HssError::DimensionMismatch(format!(
+                        "internal node {id}: coupling blocks missing or not {k1}x{k2} / {k2}x{k1}"
+                    )));
+                }
+            }
+            if nd.rank != nd.skeleton.len() {
+                return Err(HssError::DimensionMismatch(format!(
+                    "node {id}: rank {} disagrees with {} skeleton indices",
+                    nd.rank,
+                    nd.skeleton.len()
+                )));
+            }
+            if nd.skeleton.iter().any(|&s| s >= n) {
+                return Err(HssError::DimensionMismatch(format!(
+                    "node {id}: skeleton index out of range 0..{n}"
+                )));
+            }
+        }
+        Ok(HssMatrix {
+            tree,
+            nodes,
+            n,
+            diagonal_shift,
+            construction,
+        })
+    }
+
     /// Matrix dimension `n`.
     pub fn dim(&self) -> usize {
         self.n
+    }
+
+    /// Every node payload, indexed by cluster-tree node id.
+    pub fn nodes(&self) -> &[HssNodeData] {
+        &self.nodes
     }
 
     /// The cluster tree the representation is built on.
@@ -270,6 +384,48 @@ mod tests {
         let hss = construct::compress_symmetric(&a, &a, ordering.tree().clone(), &opts).unwrap();
         assert!(blas::relative_error(&a, &hss.to_dense()) < 1e-8);
         assert!(hss.max_rank() >= 16);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_matvec_bitwise() {
+        let (_, hss) = build(128, 1e-8);
+        let rebuilt = HssMatrix::from_parts(
+            hss.tree().clone(),
+            hss.nodes().to_vec(),
+            hss.diagonal_shift(),
+            *hss.construction_stats(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.dim(), hss.dim());
+        assert_eq!(rebuilt.max_rank(), hss.max_rank());
+        assert_eq!(rebuilt.memory_bytes(), hss.memory_bytes());
+        let mut rng = Pcg64::seed_from_u64(11);
+        let x: Vec<f64> = (0..128).map(|_| rng.next_gaussian()).collect();
+        let mut y1 = vec![0.0; 128];
+        let mut y2 = vec![0.0; 128];
+        hss.matvec(&x, &mut y1);
+        rebuilt.matvec(&x, &mut y2);
+        assert_eq!(y1, y2, "rebuilt representation must be the same data");
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_structure() {
+        let (_, hss) = build(96, 1e-6);
+        // Wrong node count.
+        let mut short = hss.nodes().to_vec();
+        short.pop();
+        assert!(HssMatrix::from_parts(hss.tree().clone(), short, 0.0, Default::default()).is_err());
+        // Leaf missing its diagonal block.
+        let mut no_d = hss.nodes().to_vec();
+        let leaf = hss.tree().leaves()[0];
+        no_d[leaf].d = None;
+        assert!(HssMatrix::from_parts(hss.tree().clone(), no_d, 0.0, Default::default()).is_err());
+        // Rank / skeleton disagreement.
+        let mut bad_rank = hss.nodes().to_vec();
+        bad_rank[leaf].rank += 1;
+        assert!(
+            HssMatrix::from_parts(hss.tree().clone(), bad_rank, 0.0, Default::default()).is_err()
+        );
     }
 
     #[test]

@@ -23,31 +23,36 @@ use hkrr_linalg::qr::full_qr;
 use hkrr_linalg::{blas, LinalgError, LinalgResult, Matrix};
 use rayon::prelude::*;
 
-/// Per-node data stored by the factorization.
-struct NodeFactor {
+/// Per-node data stored by the factorization. The fields are public so a
+/// factorization can be serialized and rebuilt (via
+/// [`UlvFactorization::from_parts`]) without re-eliminating anything.
+#[derive(Debug, Clone)]
+pub struct UlvNodeFactor {
     /// Orthogonal transform `W` (size `m x m`): local unknowns are
     /// `x_local = W w`.
-    w: Matrix,
+    pub w: Matrix,
     /// Number of eliminated unknowns (`m - rank`).
-    elim: usize,
+    pub elim: usize,
     /// HSS rank of the node (number of unknowns passed to the parent).
-    rank: usize,
+    pub rank: usize,
     /// LU factorization of the leading `elim x elim` block.
-    d11_lu: Option<Lu>,
-    /// Coupling blocks of the transformed diagonal block.
-    d12: Matrix,
-    d21: Matrix,
+    pub d11_lu: Option<Lu>,
+    /// Top-right coupling block of the transformed diagonal block.
+    pub d12: Matrix,
+    /// Bottom-left coupling block of the transformed diagonal block.
+    pub d21: Matrix,
     /// Schur complement passed to the parent (`rank x rank`).
-    dtilde: Matrix,
+    pub dtilde: Matrix,
     /// Reduced basis `Û` (`rank x rank`, upper triangular).
-    uhat: Matrix,
+    pub uhat: Matrix,
 }
 
 /// A ULV factorization of an [`HssMatrix`]; reusable for many right-hand
 /// sides.
+#[derive(Debug, Clone)]
 pub struct UlvFactorization {
     tree: ClusterTree,
-    factors: Vec<Option<NodeFactor>>,
+    factors: Vec<Option<UlvNodeFactor>>,
     root_lu: Lu,
     n: usize,
 }
@@ -62,7 +67,7 @@ impl UlvFactorization {
         let tree = hss.tree().clone();
         let root = tree.root();
         let n = hss.dim();
-        let mut factors: Vec<Option<NodeFactor>> = (0..tree.num_nodes()).map(|_| None).collect();
+        let mut factors: Vec<Option<UlvNodeFactor>> = (0..tree.num_nodes()).map(|_| None).collect();
 
         // Degenerate single-block case: dense LU of the only block.
         if tree.num_nodes() == 1 {
@@ -90,7 +95,7 @@ impl UlvFactorization {
             if ids.is_empty() {
                 continue;
             }
-            let results: Vec<LinalgResult<(usize, NodeFactor)>> = ids
+            let results: Vec<LinalgResult<(usize, UlvNodeFactor)>> = ids
                 .par_iter()
                 .with_min_len(1)
                 .map(|&id| {
@@ -157,9 +162,134 @@ impl UlvFactorization {
         })
     }
 
+    /// Rebuilds a factorization from its stored parts — the inverse of the
+    /// [`UlvFactorization::tree`] / [`UlvFactorization::node_factors`] /
+    /// [`UlvFactorization::root_lu`] accessors — so a persisted model skips
+    /// re-factorization entirely on reload. Structural consistency with the
+    /// tree is validated; the numerical content is trusted as-is.
+    pub fn from_parts(
+        tree: ClusterTree,
+        factors: Vec<Option<UlvNodeFactor>>,
+        root_lu: Lu,
+    ) -> Result<Self, crate::construct::HssError> {
+        use crate::construct::HssError;
+        tree.validate().map_err(HssError::DimensionMismatch)?;
+        if factors.len() != tree.num_nodes() {
+            return Err(HssError::DimensionMismatch(format!(
+                "{} node factors for a {}-node tree",
+                factors.len(),
+                tree.num_nodes()
+            )));
+        }
+        let n = tree.root_size();
+        let root = tree.root();
+        if tree.num_nodes() == 1 {
+            if root_lu.dim() != n {
+                return Err(HssError::DimensionMismatch(format!(
+                    "single-node root LU is {}x{0}, matrix is {n}x{n}",
+                    root_lu.dim()
+                )));
+            }
+            return Ok(UlvFactorization {
+                tree,
+                factors,
+                root_lu,
+                n,
+            });
+        }
+        for (id, f) in factors.iter().enumerate() {
+            if id == root {
+                continue;
+            }
+            let f = f.as_ref().ok_or_else(|| {
+                HssError::DimensionMismatch(format!("non-root node {id} is missing its factor"))
+            })?;
+            let m = f.elim + f.rank;
+            if f.w.nrows() != m || f.w.ncols() != m {
+                return Err(HssError::DimensionMismatch(format!(
+                    "node {id}: transform is {}x{}, expected {m}x{m}",
+                    f.w.nrows(),
+                    f.w.ncols()
+                )));
+            }
+            // The block size must also agree with what the solve sweeps
+            // feed this node: the owned index range at a leaf, the
+            // children's surviving unknowns at an internal node.
+            let node = tree.node(id);
+            let expected_m = if node.is_leaf() {
+                node.size
+            } else {
+                let c1 = node.left.unwrap();
+                let c2 = node.right.unwrap();
+                factors[c1].as_ref().map_or(0, |f| f.rank)
+                    + factors[c2].as_ref().map_or(0, |f| f.rank)
+            };
+            if m != expected_m {
+                return Err(HssError::DimensionMismatch(format!(
+                    "node {id}: factor covers {m} unknowns, the tree supplies {expected_m}"
+                )));
+            }
+            if f.elim > 0 && f.d11_lu.as_ref().map(Lu::dim) != Some(f.elim) {
+                return Err(HssError::DimensionMismatch(format!(
+                    "node {id}: eliminated block LU missing or not {0}x{0}",
+                    f.elim
+                )));
+            }
+            // Every stored block must carry the shapes the solve sweeps
+            // assume, or a crafted file could panic deep inside a GEMV.
+            let shapes_ok = f.d12.nrows() == f.elim
+                && f.d12.ncols() == f.rank
+                && f.d21.nrows() == f.rank
+                && f.d21.ncols() == f.elim
+                && f.dtilde.nrows() == f.rank
+                && f.dtilde.ncols() == f.rank
+                && f.uhat.nrows() == f.rank
+                && f.uhat.ncols() == f.rank;
+            if !shapes_ok {
+                return Err(HssError::DimensionMismatch(format!(
+                    "node {id}: factor blocks disagree with elim {} / rank {}",
+                    f.elim, f.rank
+                )));
+            }
+        }
+        let root_node = tree.node(root);
+        let (c1, c2) = (root_node.left.unwrap(), root_node.right.unwrap());
+        let expected_root =
+            factors[c1].as_ref().map_or(0, |f| f.rank) + factors[c2].as_ref().map_or(0, |f| f.rank);
+        if root_lu.dim() != expected_root {
+            return Err(HssError::DimensionMismatch(format!(
+                "root LU is {}x{0}, children pass up {expected_root} unknowns",
+                root_lu.dim()
+            )));
+        }
+        Ok(UlvFactorization {
+            tree,
+            factors,
+            root_lu,
+            n,
+        })
+    }
+
     /// Dimension of the factored matrix.
     pub fn dim(&self) -> usize {
         self.n
+    }
+
+    /// The cluster tree the factorization follows.
+    pub fn tree(&self) -> &ClusterTree {
+        &self.tree
+    }
+
+    /// Per-node factors, indexed by cluster-tree node id (`None` at the
+    /// root, whose block lives in [`UlvFactorization::root_lu`], and for a
+    /// single-node tree).
+    pub fn node_factors(&self) -> &[Option<UlvNodeFactor>] {
+        &self.factors
+    }
+
+    /// The dense LU factor of the root system.
+    pub fn root_lu(&self) -> &Lu {
+        &self.root_lu
     }
 
     /// Solves `A x = b`.
@@ -300,7 +430,7 @@ impl UlvFactorization {
 
 /// Factors one node: orthogonal elimination of the rows not coupled to the
 /// rest of the system, followed by LU on the decoupled block.
-fn factor_node(d_full: &Matrix, u_full: &Matrix) -> LinalgResult<NodeFactor> {
+fn factor_node(d_full: &Matrix, u_full: &Matrix) -> LinalgResult<UlvNodeFactor> {
     let m = d_full.nrows();
     let k = u_full.ncols();
     debug_assert_eq!(d_full.ncols(), m);
@@ -339,7 +469,7 @@ fn factor_node(d_full: &Matrix, u_full: &Matrix) -> LinalgResult<NodeFactor> {
         (None, d22)
     };
 
-    Ok(NodeFactor {
+    Ok(UlvNodeFactor {
         w,
         elim,
         rank: k,
@@ -507,6 +637,52 @@ mod tests {
                 .fold(0.0, f64::max);
             assert!(err < 1e-6, "lambda {lambda}: max error {err}");
         }
+    }
+
+    #[test]
+    fn from_parts_roundtrips_solve_bitwise() {
+        let (_, hss) = build_shifted(160, 0.08, 1.5, 1e-8);
+        let f = UlvFactorization::factor(&hss).unwrap();
+        let rebuilt = UlvFactorization::from_parts(
+            f.tree().clone(),
+            f.node_factors().to_vec(),
+            f.root_lu().clone(),
+        )
+        .unwrap();
+        let mut rng = Pcg64::seed_from_u64(21);
+        let b: Vec<f64> = (0..160).map(|_| rng.next_gaussian()).collect();
+        // Same stored factors ⇒ bitwise-identical solves: reload skips
+        // re-factorization without changing a single bit of the output.
+        assert_eq!(f.solve(&b).unwrap(), rebuilt.solve(&b).unwrap());
+        assert_eq!(rebuilt.dim(), 160);
+        assert_eq!(rebuilt.memory_bytes(), f.memory_bytes());
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_factors() {
+        let (_, hss) = build_shifted(96, 0.1, 1.0, 1e-6);
+        let f = UlvFactorization::factor(&hss).unwrap();
+        // Wrong factor count.
+        let mut short = f.node_factors().to_vec();
+        short.pop();
+        assert!(
+            UlvFactorization::from_parts(f.tree().clone(), short, f.root_lu().clone()).is_err()
+        );
+        // Missing non-root factor.
+        let mut missing = f.node_factors().to_vec();
+        let non_root = (0..missing.len()).find(|&i| i != f.tree().root()).unwrap();
+        missing[non_root] = None;
+        assert!(
+            UlvFactorization::from_parts(f.tree().clone(), missing, f.root_lu().clone()).is_err()
+        );
+        // Root LU of the wrong size.
+        let bad_root = lu(&Matrix::identity(1)).unwrap();
+        assert!(UlvFactorization::from_parts(
+            f.tree().clone(),
+            f.node_factors().to_vec(),
+            bad_root
+        )
+        .is_err());
     }
 
     #[test]

@@ -195,19 +195,57 @@ impl CrossKernel {
     /// All predictions `K' w` for a weight vector `w`, in parallel over the
     /// test points.
     pub fn predict_scores(&self, w: &[f64]) -> Vec<f64> {
-        assert_eq!(w.len(), self.num_train(), "predict_scores: weight length");
-        (0..self.num_test())
-            .into_par_iter()
-            .map(|i| {
-                let xi = self.test_points.row(i);
-                let mut s = 0.0;
-                for (j, &wj) in w.iter().enumerate() {
-                    s += self.kernel.evaluate(xi, self.train_points.row(j)) * wj;
-                }
-                s
-            })
-            .collect()
+        let mut out = vec![0.0; self.num_test()];
+        self.predict_scores_into(w, &mut out);
+        out
     }
+
+    /// [`CrossKernel::predict_scores`] into a caller-provided buffer, so hot
+    /// serving paths can reuse allocations across batches.
+    pub fn predict_scores_into(&self, w: &[f64], out: &mut [f64]) {
+        cross_scores_into(&self.test_points, &self.train_points, self.kernel, w, out);
+    }
+}
+
+/// Batched cross-kernel scores `out_i = Σ_j K(test_i, train_j) w_j` against
+/// borrowed point sets — the allocation-free core of prediction. Parallel
+/// over the test rows; per-row arithmetic is the sequential `j` order, so
+/// results are bitwise identical to a scalar loop (and across thread
+/// counts).
+///
+/// # Panics
+/// Panics when the point dimensions, weight length, or output length are
+/// inconsistent.
+pub fn cross_scores_into(
+    test_points: &Matrix,
+    train_points: &Matrix,
+    kernel: KernelFunction,
+    w: &[f64],
+    out: &mut [f64],
+) {
+    assert_eq!(
+        test_points.ncols(),
+        train_points.ncols(),
+        "cross_scores_into: test and train dimension mismatch"
+    );
+    assert_eq!(
+        w.len(),
+        train_points.nrows(),
+        "cross_scores_into: weight length"
+    );
+    assert_eq!(
+        out.len(),
+        test_points.nrows(),
+        "cross_scores_into: output length"
+    );
+    out.par_iter_mut().enumerate().for_each(|(i, oi)| {
+        let xi = test_points.row(i);
+        let mut s = 0.0;
+        for (j, &wj) in w.iter().enumerate() {
+            s += kernel.evaluate(xi, train_points.row(j)) * wj;
+        }
+        *oi = s;
+    });
 }
 
 impl LinearOperator for CrossKernel {
@@ -336,6 +374,24 @@ mod tests {
             let manual = blas::dot(&ck.kernel_vector(i), &w);
             assert!((scores[i] - manual).abs() < 1e-12);
         }
+
+        // The buffer-reusing path is the same arithmetic, bitwise.
+        let mut buf = vec![f64::NAN; 5];
+        ck.predict_scores_into(&w, &mut buf);
+        assert_eq!(buf, scores);
+        let mut free = vec![0.0; 5];
+        cross_scores_into(&test, &train, KernelFunction::gaussian(1.0), &w, &mut free);
+        assert_eq!(free, scores);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cross_scores_into_rejects_bad_output_length() {
+        let train = random_points(9, 20, 3);
+        let test = random_points(10, 5, 3);
+        let w = vec![0.0; 20];
+        let mut out = vec![0.0; 4];
+        cross_scores_into(&test, &train, KernelFunction::gaussian(1.0), &w, &mut out);
     }
 
     #[test]

@@ -15,6 +15,6 @@ pub mod kernel_matrix;
 pub mod kernels;
 pub mod normalize;
 
-pub use kernel_matrix::{CrossKernel, KernelMatrix};
+pub use kernel_matrix::{cross_scores_into, CrossKernel, KernelMatrix};
 pub use kernels::KernelFunction;
 pub use normalize::{NormalizationStats, Normalizer};

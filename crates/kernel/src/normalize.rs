@@ -69,9 +69,49 @@ impl NormalizationStats {
         }
     }
 
+    /// Rebuilds fitted statistics from their stored parts (the inverse of
+    /// the [`NormalizationStats::offset`] / [`NormalizationStats::scale`]
+    /// accessors), used when a model is restored from disk.
+    pub fn from_parts(
+        scheme: Normalizer,
+        offset: Vec<f64>,
+        scale: Vec<f64>,
+    ) -> Result<Self, String> {
+        if offset.len() != scale.len() {
+            return Err(format!(
+                "offset has {} entries, scale has {}",
+                offset.len(),
+                scale.len()
+            ));
+        }
+        if scale.iter().any(|s| *s == 0.0 || !s.is_finite()) {
+            return Err("scales must be finite and non-zero".to_string());
+        }
+        Ok(NormalizationStats {
+            scheme,
+            offset,
+            scale,
+        })
+    }
+
     /// The scheme these statistics were fitted with.
     pub fn scheme(&self) -> Normalizer {
         self.scheme
+    }
+
+    /// Per-column offsets subtracted from the data.
+    pub fn offset(&self) -> &[f64] {
+        &self.offset
+    }
+
+    /// Per-column scales the data is divided by.
+    pub fn scale(&self) -> &[f64] {
+        &self.scale
+    }
+
+    /// Feature dimension the statistics were fitted on.
+    pub fn dim(&self) -> usize {
+        self.offset.len()
     }
 
     /// Applies the fitted transform to a data matrix (train or test).
@@ -160,6 +200,30 @@ mod tests {
         let expected = (6.0 - 2.0) / (8.0_f64 / 3.0).sqrt();
         assert!((test_t[(0, 0)] - expected).abs() < 1e-12);
         assert_eq!(stats.scheme(), Normalizer::ZScore);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_validates() {
+        let mut rng = Pcg64::seed_from_u64(4);
+        let data = gaussian_matrix(&mut rng, 40, 3);
+        let stats = NormalizationStats::fit(&data, Normalizer::ZScore);
+        let rebuilt = NormalizationStats::from_parts(
+            stats.scheme(),
+            stats.offset().to_vec(),
+            stats.scale().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.dim(), 3);
+        // Bitwise-identical transforms: same offsets, same scales.
+        assert!(rebuilt
+            .transform(&data)
+            .approx_eq(&stats.transform(&data), 0.0));
+
+        assert!(NormalizationStats::from_parts(Normalizer::ZScore, vec![0.0], vec![]).is_err());
+        assert!(NormalizationStats::from_parts(Normalizer::ZScore, vec![0.0], vec![0.0]).is_err());
+        assert!(
+            NormalizationStats::from_parts(Normalizer::ZScore, vec![0.0], vec![f64::NAN]).is_err()
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod svd;
 pub mod triangular;
 
 pub use low_rank::LowRank;
+pub use lu::is_permutation;
 pub use matrix::Matrix;
 pub use operator::LinearOperator;
 pub use random::Pcg64;

@@ -77,6 +77,53 @@ pub fn lu(a: &Matrix) -> LinalgResult<Lu> {
 }
 
 impl Lu {
+    /// Rebuilds a factorization from its stored parts (the inverse of the
+    /// [`Lu::packed`] / [`Lu::pivots`] / [`Lu::sign`] accessors), validating
+    /// the structural invariants so a corrupted serialization cannot produce
+    /// an out-of-bounds solve.
+    pub fn from_parts(packed: Matrix, pivots: Vec<usize>, sign: f64) -> LinalgResult<Lu> {
+        if !packed.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!(
+                    "Lu::from_parts: packed factor is {}x{}",
+                    packed.nrows(),
+                    packed.ncols()
+                ),
+            });
+        }
+        let n = packed.nrows();
+        if pivots.len() != n || !is_permutation(&pivots) {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("Lu::from_parts: pivots are not a permutation of 0..{n}"),
+            });
+        }
+        if sign != 1.0 && sign != -1.0 {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("Lu::from_parts: permutation sign {sign} is not ±1"),
+            });
+        }
+        Ok(Lu {
+            packed,
+            pivots,
+            sign,
+        })
+    }
+
+    /// The packed `L`/`U` storage (unit diagonal of `L` implicit).
+    pub fn packed(&self) -> &Matrix {
+        &self.packed
+    }
+
+    /// The row permutation applied by partial pivoting.
+    pub fn pivots(&self) -> &[usize] {
+        &self.pivots
+    }
+
+    /// Sign of the row permutation.
+    pub fn sign(&self) -> f64 {
+        self.sign
+    }
+
     /// Dimension of the factored matrix.
     pub fn dim(&self) -> usize {
         self.packed.nrows()
@@ -140,6 +187,20 @@ impl Lu {
 /// One-shot dense solve `A x = b`.
 pub fn solve(a: &Matrix, b: &[f64]) -> LinalgResult<Vec<f64>> {
     lu(a)?.solve(b)
+}
+
+/// Whether `p` contains every index `0..p.len()` exactly once — the
+/// validity check shared by every deserialized permutation (LU pivots here,
+/// the clustering permutation in `hkrr_core`).
+pub fn is_permutation(p: &[usize]) -> bool {
+    let mut seen = vec![false; p.len()];
+    for &i in p {
+        if i >= p.len() || seen[i] {
+            return false;
+        }
+        seen[i] = true;
+    }
+    true
 }
 
 #[cfg(test)]
@@ -229,6 +290,24 @@ mod tests {
     fn rectangular_matrix_is_rejected() {
         let a = Matrix::zeros(3, 4);
         assert!(matches!(lu(&a), Err(LinalgError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_validates() {
+        let mut rng = Pcg64::seed_from_u64(9);
+        let mut a = gaussian_matrix(&mut rng, 8, 8);
+        a.shift_diagonal(5.0);
+        let f = lu(&a).unwrap();
+        let rebuilt = Lu::from_parts(f.packed().clone(), f.pivots().to_vec(), f.sign()).unwrap();
+        let b: Vec<f64> = (0..8).map(|i| i as f64 - 3.0).collect();
+        // Bitwise-identical solves: the rebuilt factorization is the same data.
+        assert_eq!(f.solve(&b).unwrap(), rebuilt.solve(&b).unwrap());
+
+        // Rejected: rectangular packed factor, bad pivots, bad sign.
+        assert!(Lu::from_parts(Matrix::zeros(3, 4), vec![0, 1, 2], 1.0).is_err());
+        assert!(Lu::from_parts(Matrix::identity(3), vec![0, 0, 2], 1.0).is_err());
+        assert!(Lu::from_parts(Matrix::identity(3), vec![0, 1], 1.0).is_err());
+        assert!(Lu::from_parts(Matrix::identity(3), vec![0, 1, 2], 0.5).is_err());
     }
 
     #[test]

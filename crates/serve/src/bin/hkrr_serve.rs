@@ -1,0 +1,273 @@
+//! `hkrr-serve` — train, persist and serve kernel ridge regression models.
+//!
+//! ```text
+//! hkrr-serve save    --out model.hkrr [--dataset LETTER] [--n-train 600]
+//!                    [--seed 42] [--solver dense|hss|hss+h]
+//! hkrr-serve info    <model.hkrr>
+//! hkrr-serve serve   <model.hkrr> [--addr 127.0.0.1:7878] [--workers N]
+//!                    [--max-batch 64] [--linger-us 500]
+//! hkrr-serve loadgen --addr 127.0.0.1:7878 [--requests 1000]
+//!                    [--concurrency 8] [--out BENCH_serve.json]
+//! hkrr-serve bench   [--requests 1000] [--concurrency 8]
+//!                    [--out BENCH_serve.json]   # train→save→load→serve→loadgen
+//! ```
+
+use hkrr_core::{KrrConfig, KrrModel, SolverKind};
+use hkrr_serve::engine::EngineConfig;
+use hkrr_serve::loadgen::{self, LoadgenConfig};
+use hkrr_serve::server::{Server, ServerConfig};
+use hkrr_serve::{codec, load_model, save_model};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tiny `--flag value` parser over the raw argument list.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.push((name.to_string(), value.clone()));
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+}
+
+fn solver_from(name: &str) -> Result<SolverKind, String> {
+    match name {
+        "dense" => Ok(SolverKind::DenseCholesky),
+        "hss" => Ok(SolverKind::Hss),
+        "hss+h" => Ok(SolverKind::HssWithHSampling),
+        other => Err(format!("unknown solver {other:?} (dense | hss | hss+h)")),
+    }
+}
+
+fn train_model(args: &Args) -> Result<(KrrModel, hkrr_datasets::Dataset), String> {
+    let dataset = args.get("dataset").unwrap_or("LETTER");
+    let spec = hkrr_datasets::spec_by_name(dataset)
+        .ok_or_else(|| format!("unknown dataset {dataset:?}"))?;
+    let n_train = args.get_parsed("n-train", 600usize)?;
+    let n_test = args.get_parsed("n-test", 150usize)?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    let solver = solver_from(args.get("solver").unwrap_or("hss"))?;
+    let ds = hkrr_datasets::generate(&spec, n_train, n_test, seed);
+    let cfg = KrrConfig {
+        h: spec.default_h,
+        lambda: spec.default_lambda,
+        solver,
+        ..KrrConfig::default()
+    };
+    eprintln!(
+        "training {} on {dataset} (n={n_train}, d={}) …",
+        solver.label(),
+        spec.dim
+    );
+    let model = KrrModel::fit(&ds.train, &ds.train_labels, &cfg).map_err(|e| e.to_string())?;
+    let acc = hkrr_core::accuracy(&model.predict(&ds.test), &ds.test_labels);
+    eprintln!("{}", model.report());
+    eprintln!(
+        "test accuracy: {:.2}% on {n_test} held-out points",
+        100.0 * acc
+    );
+    Ok((model, ds))
+}
+
+fn engine_config(args: &Args) -> Result<EngineConfig, String> {
+    let default = EngineConfig::default();
+    let workers = args.get_parsed("workers", default.workers)?;
+    if workers == 0 {
+        // workers: 0 is a test-only engine mode (nothing ever drains the
+        // queue); a server started that way would accept and then starve
+        // every request.
+        return Err("--workers must be at least 1".to_string());
+    }
+    Ok(EngineConfig {
+        workers,
+        max_batch: args.get_parsed("max-batch", default.max_batch)?,
+        queue_capacity: args.get_parsed("queue-capacity", default.queue_capacity)?,
+        linger: Duration::from_micros(
+            args.get_parsed("linger-us", default.linger.as_micros() as u64)?,
+        ),
+    })
+}
+
+fn cmd_save(args: &Args) -> Result<(), String> {
+    let out = args.get("out").unwrap_or("model.hkrr").to_string();
+    let (model, _) = train_model(args)?;
+    save_model(&model, &out).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "saved {out} ({bytes} bytes, schema {}, factors: {})",
+        codec::SCHEMA,
+        if model.factors().is_some() {
+            "yes"
+        } else {
+            "no"
+        }
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: hkrr-serve info <model.hkrr>")?;
+    let model = load_model(path).map_err(|e| e.to_string())?;
+    println!("{}", model.report());
+    println!(
+        "kernel {:?} | dim {} | n_train {} | factors retained: {}",
+        model.kernel(),
+        model.dim(),
+        model.num_train(),
+        model.factors().is_some()
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: hkrr-serve serve <model.hkrr> [--addr host:port]")?;
+    let model = Arc::new(load_model(path).map_err(|e| e.to_string())?);
+    eprintln!(
+        "loaded {path}: n_train={}, dim={}, factors={} (no re-factorization needed)",
+        model.num_train(),
+        model.dim(),
+        model.factors().is_some()
+    );
+    let config = ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        engine: engine_config(args)?,
+    };
+    let server = Server::start(model, config).map_err(|e| e.to_string())?;
+    println!("serving on {} (ctrl-c to stop)", server.local_addr());
+    // Serve until killed: the accept loop runs on its own thread.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn write_snapshot(report: &loadgen::LoadgenReport, out: &str) -> Result<(), String> {
+    std::fs::write(out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("{}", report.summary());
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_loadgen(args: &Args) -> Result<(), String> {
+    let config = LoadgenConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        requests: args.get_parsed("requests", 1000usize)?,
+        concurrency: args.get_parsed("concurrency", 8usize)?,
+        seed: args.get_parsed("seed", 0x10adu64)?,
+    };
+    let report = loadgen::run(&config).map_err(|e| e.to_string())?;
+    write_snapshot(&report, args.get("out").unwrap_or("BENCH_serve.json"))
+}
+
+/// The zero-to-production walkthrough in one command: train a model, save
+/// it, load it back, serve it on a loopback port, hammer it with the load
+/// generator, and leave behind `BENCH_serve.json`.
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    let (model, _) = train_model(args)?;
+    let path = std::env::temp_dir().join(format!("hkrr_bench_{}.hkrr", std::process::id()));
+    save_model(&model, &path).map_err(|e| e.to_string())?;
+    let file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let loaded = Arc::new(load_model(&path).map_err(|e| e.to_string())?);
+    std::fs::remove_file(&path).ok();
+    println!(
+        "save → load round trip ok ({file_bytes} bytes, factors back: {})",
+        loaded.factors().is_some()
+    );
+
+    let server = Server::start(
+        loaded,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            engine: engine_config(args)?,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let addr = server.local_addr().to_string();
+    println!("serving on {addr}");
+
+    let config = LoadgenConfig {
+        addr,
+        requests: args.get_parsed("requests", 1000usize)?,
+        concurrency: args.get_parsed("concurrency", 8usize)?,
+        seed: args.get_parsed("seed", 0x10adu64)?,
+    };
+    let report = loadgen::run(&config).map_err(|e| e.to_string())?;
+    server.shutdown();
+    let engine_stats = server.stats();
+    println!(
+        "engine: {} requests in {} batches (mean batch {:.2})",
+        engine_stats.requests, engine_stats.batches, engine_stats.mean_batch_size
+    );
+    write_snapshot(&report, args.get("out").unwrap_or("BENCH_serve.json"))?;
+    if report.errors > 0 {
+        return Err(format!("{} queries failed", report.errors));
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: hkrr-serve <save|train|info|serve|loadgen|bench> [options]
+  save     train a model on a synthetic dataset and persist it (hkrr-model/1)
+  info     print a persisted model's metadata
+  serve    load a model and answer prediction queries over TCP
+  loadgen  benchmark a running server, write BENCH_serve.json
+  bench    end-to-end: train → save → load → serve → loadgen";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
+        // `train` kept as an alias: saving is what makes training durable.
+        "save" | "train" => cmd_save(&args),
+        "info" => cmd_info(&args),
+        "serve" => cmd_serve(&args),
+        "loadgen" => cmd_loadgen(&args),
+        "bench" => cmd_bench(&args),
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hkrr-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

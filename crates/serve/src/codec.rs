@@ -1,0 +1,969 @@
+//! The `hkrr-model/1` binary model format.
+//!
+//! A hand-rolled, versioned codec (the build container has no registry
+//! access, hence no serde) that round-trips a trained
+//! [`hkrr_core::KrrModel`] **including** its compressed HSS form and ULV
+//! factors, so a reloaded model answers queries immediately — no
+//! re-clustering, re-compression or re-factorization — and produces
+//! **bitwise-identical** predictions (every `f64` travels as its exact bit
+//! pattern).
+//!
+//! ## Layout
+//!
+//! ```text
+//! header        magic "HKRRMDL1" (8) | version u32 | section_count u32
+//! section table section_count × { tag [u8;4] | offset u64 | len u64 | crc32 u32 }
+//! payload       the sections' bytes, back to back
+//! ```
+//!
+//! All integers and floats are little-endian. Each section's CRC32 (IEEE)
+//! is verified before decoding, so a flipped byte anywhere in the payload
+//! is caught as [`CodecError::ChecksumMismatch`] rather than producing a
+//! silently-wrong model.
+//!
+//! | tag    | contents                                            | required |
+//! |--------|-----------------------------------------------------|----------|
+//! | `CONF` | `KrrConfig` + kernel function                       | yes      |
+//! | `NORM` | fitted normalization statistics                     | yes      |
+//! | `TRPT` | normalized, reordered training points               | yes      |
+//! | `WGHT` | weight vector                                       | yes      |
+//! | `PERM` | clustering permutation                              | yes      |
+//! | `REPT` | training report                                     | yes      |
+//! | `TREE` | cluster tree                                        | HSS only |
+//! | `HSSM` | compressed HSS matrix (per-node payloads)           | HSS only |
+//! | `ULVF` | ULV factorization (per-node factors + root LU)      | HSS only |
+
+use hkrr_clustering::{ClusterNode, ClusterTree};
+use hkrr_core::{KrrConfig, KrrModel, ModelParts, SolverKind, TrainedFactors, TrainingReport};
+use hkrr_hss::construct::ConstructionStats;
+use hkrr_hss::{HssMatrix, HssNodeData, UlvFactorization, UlvNodeFactor};
+use hkrr_kernel::{KernelFunction, NormalizationStats, Normalizer};
+use hkrr_linalg::lu::Lu;
+use hkrr_linalg::Matrix;
+use std::path::Path;
+
+/// File magic: "HKRR model, format generation 1".
+pub const MAGIC: [u8; 8] = *b"HKRRMDL1";
+/// Current format version inside generation 1.
+pub const VERSION: u32 = 1;
+/// Human-readable schema name (mirrors the JSON snapshots' convention).
+pub const SCHEMA: &str = "hkrr-model/1";
+
+const HEADER_LEN: usize = 16;
+const TABLE_ENTRY_LEN: usize = 24;
+/// Upper bound on the section count: catches garbage headers before any
+/// large allocation is attempted.
+const MAX_SECTIONS: u32 = 64;
+
+/// Typed decoding/encoding failures. Corrupted input always surfaces as one
+/// of these — never a panic.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The file does not start with the `hkrr-model` magic.
+    BadMagic,
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion(u32),
+    /// The input ended early (or a section points outside the file).
+    Truncated,
+    /// A section's payload does not match its recorded checksum.
+    ChecksumMismatch {
+        /// Tag of the corrupted section.
+        section: String,
+    },
+    /// A required section is absent.
+    MissingSection(&'static str),
+    /// Structurally invalid content (bad enum tag, inconsistent sizes, …).
+    Malformed(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "i/o: {e}"),
+            CodecError::BadMagic => write!(f, "not an hkrr-model file (bad magic)"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported format version {v} (this build reads {VERSION})"
+                )
+            }
+            CodecError::Truncated => write!(f, "unexpected end of input"),
+            CodecError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section}")
+            }
+            CodecError::MissingSection(tag) => write!(f, "missing required section {tag}"),
+            CodecError::Malformed(s) => write!(f, "malformed model data: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+type Result<T> = std::result::Result<T, CodecError>;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, the zlib polynomial), table-driven.
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE) of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+// ---------------------------------------------------------------------------
+// Primitive little-endian writers / readers.
+
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64_slice(&mut self, v: &[f64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.f64(x);
+        }
+    }
+    fn usize_slice(&mut self, v: &[usize]) {
+        self.usize(v.len());
+        for &x in v {
+            self.usize(x);
+        }
+    }
+    /// `usize::MAX`-free encoding of `Option<usize>` tree links.
+    fn opt_usize(&mut self, v: Option<usize>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.usize(x);
+            }
+            None => self.u8(0),
+        }
+    }
+    fn matrix(&mut self, m: &Matrix) {
+        self.usize(m.nrows());
+        self.usize(m.ncols());
+        for &x in m.data() {
+            self.f64(x);
+        }
+    }
+    fn opt_matrix(&mut self, m: Option<&Matrix>) {
+        match m {
+            Some(m) => {
+                self.u8(1);
+                self.matrix(m);
+            }
+            None => self.u8(0),
+        }
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn finish(&self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(CodecError::Malformed(format!(
+                "{} trailing bytes in section",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn usize(&mut self) -> Result<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CodecError::Malformed(format!("size {v} overflows usize")))
+    }
+    /// A length that still has to be backed by at least `elem_len` bytes per
+    /// element in this section — rejects absurd lengths before allocating.
+    fn len(&mut self, elem_len: usize) -> Result<usize> {
+        let n = self.usize()?;
+        if n.saturating_mul(elem_len) > self.buf.len() - self.pos {
+            return Err(CodecError::Truncated);
+        }
+        Ok(n)
+    }
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64_vec(&mut self) -> Result<Vec<f64>> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+    fn usize_vec(&mut self) -> Result<Vec<usize>> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.usize()).collect()
+    }
+    fn opt_usize(&mut self) -> Result<Option<usize>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.usize()?)),
+            t => Err(CodecError::Malformed(format!("bad option tag {t}"))),
+        }
+    }
+    fn matrix(&mut self) -> Result<Matrix> {
+        let rows = self.usize()?;
+        let cols = self.usize()?;
+        let total = rows
+            .checked_mul(cols)
+            .ok_or_else(|| CodecError::Malformed("matrix size overflow".to_string()))?;
+        if total.saturating_mul(8) > self.buf.len() - self.pos {
+            return Err(CodecError::Truncated);
+        }
+        let mut data = Vec::with_capacity(total);
+        for _ in 0..total {
+            data.push(self.f64()?);
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+    fn opt_matrix(&mut self) -> Result<Option<Matrix>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.matrix()?)),
+            t => Err(CodecError::Malformed(format!("bad option tag {t}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Enum tags.
+
+fn enc_solver(e: &mut Enc, s: SolverKind) {
+    e.u8(match s {
+        SolverKind::DenseCholesky => 0,
+        SolverKind::Hss => 1,
+        SolverKind::HssWithHSampling => 2,
+    });
+}
+
+fn dec_solver(d: &mut Dec) -> Result<SolverKind> {
+    match d.u8()? {
+        0 => Ok(SolverKind::DenseCholesky),
+        1 => Ok(SolverKind::Hss),
+        2 => Ok(SolverKind::HssWithHSampling),
+        t => Err(CodecError::Malformed(format!("bad solver tag {t}"))),
+    }
+}
+
+fn enc_clustering(e: &mut Enc, c: hkrr_clustering::ClusteringMethod) {
+    use hkrr_clustering::ClusteringMethod as C;
+    match c {
+        C::Natural => e.u8(0),
+        C::KdTree => e.u8(1),
+        C::PcaTree => e.u8(2),
+        C::TwoMeans { seed } => {
+            e.u8(3);
+            e.u64(seed);
+        }
+        C::Agglomerative => e.u8(4),
+    }
+}
+
+fn dec_clustering(d: &mut Dec) -> Result<hkrr_clustering::ClusteringMethod> {
+    use hkrr_clustering::ClusteringMethod as C;
+    match d.u8()? {
+        0 => Ok(C::Natural),
+        1 => Ok(C::KdTree),
+        2 => Ok(C::PcaTree),
+        3 => Ok(C::TwoMeans { seed: d.u64()? }),
+        4 => Ok(C::Agglomerative),
+        t => Err(CodecError::Malformed(format!("bad clustering tag {t}"))),
+    }
+}
+
+fn enc_normalizer(e: &mut Enc, n: Normalizer) {
+    e.u8(match n {
+        Normalizer::ZScore => 0,
+        Normalizer::MaxAbs => 1,
+        Normalizer::None => 2,
+    });
+}
+
+fn dec_normalizer(d: &mut Dec) -> Result<Normalizer> {
+    match d.u8()? {
+        0 => Ok(Normalizer::ZScore),
+        1 => Ok(Normalizer::MaxAbs),
+        2 => Ok(Normalizer::None),
+        t => Err(CodecError::Malformed(format!("bad normalizer tag {t}"))),
+    }
+}
+
+fn enc_kernel(e: &mut Enc, k: KernelFunction) {
+    match k {
+        KernelFunction::Gaussian { h } => {
+            e.u8(0);
+            e.f64(h);
+        }
+        KernelFunction::Laplacian { h } => {
+            e.u8(1);
+            e.f64(h);
+        }
+        KernelFunction::Polynomial { degree, c } => {
+            e.u8(2);
+            e.u32(degree);
+            e.f64(c);
+        }
+        KernelFunction::Linear => e.u8(3),
+    }
+}
+
+fn dec_kernel(d: &mut Dec) -> Result<KernelFunction> {
+    match d.u8()? {
+        0 => Ok(KernelFunction::Gaussian { h: d.f64()? }),
+        1 => Ok(KernelFunction::Laplacian { h: d.f64()? }),
+        2 => Ok(KernelFunction::Polynomial {
+            degree: d.u32()?,
+            c: d.f64()?,
+        }),
+        3 => Ok(KernelFunction::Linear),
+        t => Err(CodecError::Malformed(format!("bad kernel tag {t}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section encoders.
+
+fn enc_conf(config: &KrrConfig, kernel: KernelFunction) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.f64(config.h);
+    e.f64(config.lambda);
+    enc_clustering(&mut e, config.clustering);
+    e.usize(config.leaf_size);
+    enc_normalizer(&mut e, config.normalization);
+    enc_solver(&mut e, config.solver);
+    e.f64(config.tolerance);
+    e.f64(config.eta);
+    e.u64(config.seed);
+    enc_kernel(&mut e, kernel);
+    e.buf
+}
+
+fn dec_conf(bytes: &[u8]) -> Result<(KrrConfig, KernelFunction)> {
+    let mut d = Dec::new(bytes);
+    let config = KrrConfig {
+        h: d.f64()?,
+        lambda: d.f64()?,
+        clustering: dec_clustering(&mut d)?,
+        leaf_size: d.usize()?,
+        normalization: dec_normalizer(&mut d)?,
+        solver: dec_solver(&mut d)?,
+        tolerance: d.f64()?,
+        eta: d.f64()?,
+        seed: d.u64()?,
+    };
+    let kernel = dec_kernel(&mut d)?;
+    d.finish()?;
+    Ok((config, kernel))
+}
+
+fn enc_norm(stats: &NormalizationStats) -> Vec<u8> {
+    let mut e = Enc::default();
+    enc_normalizer(&mut e, stats.scheme());
+    e.f64_slice(stats.offset());
+    e.f64_slice(stats.scale());
+    e.buf
+}
+
+fn dec_norm(bytes: &[u8]) -> Result<NormalizationStats> {
+    let mut d = Dec::new(bytes);
+    let scheme = dec_normalizer(&mut d)?;
+    let offset = d.f64_vec()?;
+    let scale = d.f64_vec()?;
+    d.finish()?;
+    NormalizationStats::from_parts(scheme, offset, scale).map_err(CodecError::Malformed)
+}
+
+fn enc_report(r: &TrainingReport) -> Vec<u8> {
+    let mut e = Enc::default();
+    enc_solver(&mut e, r.solver);
+    e.usize(r.num_train);
+    e.usize(r.dim);
+    e.f64(r.clustering_seconds);
+    e.f64(r.h_construction_seconds);
+    e.f64(r.hss_sampling_seconds);
+    e.f64(r.hss_other_seconds);
+    e.f64(r.factorization_seconds);
+    e.f64(r.solve_seconds);
+    e.usize(r.matrix_memory_bytes);
+    e.usize(r.sampler_memory_bytes);
+    e.usize(r.max_rank);
+    e.buf
+}
+
+fn dec_report(bytes: &[u8]) -> Result<TrainingReport> {
+    let mut d = Dec::new(bytes);
+    let solver = dec_solver(&mut d)?;
+    let num_train = d.usize()?;
+    let dim = d.usize()?;
+    let mut r = TrainingReport::new(solver, num_train, dim);
+    r.clustering_seconds = d.f64()?;
+    r.h_construction_seconds = d.f64()?;
+    r.hss_sampling_seconds = d.f64()?;
+    r.hss_other_seconds = d.f64()?;
+    r.factorization_seconds = d.f64()?;
+    r.solve_seconds = d.f64()?;
+    r.matrix_memory_bytes = d.usize()?;
+    r.sampler_memory_bytes = d.usize()?;
+    r.max_rank = d.usize()?;
+    d.finish()?;
+    Ok(r)
+}
+
+fn enc_tree(tree: &ClusterTree) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.usize(tree.root());
+    e.usize(tree.num_nodes());
+    for node in tree.nodes() {
+        e.usize(node.start);
+        e.usize(node.size);
+        e.opt_usize(node.left);
+        e.opt_usize(node.right);
+        e.opt_usize(node.parent);
+    }
+    e.buf
+}
+
+fn dec_tree(bytes: &[u8]) -> Result<ClusterTree> {
+    let mut d = Dec::new(bytes);
+    let root = d.usize()?;
+    let num_nodes = d.len(16)?;
+    let mut nodes = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        nodes.push(ClusterNode {
+            start: d.usize()?,
+            size: d.usize()?,
+            left: d.opt_usize()?,
+            right: d.opt_usize()?,
+            parent: d.opt_usize()?,
+        });
+    }
+    d.finish()?;
+    ClusterTree::from_nodes(nodes, root).map_err(CodecError::Malformed)
+}
+
+fn enc_hss(hss: &HssMatrix) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.f64(hss.diagonal_shift());
+    let st = hss.construction_stats();
+    e.f64(st.sampling_seconds);
+    e.f64(st.other_seconds);
+    e.usize(st.samples_used);
+    e.usize(st.restarts);
+    e.usize(hss.nodes().len());
+    for nd in hss.nodes() {
+        e.opt_matrix(nd.d.as_ref());
+        e.opt_matrix(nd.u.as_ref());
+        e.opt_matrix(nd.b12.as_ref());
+        e.opt_matrix(nd.b21.as_ref());
+        e.usize_slice(&nd.skeleton);
+        e.usize(nd.rank);
+    }
+    e.buf
+}
+
+fn dec_hss(bytes: &[u8], tree: &ClusterTree) -> Result<HssMatrix> {
+    let mut d = Dec::new(bytes);
+    let diagonal_shift = d.f64()?;
+    let construction = ConstructionStats {
+        sampling_seconds: d.f64()?,
+        other_seconds: d.f64()?,
+        samples_used: d.usize()?,
+        restarts: d.usize()?,
+    };
+    let num_nodes = d.len(1)?;
+    let mut nodes = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        let dmat = d.opt_matrix()?;
+        let u = d.opt_matrix()?;
+        let b12 = d.opt_matrix()?;
+        let b21 = d.opt_matrix()?;
+        let skeleton = d.usize_vec()?;
+        let rank = d.usize()?;
+        nodes.push(HssNodeData {
+            d: dmat,
+            u,
+            b12,
+            b21,
+            skeleton,
+            rank,
+        });
+    }
+    d.finish()?;
+    HssMatrix::from_parts(tree.clone(), nodes, diagonal_shift, construction)
+        .map_err(|e| CodecError::Malformed(e.to_string()))
+}
+
+fn enc_lu(e: &mut Enc, lu: &Lu) {
+    e.matrix(lu.packed());
+    e.usize_slice(lu.pivots());
+    e.f64(lu.sign());
+}
+
+fn dec_lu(d: &mut Dec) -> Result<Lu> {
+    let packed = d.matrix()?;
+    let pivots = d.usize_vec()?;
+    let sign = d.f64()?;
+    Lu::from_parts(packed, pivots, sign).map_err(|e| CodecError::Malformed(e.to_string()))
+}
+
+fn enc_ulv(ulv: &UlvFactorization) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.usize(ulv.node_factors().len());
+    for f in ulv.node_factors() {
+        match f {
+            None => e.u8(0),
+            Some(f) => {
+                e.u8(1);
+                e.matrix(&f.w);
+                e.usize(f.elim);
+                e.usize(f.rank);
+                match &f.d11_lu {
+                    None => e.u8(0),
+                    Some(lu) => {
+                        e.u8(1);
+                        enc_lu(&mut e, lu);
+                    }
+                }
+                e.matrix(&f.d12);
+                e.matrix(&f.d21);
+                e.matrix(&f.dtilde);
+                e.matrix(&f.uhat);
+            }
+        }
+    }
+    enc_lu(&mut e, ulv.root_lu());
+    e.buf
+}
+
+fn dec_ulv(bytes: &[u8], tree: &ClusterTree) -> Result<UlvFactorization> {
+    let mut d = Dec::new(bytes);
+    let num_nodes = d.len(1)?;
+    let mut factors = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        match d.u8()? {
+            0 => factors.push(None),
+            1 => {
+                let w = d.matrix()?;
+                let elim = d.usize()?;
+                let rank = d.usize()?;
+                let d11_lu = match d.u8()? {
+                    0 => None,
+                    1 => Some(dec_lu(&mut d)?),
+                    t => return Err(CodecError::Malformed(format!("bad option tag {t}"))),
+                };
+                let d12 = d.matrix()?;
+                let d21 = d.matrix()?;
+                let dtilde = d.matrix()?;
+                let uhat = d.matrix()?;
+                factors.push(Some(UlvNodeFactor {
+                    w,
+                    elim,
+                    rank,
+                    d11_lu,
+                    d12,
+                    d21,
+                    dtilde,
+                    uhat,
+                }));
+            }
+            t => return Err(CodecError::Malformed(format!("bad factor tag {t}"))),
+        }
+    }
+    let root_lu = dec_lu(&mut d)?;
+    d.finish()?;
+    UlvFactorization::from_parts(tree.clone(), factors, root_lu)
+        .map_err(|e| CodecError::Malformed(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Whole-file encode / decode.
+
+fn enc_section(out: &mut Vec<(&'static [u8; 4], Vec<u8>)>, tag: &'static [u8; 4], body: Vec<u8>) {
+    out.push((tag, body));
+}
+
+/// Serializes a model to its `hkrr-model/1` byte representation.
+pub fn encode_model(model: &KrrModel) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.matrix(model.train_points());
+    let trpt = std::mem::take(&mut e.buf);
+    e.f64_slice(model.weights());
+    let wght = std::mem::take(&mut e.buf);
+    e.usize_slice(model.permutation());
+    let perm = std::mem::take(&mut e.buf);
+
+    let mut sections: Vec<(&'static [u8; 4], Vec<u8>)> = Vec::new();
+    enc_section(
+        &mut sections,
+        b"CONF",
+        enc_conf(model.config(), model.kernel()),
+    );
+    enc_section(&mut sections, b"NORM", enc_norm(model.norm_stats()));
+    enc_section(&mut sections, b"TRPT", trpt);
+    enc_section(&mut sections, b"WGHT", wght);
+    enc_section(&mut sections, b"PERM", perm);
+    enc_section(&mut sections, b"REPT", enc_report(model.report()));
+    if let Some(f) = model.factors() {
+        enc_section(&mut sections, b"TREE", enc_tree(f.hss.tree()));
+        enc_section(&mut sections, b"HSSM", enc_hss(&f.hss));
+        enc_section(&mut sections, b"ULVF", enc_ulv(&f.ulv));
+    }
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    let mut offset = HEADER_LEN + TABLE_ENTRY_LEN * sections.len();
+    for (tag, body) in &sections {
+        out.extend_from_slice(&tag[..]);
+        out.extend_from_slice(&(offset as u64).to_le_bytes());
+        out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(body).to_le_bytes());
+        offset += body.len();
+    }
+    for (_, body) in &sections {
+        out.extend_from_slice(body);
+    }
+    out
+}
+
+/// Parses the header + section table and returns `(tag, payload)` pairs,
+/// with every payload's checksum verified.
+fn sections(bytes: &[u8]) -> Result<Vec<([u8; 4], &[u8])>> {
+    if bytes.len() < HEADER_LEN {
+        // Too short even for the magic/header: distinguish "not our file"
+        // from "our file, cut off".
+        if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        return Err(CodecError::Truncated);
+    }
+    if bytes[..8] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if count > MAX_SECTIONS {
+        return Err(CodecError::Malformed(format!("{count} sections")));
+    }
+    let table_end = HEADER_LEN + TABLE_ENTRY_LEN * count as usize;
+    if bytes.len() < table_end {
+        return Err(CodecError::Truncated);
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    for i in 0..count as usize {
+        let entry = &bytes[HEADER_LEN + TABLE_ENTRY_LEN * i..];
+        let tag: [u8; 4] = entry[..4].try_into().unwrap();
+        let offset = u64::from_le_bytes(entry[4..12].try_into().unwrap());
+        let len = u64::from_le_bytes(entry[12..20].try_into().unwrap());
+        let crc = u32::from_le_bytes(entry[20..24].try_into().unwrap());
+        let start = usize::try_from(offset).map_err(|_| CodecError::Truncated)?;
+        let len = usize::try_from(len).map_err(|_| CodecError::Truncated)?;
+        let end = start.checked_add(len).ok_or(CodecError::Truncated)?;
+        if start < table_end || end > bytes.len() {
+            return Err(CodecError::Truncated);
+        }
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc {
+            return Err(CodecError::ChecksumMismatch {
+                section: String::from_utf8_lossy(&tag).into_owned(),
+            });
+        }
+        out.push((tag, payload));
+    }
+    Ok(out)
+}
+
+fn find<'a>(sections: &[([u8; 4], &'a [u8])], tag: &'static [u8; 4]) -> Option<&'a [u8]> {
+    sections
+        .iter()
+        .find(|(t, _)| t == tag)
+        .map(|(_, payload)| *payload)
+}
+
+fn require<'a>(
+    sections: &[([u8; 4], &'a [u8])],
+    tag: &'static [u8; 4],
+    name: &'static str,
+) -> Result<&'a [u8]> {
+    find(sections, tag).ok_or(CodecError::MissingSection(name))
+}
+
+/// Deserializes a model from its `hkrr-model/1` byte representation.
+pub fn decode_model(bytes: &[u8]) -> Result<KrrModel> {
+    let sections = sections(bytes)?;
+    let (config, kernel) = dec_conf(require(&sections, b"CONF", "CONF")?)?;
+    let norm_stats = dec_norm(require(&sections, b"NORM", "NORM")?)?;
+
+    let mut d = Dec::new(require(&sections, b"TRPT", "TRPT")?);
+    let train_points = d.matrix()?;
+    d.finish()?;
+    let mut d = Dec::new(require(&sections, b"WGHT", "WGHT")?);
+    let weights = d.f64_vec()?;
+    d.finish()?;
+    let mut d = Dec::new(require(&sections, b"PERM", "PERM")?);
+    let permutation = d.usize_vec()?;
+    d.finish()?;
+    let report = dec_report(require(&sections, b"REPT", "REPT")?)?;
+
+    let factors = match (
+        find(&sections, b"TREE"),
+        find(&sections, b"HSSM"),
+        find(&sections, b"ULVF"),
+    ) {
+        (None, None, None) => None,
+        (Some(tree_bytes), Some(hss_bytes), Some(ulv_bytes)) => {
+            let tree = dec_tree(tree_bytes)?;
+            let hss = dec_hss(hss_bytes, &tree)?;
+            let ulv = dec_ulv(ulv_bytes, &tree)?;
+            Some(TrainedFactors { hss, ulv })
+        }
+        _ => {
+            return Err(CodecError::Malformed(
+                "TREE/HSSM/ULVF sections must be present together".to_string(),
+            ))
+        }
+    };
+
+    KrrModel::from_parts(ModelParts {
+        train_points,
+        weights,
+        kernel,
+        norm_stats,
+        report,
+        config,
+        permutation,
+        factors,
+    })
+    .map_err(|e| CodecError::Malformed(e.to_string()))
+}
+
+/// Saves a trained model to `path` in the `hkrr-model/1` format.
+pub fn save_model(model: &KrrModel, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path, encode_model(model))?;
+    Ok(())
+}
+
+/// Loads a model previously written by [`save_model`]. The restored model
+/// needs no re-training of any kind: the HSS form and ULV factors come back
+/// exactly as saved, and predictions are bitwise identical.
+pub fn load_model(path: impl AsRef<Path>) -> Result<KrrModel> {
+    decode_model(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hkrr_core::KrrConfig;
+    use hkrr_datasets::registry::LETTER;
+
+    fn trained(solver: SolverKind, n: usize) -> (KrrModel, hkrr_datasets::Dataset) {
+        let ds = hkrr_datasets::generate(&LETTER, n, 32, 7);
+        let cfg = KrrConfig {
+            h: LETTER.default_h,
+            lambda: LETTER.default_lambda,
+            solver,
+            ..KrrConfig::default()
+        };
+        let model = KrrModel::fit(&ds.train, &ds.train_labels, &cfg).unwrap();
+        (model, ds)
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn hss_model_roundtrips_bitwise_with_factors() {
+        let (model, ds) = trained(SolverKind::Hss, 220);
+        let bytes = encode_model(&model);
+        let loaded = decode_model(&bytes).unwrap();
+        assert_eq!(loaded.weights(), model.weights());
+        assert_eq!(loaded.permutation(), model.permutation());
+        assert_eq!(
+            loaded.decision_values(&ds.test),
+            model.decision_values(&ds.test),
+            "reloaded predictions must be bitwise identical"
+        );
+        // The factorization came back: new-label solves work without any
+        // re-factorization and match the original weights bitwise.
+        assert!(loaded.factors().is_some());
+        assert_eq!(
+            loaded.solve_new_labels(&ds.train_labels).unwrap(),
+            model.weights()
+        );
+    }
+
+    #[test]
+    fn dense_model_roundtrips_without_factors() {
+        let (model, ds) = trained(SolverKind::DenseCholesky, 150);
+        let loaded = decode_model(&encode_model(&model)).unwrap();
+        assert!(loaded.factors().is_none());
+        assert_eq!(
+            loaded.decision_values(&ds.test),
+            model.decision_values(&ds.test)
+        );
+        assert_eq!(loaded.report().solver, SolverKind::DenseCholesky);
+    }
+
+    #[test]
+    fn save_load_through_a_file() {
+        let (model, ds) = trained(SolverKind::Hss, 180);
+        let path = std::env::temp_dir().join("hkrr_codec_test_model.hkrr");
+        save_model(&model, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.predict(&ds.test), model.predict(&ds.test));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let (model, _) = trained(SolverKind::Hss, 96);
+        let mut bytes = encode_model(&model);
+        bytes[0] = b'X';
+        assert!(matches!(decode_model(&bytes), Err(CodecError::BadMagic)));
+        // An unrelated file is also BadMagic, even when tiny.
+        assert!(matches!(
+            decode_model(b"PK\x03\x04"),
+            Err(CodecError::BadMagic)
+        ));
+        assert!(matches!(decode_model(b""), Err(CodecError::BadMagic)));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let (model, _) = trained(SolverKind::Hss, 96);
+        let mut bytes = encode_model(&model);
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode_model(&bytes),
+            Err(CodecError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let (model, _) = trained(SolverKind::Hss, 96);
+        let bytes = encode_model(&model);
+        // A sweep of truncation points: header, table, payload. Every one
+        // must produce a typed error, never a panic or a silent success.
+        for cut in [9, 15, 40, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode_model(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated | CodecError::BadMagic),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_a_checksum_mismatch() {
+        let (model, _) = trained(SolverKind::Hss, 96);
+        let mut bytes = encode_model(&model);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        assert!(matches!(
+            decode_model(&bytes),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_required_section_is_typed() {
+        let (model, _) = trained(SolverKind::DenseCholesky, 80);
+        let mut bytes = encode_model(&model);
+        // Overwrite the WGHT tag in the table; the checksummed payload is
+        // untouched, so decoding proceeds to the missing-section check.
+        let mut pos = HEADER_LEN;
+        while &bytes[pos..pos + 4] != b"WGHT" {
+            pos += TABLE_ENTRY_LEN;
+        }
+        bytes[pos..pos + 4].copy_from_slice(b"XXXX");
+        assert!(matches!(
+            decode_model(&bytes),
+            Err(CodecError::MissingSection("WGHT"))
+        ));
+    }
+}

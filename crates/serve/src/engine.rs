@@ -1,0 +1,526 @@
+//! The micro-batching prediction engine.
+//!
+//! Production prediction traffic arrives as single points, but the kernel
+//! work is much cheaper per point when evaluated in batches (one pass over
+//! the stored training points serves every query in the batch, and the
+//! batched [`KrrModel::decision_values_into`] path parallelizes over the
+//! batch rows via the column-parallel cross-kernel). This engine sits
+//! between the two shapes:
+//!
+//! * requests go into a **bounded queue** (backpressure: a full queue
+//!   rejects with [`ServeError::QueueFull`] instead of buffering without
+//!   limit),
+//! * a **worker pool** shares one loaded model; each worker pops the oldest
+//!   request and then **coalesces** whatever else arrived — waiting up to
+//!   [`EngineConfig::linger`] for stragglers, never beyond
+//!   [`EngineConfig::max_batch`] — into one batched evaluation,
+//! * per-request **latency accounting** (enqueue → reply) and batch-size
+//!   statistics are kept in [`EngineStats`], which the serve snapshot
+//!   (`BENCH_serve.json`) reports.
+//!
+//! Workers reuse their batch and score buffers across batches, so the
+//! steady-state hot path performs no per-request allocation beyond the
+//! request envelope itself.
+
+use crate::ServeError;
+use hkrr_core::KrrModel;
+use hkrr_linalg::Matrix;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the micro-batching engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of worker threads sharing the model.
+    pub workers: usize,
+    /// Largest number of requests coalesced into one batched evaluation.
+    pub max_batch: usize,
+    /// Bound on the request queue; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// How long a worker holding a non-full batch waits for more arrivals
+    /// before evaluating. Zero disables coalescing-by-waiting (batches then
+    /// only form from genuine queue backlog).
+    pub linger: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        EngineConfig {
+            workers: host.min(4),
+            max_batch: 64,
+            queue_capacity: 1024,
+            linger: Duration::from_micros(500),
+        }
+    }
+}
+
+/// One answered prediction request.
+#[derive(Debug, Clone, Copy)]
+pub struct Prediction {
+    /// Raw decision value `w · K'(x, ·)`.
+    pub score: f64,
+    /// `sign(score)` as a ±1 label.
+    pub label: f64,
+    /// Enqueue-to-reply latency observed by the engine.
+    pub latency: Duration,
+    /// Size of the coalesced batch this request was evaluated in.
+    pub batch_size: usize,
+}
+
+/// A submitted request whose answer can be awaited later (so callers can
+/// pipeline submissions).
+pub struct PendingPrediction {
+    rx: mpsc::Receiver<Prediction>,
+}
+
+impl PendingPrediction {
+    /// Blocks until the engine answers.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ShuttingDown)
+    }
+}
+
+struct Request {
+    point: Vec<f64>,
+    enqueued: Instant,
+    reply: mpsc::Sender<Prediction>,
+}
+
+/// Cumulative engine counters (lock-free reads; written by the workers).
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Requests answered.
+    pub requests: AtomicU64,
+    /// Batched evaluations performed.
+    pub batches: AtomicU64,
+    /// Largest batch evaluated.
+    pub max_batch_observed: AtomicU64,
+    /// Sum of enqueue-to-reply latencies, in microseconds.
+    pub latency_micros_total: AtomicU64,
+    /// Largest single enqueue-to-reply latency, in microseconds.
+    pub latency_micros_max: AtomicU64,
+    /// Submissions rejected because the queue was full.
+    pub queue_rejections: AtomicU64,
+}
+
+/// A point-in-time copy of [`EngineStats`] with derived ratios.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatsSnapshot {
+    /// Requests answered.
+    pub requests: u64,
+    /// Batched evaluations performed.
+    pub batches: u64,
+    /// Mean coalesced batch size (`requests / batches`).
+    pub mean_batch_size: f64,
+    /// Largest batch evaluated.
+    pub max_batch_observed: u64,
+    /// Mean enqueue-to-reply latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Largest enqueue-to-reply latency in milliseconds.
+    pub max_latency_ms: f64,
+    /// Submissions rejected because the queue was full.
+    pub queue_rejections: u64,
+}
+
+impl EngineStats {
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        StatsSnapshot {
+            requests,
+            batches,
+            mean_batch_size: if batches > 0 {
+                requests as f64 / batches as f64
+            } else {
+                0.0
+            },
+            max_batch_observed: self.max_batch_observed.load(Ordering::Relaxed),
+            mean_latency_ms: if requests > 0 {
+                self.latency_micros_total.load(Ordering::Relaxed) as f64 / requests as f64 / 1000.0
+            } else {
+                0.0
+            },
+            max_latency_ms: self.latency_micros_max.load(Ordering::Relaxed) as f64 / 1000.0,
+            queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn fetch_max(cell: &AtomicU64, value: u64) {
+    cell.fetch_max(value, Ordering::Relaxed);
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Request>>,
+    arrived: Condvar,
+    shutdown: AtomicBool,
+    stats: EngineStats,
+    config: EngineConfig,
+    model: Arc<KrrModel>,
+}
+
+/// The micro-batching prediction engine: a worker pool over a shared
+/// loaded model. See the module docs for the batching discipline.
+pub struct PredictionEngine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl PredictionEngine {
+    /// Starts the worker pool over a loaded model.
+    pub fn start(model: Arc<KrrModel>, config: EngineConfig) -> Arc<PredictionEngine> {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::with_capacity(config.queue_capacity.min(4096))),
+            arrived: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: EngineStats::default(),
+            config: EngineConfig {
+                max_batch: config.max_batch.max(1),
+                queue_capacity: config.queue_capacity.max(1),
+                ..config
+            },
+            model,
+        });
+        let workers = (0..shared.config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Arc::new(PredictionEngine {
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &KrrModel {
+        &self.shared.model
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Submits one raw (un-normalized) point; the reply can be awaited via
+    /// [`PendingPrediction::wait`]. Validates the dimension and applies
+    /// queue backpressure here, before any worker is involved.
+    pub fn submit(&self, point: Vec<f64>) -> Result<PendingPrediction, ServeError> {
+        let dim = self.shared.model.dim();
+        if point.len() != dim {
+            return Err(ServeError::Rejected(format!(
+                "point has {} features, model expects {dim}",
+                point.len()
+            )));
+        }
+        if point.iter().any(|v| !v.is_finite()) {
+            return Err(ServeError::Rejected("non-finite feature value".to_string()));
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            // Checked under the lock: shutdown() sets the flag before its
+            // final drain, so a push that wins this lock either happens
+            // before the drain (and is answered) or observes the flag here
+            // — no request can slip in after the workers are gone.
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return Err(ServeError::ShuttingDown);
+            }
+            if queue.len() >= self.shared.config.queue_capacity {
+                drop(queue);
+                self.shared
+                    .stats
+                    .queue_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::QueueFull);
+            }
+            queue.push_back(Request {
+                point,
+                enqueued: Instant::now(),
+                reply: tx,
+            });
+        }
+        self.shared.arrived.notify_one();
+        Ok(PendingPrediction { rx })
+    }
+
+    /// Submits one point and blocks for the answer.
+    pub fn predict_one(&self, point: Vec<f64>) -> Result<Prediction, ServeError> {
+        self.submit(point)?.wait()
+    }
+
+    /// Signals shutdown, lets the workers drain the queue, and joins them.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.arrived.notify_all();
+        let mut workers = self.workers.lock().unwrap();
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+        // With a normal pool the workers drained everything; with zero
+        // workers (tests) drop the leftovers so waiters observe shutdown
+        // instead of blocking forever.
+        self.shared.queue.lock().unwrap().clear();
+    }
+}
+
+impl Drop for PredictionEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Pops a batch: the oldest request plus everything else available, waiting
+/// up to `linger` for stragglers while below `max_batch`. Returns an empty
+/// batch only at shutdown with a drained queue.
+fn pop_batch(shared: &Shared, batch: &mut Vec<Request>) {
+    batch.clear();
+    let max_batch = shared.config.max_batch;
+    let mut queue = shared.queue.lock().unwrap();
+    // Phase 1: wait for the first request (or shutdown).
+    loop {
+        while let Some(req) = queue.pop_front() {
+            batch.push(req);
+            if batch.len() >= max_batch {
+                return;
+            }
+        }
+        if !batch.is_empty() {
+            break;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        queue = shared.arrived.wait(queue).unwrap();
+    }
+    // Phase 2: linger for stragglers to coalesce a larger batch.
+    let deadline = Instant::now() + shared.config.linger;
+    loop {
+        while let Some(req) = queue.pop_front() {
+            batch.push(req);
+            if batch.len() >= max_batch {
+                return;
+            }
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let (q, timeout) = shared.arrived.wait_timeout(queue, deadline - now).unwrap();
+        queue = q;
+        if timeout.timed_out() && queue.is_empty() {
+            return;
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let model = &shared.model;
+    let dim = model.dim();
+    let mut batch: Vec<Request> = Vec::with_capacity(shared.config.max_batch);
+    // Reused across batches: zero steady-state allocation on the hot path.
+    let mut points_buf: Vec<f64> = Vec::with_capacity(shared.config.max_batch * dim.max(1));
+    let mut scores: Vec<f64> = vec![0.0; shared.config.max_batch];
+
+    loop {
+        pop_batch(shared, &mut batch);
+        if batch.is_empty() {
+            // Shutdown with a drained queue.
+            return;
+        }
+        let rows = batch.len();
+        points_buf.clear();
+        for req in &batch {
+            points_buf.extend_from_slice(&req.point);
+        }
+        let test = Matrix::from_vec(rows, dim, std::mem::take(&mut points_buf));
+        model.decision_values_into(&test, &mut scores[..rows]);
+        points_buf = test.into_vec();
+
+        let stats = &shared.stats;
+        stats.requests.fetch_add(rows as u64, Ordering::Relaxed);
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        fetch_max(&stats.max_batch_observed, rows as u64);
+        for (req, &score) in batch.drain(..).zip(scores.iter()) {
+            let latency = req.enqueued.elapsed();
+            let micros = latency.as_micros() as u64;
+            stats
+                .latency_micros_total
+                .fetch_add(micros, Ordering::Relaxed);
+            fetch_max(&stats.latency_micros_max, micros);
+            // A dropped receiver (client gone) is fine; ignore send errors.
+            let _ = req.reply.send(Prediction {
+                score,
+                label: if score >= 0.0 { 1.0 } else { -1.0 },
+                latency,
+                batch_size: rows,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hkrr_core::{KrrConfig, SolverKind};
+    use hkrr_datasets::registry::LETTER;
+
+    fn model(n: usize) -> (Arc<KrrModel>, hkrr_datasets::Dataset) {
+        let ds = hkrr_datasets::generate(&LETTER, n, 64, 3);
+        let cfg = KrrConfig {
+            h: LETTER.default_h,
+            lambda: LETTER.default_lambda,
+            solver: SolverKind::Hss,
+            ..KrrConfig::default()
+        };
+        let m = KrrModel::fit(&ds.train, &ds.train_labels, &cfg).unwrap();
+        (Arc::new(m), ds)
+    }
+
+    #[test]
+    fn single_requests_match_direct_prediction_bitwise() {
+        let (m, ds) = model(200);
+        let engine = PredictionEngine::start(
+            Arc::clone(&m),
+            EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let direct = m.decision_values(&ds.test);
+        for i in 0..16 {
+            let p = engine.predict_one(ds.test.row(i).to_vec()).unwrap();
+            assert_eq!(p.score, direct[i], "request {i}");
+            assert_eq!(p.label, if direct[i] >= 0.0 { 1.0 } else { -1.0 });
+            assert!(p.batch_size >= 1);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 16);
+        assert!(stats.batches >= 1);
+        assert!(stats.mean_latency_ms >= 0.0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn invalid_points_are_rejected_before_queueing() {
+        let (m, _) = model(100);
+        let engine = PredictionEngine::start(m, EngineConfig::default());
+        assert!(matches!(
+            engine.predict_one(vec![0.0; 3]),
+            Err(ServeError::Rejected(_))
+        ));
+        assert!(matches!(
+            engine.predict_one(vec![f64::NAN; 16]),
+            Err(ServeError::Rejected(_))
+        ));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn bounded_queue_rejects_when_full() {
+        let (m, ds) = model(100);
+        // No workers: nothing drains the queue, so the capacity bound is
+        // exactly observable.
+        let engine = PredictionEngine::start(
+            m,
+            EngineConfig {
+                workers: 0,
+                queue_capacity: 4,
+                ..EngineConfig::default()
+            },
+        );
+        let mut pending = Vec::new();
+        for _ in 0..4 {
+            pending.push(engine.submit(ds.test.row(0).to_vec()).unwrap());
+        }
+        assert!(matches!(
+            engine.submit(ds.test.row(0).to_vec()),
+            Err(ServeError::QueueFull)
+        ));
+        assert_eq!(engine.stats().queue_rejections, 1);
+        engine.shutdown();
+        // Queued-but-never-answered requests surface as ShuttingDown.
+        for p in pending {
+            assert!(matches!(p.wait(), Err(ServeError::ShuttingDown)));
+        }
+    }
+
+    #[test]
+    fn concurrent_load_coalesces_into_batches() {
+        let (m, ds) = model(220);
+        let direct = m.decision_values(&ds.test);
+        let engine = PredictionEngine::start(
+            Arc::clone(&m),
+            EngineConfig {
+                workers: 1,
+                max_batch: 32,
+                queue_capacity: 4096,
+                linger: Duration::from_millis(2),
+            },
+        );
+        let rounds = 40;
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let engine = &engine;
+                let ds = &ds;
+                let direct = &direct;
+                scope.spawn(move || {
+                    for r in 0..rounds {
+                        let i = (t * rounds + r) % ds.test.nrows();
+                        let p = engine.predict_one(ds.test.row(i).to_vec()).unwrap();
+                        assert_eq!(p.score, direct[i], "client {t} round {r}");
+                    }
+                });
+            }
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 8 * rounds as u64);
+        assert!(
+            stats.mean_batch_size > 1.0,
+            "expected coalescing under concurrent load, got mean batch {}",
+            stats.mean_batch_size
+        );
+        assert!(stats.max_batch_observed > 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let (m, ds) = model(120);
+        let engine = PredictionEngine::start(
+            m,
+            EngineConfig {
+                workers: 1,
+                linger: Duration::ZERO,
+                ..EngineConfig::default()
+            },
+        );
+        let pending: Vec<_> = (0..32)
+            .map(|i| {
+                engine
+                    .submit(ds.test.row(i % ds.test.nrows()).to_vec())
+                    .unwrap()
+            })
+            .collect();
+        engine.shutdown();
+        // Everything already queued was answered before the workers exited.
+        for (i, p) in pending.into_iter().enumerate() {
+            assert!(p.wait().is_ok(), "queued request {i} was dropped");
+        }
+        // New submissions are refused.
+        assert!(matches!(
+            engine.submit(vec![0.0; 16]),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+}

@@ -1,0 +1,78 @@
+//! # hkrr-serve
+//!
+//! The serving layer: everything between a trained [`hkrr_core::KrrModel`]
+//! and production prediction traffic.
+//!
+//! * [`codec`] — the versioned `hkrr-model/1` binary format: a trained
+//!   model (config, normalization, training points, weights, clustering
+//!   permutation, **and** the compressed HSS form + ULV factors) round-trips
+//!   through a file, so reload skips clustering, compression and
+//!   factorization entirely and predictions are bitwise identical,
+//! * [`engine`] — a micro-batching prediction engine: a worker pool over a
+//!   shared loaded model and a bounded queue that coalesces single-point
+//!   queries into batched [`hkrr_core::KrrModel::decision_values_into`]
+//!   calls, with per-request latency accounting,
+//! * [`protocol`] — the length-prefixed binary wire format (with a
+//!   line-mode fallback for `nc`-style manual testing),
+//! * [`server`] — a `std::net` TCP front-end with graceful shutdown,
+//! * [`loadgen`] — a benchmarking client that hammers a server over
+//!   loopback (or the network) and writes the `BENCH_serve.json`
+//!   latency/throughput snapshot (schema `hkrr-serve-perf/1`).
+//!
+//! The `hkrr-serve` binary stitches these together:
+//! `train → save → serve → loadgen` (see the README "Serving" section).
+
+pub mod codec;
+pub mod engine;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use codec::{load_model, save_model, CodecError};
+pub use engine::{EngineConfig, EngineStats, PredictionEngine};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use server::{Server, ServerConfig};
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Persistence failed (I/O or a malformed / corrupted model file).
+    Codec(CodecError),
+    /// A prediction request was rejected before reaching a worker.
+    Rejected(String),
+    /// The engine is shutting down (or a worker died before replying).
+    ShuttingDown,
+    /// The bounded request queue is full (backpressure).
+    QueueFull,
+    /// A network/socket error.
+    Io(std::io::Error),
+    /// The peer spoke the protocol wrong.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Codec(e) => write!(f, "codec error: {e}"),
+            ServeError::Rejected(s) => write!(f, "request rejected: {s}"),
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::QueueFull => write!(f, "request queue is full"),
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Protocol(s) => write!(f, "protocol error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CodecError> for ServeError {
+    fn from(e: CodecError) -> Self {
+        ServeError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

@@ -1,0 +1,277 @@
+//! The benchmarking client: hammers a prediction server with concurrent
+//! single-point queries and distills the run into the machine-readable
+//! `BENCH_serve.json` snapshot (schema `hkrr-serve-perf/1`), the serving
+//! counterpart of the training pipeline's `BENCH_pipeline.json`.
+//!
+//! Each client thread keeps one binary-protocol connection open and fires
+//! seeded-random queries back to back; because the server coalesces across
+//! connections, concurrency > 1 makes micro-batching directly observable in
+//! the reported `mean_batch_size`.
+
+use crate::server::Client;
+use crate::ServeError;
+use hkrr_bench::json::{validate, JsonWriter};
+use hkrr_linalg::random::Pcg64;
+use std::time::Instant;
+
+/// Parameters of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Total number of queries across all client threads.
+    pub requests: usize,
+    /// Number of concurrent client connections.
+    pub concurrency: usize,
+    /// RNG seed for the query points.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            requests: 1000,
+            concurrency: 8,
+            seed: 0x10ad,
+        }
+    }
+}
+
+/// Aggregated results of a load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Queries answered successfully.
+    pub ok: usize,
+    /// Queries that failed (transport or server-side rejection).
+    pub errors: usize,
+    /// Client connections used.
+    pub concurrency: usize,
+    /// Model feature dimension (from the server's `info`).
+    pub dim: usize,
+    /// Training-set size of the served model (from `info`).
+    pub n_train: usize,
+    /// Wall-clock duration of the whole run, seconds.
+    pub elapsed_seconds: f64,
+    /// Achieved throughput, queries per second.
+    pub qps: f64,
+    /// Client-observed latency percentiles/mean, milliseconds.
+    pub client_mean_ms: f64,
+    /// Median client-observed latency.
+    pub client_p50_ms: f64,
+    /// 95th-percentile client-observed latency.
+    pub client_p95_ms: f64,
+    /// Worst client-observed latency.
+    pub client_max_ms: f64,
+    /// Mean server-side (enqueue-to-reply) latency, milliseconds.
+    pub server_mean_ms: f64,
+    /// Request-weighted mean of the batch sizes requests were served in
+    /// (> 1 ⇔ coalescing happened).
+    pub mean_batch_size: f64,
+    /// Largest batch any request was served in.
+    pub max_batch_observed: usize,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Runs the load against a live server.
+pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
+    let concurrency = config.concurrency.max(1);
+    let (dim, n_train) = Client::connect(&config.addr)?.info()?;
+    let dim = dim as usize;
+
+    // Split the total as evenly as possible across the clients.
+    let base = config.requests / concurrency;
+    let extra = config.requests % concurrency;
+
+    struct ClientOutcome {
+        latencies_ms: Vec<f64>,
+        server_micros: u64,
+        batch_sum: u64,
+        batch_max: usize,
+        errors: usize,
+    }
+
+    let start = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|t| {
+                let quota = base + usize::from(t < extra);
+                let addr = config.addr.clone();
+                let seed = config.seed ^ ((t as u64 + 1) * 0x9e37_79b9);
+                scope.spawn(move || {
+                    let mut out = ClientOutcome {
+                        latencies_ms: Vec::with_capacity(quota),
+                        server_micros: 0,
+                        batch_sum: 0,
+                        batch_max: 0,
+                        errors: 0,
+                    };
+                    let Ok(mut client) = Client::connect(&addr) else {
+                        out.errors = quota;
+                        return out;
+                    };
+                    let mut rng = Pcg64::seed_from_u64(seed);
+                    for _ in 0..quota {
+                        let point: Vec<f64> = (0..dim).map(|_| rng.next_gaussian()).collect();
+                        let sent = Instant::now();
+                        match client.predict(point) {
+                            Ok(p) => {
+                                out.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                                out.server_micros += p.latency_micros;
+                                out.batch_sum += p.batch_size as u64;
+                                out.batch_max = out.batch_max.max(p.batch_size as usize);
+                            }
+                            Err(_) => out.errors += 1,
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_seconds = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(config.requests);
+    let mut server_micros = 0u64;
+    let mut batch_sum = 0u64;
+    let mut batch_max = 0usize;
+    let mut errors = 0usize;
+    for o in outcomes {
+        latencies.extend_from_slice(&o.latencies_ms);
+        server_micros += o.server_micros;
+        batch_sum += o.batch_sum;
+        batch_max = batch_max.max(o.batch_max);
+        errors += o.errors;
+    }
+    let ok = latencies.len();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = if ok > 0 {
+        latencies.iter().sum::<f64>() / ok as f64
+    } else {
+        0.0
+    };
+
+    Ok(LoadgenReport {
+        ok,
+        errors,
+        concurrency,
+        dim,
+        n_train: n_train as usize,
+        elapsed_seconds,
+        qps: if elapsed_seconds > 0.0 {
+            ok as f64 / elapsed_seconds
+        } else {
+            0.0
+        },
+        client_mean_ms: mean,
+        client_p50_ms: percentile(&latencies, 0.50),
+        client_p95_ms: percentile(&latencies, 0.95),
+        client_max_ms: latencies.last().copied().unwrap_or(0.0),
+        server_mean_ms: if ok > 0 {
+            server_micros as f64 / ok as f64 / 1000.0
+        } else {
+            0.0
+        },
+        mean_batch_size: if ok > 0 {
+            batch_sum as f64 / ok as f64
+        } else {
+            0.0
+        },
+        max_batch_observed: batch_max,
+    })
+}
+
+impl LoadgenReport {
+    /// Serializes the snapshot (schema `hkrr-serve-perf/1`), validated
+    /// through the shared JSON checker before being handed out.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("schema", "hkrr-serve-perf/1");
+        w.field_usize("requests_ok", self.ok);
+        w.field_usize("requests_failed", self.errors);
+        w.field_usize("concurrency", self.concurrency);
+        w.field_usize("dim", self.dim);
+        w.field_usize("n_train", self.n_train);
+        w.field_f64("elapsed_seconds", self.elapsed_seconds);
+        w.field_f64("qps", self.qps);
+        w.field_f64("client_mean_ms", self.client_mean_ms);
+        w.field_f64("client_p50_ms", self.client_p50_ms);
+        w.field_f64("client_p95_ms", self.client_p95_ms);
+        w.field_f64("client_max_ms", self.client_max_ms);
+        w.field_f64("server_mean_ms", self.server_mean_ms);
+        w.field_f64("mean_batch_size", self.mean_batch_size);
+        w.field_usize("max_batch_observed", self.max_batch_observed);
+        w.end_object();
+        let out = w.finish();
+        validate(&out).expect("generated BENCH_serve.json must be well-formed");
+        out
+    }
+
+    /// A compact human-readable summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} ok / {} failed over {} conns in {:.2}s — {:.0} q/s, \
+             client p50 {:.2}ms p95 {:.2}ms, server mean {:.2}ms, \
+             mean batch {:.2} (max {})",
+            self.ok,
+            self.errors,
+            self.concurrency,
+            self.elapsed_seconds,
+            self.qps,
+            self.client_p50_ms,
+            self.client_p95_ms,
+            self.server_mean_ms,
+            self.mean_batch_size,
+            self.max_batch_observed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_small_samples() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[4.0], 0.5), 4.0);
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+    }
+
+    #[test]
+    fn report_serializes_to_valid_json() {
+        let report = LoadgenReport {
+            ok: 100,
+            errors: 0,
+            concurrency: 8,
+            dim: 16,
+            n_train: 400,
+            elapsed_seconds: 0.5,
+            qps: 200.0,
+            client_mean_ms: 1.5,
+            client_p50_ms: 1.2,
+            client_p95_ms: 3.4,
+            client_max_ms: 9.9,
+            server_mean_ms: 0.8,
+            mean_batch_size: 3.7,
+            max_batch_observed: 12,
+        };
+        let json = report.to_json();
+        validate(&json).unwrap();
+        assert!(json.contains("\"schema\":\"hkrr-serve-perf/1\""));
+        assert!(json.contains("\"mean_batch_size\":3.700000"));
+        assert!(report.summary().contains("100 ok"));
+    }
+}

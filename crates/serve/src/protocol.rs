@@ -1,0 +1,342 @@
+//! The wire protocol of the prediction service.
+//!
+//! Two modes share one TCP port:
+//!
+//! * **Binary (framed)** — a client opens with the 4-byte hello `HKRB`,
+//!   then exchanges length-prefixed frames: `len: u32 LE` followed by `len`
+//!   bytes of `opcode: u8` + body. All numbers little-endian, floats as
+//!   their exact bit patterns (predictions stay bitwise faithful on the
+//!   wire).
+//! * **Line mode** — anything else on the first bytes switches the
+//!   connection to newline-terminated ASCII commands, so `nc`/`telnet`
+//!   work for manual poking: `predict 0.1 -0.3 …`, `stats`, `ping`,
+//!   `info`, `quit`.
+//!
+//! ## Binary opcodes
+//!
+//! | op   | request body           | OK response body                             |
+//! |------|------------------------|----------------------------------------------|
+//! | 0x01 | `d × f64` point        | `score f64, label f64, batch u32, µs u64`    |
+//! | 0x02 | —                      | engine stats as a JSON string                |
+//! | 0x03 | — (ping)               | —                                            |
+//! | 0x04 | — (info)               | `dim u32, n_train u64`                       |
+//!
+//! Responses carry a status byte before the body: `0` OK, `1` error (body
+//! is a UTF-8 message).
+
+use crate::ServeError;
+use std::io::{Read, Write};
+
+/// Binary-mode connection hello.
+pub const BINARY_HELLO: [u8; 4] = *b"HKRB";
+/// Largest accepted frame (1 MiB): bounds per-connection memory.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Request opcode: predict one point.
+pub const OP_PREDICT: u8 = 0x01;
+/// Request opcode: engine statistics.
+pub const OP_STATS: u8 = 0x02;
+/// Request opcode: liveness probe.
+pub const OP_PING: u8 = 0x03;
+/// Request opcode: model metadata (dimension, training size).
+pub const OP_INFO: u8 = 0x04;
+
+/// Response status: success.
+pub const STATUS_OK: u8 = 0;
+/// Response status: error (body is a UTF-8 message).
+pub const STATUS_ERR: u8 = 1;
+
+/// One parsed binary request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Predict a single raw feature vector.
+    Predict(Vec<f64>),
+    /// Engine statistics (JSON).
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Model metadata.
+    Info,
+}
+
+/// One answered prediction, as it travels on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WirePrediction {
+    /// Raw decision value.
+    pub score: f64,
+    /// ±1 label.
+    pub label: f64,
+    /// Coalesced batch size the request was served in.
+    pub batch_size: u32,
+    /// Server-side enqueue-to-reply latency in microseconds.
+    pub latency_micros: u64,
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ServeError> {
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(ServeError::Protocol(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ServeError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(ServeError::Protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Encodes a request frame payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Predict(point) => {
+            let mut out = Vec::with_capacity(1 + point.len() * 8);
+            out.push(OP_PREDICT);
+            for &v in point {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out
+        }
+        Request::Stats => vec![OP_STATS],
+        Request::Ping => vec![OP_PING],
+        Request::Info => vec![OP_INFO],
+    }
+}
+
+/// Decodes a request frame payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ServeError> {
+    let (&op, body) = payload
+        .split_first()
+        .ok_or_else(|| ServeError::Protocol("empty frame".to_string()))?;
+    match op {
+        OP_PREDICT => {
+            if body.len() % 8 != 0 {
+                return Err(ServeError::Protocol(format!(
+                    "predict body of {} bytes is not a whole number of f64s",
+                    body.len()
+                )));
+            }
+            let point = body
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            Ok(Request::Predict(point))
+        }
+        OP_STATS => Ok(Request::Stats),
+        OP_PING => Ok(Request::Ping),
+        OP_INFO => Ok(Request::Info),
+        op => Err(ServeError::Protocol(format!("unknown opcode {op:#04x}"))),
+    }
+}
+
+/// Encodes an OK response with the given body.
+pub fn encode_ok(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + body.len());
+    out.push(STATUS_OK);
+    out.extend_from_slice(body);
+    out
+}
+
+/// Encodes an error response.
+pub fn encode_err(message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + message.len());
+    out.push(STATUS_ERR);
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Splits a response payload into `Ok(body)` / `Err(message)`.
+pub fn decode_response(payload: &[u8]) -> Result<&[u8], ServeError> {
+    let (&status, body) = payload
+        .split_first()
+        .ok_or_else(|| ServeError::Protocol("empty response".to_string()))?;
+    match status {
+        STATUS_OK => Ok(body),
+        STATUS_ERR => Err(ServeError::Rejected(
+            String::from_utf8_lossy(body).into_owned(),
+        )),
+        s => Err(ServeError::Protocol(format!("unknown status {s:#04x}"))),
+    }
+}
+
+/// Encodes a prediction response body.
+pub fn encode_prediction(p: &WirePrediction) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 8 + 4 + 8);
+    out.extend_from_slice(&p.score.to_le_bytes());
+    out.extend_from_slice(&p.label.to_le_bytes());
+    out.extend_from_slice(&p.batch_size.to_le_bytes());
+    out.extend_from_slice(&p.latency_micros.to_le_bytes());
+    out
+}
+
+/// Decodes a prediction response body.
+pub fn decode_prediction(body: &[u8]) -> Result<WirePrediction, ServeError> {
+    if body.len() != 28 {
+        return Err(ServeError::Protocol(format!(
+            "prediction body is {} bytes, expected 28",
+            body.len()
+        )));
+    }
+    Ok(WirePrediction {
+        score: f64::from_le_bytes(body[0..8].try_into().unwrap()),
+        label: f64::from_le_bytes(body[8..16].try_into().unwrap()),
+        batch_size: u32::from_le_bytes(body[16..20].try_into().unwrap()),
+        latency_micros: u64::from_le_bytes(body[20..28].try_into().unwrap()),
+    })
+}
+
+/// Encodes an info response body.
+pub fn encode_info(dim: u32, n_train: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&dim.to_le_bytes());
+    out.extend_from_slice(&n_train.to_le_bytes());
+    out
+}
+
+/// Decodes an info response body into `(dim, n_train)`.
+pub fn decode_info(body: &[u8]) -> Result<(u32, u64), ServeError> {
+    if body.len() != 12 {
+        return Err(ServeError::Protocol(format!(
+            "info body is {} bytes, expected 12",
+            body.len()
+        )));
+    }
+    Ok((
+        u32::from_le_bytes(body[0..4].try_into().unwrap()),
+        u64::from_le_bytes(body[4..12].try_into().unwrap()),
+    ))
+}
+
+/// Parses one line-mode command. Returns `None` for `quit`/`exit` (close
+/// the connection).
+pub fn parse_line(line: &str) -> Result<Option<Request>, ServeError> {
+    let mut words = line.split_whitespace();
+    match words.next() {
+        None => Err(ServeError::Protocol("empty command".to_string())),
+        Some("predict") => {
+            let point: Result<Vec<f64>, _> = words.map(str::parse::<f64>).collect();
+            match point {
+                Ok(p) if !p.is_empty() => Ok(Some(Request::Predict(p))),
+                Ok(_) => Err(ServeError::Protocol(
+                    "predict needs at least one feature".to_string(),
+                )),
+                Err(e) => Err(ServeError::Protocol(format!("bad feature value: {e}"))),
+            }
+        }
+        Some("stats") => Ok(Some(Request::Stats)),
+        Some("ping") => Ok(Some(Request::Ping)),
+        Some("info") => Ok(Some(Request::Info)),
+        Some("quit") | Some("exit") => Ok(None),
+        Some(cmd) => Err(ServeError::Protocol(format!("unknown command {cmd:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip_through_a_stream() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+        // EOF surfaces as an Io error, not a panic.
+        assert!(matches!(read_frame(&mut cursor), Err(ServeError::Io(_))));
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_on_both_sides() {
+        let huge = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        let mut sink = Vec::new();
+        assert!(matches!(
+            write_frame(&mut sink, &huge),
+            Err(ServeError::Protocol(_))
+        ));
+        let mut bogus = Vec::new();
+        bogus.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(bogus)),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn requests_roundtrip_bitwise() {
+        let point = vec![1.5, -2.25, f64::MIN_POSITIVE, 1e300];
+        for req in [
+            Request::Predict(point),
+            Request::Stats,
+            Request::Ping,
+            Request::Info,
+        ] {
+            let decoded = decode_request(&encode_request(&req)).unwrap();
+            assert_eq!(decoded, req);
+        }
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[0x7f]).is_err());
+        assert!(decode_request(&[OP_PREDICT, 1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let p = WirePrediction {
+            score: -0.123456789,
+            label: -1.0,
+            batch_size: 17,
+            latency_micros: 4321,
+        };
+        let ok = encode_ok(&encode_prediction(&p));
+        let body = decode_response(&ok).unwrap();
+        assert_eq!(decode_prediction(body).unwrap(), p);
+
+        let err = encode_err("queue full");
+        assert!(matches!(
+            decode_response(&err),
+            Err(ServeError::Rejected(msg)) if msg == "queue full"
+        ));
+
+        let info = encode_ok(&encode_info(16, 2000));
+        assert_eq!(
+            decode_info(decode_response(&info).unwrap()).unwrap(),
+            (16, 2000)
+        );
+        assert!(decode_prediction(&[0u8; 5]).is_err());
+        assert!(decode_info(&[0u8; 5]).is_err());
+        assert!(decode_response(&[]).is_err());
+    }
+
+    #[test]
+    fn line_commands_parse() {
+        assert_eq!(
+            parse_line("predict 1.0 -2.5 3").unwrap(),
+            Some(Request::Predict(vec![1.0, -2.5, 3.0]))
+        );
+        assert_eq!(parse_line("stats").unwrap(), Some(Request::Stats));
+        assert_eq!(parse_line("ping").unwrap(), Some(Request::Ping));
+        assert_eq!(parse_line("info").unwrap(), Some(Request::Info));
+        assert_eq!(parse_line("quit").unwrap(), None);
+        assert!(parse_line("predict").is_err());
+        assert!(parse_line("predict one two").is_err());
+        assert!(parse_line("launch missiles").is_err());
+        assert!(parse_line("   ").is_err());
+    }
+}

@@ -1,0 +1,511 @@
+//! The `std::net` TCP front-end of the prediction service.
+//!
+//! One listener thread accepts connections; each connection gets its own
+//! handler thread that speaks either the binary framed protocol or line
+//! mode (see [`crate::protocol`]) and funnels predict requests into the
+//! shared micro-batching [`PredictionEngine`] — so queries from *different*
+//! connections coalesce into the same batches.
+//!
+//! Shutdown is graceful: the accept loop is unblocked with a loopback
+//! connection, handlers notice the flag through short read timeouts and
+//! finish their in-flight request, and the engine drains its queue before
+//! the workers exit.
+
+use crate::engine::{EngineConfig, PredictionEngine, StatsSnapshot};
+use crate::protocol::{self, Request, WirePrediction};
+use crate::ServeError;
+use hkrr_bench::json::JsonWriter;
+use hkrr_core::KrrModel;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of the TCP front-end.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free loopback port).
+    pub addr: String,
+    /// Engine (worker pool / batching) configuration.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// A running prediction server.
+pub struct Server {
+    addr: SocketAddr,
+    engine: Arc<PredictionEngine>,
+    running: Arc<AtomicBool>,
+    accept_handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Binds the listener and starts serving `model`.
+    pub fn start(model: Arc<KrrModel>, config: ServerConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let engine = PredictionEngine::start(model, config.engine);
+        let running = Arc::new(AtomicBool::new(true));
+
+        let accept_engine = Arc::clone(&engine);
+        let accept_running = Arc::clone(&running);
+        let accept_handle = std::thread::spawn(move || {
+            // Handler threads detach; the engine's shutdown (flag + read
+            // timeouts) bounds how long they outlive the accept loop.
+            for stream in listener.incoming() {
+                if !accept_running.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let engine = Arc::clone(&accept_engine);
+                let running = Arc::clone(&accept_running);
+                std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &engine, &running);
+                });
+            }
+        });
+
+        Ok(Server {
+            addr,
+            engine,
+            running,
+            accept_handle: Mutex::new(Some(accept_handle)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.engine.stats()
+    }
+
+    /// The engine behind the front-end.
+    pub fn engine(&self) -> &Arc<PredictionEngine> {
+        &self.engine
+    }
+
+    /// Gracefully stops accepting, drains the engine, and joins the accept
+    /// loop. Idempotent.
+    pub fn shutdown(&self) {
+        if !self.running.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+        self.engine.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Engine stats as the JSON object the `stats` command returns.
+pub fn stats_json(stats: &StatsSnapshot) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_u64("requests", stats.requests);
+    w.field_u64("batches", stats.batches);
+    w.field_f64("mean_batch_size", stats.mean_batch_size);
+    w.field_u64("max_batch_observed", stats.max_batch_observed);
+    w.field_f64("mean_latency_ms", stats.mean_latency_ms);
+    w.field_f64("max_latency_ms", stats.max_latency_ms);
+    w.field_u64("queue_rejections", stats.queue_rejections);
+    w.end_object();
+    w.finish()
+}
+
+fn answer(engine: &PredictionEngine, req: Request) -> Result<Vec<u8>, ServeError> {
+    match req {
+        Request::Predict(point) => {
+            let p = engine.predict_one(point)?;
+            Ok(protocol::encode_prediction(&WirePrediction {
+                score: p.score,
+                label: p.label,
+                batch_size: p.batch_size as u32,
+                latency_micros: p.latency.as_micros() as u64,
+            }))
+        }
+        Request::Stats => Ok(stats_json(&engine.stats()).into_bytes()),
+        Request::Ping => Ok(Vec::new()),
+        Request::Info => Ok(protocol::encode_info(
+            engine.model().dim() as u32,
+            engine.model().num_train() as u64,
+        )),
+    }
+}
+
+/// Reads the 4-byte hello with the connection's read timeout in force and
+/// dispatches to the binary or line-mode loop.
+fn handle_connection(
+    stream: TcpStream,
+    engine: &PredictionEngine,
+    running: &AtomicBool,
+) -> Result<(), ServeError> {
+    stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+    stream.set_nodelay(true).ok();
+
+    // First bytes decide the mode. Reading them honors the running flag so
+    // an idle pre-hello connection cannot hold up shutdown forever, and a
+    // newline before the 4th byte dispatches straight to line mode so a
+    // short typed command (e.g. "ls\n") gets its error reply instead of
+    // stalling until a 4-byte hello completes.
+    let mut first = [0u8; 4];
+    let mut got = 0usize;
+    let mut peek_stream = &stream;
+    while got < first.len() {
+        if !running.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        match peek_stream.read(&mut first[got..]) {
+            Ok(0) => return Ok(()), // peer closed before the hello
+            Ok(n) => {
+                got += n;
+                if first[..got].contains(&b'\n') {
+                    return line_loop(stream, engine, running, &first[..got]);
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    if first == protocol::BINARY_HELLO {
+        binary_loop(stream, engine, running)
+    } else {
+        line_loop(stream, engine, running, &first)
+    }
+}
+
+/// Fills `buf[*filled..]`, resuming across read timeouts so a frame whose
+/// bytes straddle a timeout is never abandoned half-read (which would
+/// desync the stream). Returns `false` on shutdown or peer close — but
+/// only between frames (`may_stop`); mid-frame the read is completed so
+/// the in-flight request still gets its answer.
+fn fill_resumable(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    filled: &mut usize,
+    running: &AtomicBool,
+    may_stop: bool,
+) -> Result<bool, ServeError> {
+    // After shutdown, a mid-frame read gets a bounded number of timeout
+    // grace periods (~2 s at the 250 ms read timeout) before the
+    // connection is abandoned, so a stalled peer cannot block exit.
+    let mut shutdown_grace = 8u32;
+    while *filled < buf.len() {
+        if may_stop && *filled == 0 && !running.load(Ordering::Acquire) {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[*filled..]) {
+            Ok(0) => {
+                if *filled == 0 && may_stop {
+                    return Ok(false); // peer closed between frames
+                }
+                return Err(ServeError::Io(std::io::ErrorKind::UnexpectedEof.into()));
+            }
+            Ok(n) => *filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if !running.load(Ordering::Acquire) {
+                    if *filled == 0 && may_stop {
+                        return Ok(false);
+                    }
+                    shutdown_grace -= 1;
+                    if shutdown_grace == 0 {
+                        return Err(ServeError::Io(std::io::ErrorKind::TimedOut.into()));
+                    }
+                }
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame, retrying across timeouts without ever restarting a
+/// partially-consumed frame. `Ok(None)` means "stop serving this
+/// connection" (shutdown or peer closed between frames).
+fn read_frame_with_timeout(
+    stream: &mut TcpStream,
+    running: &AtomicBool,
+) -> Result<Option<Vec<u8>>, ServeError> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0usize;
+    if !fill_resumable(stream, &mut len_bytes, &mut filled, running, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > protocol::MAX_FRAME_LEN {
+        return Err(ServeError::Protocol(format!(
+            "frame of {len} bytes exceeds the {}-byte cap",
+            protocol::MAX_FRAME_LEN
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0usize;
+    // The length prefix arrived, so the frame is in flight: finish it even
+    // if shutdown starts meanwhile (may_stop only applies between frames).
+    fill_resumable(stream, &mut payload, &mut filled, running, false)?;
+    Ok(Some(payload))
+}
+
+fn binary_loop(
+    mut stream: TcpStream,
+    engine: &PredictionEngine,
+    running: &AtomicBool,
+) -> Result<(), ServeError> {
+    while let Some(frame) = read_frame_with_timeout(&mut stream, running)? {
+        let reply = match protocol::decode_request(&frame).and_then(|req| answer(engine, req)) {
+            Ok(body) => protocol::encode_ok(&body),
+            Err(e) => protocol::encode_err(&e.to_string()),
+        };
+        protocol::write_frame(&mut stream, &reply)?;
+    }
+    Ok(())
+}
+
+fn line_loop(
+    stream: TcpStream,
+    engine: &PredictionEngine,
+    running: &AtomicBool,
+    prefix: &[u8],
+) -> Result<(), ServeError> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut pending: Vec<u8> = prefix.to_vec();
+    loop {
+        // Pull bytes until a full line is buffered, checking the running
+        // flag on every timeout.
+        let newline = loop {
+            if let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                break pos;
+            }
+            if !running.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            match reader.fill_buf() {
+                Ok([]) => return Ok(()), // peer closed
+                Ok(chunk) => {
+                    let n = chunk.len();
+                    pending.extend_from_slice(chunk);
+                    reader.consume(n);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+        let line_bytes: Vec<u8> = pending.drain(..=newline).collect();
+        let line = String::from_utf8_lossy(&line_bytes);
+        let reply = match protocol::parse_line(line.trim()) {
+            Ok(None) => {
+                writer.write_all(b"bye\n")?;
+                return Ok(());
+            }
+            Ok(Some(Request::Predict(point))) => match engine.predict_one(point) {
+                Ok(p) => format!(
+                    "ok {} {:.17e} batch={} latency_us={}\n",
+                    p.label as i64,
+                    p.score,
+                    p.batch_size,
+                    p.latency.as_micros()
+                ),
+                Err(e) => format!("err {e}\n"),
+            },
+            Ok(Some(Request::Stats)) => format!("ok {}\n", stats_json(&engine.stats())),
+            Ok(Some(Request::Ping)) => "ok pong\n".to_string(),
+            Ok(Some(Request::Info)) => format!(
+                "ok dim={} n_train={}\n",
+                engine.model().dim(),
+                engine.model().num_train()
+            ),
+            Err(e) => format!("err {e}\n"),
+        };
+        writer.write_all(reply.as_bytes())?;
+        writer.flush()?;
+    }
+}
+
+/// A thin blocking client for the binary protocol — used by the load
+/// generator and handy for programmatic access.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects and sends the binary hello.
+    pub fn connect(addr: &str) -> Result<Client, ServeError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.write_all(&protocol::BINARY_HELLO)?;
+        stream.flush()?;
+        Ok(Client { stream })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Vec<u8>, ServeError> {
+        protocol::write_frame(&mut self.stream, &protocol::encode_request(req))?;
+        let frame = protocol::read_frame(&mut self.stream)?;
+        protocol::decode_response(&frame).map(<[u8]>::to_vec)
+    }
+
+    /// Predicts one point.
+    pub fn predict(&mut self, point: Vec<f64>) -> Result<WirePrediction, ServeError> {
+        let body = self.call(&Request::Predict(point))?;
+        protocol::decode_prediction(&body)
+    }
+
+    /// Fetches the engine stats JSON.
+    pub fn stats(&mut self) -> Result<String, ServeError> {
+        let body = self.call(&Request::Stats)?;
+        Ok(String::from_utf8_lossy(&body).into_owned())
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        self.call(&Request::Ping).map(|_| ())
+    }
+
+    /// Model metadata `(dim, n_train)`.
+    pub fn info(&mut self) -> Result<(u32, u64), ServeError> {
+        let body = self.call(&Request::Info)?;
+        protocol::decode_info(&body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hkrr_core::{KrrConfig, SolverKind};
+    use hkrr_datasets::registry::LETTER;
+
+    fn served() -> (Server, Arc<KrrModel>, hkrr_datasets::Dataset) {
+        let ds = hkrr_datasets::generate(&LETTER, 180, 24, 5);
+        let cfg = KrrConfig {
+            h: LETTER.default_h,
+            lambda: LETTER.default_lambda,
+            solver: SolverKind::Hss,
+            ..KrrConfig::default()
+        };
+        let model = Arc::new(KrrModel::fit(&ds.train, &ds.train_labels, &cfg).unwrap());
+        let server = Server::start(
+            Arc::clone(&model),
+            ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                engine: EngineConfig {
+                    workers: 1,
+                    ..EngineConfig::default()
+                },
+            },
+        )
+        .unwrap();
+        (server, model, ds)
+    }
+
+    #[test]
+    fn binary_client_roundtrips_predictions_bitwise() {
+        let (server, model, ds) = served();
+        let addr = server.local_addr().to_string();
+        let mut client = Client::connect(&addr).unwrap();
+        client.ping().unwrap();
+        assert_eq!(client.info().unwrap(), (16, 180));
+        let direct = model.decision_values(&ds.test);
+        for i in 0..8 {
+            let p = client.predict(ds.test.row(i).to_vec()).unwrap();
+            assert_eq!(p.score, direct[i], "query {i} must be bitwise identical");
+        }
+        let stats = client.stats().unwrap();
+        hkrr_bench::json::validate(&stats).unwrap();
+        assert!(stats.contains("\"requests\":8"));
+        // Protocol-level rejection: wrong dimension.
+        assert!(matches!(
+            client.predict(vec![1.0; 3]),
+            Err(ServeError::Rejected(_))
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn line_mode_fallback_works_over_the_same_port() {
+        let (server, model, ds) = served();
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        let mut cmd = String::from("predict");
+        for v in ds.test.row(0) {
+            cmd.push_str(&format!(" {v:.17e}"));
+        }
+        cmd.push('\n');
+        writer.write_all(cmd.as_bytes()).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let direct = model.decision_values(&ds.test)[0];
+        let expected_label = if direct >= 0.0 { 1 } else { -1 };
+        assert!(
+            line.starts_with(&format!("ok {expected_label} ")),
+            "unexpected reply {line:?}"
+        );
+        assert!(line.contains("batch="));
+
+        writer.write_all(b"ping\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "ok pong\n");
+
+        writer.write_all(b"bogus\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("err "));
+
+        writer.write_all(b"quit\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "bye\n");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_graceful_and_idempotent() {
+        let (server, _, ds) = served();
+        let addr = server.local_addr().to_string();
+        let mut client = Client::connect(&addr).unwrap();
+        let before = server.stats().requests;
+        client.predict(ds.test.row(0).to_vec()).unwrap();
+        assert_eq!(server.stats().requests, before + 1);
+        server.shutdown();
+        server.shutdown(); // idempotent — and neither call may hang
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests of the `hkrr-model/1` codec: every save → load round
+//! trip must reproduce predictions **bitwise**, and every corruption must
+//! surface as a typed [`CodecError`] — never a panic, never a silently
+//! wrong model.
+
+use hkrr_core::{KrrConfig, KrrModel, SolverKind};
+use hkrr_datasets::registry::{LETTER, PEN, SUSY};
+use hkrr_linalg::random::{gaussian_matrix, Pcg64};
+use hkrr_serve::codec::{decode_model, encode_model, CodecError};
+use proptest::prelude::*;
+
+fn fit(
+    spec_idx: usize,
+    solver_idx: usize,
+    n: usize,
+    seed: u64,
+) -> (KrrModel, hkrr_datasets::Dataset) {
+    let spec = [&LETTER, &SUSY, &PEN][spec_idx % 3];
+    let solver = [
+        SolverKind::Hss,
+        SolverKind::HssWithHSampling,
+        SolverKind::DenseCholesky,
+    ][solver_idx % 3];
+    let ds = hkrr_datasets::generate(spec, n, 24, seed);
+    let cfg = KrrConfig {
+        h: spec.default_h,
+        lambda: spec.default_lambda,
+        solver,
+        ..KrrConfig::default()
+    };
+    let model = KrrModel::fit(&ds.train, &ds.train_labels, &cfg).expect("training failed");
+    (model, ds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// save → load → bitwise-identical predictions on random queries, for
+    /// random (dataset, solver, size, seed) combinations.
+    #[test]
+    fn roundtrip_is_bitwise_on_random_queries(
+        spec_idx in 0..3usize,
+        solver_idx in 0..3usize,
+        n in 96..200usize,
+        seed in 0..1_000u64,
+        query_seed in 0..1_000u64,
+    ) {
+        let (model, _) = fit(spec_idx, solver_idx, n, seed);
+        let loaded = decode_model(&encode_model(&model)).expect("roundtrip decode");
+
+        // Random query points in the raw feature space.
+        let mut rng = Pcg64::seed_from_u64(query_seed);
+        let queries = gaussian_matrix(&mut rng, 17, model.dim());
+        prop_assert_eq!(loaded.decision_values(&queries), model.decision_values(&queries));
+        prop_assert_eq!(loaded.predict(&queries), model.predict(&queries));
+        prop_assert_eq!(loaded.weights(), model.weights());
+        prop_assert_eq!(loaded.permutation(), model.permutation());
+        prop_assert_eq!(loaded.factors().is_some(), model.factors().is_some());
+    }
+
+    /// Truncating the encoding at any byte length is a typed error, never a
+    /// panic.
+    #[test]
+    fn truncation_never_panics(
+        n in 96..160usize,
+        seed in 0..1_000u64,
+        cut_frac in 0.0..1.0f64,
+    ) {
+        let (model, _) = fit(0, 0, n, seed);
+        let bytes = encode_model(&model);
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        match decode_model(&bytes[..cut]) {
+            Err(_) => {} // any typed CodecError is acceptable
+            Ok(_) => prop_assert!(false, "decoding a truncated file must not succeed"),
+        }
+    }
+
+    /// Flipping any single payload byte is caught by the per-section CRC32
+    /// (or, for table/header bytes, by a structural check) — typed errors
+    /// only, and never a silently different model.
+    #[test]
+    fn single_byte_corruption_is_detected(
+        n in 96..160usize,
+        seed in 0..1_000u64,
+        pos_frac in 0.0..1.0f64,
+        bit in 0..8usize,
+    ) {
+        let (model, ds) = fit(0, 0, n, seed);
+        let reference = model.decision_values(&ds.test);
+        let mut bytes = encode_model(&model);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        match decode_model(&bytes) {
+            Err(_) => {}
+            Ok(loaded) => {
+                // Corrupting padding-free content must not change output;
+                // the only tolerated success is one that is still bitwise
+                // faithful (e.g. the flip landed in an unused report field
+                // that does not affect predictions… which cannot happen for
+                // checksummed sections, so demand full equality).
+                prop_assert_eq!(loaded.decision_values(&ds.test), reference.clone());
+            }
+        }
+    }
+}
+
+#[test]
+fn corruption_matrix_of_typed_errors() {
+    let (model, _) = fit(0, 0, 128, 3);
+    let bytes = encode_model(&model);
+
+    // Truncated file.
+    assert!(matches!(
+        decode_model(&bytes[..bytes.len() / 3]),
+        Err(CodecError::Truncated | CodecError::ChecksumMismatch { .. })
+    ));
+    // Bad magic.
+    let mut bad_magic = bytes.clone();
+    bad_magic[3] ^= 0xff;
+    assert!(matches!(
+        decode_model(&bad_magic),
+        Err(CodecError::BadMagic)
+    ));
+    // Wrong version.
+    let mut bad_version = bytes.clone();
+    bad_version[8..12].copy_from_slice(&7u32.to_le_bytes());
+    assert!(matches!(
+        decode_model(&bad_version),
+        Err(CodecError::UnsupportedVersion(7))
+    ));
+    // Flipped checksum byte (in the table's CRC field of the first section:
+    // offset 16 + 20).
+    let mut bad_crc = bytes.clone();
+    bad_crc[16 + 20] ^= 0x01;
+    assert!(matches!(
+        decode_model(&bad_crc),
+        Err(CodecError::ChecksumMismatch { .. })
+    ));
+    // Flipped payload byte.
+    let mut bad_payload = bytes;
+    let last = bad_payload.len() - 1;
+    bad_payload[last] ^= 0x80;
+    assert!(matches!(
+        decode_model(&bad_payload),
+        Err(CodecError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn loaded_model_skips_refactorization_for_new_labels() {
+    let (model, ds) = fit(0, 0, 160, 9);
+    let loaded = decode_model(&encode_model(&model)).unwrap();
+    // The ULV factors came back byte-for-byte: re-solving the training
+    // system through the loaded model reproduces the weights bitwise.
+    assert_eq!(
+        loaded.solve_new_labels(&ds.train_labels).unwrap(),
+        model.weights()
+    );
+}

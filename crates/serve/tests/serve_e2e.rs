@@ -1,0 +1,114 @@
+//! End-to-end acceptance of the serving stack: a model trained in-process,
+//! saved with the codec, reloaded, served over a loopback TCP port, and
+//! hammered by the load generator — with micro-batch coalescing observable
+//! in the engine statistics.
+
+use hkrr_core::{KrrConfig, KrrModel, SolverKind};
+use hkrr_datasets::registry::LETTER;
+use hkrr_serve::codec::{load_model, save_model};
+use hkrr_serve::engine::EngineConfig;
+use hkrr_serve::loadgen::{self, LoadgenConfig};
+use hkrr_serve::server::{Client, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn trained(n: usize, seed: u64) -> (KrrModel, hkrr_datasets::Dataset) {
+    let ds = hkrr_datasets::generate(&LETTER, n, 40, seed);
+    let cfg = KrrConfig {
+        h: LETTER.default_h,
+        lambda: LETTER.default_lambda,
+        solver: SolverKind::Hss,
+        ..KrrConfig::default()
+    };
+    let model = KrrModel::fit(&ds.train, &ds.train_labels, &cfg).unwrap();
+    (model, ds)
+}
+
+/// Acceptance: save → serve the *reloaded* model → predictions over the
+/// wire are bitwise identical to the in-process model.
+#[test]
+fn saved_and_reloaded_model_serves_bitwise_identical_predictions() {
+    let (model, ds) = trained(260, 17);
+    let path = std::env::temp_dir().join(format!("hkrr_e2e_{}.hkrr", std::process::id()));
+    save_model(&model, &path).unwrap();
+    let loaded = load_model(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // In-process check first: the reload skipped re-factorization (factors
+    // are present) and is bitwise faithful.
+    assert!(loaded.factors().is_some());
+    let reference = model.decision_values(&ds.test);
+    assert_eq!(loaded.decision_values(&ds.test), reference);
+
+    // Now the same through the full TCP stack.
+    let server = Server::start(Arc::new(loaded), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+    for i in 0..ds.test.nrows() {
+        let p = client.predict(ds.test.row(i).to_vec()).unwrap();
+        assert_eq!(
+            p.score, reference[i],
+            "query {i}: served prediction differs from the in-process model"
+        );
+    }
+    server.shutdown();
+}
+
+/// Acceptance: ≥ 1000 loopback queries through `loadgen` against a loaded
+/// model, zero failures, and coalescing observable (mean batch size > 1
+/// under concurrent load).
+#[test]
+fn loadgen_pushes_1000_queries_with_observable_batching() {
+    let (model, _) = trained(220, 23);
+    let loaded = load_model_via_bytes(&model);
+    let server = Server::start(
+        Arc::new(loaded),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            engine: EngineConfig {
+                workers: 1,
+                max_batch: 64,
+                queue_capacity: 4096,
+                linger: Duration::from_millis(2),
+            },
+        },
+    )
+    .unwrap();
+
+    let report = loadgen::run(&LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        requests: 1000,
+        concurrency: 8,
+        seed: 0xfeed,
+    })
+    .unwrap();
+
+    assert_eq!(report.ok, 1000, "all 1000 queries must succeed");
+    assert_eq!(report.errors, 0);
+    assert!(
+        report.mean_batch_size > 1.0,
+        "coalescing must be observable under concurrent load (mean batch {})",
+        report.mean_batch_size
+    );
+    assert!(report.qps > 0.0);
+    assert!(report.client_p50_ms <= report.client_p95_ms);
+    assert!(report.client_p95_ms <= report.client_max_ms + 1e-9);
+
+    // The engine's own accounting agrees.
+    let stats = server.stats();
+    assert_eq!(stats.requests, 1000);
+    assert!(stats.mean_batch_size > 1.0);
+    assert!(
+        stats.batches < 1000,
+        "1000 requests must not take 1000 batches"
+    );
+
+    // And the snapshot is valid, schema-tagged JSON.
+    let json = report.to_json();
+    hkrr_bench::json::validate(&json).unwrap();
+    assert!(json.contains("\"schema\":\"hkrr-serve-perf/1\""));
+    server.shutdown();
+}
+
+fn load_model_via_bytes(model: &KrrModel) -> KrrModel {
+    hkrr_serve::codec::decode_model(&hkrr_serve::codec::encode_model(model)).unwrap()
+}

@@ -1,0 +1,90 @@
+//! Serving walkthrough: train a model, persist it in the `hkrr-model/1`
+//! format, reload it (no re-factorization), serve it over loopback TCP,
+//! and query it both programmatically and through the line-mode protocol.
+//!
+//! Run with:  cargo run --release --example serve_roundtrip
+
+use hkrr::prelude::*;
+use hkrr::serve::engine::EngineConfig;
+use hkrr::serve::server::{Client, Server, ServerConfig};
+use hkrr::serve::{load_model, save_model};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Train a compressed model, as in the quickstart.
+    let spec = spec_by_name("LETTER").unwrap();
+    let ds = generate(&spec, 800, 200, 42);
+    let config = KrrConfig {
+        h: spec.default_h,
+        lambda: spec.default_lambda,
+        solver: SolverKind::Hss,
+        ..KrrConfig::default()
+    };
+    let model = KrrModel::fit(&ds.train, &ds.train_labels, &config).unwrap();
+    println!(
+        "trained: n={} d={} | accuracy {:.2}%",
+        model.num_train(),
+        model.dim(),
+        100.0 * accuracy(&model.predict(&ds.test), &ds.test_labels)
+    );
+
+    // 2. Persist and reload. The file carries the HSS form and the ULV
+    //    factors, so the reload performs no numerical work at all.
+    let path = std::env::temp_dir().join("serve_roundtrip_example.hkrr");
+    save_model(&model, &path).unwrap();
+    let loaded = load_model(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(
+        loaded.factors().is_some(),
+        "ULV factors travel with the file"
+    );
+    assert_eq!(
+        loaded.decision_values(&ds.test),
+        model.decision_values(&ds.test),
+        "reloaded predictions are bitwise identical"
+    );
+    println!("save → load: bitwise-identical predictions, factors intact");
+
+    // 3. Serve the *reloaded* model on a loopback port.
+    let server = Server::start(
+        Arc::new(loaded),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            engine: EngineConfig::default(),
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    println!("serving on {addr}");
+
+    // 4a. Binary protocol client.
+    let mut client = Client::connect(&addr.to_string()).unwrap();
+    let reference = model.decision_values(&ds.test);
+    for i in 0..5 {
+        let p = client.predict(ds.test.row(i).to_vec()).unwrap();
+        assert_eq!(p.score, reference[i]);
+        println!(
+            "  binary query {i}: label {:+} score {:+.4} (batch {}, {}µs server-side)",
+            p.label as i64, p.score, p.batch_size, p.latency_micros
+        );
+    }
+
+    // 4b. Line mode — what you would type into `nc`.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut cmd = String::from("predict");
+    for v in ds.test.row(0) {
+        cmd.push_str(&format!(" {v}"));
+    }
+    cmd.push('\n');
+    writer.write_all(cmd.as_bytes()).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    println!("  line-mode reply: {}", line.trim_end());
+
+    server.shutdown();
+    println!("server drained and stopped — done.");
+}

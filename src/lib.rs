@@ -15,9 +15,12 @@
 //! * [`hmatrix`] — strong-admissibility H-matrices with ACA, used as the
 //!   fast sampler,
 //! * [`krr`] — Algorithm 1 end to end (binary + one-vs-all classification),
-//! * [`tuner`] — grid search and black-box tuning of `(h, λ)`.
+//! * [`tuner`] — grid search and black-box tuning of `(h, λ)`,
+//! * [`serve`] — model persistence (`hkrr-model/1`) and the micro-batching
+//!   TCP prediction service.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour.
+//! See `examples/quickstart.rs` for a five-minute tour and
+//! `examples/serve_roundtrip.rs` for the save → load → serve path.
 
 pub use hkrr_clustering as clustering;
 pub use hkrr_core as krr;
@@ -26,6 +29,7 @@ pub use hkrr_hmatrix as hmatrix;
 pub use hkrr_hss as hss;
 pub use hkrr_kernel as kernel;
 pub use hkrr_linalg as linalg;
+pub use hkrr_serve as serve;
 pub use hkrr_tuner as tuner;
 
 /// Convenience prelude with the types most programs need.
