@@ -63,8 +63,10 @@ pub struct TrainTimings {
     pub construction_seconds: f64,
     /// ULV factorization (or dense Cholesky).
     pub factorization_seconds: f64,
-    /// Solve for the weight vector.
+    /// Solve for the weight vector (the direct solvers' triangular solve).
     pub solve_seconds: f64,
+    /// The PCG iteration (`hss-pcg` solver only; 0 elsewhere).
+    pub pcg_seconds: f64,
 }
 
 /// Trains a model, returning it together with the measured training time
@@ -77,9 +79,12 @@ pub fn train_timed(ds: &Dataset, config: &KrrConfig) -> (KrrModel, TrainTimings)
     let report = model.report();
     let timings = TrainTimings {
         total_seconds,
-        construction_seconds: report.h_construction_seconds + report.hss_construction_seconds(),
+        construction_seconds: report.assembly_seconds
+            + report.h_construction_seconds
+            + report.hss_construction_seconds(),
         factorization_seconds: report.factorization_seconds,
         solve_seconds: report.solve_seconds,
+        pcg_seconds: report.pcg_seconds,
     };
     (model, timings)
 }

@@ -1,13 +1,14 @@
 //! JSON perf-tracking harness: the machine-readable pipeline trajectory.
 //!
 //! [`run`] executes a fixed workload matrix — solver (dense Cholesky vs HSS
-//! vs HSS with H-matrix-accelerated sampling) crossed with thread counts
-//! (1 / 2 / all) over a small and a medium problem — and records wall times
-//! per phase (construction, factorization, solve), achieved parallel
-//! speedups, compression ratios, and test accuracy. [`PerfReport::to_json`]
-//! serializes the result as `BENCH_pipeline.json` so CI can archive one
-//! snapshot per commit and future PRs are judged against recorded numbers
-//! instead of anecdotes.
+//! vs HSS with H-matrix-accelerated sampling vs HSS-preconditioned CG)
+//! crossed with thread counts (1 / 2 / all) over a small and a medium
+//! problem — and records wall times per phase (construction,
+//! factorization, solve, PCG), achieved parallel speedups, compression
+//! ratios, PCG iteration counts, and test accuracy.
+//! [`PerfReport::to_json`] serializes the result as `BENCH_pipeline.json`
+//! (schema `hkrr-perf/2`) so CI can archive one snapshot per commit and
+//! future PRs are judged against recorded numbers instead of anecdotes.
 //!
 //! The dense baseline runs once per workload (at the full thread count):
 //! its wall time anchors the dense-vs-hierarchical comparison, while the
@@ -101,6 +102,10 @@ pub struct PerfCase {
     pub factorization_seconds: f64,
     /// Seconds in the weight solve.
     pub solve_seconds: f64,
+    /// Seconds in the PCG iteration (`hss-pcg` rows only; 0 elsewhere).
+    pub pcg_seconds: f64,
+    /// PCG iterations performed (`hss-pcg` rows only; 0 elsewhere).
+    pub pcg_iterations: usize,
     /// Total wall-clock training seconds.
     pub total_seconds: f64,
     /// Test-set accuracy of the trained model.
@@ -183,6 +188,8 @@ fn measure(
         construction_seconds: timings.construction_seconds,
         factorization_seconds: timings.factorization_seconds,
         solve_seconds: timings.solve_seconds,
+        pcg_seconds: timings.pcg_seconds,
+        pcg_iterations: report.pcg_iterations,
         total_seconds: timings.total_seconds,
         accuracy,
         matrix_memory_bytes: report.matrix_memory_bytes,
@@ -223,7 +230,11 @@ pub fn run(opts: &PerfOptions) -> PerfReport {
             max_threads,
         ));
 
-        for solver in [SolverKind::Hss, SolverKind::HssWithHSampling] {
+        for solver in [
+            SolverKind::Hss,
+            SolverKind::HssWithHSampling,
+            SolverKind::HssPcg,
+        ] {
             let runs: Vec<PerfCase> = opts
                 .thread_counts
                 .iter()
@@ -269,6 +280,8 @@ impl PerfCase {
         w.field_f64("construction_seconds", self.construction_seconds);
         w.field_f64("factorization_seconds", self.factorization_seconds);
         w.field_f64("solve_seconds", self.solve_seconds);
+        w.field_f64("pcg_seconds", self.pcg_seconds);
+        w.field_usize("pcg_iterations", self.pcg_iterations);
         w.field_f64("total_seconds", self.total_seconds);
         w.field_f64("accuracy", self.accuracy);
         w.field_usize("matrix_memory_bytes", self.matrix_memory_bytes);
@@ -294,11 +307,11 @@ impl PerfSpeedup {
 }
 
 impl PerfReport {
-    /// Serializes the report (schema `hkrr-perf/1`).
+    /// Serializes the report (schema `hkrr-perf/2`).
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.field_str("schema", "hkrr-perf/1");
+        w.field_str("schema", "hkrr-perf/2");
         w.field_f64("scale", self.scale);
         w.field_usize("host_threads", self.host_threads);
         w.key("cases");
@@ -352,20 +365,26 @@ impl PerfReport {
         }
         let _ = writeln!(
             out,
-            "\n| workload | solver | threads | total (s) | accuracy | compression× | max rank |"
+            "\n| workload | solver | threads | total (s) | accuracy | compression× | max rank | pcg iters |"
         );
-        let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
         for c in &self.cases {
+            let pcg_iters = if c.solver == SolverKind::HssPcg.label() {
+                c.pcg_iterations.to_string()
+            } else {
+                "—".to_string()
+            };
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {:.3} | {:.4} | {:.1} | {} |",
+                "| {} | {} | {} | {:.3} | {:.4} | {:.1} | {} | {} |",
                 c.workload,
                 c.solver,
                 c.threads,
                 c.total_seconds,
                 c.accuracy,
                 c.compression_ratio,
-                c.max_rank
+                c.max_rank,
+                pcg_iters
             );
         }
         out
@@ -394,28 +413,43 @@ mod tests {
         let report = run(&opts);
         assert_eq!(
             report.cases.len(),
-            1 + 2 * 2,
-            "dense + 2 solvers × 2 threads"
+            1 + 3 * 2,
+            "dense + 3 hierarchical solvers × 2 threads"
         );
-        assert_eq!(report.speedups.len(), 2);
+        assert_eq!(report.speedups.len(), 3);
         for s in &report.speedups {
             // Bitwise-deterministic parallel schedule: identical accuracy.
             assert_eq!(s.accuracy_delta, 0.0, "{}/{}", s.workload, s.solver);
         }
+        // The hss-pcg rows carry their iteration metrics; direct rows are
+        // zero.
+        for c in &report.cases {
+            if c.solver == SolverKind::HssPcg.label() {
+                assert!(c.pcg_iterations > 0, "{c:?}");
+                assert!(c.pcg_seconds > 0.0, "{c:?}");
+            } else {
+                assert_eq!(c.pcg_iterations, 0, "{c:?}");
+                assert_eq!(c.pcg_seconds, 0.0, "{c:?}");
+            }
+        }
         let json = report.to_json();
         json::validate(&json).unwrap();
         for key in [
-            "\"schema\":\"hkrr-perf/1\"",
+            "\"schema\":\"hkrr-perf/2\"",
             "construction_seconds",
             "factorization_seconds",
+            "pcg_seconds",
+            "pcg_iterations",
             "compression_ratio",
             "construct_plus_factor",
             "accuracy_delta",
+            "\"hss-pcg\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         let md = report.to_markdown_summary();
         assert!(md.contains("| workload | solver |"));
+        assert!(md.contains("pcg iters"));
     }
 
     #[test]

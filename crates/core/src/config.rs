@@ -16,6 +16,15 @@ pub enum SolverKind {
     /// an intermediate H-matrix approximation — the paper's accelerated
     /// construction (Section 3.2 / Table 4).
     HssWithHSampling,
+    /// HSS-preconditioned conjugate gradients: compress `K + λI` at a
+    /// *looser* tolerance ([`KrrConfig::pcg_loosening`] × the configured
+    /// one), ULV-factor that cheap compression, and use it only as a
+    /// preconditioner for matrix-free PCG on the **exact** implicit kernel
+    /// operator. The Krylov iteration removes the compression error, so
+    /// the answer solves the uncompressed system to
+    /// [`KrrConfig::pcg_tolerance`] — accuracy the direct HSS path can only
+    /// buy with much tighter (slower, larger) compression.
+    HssPcg,
 }
 
 impl SolverKind {
@@ -25,6 +34,7 @@ impl SolverKind {
             SolverKind::DenseCholesky => "dense",
             SolverKind::Hss => "hss",
             SolverKind::HssWithHSampling => "hss+h",
+            SolverKind::HssPcg => "hss-pcg",
         }
     }
 }
@@ -50,6 +60,14 @@ pub struct KrrConfig {
     pub eta: f64,
     /// Seed for every randomized component (sampling, 2-means seeding).
     pub seed: u64,
+    /// Relative-residual convergence threshold of the PCG iteration
+    /// ([`SolverKind::HssPcg`] only).
+    pub pcg_tolerance: f64,
+    /// Iteration budget of the PCG solve ([`SolverKind::HssPcg`] only).
+    pub pcg_max_iterations: usize,
+    /// How much looser than [`KrrConfig::tolerance`] the preconditioner's
+    /// HSS compression runs ([`SolverKind::HssPcg`] only; must be ≥ 1).
+    pub pcg_loosening: f64,
 }
 
 impl Default for KrrConfig {
@@ -66,6 +84,12 @@ impl Default for KrrConfig {
             tolerance: 1e-2,
             eta: 2.0,
             seed: 0xacce55,
+            // PCG solves the exact operator, so the residual tolerance can
+            // sit far below any compression tolerance at modest iteration
+            // cost (the preconditioner does the heavy lifting).
+            pcg_tolerance: 1e-10,
+            pcg_max_iterations: 500,
+            pcg_loosening: 10.0,
         }
     }
 }
@@ -114,6 +138,21 @@ impl KrrConfig {
         if self.tolerance <= 0.0 {
             return Err("tolerance must be positive".to_string());
         }
+        if self.pcg_tolerance <= 0.0 || !self.pcg_tolerance.is_finite() {
+            return Err(format!(
+                "pcg_tolerance must be positive and finite, got {}",
+                self.pcg_tolerance
+            ));
+        }
+        if self.pcg_max_iterations == 0 {
+            return Err("pcg_max_iterations must be at least 1".to_string());
+        }
+        if self.pcg_loosening < 1.0 || !self.pcg_loosening.is_finite() {
+            return Err(format!(
+                "pcg_loosening must be finite and at least 1, got {}",
+                self.pcg_loosening
+            ));
+        }
         Ok(())
     }
 }
@@ -160,6 +199,26 @@ mod tests {
             ..KrrConfig::default()
         };
         assert!(c.validate().is_err());
+        for bad in [
+            KrrConfig {
+                pcg_tolerance: 0.0,
+                ..KrrConfig::default()
+            },
+            KrrConfig {
+                pcg_tolerance: f64::NAN,
+                ..KrrConfig::default()
+            },
+            KrrConfig {
+                pcg_max_iterations: 0,
+                ..KrrConfig::default()
+            },
+            KrrConfig {
+                pcg_loosening: 0.5,
+                ..KrrConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
     }
 
     #[test]
@@ -167,5 +226,6 @@ mod tests {
         assert_eq!(SolverKind::DenseCholesky.label(), "dense");
         assert_eq!(SolverKind::Hss.label(), "hss");
         assert_eq!(SolverKind::HssWithHSampling.label(), "hss+h");
+        assert_eq!(SolverKind::HssPcg.label(), "hss-pcg");
     }
 }

@@ -8,8 +8,9 @@
 //!    matrix has low-rank off-diagonal blocks,
 //! 1. **Assemble** the (implicit) kernel matrix `K_ij = exp(-‖x_i-x_j‖²/2h²)`,
 //! 2. **Train**: solve `(K + λI) w = y` with one of the solver back ends
-//!    (dense Cholesky baseline, HSS + ULV, or HSS with H-matrix accelerated
-//!    sampling),
+//!    (dense Cholesky baseline, HSS + ULV, HSS with H-matrix accelerated
+//!    sampling, or loose-HSS-preconditioned conjugate gradients on the
+//!    exact operator),
 //! 3. **Predict**: `y'_i = sign(w · K'(x'_i, ·))` for every test point,
 //!    with one-vs-all reduction for multi-class problems.
 //!

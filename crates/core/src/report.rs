@@ -17,6 +17,9 @@ pub struct TrainingReport {
     pub dim: usize,
     /// Seconds spent clustering / reordering the input (Step 0).
     pub clustering_seconds: f64,
+    /// Seconds spent assembling the dense kernel matrix (dense solver
+    /// only; the compressed solvers never materialize it and report 0).
+    pub assembly_seconds: f64,
     /// Seconds spent building the H-matrix sampler (0 when unused).
     pub h_construction_seconds: f64,
     /// Seconds spent in the HSS random-sampling products.
@@ -27,6 +30,13 @@ pub struct TrainingReport {
     pub factorization_seconds: f64,
     /// Seconds spent solving for the weight vector.
     pub solve_seconds: f64,
+    /// Seconds spent in the PCG iteration (the `hss-pcg` solver only).
+    pub pcg_seconds: f64,
+    /// PCG iterations performed (0 for the direct solvers).
+    pub pcg_iterations: usize,
+    /// Relative residual `‖b − Ax‖ / ‖b‖` after every PCG iteration,
+    /// starting with the initial residual (empty for the direct solvers).
+    pub pcg_residual_history: Vec<f64>,
     /// Memory of the compressed (or dense) training matrix, in bytes.
     pub matrix_memory_bytes: usize,
     /// Memory of the H-matrix sampler, in bytes (0 when unused).
@@ -43,11 +53,15 @@ impl TrainingReport {
             num_train,
             dim,
             clustering_seconds: 0.0,
+            assembly_seconds: 0.0,
             h_construction_seconds: 0.0,
             hss_sampling_seconds: 0.0,
             hss_other_seconds: 0.0,
             factorization_seconds: 0.0,
             solve_seconds: 0.0,
+            pcg_seconds: 0.0,
+            pcg_iterations: 0,
+            pcg_residual_history: Vec::new(),
             matrix_memory_bytes: 0,
             sampler_memory_bytes: 0,
             max_rank: 0,
@@ -62,10 +76,12 @@ impl TrainingReport {
     /// Total training time (everything except prediction).
     pub fn total_seconds(&self) -> f64 {
         self.clustering_seconds
+            + self.assembly_seconds
             + self.h_construction_seconds
             + self.hss_construction_seconds()
             + self.factorization_seconds
             + self.solve_seconds
+            + self.pcg_seconds
     }
 
     /// Compressed-matrix memory in MB (Table 2 / Figure 5 / Figure 7a).
@@ -96,11 +112,22 @@ impl std::fmt::Display for TrainingReport {
         )?;
         write!(
             f,
-            "  factorization {:.3}s | solve {:.3}s | total {:.3}s",
+            "  assembly {:.3}s | factorization {:.3}s | solve {:.3}s | total {:.3}s",
+            self.assembly_seconds,
             self.factorization_seconds,
             self.solve_seconds,
             self.total_seconds()
-        )
+        )?;
+        if self.solver == SolverKind::HssPcg {
+            write!(
+                f,
+                "\n  pcg {:.3}s | {} iterations | final residual {:.2e}",
+                self.pcg_seconds,
+                self.pcg_iterations,
+                self.pcg_residual_history.last().copied().unwrap_or(0.0)
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -112,13 +139,28 @@ mod tests {
     fn totals_add_up() {
         let mut r = TrainingReport::new(SolverKind::Hss, 1000, 8);
         r.clustering_seconds = 0.1;
+        r.assembly_seconds = 0.05;
         r.h_construction_seconds = 0.2;
         r.hss_sampling_seconds = 0.3;
         r.hss_other_seconds = 0.4;
         r.factorization_seconds = 0.5;
         r.solve_seconds = 0.6;
+        r.pcg_seconds = 0.15;
         assert!((r.hss_construction_seconds() - 0.7).abs() < 1e-12);
-        assert!((r.total_seconds() - 2.1).abs() < 1e-12);
+        assert!((r.total_seconds() - 2.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pcg_fields_appear_only_for_the_pcg_solver() {
+        let mut r = TrainingReport::new(SolverKind::HssPcg, 100, 4);
+        r.pcg_seconds = 0.01;
+        r.pcg_iterations = 7;
+        r.pcg_residual_history = vec![1.0, 0.1, 1e-11];
+        let text = r.to_string();
+        assert!(text.contains("7 iterations"), "{text}");
+        assert!(text.contains("solver=hss-pcg"), "{text}");
+        let plain = TrainingReport::new(SolverKind::Hss, 100, 4).to_string();
+        assert!(!plain.contains("iterations"), "{plain}");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 pub mod construct;
 pub mod matvec;
+pub mod precond;
 pub mod stats;
 pub mod ulv;
 

@@ -84,8 +84,12 @@ impl NormalizationStats {
                 scale.len()
             ));
         }
-        if scale.iter().any(|s| *s == 0.0 || !s.is_finite()) {
-            return Err("scales must be finite and non-zero".to_string());
+        // `fit` only ever produces strictly positive scales (a standard
+        // deviation or max-abs, floored at 1.0): a zero, negative or
+        // non-finite scale can only come from a corrupted or hand-crafted
+        // model file, and a negative one would silently flip feature signs.
+        if scale.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+            return Err("scales must be finite and strictly positive".to_string());
         }
         Ok(NormalizationStats {
             scheme,
@@ -224,6 +228,21 @@ mod tests {
         assert!(
             NormalizationStats::from_parts(Normalizer::ZScore, vec![0.0], vec![f64::NAN]).is_err()
         );
+        // Negative scales would silently flip feature signs: `fit` can
+        // never produce them, so `from_parts` must refuse them too.
+        assert!(NormalizationStats::from_parts(Normalizer::ZScore, vec![0.0], vec![-1.0]).is_err());
+        assert!(NormalizationStats::from_parts(
+            Normalizer::ZScore,
+            vec![0.0, 0.0],
+            vec![1.0, -1e-300]
+        )
+        .is_err());
+        assert!(NormalizationStats::from_parts(
+            Normalizer::ZScore,
+            vec![0.0],
+            vec![f64::NEG_INFINITY]
+        )
+        .is_err());
     }
 
     #[test]

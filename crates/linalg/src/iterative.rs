@@ -1,0 +1,486 @@
+//! Matrix-free iterative solvers: preconditioned conjugate gradients.
+//!
+//! The direct pipeline (compress → ULV → solve) pays for its accuracy: the
+//! HSS tolerance must be tight enough that the *compressed* system's
+//! solution is usable as-is. PCG inverts that trade. The operator side
+//! stays **exact** — only matvecs with the implicit matrix are needed, so
+//! nothing is compressed on the system being solved — while the
+//! preconditioner may be as crude as a diagonal or a loose-tolerance
+//! factorization. Each PCG iteration then removes the preconditioner's
+//! error instead of baking it into the answer.
+//!
+//! This module provides the building blocks:
+//!
+//! * [`Preconditioner`] — anything that applies an approximate inverse
+//!   `z ≈ A⁻¹ r`,
+//! * [`IdentityPreconditioner`] (plain CG) and [`JacobiPreconditioner`]
+//!   (diagonal scaling),
+//! * [`pcg`] — preconditioned conjugate gradients over any
+//!   [`LinearOperator`], recording the relative-residual history.
+//!
+//! The heavyweight preconditioner — a loose-tolerance HSS ULV
+//! factorization — lives in the `hss` crate, which implements
+//! [`Preconditioner`] for its `UlvFactorization`.
+//!
+//! Every step of the iteration is deterministic: the dot products and
+//! vector updates are sequential, and [`LinearOperator::matvec`]
+//! implementations in this workspace keep per-row arithmetic in sequential
+//! order, so PCG results are bitwise reproducible across thread counts.
+
+use crate::operator::LinearOperator;
+use crate::{blas, LinalgError, LinalgResult};
+
+/// An approximate inverse `z ≈ A⁻¹ r`, applied once per PCG iteration.
+///
+/// For conjugate gradients to converge the preconditioner must be symmetric
+/// positive definite (like the operator itself); implementations are not
+/// required to verify this.
+pub trait Preconditioner {
+    /// Dimension of the (square) preconditioned system.
+    fn dim(&self) -> usize;
+
+    /// Applies the approximate inverse: `z ≈ A⁻¹ r`.
+    ///
+    /// # Errors
+    /// Returns an error when the application fails (e.g. a factorization
+    /// backing the preconditioner is numerically singular).
+    fn apply(&self, r: &[f64], z: &mut [f64]) -> LinalgResult<()>;
+}
+
+/// The identity preconditioner: PCG degenerates to plain CG.
+#[derive(Debug, Clone, Copy)]
+pub struct IdentityPreconditioner {
+    n: usize,
+}
+
+impl IdentityPreconditioner {
+    /// Identity preconditioner for an `n`-dimensional system.
+    pub fn new(n: usize) -> Self {
+        IdentityPreconditioner { n }
+    }
+}
+
+impl Preconditioner for IdentityPreconditioner {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64]) -> LinalgResult<()> {
+        if r.len() != self.n || z.len() != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!(
+                    "identity preconditioner of dim {} applied to r[{}] / z[{}]",
+                    self.n,
+                    r.len(),
+                    z.len()
+                ),
+            });
+        }
+        z.copy_from_slice(r);
+        Ok(())
+    }
+}
+
+/// Diagonal (Jacobi) preconditioner: `z_i = r_i / A_ii`.
+#[derive(Debug, Clone)]
+pub struct JacobiPreconditioner {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPreconditioner {
+    /// Extracts the diagonal of `a` and inverts it.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::Singular`] when a diagonal entry is zero or
+    /// non-finite (Jacobi is undefined there).
+    pub fn from_operator(a: &impl LinearOperator) -> LinalgResult<Self> {
+        if a.nrows() != a.ncols() {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!(
+                    "Jacobi preconditioner of a {}x{} operator",
+                    a.nrows(),
+                    a.ncols()
+                ),
+            });
+        }
+        let mut inv_diag = Vec::with_capacity(a.nrows());
+        for i in 0..a.nrows() {
+            let d = a.entry(i, i);
+            if d == 0.0 || !d.is_finite() {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            inv_diag.push(1.0 / d);
+        }
+        Ok(JacobiPreconditioner { inv_diag })
+    }
+
+    /// Builds the preconditioner from an explicit diagonal.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::Singular`] when an entry is zero or
+    /// non-finite.
+    pub fn from_diagonal(diag: &[f64]) -> LinalgResult<Self> {
+        let mut inv_diag = Vec::with_capacity(diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            if d == 0.0 || !d.is_finite() {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            inv_diag.push(1.0 / d);
+        }
+        Ok(JacobiPreconditioner { inv_diag })
+    }
+}
+
+impl Preconditioner for JacobiPreconditioner {
+    fn dim(&self) -> usize {
+        self.inv_diag.len()
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64]) -> LinalgResult<()> {
+        if r.len() != self.inv_diag.len() || z.len() != self.inv_diag.len() {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!(
+                    "Jacobi preconditioner of dim {} applied to r[{}] / z[{}]",
+                    self.inv_diag.len(),
+                    r.len(),
+                    z.len()
+                ),
+            });
+        }
+        for ((zi, &ri), &di) in z.iter_mut().zip(r.iter()).zip(self.inv_diag.iter()) {
+            *zi = ri * di;
+        }
+        Ok(())
+    }
+}
+
+/// Stopping criteria for [`pcg`].
+#[derive(Debug, Clone, Copy)]
+pub struct PcgOptions {
+    /// Convergence threshold on the *relative* residual `‖b − Ax‖ / ‖b‖`.
+    pub tolerance: f64,
+    /// Iteration budget; exceeding it yields `converged == false` in the
+    /// result rather than an error, so callers keep the partial solution
+    /// and the history.
+    pub max_iterations: usize,
+}
+
+impl Default for PcgOptions {
+    fn default() -> Self {
+        PcgOptions {
+            tolerance: 1e-8,
+            max_iterations: 500,
+        }
+    }
+}
+
+/// The outcome of a [`pcg`] run.
+#[derive(Debug, Clone)]
+pub struct PcgResult {
+    /// The (approximate) solution of `A x = b`.
+    pub x: Vec<f64>,
+    /// Number of iterations performed (matvecs with `A`, applications of
+    /// the preconditioner beyond the initial one).
+    pub iterations: usize,
+    /// Relative residual `‖b − Ax‖ / ‖b‖` after every iteration, starting
+    /// with the initial residual (1.0 for the zero initial guess).
+    pub residual_history: Vec<f64>,
+    /// Whether the tolerance was reached within the iteration budget.
+    pub converged: bool,
+}
+
+impl PcgResult {
+    /// The last recorded relative residual.
+    pub fn final_residual(&self) -> f64 {
+        self.residual_history.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Preconditioned conjugate gradients for `A x = b` with a symmetric
+/// positive definite operator `A`, starting from the zero vector.
+///
+/// Only matvecs with `A` are required, so the operator can stay implicit
+/// (e.g. a closed-form kernel matrix plus a diagonal shift) — nothing is
+/// assembled or compressed on the system actually being solved.
+///
+/// # Errors
+/// Returns [`LinalgError::DimensionMismatch`] for inconsistent shapes,
+/// [`LinalgError::NotPositiveDefinite`] when a search direction has
+/// non-positive curvature `pᵀAp ≤ 0` (the operator or preconditioner is
+/// not SPD), and propagates preconditioner failures. Running out of
+/// iterations is **not** an error: the result carries `converged == false`
+/// together with the best iterate and the full residual history.
+pub fn pcg(
+    a: &(impl LinearOperator + ?Sized),
+    b: &[f64],
+    m: &(impl Preconditioner + ?Sized),
+    opts: &PcgOptions,
+) -> LinalgResult<PcgResult> {
+    let n = b.len();
+    if a.nrows() != n || a.ncols() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: format!("pcg: operator is {}x{}, b has {}", a.nrows(), a.ncols(), n),
+        });
+    }
+    if m.dim() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: format!(
+                "pcg: preconditioner dim {} for system of size {}",
+                m.dim(),
+                n
+            ),
+        });
+    }
+
+    let b_norm = blas::nrm2(b);
+    if b_norm == 0.0 {
+        // The unique solution of a definite system with b = 0.
+        return Ok(PcgResult {
+            x: vec![0.0; n],
+            iterations: 0,
+            residual_history: vec![0.0],
+            converged: true,
+        });
+    }
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec(); // r = b − A·0
+    let mut z = vec![0.0; n];
+    m.apply(&r, &mut z)?;
+    let mut p = z.clone();
+    let mut q = vec![0.0; n];
+    let mut rz = blas::dot(&r, &z);
+
+    let mut residual_history = Vec::with_capacity(opts.max_iterations.min(128) + 1);
+    residual_history.push(1.0);
+    if 1.0 <= opts.tolerance {
+        return Ok(PcgResult {
+            x,
+            iterations: 0,
+            residual_history,
+            converged: true,
+        });
+    }
+
+    for iteration in 1..=opts.max_iterations {
+        a.matvec(&p, &mut q);
+        let pq = blas::dot(&p, &q);
+        if pq <= 0.0 || !pq.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: iteration });
+        }
+        let alpha = rz / pq;
+        blas::axpy(alpha, &p, &mut x);
+        blas::axpy(-alpha, &q, &mut r);
+
+        let rel = blas::nrm2(&r) / b_norm;
+        residual_history.push(rel);
+        if rel <= opts.tolerance {
+            return Ok(PcgResult {
+                x,
+                iterations: iteration,
+                residual_history,
+                converged: true,
+            });
+        }
+
+        m.apply(&r, &mut z)?;
+        let rz_next = blas::dot(&r, &z);
+        let beta = rz_next / rz;
+        rz = rz_next;
+        for (pi, &zi) in p.iter_mut().zip(z.iter()) {
+            *pi = zi + beta * *pi;
+        }
+    }
+
+    Ok(PcgResult {
+        x,
+        iterations: opts.max_iterations,
+        residual_history,
+        converged: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky;
+    use crate::random::{gaussian_matrix, Pcg64};
+    use crate::Matrix;
+
+    /// A random SPD matrix `G Gᵀ + n·I`.
+    fn spd(seed: u64, n: usize) -> Matrix {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let g = gaussian_matrix(&mut rng, n, n);
+        let mut a = blas::matmul(&g, &g.transpose());
+        a.shift_diagonal(n as f64);
+        a
+    }
+
+    fn rhs(seed: u64, n: usize) -> Vec<f64> {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        (0..n).map(|_| rng.next_gaussian()).collect()
+    }
+
+    #[test]
+    fn cg_matches_cholesky_on_spd_system() {
+        let a = spd(1, 40);
+        let b = rhs(2, 40);
+        let direct = cholesky::cholesky(&a).unwrap().solve(&b).unwrap();
+        let result = pcg(
+            &a,
+            &b,
+            &IdentityPreconditioner::new(40),
+            &PcgOptions {
+                tolerance: 1e-12,
+                max_iterations: 400,
+            },
+        )
+        .unwrap();
+        assert!(result.converged, "history {:?}", result.residual_history);
+        for (x, d) in result.x.iter().zip(direct.iter()) {
+            assert!((x - d).abs() < 1e-8, "pcg {x} vs cholesky {d}");
+        }
+        assert_eq!(result.residual_history.len(), result.iterations + 1);
+        assert!(result.final_residual() <= 1e-12);
+    }
+
+    #[test]
+    fn jacobi_preconditioning_helps_on_badly_scaled_diagonals() {
+        // Strongly diagonally dominant but badly scaled: Jacobi fixes the
+        // scaling and needs far fewer iterations than plain CG.
+        let n = 60;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = 10.0_f64.powi((i % 7) as i32);
+            if i + 1 < n {
+                a[(i, i + 1)] = 0.1;
+                a[(i + 1, i)] = 0.1;
+            }
+        }
+        let b = rhs(3, n);
+        let opts = PcgOptions {
+            tolerance: 1e-10,
+            max_iterations: 1000,
+        };
+        let plain = pcg(&a, &b, &IdentityPreconditioner::new(n), &opts).unwrap();
+        let jacobi = JacobiPreconditioner::from_operator(&a).unwrap();
+        let pre = pcg(&a, &b, &jacobi, &opts).unwrap();
+        assert!(pre.converged);
+        assert!(
+            pre.iterations < plain.iterations,
+            "jacobi {} vs plain {}",
+            pre.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn residual_history_is_recorded_and_monotone_at_the_end() {
+        let a = spd(4, 30);
+        let b = rhs(5, 30);
+        let r = pcg(
+            &a,
+            &b,
+            &IdentityPreconditioner::new(30),
+            &PcgOptions::default(),
+        )
+        .unwrap();
+        assert!(r.converged);
+        assert_eq!(r.residual_history[0], 1.0);
+        assert!(r.final_residual() <= 1e-8);
+        assert!(r.residual_history.len() >= 2);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_solution() {
+        let a = spd(6, 10);
+        let r = pcg(
+            &a,
+            &[0.0; 10],
+            &IdentityPreconditioner::new(10),
+            &PcgOptions::default(),
+        )
+        .unwrap();
+        assert!(r.converged);
+        assert_eq!(r.iterations, 0);
+        assert!(r.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_not_an_error() {
+        let a = spd(7, 50);
+        let b = rhs(8, 50);
+        let r = pcg(
+            &a,
+            &b,
+            &IdentityPreconditioner::new(50),
+            &PcgOptions {
+                tolerance: 1e-14,
+                max_iterations: 2,
+            },
+        )
+        .unwrap();
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 2);
+        assert_eq!(r.residual_history.len(), 3);
+    }
+
+    #[test]
+    fn indefinite_operator_is_detected() {
+        let mut a = Matrix::identity(5);
+        a[(3, 3)] = -1.0;
+        let b = rhs(9, 5);
+        assert!(matches!(
+            pcg(
+                &a,
+                &b,
+                &IdentityPreconditioner::new(5),
+                &PcgOptions::default()
+            ),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatches_are_typed_errors() {
+        let a = spd(10, 8);
+        let b = rhs(11, 8);
+        assert!(matches!(
+            pcg(
+                &a,
+                &b[..4],
+                &IdentityPreconditioner::new(4),
+                &PcgOptions::default()
+            ),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            pcg(
+                &a,
+                &b,
+                &IdentityPreconditioner::new(4),
+                &PcgOptions::default()
+            ),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert!(JacobiPreconditioner::from_diagonal(&[1.0, 0.0]).is_err());
+        assert!(JacobiPreconditioner::from_diagonal(&[1.0, f64::NAN]).is_err());
+        let mut z = vec![0.0; 3];
+        assert!(IdentityPreconditioner::new(2)
+            .apply(&[1.0, 2.0], &mut z)
+            .is_err());
+        let j = JacobiPreconditioner::from_diagonal(&[2.0, 4.0]).unwrap();
+        assert!(j.apply(&[1.0], &mut z).is_err());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = spd(12, 25);
+        let b = rhs(13, 25);
+        let jacobi = JacobiPreconditioner::from_operator(&a).unwrap();
+        let r1 = pcg(&a, &b, &jacobi, &PcgOptions::default()).unwrap();
+        let r2 = pcg(&a, &b, &jacobi, &PcgOptions::default()).unwrap();
+        assert_eq!(r1.x, r2.x);
+        assert_eq!(r1.residual_history, r2.residual_history);
+    }
+}

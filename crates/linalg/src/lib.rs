@@ -15,6 +15,9 @@
 //! * LU with partial pivoting ([`lu`]), Cholesky ([`cholesky`]) and
 //!   triangular solves ([`triangular`]),
 //! * low-rank factors and truncation helpers ([`low_rank`]),
+//! * matrix-free preconditioned conjugate gradients with a
+//!   [`Preconditioner`] trait ([`iterative`]) — the Krylov side of the
+//!   HSS-preconditioned solver path,
 //! * a deterministic PCG64 random generator ([`random`]) so every experiment
 //!   in the workspace is reproducible without an external RNG crate,
 //! * the [`LinearOperator`] trait that provides the *partially matrix-free*
@@ -29,6 +32,7 @@
 pub mod blas;
 pub mod cholesky;
 pub mod eig;
+pub mod iterative;
 pub mod low_rank;
 pub mod lu;
 pub mod matrix;
@@ -38,6 +42,7 @@ pub mod random;
 pub mod svd;
 pub mod triangular;
 
+pub use iterative::{pcg, JacobiPreconditioner, PcgOptions, PcgResult, Preconditioner};
 pub use low_rank::LowRank;
 pub use lu::is_permutation;
 pub use matrix::Matrix;

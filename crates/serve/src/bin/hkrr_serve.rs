@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! hkrr-serve save    --out model.hkrr [--dataset LETTER] [--n-train 600]
-//!                    [--seed 42] [--solver dense|hss|hss+h]
+//!                    [--seed 42] [--solver dense|hss|hss+h|hss-pcg]
 //! hkrr-serve info    <model.hkrr>
 //! hkrr-serve serve   <model.hkrr> [--addr 127.0.0.1:7878] [--workers N]
 //!                    [--max-batch 64] [--linger-us 500]
@@ -66,7 +66,10 @@ fn solver_from(name: &str) -> Result<SolverKind, String> {
         "dense" => Ok(SolverKind::DenseCholesky),
         "hss" => Ok(SolverKind::Hss),
         "hss+h" => Ok(SolverKind::HssWithHSampling),
-        other => Err(format!("unknown solver {other:?} (dense | hss | hss+h)")),
+        "hss-pcg" => Ok(SolverKind::HssPcg),
+        other => Err(format!(
+            "unknown solver {other:?} (dense | hss | hss+h | hss-pcg)"
+        )),
     }
 }
 

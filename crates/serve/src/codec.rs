@@ -44,8 +44,11 @@ use std::path::Path;
 
 /// File magic: "HKRR model, format generation 1".
 pub const MAGIC: [u8; 8] = *b"HKRRMDL1";
-/// Current format version inside generation 1.
-pub const VERSION: u32 = 1;
+/// Current format version inside generation 1. Version 2 added the
+/// `hss-pcg` solver tag, the PCG split (seconds, iteration count,
+/// residual history) and `assembly_seconds` to `REPT`, and the PCG
+/// parameters to `CONF`.
+pub const VERSION: u32 = 2;
 /// Human-readable schema name (mirrors the JSON snapshots' convention).
 pub const SCHEMA: &str = "hkrr-model/1";
 
@@ -309,6 +312,7 @@ fn enc_solver(e: &mut Enc, s: SolverKind) {
         SolverKind::DenseCholesky => 0,
         SolverKind::Hss => 1,
         SolverKind::HssWithHSampling => 2,
+        SolverKind::HssPcg => 3,
     });
 }
 
@@ -317,6 +321,7 @@ fn dec_solver(d: &mut Dec) -> Result<SolverKind> {
         0 => Ok(SolverKind::DenseCholesky),
         1 => Ok(SolverKind::Hss),
         2 => Ok(SolverKind::HssWithHSampling),
+        3 => Ok(SolverKind::HssPcg),
         t => Err(CodecError::Malformed(format!("bad solver tag {t}"))),
     }
 }
@@ -410,6 +415,9 @@ fn enc_conf(config: &KrrConfig, kernel: KernelFunction) -> Vec<u8> {
     e.f64(config.tolerance);
     e.f64(config.eta);
     e.u64(config.seed);
+    e.f64(config.pcg_tolerance);
+    e.usize(config.pcg_max_iterations);
+    e.f64(config.pcg_loosening);
     enc_kernel(&mut e, kernel);
     e.buf
 }
@@ -426,9 +434,16 @@ fn dec_conf(bytes: &[u8]) -> Result<(KrrConfig, KernelFunction)> {
         tolerance: d.f64()?,
         eta: d.f64()?,
         seed: d.u64()?,
+        pcg_tolerance: d.f64()?,
+        pcg_max_iterations: d.usize()?,
+        pcg_loosening: d.f64()?,
     };
     let kernel = dec_kernel(&mut d)?;
     d.finish()?;
+    // The same invariants `fit` enforces: a hand-crafted file with, say, a
+    // zero PCG iteration budget or a NaN tolerance must fail here as
+    // Malformed, not much later as a confusing solver error.
+    config.validate().map_err(CodecError::Malformed)?;
     Ok((config, kernel))
 }
 
@@ -455,11 +470,15 @@ fn enc_report(r: &TrainingReport) -> Vec<u8> {
     e.usize(r.num_train);
     e.usize(r.dim);
     e.f64(r.clustering_seconds);
+    e.f64(r.assembly_seconds);
     e.f64(r.h_construction_seconds);
     e.f64(r.hss_sampling_seconds);
     e.f64(r.hss_other_seconds);
     e.f64(r.factorization_seconds);
     e.f64(r.solve_seconds);
+    e.f64(r.pcg_seconds);
+    e.usize(r.pcg_iterations);
+    e.f64_slice(&r.pcg_residual_history);
     e.usize(r.matrix_memory_bytes);
     e.usize(r.sampler_memory_bytes);
     e.usize(r.max_rank);
@@ -473,11 +492,15 @@ fn dec_report(bytes: &[u8]) -> Result<TrainingReport> {
     let dim = d.usize()?;
     let mut r = TrainingReport::new(solver, num_train, dim);
     r.clustering_seconds = d.f64()?;
+    r.assembly_seconds = d.f64()?;
     r.h_construction_seconds = d.f64()?;
     r.hss_sampling_seconds = d.f64()?;
     r.hss_other_seconds = d.f64()?;
     r.factorization_seconds = d.f64()?;
     r.solve_seconds = d.f64()?;
+    r.pcg_seconds = d.f64()?;
+    r.pcg_iterations = d.usize()?;
+    r.pcg_residual_history = d.f64_vec()?;
     r.matrix_memory_bytes = d.usize()?;
     r.sampler_memory_bytes = d.usize()?;
     r.max_rank = d.usize()?;
@@ -877,6 +900,33 @@ mod tests {
     }
 
     #[test]
+    fn hss_pcg_model_roundtrips_with_pcg_metrics() {
+        let (model, ds) = trained(SolverKind::HssPcg, 180);
+        let loaded = decode_model(&encode_model(&model)).unwrap();
+        assert_eq!(
+            loaded.decision_values(&ds.test),
+            model.decision_values(&ds.test)
+        );
+        assert_eq!(loaded.report().solver, SolverKind::HssPcg);
+        assert!(loaded.report().pcg_iterations > 0);
+        assert_eq!(
+            loaded.report().pcg_iterations,
+            model.report().pcg_iterations
+        );
+        assert_eq!(
+            loaded.report().pcg_residual_history,
+            model.report().pcg_residual_history
+        );
+        // A new-label solve re-runs PCG against the retained loose ULV
+        // preconditioner: same arithmetic, bitwise-identical weights.
+        assert!(loaded.factors().is_some());
+        assert_eq!(
+            loaded.solve_new_labels(&ds.train_labels).unwrap(),
+            model.weights()
+        );
+    }
+
+    #[test]
     fn dense_model_roundtrips_without_factors() {
         let (model, ds) = trained(SolverKind::DenseCholesky, 150);
         let loaded = decode_model(&encode_model(&model)).unwrap();
@@ -948,6 +998,31 @@ mod tests {
             decode_model(&bytes),
             Err(CodecError::ChecksumMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn invalid_config_with_valid_crc_is_rejected_as_malformed() {
+        let (model, _) = trained(SolverKind::HssPcg, 96);
+        let mut bytes = encode_model(&model);
+        // Locate CONF in the section table.
+        let mut pos = HEADER_LEN;
+        while &bytes[pos..pos + 4] != b"CONF" {
+            pos += TABLE_ENTRY_LEN;
+        }
+        let start = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(bytes[pos + 12..pos + 20].try_into().unwrap()) as usize;
+        // CONF ends with the kernel (Gaussian: 1-byte tag + f64 = 9 bytes);
+        // pcg_loosening is the f64 right before it. 0.5 < 1 is a value
+        // `KrrConfig::validate` forbids and `fit` can never have written.
+        let loosening = start + len - 9 - 8;
+        bytes[loosening..loosening + 8].copy_from_slice(&0.5f64.to_le_bytes());
+        // Recompute the CRC so only the semantic validation can catch it.
+        let crc = crc32(&bytes[start..start + len]);
+        bytes[pos + 20..pos + 24].copy_from_slice(&crc.to_le_bytes());
+        match decode_model(&bytes) {
+            Err(CodecError::Malformed(m)) => assert!(m.contains("pcg_loosening"), "{m}"),
+            other => panic!("invalid config must be Malformed, got {other:?}"),
+        }
     }
 
     #[test]

@@ -71,23 +71,63 @@ pub struct Prediction {
     pub batch_size: usize,
 }
 
+/// Why the engine refused or abandoned a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// [`PredictionEngine::shutdown`] ran: the request was either refused
+    /// at [`PredictionEngine::submit`] or drained unanswered from the
+    /// queue. Every waiter observes this error — no request is left
+    /// hanging on a queue no worker will ever drain again.
+    Shutdown,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Shutdown => write!(f, "engine is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// A submitted request whose answer can be awaited later (so callers can
 /// pipeline submissions).
 pub struct PendingPrediction {
-    rx: mpsc::Receiver<Prediction>,
+    rx: mpsc::Receiver<Result<Prediction, EngineError>>,
 }
 
 impl PendingPrediction {
-    /// Blocks until the engine answers.
+    /// Blocks until the engine answers (or resolves the request with a
+    /// typed error at shutdown).
     pub fn wait(self) -> Result<Prediction, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::ShuttingDown)
+        match self.rx.recv() {
+            Ok(Ok(p)) => Ok(p),
+            Ok(Err(e)) => Err(ServeError::Engine(e)),
+            // A dropped sender without a reply means the engine went away
+            // (worker death mid-batch): surface it as shutdown, never hang.
+            Err(_) => Err(ServeError::Engine(EngineError::Shutdown)),
+        }
+    }
+
+    /// [`PendingPrediction::wait`] with an upper bound: returns `None` if
+    /// no resolution arrives within `timeout`.
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Result<Prediction, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(Ok(p)) => Some(Ok(p)),
+            Ok(Err(e)) => Some(Err(ServeError::Engine(e))),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Some(Err(ServeError::Engine(EngineError::Shutdown)))
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+        }
     }
 }
 
 struct Request {
     point: Vec<f64>,
     enqueued: Instant,
-    reply: mpsc::Sender<Prediction>,
+    reply: mpsc::Sender<Result<Prediction, EngineError>>,
 }
 
 /// Cumulative engine counters (lock-free reads; written by the workers).
@@ -227,10 +267,11 @@ impl PredictionEngine {
             let mut queue = self.shared.queue.lock().unwrap();
             // Checked under the lock: shutdown() sets the flag before its
             // final drain, so a push that wins this lock either happens
-            // before the drain (and is answered) or observes the flag here
-            // — no request can slip in after the workers are gone.
+            // before the drain (and is answered or error-resolved) or
+            // observes the flag here — no request can slip in after the
+            // workers are gone.
             if self.shared.shutdown.load(Ordering::Acquire) {
-                return Err(ServeError::ShuttingDown);
+                return Err(ServeError::Engine(EngineError::Shutdown));
             }
             if queue.len() >= self.shared.config.queue_capacity {
                 drop(queue);
@@ -256,7 +297,10 @@ impl PredictionEngine {
     }
 
     /// Signals shutdown, lets the workers drain the queue, and joins them.
-    /// Idempotent.
+    /// Requests still queued when the workers exit (zero-worker engines, or
+    /// a request that raced past the final batch) are resolved with a typed
+    /// [`EngineError::Shutdown`] — a waiter never hangs on a queue no
+    /// worker will drain again. Idempotent.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.arrived.notify_all();
@@ -264,10 +308,12 @@ impl PredictionEngine {
         for handle in workers.drain(..) {
             let _ = handle.join();
         }
-        // With a normal pool the workers drained everything; with zero
-        // workers (tests) drop the leftovers so waiters observe shutdown
-        // instead of blocking forever.
-        self.shared.queue.lock().unwrap().clear();
+        // Resolve any leftovers explicitly instead of silently dropping
+        // them: the waiter gets Err(Shutdown), not a bare disconnect.
+        let drained: Vec<Request> = self.shared.queue.lock().unwrap().drain(..).collect();
+        for req in drained {
+            let _ = req.reply.send(Err(EngineError::Shutdown));
+        }
     }
 }
 
@@ -359,12 +405,12 @@ fn worker_loop(shared: &Shared) {
                 .fetch_add(micros, Ordering::Relaxed);
             fetch_max(&stats.latency_micros_max, micros);
             // A dropped receiver (client gone) is fine; ignore send errors.
-            let _ = req.reply.send(Prediction {
+            let _ = req.reply.send(Ok(Prediction {
                 score,
                 label: if score >= 0.0 { 1.0 } else { -1.0 },
                 latency,
                 batch_size: rows,
-            });
+            }));
         }
     }
 }
@@ -449,9 +495,13 @@ mod tests {
         ));
         assert_eq!(engine.stats().queue_rejections, 1);
         engine.shutdown();
-        // Queued-but-never-answered requests surface as ShuttingDown.
+        // Queued-but-never-answered requests are resolved with the typed
+        // shutdown error (explicitly sent, not a bare disconnect).
         for p in pending {
-            assert!(matches!(p.wait(), Err(ServeError::ShuttingDown)));
+            assert!(matches!(
+                p.wait(),
+                Err(ServeError::Engine(EngineError::Shutdown))
+            ));
         }
     }
 
@@ -517,10 +567,155 @@ mod tests {
         for (i, p) in pending.into_iter().enumerate() {
             assert!(p.wait().is_ok(), "queued request {i} was dropped");
         }
-        // New submissions are refused.
+        // New submissions are refused with the typed engine error.
         assert!(matches!(
             engine.submit(vec![0.0; 16]),
-            Err(ServeError::ShuttingDown)
+            Err(ServeError::Engine(EngineError::Shutdown))
         ));
+    }
+
+    /// Races `submit` against `shutdown`: whatever interleaving the
+    /// scheduler picks, every submission either is refused with the typed
+    /// shutdown error or yields a pending prediction that *resolves* —
+    /// answered or error-resolved, never hung.
+    #[test]
+    fn submit_racing_shutdown_never_hangs_a_waiter() {
+        let (m, ds) = model(120);
+        for round in 0..4 {
+            let engine = PredictionEngine::start(
+                Arc::clone(&m),
+                EngineConfig {
+                    workers: 1,
+                    linger: Duration::from_micros(200),
+                    queue_capacity: 4096,
+                    ..EngineConfig::default()
+                },
+            );
+            std::thread::scope(|scope| {
+                for t in 0..4 {
+                    let engine = &engine;
+                    let ds = &ds;
+                    scope.spawn(move || {
+                        let mut pending = Vec::new();
+                        for i in 0..64 {
+                            let row = ds.test.row((t * 64 + i) % ds.test.nrows()).to_vec();
+                            match engine.submit(row) {
+                                Ok(p) => pending.push(p),
+                                Err(ServeError::Engine(EngineError::Shutdown)) => break,
+                                Err(ServeError::QueueFull) => continue,
+                                Err(e) => panic!("unexpected submit error: {e}"),
+                            }
+                        }
+                        for p in pending {
+                            match p.wait_timeout(Duration::from_secs(10)) {
+                                Some(Ok(_))
+                                | Some(Err(ServeError::Engine(EngineError::Shutdown))) => {}
+                                Some(Err(e)) => panic!("unexpected resolution: {e}"),
+                                None => panic!("waiter hung for 10s after shutdown"),
+                            }
+                        }
+                    });
+                }
+                // Let the round's interleaving vary, then pull the rug.
+                std::thread::sleep(Duration::from_micros(150 * round));
+                engine.shutdown();
+            });
+        }
+    }
+
+    /// Builds a bare `Shared` (no workers) so `pop_batch` edge cases can
+    /// be driven directly.
+    fn shared_for(model: Arc<KrrModel>, linger: Duration, max_batch: usize) -> Arc<Shared> {
+        Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            arrived: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: EngineStats::default(),
+            config: EngineConfig {
+                workers: 0,
+                max_batch,
+                queue_capacity: 64,
+                linger,
+            },
+            model,
+        })
+    }
+
+    fn push_request(shared: &Shared, point: Vec<f64>) -> PendingPrediction {
+        let (tx, rx) = mpsc::channel();
+        shared.queue.lock().unwrap().push_back(Request {
+            point,
+            enqueued: Instant::now(),
+            reply: tx,
+        });
+        shared.arrived.notify_one();
+        PendingPrediction { rx }
+    }
+
+    #[test]
+    fn pop_batch_zero_linger_flushes_immediately_without_underflow() {
+        let (m, ds) = model(100);
+        // linger == 0 puts the deadline exactly at `now`: the linger loop
+        // must take the `now >= deadline` exit, never evaluate the
+        // `deadline - now` wait with a negative span.
+        let shared = shared_for(m, Duration::ZERO, 8);
+        let _p1 = push_request(&shared, ds.test.row(0).to_vec());
+        let _p2 = push_request(&shared, ds.test.row(1).to_vec());
+        let mut batch = Vec::new();
+        pop_batch(&shared, &mut batch);
+        assert_eq!(batch.len(), 2, "zero linger still takes the whole backlog");
+    }
+
+    #[test]
+    fn pop_batch_request_landing_at_the_deadline_is_safe() {
+        let (m, ds) = model(100);
+        // A linger short enough that the straggler's arrival brackets the
+        // deadline: depending on scheduling it lands just before (coalesced)
+        // or just after (left for the next batch) — both must be clean, and
+        // the `deadline - now` computation must never underflow.
+        let shared = shared_for(m, Duration::from_millis(2), 8);
+        let _p1 = push_request(&shared, ds.test.row(0).to_vec());
+        let straggler = {
+            let shared = Arc::clone(&shared);
+            let row = ds.test.row(1).to_vec();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                let _p = push_request(&shared, row);
+            })
+        };
+        let mut batch = Vec::new();
+        pop_batch(&shared, &mut batch);
+        straggler.join().unwrap();
+        assert!(
+            (1..=2).contains(&batch.len()),
+            "deadline-edge batch of {}",
+            batch.len()
+        );
+    }
+
+    #[test]
+    fn pop_batch_shutdown_mid_linger_flushes_the_nonempty_batch() {
+        let (m, ds) = model(100);
+        // Linger far longer than the test budget: only the shutdown signal
+        // can end the wait, and it must flush the batch, not discard it.
+        let shared = shared_for(m, Duration::from_secs(30), 8);
+        let _p1 = push_request(&shared, ds.test.row(0).to_vec());
+        let signaller = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                shared.shutdown.store(true, Ordering::Release);
+                shared.arrived.notify_all();
+            })
+        };
+        let start = Instant::now();
+        let mut batch = Vec::new();
+        pop_batch(&shared, &mut batch);
+        signaller.join().unwrap();
+        assert_eq!(batch.len(), 1, "shutdown must flush, not drop, the batch");
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "shutdown should cut the 30s linger short"
+        );
     }
 }

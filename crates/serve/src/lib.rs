@@ -29,7 +29,7 @@ pub mod protocol;
 pub mod server;
 
 pub use codec::{load_model, save_model, CodecError};
-pub use engine::{EngineConfig, EngineStats, PredictionEngine};
+pub use engine::{EngineConfig, EngineError, EngineStats, PredictionEngine};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use server::{Server, ServerConfig};
 
@@ -40,8 +40,9 @@ pub enum ServeError {
     Codec(CodecError),
     /// A prediction request was rejected before reaching a worker.
     Rejected(String),
-    /// The engine is shutting down (or a worker died before replying).
-    ShuttingDown,
+    /// The engine refused or abandoned the request (shutdown, worker
+    /// death); the inner [`EngineError`] says which.
+    Engine(engine::EngineError),
     /// The bounded request queue is full (backpressure).
     QueueFull,
     /// A network/socket error.
@@ -55,7 +56,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Codec(e) => write!(f, "codec error: {e}"),
             ServeError::Rejected(s) => write!(f, "request rejected: {s}"),
-            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
             ServeError::QueueFull => write!(f, "request queue is full"),
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
             ServeError::Protocol(s) => write!(f, "protocol error: {s}"),
@@ -74,5 +75,11 @@ impl From<CodecError> for ServeError {
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
         ServeError::Io(e)
+    }
+}
+
+impl From<engine::EngineError> for ServeError {
+    fn from(e: engine::EngineError) -> Self {
+        ServeError::Engine(e)
     }
 }

@@ -20,7 +20,8 @@ fn fit(
         SolverKind::Hss,
         SolverKind::HssWithHSampling,
         SolverKind::DenseCholesky,
-    ][solver_idx % 3];
+        SolverKind::HssPcg,
+    ][solver_idx % 4];
     let ds = hkrr_datasets::generate(spec, n, 24, seed);
     let cfg = KrrConfig {
         h: spec.default_h,
@@ -40,7 +41,7 @@ proptest! {
     #[test]
     fn roundtrip_is_bitwise_on_random_queries(
         spec_idx in 0..3usize,
-        solver_idx in 0..3usize,
+        solver_idx in 0..4usize,
         n in 96..200usize,
         seed in 0..1_000u64,
         query_seed in 0..1_000u64,
@@ -144,6 +145,72 @@ fn corruption_matrix_of_typed_errors() {
         decode_model(&bad_payload),
         Err(CodecError::ChecksumMismatch { .. })
     ));
+}
+
+/// Hand-crafts a model file whose `NORM` section carries a negative scale
+/// in column `scale_idx`, with the section CRC *recomputed* so the
+/// checksum layer is bypassed, and returns the decode outcome.
+fn decode_with_negated_scale(
+    model: &hkrr_core::KrrModel,
+    scale_idx: usize,
+) -> Result<hkrr_core::KrrModel, CodecError> {
+    let mut bytes = encode_model(model);
+
+    // Walk the section table (header: 8-byte magic, u32 version, u32
+    // count; entries: tag[4], offset u64, len u64, crc u32) to find NORM.
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let (mut norm_start, mut norm_len, mut crc_pos) = (0usize, 0usize, 0usize);
+    for i in 0..count {
+        let entry = 16 + 24 * i;
+        if &bytes[entry..entry + 4] == b"NORM" {
+            norm_start =
+                u64::from_le_bytes(bytes[entry + 4..entry + 12].try_into().unwrap()) as usize;
+            norm_len =
+                u64::from_le_bytes(bytes[entry + 12..entry + 20].try_into().unwrap()) as usize;
+            crc_pos = entry + 20;
+        }
+    }
+    assert!(norm_len > 0, "NORM section not found");
+
+    // NORM payload: scheme u8 | offset slice (u64 len + f64s) | scale
+    // slice (u64 len + f64s). Negate the chosen scale.
+    let dim = model.dim();
+    let scale_pos = norm_start + 1 + 8 + 8 * dim + 8 + 8 * (scale_idx % dim);
+    let mut v = f64::from_le_bytes(bytes[scale_pos..scale_pos + 8].try_into().unwrap());
+    assert!(v > 0.0, "fit produced a non-positive scale?");
+    v = -v;
+    bytes[scale_pos..scale_pos + 8].copy_from_slice(&v.to_le_bytes());
+
+    // Recompute the section CRC so the corruption sails past the checksum
+    // layer and lands on the semantic validation.
+    let crc = hkrr_serve::codec::crc32(&bytes[norm_start..norm_start + norm_len]);
+    bytes[crc_pos..crc_pos + 4].copy_from_slice(&crc.to_le_bytes());
+
+    decode_model(&bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A hand-crafted model file with a negative scale in *any* column of
+    /// the `NORM` section — CRC layer bypassed — must be refused as
+    /// `Malformed`: `NormalizationStats::fit` can never produce a negative
+    /// scale, and accepting one would silently flip that feature's sign.
+    #[test]
+    fn negative_scale_with_valid_crc_is_rejected_as_malformed(
+        n in 96..160usize,
+        seed in 0..1_000u64,
+        scale_idx in 0..64usize,
+    ) {
+        let (model, _) = fit(0, 0, n, seed);
+        match decode_with_negated_scale(&model, scale_idx) {
+            Err(CodecError::Malformed(msg)) => {
+                prop_assert!(msg.contains("positive"), "unexpected message: {msg}")
+            }
+            Err(other) => prop_assert!(false, "expected Malformed, got {other:?}"),
+            Ok(_) => prop_assert!(false, "negative scale must not decode"),
+        }
+    }
 }
 
 #[test]

@@ -1,6 +1,9 @@
 //! # hkrr-tuner
 //!
-//! Hyperparameter tuning of `(h, λ)` for kernel ridge regression.
+//! Hyperparameter tuning of `(h, λ)` for kernel ridge regression — and,
+//! via [`solver_search`], of the solver back end itself (dense vs direct
+//! HSS vs HSS-preconditioned CG), making the solver one more searchable
+//! dimension.
 //!
 //! The paper compares an exhaustive grid search (128² runs, Figure 6a)
 //! against the black-box optimization of OpenTuner (100 runs, Figure 6b)
@@ -19,7 +22,7 @@ pub mod search;
 
 pub use grid::{grid_search, GridSpec};
 pub use objective::{Objective, ValidationObjective};
-pub use search::{black_box_search, SearchOptions};
+pub use search::{black_box_search, solver_search, SearchOptions, SolverSearchResult};
 
 /// One evaluated hyperparameter point.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,6 +1,6 @@
 //! The tuning objective: validation accuracy of a KRR classifier.
 
-use hkrr_core::{accuracy, KrrConfig, KrrModel};
+use hkrr_core::{accuracy, KrrConfig, KrrModel, SolverKind};
 use hkrr_linalg::Matrix;
 
 /// Anything that maps `(h, λ)` to a score to be maximized.
@@ -12,6 +12,14 @@ use hkrr_linalg::Matrix;
 pub trait Objective: Sync {
     /// Evaluates the objective; larger is better.
     fn evaluate(&self, h: f64, lambda: f64) -> f64;
+
+    /// Evaluates the objective with a specific solver back end — the hook
+    /// that makes the solver a searchable dimension
+    /// ([`crate::solver_search`]). Objectives that do not involve a solver
+    /// simply inherit this default, which ignores it.
+    fn evaluate_solver(&self, _solver: SolverKind, h: f64, lambda: f64) -> f64 {
+        self.evaluate(h, lambda)
+    }
 }
 
 /// Validation-set accuracy of a classifier trained with the given
@@ -53,7 +61,15 @@ impl<'a> ValidationObjective<'a> {
 
 impl Objective for ValidationObjective<'_> {
     fn evaluate(&self, h: f64, lambda: f64) -> f64 {
-        let config = self.base_config.with_h(h).with_lambda(lambda);
+        self.evaluate_solver(self.base_config.solver, h, lambda)
+    }
+
+    fn evaluate_solver(&self, solver: SolverKind, h: f64, lambda: f64) -> f64 {
+        let config = self
+            .base_config
+            .with_h(h)
+            .with_lambda(lambda)
+            .with_solver(solver);
         match KrrModel::fit(self.train, self.train_labels, &config) {
             Ok(model) => accuracy(&model.predict(self.validation), self.validation_labels),
             // Failed fits (e.g. numerically singular systems) score zero so
@@ -85,6 +101,31 @@ mod tests {
         let bad = obj.evaluate(1e-4, 100.0);
         assert!(good > bad, "good {good} should beat bad {bad}");
         assert!(good > 0.85);
+    }
+
+    #[test]
+    fn evaluate_solver_switches_the_back_end() {
+        let ds = generate(&LETTER, 150, 40, 3);
+        let obj = ValidationObjective::new(
+            &ds.train,
+            &ds.train_labels,
+            &ds.test,
+            &ds.test_labels,
+            KrrConfig {
+                solver: SolverKind::DenseCholesky,
+                ..KrrConfig::default()
+            },
+        );
+        let dense = obj.evaluate_solver(
+            SolverKind::DenseCholesky,
+            LETTER.default_h,
+            LETTER.default_lambda,
+        );
+        let pcg = obj.evaluate_solver(SolverKind::HssPcg, LETTER.default_h, LETTER.default_lambda);
+        // PCG solves the exact system: validation accuracy matches the
+        // dense back end on the same split.
+        assert!((dense - pcg).abs() <= 0.05, "dense {dense} vs pcg {pcg}");
+        assert!(pcg > 0.8);
     }
 
     #[test]

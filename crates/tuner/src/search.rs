@@ -13,6 +13,7 @@
 
 use crate::objective::Objective;
 use crate::{Evaluation, TuningResult};
+use hkrr_core::SolverKind;
 use hkrr_linalg::Pcg64;
 use rayon::prelude::*;
 
@@ -106,6 +107,84 @@ pub fn black_box_search(objective: &dyn Objective, opts: &SearchOptions) -> Tuni
     TuningResult::from_history(history)
 }
 
+/// The outcome of a solver-dimension search: the winning back end, its best
+/// `(h, λ)`, and the full per-solver tuning results.
+#[derive(Debug, Clone)]
+pub struct SolverSearchResult {
+    /// The solver whose best evaluation won.
+    pub best_solver: SolverKind,
+    /// The winning evaluation.
+    pub best: Evaluation,
+    /// One complete [`TuningResult`] per searched solver, in input order.
+    pub per_solver: Vec<(SolverKind, TuningResult)>,
+}
+
+/// Adapter that pins one solver of the searched dimension, so the inner
+/// `(h, λ)` search machinery needs no solver awareness.
+struct SolverPinned<'a> {
+    inner: &'a dyn Objective,
+    solver: SolverKind,
+}
+
+impl Objective for SolverPinned<'_> {
+    fn evaluate(&self, h: f64, lambda: f64) -> f64 {
+        self.inner.evaluate_solver(self.solver, h, lambda)
+    }
+}
+
+/// Black-box search over `(solver, h, λ)`: the total budget is split
+/// across the candidate solvers (a non-divisible remainder goes to the
+/// first solvers, one extra evaluation each, so the full budget is spent),
+/// each slice runs [`black_box_search`] with the *same* seed (so every
+/// solver sees the same candidate points and the comparison is
+/// apples-to-apples), and the best evaluation overall wins.
+///
+/// # Panics
+/// Panics when `solvers` is empty or the per-solver budget would be zero.
+pub fn solver_search(
+    objective: &dyn Objective,
+    solvers: &[SolverKind],
+    opts: &SearchOptions,
+) -> SolverSearchResult {
+    assert!(
+        !solvers.is_empty(),
+        "solver_search needs at least one solver"
+    );
+    let per_budget = opts.budget / solvers.len();
+    let remainder = opts.budget % solvers.len();
+    assert!(
+        per_budget >= 1,
+        "budget {} cannot cover {} solvers",
+        opts.budget,
+        solvers.len()
+    );
+    let per_solver: Vec<(SolverKind, TuningResult)> = solvers
+        .iter()
+        .enumerate()
+        .map(|(i, &solver)| {
+            let pinned = SolverPinned {
+                inner: objective,
+                solver,
+            };
+            let opts = SearchOptions {
+                budget: per_budget + usize::from(i < remainder),
+                ..*opts
+            };
+            (solver, black_box_search(&pinned, &opts))
+        })
+        .collect();
+    let (best_solver, best) = per_solver
+        .iter()
+        .map(|(s, r)| (*s, r.best))
+        .max_by(|a, b| a.1.accuracy.partial_cmp(&b.1.accuracy).unwrap())
+        .expect("at least one solver was searched");
+    SolverSearchResult {
+        best_solver,
+        best,
+        per_solver,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +255,88 @@ mod tests {
         let b = black_box_search(&Peak, &SearchOptions::default());
         assert_eq!(a.best, b.best);
         assert_eq!(a.history, b.history);
+    }
+
+    /// An objective whose quality depends on the solver: the HSS-PCG back
+    /// end gets an artificial edge, so the solver dimension is decisive.
+    struct SolverAware;
+
+    impl Objective for SolverAware {
+        fn evaluate(&self, h: f64, lambda: f64) -> f64 {
+            Peak.evaluate(h, lambda)
+        }
+
+        fn evaluate_solver(&self, solver: SolverKind, h: f64, lambda: f64) -> f64 {
+            let bonus = match solver {
+                SolverKind::HssPcg => 0.1,
+                SolverKind::Hss => 0.05,
+                _ => 0.0,
+            };
+            Peak.evaluate(h, lambda) * 0.8 + bonus
+        }
+    }
+
+    #[test]
+    fn solver_search_explores_the_solver_dimension() {
+        let solvers = [
+            SolverKind::DenseCholesky,
+            SolverKind::Hss,
+            SolverKind::HssPcg,
+        ];
+        let r = solver_search(
+            &SolverAware,
+            &solvers,
+            &SearchOptions {
+                budget: 60,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.best_solver, SolverKind::HssPcg);
+        assert_eq!(r.per_solver.len(), 3);
+        // The budget was split evenly and fully spent.
+        for (_, result) in &r.per_solver {
+            assert_eq!(result.num_evaluations(), 20);
+        }
+        // Same seed per slice: every solver saw identical candidates, so
+        // the winner's history dominates pointwise by its bonus.
+        let hss = &r.per_solver[1].1.history;
+        let pcg = &r.per_solver[2].1.history;
+        for (a, b) in hss.iter().zip(pcg.iter()) {
+            assert_eq!(a.h, b.h);
+            assert_eq!(a.lambda, b.lambda);
+            assert!(b.accuracy > a.accuracy);
+        }
+        assert!((r.best.accuracy - r.per_solver[2].1.best.accuracy).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn solver_search_rejects_an_empty_solver_list() {
+        let _ = solver_search(&SolverAware, &[], &SearchOptions::default());
+    }
+
+    #[test]
+    fn solver_search_spends_a_non_divisible_budget_fully() {
+        let solvers = [
+            SolverKind::DenseCholesky,
+            SolverKind::Hss,
+            SolverKind::HssPcg,
+        ];
+        let r = solver_search(
+            &SolverAware,
+            &solvers,
+            &SearchOptions {
+                budget: 7,
+                ..Default::default()
+            },
+        );
+        let counts: Vec<usize> = r
+            .per_solver
+            .iter()
+            .map(|(_, res)| res.num_evaluations())
+            .collect();
+        assert_eq!(counts, vec![3, 2, 2], "remainder goes to the first solvers");
+        assert_eq!(counts.iter().sum::<usize>(), 7, "full budget spent");
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! Formats for Kernel Ridge Regression"* (Rebrova et al., 2018):
 //!
 //! * [`linalg`] — dense linear-algebra substrate (matrices, QR/SVD/LU/
-//!   Cholesky, the partially matrix-free [`linalg::LinearOperator`] trait),
+//!   Cholesky, the partially matrix-free [`linalg::LinearOperator`] trait,
+//!   and matrix-free PCG with the [`linalg::Preconditioner`] trait),
 //! * [`kernel`] — Gaussian (and other) kernels, the implicit kernel-matrix
 //!   operator, feature normalization,
 //! * [`datasets`] — seeded synthetic stand-ins for the paper's UCI / MNIST
@@ -40,6 +41,6 @@ pub mod prelude {
     pub use hkrr_kernel::{KernelFunction, KernelMatrix, Normalizer};
     pub use hkrr_linalg::{LinearOperator, Matrix};
     pub use hkrr_tuner::{
-        black_box_search, grid_search, GridSpec, SearchOptions, ValidationObjective,
+        black_box_search, grid_search, solver_search, GridSpec, SearchOptions, ValidationObjective,
     };
 }

@@ -54,7 +54,7 @@ fn hss_and_dense_solvers_agree_on_accuracy_and_weights() {
 }
 
 #[test]
-fn all_three_solvers_produce_models_on_every_dataset_family() {
+fn all_solvers_produce_models_on_every_dataset_family() {
     for name in ["SUSY", "LETTER", "COVTYPE"] {
         let spec = spec_by_name(name).unwrap();
         let ds = generate(&spec, 300, 60, 11);
@@ -62,6 +62,7 @@ fn all_three_solvers_produce_models_on_every_dataset_family() {
             SolverKind::DenseCholesky,
             SolverKind::Hss,
             SolverKind::HssWithHSampling,
+            SolverKind::HssPcg,
         ] {
             let cfg = KrrConfig {
                 h: spec.default_h,
@@ -76,6 +77,85 @@ fn all_three_solvers_produce_models_on_every_dataset_family() {
             assert!(preds.iter().all(|&p| p == 1.0 || p == -1.0));
         }
     }
+}
+
+#[test]
+fn hss_pcg_matches_direct_solvers_on_the_medium_bench_dataset() {
+    // The perf harness's medium workload family (SUSY), at test scale:
+    // the PCG path factors a 10× looser compression yet — because the
+    // Krylov iteration runs on the exact operator — reproduces the exact
+    // (dense) solve to solver precision and the direct HSS solve's test
+    // accuracy.
+    let spec = spec_by_name("SUSY").unwrap();
+    let ds = generate(&spec, 1200, 200, 43);
+    let base = KrrConfig {
+        h: spec.default_h,
+        lambda: spec.default_lambda,
+        clustering: ClusteringMethod::TwoMeans { seed: 7 },
+        ..KrrConfig::default()
+    };
+
+    let dense = KrrModel::fit(
+        &ds.train,
+        &ds.train_labels,
+        &base.with_solver(SolverKind::DenseCholesky),
+    )
+    .unwrap();
+    let hss = KrrModel::fit(
+        &ds.train,
+        &ds.train_labels,
+        &base.with_solver(SolverKind::Hss),
+    )
+    .unwrap();
+    let pcg = KrrModel::fit(
+        &ds.train,
+        &ds.train_labels,
+        &base.with_solver(SolverKind::HssPcg),
+    )
+    .unwrap();
+
+    // Factored at ≥ 10× looser HSS tolerance…
+    assert!(pcg.config().pcg_loosening >= 10.0);
+    assert!(
+        pcg.report().matrix_memory_bytes <= hss.report().matrix_memory_bytes,
+        "loose preconditioner {} vs direct compression {}",
+        pcg.report().matrix_memory_bytes,
+        hss.report().matrix_memory_bytes
+    );
+
+    // …yet the predictions solve the exact system: RMSE vs the exact
+    // dense solve is at solver precision.
+    let dv_dense = dense.decision_values(&ds.test);
+    let dv_pcg = pcg.decision_values(&ds.test);
+    let rmse = dv_dense
+        .iter()
+        .zip(dv_pcg.iter())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+        / (dv_dense.len() as f64).sqrt();
+    assert!(rmse < 1e-6, "hss-pcg vs exact dense solve RMSE {rmse}");
+
+    // At least the direct HSS path's test accuracy — on this workload the
+    // compressed direct solve actually loses accuracy to its tolerance,
+    // while PCG tracks the exact solve.
+    let acc_dense = accuracy(&dense.predict(&ds.test), &ds.test_labels);
+    let acc_hss = accuracy(&hss.predict(&ds.test), &ds.test_labels);
+    let acc_pcg = accuracy(&pcg.predict(&ds.test), &ds.test_labels);
+    assert!(
+        acc_pcg >= acc_hss - 0.01,
+        "hss {acc_hss} vs hss-pcg {acc_pcg}"
+    );
+    assert!(
+        (acc_pcg - acc_dense).abs() <= 0.005,
+        "hss-pcg {acc_pcg} should track the exact solve {acc_dense}"
+    );
+
+    // The iteration metrics landed in the report.
+    let r = pcg.report();
+    assert!(r.pcg_iterations > 0);
+    assert!(r.pcg_seconds > 0.0);
+    assert!(!r.pcg_residual_history.is_empty());
 }
 
 #[test]
