@@ -1,5 +1,6 @@
 //! Pipeline perf snapshot: runs the fixed workload matrix (dense vs HSS vs
-//! H-matrix-accelerated HSS, at 1 / 2 / all threads) and writes the
+//! H-matrix-accelerated HSS vs HSS-preconditioned CG at 1 / 2 / all
+//! threads, plus cluster-sharded ensembles at k = 2 / 4) and writes the
 //! machine-readable trajectory to `BENCH_pipeline.json`.
 //!
 //! Environment:
@@ -37,8 +38,13 @@ fn main() {
         .map(|c| {
             vec![
                 c.workload.clone(),
-                c.solver.to_string(),
+                c.solver.clone(),
                 c.threads.to_string(),
+                if c.shards > 0 {
+                    c.shards.to_string()
+                } else {
+                    "—".to_string()
+                },
                 format!("{:.3}", c.construction_seconds),
                 format!("{:.3}", c.factorization_seconds),
                 format!("{:.3}", c.total_seconds),
@@ -54,6 +60,7 @@ fn main() {
             "workload",
             "solver",
             "threads",
+            "shards",
             "constr(s)",
             "factor(s)",
             "total(s)",

@@ -3,16 +3,20 @@
 //! [`run`] executes a fixed workload matrix — solver (dense Cholesky vs HSS
 //! vs HSS with H-matrix-accelerated sampling vs HSS-preconditioned CG)
 //! crossed with thread counts (1 / 2 / all) over a small and a medium
-//! problem — and records wall times per phase (construction,
-//! factorization, solve, PCG), achieved parallel speedups, compression
-//! ratios, PCG iteration counts, and test accuracy.
+//! problem, plus cluster-sharded ensembles at `k = 2` and `k = 4` — and
+//! records wall times per phase (construction, factorization, solve, PCG),
+//! achieved parallel speedups, compression ratios, PCG iteration counts,
+//! per-shard factorization times, router overhead, and test accuracy.
 //! [`PerfReport::to_json`] serializes the result as `BENCH_pipeline.json`
-//! (schema `hkrr-perf/2`) so CI can archive one snapshot per commit and
+//! (schema `hkrr-perf/3`) so CI can archive one snapshot per commit and
 //! future PRs are judged against recorded numbers instead of anecdotes.
 //!
 //! The dense baseline runs once per workload (at the full thread count):
 //! its wall time anchors the dense-vs-hierarchical comparison, while the
 //! speedup rows compare each HSS solver against its own single-thread run.
+//! The `ensemble-k{2,4}` rows run at the full thread count; their
+//! `accuracy_vs_hss` field records the accuracy delta against the
+//! monolithic `hss` row of the same workload.
 //!
 //! JSON is emitted by the workspace's shared hand-rolled writer (the build
 //! is offline, without serde) and checked by the shared syntax validator
@@ -22,10 +26,12 @@
 use crate::json::JsonWriter;
 use crate::{dataset, test_accuracy, train_timed, with_threads};
 use hkrr_clustering::ClusteringMethod;
-use hkrr_core::{KrrConfig, SolverKind};
+use hkrr_core::{accuracy, KrrConfig, SolverKind};
 use hkrr_datasets::registry::{LETTER, SUSY};
 use hkrr_datasets::DatasetSpec;
+use hkrr_ensemble::{EnsembleConfig, EnsembleKrr, ShardStrategy};
 use std::fmt::Write as _;
+use std::time::Instant;
 
 /// One problem instance of the workload matrix.
 #[derive(Debug, Clone)]
@@ -87,8 +93,9 @@ impl PerfOptions {
 pub struct PerfCase {
     /// Workload name (`"small"` / `"medium"`).
     pub workload: String,
-    /// Solver label (`"dense"`, `"hss"`, `"hss+h"`).
-    pub solver: &'static str,
+    /// Solver label (`"dense"`, `"hss"`, `"hss+h"`, `"hss-pcg"`,
+    /// `"ensemble-k2"`, `"ensemble-k4"`).
+    pub solver: String,
     /// Thread count the run was pinned to.
     pub threads: usize,
     /// Training-set size.
@@ -116,6 +123,18 @@ pub struct PerfCase {
     pub compression_ratio: f64,
     /// Maximum HSS rank (0 for dense).
     pub max_rank: usize,
+    /// Shard count (0 for the monolithic solvers).
+    pub shards: usize,
+    /// Per-shard factorization seconds (`ensemble-k*` rows only; empty
+    /// elsewhere). Their sum is the shard-sum-vs-monolithic headline.
+    pub shard_factorization_seconds: Vec<f64>,
+    /// Seconds spent routing every test query to its nearest shard
+    /// centroids (`ensemble-k*` rows only; 0 elsewhere) — the router's
+    /// serving-side overhead.
+    pub router_overhead_seconds: f64,
+    /// `accuracy − accuracy(monolithic hss at full threads)` for the same
+    /// workload (`ensemble-k*` rows only; 0 elsewhere).
+    pub accuracy_vs_hss: f64,
 }
 
 /// Parallel speedup of one (workload, solver) pair: all-threads vs 1.
@@ -124,7 +143,7 @@ pub struct PerfSpeedup {
     /// Workload name.
     pub workload: String,
     /// Solver label.
-    pub solver: &'static str,
+    pub solver: String,
     /// The "all" thread count the speedup compares against 1 thread.
     pub threads: usize,
     /// Construction speedup (t₁ / t_all).
@@ -181,7 +200,7 @@ fn measure(
     };
     PerfCase {
         workload: workload.name.to_string(),
-        solver: solver.label(),
+        solver: solver.label().to_string(),
         threads,
         n_train: workload.n_train,
         n_test: workload.n_test,
@@ -195,6 +214,76 @@ fn measure(
         matrix_memory_bytes: report.matrix_memory_bytes,
         compression_ratio,
         max_rank: report.max_rank,
+        shards: 0,
+        shard_factorization_seconds: Vec::new(),
+        router_overhead_seconds: 0.0,
+        accuracy_vs_hss: 0.0,
+    }
+}
+
+/// Measures one cluster-sharded ensemble cell at the given shard count.
+fn measure_ensemble(
+    workload: &PerfWorkload,
+    ds: &hkrr_datasets::Dataset,
+    k: usize,
+    threads: usize,
+    hss_accuracy: f64,
+) -> PerfCase {
+    let cfg = EnsembleConfig {
+        shards: k,
+        route_nearest: 2.min(k),
+        strategy: ShardStrategy::Cluster,
+        base: config_for(&workload.spec, SolverKind::Hss),
+    };
+    let ens = with_threads(threads, || {
+        EnsembleKrr::fit(&ds.train, &ds.train_labels, &cfg).expect("ensemble training failed")
+    });
+    let report = ens.report();
+
+    // Router overhead: the serving-side cost of picking shards, measured
+    // as a pure routing pass over the full test set.
+    let t = Instant::now();
+    let mut picks = Vec::new();
+    for i in 0..ds.test.nrows() {
+        ens.router().route_into(ds.test.row(i), &mut picks);
+    }
+    let router_overhead_seconds = t.elapsed().as_secs_f64();
+
+    let ens_accuracy = accuracy(&ens.predict(&ds.test), &ds.test_labels);
+    let memory = report.total_matrix_memory_bytes();
+    let dense_bytes = workload.n_train * workload.n_train * std::mem::size_of::<f64>();
+    PerfCase {
+        workload: workload.name.to_string(),
+        solver: format!("ensemble-k{k}"),
+        threads,
+        n_train: workload.n_train,
+        n_test: workload.n_test,
+        construction_seconds: report
+            .shard_reports
+            .iter()
+            .map(|r| r.hss_construction_seconds())
+            .sum(),
+        factorization_seconds: report.sum_factorization_seconds(),
+        solve_seconds: report.shard_reports.iter().map(|r| r.solve_seconds).sum(),
+        pcg_seconds: 0.0,
+        pcg_iterations: 0,
+        total_seconds: report.fit_wall_seconds,
+        accuracy: ens_accuracy,
+        matrix_memory_bytes: memory,
+        compression_ratio: if memory > 0 {
+            dense_bytes as f64 / memory as f64
+        } else {
+            1.0
+        },
+        max_rank: report.max_rank(),
+        shards: k,
+        shard_factorization_seconds: report
+            .shard_reports
+            .iter()
+            .map(|r| r.factorization_seconds)
+            .collect(),
+        router_overhead_seconds,
+        accuracy_vs_hss: ens_accuracy - hss_accuracy,
     }
 }
 
@@ -230,6 +319,7 @@ pub fn run(opts: &PerfOptions) -> PerfReport {
             max_threads,
         ));
 
+        let mut hss_accuracy = 0.0;
         for solver in [
             SolverKind::Hss,
             SolverKind::HssWithHSampling,
@@ -242,10 +332,14 @@ pub fn run(opts: &PerfOptions) -> PerfReport {
                 .collect();
             let base = runs.first().expect("at least one thread count").clone();
             let top = runs.last().expect("at least one thread count").clone();
+            if solver == SolverKind::Hss {
+                // Anchor for the ensemble rows' accuracy_vs_hss delta.
+                hss_accuracy = top.accuracy;
+            }
             if top.threads > base.threads {
                 speedups.push(PerfSpeedup {
                     workload: workload.name.to_string(),
-                    solver: solver.label(),
+                    solver: solver.label().to_string(),
                     threads: top.threads,
                     construction: ratio(base.construction_seconds, top.construction_seconds),
                     factorization: ratio(base.factorization_seconds, top.factorization_seconds),
@@ -258,6 +352,19 @@ pub fn run(opts: &PerfOptions) -> PerfReport {
                 });
             }
             cases.extend(runs);
+        }
+
+        // Cluster-sharded ensembles at k = 2 and 4, full thread count: the
+        // shard-sum-vs-monolithic comparison rides in the same snapshot as
+        // the solvers it is compared against.
+        for k in [2usize, 4] {
+            cases.push(measure_ensemble(
+                workload,
+                &ds,
+                k,
+                max_threads,
+                hss_accuracy,
+            ));
         }
     }
 
@@ -273,7 +380,7 @@ impl PerfCase {
     fn write_json(&self, w: &mut JsonWriter) {
         w.begin_object();
         w.field_str("workload", &self.workload);
-        w.field_str("solver", self.solver);
+        w.field_str("solver", &self.solver);
         w.field_usize("threads", self.threads);
         w.field_usize("n_train", self.n_train);
         w.field_usize("n_test", self.n_test);
@@ -287,6 +394,15 @@ impl PerfCase {
         w.field_usize("matrix_memory_bytes", self.matrix_memory_bytes);
         w.field_f64("compression_ratio", self.compression_ratio);
         w.field_usize("max_rank", self.max_rank);
+        w.field_usize("shards", self.shards);
+        w.key("shard_factorization_seconds");
+        w.begin_array();
+        for &s in &self.shard_factorization_seconds {
+            w.value_f64(s);
+        }
+        w.end_array();
+        w.field_f64("router_overhead_seconds", self.router_overhead_seconds);
+        w.field_f64("accuracy_vs_hss", self.accuracy_vs_hss);
         w.end_object();
     }
 }
@@ -295,7 +411,7 @@ impl PerfSpeedup {
     fn write_json(&self, w: &mut JsonWriter) {
         w.begin_object();
         w.field_str("workload", &self.workload);
-        w.field_str("solver", self.solver);
+        w.field_str("solver", &self.solver);
         w.field_usize("threads", self.threads);
         w.field_f64("construction", self.construction);
         w.field_f64("factorization", self.factorization);
@@ -307,11 +423,11 @@ impl PerfSpeedup {
 }
 
 impl PerfReport {
-    /// Serializes the report (schema `hkrr-perf/2`).
+    /// Serializes the report (schema `hkrr-perf/3`).
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.field_str("schema", "hkrr-perf/2");
+        w.field_str("schema", "hkrr-perf/3");
         w.field_f64("scale", self.scale);
         w.field_usize("host_threads", self.host_threads);
         w.key("cases");
@@ -365,26 +481,38 @@ impl PerfReport {
         }
         let _ = writeln!(
             out,
-            "\n| workload | solver | threads | total (s) | accuracy | compression× | max rank | pcg iters |"
+            "\n| workload | solver | threads | shards | total (s) | accuracy | Δacc vs hss | compression× | max rank | pcg iters | router (s) |"
         );
-        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|");
         for c in &self.cases {
             let pcg_iters = if c.solver == SolverKind::HssPcg.label() {
                 c.pcg_iterations.to_string()
             } else {
                 "—".to_string()
             };
+            let (shards, delta, router) = if c.shards > 0 {
+                (
+                    c.shards.to_string(),
+                    format!("{:+.4}", c.accuracy_vs_hss),
+                    format!("{:.4}", c.router_overhead_seconds),
+                )
+            } else {
+                ("—".to_string(), "—".to_string(), "—".to_string())
+            };
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {:.3} | {:.4} | {:.1} | {} | {} |",
+                "| {} | {} | {} | {} | {:.3} | {:.4} | {} | {:.1} | {} | {} | {} |",
                 c.workload,
                 c.solver,
                 c.threads,
+                shards,
                 c.total_seconds,
                 c.accuracy,
+                delta,
                 c.compression_ratio,
                 c.max_rank,
-                pcg_iters
+                pcg_iters,
+                router
             );
         }
         out
@@ -413,8 +541,8 @@ mod tests {
         let report = run(&opts);
         assert_eq!(
             report.cases.len(),
-            1 + 3 * 2,
-            "dense + 3 hierarchical solvers × 2 threads"
+            1 + 3 * 2 + 2,
+            "dense + 3 hierarchical solvers × 2 threads + 2 ensembles"
         );
         assert_eq!(report.speedups.len(), 3);
         for s in &report.speedups {
@@ -432,10 +560,34 @@ mod tests {
                 assert_eq!(c.pcg_seconds, 0.0, "{c:?}");
             }
         }
+        // The ensemble rows record per-shard factorization times, the
+        // router overhead, and the accuracy delta against the hss anchor.
+        let hss_top = report
+            .cases
+            .iter()
+            .find(|c| c.solver == "hss" && c.threads == 2)
+            .unwrap()
+            .clone();
+        for k in [2usize, 4] {
+            let row = report
+                .cases
+                .iter()
+                .find(|c| c.solver == format!("ensemble-k{k}"))
+                .unwrap_or_else(|| panic!("missing ensemble-k{k} row"));
+            assert_eq!(row.shards, k);
+            assert_eq!(row.shard_factorization_seconds.len(), k);
+            let sum: f64 = row.shard_factorization_seconds.iter().sum();
+            assert!((sum - row.factorization_seconds).abs() < 1e-12);
+            assert!(row.router_overhead_seconds >= 0.0);
+            assert!(
+                (row.accuracy_vs_hss - (row.accuracy - hss_top.accuracy)).abs() < 1e-12,
+                "{row:?}"
+            );
+        }
         let json = report.to_json();
         json::validate(&json).unwrap();
         for key in [
-            "\"schema\":\"hkrr-perf/2\"",
+            "\"schema\":\"hkrr-perf/3\"",
             "construction_seconds",
             "factorization_seconds",
             "pcg_seconds",
@@ -444,12 +596,19 @@ mod tests {
             "construct_plus_factor",
             "accuracy_delta",
             "\"hss-pcg\"",
+            "\"ensemble-k2\"",
+            "\"ensemble-k4\"",
+            "shard_factorization_seconds",
+            "router_overhead_seconds",
+            "accuracy_vs_hss",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         let md = report.to_markdown_summary();
         assert!(md.contains("| workload | solver |"));
         assert!(md.contains("pcg iters"));
+        assert!(md.contains("ensemble-k4"));
+        assert!(md.contains("Δacc vs hss"));
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! The model-handle abstraction: one prediction interface over a single
+//! [`crate::KrrModel`] or any composite of models (e.g. a cluster-sharded
+//! ensemble).
+//!
+//! The serving stack batches queries into `decision_values_into` calls and
+//! otherwise only needs the model's input dimension and size, so anything
+//! that implements [`DecisionModel`] can be loaded behind the prediction
+//! engine, the one-vs-all reduction, or the TCP front-end — trained
+//! in-process or restored from a model file. [`ModelHandle`] is the shared
+//! trait-object form those layers pass around.
+
+use crate::model::KrrModel;
+use hkrr_linalg::Matrix;
+use std::sync::Arc;
+
+/// A trained model that maps test points to raw decision values.
+///
+/// Implementations must be `Send + Sync`: the serving engine shares one
+/// model across its worker pool. The entry points mirror the buffer-reusing
+/// [`KrrModel`] prediction API, so hot paths can avoid per-call allocation.
+pub trait DecisionModel: Send + Sync {
+    /// Raw input feature dimension expected at prediction time.
+    fn dim(&self) -> usize;
+
+    /// Total number of training points behind the model (summed over
+    /// constituent models for composites).
+    fn num_train(&self) -> usize;
+
+    /// Raw decision values for each test point, into a caller buffer.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != test.nrows()` or the test dimension does
+    /// not match [`DecisionModel::dim`].
+    fn decision_values_into(&self, test: &Matrix, out: &mut [f64]);
+
+    /// Allocating convenience form of [`DecisionModel::decision_values_into`].
+    fn decision_values(&self, test: &Matrix) -> Vec<f64> {
+        let mut out = vec![0.0; test.nrows()];
+        self.decision_values_into(test, &mut out);
+        out
+    }
+
+    /// Predicted ±1 labels, into a caller buffer.
+    fn predict_into(&self, test: &Matrix, out: &mut [f64]) {
+        self.decision_values_into(test, out);
+        for s in out.iter_mut() {
+            *s = if *s >= 0.0 { 1.0 } else { -1.0 };
+        }
+    }
+
+    /// Allocating convenience form of [`DecisionModel::predict_into`].
+    fn predict(&self, test: &Matrix) -> Vec<f64> {
+        let mut out = vec![0.0; test.nrows()];
+        self.predict_into(test, &mut out);
+        out
+    }
+
+    /// Number of constituent models (1 for a plain [`KrrModel`], the shard
+    /// count for an ensemble).
+    fn num_models(&self) -> usize {
+        1
+    }
+
+    /// Cumulative per-constituent-model routed-query counts, when the
+    /// implementation tracks them (empty otherwise). Composite models use
+    /// this to expose per-shard serving load through the engine's stats.
+    fn model_loads(&self) -> Vec<u64> {
+        Vec::new()
+    }
+}
+
+/// The shared trait-object form of a [`DecisionModel`]: what the serving
+/// engine and front-end hold, so a single model and an ensemble are
+/// interchangeable behind one type.
+pub type ModelHandle = Arc<dyn DecisionModel>;
+
+impl DecisionModel for KrrModel {
+    fn dim(&self) -> usize {
+        KrrModel::dim(self)
+    }
+
+    fn num_train(&self) -> usize {
+        KrrModel::num_train(self)
+    }
+
+    fn decision_values_into(&self, test: &Matrix, out: &mut [f64]) {
+        KrrModel::decision_values_into(self, test, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{KrrConfig, SolverKind};
+    use hkrr_datasets::generate;
+    use hkrr_datasets::registry::LETTER;
+
+    #[test]
+    fn krr_model_behind_the_trait_matches_its_inherent_api() {
+        let ds = generate(&LETTER, 200, 40, 5);
+        let cfg = KrrConfig {
+            h: LETTER.default_h,
+            lambda: LETTER.default_lambda,
+            solver: SolverKind::Hss,
+            ..KrrConfig::default()
+        };
+        let model = KrrModel::fit(&ds.train, &ds.train_labels, &cfg).unwrap();
+        let handle: ModelHandle = Arc::new(model.clone());
+        assert_eq!(handle.dim(), 16);
+        assert_eq!(handle.num_train(), 200);
+        assert_eq!(handle.num_models(), 1);
+        assert!(handle.model_loads().is_empty());
+        assert_eq!(
+            handle.decision_values(&ds.test),
+            model.decision_values(&ds.test)
+        );
+        assert_eq!(handle.predict(&ds.test), model.predict(&ds.test));
+        let mut buf = vec![f64::NAN; 40];
+        handle.decision_values_into(&ds.test, &mut buf);
+        assert_eq!(buf, model.decision_values(&ds.test));
+    }
+}

@@ -20,11 +20,13 @@
 //! factorization, and solve (Table 4).
 
 pub mod config;
+pub mod handle;
 pub mod model;
 pub mod multiclass;
 pub mod report;
 
 pub use config::{KrrConfig, SolverKind};
+pub use handle::{DecisionModel, ModelHandle};
 pub use model::{accuracy, KrrModel, ModelParts, TrainedFactors};
 pub use multiclass::MulticlassKrr;
 pub use report::TrainingReport;

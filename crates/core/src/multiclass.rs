@@ -3,18 +3,26 @@
 //! For `c` classes the paper trains `c` binary classifiers that differ only
 //! in the labels; each test point is assigned to the class whose classifier
 //! reports the largest (confidence) decision value.
+//!
+//! The reduction is generic over [`DecisionModel`], so the per-class
+//! classifiers can be plain [`KrrModel`]s (what [`MulticlassKrr::fit`]
+//! trains) or any composite — e.g. a cluster-sharded ensemble per class,
+//! assembled with [`MulticlassKrr::from_classifiers`].
 
 use crate::config::KrrConfig;
+use crate::handle::DecisionModel;
 use crate::model::KrrModel;
 use crate::KrrError;
 use hkrr_linalg::Matrix;
 
-/// A one-vs-all ensemble of binary KRR classifiers.
-pub struct MulticlassKrr {
-    classifiers: Vec<KrrModel>,
+/// A one-vs-all ensemble of binary classifiers. `M` defaults to
+/// [`KrrModel`]; any [`DecisionModel`] works (the argmax reduction only
+/// needs decision values).
+pub struct MulticlassKrr<M: DecisionModel = KrrModel> {
+    classifiers: Vec<M>,
 }
 
-impl MulticlassKrr {
+impl MulticlassKrr<KrrModel> {
     /// Trains one binary classifier per class.
     ///
     /// `labels` are class indices in `0..num_classes`.
@@ -57,6 +65,26 @@ impl MulticlassKrr {
         }
         Ok(MulticlassKrr { classifiers })
     }
+}
+
+impl<M: DecisionModel> MulticlassKrr<M> {
+    /// Assembles the one-vs-all reduction from pre-trained per-class
+    /// classifiers (in class-index order). This is how composite models —
+    /// e.g. one sharded ensemble per class — enter the multi-class path.
+    pub fn from_classifiers(classifiers: Vec<M>) -> Result<Self, KrrError> {
+        if classifiers.len() < 2 {
+            return Err(KrrError::InvalidInput(
+                "multi-class problems need at least two classifiers".to_string(),
+            ));
+        }
+        let dim = classifiers[0].dim();
+        if classifiers.iter().any(|c| c.dim() != dim) {
+            return Err(KrrError::InvalidInput(
+                "per-class classifiers disagree on the feature dimension".to_string(),
+            ));
+        }
+        Ok(MulticlassKrr { classifiers })
+    }
 
     /// Number of classes.
     pub fn num_classes(&self) -> usize {
@@ -64,7 +92,7 @@ impl MulticlassKrr {
     }
 
     /// Access to the underlying binary classifiers.
-    pub fn classifiers(&self) -> &[KrrModel] {
+    pub fn classifiers(&self) -> &[M] {
         &self.classifiers
     }
 
@@ -162,5 +190,15 @@ mod tests {
         assert!(MulticlassKrr::fit(&ds.train, &ds.train_labels[..50], 3, &config()).is_err());
         let bad_labels = vec![7usize; 60];
         assert!(MulticlassKrr::fit(&ds.train, &bad_labels, 3, &config()).is_err());
+    }
+
+    #[test]
+    fn from_classifiers_rebuilds_an_equivalent_reduction() {
+        let ds = generate_multiclass(&PEN, 3, 200, 30, 4);
+        let fitted = MulticlassKrr::fit(&ds.train, &ds.train_labels, 3, &config()).unwrap();
+        let rebuilt = MulticlassKrr::from_classifiers(fitted.classifiers().to_vec()).unwrap();
+        assert_eq!(rebuilt.predict(&ds.test), fitted.predict(&ds.test));
+        // Fewer than two classes is rejected.
+        assert!(MulticlassKrr::from_classifiers(vec![fitted.classifiers()[0].clone()]).is_err());
     }
 }

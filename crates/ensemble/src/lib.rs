@@ -1,0 +1,48 @@
+//! # hkrr-ensemble
+//!
+//! Cluster-sharded ensemble training and multi-model prediction routing —
+//! the divide-and-conquer layer above the paper's single-model solvers.
+//!
+//! The paper (and `hkrr_core`) makes one kernel ridge regression solve
+//! scalable by compressing *one* `(K + λI)` system. This crate scales the
+//! axis the compression cannot: it partitions the training set into `k`
+//! geometrically coherent shards using the same cluster-tree machinery the
+//! paper studies for reordering (a [`ClusterTree`](hkrr_clustering::ClusterTree)
+//! truncated at `k` frontier nodes), trains one independent
+//! [`KrrModel`](hkrr_core::KrrModel) per shard **in parallel** — each a
+//! full paper-style HSS + ULV (or dense / PCG) solve — and answers queries
+//! by routing each test point to its `m` nearest shard centroids, combining
+//! the local experts' decision values by inverse-distance weighting.
+//!
+//! Why this wins: HSS compression samples against an `O(n²)` implicit
+//! operator, so `k` shards of `n/k` points cost roughly `1/k` of the
+//! monolithic compression *summed* — while geometrically coherent shards
+//! keep each local kernel sub-problem as compressible as the paper's
+//! reordered blocks. The integration suite pins the headline: on the
+//! medium workload a 4-shard cluster-routed ensemble trains faster than
+//! the monolithic HSS solve and matches its RMSE within 5%, and cluster
+//! sharding beats random sharding at equal `k`.
+//!
+//! * [`shard`] — [`ShardPlan`]: cut a training set into `k` shards by
+//!   truncating a cluster tree (or randomly, for comparison), with per-shard
+//!   centroids,
+//! * [`model`] — [`EnsembleKrr`]: parallel per-shard training, the
+//!   centroid [`Router`], and buffer-reusing prediction that drops into the
+//!   serving engine unchanged (it implements
+//!   [`DecisionModel`](hkrr_core::DecisionModel)),
+//! * [`report`] — [`EnsembleReport`]: per-shard
+//!   [`TrainingReport`](hkrr_core::TrainingReport)s plus the ensemble-level
+//!   wall-clock split,
+//! * [`objective`] — [`EnsembleValidationObjective`]: plugs the shard count
+//!   into the tuner's searchable dimensions
+//!   ([`hkrr_tuner::ensemble_search`]).
+
+pub mod model;
+pub mod objective;
+pub mod report;
+pub mod shard;
+
+pub use model::{EnsembleConfig, EnsembleKrr, EnsembleParts, Router};
+pub use objective::EnsembleValidationObjective;
+pub use report::EnsembleReport;
+pub use shard::{ShardPlan, ShardStrategy, MAX_SHARDS};

@@ -1,0 +1,137 @@
+//! The tuning objective that makes the shard count a searchable dimension:
+//! validation accuracy of a sharded ensemble, pluggable into
+//! [`hkrr_tuner::ensemble_search`].
+
+use crate::model::{EnsembleConfig, EnsembleKrr};
+use hkrr_core::accuracy;
+use hkrr_linalg::Matrix;
+use hkrr_tuner::Objective;
+
+/// Validation-set accuracy of a sharded ensemble trained with the given
+/// hyperparameters — the ensemble counterpart of
+/// [`hkrr_tuner::ValidationObjective`]. `evaluate` trains at the base
+/// configuration's shard count; `evaluate_shards` overrides it, which is
+/// what [`hkrr_tuner::ensemble_search`] drives.
+pub struct EnsembleValidationObjective<'a> {
+    train: &'a Matrix,
+    train_labels: &'a [f64],
+    validation: &'a Matrix,
+    validation_labels: &'a [f64],
+    base_config: EnsembleConfig,
+}
+
+impl<'a> EnsembleValidationObjective<'a> {
+    /// Creates the objective from a train/validation split and a base
+    /// ensemble configuration whose `h`, `λ` and shard count are
+    /// overridden per evaluation.
+    pub fn new(
+        train: &'a Matrix,
+        train_labels: &'a [f64],
+        validation: &'a Matrix,
+        validation_labels: &'a [f64],
+        base_config: EnsembleConfig,
+    ) -> Self {
+        assert_eq!(train.nrows(), train_labels.len(), "train labels mismatch");
+        assert_eq!(
+            validation.nrows(),
+            validation_labels.len(),
+            "validation labels mismatch"
+        );
+        EnsembleValidationObjective {
+            train,
+            train_labels,
+            validation,
+            validation_labels,
+            base_config,
+        }
+    }
+}
+
+impl Objective for EnsembleValidationObjective<'_> {
+    fn evaluate(&self, h: f64, lambda: f64) -> f64 {
+        self.evaluate_shards(self.base_config.shards, h, lambda)
+    }
+
+    fn evaluate_shards(&self, shards: usize, h: f64, lambda: f64) -> f64 {
+        let mut config = self.base_config.with_shards(shards);
+        config.base = config.base.with_h(h).with_lambda(lambda);
+        match EnsembleKrr::fit(self.train, self.train_labels, &config) {
+            Ok(ens) => accuracy(&ens.predict(self.validation), self.validation_labels),
+            // Failed fits (invalid shard counts for the data size,
+            // numerically singular shards) score zero so the search moves
+            // away from them.
+            Err(_) => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardStrategy;
+    use hkrr_core::{KrrConfig, SolverKind};
+    use hkrr_datasets::generate;
+    use hkrr_datasets::registry::LETTER;
+    use hkrr_tuner::{ensemble_search, SearchOptions};
+
+    fn base() -> EnsembleConfig {
+        EnsembleConfig {
+            shards: 2,
+            route_nearest: 2,
+            strategy: ShardStrategy::Cluster,
+            base: KrrConfig {
+                h: LETTER.default_h,
+                lambda: LETTER.default_lambda,
+                solver: SolverKind::Hss,
+                ..KrrConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn shard_count_is_searchable_through_the_tuner() {
+        let ds = generate(&LETTER, 320, 80, 11);
+        let obj = EnsembleValidationObjective::new(
+            &ds.train,
+            &ds.train_labels,
+            &ds.test,
+            &ds.test_labels,
+            base(),
+        );
+        let r = ensemble_search(
+            &obj,
+            &[1, 2, 4],
+            &SearchOptions {
+                budget: 6,
+                ..SearchOptions::default()
+            },
+        );
+        assert_eq!(r.per_shards.len(), 3);
+        assert!(
+            [1usize, 2, 4].contains(&r.best_shards),
+            "winner {} not among the candidates",
+            r.best_shards
+        );
+        assert!(r.best.accuracy > 0.5, "best accuracy {}", r.best.accuracy);
+        // The budget was fully spent across the shard counts.
+        let spent: usize = r.per_shards.iter().map(|(_, t)| t.num_evaluations()).sum();
+        assert_eq!(spent, 6);
+    }
+
+    #[test]
+    fn good_parameters_beat_degenerate_ones() {
+        let ds = generate(&LETTER, 240, 60, 12);
+        let obj = EnsembleValidationObjective::new(
+            &ds.train,
+            &ds.train_labels,
+            &ds.test,
+            &ds.test_labels,
+            base(),
+        );
+        let good = obj.evaluate(LETTER.default_h, LETTER.default_lambda);
+        let bad = obj.evaluate(1e-4, 100.0);
+        assert!(good > bad, "good {good} should beat bad {bad}");
+        // Invalid shard counts score zero instead of erroring out.
+        assert_eq!(obj.evaluate_shards(0, 1.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Ensemble-level training report: the per-shard
+//! [`TrainingReport`]s plus the wall-clock aggregates the benchmark
+//! harness and the integration suite pin (shard-sum vs monolithic
+//! factorization, parallel fit wall time).
+
+use crate::shard::ShardStrategy;
+use hkrr_core::TrainingReport;
+
+/// Timing and size information for one ensemble fit.
+#[derive(Debug, Clone)]
+pub struct EnsembleReport {
+    /// How the training set was sharded.
+    pub strategy: ShardStrategy,
+    /// Per-shard training-set sizes.
+    pub shard_sizes: Vec<usize>,
+    /// Per-shard training reports (one full paper-style report per local
+    /// expert).
+    pub shard_reports: Vec<TrainingReport>,
+    /// Per-shard wall-clock fit time, as observed around each shard's
+    /// `KrrModel::fit` call.
+    pub shard_wall_seconds: Vec<f64>,
+    /// Wall-clock time of the whole parallel fit (sharding included). On a
+    /// multi-core host this approaches `max(shard_wall_seconds)`, on one
+    /// core the shard sum.
+    pub fit_wall_seconds: f64,
+}
+
+impl EnsembleReport {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shard_reports.len()
+    }
+
+    /// Total training points across the shards.
+    pub fn num_train(&self) -> usize {
+        self.shard_sizes.iter().sum()
+    }
+
+    /// Sum of the shards' factorization times — the quantity the tentpole
+    /// claim compares against the monolithic factorization.
+    pub fn sum_factorization_seconds(&self) -> f64 {
+        self.shard_reports
+            .iter()
+            .map(|r| r.factorization_seconds)
+            .sum()
+    }
+
+    /// Sum of the shards' full per-phase training times (clustering,
+    /// construction, factorization, solve) — the sequential-work total.
+    pub fn sum_total_seconds(&self) -> f64 {
+        self.shard_reports
+            .iter()
+            .map(TrainingReport::total_seconds)
+            .sum()
+    }
+
+    /// The slowest shard's wall-clock fit time (the parallel critical path).
+    pub fn max_shard_wall_seconds(&self) -> f64 {
+        self.shard_wall_seconds.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total compressed-matrix memory across the shards, in bytes.
+    pub fn total_matrix_memory_bytes(&self) -> usize {
+        self.shard_reports
+            .iter()
+            .map(|r| r.matrix_memory_bytes)
+            .sum()
+    }
+
+    /// Largest HSS rank observed across the shards.
+    pub fn max_rank(&self) -> usize {
+        self.shard_reports
+            .iter()
+            .map(|r| r.max_rank)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for EnsembleReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "ensemble k={} strategy={} n={} mem={:.2}MB max-rank={}",
+            self.num_shards(),
+            self.strategy.label(),
+            self.num_train(),
+            self.total_matrix_memory_bytes() as f64 / (1024.0 * 1024.0),
+            self.max_rank()
+        )?;
+        write!(
+            f,
+            "  fit wall {:.3}s | shard-sum total {:.3}s | shard-sum factor {:.3}s | slowest shard {:.3}s | sizes {:?}",
+            self.fit_wall_seconds,
+            self.sum_total_seconds(),
+            self.sum_factorization_seconds(),
+            self.max_shard_wall_seconds(),
+            self.shard_sizes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hkrr_core::SolverKind;
+
+    fn report_with(factor: f64, total_extra: f64, n: usize, rank: usize) -> TrainingReport {
+        let mut r = TrainingReport::new(SolverKind::Hss, n, 4);
+        r.factorization_seconds = factor;
+        r.hss_other_seconds = total_extra;
+        r.matrix_memory_bytes = n * 100;
+        r.max_rank = rank;
+        r
+    }
+
+    #[test]
+    fn aggregates_sum_over_shards() {
+        let r = EnsembleReport {
+            strategy: ShardStrategy::Cluster,
+            shard_sizes: vec![60, 40],
+            shard_reports: vec![report_with(0.5, 0.1, 60, 9), report_with(0.25, 0.2, 40, 12)],
+            shard_wall_seconds: vec![0.7, 0.5],
+            fit_wall_seconds: 0.8,
+        };
+        assert_eq!(r.num_shards(), 2);
+        assert_eq!(r.num_train(), 100);
+        assert!((r.sum_factorization_seconds() - 0.75).abs() < 1e-12);
+        assert!((r.sum_total_seconds() - 1.05).abs() < 1e-12);
+        assert!((r.max_shard_wall_seconds() - 0.7).abs() < 1e-12);
+        assert_eq!(r.total_matrix_memory_bytes(), 10_000);
+        assert_eq!(r.max_rank(), 12);
+        let text = r.to_string();
+        assert!(
+            text.contains("ensemble k=2 strategy=cluster n=100"),
+            "{text}"
+        );
+        assert!(text.contains("sizes [60, 40]"), "{text}");
+    }
+}

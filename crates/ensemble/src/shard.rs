@@ -1,0 +1,311 @@
+//! Sharding: partition a training set into `k` shards.
+//!
+//! The cluster strategy reuses the paper's Section 2 machinery: run the
+//! configured clustering method once, then truncate the resulting
+//! [`ClusterTree`] at a frontier of `k` nodes (always splitting the largest
+//! remaining node), so each shard is a contiguous block of the clustered
+//! ordering — geometrically coherent exactly like the diagonal blocks the
+//! HSS format exploits. The random strategy is the classic
+//! divide-and-conquer baseline: a seeded shuffle chopped into `k`
+//! near-equal parts, kept for comparison.
+
+use hkrr_clustering::{cluster, ClusterTree, ClusteringMethod};
+use hkrr_linalg::{Matrix, Pcg64};
+
+/// Upper bound on the shard count: keeps the serialized form (one codec
+/// section per shard) and the routing table small, and catches nonsense
+/// configurations before any training starts.
+pub const MAX_SHARDS: usize = 32;
+
+/// How the training set is cut into shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// Truncate a cluster tree (built with the training configuration's
+    /// clustering method) at `k` frontier nodes: shards are geometrically
+    /// coherent point groups.
+    Cluster,
+    /// Seeded random partition into `k` near-equal shards — the
+    /// divide-and-conquer baseline the cluster strategy is compared against.
+    Random {
+        /// Seed of the partitioning shuffle.
+        seed: u64,
+    },
+}
+
+impl ShardStrategy {
+    /// Short label used in reports, file metadata and benchmark rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShardStrategy::Cluster => "cluster",
+            ShardStrategy::Random { .. } => "random",
+        }
+    }
+}
+
+/// A partition of `n` training points into `k` shards, with one centroid
+/// per shard (in the raw feature space) for prediction routing.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    shards: Vec<Vec<usize>>,
+    centroids: Matrix,
+    strategy: ShardStrategy,
+}
+
+impl ShardPlan {
+    /// Cuts `points` (rows) into `k` shards with the given strategy.
+    ///
+    /// For [`ShardStrategy::Cluster`], `method` and `leaf_size` configure
+    /// the cluster tree that is truncated (use the same values as the
+    /// per-shard training configuration so the shards follow the same
+    /// geometry the solver later exploits). Each shard's indices are
+    /// returned sorted ascending, so a single-shard plan presents the
+    /// training set in its original order — which is what makes a `k = 1`
+    /// ensemble reproduce the monolithic model bitwise.
+    pub fn build(
+        points: &Matrix,
+        k: usize,
+        strategy: ShardStrategy,
+        method: ClusteringMethod,
+        leaf_size: usize,
+    ) -> Result<ShardPlan, String> {
+        let n = points.nrows();
+        if k == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        if k > MAX_SHARDS {
+            return Err(format!("shard count {k} exceeds the maximum {MAX_SHARDS}"));
+        }
+        if n < k {
+            return Err(format!("cannot cut {n} points into {k} shards"));
+        }
+        let mut shards = match strategy {
+            ShardStrategy::Cluster => {
+                let ordering = cluster(points, method, leaf_size);
+                let frontier = truncate_tree(ordering.tree(), k)?;
+                frontier
+                    .into_iter()
+                    .map(|node| {
+                        ordering
+                            .tree()
+                            .node(node)
+                            .range()
+                            .map(|pos| ordering.permutation()[pos])
+                            .collect()
+                    })
+                    .collect::<Vec<Vec<usize>>>()
+            }
+            ShardStrategy::Random { seed } => {
+                let mut rng = Pcg64::seed_from_u64(seed);
+                let mut indices: Vec<usize> = (0..n).collect();
+                rng.shuffle(&mut indices);
+                let base = n / k;
+                let extra = n % k;
+                let mut out = Vec::with_capacity(k);
+                let mut start = 0;
+                for i in 0..k {
+                    let size = base + usize::from(i < extra);
+                    out.push(indices[start..start + size].to_vec());
+                    start += size;
+                }
+                out
+            }
+        };
+        for shard in &mut shards {
+            shard.sort_unstable();
+        }
+        let centroids = compute_centroids(points, &shards);
+        Ok(ShardPlan {
+            shards,
+            centroids,
+            strategy,
+        })
+    }
+
+    /// The shards: original point indices, each sorted ascending.
+    pub fn shards(&self) -> &[Vec<usize>] {
+        &self.shards
+    }
+
+    /// Per-shard centroids (`k × d`, raw feature space).
+    pub fn centroids(&self) -> &Matrix {
+        &self.centroids
+    }
+
+    /// The strategy that produced this plan.
+    pub fn strategy(&self) -> ShardStrategy {
+        self.strategy
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+/// Truncates `tree` at a frontier of exactly `k` nodes: starting from the
+/// root, repeatedly replaces the largest splittable frontier node with its
+/// children. The frontier is returned ordered by index range.
+fn truncate_tree(tree: &ClusterTree, k: usize) -> Result<Vec<usize>, String> {
+    let mut frontier = vec![tree.root()];
+    while frontier.len() < k {
+        let split = frontier
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, id)| !tree.is_leaf(id))
+            .max_by_key(|&(_, id)| tree.node(id).size);
+        let Some((pos, id)) = split else {
+            return Err(format!(
+                "cluster tree has only {} leaves, cannot form {k} shards \
+                 (lower the leaf size or the shard count)",
+                frontier.len()
+            ));
+        };
+        let node = tree.node(id);
+        frontier[pos] = node.left.expect("splittable node has children");
+        frontier.push(node.right.expect("splittable node has children"));
+    }
+    frontier.sort_by_key(|&id| tree.node(id).start);
+    Ok(frontier)
+}
+
+/// Mean of each shard's points, rows of a `k × d` matrix.
+fn compute_centroids(points: &Matrix, shards: &[Vec<usize>]) -> Matrix {
+    let d = points.ncols();
+    let mut centroids = Matrix::zeros(shards.len(), d);
+    for (s, shard) in shards.iter().enumerate() {
+        let row = centroids.row_mut(s);
+        for &i in shard {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v += points[(i, j)];
+            }
+        }
+        let inv = 1.0 / shard.len().max(1) as f64;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_points(seed: u64, n: usize, d: usize) -> Matrix {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        Matrix::from_fn(n, d, |i, _| {
+            let center = match i % 4 {
+                0 => -9.0,
+                1 => -3.0,
+                2 => 3.0,
+                _ => 9.0,
+            };
+            center + rng.next_gaussian()
+        })
+    }
+
+    fn assert_partition(plan: &ShardPlan, n: usize, k: usize) {
+        assert_eq!(plan.num_shards(), k);
+        let mut seen = vec![false; n];
+        for shard in plan.shards() {
+            assert!(!shard.is_empty(), "empty shard");
+            assert!(shard.windows(2).all(|w| w[0] < w[1]), "shard not sorted");
+            for &i in shard {
+                assert!(!seen[i], "index {i} appears in two shards");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "partition misses indices");
+        assert_eq!(plan.centroids().shape(), (k, plan.centroids().ncols()));
+    }
+
+    #[test]
+    fn cluster_plan_partitions_and_separates_blobs() {
+        let points = blob_points(1, 240, 2);
+        let plan = ShardPlan::build(
+            &points,
+            4,
+            ShardStrategy::Cluster,
+            ClusteringMethod::TwoMeans { seed: 3 },
+            16,
+        )
+        .unwrap();
+        assert_partition(&plan, 240, 4);
+        // Geometric coherence: within-shard spread is far below the global
+        // spread for well-separated blobs.
+        for (s, shard) in plan.shards().iter().enumerate() {
+            let c = plan.centroids().row(s);
+            for &i in shard {
+                let d2: f64 = points
+                    .row(i)
+                    .iter()
+                    .zip(c.iter())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                // Within-blob distances stay ≲ 20 (unit noise in 2-D);
+                // a point assigned to a neighbouring blob would sit ≳ 70.
+                assert!(d2 < 30.0, "shard {s} point {i} is {d2} from its centroid");
+            }
+        }
+    }
+
+    #[test]
+    fn random_plan_partitions_evenly_and_deterministically() {
+        let points = blob_points(2, 103, 3);
+        let plan = ShardPlan::build(
+            &points,
+            4,
+            ShardStrategy::Random { seed: 7 },
+            ClusteringMethod::Natural,
+            16,
+        )
+        .unwrap();
+        assert_partition(&plan, 103, 4);
+        let sizes: Vec<usize> = plan.shards().iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![26, 26, 26, 25]);
+        let again = ShardPlan::build(
+            &points,
+            4,
+            ShardStrategy::Random { seed: 7 },
+            ClusteringMethod::Natural,
+            16,
+        )
+        .unwrap();
+        assert_eq!(plan.shards(), again.shards());
+    }
+
+    #[test]
+    fn single_shard_plan_is_the_identity_partition() {
+        let points = blob_points(3, 50, 2);
+        for strategy in [ShardStrategy::Cluster, ShardStrategy::Random { seed: 1 }] {
+            let plan = ShardPlan::build(
+                &points,
+                1,
+                strategy,
+                ClusteringMethod::TwoMeans { seed: 3 },
+                16,
+            )
+            .unwrap();
+            assert_eq!(plan.shards(), &[(0..50).collect::<Vec<usize>>()]);
+        }
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        let points = blob_points(4, 20, 2);
+        let m = ClusteringMethod::Natural;
+        assert!(ShardPlan::build(&points, 0, ShardStrategy::Cluster, m, 16).is_err());
+        assert!(ShardPlan::build(&points, 21, ShardStrategy::Cluster, m, 16).is_err());
+        assert!(ShardPlan::build(&points, MAX_SHARDS + 1, ShardStrategy::Cluster, m, 16).is_err());
+        // More shards than the tree has leaves (leaf_size 16 over 20 points
+        // gives a 2-leaf tree).
+        assert!(ShardPlan::build(&points, 8, ShardStrategy::Cluster, m, 16).is_err());
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(ShardStrategy::Cluster.label(), "cluster");
+        assert_eq!(ShardStrategy::Random { seed: 0 }.label(), "random");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests of the ensemble router and its degenerate cases:
+//!
+//! * with `m = k` (every shard answers every query) prediction is
+//!   **bitwise permutation-invariant** in the shard storage order — the
+//!   combination sorts contributions by value, not by shard index,
+//! * a single-shard ensemble reproduces the monolithic [`KrrModel`]
+//!   **bitwise** — same weights, same decision values,
+//! * the one-vs-all reduction accepts ensembles as per-class classifiers
+//!   (the `DecisionModel` seam).
+
+use hkrr_core::{KrrConfig, KrrModel, MulticlassKrr, SolverKind};
+use hkrr_datasets::registry::{LETTER, SUSY};
+use hkrr_ensemble::{EnsembleConfig, EnsembleKrr, ShardStrategy};
+use proptest::prelude::*;
+
+fn ensemble_config(shards: usize, route_nearest: usize, strategy: ShardStrategy) -> EnsembleConfig {
+    EnsembleConfig {
+        shards,
+        route_nearest,
+        strategy,
+        base: KrrConfig {
+            h: LETTER.default_h,
+            lambda: LETTER.default_lambda,
+            solver: SolverKind::Hss,
+            ..KrrConfig::default()
+        },
+    }
+}
+
+/// Applies a permutation to the stored shard order: position `i` of the
+/// permuted ensemble holds the original shard `perm[i]`.
+fn permute_shards(ens: &EnsembleKrr, perm: &[usize]) -> EnsembleKrr {
+    let mut parts = ens.clone().into_parts();
+    parts.models = perm.iter().map(|&s| parts.models[s].clone()).collect();
+    parts.centroids = parts.centroids.select_rows(perm);
+    parts.shard_wall_seconds = perm.iter().map(|&s| parts.shard_wall_seconds[s]).collect();
+    EnsembleKrr::from_parts(parts).expect("permuted parts stay consistent")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// With `m = k`, the prediction is a deterministic function of the
+    /// shard *set*: any permutation of the stored shard order gives
+    /// bitwise-identical decision values.
+    #[test]
+    fn route_all_prediction_is_shard_order_invariant(
+        seed in 0..1_000u64,
+        k in 2..5usize,
+        rot in 1..4usize,
+        random_sharding in 0..2usize,
+    ) {
+        let ds = hkrr_datasets::generate(&LETTER, 260, 40, seed);
+        let strategy = if random_sharding == 1 {
+            ShardStrategy::Random { seed: seed ^ 0xf00d }
+        } else {
+            ShardStrategy::Cluster
+        };
+        let ens = EnsembleKrr::fit(
+            &ds.train,
+            &ds.train_labels,
+            &ensemble_config(k, k, strategy),
+        ).expect("training failed");
+        let reference = ens.decision_values(&ds.test);
+
+        // A rotation plus a swap covers the permutation group's generators.
+        let mut perm: Vec<usize> = (0..k).map(|i| (i + rot) % k).collect();
+        perm.swap(0, k - 1);
+        let permuted = permute_shards(&ens, &perm);
+        prop_assert_eq!(permuted.decision_values(&ds.test), reference.clone());
+        let reversed: Vec<usize> = (0..k).rev().collect();
+        let rev = permute_shards(&ens, &reversed);
+        prop_assert_eq!(rev.decision_values(&ds.test), reference);
+    }
+
+    /// A 1-shard ensemble is the monolithic model, bitwise: identical
+    /// weights and identical decision values, for any dataset/seed.
+    #[test]
+    fn single_shard_ensemble_reproduces_the_monolithic_model_bitwise(
+        seed in 0..1_000u64,
+        spec_idx in 0..2usize,
+        n in 120..260usize,
+    ) {
+        let spec = [&LETTER, &SUSY][spec_idx];
+        let ds = hkrr_datasets::generate(spec, n, 30, seed);
+        let cfg = EnsembleConfig {
+            shards: 1,
+            route_nearest: 1,
+            strategy: ShardStrategy::Cluster,
+            base: KrrConfig {
+                h: spec.default_h,
+                lambda: spec.default_lambda,
+                solver: SolverKind::Hss,
+                ..KrrConfig::default()
+            },
+        };
+        let ens = EnsembleKrr::fit(&ds.train, &ds.train_labels, &cfg).expect("ensemble");
+        let mono = KrrModel::fit(&ds.train, &ds.train_labels, &cfg.base).expect("monolith");
+        prop_assert_eq!(ens.models()[0].weights(), mono.weights());
+        prop_assert_eq!(ens.decision_values(&ds.test), mono.decision_values(&ds.test));
+        prop_assert_eq!(ens.predict(&ds.test), mono.predict(&ds.test));
+    }
+}
+
+/// The `DecisionModel` seam end to end: a one-vs-all reduction whose
+/// per-class classifiers are sharded ensembles.
+#[test]
+fn multiclass_reduction_accepts_ensembles_per_class() {
+    let ds = hkrr_datasets::generate_multiclass(&hkrr_datasets::registry::PEN, 3, 240, 60, 5);
+    let cfg = EnsembleConfig {
+        shards: 2,
+        route_nearest: 2,
+        strategy: ShardStrategy::Cluster,
+        base: KrrConfig {
+            h: hkrr_datasets::registry::PEN.default_h,
+            lambda: hkrr_datasets::registry::PEN.default_lambda,
+            solver: SolverKind::Hss,
+            ..KrrConfig::default()
+        },
+    };
+    let per_class: Vec<EnsembleKrr> = (0..3)
+        .map(|class| {
+            let binary: Vec<f64> = ds
+                .train_labels
+                .iter()
+                .map(|&l| if l == class { 1.0 } else { -1.0 })
+                .collect();
+            EnsembleKrr::fit(&ds.train, &binary, &cfg).unwrap()
+        })
+        .collect();
+    let model = MulticlassKrr::from_classifiers(per_class).unwrap();
+    assert_eq!(model.num_classes(), 3);
+    let acc = model.accuracy(&ds.test, &ds.test_labels);
+    assert!(acc > 0.75, "multiclass-over-ensembles accuracy {acc}");
+}

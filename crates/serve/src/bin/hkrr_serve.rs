@@ -1,24 +1,33 @@
-//! `hkrr-serve` — train, persist and serve kernel ridge regression models.
+//! `hkrr-serve` — train, persist and serve kernel ridge regression models
+//! (single or cluster-sharded ensembles).
 //!
 //! ```text
 //! hkrr-serve save    --out model.hkrr [--dataset LETTER] [--n-train 600]
 //!                    [--seed 42] [--solver dense|hss|hss+h|hss-pcg]
+//!                    [--shards K] [--route-nearest M]
+//!                    [--shard-strategy cluster|random]
 //! hkrr-serve info    <model.hkrr>
 //! hkrr-serve serve   <model.hkrr> [--addr 127.0.0.1:7878] [--workers N]
 //!                    [--max-batch 64] [--linger-us 500]
 //! hkrr-serve loadgen --addr 127.0.0.1:7878 [--requests 1000]
 //!                    [--concurrency 8] [--out BENCH_serve.json]
-//! hkrr-serve bench   [--requests 1000] [--concurrency 8]
+//! hkrr-serve bench   [--requests 1000] [--concurrency 8] [--shards K]
 //!                    [--out BENCH_serve.json]   # train→save→load→serve→loadgen
 //! ```
+//!
+//! `--shards K` (K > 1) trains a cluster-sharded ensemble: the training
+//! set is cut into `K` geometrically coherent shards, one model per shard
+//! trains in parallel, and serving routes each query to its
+//! `--route-nearest M` nearest shard centroids.
 
-use hkrr_core::{KrrConfig, KrrModel, SolverKind};
+use hkrr_core::{KrrConfig, SolverKind};
+use hkrr_ensemble::{EnsembleConfig, EnsembleKrr, ShardStrategy};
+use hkrr_serve::codec::{self, LoadedModel};
 use hkrr_serve::engine::EngineConfig;
 use hkrr_serve::loadgen::{self, LoadgenConfig};
 use hkrr_serve::server::{Server, ServerConfig};
-use hkrr_serve::{codec, load_model, save_model};
+use hkrr_serve::{save_model, ServeError};
 use std::process::ExitCode;
-use std::sync::Arc;
 use std::time::Duration;
 
 /// Tiny `--flag value` parser over the raw argument list.
@@ -73,7 +82,19 @@ fn solver_from(name: &str) -> Result<SolverKind, String> {
     }
 }
 
-fn train_model(args: &Args) -> Result<(KrrModel, hkrr_datasets::Dataset), String> {
+fn strategy_from(name: &str, seed: u64) -> Result<ShardStrategy, String> {
+    match name {
+        "cluster" => Ok(ShardStrategy::Cluster),
+        "random" => Ok(ShardStrategy::Random { seed }),
+        other => Err(format!(
+            "unknown shard strategy {other:?} (cluster | random)"
+        )),
+    }
+}
+
+/// Trains either a single model or (with `--shards K`, K > 1) a
+/// cluster-sharded ensemble on a synthetic dataset.
+fn train_model(args: &Args) -> Result<(LoadedModel, hkrr_datasets::Dataset), String> {
     let dataset = args.get("dataset").unwrap_or("LETTER");
     let spec = hkrr_datasets::spec_by_name(dataset)
         .ok_or_else(|| format!("unknown dataset {dataset:?}"))?;
@@ -81,6 +102,7 @@ fn train_model(args: &Args) -> Result<(KrrModel, hkrr_datasets::Dataset), String
     let n_test = args.get_parsed("n-test", 150usize)?;
     let seed = args.get_parsed("seed", 42u64)?;
     let solver = solver_from(args.get("solver").unwrap_or("hss"))?;
+    let shards = args.get_parsed("shards", 1usize)?;
     let ds = hkrr_datasets::generate(&spec, n_train, n_test, seed);
     let cfg = KrrConfig {
         h: spec.default_h,
@@ -88,19 +110,52 @@ fn train_model(args: &Args) -> Result<(KrrModel, hkrr_datasets::Dataset), String
         solver,
         ..KrrConfig::default()
     };
-    eprintln!(
-        "training {} on {dataset} (n={n_train}, d={}) …",
-        solver.label(),
-        spec.dim
-    );
-    let model = KrrModel::fit(&ds.train, &ds.train_labels, &cfg).map_err(|e| e.to_string())?;
+    let model = if shards > 1 {
+        let route_nearest = args.get_parsed("route-nearest", 2usize.min(shards))?;
+        let strategy = strategy_from(args.get("shard-strategy").unwrap_or("cluster"), seed)?;
+        let ens_cfg = EnsembleConfig {
+            shards,
+            route_nearest,
+            strategy,
+            base: cfg,
+        };
+        eprintln!(
+            "training {}×{} ensemble ({} sharding, route {} nearest) on {dataset} (n={n_train}, d={}) …",
+            shards,
+            solver.label(),
+            strategy.label(),
+            route_nearest,
+            spec.dim
+        );
+        let ens =
+            EnsembleKrr::fit(&ds.train, &ds.train_labels, &ens_cfg).map_err(|e| e.to_string())?;
+        eprintln!("{}", ens.report());
+        LoadedModel::Ensemble(ens)
+    } else {
+        eprintln!(
+            "training {} on {dataset} (n={n_train}, d={}) …",
+            solver.label(),
+            spec.dim
+        );
+        let model = hkrr_core::KrrModel::fit(&ds.train, &ds.train_labels, &cfg)
+            .map_err(|e| e.to_string())?;
+        eprintln!("{}", model.report());
+        LoadedModel::Single(model)
+    };
     let acc = hkrr_core::accuracy(&model.predict(&ds.test), &ds.test_labels);
-    eprintln!("{}", model.report());
     eprintln!(
         "test accuracy: {:.2}% on {n_test} held-out points",
         100.0 * acc
     );
     Ok((model, ds))
+}
+
+fn save_loaded(model: &LoadedModel, path: &str) -> Result<(), ServeError> {
+    match model {
+        LoadedModel::Single(m) => save_model(m, path)?,
+        LoadedModel::Ensemble(e) => codec::save_ensemble(e, path)?,
+    }
+    Ok(())
 }
 
 fn engine_config(args: &Args) -> Result<EngineConfig, String> {
@@ -125,15 +180,15 @@ fn engine_config(args: &Args) -> Result<EngineConfig, String> {
 fn cmd_save(args: &Args) -> Result<(), String> {
     let out = args.get("out").unwrap_or("model.hkrr").to_string();
     let (model, _) = train_model(args)?;
-    save_model(&model, &out).map_err(|e| e.to_string())?;
+    save_loaded(&model, &out).map_err(|e| e.to_string())?;
     let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
     println!(
-        "saved {out} ({bytes} bytes, schema {}, factors: {})",
+        "saved {out} ({bytes} bytes, schema {}, kind: {})",
         codec::SCHEMA,
-        if model.factors().is_some() {
-            "yes"
+        if model.is_ensemble() {
+            "ensemble"
         } else {
-            "no"
+            "single"
         }
     );
     Ok(())
@@ -144,15 +199,10 @@ fn cmd_info(args: &Args) -> Result<(), String> {
         .positional
         .first()
         .ok_or("usage: hkrr-serve info <model.hkrr>")?;
-    let model = load_model(path).map_err(|e| e.to_string())?;
-    println!("{}", model.report());
-    println!(
-        "kernel {:?} | dim {} | n_train {} | factors retained: {}",
-        model.kernel(),
-        model.dim(),
-        model.num_train(),
-        model.factors().is_some()
-    );
+    let (version, model) = codec::load_any(path).map_err(|e| e.to_string())?;
+    for line in codec::info_lines(version, &model) {
+        println!("{line}");
+    }
     Ok(())
 }
 
@@ -161,18 +211,23 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         .positional
         .first()
         .ok_or("usage: hkrr-serve serve <model.hkrr> [--addr host:port]")?;
-    let model = Arc::new(load_model(path).map_err(|e| e.to_string())?);
+    let (_, model) = codec::load_any(path).map_err(|e| e.to_string())?;
     eprintln!(
-        "loaded {path}: n_train={}, dim={}, factors={} (no re-factorization needed)",
+        "loaded {path}: kind={}, n_train={}, dim={}, models={} (no re-factorization needed)",
+        if model.is_ensemble() {
+            "ensemble"
+        } else {
+            "single"
+        },
         model.num_train(),
         model.dim(),
-        model.factors().is_some()
+        model.num_models()
     );
     let config = ServerConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
         engine: engine_config(args)?,
     };
-    let server = Server::start(model, config).map_err(|e| e.to_string())?;
+    let server = Server::start(model.into_handle(), config).map_err(|e| e.to_string())?;
     println!("serving on {} (ctrl-c to stop)", server.local_addr());
     // Serve until killed: the accept loop runs on its own thread.
     loop {
@@ -204,17 +259,22 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
 fn cmd_bench(args: &Args) -> Result<(), String> {
     let (model, _) = train_model(args)?;
     let path = std::env::temp_dir().join(format!("hkrr_bench_{}.hkrr", std::process::id()));
-    save_model(&model, &path).map_err(|e| e.to_string())?;
+    save_loaded(&model, &path.to_string_lossy()).map_err(|e| e.to_string())?;
     let file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-    let loaded = Arc::new(load_model(&path).map_err(|e| e.to_string())?);
+    let (_, loaded) = codec::load_any(&path).map_err(|e| e.to_string())?;
     std::fs::remove_file(&path).ok();
     println!(
-        "save → load round trip ok ({file_bytes} bytes, factors back: {})",
-        loaded.factors().is_some()
+        "save → load round trip ok ({file_bytes} bytes, kind: {}, models: {})",
+        if loaded.is_ensemble() {
+            "ensemble"
+        } else {
+            "single"
+        },
+        loaded.num_models()
     );
 
     let server = Server::start(
-        loaded,
+        loaded.into_handle(),
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             engine: engine_config(args)?,
@@ -237,6 +297,12 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         "engine: {} requests in {} batches (mean batch {:.2})",
         engine_stats.requests, engine_stats.batches, engine_stats.mean_batch_size
     );
+    if !engine_stats.model_requests.is_empty() {
+        println!(
+            "per-shard routed queries: {:?}",
+            engine_stats.model_requests
+        );
+    }
     write_snapshot(&report, args.get("out").unwrap_or("BENCH_serve.json"))?;
     if report.errors > 0 {
         return Err(format!("{} queries failed", report.errors));
@@ -245,9 +311,10 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
 }
 
 const USAGE: &str = "usage: hkrr-serve <save|train|info|serve|loadgen|bench> [options]
-  save     train a model on a synthetic dataset and persist it (hkrr-model/1)
-  info     print a persisted model's metadata
-  serve    load a model and answer prediction queries over TCP
+  save     train a model on a synthetic dataset and persist it (hkrr-model/1);
+           --shards K (K>1) trains a cluster-sharded ensemble
+  info     print a persisted model's metadata (line-oriented key: value)
+  serve    load a model or ensemble and answer prediction queries over TCP
   loadgen  benchmark a running server, write BENCH_serve.json
   bench    end-to-end: train → save → load → serve → loadgen";
 

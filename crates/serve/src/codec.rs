@@ -2,11 +2,12 @@
 //!
 //! A hand-rolled, versioned codec (the build container has no registry
 //! access, hence no serde) that round-trips a trained
-//! [`hkrr_core::KrrModel`] **including** its compressed HSS form and ULV
-//! factors, so a reloaded model answers queries immediately — no
-//! re-clustering, re-compression or re-factorization — and produces
-//! **bitwise-identical** predictions (every `f64` travels as its exact bit
-//! pattern).
+//! [`hkrr_core::KrrModel`] — or a whole sharded
+//! [`hkrr_ensemble::EnsembleKrr`] — **including** every
+//! compressed HSS form and ULV factorization, so a reloaded model answers
+//! queries immediately — no re-clustering, re-compression or
+//! re-factorization — and produces **bitwise-identical** predictions
+//! (every `f64` travels as its exact bit pattern).
 //!
 //! ## Layout
 //!
@@ -21,20 +22,42 @@
 //! is caught as [`CodecError::ChecksumMismatch`] rather than producing a
 //! silently-wrong model.
 //!
-//! | tag    | contents                                            | required |
-//! |--------|-----------------------------------------------------|----------|
-//! | `CONF` | `KrrConfig` + kernel function                       | yes      |
-//! | `NORM` | fitted normalization statistics                     | yes      |
-//! | `TRPT` | normalized, reordered training points               | yes      |
-//! | `WGHT` | weight vector                                       | yes      |
-//! | `PERM` | clustering permutation                              | yes      |
-//! | `REPT` | training report                                     | yes      |
-//! | `TREE` | cluster tree                                        | HSS only |
-//! | `HSSM` | compressed HSS matrix (per-node payloads)           | HSS only |
-//! | `ULVF` | ULV factorization (per-node factors + root LU)      | HSS only |
+//! | tag    | contents                                            | required      |
+//! |--------|-----------------------------------------------------|---------------|
+//! | `CONF` | `KrrConfig` + kernel function                       | single models |
+//! | `NORM` | fitted normalization statistics                     | single models |
+//! | `TRPT` | normalized, reordered training points               | single models |
+//! | `WGHT` | weight vector                                       | single models |
+//! | `PERM` | clustering permutation                              | single models |
+//! | `REPT` | training report                                     | single models |
+//! | `TREE` | cluster tree                                        | HSS only      |
+//! | `HSSM` | compressed HSS matrix (per-node payloads)           | HSS only      |
+//! | `ULVF` | ULV factorization (per-node factors + root LU)      | HSS only      |
+//! | `ENSH` | ensemble header (strategy, routing, centroids)      | ensembles (v3) |
+//! | `SH00`…| one complete nested model file per shard            | ensembles (v3) |
+//!
+//! An **ensemble file** (format version 3) carries an `ENSH` header section
+//! plus one `SHnn` section per shard, each holding a complete nested
+//! `hkrr-model/1` single-model encoding — so every shard gets the full
+//! magic/version/CRC treatment, and corruption *inside any shard section*
+//! (truncation, bit flip, wrong nested version) surfaces as the same typed
+//! [`CodecError`]s a standalone file would produce.
+//!
+//! ## Versions
+//!
+//! This build writes version 3 and reads 1–3:
+//! * **v1** — the original single-model layout.
+//! * **v2** — added the `hss-pcg` solver tag, the PCG split in `REPT`, and
+//!   the PCG parameters in `CONF`.
+//! * **v3** — added ensemble files (`ENSH` + `SHnn`); single-model layout
+//!   unchanged from v2.
+//!
+//! Versions above 3 are refused with a typed
+//! [`CodecError::UnsupportedVersion`].
 
 use hkrr_clustering::{ClusterNode, ClusterTree};
 use hkrr_core::{KrrConfig, KrrModel, ModelParts, SolverKind, TrainedFactors, TrainingReport};
+use hkrr_ensemble::{EnsembleKrr, EnsembleParts, ShardStrategy, MAX_SHARDS};
 use hkrr_hss::construct::ConstructionStats;
 use hkrr_hss::{HssMatrix, HssNodeData, UlvFactorization, UlvNodeFactor};
 use hkrr_kernel::{KernelFunction, NormalizationStats, Normalizer};
@@ -44,11 +67,11 @@ use std::path::Path;
 
 /// File magic: "HKRR model, format generation 1".
 pub const MAGIC: [u8; 8] = *b"HKRRMDL1";
-/// Current format version inside generation 1. Version 2 added the
-/// `hss-pcg` solver tag, the PCG split (seconds, iteration count,
-/// residual history) and `assembly_seconds` to `REPT`, and the PCG
-/// parameters to `CONF`.
-pub const VERSION: u32 = 2;
+/// Current format version inside generation 1 (see the module docs for
+/// the version history).
+pub const VERSION: u32 = 3;
+/// Oldest format version this build still reads.
+pub const MIN_VERSION: u32 = 1;
 /// Human-readable schema name (mirrors the JSON snapshots' convention).
 pub const SCHEMA: &str = "hkrr-model/1";
 
@@ -89,7 +112,7 @@ impl std::fmt::Display for CodecError {
             CodecError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported format version {v} (this build reads {VERSION})"
+                    "unsupported format version {v} (this build reads {MIN_VERSION}..={VERSION})"
                 )
             }
             CodecError::Truncated => write!(f, "unexpected end of input"),
@@ -404,7 +427,7 @@ fn dec_kernel(d: &mut Dec) -> Result<KernelFunction> {
 // ---------------------------------------------------------------------------
 // Section encoders.
 
-fn enc_conf(config: &KrrConfig, kernel: KernelFunction) -> Vec<u8> {
+fn enc_conf(config: &KrrConfig, kernel: KernelFunction, version: u32) -> Vec<u8> {
     let mut e = Enc::default();
     e.f64(config.h);
     e.f64(config.lambda);
@@ -415,28 +438,50 @@ fn enc_conf(config: &KrrConfig, kernel: KernelFunction) -> Vec<u8> {
     e.f64(config.tolerance);
     e.f64(config.eta);
     e.u64(config.seed);
-    e.f64(config.pcg_tolerance);
-    e.usize(config.pcg_max_iterations);
-    e.f64(config.pcg_loosening);
+    if version >= 2 {
+        e.f64(config.pcg_tolerance);
+        e.usize(config.pcg_max_iterations);
+        e.f64(config.pcg_loosening);
+    }
     enc_kernel(&mut e, kernel);
     e.buf
 }
 
-fn dec_conf(bytes: &[u8]) -> Result<(KrrConfig, KernelFunction)> {
+fn dec_conf(bytes: &[u8], version: u32) -> Result<(KrrConfig, KernelFunction)> {
     let mut d = Dec::new(bytes);
+    let defaults = KrrConfig::default();
+    let h = d.f64()?;
+    let lambda = d.f64()?;
+    let clustering = dec_clustering(&mut d)?;
+    let leaf_size = d.usize()?;
+    let normalization = dec_normalizer(&mut d)?;
+    let solver = dec_solver(&mut d)?;
+    let tolerance = d.f64()?;
+    let eta = d.f64()?;
+    let seed = d.u64()?;
+    // v1 predates the PCG knobs; old files take the current defaults.
+    let (pcg_tolerance, pcg_max_iterations, pcg_loosening) = if version >= 2 {
+        (d.f64()?, d.usize()?, d.f64()?)
+    } else {
+        (
+            defaults.pcg_tolerance,
+            defaults.pcg_max_iterations,
+            defaults.pcg_loosening,
+        )
+    };
     let config = KrrConfig {
-        h: d.f64()?,
-        lambda: d.f64()?,
-        clustering: dec_clustering(&mut d)?,
-        leaf_size: d.usize()?,
-        normalization: dec_normalizer(&mut d)?,
-        solver: dec_solver(&mut d)?,
-        tolerance: d.f64()?,
-        eta: d.f64()?,
-        seed: d.u64()?,
-        pcg_tolerance: d.f64()?,
-        pcg_max_iterations: d.usize()?,
-        pcg_loosening: d.f64()?,
+        h,
+        lambda,
+        clustering,
+        leaf_size,
+        normalization,
+        solver,
+        tolerance,
+        eta,
+        seed,
+        pcg_tolerance,
+        pcg_max_iterations,
+        pcg_loosening,
     };
     let kernel = dec_kernel(&mut d)?;
     d.finish()?;
@@ -464,43 +509,51 @@ fn dec_norm(bytes: &[u8]) -> Result<NormalizationStats> {
     NormalizationStats::from_parts(scheme, offset, scale).map_err(CodecError::Malformed)
 }
 
-fn enc_report(r: &TrainingReport) -> Vec<u8> {
+fn enc_report(r: &TrainingReport, version: u32) -> Vec<u8> {
     let mut e = Enc::default();
     enc_solver(&mut e, r.solver);
     e.usize(r.num_train);
     e.usize(r.dim);
     e.f64(r.clustering_seconds);
-    e.f64(r.assembly_seconds);
+    if version >= 2 {
+        e.f64(r.assembly_seconds);
+    }
     e.f64(r.h_construction_seconds);
     e.f64(r.hss_sampling_seconds);
     e.f64(r.hss_other_seconds);
     e.f64(r.factorization_seconds);
     e.f64(r.solve_seconds);
-    e.f64(r.pcg_seconds);
-    e.usize(r.pcg_iterations);
-    e.f64_slice(&r.pcg_residual_history);
+    if version >= 2 {
+        e.f64(r.pcg_seconds);
+        e.usize(r.pcg_iterations);
+        e.f64_slice(&r.pcg_residual_history);
+    }
     e.usize(r.matrix_memory_bytes);
     e.usize(r.sampler_memory_bytes);
     e.usize(r.max_rank);
     e.buf
 }
 
-fn dec_report(bytes: &[u8]) -> Result<TrainingReport> {
+fn dec_report(bytes: &[u8], version: u32) -> Result<TrainingReport> {
     let mut d = Dec::new(bytes);
     let solver = dec_solver(&mut d)?;
     let num_train = d.usize()?;
     let dim = d.usize()?;
     let mut r = TrainingReport::new(solver, num_train, dim);
     r.clustering_seconds = d.f64()?;
-    r.assembly_seconds = d.f64()?;
+    if version >= 2 {
+        r.assembly_seconds = d.f64()?;
+    }
     r.h_construction_seconds = d.f64()?;
     r.hss_sampling_seconds = d.f64()?;
     r.hss_other_seconds = d.f64()?;
     r.factorization_seconds = d.f64()?;
     r.solve_seconds = d.f64()?;
-    r.pcg_seconds = d.f64()?;
-    r.pcg_iterations = d.usize()?;
-    r.pcg_residual_history = d.f64_vec()?;
+    if version >= 2 {
+        r.pcg_seconds = d.f64()?;
+        r.pcg_iterations = d.usize()?;
+        r.pcg_residual_history = d.f64_vec()?;
+    }
     r.matrix_memory_bytes = d.usize()?;
     r.sampler_memory_bytes = d.usize()?;
     r.max_rank = d.usize()?;
@@ -675,14 +728,119 @@ fn dec_ulv(bytes: &[u8], tree: &ClusterTree) -> Result<UlvFactorization> {
 }
 
 // ---------------------------------------------------------------------------
-// Whole-file encode / decode.
+// Ensemble sections.
 
-fn enc_section(out: &mut Vec<(&'static [u8; 4], Vec<u8>)>, tag: &'static [u8; 4], body: Vec<u8>) {
-    out.push((tag, body));
+fn enc_strategy(e: &mut Enc, s: ShardStrategy) {
+    match s {
+        ShardStrategy::Cluster => e.u8(0),
+        ShardStrategy::Random { seed } => {
+            e.u8(1);
+            e.u64(seed);
+        }
+    }
 }
 
-/// Serializes a model to its `hkrr-model/1` byte representation.
+fn dec_strategy(d: &mut Dec) -> Result<ShardStrategy> {
+    match d.u8()? {
+        0 => Ok(ShardStrategy::Cluster),
+        1 => Ok(ShardStrategy::Random { seed: d.u64()? }),
+        t => Err(CodecError::Malformed(format!("bad strategy tag {t}"))),
+    }
+}
+
+/// Tag of shard `i`'s section: `SH00`, `SH01`, …
+fn shard_tag(i: usize) -> [u8; 4] {
+    debug_assert!(i < 100);
+    [b'S', b'H', b'0' + (i / 10) as u8, b'0' + (i % 10) as u8]
+}
+
+/// The `ENSH` section: everything ensemble-level except the shard models
+/// themselves.
+struct EnsembleHeader {
+    strategy: ShardStrategy,
+    route_nearest: usize,
+    shards: usize,
+    centroids: Matrix,
+    fit_wall_seconds: f64,
+    shard_wall_seconds: Vec<f64>,
+}
+
+fn enc_ensh(h: &EnsembleHeader) -> Vec<u8> {
+    let mut e = Enc::default();
+    enc_strategy(&mut e, h.strategy);
+    e.usize(h.shards);
+    e.usize(h.route_nearest);
+    e.matrix(&h.centroids);
+    e.f64(h.fit_wall_seconds);
+    e.f64_slice(&h.shard_wall_seconds);
+    e.buf
+}
+
+fn dec_ensh(bytes: &[u8]) -> Result<EnsembleHeader> {
+    let mut d = Dec::new(bytes);
+    let strategy = dec_strategy(&mut d)?;
+    let shards = d.usize()?;
+    if shards == 0 || shards > MAX_SHARDS {
+        return Err(CodecError::Malformed(format!("{shards} shards")));
+    }
+    let route_nearest = d.usize()?;
+    let centroids = d.matrix()?;
+    let fit_wall_seconds = d.f64()?;
+    let shard_wall_seconds = d.f64_vec()?;
+    d.finish()?;
+    Ok(EnsembleHeader {
+        strategy,
+        route_nearest,
+        shards,
+        centroids,
+        fit_wall_seconds,
+        shard_wall_seconds,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Whole-file encode / decode.
+
+/// Assembles a complete file (header, section table, payloads) for the
+/// given format version.
+fn write_file(version: u32, sections: &[([u8; 4], Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    let mut offset = HEADER_LEN + TABLE_ENTRY_LEN * sections.len();
+    for (tag, body) in sections {
+        out.extend_from_slice(&tag[..]);
+        out.extend_from_slice(&(offset as u64).to_le_bytes());
+        out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(body).to_le_bytes());
+        offset += body.len();
+    }
+    for (_, body) in sections {
+        out.extend_from_slice(body);
+    }
+    out
+}
+
+/// Serializes a single model to its current-version byte representation.
 pub fn encode_model(model: &KrrModel) -> Vec<u8> {
+    encode_model_as_version(model, VERSION).expect("current-version encoding cannot fail")
+}
+
+/// Serializes a single model in an *older* (or the current) format version
+/// — the fixture writer behind the backward-compatibility tests, so
+/// "v1/v2 files still load" is pinned against real old-layout bytes
+/// rather than hand-patched ones. Version 1 predates the `hss-pcg`
+/// solver, so encoding such a model at version 1 is refused.
+pub fn encode_model_as_version(model: &KrrModel, version: u32) -> Result<Vec<u8>> {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    if version < 2 && model.config().solver == SolverKind::HssPcg {
+        return Err(CodecError::Malformed(
+            "format version 1 cannot represent the hss-pcg solver".to_string(),
+        ));
+    }
     let mut e = Enc::default();
     e.matrix(model.train_points());
     let trpt = std::mem::take(&mut e.buf);
@@ -691,44 +849,47 @@ pub fn encode_model(model: &KrrModel) -> Vec<u8> {
     e.usize_slice(model.permutation());
     let perm = std::mem::take(&mut e.buf);
 
-    let mut sections: Vec<(&'static [u8; 4], Vec<u8>)> = Vec::new();
-    enc_section(
-        &mut sections,
-        b"CONF",
-        enc_conf(model.config(), model.kernel()),
-    );
-    enc_section(&mut sections, b"NORM", enc_norm(model.norm_stats()));
-    enc_section(&mut sections, b"TRPT", trpt);
-    enc_section(&mut sections, b"WGHT", wght);
-    enc_section(&mut sections, b"PERM", perm);
-    enc_section(&mut sections, b"REPT", enc_report(model.report()));
+    let mut sections: Vec<([u8; 4], Vec<u8>)> = vec![
+        (*b"CONF", enc_conf(model.config(), model.kernel(), version)),
+        (*b"NORM", enc_norm(model.norm_stats())),
+        (*b"TRPT", trpt),
+        (*b"WGHT", wght),
+        (*b"PERM", perm),
+        (*b"REPT", enc_report(model.report(), version)),
+    ];
     if let Some(f) = model.factors() {
-        enc_section(&mut sections, b"TREE", enc_tree(f.hss.tree()));
-        enc_section(&mut sections, b"HSSM", enc_hss(&f.hss));
-        enc_section(&mut sections, b"ULVF", enc_ulv(&f.ulv));
+        sections.push((*b"TREE", enc_tree(f.hss.tree())));
+        sections.push((*b"HSSM", enc_hss(&f.hss)));
+        sections.push((*b"ULVF", enc_ulv(&f.ulv)));
     }
-
-    let mut out = Vec::new();
-    out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
-    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
-    let mut offset = HEADER_LEN + TABLE_ENTRY_LEN * sections.len();
-    for (tag, body) in &sections {
-        out.extend_from_slice(&tag[..]);
-        out.extend_from_slice(&(offset as u64).to_le_bytes());
-        out.extend_from_slice(&(body.len() as u64).to_le_bytes());
-        out.extend_from_slice(&crc32(body).to_le_bytes());
-        offset += body.len();
-    }
-    for (_, body) in &sections {
-        out.extend_from_slice(body);
-    }
-    out
+    Ok(write_file(version, &sections))
 }
 
-/// Parses the header + section table and returns `(tag, payload)` pairs,
-/// with every payload's checksum verified.
-fn sections(bytes: &[u8]) -> Result<Vec<([u8; 4], &[u8])>> {
+/// Serializes a sharded ensemble: an `ENSH` header section plus one
+/// complete nested single-model encoding per shard.
+pub fn encode_ensemble(ensemble: &EnsembleKrr) -> Vec<u8> {
+    let header = EnsembleHeader {
+        strategy: ensemble.strategy(),
+        route_nearest: ensemble.router().route_nearest(),
+        shards: ensemble.num_shards(),
+        centroids: ensemble.router().centroids().clone(),
+        fit_wall_seconds: ensemble.report().fit_wall_seconds,
+        shard_wall_seconds: ensemble.report().shard_wall_seconds.clone(),
+    };
+    let mut sections: Vec<([u8; 4], Vec<u8>)> = Vec::new();
+    sections.push((*b"ENSH", enc_ensh(&header)));
+    for (i, model) in ensemble.models().iter().enumerate() {
+        sections.push((shard_tag(i), encode_model(model)));
+    }
+    write_file(VERSION, &sections)
+}
+
+/// A parsed section table: `(tag, payload)` pairs.
+type SectionList<'a> = Vec<([u8; 4], &'a [u8])>;
+
+/// Parses the header + section table and returns the file's version plus
+/// `(tag, payload)` pairs, with every payload's checksum verified.
+fn sections(bytes: &[u8]) -> Result<(u32, SectionList<'_>)> {
     if bytes.len() < HEADER_LEN {
         // Too short even for the magic/header: distinguish "not our file"
         // from "our file, cut off".
@@ -741,7 +902,7 @@ fn sections(bytes: &[u8]) -> Result<Vec<([u8; 4], &[u8])>> {
         return Err(CodecError::BadMagic);
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(CodecError::UnsupportedVersion(version));
     }
     let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
@@ -773,10 +934,10 @@ fn sections(bytes: &[u8]) -> Result<Vec<([u8; 4], &[u8])>> {
         }
         out.push((tag, payload));
     }
-    Ok(out)
+    Ok((version, out))
 }
 
-fn find<'a>(sections: &[([u8; 4], &'a [u8])], tag: &'static [u8; 4]) -> Option<&'a [u8]> {
+fn find<'a>(sections: &[([u8; 4], &'a [u8])], tag: &[u8; 4]) -> Option<&'a [u8]> {
     sections
         .iter()
         .find(|(t, _)| t == tag)
@@ -791,27 +952,26 @@ fn require<'a>(
     find(sections, tag).ok_or(CodecError::MissingSection(name))
 }
 
-/// Deserializes a model from its `hkrr-model/1` byte representation.
-pub fn decode_model(bytes: &[u8]) -> Result<KrrModel> {
-    let sections = sections(bytes)?;
-    let (config, kernel) = dec_conf(require(&sections, b"CONF", "CONF")?)?;
-    let norm_stats = dec_norm(require(&sections, b"NORM", "NORM")?)?;
+/// Decodes a single model from an already-parsed section list.
+fn decode_single(version: u32, sections: &[([u8; 4], &[u8])]) -> Result<KrrModel> {
+    let (config, kernel) = dec_conf(require(sections, b"CONF", "CONF")?, version)?;
+    let norm_stats = dec_norm(require(sections, b"NORM", "NORM")?)?;
 
-    let mut d = Dec::new(require(&sections, b"TRPT", "TRPT")?);
+    let mut d = Dec::new(require(sections, b"TRPT", "TRPT")?);
     let train_points = d.matrix()?;
     d.finish()?;
-    let mut d = Dec::new(require(&sections, b"WGHT", "WGHT")?);
+    let mut d = Dec::new(require(sections, b"WGHT", "WGHT")?);
     let weights = d.f64_vec()?;
     d.finish()?;
-    let mut d = Dec::new(require(&sections, b"PERM", "PERM")?);
+    let mut d = Dec::new(require(sections, b"PERM", "PERM")?);
     let permutation = d.usize_vec()?;
     d.finish()?;
-    let report = dec_report(require(&sections, b"REPT", "REPT")?)?;
+    let report = dec_report(require(sections, b"REPT", "REPT")?, version)?;
 
     let factors = match (
-        find(&sections, b"TREE"),
-        find(&sections, b"HSSM"),
-        find(&sections, b"ULVF"),
+        find(sections, b"TREE"),
+        find(sections, b"HSSM"),
+        find(sections, b"ULVF"),
     ) {
         (None, None, None) => None,
         (Some(tree_bytes), Some(hss_bytes), Some(ulv_bytes)) => {
@@ -840,17 +1000,243 @@ pub fn decode_model(bytes: &[u8]) -> Result<KrrModel> {
     .map_err(|e| CodecError::Malformed(e.to_string()))
 }
 
+/// What came out of a model file: a single model or a sharded ensemble.
+/// [`LoadedModel::into_handle`] erases the distinction for the serving
+/// layers, which only need a [`hkrr_core::DecisionModel`].
+// Both variants are whole trained models (hundreds of bytes of inline
+// headers over heap-backed matrices); the value is created once per load
+// and immediately converted to a handle, so the size spread is harmless.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum LoadedModel {
+    /// A plain single-solve model.
+    Single(KrrModel),
+    /// A cluster-sharded ensemble.
+    Ensemble(EnsembleKrr),
+}
+
+impl LoadedModel {
+    /// Raw input feature dimension.
+    pub fn dim(&self) -> usize {
+        match self {
+            LoadedModel::Single(m) => m.dim(),
+            LoadedModel::Ensemble(e) => e.dim(),
+        }
+    }
+
+    /// Total number of training points.
+    pub fn num_train(&self) -> usize {
+        match self {
+            LoadedModel::Single(m) => m.num_train(),
+            LoadedModel::Ensemble(e) => e.num_train(),
+        }
+    }
+
+    /// Number of constituent models (1, or the shard count).
+    pub fn num_models(&self) -> usize {
+        match self {
+            LoadedModel::Single(_) => 1,
+            LoadedModel::Ensemble(e) => e.num_shards(),
+        }
+    }
+
+    /// Whether the file held an ensemble.
+    pub fn is_ensemble(&self) -> bool {
+        matches!(self, LoadedModel::Ensemble(_))
+    }
+
+    /// Raw decision values (dispatching to whichever model was loaded).
+    pub fn decision_values(&self, test: &Matrix) -> Vec<f64> {
+        match self {
+            LoadedModel::Single(m) => m.decision_values(test),
+            LoadedModel::Ensemble(e) => e.decision_values(test),
+        }
+    }
+
+    /// Predicted ±1 labels (dispatching to whichever model was loaded).
+    pub fn predict(&self, test: &Matrix) -> Vec<f64> {
+        match self {
+            LoadedModel::Single(m) => m.predict(test),
+            LoadedModel::Ensemble(e) => e.predict(test),
+        }
+    }
+
+    /// Erases the single/ensemble distinction into the trait-object handle
+    /// the serving engine hosts.
+    pub fn into_handle(self) -> hkrr_core::ModelHandle {
+        match self {
+            LoadedModel::Single(m) => std::sync::Arc::new(m),
+            LoadedModel::Ensemble(e) => std::sync::Arc::new(e),
+        }
+    }
+}
+
+/// The format version of an encoded file (header peek; the payload is not
+/// validated beyond the magic). A file that carries the magic but ends
+/// before the version word is [`CodecError::Truncated`], not `BadMagic` —
+/// the same distinction the full decoder draws.
+pub fn encoded_version(bytes: &[u8]) -> Result<u32> {
+    if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    if bytes.len() < 12 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(u32::from_le_bytes(bytes[8..12].try_into().unwrap()))
+}
+
+/// Deserializes a file that may hold a single model or an ensemble.
+pub fn decode_any(bytes: &[u8]) -> Result<LoadedModel> {
+    let (version, sections) = sections(bytes)?;
+    let Some(ensh) = find(&sections, b"ENSH") else {
+        return decode_single(version, &sections).map(LoadedModel::Single);
+    };
+    let header = dec_ensh(ensh)?;
+    if header.centroids.nrows() != header.shards {
+        return Err(CodecError::Malformed(format!(
+            "{} centroids for {} shards",
+            header.centroids.nrows(),
+            header.shards
+        )));
+    }
+    let mut models = Vec::with_capacity(header.shards);
+    for i in 0..header.shards {
+        let blob = find(&sections, &shard_tag(i))
+            .ok_or(CodecError::Malformed(format!("missing shard section {i}")))?;
+        // Each shard is a complete nested model file: the full
+        // magic/version/CRC/semantic pipeline re-runs per shard, so any
+        // corruption inside a shard surfaces as the usual typed errors.
+        // `decode_model` refuses nested ensembles outright, which bounds
+        // the decode depth at 2 — a crafted ensemble-of-ensembles file is
+        // a typed `Malformed`, not unbounded recursion.
+        models.push(decode_model(blob)?);
+    }
+    EnsembleKrr::from_parts(EnsembleParts {
+        models,
+        centroids: header.centroids,
+        strategy: header.strategy,
+        route_nearest: header.route_nearest,
+        fit_wall_seconds: header.fit_wall_seconds,
+        shard_wall_seconds: header.shard_wall_seconds,
+    })
+    .map(LoadedModel::Ensemble)
+    .map_err(|e| CodecError::Malformed(e.to_string()))
+}
+
+/// Deserializes a *single* model. Ensemble files are refused with a
+/// `Malformed` error pointing at [`decode_any`] / [`load_any`]. This is
+/// deliberately non-recursive (it never descends into shard sections), so
+/// the shard decodes inside [`decode_any`] cannot nest further.
+pub fn decode_model(bytes: &[u8]) -> Result<KrrModel> {
+    let (version, sections) = sections(bytes)?;
+    if find(&sections, b"ENSH").is_some() {
+        return Err(CodecError::Malformed(
+            "file holds a sharded ensemble; load it with decode_any/load_any".to_string(),
+        ));
+    }
+    decode_single(version, &sections)
+}
+
 /// Saves a trained model to `path` in the `hkrr-model/1` format.
 pub fn save_model(model: &KrrModel, path: impl AsRef<Path>) -> Result<()> {
     std::fs::write(path, encode_model(model))?;
     Ok(())
 }
 
-/// Loads a model previously written by [`save_model`]. The restored model
-/// needs no re-training of any kind: the HSS form and ULV factors come back
-/// exactly as saved, and predictions are bitwise identical.
+/// Saves a sharded ensemble to `path` (format version 3).
+pub fn save_ensemble(ensemble: &EnsembleKrr, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path, encode_ensemble(ensemble))?;
+    Ok(())
+}
+
+/// Loads a single model previously written by [`save_model`]. The restored
+/// model needs no re-training of any kind: the HSS form and ULV factors
+/// come back exactly as saved, and predictions are bitwise identical.
 pub fn load_model(path: impl AsRef<Path>) -> Result<KrrModel> {
     decode_model(&std::fs::read(path)?)
+}
+
+/// Loads whatever a file holds — a single model or an ensemble — together
+/// with the file's format version.
+pub fn load_any(path: impl AsRef<Path>) -> Result<(u32, LoadedModel)> {
+    let bytes = std::fs::read(path)?;
+    let version = encoded_version(&bytes)?;
+    Ok((version, decode_any(&bytes)?))
+}
+
+// ---------------------------------------------------------------------------
+// Model metadata as stable text.
+
+/// The stable, line-oriented `hkrr-serve info` output: one `key: value`
+/// pair per line (shard lines use the key `shard <i>`), covering the
+/// format/version, the solver kind, the PCG configuration, and — for
+/// ensembles — the shard layout. Every codec version produces the same
+/// keys (older files surface the defaults their era implied), so scripts
+/// can parse the output without sniffing versions.
+pub fn info_lines(version: u32, model: &LoadedModel) -> Vec<String> {
+    let mut lines = vec![
+        format!("schema: {SCHEMA}"),
+        format!("version: {version}"),
+        format!(
+            "kind: {}",
+            if model.is_ensemble() {
+                "ensemble"
+            } else {
+                "single"
+            }
+        ),
+        format!("dim: {}", model.dim()),
+        format!("n_train: {}", model.num_train()),
+    ];
+    let config_lines = |config: &KrrConfig, lines: &mut Vec<String>| {
+        lines.push(format!("solver: {}", config.solver.label()));
+        lines.push(format!("clustering: {}", config.clustering.label()));
+        lines.push(format!("h: {:e}", config.h));
+        lines.push(format!("lambda: {:e}", config.lambda));
+        lines.push(format!("tolerance: {:e}", config.tolerance));
+        lines.push(format!("pcg_tolerance: {:e}", config.pcg_tolerance));
+        lines.push(format!("pcg_max_iterations: {}", config.pcg_max_iterations));
+        lines.push(format!("pcg_loosening: {:e}", config.pcg_loosening));
+    };
+    match model {
+        LoadedModel::Single(m) => {
+            config_lines(m.config(), &mut lines);
+            lines.push(format!(
+                "factors: {}",
+                if m.factors().is_some() { "yes" } else { "no" }
+            ));
+            lines.push("shards: 1".to_string());
+        }
+        LoadedModel::Ensemble(e) => {
+            config_lines(e.models()[0].config(), &mut lines);
+            lines.push(format!(
+                "factors: {}",
+                if e.models().iter().all(|m| m.factors().is_some()) {
+                    "yes"
+                } else {
+                    "no"
+                }
+            ));
+            lines.push(format!("shards: {}", e.num_shards()));
+            lines.push(format!("route_nearest: {}", e.router().route_nearest()));
+            lines.push(format!("strategy: {}", e.strategy().label()));
+            for (i, (model, report)) in e
+                .models()
+                .iter()
+                .zip(e.report().shard_reports.iter())
+                .enumerate()
+            {
+                lines.push(format!(
+                    "shard {i}: n={} solver={} factorization_s={:.6} max_rank={}",
+                    model.num_train(),
+                    model.config().solver.label(),
+                    report.factorization_seconds,
+                    report.max_rank
+                ));
+            }
+        }
+    }
+    lines
 }
 
 #[cfg(test)]

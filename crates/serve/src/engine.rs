@@ -3,8 +3,8 @@
 //! Production prediction traffic arrives as single points, but the kernel
 //! work is much cheaper per point when evaluated in batches (one pass over
 //! the stored training points serves every query in the batch, and the
-//! batched [`KrrModel::decision_values_into`] path parallelizes over the
-//! batch rows via the column-parallel cross-kernel). This engine sits
+//! batched [`DecisionModel::decision_values_into`] path parallelizes over
+//! the batch rows via the column-parallel cross-kernel). This engine sits
 //! between the two shapes:
 //!
 //! * requests go into a **bounded queue** (backpressure: a full queue
@@ -23,7 +23,7 @@
 //! request envelope itself.
 
 use crate::ServeError;
-use hkrr_core::KrrModel;
+use hkrr_core::DecisionModel;
 use hkrr_linalg::Matrix;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -147,8 +147,10 @@ pub struct EngineStats {
     pub queue_rejections: AtomicU64,
 }
 
-/// A point-in-time copy of [`EngineStats`] with derived ratios.
-#[derive(Debug, Clone, Copy, Default)]
+/// A point-in-time copy of [`EngineStats`] with derived ratios, plus the
+/// hosted model's per-constituent serving load (one entry per shard for an
+/// ensemble; empty when the model is a single `KrrModel`).
+#[derive(Debug, Clone, Default)]
 pub struct StatsSnapshot {
     /// Requests answered.
     pub requests: u64,
@@ -164,6 +166,13 @@ pub struct StatsSnapshot {
     pub max_latency_ms: f64,
     /// Submissions rejected because the queue was full.
     pub queue_rejections: u64,
+    /// Number of constituent models behind the engine (1 for a single
+    /// model, the shard count for an ensemble).
+    pub num_models: usize,
+    /// Cumulative routed-query count per constituent model, when the
+    /// hosted model tracks one (per-shard load for an ensemble; empty for
+    /// a single model).
+    pub model_requests: Vec<u64>,
 }
 
 impl EngineStats {
@@ -187,6 +196,8 @@ impl EngineStats {
             },
             max_latency_ms: self.latency_micros_max.load(Ordering::Relaxed) as f64 / 1000.0,
             queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
+            num_models: 1,
+            model_requests: Vec::new(),
         }
     }
 }
@@ -201,7 +212,7 @@ struct Shared {
     shutdown: AtomicBool,
     stats: EngineStats,
     config: EngineConfig,
-    model: Arc<KrrModel>,
+    model: Arc<dyn DecisionModel>,
 }
 
 /// The micro-batching prediction engine: a worker pool over a shared
@@ -212,8 +223,9 @@ pub struct PredictionEngine {
 }
 
 impl PredictionEngine {
-    /// Starts the worker pool over a loaded model.
-    pub fn start(model: Arc<KrrModel>, config: EngineConfig) -> Arc<PredictionEngine> {
+    /// Starts the worker pool over a loaded model — any
+    /// [`DecisionModel`]: a single `KrrModel` or a sharded ensemble.
+    pub fn start(model: Arc<dyn DecisionModel>, config: EngineConfig) -> Arc<PredictionEngine> {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::with_capacity(config.queue_capacity.min(4096))),
             arrived: Condvar::new(),
@@ -239,13 +251,17 @@ impl PredictionEngine {
     }
 
     /// The model being served.
-    pub fn model(&self) -> &KrrModel {
-        &self.shared.model
+    pub fn model(&self) -> &dyn DecisionModel {
+        self.shared.model.as_ref()
     }
 
-    /// Cumulative counters.
+    /// Cumulative counters, including the hosted model's per-constituent
+    /// (per-shard) routed-query counts when it tracks them.
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.stats.snapshot()
+        let mut snapshot = self.shared.stats.snapshot();
+        snapshot.num_models = self.shared.model.num_models();
+        snapshot.model_requests = self.shared.model.model_loads();
+        snapshot
     }
 
     /// Submits one raw (un-normalized) point; the reply can be awaited via
@@ -418,7 +434,7 @@ fn worker_loop(shared: &Shared) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hkrr_core::{KrrConfig, SolverKind};
+    use hkrr_core::{KrrConfig, KrrModel, SolverKind};
     use hkrr_datasets::registry::LETTER;
 
     fn model(n: usize) -> (Arc<KrrModel>, hkrr_datasets::Dataset) {
@@ -437,7 +453,7 @@ mod tests {
     fn single_requests_match_direct_prediction_bitwise() {
         let (m, ds) = model(200);
         let engine = PredictionEngine::start(
-            Arc::clone(&m),
+            Arc::clone(&m) as Arc<dyn DecisionModel>,
             EngineConfig {
                 workers: 2,
                 ..EngineConfig::default()
@@ -510,7 +526,7 @@ mod tests {
         let (m, ds) = model(220);
         let direct = m.decision_values(&ds.test);
         let engine = PredictionEngine::start(
-            Arc::clone(&m),
+            Arc::clone(&m) as Arc<dyn DecisionModel>,
             EngineConfig {
                 workers: 1,
                 max_batch: 32,
@@ -583,7 +599,7 @@ mod tests {
         let (m, ds) = model(120);
         for round in 0..4 {
             let engine = PredictionEngine::start(
-                Arc::clone(&m),
+                Arc::clone(&m) as Arc<dyn DecisionModel>,
                 EngineConfig {
                     workers: 1,
                     linger: Duration::from_micros(200),

@@ -5,13 +5,15 @@
 //!
 //! * [`codec`] — the versioned `hkrr-model/1` binary format: a trained
 //!   model (config, normalization, training points, weights, clustering
-//!   permutation, **and** the compressed HSS form + ULV factors) round-trips
-//!   through a file, so reload skips clustering, compression and
-//!   factorization entirely and predictions are bitwise identical,
+//!   permutation, **and** the compressed HSS form + ULV factors) — or a
+//!   whole cluster-sharded ensemble, one nested model file per shard —
+//!   round-trips through a file, so reload skips clustering, compression
+//!   and factorization entirely and predictions are bitwise identical,
 //! * [`engine`] — a micro-batching prediction engine: a worker pool over a
-//!   shared loaded model and a bounded queue that coalesces single-point
-//!   queries into batched [`hkrr_core::KrrModel::decision_values_into`]
-//!   calls, with per-request latency accounting,
+//!   shared loaded model (any [`hkrr_core::DecisionModel`] — single or
+//!   ensemble) and a bounded queue that coalesces single-point queries
+//!   into batched `decision_values_into` calls, with per-request latency
+//!   accounting and, for ensembles, per-shard routed-query counts,
 //! * [`protocol`] — the length-prefixed binary wire format (with a
 //!   line-mode fallback for `nc`-style manual testing),
 //! * [`server`] — a `std::net` TCP front-end with graceful shutdown,
@@ -28,7 +30,7 @@ pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
-pub use codec::{load_model, save_model, CodecError};
+pub use codec::{load_any, load_model, save_ensemble, save_model, CodecError, LoadedModel};
 pub use engine::{EngineConfig, EngineError, EngineStats, PredictionEngine};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use server::{Server, ServerConfig};

@@ -15,7 +15,7 @@ use crate::engine::{EngineConfig, PredictionEngine, StatsSnapshot};
 use crate::protocol::{self, Request, WirePrediction};
 use crate::ServeError;
 use hkrr_bench::json::JsonWriter;
-use hkrr_core::KrrModel;
+use hkrr_core::DecisionModel;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -50,8 +50,12 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener and starts serving `model`.
-    pub fn start(model: Arc<KrrModel>, config: ServerConfig) -> Result<Server, ServeError> {
+    /// Binds the listener and starts serving `model` — any
+    /// [`DecisionModel`]: a single `KrrModel` or a sharded ensemble.
+    pub fn start(
+        model: Arc<dyn DecisionModel>,
+        config: ServerConfig,
+    ) -> Result<Server, ServeError> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let engine = PredictionEngine::start(model, config.engine);
@@ -119,7 +123,11 @@ impl Drop for Server {
     }
 }
 
-/// Engine stats as the JSON object the `stats` command returns.
+/// Engine stats as the JSON object the `stats` command returns. When the
+/// hosted model is a multi-shard ensemble, `model_requests` carries the
+/// cumulative per-shard routed-query counts, so the per-shard serving load
+/// is readable from a live server (binary `stats` opcode or the line-mode
+/// `stats` command) without restarting it.
 pub fn stats_json(stats: &StatsSnapshot) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
@@ -130,6 +138,13 @@ pub fn stats_json(stats: &StatsSnapshot) -> String {
     w.field_f64("mean_latency_ms", stats.mean_latency_ms);
     w.field_f64("max_latency_ms", stats.max_latency_ms);
     w.field_u64("queue_rejections", stats.queue_rejections);
+    w.field_usize("num_models", stats.num_models);
+    w.key("model_requests");
+    w.begin_array();
+    for &count in &stats.model_requests {
+        w.value_u64(count);
+    }
+    w.end_array();
     w.end_object();
     w.finish()
 }
@@ -407,7 +422,7 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hkrr_core::{KrrConfig, SolverKind};
+    use hkrr_core::{KrrConfig, KrrModel, SolverKind};
     use hkrr_datasets::registry::LETTER;
 
     fn served() -> (Server, Arc<KrrModel>, hkrr_datasets::Dataset) {
@@ -420,7 +435,7 @@ mod tests {
         };
         let model = Arc::new(KrrModel::fit(&ds.train, &ds.train_labels, &cfg).unwrap());
         let server = Server::start(
-            Arc::clone(&model),
+            Arc::clone(&model) as Arc<dyn DecisionModel>,
             ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
                 engine: EngineConfig {

@@ -1,0 +1,125 @@
+//! The serving stack over an ensemble: the engine hosts any
+//! `DecisionModel`, predictions over TCP stay bitwise faithful to the
+//! in-process ensemble, and the per-shard serving load is readable from a
+//! live server through the `stats` command — binary opcode and `nc`-style
+//! line mode — without restarting anything.
+
+use hkrr_core::{KrrConfig, SolverKind};
+use hkrr_datasets::registry::LETTER;
+use hkrr_ensemble::{EnsembleConfig, EnsembleKrr, ShardStrategy};
+use hkrr_serve::codec::{decode_any, encode_ensemble, LoadedModel};
+use hkrr_serve::engine::EngineConfig;
+use hkrr_serve::server::{Client, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn trained(k: usize, n: usize, seed: u64) -> (EnsembleKrr, hkrr_datasets::Dataset) {
+    let ds = hkrr_datasets::generate(&LETTER, n, 32, seed);
+    let cfg = EnsembleConfig {
+        shards: k,
+        route_nearest: 2,
+        strategy: ShardStrategy::Cluster,
+        base: KrrConfig {
+            h: LETTER.default_h,
+            lambda: LETTER.default_lambda,
+            solver: SolverKind::Hss,
+            ..KrrConfig::default()
+        },
+    };
+    let ens = EnsembleKrr::fit(&ds.train, &ds.train_labels, &cfg).unwrap();
+    (ens, ds)
+}
+
+/// Acceptance leg of the tentpole: ensemble save → load → serve over TCP
+/// is bitwise identical to in-process prediction, and the engine's stats
+/// expose the per-shard routed-query counts.
+#[test]
+fn reloaded_ensemble_serves_bitwise_and_reports_per_shard_load() {
+    let (ens, ds) = trained(4, 320, 31);
+    let reference = ens.decision_values(&ds.test);
+
+    // Through the codec, so the served model is the *reloaded* one.
+    let loaded = decode_any(&encode_ensemble(&ens)).unwrap();
+    assert!(loaded.is_ensemble());
+    let server = Server::start(
+        loaded.into_handle(),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            engine: EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut client = Client::connect(&addr).unwrap();
+    let (dim, n_train) = client.info().unwrap();
+    assert_eq!((dim, n_train), (16, 320));
+    for i in 0..ds.test.nrows() {
+        let p = client.predict(ds.test.row(i).to_vec()).unwrap();
+        assert_eq!(p.score, reference[i], "query {i} differs over the wire");
+    }
+
+    // Binary stats: per-shard counts present and summing to requests × m.
+    let stats = server.stats();
+    assert_eq!(stats.requests, ds.test.nrows() as u64);
+    assert_eq!(stats.num_models, 4);
+    assert_eq!(stats.model_requests.len(), 4);
+    assert_eq!(
+        stats.model_requests.iter().sum::<u64>(),
+        2 * ds.test.nrows() as u64,
+        "each query is routed to exactly route_nearest shards"
+    );
+    let stats_json = client.stats().unwrap();
+    hkrr_bench::json::validate(&stats_json).unwrap();
+    assert!(stats_json.contains("\"num_models\":4"), "{stats_json}");
+    assert!(stats_json.contains("\"model_requests\":["), "{stats_json}");
+
+    // Line mode: the same stats are readable with nothing but a TCP text
+    // client, while the server keeps serving.
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"stats\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ok {"), "unexpected stats reply {line:?}");
+    assert!(line.contains("\"num_models\":4"), "{line}");
+    assert!(line.contains("\"model_requests\":["), "{line}");
+    // Still serving after the stats read.
+    writer.write_all(b"ping\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line, "ok pong\n");
+    writer.write_all(b"quit\n").unwrap();
+
+    server.shutdown();
+}
+
+/// A single-model server reports `num_models: 1` and an empty per-model
+/// list — the stats shape is stable across model kinds.
+#[test]
+fn single_model_stats_shape_is_stable() {
+    let ds = hkrr_datasets::generate(&LETTER, 160, 10, 3);
+    let cfg = KrrConfig {
+        h: LETTER.default_h,
+        lambda: LETTER.default_lambda,
+        solver: SolverKind::Hss,
+        ..KrrConfig::default()
+    };
+    let model = hkrr_core::KrrModel::fit(&ds.train, &ds.train_labels, &cfg).unwrap();
+    let server = Server::start(
+        LoadedModel::Single(model).into_handle(),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+    client.predict(ds.test.row(0).to_vec()).unwrap();
+    let stats_json = client.stats().unwrap();
+    hkrr_bench::json::validate(&stats_json).unwrap();
+    assert!(stats_json.contains("\"num_models\":1"), "{stats_json}");
+    assert!(stats_json.contains("\"model_requests\":[]"), "{stats_json}");
+    server.shutdown();
+}

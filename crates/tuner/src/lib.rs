@@ -2,8 +2,8 @@
 //!
 //! Hyperparameter tuning of `(h, λ)` for kernel ridge regression — and,
 //! via [`solver_search`], of the solver back end itself (dense vs direct
-//! HSS vs HSS-preconditioned CG), making the solver one more searchable
-//! dimension.
+//! HSS vs HSS-preconditioned CG), and via [`ensemble_search`] of the
+//! ensemble shard count, making both one more searchable dimension.
 //!
 //! The paper compares an exhaustive grid search (128² runs, Figure 6a)
 //! against the black-box optimization of OpenTuner (100 runs, Figure 6b)
@@ -22,7 +22,10 @@ pub mod search;
 
 pub use grid::{grid_search, GridSpec};
 pub use objective::{Objective, ValidationObjective};
-pub use search::{black_box_search, solver_search, SearchOptions, SolverSearchResult};
+pub use search::{
+    black_box_search, ensemble_search, solver_search, EnsembleSearchResult, SearchOptions,
+    SolverSearchResult,
+};
 
 /// One evaluated hyperparameter point.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -20,6 +20,14 @@ pub trait Objective: Sync {
     fn evaluate_solver(&self, _solver: SolverKind, h: f64, lambda: f64) -> f64 {
         self.evaluate(h, lambda)
     }
+
+    /// Evaluates the objective with a specific ensemble shard count — the
+    /// hook that makes sharding a searchable dimension
+    /// ([`crate::ensemble_search`]). Objectives that do not shard simply
+    /// inherit this default, which ignores it.
+    fn evaluate_shards(&self, _shards: usize, h: f64, lambda: f64) -> f64 {
+        self.evaluate(h, lambda)
+    }
 }
 
 /// Validation-set accuracy of a classifier trained with the given

@@ -185,6 +185,83 @@ pub fn solver_search(
     }
 }
 
+/// The outcome of a shard-dimension search: the winning shard count, its
+/// best `(h, λ)`, and the full per-count tuning results.
+#[derive(Debug, Clone)]
+pub struct EnsembleSearchResult {
+    /// The shard count whose best evaluation won.
+    pub best_shards: usize,
+    /// The winning evaluation.
+    pub best: Evaluation,
+    /// One complete [`TuningResult`] per searched shard count, in input
+    /// order.
+    pub per_shards: Vec<(usize, TuningResult)>,
+}
+
+/// Adapter that pins one shard count of the searched dimension.
+struct ShardsPinned<'a> {
+    inner: &'a dyn Objective,
+    shards: usize,
+}
+
+impl Objective for ShardsPinned<'_> {
+    fn evaluate(&self, h: f64, lambda: f64) -> f64 {
+        self.inner.evaluate_shards(self.shards, h, lambda)
+    }
+}
+
+/// Black-box search over `(shards, h, λ)`: the budget-splitting discipline
+/// of [`solver_search`] applied to the ensemble shard count (even split,
+/// remainder to the first counts, same seed per slice so every shard count
+/// sees identical `(h, λ)` candidates).
+///
+/// # Panics
+/// Panics when `shard_counts` is empty or the per-count budget would be
+/// zero.
+pub fn ensemble_search(
+    objective: &dyn Objective,
+    shard_counts: &[usize],
+    opts: &SearchOptions,
+) -> EnsembleSearchResult {
+    assert!(
+        !shard_counts.is_empty(),
+        "ensemble_search needs at least one shard count"
+    );
+    let per_budget = opts.budget / shard_counts.len();
+    let remainder = opts.budget % shard_counts.len();
+    assert!(
+        per_budget >= 1,
+        "budget {} cannot cover {} shard counts",
+        opts.budget,
+        shard_counts.len()
+    );
+    let per_shards: Vec<(usize, TuningResult)> = shard_counts
+        .iter()
+        .enumerate()
+        .map(|(i, &shards)| {
+            let pinned = ShardsPinned {
+                inner: objective,
+                shards,
+            };
+            let opts = SearchOptions {
+                budget: per_budget + usize::from(i < remainder),
+                ..*opts
+            };
+            (shards, black_box_search(&pinned, &opts))
+        })
+        .collect();
+    let (best_shards, best) = per_shards
+        .iter()
+        .map(|(k, r)| (*k, r.best))
+        .max_by(|a, b| a.1.accuracy.partial_cmp(&b.1.accuracy).unwrap())
+        .expect("at least one shard count was searched");
+    EnsembleSearchResult {
+        best_shards,
+        best,
+        per_shards,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +414,74 @@ mod tests {
             .collect();
         assert_eq!(counts, vec![3, 2, 2], "remainder goes to the first solvers");
         assert_eq!(counts.iter().sum::<usize>(), 7, "full budget spent");
+    }
+
+    /// An objective where an intermediate shard count is best (too few
+    /// shards = slow monolith, too many = starved local experts).
+    struct ShardAware;
+
+    impl Objective for ShardAware {
+        fn evaluate(&self, h: f64, lambda: f64) -> f64 {
+            Peak.evaluate(h, lambda)
+        }
+
+        fn evaluate_shards(&self, shards: usize, h: f64, lambda: f64) -> f64 {
+            let sweet = -((shards as f64).ln() - 4.0_f64.ln()).powi(2);
+            Peak.evaluate(h, lambda) * 0.5 + 0.5 * sweet.exp()
+        }
+    }
+
+    #[test]
+    fn ensemble_search_explores_the_shard_dimension() {
+        let counts = [1, 4, 16];
+        let r = ensemble_search(
+            &ShardAware,
+            &counts,
+            &SearchOptions {
+                budget: 60,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.best_shards, 4);
+        assert_eq!(r.per_shards.len(), 3);
+        let sizes: Vec<usize> = r
+            .per_shards
+            .iter()
+            .map(|(_, res)| res.num_evaluations())
+            .collect();
+        assert_eq!(sizes, vec![20, 20, 20]);
+        // Same seed per slice: every shard count saw identical candidates.
+        let a = &r.per_shards[0].1.history;
+        let b = &r.per_shards[1].1.history;
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.h, y.h);
+            assert_eq!(x.lambda, y.lambda);
+            assert!(y.accuracy > x.accuracy, "k=4 dominates k=1 pointwise");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn ensemble_search_rejects_an_empty_count_list() {
+        let _ = ensemble_search(&ShardAware, &[], &SearchOptions::default());
+    }
+
+    #[test]
+    fn ensemble_search_spends_a_non_divisible_budget_fully() {
+        let r = ensemble_search(
+            &ShardAware,
+            &[1, 4, 16],
+            &SearchOptions {
+                budget: 7,
+                ..Default::default()
+            },
+        );
+        let counts: Vec<usize> = r
+            .per_shards
+            .iter()
+            .map(|(_, res)| res.num_evaluations())
+            .collect();
+        assert_eq!(counts, vec![3, 2, 2], "remainder goes to the first counts");
     }
 
     #[test]

@@ -16,9 +16,13 @@
 //! * [`hmatrix`] — strong-admissibility H-matrices with ACA, used as the
 //!   fast sampler,
 //! * [`krr`] — Algorithm 1 end to end (binary + one-vs-all classification),
-//! * [`tuner`] — grid search and black-box tuning of `(h, λ)`,
-//! * [`serve`] — model persistence (`hkrr-model/1`) and the micro-batching
-//!   TCP prediction service.
+//! * [`tuner`] — grid search and black-box tuning of `(h, λ)` — plus the
+//!   solver and ensemble-shard-count dimensions,
+//! * [`ensemble`] — cluster-sharded ensembles: shard the training set with
+//!   the paper's cluster trees, train one model per shard in parallel,
+//!   route queries to the nearest shard centroids,
+//! * [`serve`] — model persistence (`hkrr-model/1`, single models and
+//!   ensembles) and the micro-batching TCP prediction service.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and
 //! `examples/serve_roundtrip.rs` for the save → load → serve path.
@@ -26,6 +30,7 @@
 pub use hkrr_clustering as clustering;
 pub use hkrr_core as krr;
 pub use hkrr_datasets as datasets;
+pub use hkrr_ensemble as ensemble;
 pub use hkrr_hmatrix as hmatrix;
 pub use hkrr_hss as hss;
 pub use hkrr_kernel as kernel;
@@ -36,11 +41,15 @@ pub use hkrr_tuner as tuner;
 /// Convenience prelude with the types most programs need.
 pub mod prelude {
     pub use hkrr_clustering::{ClusteringMethod, DEFAULT_LEAF_SIZE};
-    pub use hkrr_core::{accuracy, KrrConfig, KrrModel, MulticlassKrr, SolverKind};
+    pub use hkrr_core::{
+        accuracy, DecisionModel, KrrConfig, KrrModel, ModelHandle, MulticlassKrr, SolverKind,
+    };
     pub use hkrr_datasets::{generate, generate_multiclass, spec_by_name, DatasetSpec};
+    pub use hkrr_ensemble::{EnsembleConfig, EnsembleKrr, ShardPlan, ShardStrategy};
     pub use hkrr_kernel::{KernelFunction, KernelMatrix, Normalizer};
     pub use hkrr_linalg::{LinearOperator, Matrix};
     pub use hkrr_tuner::{
-        black_box_search, grid_search, solver_search, GridSpec, SearchOptions, ValidationObjective,
+        black_box_search, ensemble_search, grid_search, solver_search, GridSpec, SearchOptions,
+        ValidationObjective,
     };
 }

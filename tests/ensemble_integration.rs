@@ -1,0 +1,160 @@
+//! Tentpole acceptance of the sharded-ensemble subsystem, pinned on the
+//! medium (SUSY-like) workload:
+//!
+//! 1. a 4-shard cluster-routed ensemble **trains strictly faster** than the
+//!    monolithic HSS solve — the shard-sum of per-phase training time (and
+//!    of the factorizations) recorded in `EnsembleReport` beats the single
+//!    big solve,
+//! 2. its prediction RMSE against the true labels **matches the monolithic
+//!    model within 5%**,
+//! 3. cluster sharding is **at least as accurate as random sharding** at
+//!    equal `k`,
+//! 4. ensemble save → load → **serve over TCP is bitwise identical** to
+//!    in-process prediction.
+//!
+//! The workload is exactly the perf harness's "medium" instance (SUSY-like,
+//! n = 2000, seed 43); the whole pipeline is bitwise deterministic for
+//! fixed seeds, so the accuracy comparisons are exact, not statistical.
+
+use hkrr::ensemble::{EnsembleConfig, EnsembleKrr, ShardStrategy};
+use hkrr::krr::{accuracy, KrrConfig, KrrModel, SolverKind};
+use hkrr::serve::codec::{decode_any, encode_ensemble};
+use hkrr::serve::engine::EngineConfig;
+use hkrr::serve::server::{Client, Server, ServerConfig};
+
+use hkrr::datasets::registry::SUSY;
+
+const N_TRAIN: usize = 2000;
+const N_TEST: usize = 300;
+const SEED: u64 = 43;
+
+fn base_config() -> KrrConfig {
+    KrrConfig {
+        h: SUSY.default_h,
+        lambda: SUSY.default_lambda,
+        solver: SolverKind::Hss,
+        ..KrrConfig::default()
+    }
+}
+
+fn ensemble_config(strategy: ShardStrategy) -> EnsembleConfig {
+    EnsembleConfig {
+        shards: 4,
+        route_nearest: 2,
+        strategy,
+        base: base_config(),
+    }
+}
+
+/// RMSE of ±1 predictions against the true ±1 labels — the task-level
+/// error metric (a per-shard model's decision-value *magnitudes* shrink
+/// with its training-set size, so raw scores are not comparable across
+/// model granularities; the predictions are).
+fn label_rmse(predictions: &[f64], labels: &[f64]) -> f64 {
+    let sum: f64 = predictions
+        .iter()
+        .zip(labels.iter())
+        .map(|(p, l)| (p - l) * (p - l))
+        .sum();
+    (sum / predictions.len() as f64).sqrt()
+}
+
+#[test]
+fn four_shard_cluster_ensemble_beats_the_monolithic_solve_on_the_medium_workload() {
+    let ds = hkrr::datasets::generate(&SUSY, N_TRAIN, N_TEST, SEED);
+
+    let mono = KrrModel::fit(&ds.train, &ds.train_labels, &base_config()).unwrap();
+    let ens = EnsembleKrr::fit(
+        &ds.train,
+        &ds.train_labels,
+        &ensemble_config(ShardStrategy::Cluster),
+    )
+    .unwrap();
+    let random = EnsembleKrr::fit(
+        &ds.train,
+        &ds.train_labels,
+        &ensemble_config(ShardStrategy::Random {
+            seed: SEED ^ 0xbeef,
+        }),
+    )
+    .unwrap();
+
+    // --- 1. Training cost: shard-sum vs the single big solve, as recorded
+    // in the reports.
+    let mono_report = mono.report();
+    let ens_report = ens.report();
+    assert_eq!(ens_report.num_shards(), 4);
+    assert_eq!(ens_report.num_train(), N_TRAIN);
+    let mono_total = mono_report.total_seconds();
+    let shard_sum_total = ens_report.sum_total_seconds();
+    eprintln!(
+        "train: monolithic {mono_total:.3}s vs shard-sum {shard_sum_total:.3}s \
+         (fit wall {:.3}s)",
+        ens_report.fit_wall_seconds
+    );
+    assert!(
+        shard_sum_total < mono_total,
+        "4-shard ensemble must train strictly faster: shard-sum {shard_sum_total:.3}s \
+         vs monolithic {mono_total:.3}s"
+    );
+    let mono_factor = mono_report.factorization_seconds;
+    let shard_sum_factor = ens_report.sum_factorization_seconds();
+    eprintln!("factorization: monolithic {mono_factor:.4}s vs shard-sum {shard_sum_factor:.4}s");
+    assert!(
+        shard_sum_factor < mono_factor,
+        "sum of shard factorizations {shard_sum_factor:.4}s must beat the single \
+         factorization {mono_factor:.4}s"
+    );
+
+    // --- 2. Accuracy: prediction RMSE within 5% of the monolith.
+    let ens_scores = ens.decision_values(&ds.test);
+    let mono_rmse = label_rmse(&mono.predict(&ds.test), &ds.test_labels);
+    let ens_rmse = label_rmse(&ens.predict(&ds.test), &ds.test_labels);
+    eprintln!("rmse: monolithic {mono_rmse:.4} vs ensemble {ens_rmse:.4}");
+    assert!(
+        ens_rmse <= 1.05 * mono_rmse,
+        "ensemble RMSE {ens_rmse:.4} exceeds monolithic {mono_rmse:.4} by more than 5%"
+    );
+
+    // --- 3. Cluster sharding ≥ random sharding at equal k.
+    let cluster_acc = accuracy(&ens.predict(&ds.test), &ds.test_labels);
+    let random_acc = accuracy(&random.predict(&ds.test), &ds.test_labels);
+    let mono_acc = accuracy(&mono.predict(&ds.test), &ds.test_labels);
+    eprintln!("accuracy: mono {mono_acc:.4}, cluster {cluster_acc:.4}, random {random_acc:.4}");
+    assert!(
+        cluster_acc >= random_acc,
+        "cluster sharding ({cluster_acc:.4}) must not lose to random sharding ({random_acc:.4})"
+    );
+
+    // --- 4. Save → load → serve over TCP, bitwise.
+    let loaded = decode_any(&encode_ensemble(&ens)).unwrap();
+    assert!(loaded.is_ensemble());
+    let server = Server::start(
+        loaded.into_handle(),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            engine: EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+    for i in 0..ds.test.nrows() {
+        let p = client.predict(ds.test.row(i).to_vec()).unwrap();
+        assert_eq!(
+            p.score, ens_scores[i],
+            "query {i}: served ensemble prediction is not bitwise identical"
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.requests, N_TEST as u64);
+    assert_eq!(stats.num_models, 4);
+    assert_eq!(
+        stats.model_requests.iter().sum::<u64>(),
+        2 * N_TEST as u64,
+        "route_nearest=2 sends every query to exactly two shards"
+    );
+    server.shutdown();
+}
