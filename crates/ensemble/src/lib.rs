@@ -37,12 +37,14 @@
 //!   into the tuner's searchable dimensions
 //!   ([`hkrr_tuner::ensemble_search`]).
 
+#![warn(missing_docs)]
+
 pub mod model;
 pub mod objective;
 pub mod report;
 pub mod shard;
 
-pub use model::{EnsembleConfig, EnsembleKrr, EnsembleParts, Router};
+pub use model::{combine_scores, EnsembleConfig, EnsembleKrr, EnsembleParts, Router};
 pub use objective::EnsembleValidationObjective;
 pub use report::EnsembleReport;
 pub use shard::{ShardPlan, ShardStrategy, MAX_SHARDS};

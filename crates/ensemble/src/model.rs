@@ -148,7 +148,16 @@ impl Router {
 /// permutation-invariant in the shard order. A single contribution is
 /// returned verbatim, which is what makes a 1-shard ensemble reproduce the
 /// monolithic model bitwise.
-fn combine(contributions: &mut [(f64, f64)]) -> f64 {
+///
+/// This is the *one* definition of the ensemble combining rule. The
+/// distributed shard router (`hkrr_serve::router`) calls it on scores it
+/// collected over TCP, which is what makes routed predictions bitwise
+/// identical to the in-process [`EnsembleKrr`] on the same shard set.
+///
+/// # Panics
+/// Panics (debug assertion) when `contributions` is empty — a query must
+/// reach at least one shard.
+pub fn combine_scores(contributions: &mut [(f64, f64)]) -> f64 {
     debug_assert!(!contributions.is_empty());
     if contributions.len() == 1 {
         return contributions[0].1;
@@ -451,7 +460,7 @@ impl EnsembleKrr {
                 cursors[s] += 1;
                 contributions.push((d2, score));
             }
-            *slot = combine(&mut contributions);
+            *slot = combine_scores(&mut contributions);
         }
     }
 
@@ -575,7 +584,7 @@ mod tests {
                 .into_iter()
                 .map(|(s, d2)| (d2, ens.models()[s].decision_values(&query)[0]))
                 .collect();
-            let expected = combine(&mut contributions);
+            let expected = combine_scores(&mut contributions);
             assert_eq!(ens.decision_values(&query)[0], expected, "query {i}");
         }
     }

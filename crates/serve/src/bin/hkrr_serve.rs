@@ -13,20 +13,32 @@
 //!                    [--concurrency 8] [--out BENCH_serve.json]
 //! hkrr-serve bench   [--requests 1000] [--concurrency 8] [--shards K]
 //!                    [--out BENCH_serve.json]   # train→save→load→serve→loadgen
+//! hkrr-serve shard-serve <model.hkrr> --shard I [--addr 127.0.0.1:0]
+//!                    [--workers N]              # serve ONE shard of an ensemble
+//! hkrr-serve route   <model.hkrr> --shard ADDR[,ADDR…] … [--addr 127.0.0.1:7878]
+//!                    [--route-nearest M] [--health-interval-ms 500]
+//!                    # fan-out router over shard-serve processes
+//! hkrr-serve dbench  [--shards K] [--replicas R] [--requests 400]
+//!                    [--out BENCH_serve_distributed.json]
+//!                    # distributed bench: spawn K×R shard processes + router,
+//!                    # kill one shard mid-run, assert availability
 //! ```
 //!
 //! `--shards K` (K > 1) trains a cluster-sharded ensemble: the training
 //! set is cut into `K` geometrically coherent shards, one model per shard
 //! trains in parallel, and serving routes each query to its
-//! `--route-nearest M` nearest shard centroids.
+//! `--route-nearest M` nearest shard centroids. `shard-serve` + `route`
+//! run the same ensemble as separate processes (see `docs/OPERATIONS.md`).
 
 use hkrr_core::{KrrConfig, SolverKind};
 use hkrr_ensemble::{EnsembleConfig, EnsembleKrr, ShardStrategy};
 use hkrr_serve::codec::{self, LoadedModel};
 use hkrr_serve::engine::EngineConfig;
-use hkrr_serve::loadgen::{self, LoadgenConfig};
-use hkrr_serve::server::{Server, ServerConfig};
+use hkrr_serve::loadgen::{self, LoadgenConfig, RoutingStats};
+use hkrr_serve::router::{RouterConfig, RouterServer};
+use hkrr_serve::server::{ModelSource, Server, ServerConfig};
 use hkrr_serve::{save_model, ServeError};
+use std::io::BufRead;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -58,6 +70,16 @@ impl Args {
             .rev()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// All occurrences of a repeatable flag, in order — `route` takes one
+    /// `--shard` per shard.
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
@@ -223,13 +245,125 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         model.dim(),
         model.num_models()
     );
+    drop(model); // the server re-loads through its ModelSource
     let config = ServerConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
         engine: engine_config(args)?,
     };
-    let server = Server::start(model.into_handle(), config).map_err(|e| e.to_string())?;
+    // Starting from a source (not a pre-loaded handle) enables the
+    // `refresh` command: re-load the file and hot-swap without a restart.
+    let server = Server::start_with_source(ModelSource::File(path.into()), config)
+        .map_err(|e| e.to_string())?;
     println!("serving on {} (ctrl-c to stop)", server.local_addr());
     // Serve until killed: the accept loop runs on its own thread.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Serves ONE shard of an ensemble file as its own process — the worker
+/// tier of the distributed topology. Prints `listening <addr>` on stdout
+/// so a parent (`dbench`, CI scripts) can scrape the bound port.
+fn cmd_shard_serve(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: hkrr-serve shard-serve <model.hkrr> --shard I [--addr host:port]")?;
+    let index = args.get_parsed("shard", usize::MAX)?;
+    if index == usize::MAX {
+        return Err("shard-serve needs --shard I (zero-based shard index)".to_string());
+    }
+    let config = ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:0").to_string(),
+        engine: engine_config(args)?,
+    };
+    let source = ModelSource::EnsembleShard {
+        path: path.into(),
+        index,
+    };
+    let server = Server::start_with_source(source, config).map_err(|e| e.to_string())?;
+    let model = server.engine().model();
+    eprintln!(
+        "shard {index} of {path}: n_train={}, dim={}",
+        model.num_train(),
+        model.dim()
+    );
+    println!("listening {}", server.local_addr());
+    // A parent process scrapes that line; make sure it is not stuck in a
+    // pipe buffer.
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Parses the repeated `--shard ADDR[,ADDR…]` flags into per-shard replica
+/// address groups.
+fn shard_addr_groups(args: &Args) -> Result<Vec<Vec<String>>, String> {
+    let groups: Vec<Vec<String>> = args
+        .get_all("shard")
+        .iter()
+        .map(|g| {
+            g.split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .collect();
+    if groups.is_empty() {
+        return Err("route needs one --shard ADDR[,ADDR…] per shard (in shard order)".to_string());
+    }
+    Ok(groups)
+}
+
+fn router_config(args: &Args) -> Result<RouterConfig, String> {
+    let default = RouterConfig::default();
+    Ok(RouterConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        route_nearest: match args.get("route-nearest") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("--route-nearest: cannot parse {v:?}"))?,
+            ),
+        },
+        health_interval: Duration::from_millis(args.get_parsed(
+            "health-interval-ms",
+            default.health_interval.as_millis() as u64,
+        )?),
+        connect_timeout: Duration::from_millis(args.get_parsed(
+            "connect-timeout-ms",
+            default.connect_timeout.as_millis() as u64,
+        )?),
+        io_timeout: Duration::from_millis(
+            args.get_parsed("io-timeout-ms", default.io_timeout.as_millis() as u64)?,
+        ),
+    })
+}
+
+/// The router tier: reads only the centroids from the ensemble file and
+/// fans queries out to shard-serve processes.
+fn cmd_route(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: hkrr-serve route <model.hkrr> --shard ADDR[,ADDR…] … [--addr host:port]")?;
+    let layout = codec::load_layout(path).map_err(|e| e.to_string())?;
+    let groups = shard_addr_groups(args)?;
+    let config = router_config(args)?;
+    eprintln!(
+        "router over {} shards ({} replicas total), route {} nearest",
+        layout.shards,
+        groups.iter().map(Vec::len).sum::<usize>(),
+        config.route_nearest.unwrap_or(layout.route_nearest)
+    );
+    let router = RouterServer::start(layout.centroids, layout.route_nearest, groups, config)
+        .map_err(|e| e.to_string())?;
+    println!("listening {}", router.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
     loop {
         std::thread::sleep(Duration::from_secs(3600));
     }
@@ -310,13 +444,215 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: hkrr-serve <save|train|info|serve|loadgen|bench> [options]
-  save     train a model on a synthetic dataset and persist it (hkrr-model/1);
-           --shards K (K>1) trains a cluster-sharded ensemble
-  info     print a persisted model's metadata (line-oriented key: value)
-  serve    load a model or ensemble and answer prediction queries over TCP
-  loadgen  benchmark a running server, write BENCH_serve.json
-  bench    end-to-end: train → save → load → serve → loadgen";
+/// One spawned `shard-serve` child process and the address it bound.
+struct ShardProcess {
+    child: std::process::Child,
+    addr: String,
+    shard: usize,
+}
+
+/// Spawns `hkrr-serve shard-serve` as a real child process on a free
+/// loopback port and scrapes `listening <addr>` from its stdout.
+fn spawn_shard_process(model_path: &str, shard: usize) -> Result<ShardProcess, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "shard-serve",
+            model_path,
+            "--shard",
+            &shard.to_string(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .map_err(|e| format!("cannot spawn shard-serve: {e}"))?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading shard {shard} stdout: {e}"))?;
+        if n == 0 {
+            let _ = child.kill();
+            return Err(format!(
+                "shard {shard} process exited before announcing its port"
+            ));
+        }
+        if let Some(addr) = line.trim().strip_prefix("listening ") {
+            return Ok(ShardProcess {
+                child,
+                addr: addr.to_string(),
+                shard,
+            });
+        }
+    }
+}
+
+/// The distributed walkthrough in one command: train a sharded ensemble,
+/// save it, launch one `shard-serve` OS process per shard replica, put an
+/// in-process router in front, hammer it — and kill every replica of one
+/// shard mid-run to measure availability under failover. Fails when the
+/// post-disruption error rate exceeds 5% (degraded-but-answered queries
+/// are fine; hangs are impossible by construction because every client
+/// runs to quota under the router's I/O deadlines).
+fn cmd_dbench(args: &Args) -> Result<(), String> {
+    let shards = args.get_parsed("shards", 4usize)?;
+    if shards < 2 {
+        return Err("dbench needs --shards ≥ 2 (distributed implies sharded)".to_string());
+    }
+    let replicas = args.get_parsed("replicas", 1usize)?.max(1);
+    let requests = args.get_parsed("requests", 400usize)?;
+
+    // Train + save the ensemble the shard processes will each load a
+    // nested section of.
+    let mut train_args = Args {
+        positional: args.positional.clone(),
+        flags: args.flags.clone(),
+    };
+    if train_args.get("shards").is_none() {
+        train_args
+            .flags
+            .push(("shards".to_string(), shards.to_string()));
+    }
+    let (model, _) = train_model(&train_args)?;
+    let path = std::env::temp_dir().join(format!("hkrr_dbench_{}.hkrr", std::process::id()));
+    let path_str = path.to_string_lossy().to_string();
+    save_loaded(&model, &path_str).map_err(|e| e.to_string())?;
+    let layout = codec::load_layout(&path_str).map_err(|e| e.to_string())?;
+    drop(model);
+
+    // One OS process per shard replica.
+    let mut fleet: Vec<ShardProcess> = Vec::with_capacity(shards * replicas);
+    for shard in 0..shards {
+        for _ in 0..replicas {
+            match spawn_shard_process(&path_str, shard) {
+                Ok(p) => fleet.push(p),
+                Err(e) => {
+                    for p in &mut fleet {
+                        let _ = p.child.kill();
+                    }
+                    std::fs::remove_file(&path).ok();
+                    return Err(e);
+                }
+            }
+        }
+    }
+    let mut groups: Vec<Vec<String>> = vec![Vec::new(); shards];
+    for p in &fleet {
+        groups[p.shard].push(p.addr.clone());
+    }
+    println!(
+        "spawned {} shard-serve processes ({} shards × {} replicas)",
+        fleet.len(),
+        shards,
+        replicas
+    );
+
+    // Kill-a-shard scenario: every replica of shard 0 dies mid-run.
+    let victims: Vec<std::process::Child> = {
+        let mut victims = Vec::new();
+        let mut kept = Vec::new();
+        for p in fleet {
+            if p.shard == 0 {
+                victims.push(p.child);
+            } else {
+                kept.push(p);
+            }
+        }
+        fleet = kept;
+        victims
+    };
+
+    let router = RouterServer::start(
+        layout.centroids,
+        layout.route_nearest,
+        groups,
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            health_interval: Duration::from_millis(200),
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_secs(2),
+            route_nearest: None,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!("router listening on {}", router.local_addr());
+
+    let config = LoadgenConfig {
+        addr: router.local_addr().to_string(),
+        requests,
+        concurrency: args.get_parsed("concurrency", 4usize)?,
+        seed: args.get_parsed("seed", 0x10adu64)?,
+    };
+    let disrupt_after = requests / 2;
+    let report = loadgen::run_with_disruption(&config, disrupt_after, move || {
+        for mut child in victims {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    })
+    .map_err(|e| e.to_string())?;
+
+    let stats_json = router.stats_json();
+    let report = report.with_routing(RoutingStats {
+        failovers: router.failovers(),
+        degraded: router.degraded(),
+        exhausted: 0,
+    });
+    router.shutdown();
+    for p in &mut fleet {
+        let _ = p.child.kill();
+        let _ = p.child.wait();
+    }
+    std::fs::remove_file(&path).ok();
+
+    println!("router stats: {stats_json}");
+    write_snapshot(
+        &report,
+        args.get("out").unwrap_or("BENCH_serve_distributed.json"),
+    )?;
+
+    let d = report
+        .disruption
+        .as_ref()
+        .ok_or("disruption never fired (run too short?)")?;
+    if d.requests_after == 0 {
+        return Err("no requests observed after the disruption".to_string());
+    }
+    let error_rate = d.errors_after as f64 / d.requests_after as f64;
+    println!(
+        "post-disruption availability: {}/{} answered ({:.1}% errors)",
+        d.requests_after - d.errors_after,
+        d.requests_after,
+        100.0 * error_rate
+    );
+    if error_rate > 0.05 {
+        return Err(format!(
+            "post-disruption error rate {:.1}% exceeds the 5% budget",
+            100.0 * error_rate
+        ));
+    }
+    Ok(())
+}
+
+const USAGE: &str =
+    "usage: hkrr-serve <save|train|info|serve|loadgen|bench|shard-serve|route|dbench> [options]
+  save         train a model on a synthetic dataset and persist it (hkrr-model/1);
+               --shards K (K>1) trains a cluster-sharded ensemble
+  info         print a persisted model's metadata (line-oriented key: value)
+  serve        load a model or ensemble and answer prediction queries over TCP
+  loadgen      benchmark a running server, write BENCH_serve.json
+  bench        end-to-end: train → save → load → serve → loadgen
+  shard-serve  serve ONE shard of an ensemble file (--shard I) as its own process
+  route        fan-out router over shard-serve processes (--shard ADDR[,ADDR…] per shard)
+  dbench       distributed bench: spawn shard processes + router, kill a shard
+               mid-run, assert availability, write BENCH_serve_distributed.json";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -331,6 +667,9 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args),
         "loadgen" => cmd_loadgen(&args),
         "bench" => cmd_bench(&args),
+        "shard-serve" => cmd_shard_serve(&args),
+        "route" => cmd_route(&args),
+        "dbench" => cmd_dbench(&args),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     });
     match result {

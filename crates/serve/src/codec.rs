@@ -1123,6 +1123,81 @@ pub fn decode_any(bytes: &[u8]) -> Result<LoadedModel> {
     .map_err(|e| CodecError::Malformed(e.to_string()))
 }
 
+/// The ensemble-level layout of a v3 ensemble file — everything a
+/// distributed router needs (centroids, shard count, routing width)
+/// *without* decoding a single shard model. This is what lets the router
+/// tier hold "only centroids + client connections": it reads a few
+/// kilobytes of header from a file whose shard sections may be hundreds of
+/// megabytes.
+#[derive(Debug, Clone)]
+pub struct EnsembleLayout {
+    /// Number of shards (`SHnn` sections) in the file.
+    pub shards: usize,
+    /// How many nearest shards answer each query, as the ensemble was
+    /// trained.
+    pub route_nearest: usize,
+    /// Sharding strategy the ensemble was trained with.
+    pub strategy: ShardStrategy,
+    /// Shard centroids (`k × d`, raw feature space).
+    pub centroids: Matrix,
+}
+
+/// Extracts the ensemble layout from encoded bytes. Returns a `Malformed`
+/// error when the file holds a single model (no `ENSH` section).
+pub fn decode_layout(bytes: &[u8]) -> Result<EnsembleLayout> {
+    let (_, sections) = sections(bytes)?;
+    let ensh = find(&sections, b"ENSH").ok_or(CodecError::Malformed(
+        "file holds a single model, not an ensemble (no ENSH section)".to_string(),
+    ))?;
+    let header = dec_ensh(ensh)?;
+    if header.centroids.nrows() != header.shards {
+        return Err(CodecError::Malformed(format!(
+            "{} centroids for {} shards",
+            header.centroids.nrows(),
+            header.shards
+        )));
+    }
+    Ok(EnsembleLayout {
+        shards: header.shards,
+        route_nearest: header.route_nearest,
+        strategy: header.strategy,
+        centroids: header.centroids,
+    })
+}
+
+/// Loads the ensemble layout (centroids + routing) from an ensemble file.
+pub fn load_layout(path: impl AsRef<Path>) -> Result<EnsembleLayout> {
+    decode_layout(&std::fs::read(path)?)
+}
+
+/// Extracts shard `index`'s complete model from encoded ensemble bytes
+/// without decoding any other shard — each `SHnn` section is a full nested
+/// single-model file, so a shard server pays only for its own shard's
+/// checksums and matrices.
+pub fn decode_shard(bytes: &[u8], index: usize) -> Result<KrrModel> {
+    let (_, sections) = sections(bytes)?;
+    let ensh = find(&sections, b"ENSH").ok_or(CodecError::Malformed(
+        "file holds a single model, not an ensemble (no ENSH section)".to_string(),
+    ))?;
+    let header = dec_ensh(ensh)?;
+    if index >= header.shards {
+        return Err(CodecError::Malformed(format!(
+            "shard index {index} out of range (file has {} shards)",
+            header.shards
+        )));
+    }
+    let blob = find(&sections, &shard_tag(index)).ok_or(CodecError::Malformed(format!(
+        "missing shard section {index}"
+    )))?;
+    decode_model(blob)
+}
+
+/// Loads shard `index`'s model from an ensemble file (see
+/// [`decode_shard`]).
+pub fn load_shard(path: impl AsRef<Path>, index: usize) -> Result<KrrModel> {
+    decode_shard(&std::fs::read(path)?, index)
+}
+
 /// Deserializes a *single* model. Ensemble files are refused with a
 /// `Malformed` error pointing at [`decode_any`] / [`load_any`]. This is
 /// deliberately non-recursive (it never descends into shard sections), so

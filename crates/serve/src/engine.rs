@@ -27,7 +27,7 @@ use hkrr_core::DecisionModel;
 use hkrr_linalg::Matrix;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -79,12 +79,25 @@ pub enum EngineError {
     /// queue. Every waiter observes this error — no request is left
     /// hanging on a queue no worker will ever drain again.
     Shutdown,
+    /// [`PredictionEngine::refresh`] was offered a replacement model with
+    /// a different input dimension; the swap was refused and the old
+    /// model keeps serving.
+    RefreshDimensionMismatch {
+        /// Input dimension of the model currently being served.
+        expected: usize,
+        /// Input dimension of the rejected replacement.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::Shutdown => write!(f, "engine is shut down"),
+            EngineError::RefreshDimensionMismatch { expected, got } => write!(
+                f,
+                "refreshed model has dimension {got}, the engine serves dimension {expected}"
+            ),
         }
     }
 }
@@ -212,7 +225,21 @@ struct Shared {
     shutdown: AtomicBool,
     stats: EngineStats,
     config: EngineConfig,
-    model: Arc<dyn DecisionModel>,
+    /// The served model, behind a swap lock so `refresh` can replace it
+    /// while the workers keep draining: a worker clones the handle once
+    /// per *batch* (one read-lock acquisition, not one per request), so a
+    /// swap never tears a batch and in-flight batches finish on the model
+    /// they started with.
+    model: RwLock<Arc<dyn DecisionModel>>,
+    /// Input dimension, fixed for the engine's lifetime (`refresh`
+    /// enforces it), so `submit` validates without taking the model lock.
+    dim: usize,
+}
+
+impl Shared {
+    fn model(&self) -> Arc<dyn DecisionModel> {
+        Arc::clone(&self.model.read().unwrap())
+    }
 }
 
 /// The micro-batching prediction engine: a worker pool over a shared
@@ -226,6 +253,7 @@ impl PredictionEngine {
     /// Starts the worker pool over a loaded model — any
     /// [`DecisionModel`]: a single `KrrModel` or a sharded ensemble.
     pub fn start(model: Arc<dyn DecisionModel>, config: EngineConfig) -> Arc<PredictionEngine> {
+        let dim = model.dim();
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::with_capacity(config.queue_capacity.min(4096))),
             arrived: Condvar::new(),
@@ -236,7 +264,8 @@ impl PredictionEngine {
                 queue_capacity: config.queue_capacity.max(1),
                 ..config
             },
-            model,
+            model: RwLock::new(model),
+            dim,
         });
         let workers = (0..shared.config.workers)
             .map(|_| {
@@ -250,17 +279,35 @@ impl PredictionEngine {
         })
     }
 
-    /// The model being served.
-    pub fn model(&self) -> &dyn DecisionModel {
-        self.shared.model.as_ref()
+    /// The model currently being served (a clone of the swap handle, so
+    /// the caller's view is stable across a concurrent
+    /// [`PredictionEngine::refresh`]).
+    pub fn model(&self) -> Arc<dyn DecisionModel> {
+        self.shared.model()
+    }
+
+    /// Hot-swaps the served model. The replacement must have the same
+    /// input dimension; in-flight batches finish on the old model, later
+    /// batches use the new one, and no request is dropped either way.
+    /// Per-constituent load counters restart with the new model.
+    pub fn refresh(&self, model: Arc<dyn DecisionModel>) -> Result<(), EngineError> {
+        if model.dim() != self.shared.dim {
+            return Err(EngineError::RefreshDimensionMismatch {
+                expected: self.shared.dim,
+                got: model.dim(),
+            });
+        }
+        *self.shared.model.write().unwrap() = model;
+        Ok(())
     }
 
     /// Cumulative counters, including the hosted model's per-constituent
     /// (per-shard) routed-query counts when it tracks them.
     pub fn stats(&self) -> StatsSnapshot {
         let mut snapshot = self.shared.stats.snapshot();
-        snapshot.num_models = self.shared.model.num_models();
-        snapshot.model_requests = self.shared.model.model_loads();
+        let model = self.shared.model();
+        snapshot.num_models = model.num_models();
+        snapshot.model_requests = model.model_loads();
         snapshot
     }
 
@@ -268,7 +315,7 @@ impl PredictionEngine {
     /// [`PendingPrediction::wait`]. Validates the dimension and applies
     /// queue backpressure here, before any worker is involved.
     pub fn submit(&self, point: Vec<f64>) -> Result<PendingPrediction, ServeError> {
-        let dim = self.shared.model.dim();
+        let dim = self.shared.dim;
         if point.len() != dim {
             return Err(ServeError::Rejected(format!(
                 "point has {} features, model expects {dim}",
@@ -387,8 +434,7 @@ fn pop_batch(shared: &Shared, batch: &mut Vec<Request>) {
 }
 
 fn worker_loop(shared: &Shared) {
-    let model = &shared.model;
-    let dim = model.dim();
+    let dim = shared.dim;
     let mut batch: Vec<Request> = Vec::with_capacity(shared.config.max_batch);
     // Reused across batches: zero steady-state allocation on the hot path.
     let mut points_buf: Vec<f64> = Vec::with_capacity(shared.config.max_batch * dim.max(1));
@@ -406,6 +452,9 @@ fn worker_loop(shared: &Shared) {
             points_buf.extend_from_slice(&req.point);
         }
         let test = Matrix::from_vec(rows, dim, std::mem::take(&mut points_buf));
+        // One handle clone per batch: a concurrent refresh swaps the slot
+        // without tearing this batch.
+        let model = shared.model();
         model.decision_values_into(&test, &mut scores[..rows]);
         points_buf = test.into_vec();
 
@@ -590,6 +639,57 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn refresh_hot_swaps_the_model_and_validates_the_dimension() {
+        let (m, ds) = model(150);
+        let engine = PredictionEngine::start(
+            Arc::clone(&m) as Arc<dyn DecisionModel>,
+            EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let before = engine.predict_one(ds.test.row(0).to_vec()).unwrap();
+        assert_eq!(before.score, m.decision_values(&ds.test)[0]);
+
+        // Swap in a model trained on different data: answers change to the
+        // new model's, bitwise, with no restart.
+        let ds2 = hkrr_datasets::generate(&LETTER, 130, 16, 99);
+        let cfg = KrrConfig {
+            h: LETTER.default_h,
+            lambda: LETTER.default_lambda,
+            solver: SolverKind::Hss,
+            ..KrrConfig::default()
+        };
+        let m2 = Arc::new(KrrModel::fit(&ds2.train, &ds2.train_labels, &cfg).unwrap());
+        engine
+            .refresh(Arc::clone(&m2) as Arc<dyn DecisionModel>)
+            .unwrap();
+        let after = engine.predict_one(ds.test.row(0).to_vec()).unwrap();
+        assert_eq!(after.score, m2.decision_values(&ds.test)[0]);
+
+        // A wrong-dimension replacement is refused and the old model keeps
+        // serving.
+        let ds8 = hkrr_datasets::generate(&hkrr_datasets::registry::SUSY, 100, 8, 1);
+        let cfg8 = KrrConfig {
+            h: hkrr_datasets::registry::SUSY.default_h,
+            lambda: hkrr_datasets::registry::SUSY.default_lambda,
+            solver: SolverKind::Hss,
+            ..KrrConfig::default()
+        };
+        let m8 = Arc::new(KrrModel::fit(&ds8.train, &ds8.train_labels, &cfg8).unwrap());
+        assert_eq!(
+            engine.refresh(m8),
+            Err(EngineError::RefreshDimensionMismatch {
+                expected: 16,
+                got: 8
+            })
+        );
+        let still = engine.predict_one(ds.test.row(1).to_vec()).unwrap();
+        assert_eq!(still.score, m2.decision_values(&ds.test)[1]);
+        engine.shutdown();
+    }
+
     /// Races `submit` against `shutdown`: whatever interleaving the
     /// scheduler picks, every submission either is refused with the typed
     /// shutdown error or yields a pending prediction that *resolves* —
@@ -642,6 +742,7 @@ mod tests {
     /// Builds a bare `Shared` (no workers) so `pop_batch` edge cases can
     /// be driven directly.
     fn shared_for(model: Arc<KrrModel>, linger: Duration, max_batch: usize) -> Arc<Shared> {
+        let dim = model.dim();
         Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             arrived: Condvar::new(),
@@ -653,7 +754,8 @@ mod tests {
                 queue_capacity: 64,
                 linger,
             },
-            model,
+            model: RwLock::new(model),
+            dim,
         })
     }
 

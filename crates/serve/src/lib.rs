@@ -17,23 +17,41 @@
 //! * [`protocol`] — the length-prefixed binary wire format (with a
 //!   line-mode fallback for `nc`-style manual testing),
 //! * [`server`] — a `std::net` TCP front-end with graceful shutdown,
+//!   generic over a [`server::RequestHandler`],
+//! * [`client`] — the reusable client half of the protocol (deadlines,
+//!   typed errors) shared by the load generator and the router tier,
+//! * [`router`] — the distributed fan-out tier: holds only shard centroids
+//!   and client connections, routes each query to its nearest shard
+//!   *processes* with replication, least-loaded selection and failover,
 //! * [`loadgen`] — a benchmarking client that hammers a server over
 //!   loopback (or the network) and writes the `BENCH_serve.json`
-//!   latency/throughput snapshot (schema `hkrr-serve-perf/1`).
+//!   latency/throughput snapshot (schema `hkrr-serve-perf/1`), including a
+//!   kill-a-shard disruption mode for availability testing.
 //!
 //! The `hkrr-serve` binary stitches these together:
-//! `train → save → serve → loadgen` (see the README "Serving" section).
+//! `train → save → serve → loadgen`, or distributed:
+//! `save --shards k → k × shard-serve → route → loadgen` (see
+//! `docs/OPERATIONS.md`).
 
+#![warn(missing_docs)]
+
+pub mod client;
 pub mod codec;
 pub mod engine;
 pub mod loadgen;
 pub mod protocol;
+pub mod router;
 pub mod server;
 
-pub use codec::{load_any, load_model, save_ensemble, save_model, CodecError, LoadedModel};
+pub use client::Client;
+pub use codec::{
+    load_any, load_layout, load_model, load_shard, save_ensemble, save_model, CodecError,
+    EnsembleLayout, LoadedModel,
+};
 pub use engine::{EngineConfig, EngineError, EngineStats, PredictionEngine};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
-pub use server::{Server, ServerConfig};
+pub use router::{RouterConfig, RouterServer};
+pub use server::{ModelSource, Reply, RequestHandler, Server, ServerConfig, TcpFrontEnd};
 
 /// Errors surfaced by the serving layer.
 #[derive(Debug)]

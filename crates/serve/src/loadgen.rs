@@ -7,11 +7,18 @@
 //! seeded-random queries back to back; because the server coalesces across
 //! connections, concurrency > 1 makes micro-batching directly observable in
 //! the reported `mean_batch_size`.
+//!
+//! For availability testing of the distributed tier,
+//! [`run_with_disruption`] fires a caller-supplied disruption (typically
+//! "kill one shard-server process") once a threshold of requests has
+//! completed, and the report then separates post-disruption error rate and
+//! failover-era latency from the steady-state numbers.
 
-use crate::server::Client;
+use crate::client::Client;
 use crate::ServeError;
 use hkrr_bench::json::{validate, JsonWriter};
 use hkrr_linalg::random::Pcg64;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Parameters of one load-generation run.
@@ -36,6 +43,39 @@ impl Default for LoadgenConfig {
             seed: 0x10ad,
         }
     }
+}
+
+/// What happened after a mid-run disruption ([`run_with_disruption`]):
+/// the availability numbers the kill-a-shard scenario asserts on.
+#[derive(Debug, Clone)]
+pub struct DisruptionStats {
+    /// The configured trigger: disrupt after this many completed requests.
+    pub after_requests: usize,
+    /// Completed-request count actually observed when the disruption
+    /// fired (≥ `after_requests`; the watcher polls).
+    pub fired_at_request: usize,
+    /// Requests attempted after the disruption fired.
+    pub requests_after: usize,
+    /// Of those, how many failed.
+    pub errors_after: usize,
+    /// 95th-percentile client latency after the disruption — the failover
+    /// era, where dead-replica detection and re-routing costs live.
+    pub post_p95_ms: f64,
+    /// Worst client latency after the disruption (the failover latency
+    /// ceiling: it bounds how long any query stalled on a dead replica).
+    pub post_max_ms: f64,
+}
+
+/// Router-side counters for the report's `routing` section, copied from a
+/// [`RouterServer`](crate::router::RouterServer) after the run.
+#[derive(Debug, Clone, Copy)]
+pub struct RoutingStats {
+    /// Queries where at least one planned shard was replaced or dropped.
+    pub failovers: u64,
+    /// Queries answered with fewer than `route_nearest` contributions.
+    pub degraded: u64,
+    /// Queries no shard replica could answer (errors to the client).
+    pub exhausted: u64,
 }
 
 /// Aggregated results of a load-generation run.
@@ -70,6 +110,12 @@ pub struct LoadgenReport {
     pub mean_batch_size: f64,
     /// Largest batch any request was served in.
     pub max_batch_observed: usize,
+    /// Present when the run had a mid-run disruption
+    /// ([`run_with_disruption`]).
+    pub disruption: Option<DisruptionStats>,
+    /// Router counters, filled in by the caller when the target was a
+    /// router tier (see [`LoadgenReport::with_routing`]).
+    pub routing: Option<RoutingStats>,
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -82,6 +128,27 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
 
 /// Runs the load against a live server.
 pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
+    run_inner(config, None)
+}
+
+/// Runs the load and, once `after_requests` queries have completed, fires
+/// `disrupt` (typically: kill one shard-server process) from a watcher
+/// thread while the client threads keep hammering. The report's
+/// [`DisruptionStats`] then isolates post-disruption availability — the
+/// kill-a-shard scenario asserts a bounded error rate and, because every
+/// client runs to its full quota, completing at all proves no hangs.
+pub fn run_with_disruption(
+    config: &LoadgenConfig,
+    after_requests: usize,
+    disrupt: impl FnOnce() + Send,
+) -> Result<LoadgenReport, ServeError> {
+    run_inner(config, Some((after_requests, Box::new(disrupt))))
+}
+
+fn run_inner(
+    config: &LoadgenConfig,
+    disruption: Option<(usize, Box<dyn FnOnce() + Send + '_>)>,
+) -> Result<LoadgenReport, ServeError> {
     let concurrency = config.concurrency.max(1);
     let (dim, n_train) = Client::connect(&config.addr)?.info()?;
     let dim = dim as usize;
@@ -90,68 +157,139 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
     let base = config.requests / concurrency;
     let extra = config.requests % concurrency;
 
+    #[derive(Default)]
     struct ClientOutcome {
         latencies_ms: Vec<f64>,
         server_micros: u64,
         batch_sum: u64,
         batch_max: usize,
         errors: usize,
+        post_latencies_ms: Vec<f64>,
+        post_requests: usize,
+        post_errors: usize,
     }
+
+    // Shared run state: completed-attempt counter drives the disruption
+    // trigger; the flag tells client threads which bucket a request
+    // belongs to (pre- or post-disruption).
+    let completed = AtomicUsize::new(0);
+    let disrupted = AtomicBool::new(false);
+    let workers_done = AtomicBool::new(false);
+    let fired_at = AtomicUsize::new(0);
+    let after_configured = disruption.as_ref().map(|(after, _)| *after);
 
     let start = Instant::now();
     let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let watcher = disruption.map(|(after, disrupt)| {
+            let completed = &completed;
+            let disrupted = &disrupted;
+            let workers_done = &workers_done;
+            let fired_at = &fired_at;
+            scope.spawn(move || {
+                loop {
+                    let done = completed.load(Ordering::Acquire);
+                    if done >= after {
+                        fired_at.store(done, Ordering::Release);
+                        disrupt();
+                        disrupted.store(true, Ordering::Release);
+                        return;
+                    }
+                    if workers_done.load(Ordering::Acquire) {
+                        return; // run finished before the threshold
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                }
+            })
+        });
         let handles: Vec<_> = (0..concurrency)
             .map(|t| {
                 let quota = base + usize::from(t < extra);
                 let addr = config.addr.clone();
                 let seed = config.seed ^ ((t as u64 + 1) * 0x9e37_79b9);
+                let completed = &completed;
+                let disrupted = &disrupted;
                 scope.spawn(move || {
                     let mut out = ClientOutcome {
                         latencies_ms: Vec::with_capacity(quota),
-                        server_micros: 0,
-                        batch_sum: 0,
-                        batch_max: 0,
-                        errors: 0,
+                        ..ClientOutcome::default()
                     };
                     let Ok(mut client) = Client::connect(&addr) else {
                         out.errors = quota;
+                        completed.fetch_add(quota, Ordering::AcqRel);
                         return out;
                     };
                     let mut rng = Pcg64::seed_from_u64(seed);
                     for _ in 0..quota {
                         let point: Vec<f64> = (0..dim).map(|_| rng.next_gaussian()).collect();
+                        let post = disrupted.load(Ordering::Acquire);
                         let sent = Instant::now();
-                        match client.predict(point) {
+                        let result = client.predict(point);
+                        let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
+                        if post {
+                            out.post_requests += 1;
+                            out.post_latencies_ms.push(latency_ms);
+                        }
+                        match result {
                             Ok(p) => {
-                                out.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                                out.latencies_ms.push(latency_ms);
                                 out.server_micros += p.latency_micros;
                                 out.batch_sum += p.batch_size as u64;
                                 out.batch_max = out.batch_max.max(p.batch_size as usize);
                             }
-                            Err(_) => out.errors += 1,
+                            Err(_) => {
+                                out.errors += 1;
+                                if post {
+                                    out.post_errors += 1;
+                                }
+                            }
                         }
+                        completed.fetch_add(1, Ordering::AcqRel);
                     }
                     out
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        let outcomes = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        workers_done.store(true, Ordering::Release);
+        if let Some(w) = watcher {
+            let _ = w.join();
+        }
+        outcomes
     });
     let elapsed_seconds = start.elapsed().as_secs_f64();
 
     let mut latencies: Vec<f64> = Vec::with_capacity(config.requests);
+    let mut post_latencies: Vec<f64> = Vec::new();
     let mut server_micros = 0u64;
     let mut batch_sum = 0u64;
     let mut batch_max = 0usize;
     let mut errors = 0usize;
+    let mut post_requests = 0usize;
+    let mut post_errors = 0usize;
     for o in outcomes {
         latencies.extend_from_slice(&o.latencies_ms);
+        post_latencies.extend_from_slice(&o.post_latencies_ms);
         server_micros += o.server_micros;
         batch_sum += o.batch_sum;
         batch_max = batch_max.max(o.batch_max);
         errors += o.errors;
+        post_requests += o.post_requests;
+        post_errors += o.post_errors;
     }
     let ok = latencies.len();
+    let disruption_stats = if disrupted.load(Ordering::Acquire) {
+        post_latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(DisruptionStats {
+            after_requests: after_configured.unwrap_or(0),
+            fired_at_request: fired_at.load(Ordering::Acquire),
+            requests_after: post_requests,
+            errors_after: post_errors,
+            post_p95_ms: percentile(&post_latencies, 0.95),
+            post_max_ms: post_latencies.last().copied().unwrap_or(0.0),
+        })
+    } else {
+        None
+    };
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let mean = if ok > 0 {
         latencies.iter().sum::<f64>() / ok as f64
@@ -186,10 +324,19 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ServeError> {
             0.0
         },
         max_batch_observed: batch_max,
+        disruption: disruption_stats,
+        routing: None,
     })
 }
 
 impl LoadgenReport {
+    /// Attaches router counters (read off the router after the run) so the
+    /// JSON snapshot carries a `routing` section.
+    pub fn with_routing(mut self, routing: RoutingStats) -> LoadgenReport {
+        self.routing = Some(routing);
+        self
+    }
+
     /// Serializes the snapshot (schema `hkrr-serve-perf/1`), validated
     /// through the shared JSON checker before being handed out.
     pub fn to_json(&self) -> String {
@@ -210,6 +357,25 @@ impl LoadgenReport {
         w.field_f64("server_mean_ms", self.server_mean_ms);
         w.field_f64("mean_batch_size", self.mean_batch_size);
         w.field_usize("max_batch_observed", self.max_batch_observed);
+        if let Some(d) = &self.disruption {
+            w.key("disruption");
+            w.begin_object();
+            w.field_usize("after_requests", d.after_requests);
+            w.field_usize("fired_at_request", d.fired_at_request);
+            w.field_usize("requests_after", d.requests_after);
+            w.field_usize("errors_after", d.errors_after);
+            w.field_f64("post_p95_ms", d.post_p95_ms);
+            w.field_f64("post_max_ms", d.post_max_ms);
+            w.end_object();
+        }
+        if let Some(r) = &self.routing {
+            w.key("routing");
+            w.begin_object();
+            w.field_u64("failovers", r.failovers);
+            w.field_u64("degraded", r.degraded);
+            w.field_u64("exhausted", r.exhausted);
+            w.end_object();
+        }
         w.end_object();
         let out = w.finish();
         validate(&out).expect("generated BENCH_serve.json must be well-formed");
@@ -218,7 +384,7 @@ impl LoadgenReport {
 
     /// A compact human-readable summary line.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} ok / {} failed over {} conns in {:.2}s — {:.0} q/s, \
              client p50 {:.2}ms p95 {:.2}ms, server mean {:.2}ms, \
              mean batch {:.2} (max {})",
@@ -232,7 +398,14 @@ impl LoadgenReport {
             self.server_mean_ms,
             self.mean_batch_size,
             self.max_batch_observed
-        )
+        );
+        if let Some(d) = &self.disruption {
+            line.push_str(&format!(
+                "; after disruption at #{}: {}/{} failed, post p95 {:.2}ms max {:.2}ms",
+                d.fired_at_request, d.errors_after, d.requests_after, d.post_p95_ms, d.post_max_ms
+            ));
+        }
+        line
     }
 }
 
@@ -267,11 +440,37 @@ mod tests {
             server_mean_ms: 0.8,
             mean_batch_size: 3.7,
             max_batch_observed: 12,
+            disruption: None,
+            routing: None,
         };
         let json = report.to_json();
         validate(&json).unwrap();
         assert!(json.contains("\"schema\":\"hkrr-serve-perf/1\""));
         assert!(json.contains("\"mean_batch_size\":3.700000"));
+        assert!(!json.contains("\"disruption\""));
         assert!(report.summary().contains("100 ok"));
+
+        let report = LoadgenReport {
+            disruption: Some(DisruptionStats {
+                after_requests: 50,
+                fired_at_request: 52,
+                requests_after: 48,
+                errors_after: 1,
+                post_p95_ms: 4.2,
+                post_max_ms: 12.5,
+            }),
+            ..report
+        }
+        .with_routing(RoutingStats {
+            failovers: 3,
+            degraded: 2,
+            exhausted: 0,
+        });
+        let json = report.to_json();
+        validate(&json).unwrap();
+        assert!(json.contains("\"disruption\""));
+        assert!(json.contains("\"errors_after\":1"));
+        assert!(json.contains("\"failovers\":3"));
+        assert!(report.summary().contains("after disruption at #52"));
     }
 }

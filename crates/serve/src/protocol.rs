@@ -10,7 +10,7 @@
 //! * **Line mode** — anything else on the first bytes switches the
 //!   connection to newline-terminated ASCII commands, so `nc`/`telnet`
 //!   work for manual poking: `predict 0.1 -0.3 …`, `stats`, `ping`,
-//!   `info`, `quit`.
+//!   `info`, `health`, `refresh`, `quit`.
 //!
 //! ## Binary opcodes
 //!
@@ -20,6 +20,16 @@
 //! | 0x02 | —                      | engine stats as a JSON string                |
 //! | 0x03 | — (ping)               | —                                            |
 //! | 0x04 | — (info)               | `dim u32, n_train u64`                       |
+//! | 0x05 | — (health)             | `role u8, requests u64`                      |
+//! | 0x06 | — (refresh)            | `num_models u32, n_train u64`                |
+//!
+//! `health` (0x05) is the router tier's liveness + readiness probe: unlike
+//! `ping`, it proves the peer speaks the binary protocol *and* reports
+//! which role it plays (`0` = model server, `1` = router) plus how many
+//! predict requests it has answered. `refresh` (0x06) asks a model server
+//! to re-load its model from the source it was started from and hot-swap
+//! it behind the live engine; servers without a reloadable source answer
+//! with a status-1 error.
 //!
 //! Responses carry a status byte before the body: `0` OK, `1` error (body
 //! is a UTF-8 message).
@@ -40,6 +50,15 @@ pub const OP_STATS: u8 = 0x02;
 pub const OP_PING: u8 = 0x03;
 /// Request opcode: model metadata (dimension, training size).
 pub const OP_INFO: u8 = 0x04;
+/// Request opcode: protocol-level health probe (role + request count).
+pub const OP_HEALTH: u8 = 0x05;
+/// Request opcode: re-load the model from its source and hot-swap it.
+pub const OP_REFRESH: u8 = 0x06;
+
+/// `role` byte in a health response: a model (shard) server.
+pub const ROLE_MODEL: u8 = 0;
+/// `role` byte in a health response: a fan-out router.
+pub const ROLE_ROUTER: u8 = 1;
 
 /// Response status: success.
 pub const STATUS_OK: u8 = 0;
@@ -57,6 +76,10 @@ pub enum Request {
     Ping,
     /// Model metadata.
     Info,
+    /// Health probe: role + cumulative predict-request count.
+    Health,
+    /// Re-load the model from its source and hot-swap it into the engine.
+    Refresh,
 }
 
 /// One answered prediction, as it travels on the wire.
@@ -115,6 +138,8 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Stats => vec![OP_STATS],
         Request::Ping => vec![OP_PING],
         Request::Info => vec![OP_INFO],
+        Request::Health => vec![OP_HEALTH],
+        Request::Refresh => vec![OP_REFRESH],
     }
 }
 
@@ -140,6 +165,8 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ServeError> {
         OP_STATS => Ok(Request::Stats),
         OP_PING => Ok(Request::Ping),
         OP_INFO => Ok(Request::Info),
+        OP_HEALTH => Ok(Request::Health),
+        OP_REFRESH => Ok(Request::Refresh),
         op => Err(ServeError::Protocol(format!("unknown opcode {op:#04x}"))),
     }
 }
@@ -222,6 +249,47 @@ pub fn decode_info(body: &[u8]) -> Result<(u32, u64), ServeError> {
     ))
 }
 
+/// Encodes a health response body.
+pub fn encode_health(role: u8, requests: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    out.push(role);
+    out.extend_from_slice(&requests.to_le_bytes());
+    out
+}
+
+/// Decodes a health response body into `(role, requests)`.
+pub fn decode_health(body: &[u8]) -> Result<(u8, u64), ServeError> {
+    if body.len() != 9 {
+        return Err(ServeError::Protocol(format!(
+            "health body is {} bytes, expected 9",
+            body.len()
+        )));
+    }
+    Ok((body[0], u64::from_le_bytes(body[1..9].try_into().unwrap())))
+}
+
+/// Encodes a refresh response body.
+pub fn encode_refreshed(num_models: u32, n_train: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&num_models.to_le_bytes());
+    out.extend_from_slice(&n_train.to_le_bytes());
+    out
+}
+
+/// Decodes a refresh response body into `(num_models, n_train)`.
+pub fn decode_refreshed(body: &[u8]) -> Result<(u32, u64), ServeError> {
+    if body.len() != 12 {
+        return Err(ServeError::Protocol(format!(
+            "refresh body is {} bytes, expected 12",
+            body.len()
+        )));
+    }
+    Ok((
+        u32::from_le_bytes(body[0..4].try_into().unwrap()),
+        u64::from_le_bytes(body[4..12].try_into().unwrap()),
+    ))
+}
+
 /// Parses one line-mode command. Returns `None` for `quit`/`exit` (close
 /// the connection).
 pub fn parse_line(line: &str) -> Result<Option<Request>, ServeError> {
@@ -241,6 +309,8 @@ pub fn parse_line(line: &str) -> Result<Option<Request>, ServeError> {
         Some("stats") => Ok(Some(Request::Stats)),
         Some("ping") => Ok(Some(Request::Ping)),
         Some("info") => Ok(Some(Request::Info)),
+        Some("health") => Ok(Some(Request::Health)),
+        Some("refresh") => Ok(Some(Request::Refresh)),
         Some("quit") | Some("exit") => Ok(None),
         Some(cmd) => Err(ServeError::Protocol(format!("unknown command {cmd:?}"))),
     }
@@ -287,6 +357,8 @@ mod tests {
             Request::Stats,
             Request::Ping,
             Request::Info,
+            Request::Health,
+            Request::Refresh,
         ] {
             let decoded = decode_request(&encode_request(&req)).unwrap();
             assert_eq!(decoded, req);
@@ -322,6 +394,20 @@ mod tests {
         assert!(decode_prediction(&[0u8; 5]).is_err());
         assert!(decode_info(&[0u8; 5]).is_err());
         assert!(decode_response(&[]).is_err());
+
+        let health = encode_ok(&encode_health(ROLE_ROUTER, 12345));
+        assert_eq!(
+            decode_health(decode_response(&health).unwrap()).unwrap(),
+            (ROLE_ROUTER, 12345)
+        );
+        assert!(decode_health(&[0u8; 3]).is_err());
+
+        let refreshed = encode_ok(&encode_refreshed(4, 2000));
+        assert_eq!(
+            decode_refreshed(decode_response(&refreshed).unwrap()).unwrap(),
+            (4, 2000)
+        );
+        assert!(decode_refreshed(&[0u8; 3]).is_err());
     }
 
     #[test]
@@ -333,6 +419,8 @@ mod tests {
         assert_eq!(parse_line("stats").unwrap(), Some(Request::Stats));
         assert_eq!(parse_line("ping").unwrap(), Some(Request::Ping));
         assert_eq!(parse_line("info").unwrap(), Some(Request::Info));
+        assert_eq!(parse_line("health").unwrap(), Some(Request::Health));
+        assert_eq!(parse_line("refresh").unwrap(), Some(Request::Refresh));
         assert_eq!(parse_line("quit").unwrap(), None);
         assert!(parse_line("predict").is_err());
         assert!(parse_line("predict one two").is_err());

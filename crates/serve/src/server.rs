@@ -2,26 +2,35 @@
 //!
 //! One listener thread accepts connections; each connection gets its own
 //! handler thread that speaks either the binary framed protocol or line
-//! mode (see [`crate::protocol`]) and funnels predict requests into the
-//! shared micro-batching [`PredictionEngine`] — so queries from *different*
-//! connections coalesce into the same batches.
+//! mode (see [`crate::protocol`]) and hands decoded requests to a
+//! [`RequestHandler`]. The connection machinery is shared by two handlers:
+//!
+//! * the engine-backed [`Server`] funnels predict requests into the shared
+//!   micro-batching [`PredictionEngine`] — so queries from *different*
+//!   connections coalesce into the same batches,
+//! * the fan-out [`RouterServer`](crate::router::RouterServer) answers the
+//!   same protocol by dispatching to remote shard servers.
 //!
 //! Shutdown is graceful: the accept loop is unblocked with a loopback
 //! connection, handlers notice the flag through short read timeouts and
-//! finish their in-flight request, and the engine drains its queue before
-//! the workers exit.
+//! finish their in-flight request, and (for the engine-backed server) the
+//! engine drains its queue before the workers exit.
 
+use crate::codec;
 use crate::engine::{EngineConfig, PredictionEngine, StatsSnapshot};
-use crate::protocol::{self, Request, WirePrediction};
+use crate::protocol::{self, Request, WirePrediction, ROLE_MODEL, ROLE_ROUTER};
 use crate::ServeError;
 use hkrr_bench::json::JsonWriter;
 use hkrr_core::DecisionModel;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+pub use crate::client::Client;
 
 /// Configuration of the TCP front-end.
 #[derive(Debug, Clone)]
@@ -41,47 +50,163 @@ impl Default for ServerConfig {
     }
 }
 
-/// A running prediction server.
-pub struct Server {
-    addr: SocketAddr,
+/// A typed reply from a [`RequestHandler`] — rendered once for the binary
+/// protocol and once for line mode, so handlers never touch wire encoding.
+#[derive(Debug, Clone)]
+pub enum Reply {
+    /// Answer to [`Request::Predict`].
+    Prediction(WirePrediction),
+    /// A JSON document (the `stats` command).
+    Json(String),
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Info`].
+    Info {
+        /// Input feature dimension.
+        dim: u32,
+        /// Total training points behind this endpoint.
+        n_train: u64,
+    },
+    /// Answer to [`Request::Health`].
+    Health {
+        /// [`ROLE_MODEL`] or [`ROLE_ROUTER`].
+        role: u8,
+        /// Predict requests answered so far.
+        requests: u64,
+    },
+    /// Answer to [`Request::Refresh`].
+    Refreshed {
+        /// Constituent model count after the reload.
+        num_models: u32,
+        /// Training points after the reload.
+        n_train: u64,
+    },
+}
+
+/// What a protocol front-end needs from the thing it fronts: one decoded
+/// request in, one typed [`Reply`] (or typed error) out. Implemented by the
+/// engine-backed server and by the shard-fan-out router, which share the
+/// accept/framing machinery through this trait.
+pub trait RequestHandler: Send + Sync + 'static {
+    /// Answers one request. Errors become protocol-level error replies on
+    /// the connection that asked; they never tear the server down.
+    fn handle(&self, req: Request) -> Result<Reply, ServeError>;
+}
+
+/// Where a server's model came from, so `refresh` can re-load it in place.
+#[derive(Debug, Clone)]
+pub enum ModelSource {
+    /// An `hkrr-model/1` file holding a single model or a whole ensemble.
+    File(PathBuf),
+    /// One shard (`SHnn` section) of an ensemble file — what a
+    /// `shard-serve` process hosts.
+    EnsembleShard {
+        /// Path of the ensemble file.
+        path: PathBuf,
+        /// Zero-based shard index.
+        index: usize,
+    },
+}
+
+impl ModelSource {
+    /// Loads (or re-loads) the model this source points at.
+    pub fn load(&self) -> Result<Arc<dyn DecisionModel>, ServeError> {
+        match self {
+            ModelSource::File(path) => Ok(codec::load_any(path)?.1.into_handle()),
+            ModelSource::EnsembleShard { path, index } => {
+                Ok(Arc::new(codec::load_shard(path, *index)?))
+            }
+        }
+    }
+}
+
+/// The engine-backed [`RequestHandler`]: predicts through the
+/// micro-batching engine and, when a [`ModelSource`] is attached, services
+/// `refresh` by re-loading the file and hot-swapping the engine's model.
+struct EngineHandler {
     engine: Arc<PredictionEngine>,
+    source: Option<ModelSource>,
+}
+
+impl RequestHandler for EngineHandler {
+    fn handle(&self, req: Request) -> Result<Reply, ServeError> {
+        match req {
+            Request::Predict(point) => {
+                let p = self.engine.predict_one(point)?;
+                Ok(Reply::Prediction(WirePrediction {
+                    score: p.score,
+                    label: p.label,
+                    batch_size: p.batch_size as u32,
+                    latency_micros: p.latency.as_micros() as u64,
+                }))
+            }
+            Request::Stats => Ok(Reply::Json(stats_json(&self.engine.stats()))),
+            Request::Ping => Ok(Reply::Pong),
+            Request::Info => {
+                let model = self.engine.model();
+                Ok(Reply::Info {
+                    dim: model.dim() as u32,
+                    n_train: model.num_train() as u64,
+                })
+            }
+            Request::Health => Ok(Reply::Health {
+                role: ROLE_MODEL,
+                requests: self.engine.stats().requests,
+            }),
+            Request::Refresh => {
+                let source = self.source.as_ref().ok_or_else(|| {
+                    ServeError::Rejected(
+                        "server was started without a model source; refresh is unavailable"
+                            .to_string(),
+                    )
+                })?;
+                let model = source.load()?;
+                self.engine.refresh(Arc::clone(&model))?;
+                Ok(Reply::Refreshed {
+                    num_models: model.num_models() as u32,
+                    n_train: model.num_train() as u64,
+                })
+            }
+        }
+    }
+}
+
+/// The protocol-agnostic TCP accept loop: binds, spawns one thread per
+/// connection, and dispatches decoded requests to a [`RequestHandler`].
+/// [`Server`] and [`RouterServer`](crate::router::RouterServer) are both
+/// built on this.
+pub struct TcpFrontEnd {
+    addr: SocketAddr,
     running: Arc<AtomicBool>,
     accept_handle: Mutex<Option<JoinHandle<()>>>,
 }
 
-impl Server {
-    /// Binds the listener and starts serving `model` — any
-    /// [`DecisionModel`]: a single `KrrModel` or a sharded ensemble.
-    pub fn start(
-        model: Arc<dyn DecisionModel>,
-        config: ServerConfig,
-    ) -> Result<Server, ServeError> {
-        let listener = TcpListener::bind(&config.addr)?;
+impl TcpFrontEnd {
+    /// Binds `addr` and starts accepting connections for `handler`.
+    pub fn start(addr: &str, handler: Arc<dyn RequestHandler>) -> Result<TcpFrontEnd, ServeError> {
+        let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let engine = PredictionEngine::start(model, config.engine);
         let running = Arc::new(AtomicBool::new(true));
 
-        let accept_engine = Arc::clone(&engine);
         let accept_running = Arc::clone(&running);
         let accept_handle = std::thread::spawn(move || {
-            // Handler threads detach; the engine's shutdown (flag + read
-            // timeouts) bounds how long they outlive the accept loop.
+            // Handler threads detach; the running flag plus short read
+            // timeouts bound how long they outlive the accept loop.
             for stream in listener.incoming() {
                 if !accept_running.load(Ordering::Acquire) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
-                let engine = Arc::clone(&accept_engine);
+                let handler = Arc::clone(&handler);
                 let running = Arc::clone(&accept_running);
                 std::thread::spawn(move || {
-                    let _ = handle_connection(stream, &engine, &running);
+                    let _ = handle_connection(stream, handler.as_ref(), &running);
                 });
             }
         });
 
-        Ok(Server {
+        Ok(TcpFrontEnd {
             addr,
-            engine,
             running,
             accept_handle: Mutex::new(Some(accept_handle)),
         })
@@ -90,6 +215,74 @@ impl Server {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Stops accepting and joins the accept loop. Idempotent.
+    pub fn shutdown(&self) {
+        if !self.running.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpFrontEnd {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A running prediction server: a [`TcpFrontEnd`] over the micro-batching
+/// [`PredictionEngine`].
+pub struct Server {
+    front: TcpFrontEnd,
+    engine: Arc<PredictionEngine>,
+}
+
+impl Server {
+    /// Binds the listener and starts serving `model` — any
+    /// [`DecisionModel`]: a single `KrrModel` or a sharded ensemble. The
+    /// `refresh` command is rejected (there is no source to re-load from);
+    /// use [`Server::start_with_source`] to enable it.
+    pub fn start(
+        model: Arc<dyn DecisionModel>,
+        config: ServerConfig,
+    ) -> Result<Server, ServeError> {
+        Server::start_inner(model, None, config)
+    }
+
+    /// Like [`Server::start`], but remembers where the model came from so
+    /// the `refresh` command can re-load the file and hot-swap the model
+    /// without dropping connections (same-dimension models only).
+    pub fn start_with_source(
+        source: ModelSource,
+        config: ServerConfig,
+    ) -> Result<Server, ServeError> {
+        let model = source.load()?;
+        Server::start_inner(model, Some(source), config)
+    }
+
+    fn start_inner(
+        model: Arc<dyn DecisionModel>,
+        source: Option<ModelSource>,
+        config: ServerConfig,
+    ) -> Result<Server, ServeError> {
+        let engine = PredictionEngine::start(model, config.engine);
+        let handler = Arc::new(EngineHandler {
+            engine: Arc::clone(&engine),
+            source,
+        });
+        let front = TcpFrontEnd::start(&config.addr, handler)?;
+        Ok(Server { front, engine })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.front.local_addr()
     }
 
     /// Engine statistics.
@@ -105,14 +298,7 @@ impl Server {
     /// Gracefully stops accepting, drains the engine, and joins the accept
     /// loop. Idempotent.
     pub fn shutdown(&self) {
-        if !self.running.swap(false, Ordering::AcqRel) {
-            return;
-        }
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_handle.lock().unwrap().take() {
-            let _ = handle.join();
-        }
+        self.front.shutdown();
         self.engine.shutdown();
     }
 }
@@ -149,23 +335,48 @@ pub fn stats_json(stats: &StatsSnapshot) -> String {
     w.finish()
 }
 
-fn answer(engine: &PredictionEngine, req: Request) -> Result<Vec<u8>, ServeError> {
-    match req {
-        Request::Predict(point) => {
-            let p = engine.predict_one(point)?;
-            Ok(protocol::encode_prediction(&WirePrediction {
-                score: p.score,
-                label: p.label,
-                batch_size: p.batch_size as u32,
-                latency_micros: p.latency.as_micros() as u64,
-            }))
+/// Renders a [`Reply`] as the binary-protocol OK body.
+fn binary_body(reply: &Reply) -> Vec<u8> {
+    match reply {
+        Reply::Prediction(p) => protocol::encode_prediction(p),
+        Reply::Json(s) => s.clone().into_bytes(),
+        Reply::Pong => Vec::new(),
+        Reply::Info { dim, n_train } => protocol::encode_info(*dim, *n_train),
+        Reply::Health { role, requests } => protocol::encode_health(*role, *requests),
+        Reply::Refreshed {
+            num_models,
+            n_train,
+        } => protocol::encode_refreshed(*num_models, *n_train),
+    }
+}
+
+fn role_name(role: u8) -> &'static str {
+    match role {
+        ROLE_ROUTER => "router",
+        _ => "model",
+    }
+}
+
+/// Renders a handler outcome as one line-mode reply (newline included).
+fn line_reply(result: Result<Reply, ServeError>) -> String {
+    match result {
+        Ok(Reply::Prediction(p)) => format!(
+            "ok {} {:.17e} batch={} latency_us={}\n",
+            p.label as i64, p.score, p.batch_size, p.latency_micros
+        ),
+        Ok(Reply::Json(s)) => format!("ok {s}\n"),
+        Ok(Reply::Pong) => "ok pong\n".to_string(),
+        Ok(Reply::Info { dim, n_train }) => format!("ok dim={dim} n_train={n_train}\n"),
+        Ok(Reply::Health { role, requests }) => {
+            format!("ok role={} requests={requests}\n", role_name(role))
         }
-        Request::Stats => Ok(stats_json(&engine.stats()).into_bytes()),
-        Request::Ping => Ok(Vec::new()),
-        Request::Info => Ok(protocol::encode_info(
-            engine.model().dim() as u32,
-            engine.model().num_train() as u64,
-        )),
+        Ok(Reply::Refreshed {
+            num_models,
+            n_train,
+        }) => {
+            format!("ok refreshed num_models={num_models} n_train={n_train}\n")
+        }
+        Err(e) => format!("err {e}\n"),
     }
 }
 
@@ -173,7 +384,7 @@ fn answer(engine: &PredictionEngine, req: Request) -> Result<Vec<u8>, ServeError
 /// dispatches to the binary or line-mode loop.
 fn handle_connection(
     stream: TcpStream,
-    engine: &PredictionEngine,
+    handler: &dyn RequestHandler,
     running: &AtomicBool,
 ) -> Result<(), ServeError> {
     stream.set_read_timeout(Some(Duration::from_millis(250)))?;
@@ -196,7 +407,7 @@ fn handle_connection(
             Ok(n) => {
                 got += n;
                 if first[..got].contains(&b'\n') {
-                    return line_loop(stream, engine, running, &first[..got]);
+                    return line_loop(stream, handler, running, &first[..got]);
                 }
             }
             Err(e)
@@ -210,9 +421,9 @@ fn handle_connection(
     }
 
     if first == protocol::BINARY_HELLO {
-        binary_loop(stream, engine, running)
+        binary_loop(stream, handler, running)
     } else {
-        line_loop(stream, engine, running, &first)
+        line_loop(stream, handler, running, &first)
     }
 }
 
@@ -294,12 +505,12 @@ fn read_frame_with_timeout(
 
 fn binary_loop(
     mut stream: TcpStream,
-    engine: &PredictionEngine,
+    handler: &dyn RequestHandler,
     running: &AtomicBool,
 ) -> Result<(), ServeError> {
     while let Some(frame) = read_frame_with_timeout(&mut stream, running)? {
-        let reply = match protocol::decode_request(&frame).and_then(|req| answer(engine, req)) {
-            Ok(body) => protocol::encode_ok(&body),
+        let reply = match protocol::decode_request(&frame).and_then(|req| handler.handle(req)) {
+            Ok(reply) => protocol::encode_ok(&binary_body(&reply)),
             Err(e) => protocol::encode_err(&e.to_string()),
         };
         protocol::write_frame(&mut stream, &reply)?;
@@ -309,7 +520,7 @@ fn binary_loop(
 
 fn line_loop(
     stream: TcpStream,
-    engine: &PredictionEngine,
+    handler: &dyn RequestHandler,
     running: &AtomicBool,
     prefix: &[u8],
 ) -> Result<(), ServeError> {
@@ -349,73 +560,11 @@ fn line_loop(
                 writer.write_all(b"bye\n")?;
                 return Ok(());
             }
-            Ok(Some(Request::Predict(point))) => match engine.predict_one(point) {
-                Ok(p) => format!(
-                    "ok {} {:.17e} batch={} latency_us={}\n",
-                    p.label as i64,
-                    p.score,
-                    p.batch_size,
-                    p.latency.as_micros()
-                ),
-                Err(e) => format!("err {e}\n"),
-            },
-            Ok(Some(Request::Stats)) => format!("ok {}\n", stats_json(&engine.stats())),
-            Ok(Some(Request::Ping)) => "ok pong\n".to_string(),
-            Ok(Some(Request::Info)) => format!(
-                "ok dim={} n_train={}\n",
-                engine.model().dim(),
-                engine.model().num_train()
-            ),
+            Ok(Some(req)) => line_reply(handler.handle(req)),
             Err(e) => format!("err {e}\n"),
         };
         writer.write_all(reply.as_bytes())?;
         writer.flush()?;
-    }
-}
-
-/// A thin blocking client for the binary protocol — used by the load
-/// generator and handy for programmatic access.
-pub struct Client {
-    stream: TcpStream,
-}
-
-impl Client {
-    /// Connects and sends the binary hello.
-    pub fn connect(addr: &str) -> Result<Client, ServeError> {
-        let mut stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        stream.write_all(&protocol::BINARY_HELLO)?;
-        stream.flush()?;
-        Ok(Client { stream })
-    }
-
-    fn call(&mut self, req: &Request) -> Result<Vec<u8>, ServeError> {
-        protocol::write_frame(&mut self.stream, &protocol::encode_request(req))?;
-        let frame = protocol::read_frame(&mut self.stream)?;
-        protocol::decode_response(&frame).map(<[u8]>::to_vec)
-    }
-
-    /// Predicts one point.
-    pub fn predict(&mut self, point: Vec<f64>) -> Result<WirePrediction, ServeError> {
-        let body = self.call(&Request::Predict(point))?;
-        protocol::decode_prediction(&body)
-    }
-
-    /// Fetches the engine stats JSON.
-    pub fn stats(&mut self) -> Result<String, ServeError> {
-        let body = self.call(&Request::Stats)?;
-        Ok(String::from_utf8_lossy(&body).into_owned())
-    }
-
-    /// Liveness probe.
-    pub fn ping(&mut self) -> Result<(), ServeError> {
-        self.call(&Request::Ping).map(|_| ())
-    }
-
-    /// Model metadata `(dim, n_train)`.
-    pub fn info(&mut self) -> Result<(u32, u64), ServeError> {
-        let body = self.call(&Request::Info)?;
-        protocol::decode_info(&body)
     }
 }
 
@@ -463,6 +612,10 @@ mod tests {
         let stats = client.stats().unwrap();
         hkrr_bench::json::validate(&stats).unwrap();
         assert!(stats.contains("\"requests\":8"));
+        // Health reports the model role and the predict count.
+        assert_eq!(client.health().unwrap(), (ROLE_MODEL, 8));
+        // Refresh without a model source is a typed rejection, not a hang.
+        assert!(matches!(client.refresh(), Err(ServeError::Rejected(_))));
         // Protocol-level rejection: wrong dimension.
         assert!(matches!(
             client.predict(vec![1.0; 3]),
@@ -499,6 +652,11 @@ mod tests {
         line.clear();
         reader.read_line(&mut line).unwrap();
         assert_eq!(line, "ok pong\n");
+
+        writer.write_all(b"health\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "ok role=model requests=1\n");
 
         writer.write_all(b"bogus\n").unwrap();
         line.clear();
