@@ -23,6 +23,54 @@ fn bench_gemm(c: &mut Criterion) {
     group.finish();
 }
 
+/// A/B rows per dense backend: the same GEMM and bulk pairwise-distance
+/// pass through each backend instance directly (no global switching).
+fn bench_dense_backends(c: &mut Criterion) {
+    use hkrr_linalg::backend::available_backends;
+    use hkrr_linalg::Matrix;
+
+    let mut group = c.benchmark_group("gemm_backend");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[256usize, 512] {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let a = gaussian_matrix(&mut rng, n, n);
+        let b = gaussian_matrix(&mut rng, n, n);
+        let mut out = Matrix::zeros(n, n);
+        for kind in available_backends() {
+            let be = kind.instance();
+            group.bench_with_input(BenchmarkId::new(kind.as_str(), n), &n, |bench, _| {
+                bench.iter(|| {
+                    be.gemm_into(&a, &b, &mut out);
+                    black_box(out.data()[0])
+                });
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("pairwise_dist_backend");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let (rows, dim) = (1000usize, 18usize);
+    let mut rng = Pcg64::seed_from_u64(4);
+    let x = gaussian_matrix(&mut rng, rows, dim);
+    let y = gaussian_matrix(&mut rng, rows, dim);
+    let mut d = Matrix::zeros(rows, rows);
+    for kind in available_backends() {
+        let be = kind.instance();
+        group.bench_function(kind.as_str(), |bench| {
+            bench.iter(|| {
+                be.sq_dists_into(&x, &y, &mut d);
+                black_box(d.data()[0])
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_factorizations(c: &mut Criterion) {
     let mut group = c.benchmark_group("factorizations");
     group.sample_size(10);
@@ -51,5 +99,10 @@ fn bench_factorizations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_factorizations);
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_dense_backends,
+    bench_factorizations
+);
 criterion_main!(benches);

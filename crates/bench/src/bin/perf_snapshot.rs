@@ -9,6 +9,10 @@
 //! * `HKRR_BENCH_OUT` — output path (default `BENCH_pipeline.json`).
 //! * `HKRR_PERF_SUMMARY` — when set, a markdown summary is appended to this
 //!   file (CI points it at `$GITHUB_STEP_SUMMARY`).
+//! * `HKRR_REQUIRE_GEMM_SPEEDUP` — when set to a threshold (e.g. `2.0`),
+//!   the run fails unless some non-scalar dense backend beats the scalar
+//!   GEMM by at least that factor. CI sets it on SIMD-capable runners;
+//!   leave it unset locally for a report-only snapshot.
 
 use hkrr_bench::json;
 use hkrr_bench::perf::{self, PerfOptions};
@@ -22,6 +26,58 @@ fn main() {
         opts.workloads.len()
     );
     let report = perf::run(&opts);
+
+    // Dense-substrate A/B table: every available backend vs scalar.
+    let ds_rows: Vec<Vec<String>> = report
+        .dense_substrate
+        .rows
+        .iter()
+        .flat_map(|row| {
+            row.gemm.iter().map(move |g| {
+                vec![
+                    row.backend.clone(),
+                    g.n.to_string(),
+                    format!("{:.2}", g.gflops),
+                    format!("{:.2}", g.speedup_vs_scalar),
+                    format!("{:.4}", row.pairwise_dist_seconds),
+                    format!("{:.2}", row.pairwise_dist_speedup),
+                ]
+            })
+        })
+        .collect();
+    hkrr_bench::print_table(
+        &format!(
+            "Dense substrate (active backend: {})",
+            report.dense_substrate.active_backend
+        ),
+        &[
+            "backend",
+            "gemm n",
+            "GFLOP/s",
+            "gemm× vs scalar",
+            "dist(s)",
+            "dist× vs scalar",
+        ],
+        &ds_rows,
+    );
+
+    // SIMD regression gate: CI requires the substrate to actually beat the
+    // scalar reference on hosts that advertise vector units.
+    if let Ok(raw) = std::env::var("HKRR_REQUIRE_GEMM_SPEEDUP") {
+        if !raw.is_empty() {
+            let threshold: f64 = raw.parse().unwrap_or_else(|_| {
+                panic!("HKRR_REQUIRE_GEMM_SPEEDUP={raw:?}: expected a number like 2.0")
+            });
+            let best = report.dense_substrate.best_gemm_speedup();
+            assert!(
+                best >= threshold,
+                "dense-substrate gate failed: best gemm speedup {best:.2}x < required {threshold:.2}x"
+            );
+            println!(
+                "dense-substrate gate passed: best gemm speedup {best:.2}x >= {threshold:.2}x"
+            );
+        }
+    }
 
     let json = report.to_json();
     json::validate(&json).expect("generated BENCH_pipeline.json must be well-formed JSON");

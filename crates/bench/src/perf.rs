@@ -8,8 +8,14 @@
 //! achieved parallel speedups, compression ratios, PCG iteration counts,
 //! per-shard factorization times, router overhead, and test accuracy.
 //! [`PerfReport::to_json`] serializes the result as `BENCH_pipeline.json`
-//! (schema `hkrr-perf/3`) so CI can archive one snapshot per commit and
+//! (schema `hkrr-perf/4`) so CI can archive one snapshot per commit and
 //! future PRs are judged against recorded numbers instead of anecdotes.
+//!
+//! Schema `/4` adds a `dense_substrate` section: for every dense backend
+//! available on the host (`scalar`, `blocked`, and `avx2` where supported)
+//! it records GEMM GFLOP/s at n = 256 / 512 and a bulk pairwise-distance
+//! timing, each with its speedup over the scalar reference. CI gates on
+//! the GEMM speedup via `HKRR_REQUIRE_GEMM_SPEEDUP` (see `perf_snapshot`).
 //!
 //! The dense baseline runs once per workload (at the full thread count):
 //! its wall time anchors the dense-vs-hierarchical comparison, while the
@@ -159,6 +165,55 @@ pub struct PerfSpeedup {
     pub accuracy_delta: f64,
 }
 
+/// One GEMM measurement of the dense-substrate microbenchmark.
+#[derive(Debug, Clone)]
+pub struct GemmCell {
+    /// Square matrix dimension.
+    pub n: usize,
+    /// Best-of-reps wall time of one `gemm_into` call.
+    pub seconds: f64,
+    /// Achieved GFLOP/s (`2 n³ / seconds / 1e9`).
+    pub gflops: f64,
+    /// Speedup over the scalar backend at the same size (1.0 for scalar).
+    pub speedup_vs_scalar: f64,
+}
+
+/// Dense-substrate numbers for one backend.
+#[derive(Debug, Clone)]
+pub struct DenseSubstrateRow {
+    /// Backend name (`"scalar"` / `"blocked"` / `"avx2"`).
+    pub backend: String,
+    /// GEMM cells at n = 256 and n = 512.
+    pub gemm: Vec<GemmCell>,
+    /// Best-of-reps wall time of one bulk pairwise squared-distance pass
+    /// (1000 × 1000 pairs in 18 dimensions — the SUSY feature width).
+    pub pairwise_dist_seconds: f64,
+    /// Pairwise-distance speedup over the scalar backend (1.0 for scalar).
+    pub pairwise_dist_speedup: f64,
+}
+
+/// The `dense_substrate` section: every available backend A/B-tested
+/// against the scalar reference on the same inputs.
+#[derive(Debug, Clone)]
+pub struct DenseSubstrateReport {
+    /// Name of the backend the rest of the snapshot ran under.
+    pub active_backend: String,
+    /// One row per available backend, scalar first.
+    pub rows: Vec<DenseSubstrateRow>,
+}
+
+impl DenseSubstrateReport {
+    /// Best GEMM speedup over scalar achieved by any non-scalar backend
+    /// (0.0 when only the scalar backend is available).
+    pub fn best_gemm_speedup(&self) -> f64 {
+        self.rows
+            .iter()
+            .filter(|r| r.backend != "scalar")
+            .flat_map(|r| r.gemm.iter().map(|g| g.speedup_vs_scalar))
+            .fold(0.0, f64::max)
+    }
+}
+
 /// The full snapshot: every measured cell plus derived speedups.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -170,6 +225,8 @@ pub struct PerfReport {
     pub cases: Vec<PerfCase>,
     /// All-threads-vs-1 speedups per (workload, hierarchical solver).
     pub speedups: Vec<PerfSpeedup>,
+    /// Dense-backend A/B microbenchmarks (GEMM + pairwise distances).
+    pub dense_substrate: DenseSubstrateReport,
 }
 
 fn config_for(spec: &DatasetSpec, solver: SolverKind) -> KrrConfig {
@@ -295,6 +352,81 @@ fn ratio(baseline: f64, current: f64) -> f64 {
     }
 }
 
+/// Best-of-`reps` wall time of `f` in seconds.
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// A/B-tests every available dense backend against the scalar reference:
+/// square GEMM at the given sizes plus one bulk pairwise-distance pass.
+///
+/// The measurements call the backend instances directly (no global backend
+/// switching), so the snapshot's active backend is untouched.
+pub fn measure_dense_substrate(gemm_sizes: &[usize]) -> DenseSubstrateReport {
+    use hkrr_linalg::backend::{self, BackendKind};
+    use hkrr_linalg::random::gaussian_matrix;
+    use hkrr_linalg::{Matrix, Pcg64};
+
+    let reps = 3;
+    let (dist_rows, dist_dim) = (1000usize, 18usize);
+    let mut rng = Pcg64::seed_from_u64(2024);
+    let inputs: Vec<(Matrix, Matrix)> = gemm_sizes
+        .iter()
+        .map(|&n| {
+            (
+                gaussian_matrix(&mut rng, n, n),
+                gaussian_matrix(&mut rng, n, n),
+            )
+        })
+        .collect();
+    let x = gaussian_matrix(&mut rng, dist_rows, dist_dim);
+    let y = gaussian_matrix(&mut rng, dist_rows, dist_dim);
+
+    let mut rows = Vec::new();
+    let mut scalar_gemm_seconds: Vec<f64> = Vec::new();
+    let mut scalar_dist_seconds = 0.0;
+    for kind in backend::available_backends() {
+        let be = kind.instance();
+        let mut gemm = Vec::new();
+        for (i, &n) in gemm_sizes.iter().enumerate() {
+            let (a, b) = &inputs[i];
+            let mut c = Matrix::zeros(n, n);
+            let seconds = best_of(reps, || be.gemm_into(a, b, &mut c));
+            let gflops = 2.0 * (n as f64).powi(3) / seconds / 1e9;
+            if kind == BackendKind::Scalar {
+                scalar_gemm_seconds.push(seconds);
+            }
+            gemm.push(GemmCell {
+                n,
+                seconds,
+                gflops,
+                speedup_vs_scalar: ratio(scalar_gemm_seconds[i], seconds),
+            });
+        }
+        let mut d = Matrix::zeros(dist_rows, dist_rows);
+        let pairwise_dist_seconds = best_of(reps, || be.sq_dists_into(&x, &y, &mut d));
+        if kind == BackendKind::Scalar {
+            scalar_dist_seconds = pairwise_dist_seconds;
+        }
+        rows.push(DenseSubstrateRow {
+            backend: kind.as_str().to_string(),
+            gemm,
+            pairwise_dist_seconds,
+            pairwise_dist_speedup: ratio(scalar_dist_seconds, pairwise_dist_seconds),
+        });
+    }
+    DenseSubstrateReport {
+        active_backend: backend::active_kind().as_str().to_string(),
+        rows,
+    }
+}
+
 /// Runs the workload matrix and assembles the report.
 pub fn run(opts: &PerfOptions) -> PerfReport {
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -373,6 +505,7 @@ pub fn run(opts: &PerfOptions) -> PerfReport {
         host_threads,
         cases,
         speedups,
+        dense_substrate: measure_dense_substrate(&[256, 512]),
     }
 }
 
@@ -422,14 +555,45 @@ impl PerfSpeedup {
     }
 }
 
+impl DenseSubstrateReport {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_str("active_backend", &self.active_backend);
+        w.key("backends");
+        w.begin_array();
+        for row in &self.rows {
+            w.begin_object();
+            w.field_str("backend", &row.backend);
+            w.key("gemm");
+            w.begin_array();
+            for g in &row.gemm {
+                w.begin_object();
+                w.field_usize("n", g.n);
+                w.field_f64("seconds", g.seconds);
+                w.field_f64("gflops", g.gflops);
+                w.field_f64("speedup_vs_scalar", g.speedup_vs_scalar);
+                w.end_object();
+            }
+            w.end_array();
+            w.field_f64("pairwise_dist_seconds", row.pairwise_dist_seconds);
+            w.field_f64("pairwise_dist_speedup", row.pairwise_dist_speedup);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+}
+
 impl PerfReport {
-    /// Serializes the report (schema `hkrr-perf/3`).
+    /// Serializes the report (schema `hkrr-perf/4`).
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.field_str("schema", "hkrr-perf/3");
+        w.field_str("schema", "hkrr-perf/4");
         w.field_f64("scale", self.scale);
         w.field_usize("host_threads", self.host_threads);
+        w.key("dense_substrate");
+        self.dense_substrate.write_json(&mut w);
         w.key("cases");
         w.begin_array();
         for case in &self.cases {
@@ -454,6 +618,34 @@ impl PerfReport {
             "## Pipeline perf snapshot (scale {}, {} host threads)\n",
             self.scale, self.host_threads
         );
+        let _ = writeln!(
+            out,
+            "### Dense substrate (active backend: `{}`)\n",
+            self.dense_substrate.active_backend
+        );
+        let _ = writeln!(
+            out,
+            "| backend | gemm n | GFLOP/s | speedup vs scalar | pairwise dist (s) | dist speedup |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|");
+        for row in &self.dense_substrate.rows {
+            for (i, g) in row.gemm.iter().enumerate() {
+                let (dist_s, dist_x) = if i == 0 {
+                    (
+                        format!("{:.4}", row.pairwise_dist_seconds),
+                        format!("{:.2}", row.pairwise_dist_speedup),
+                    )
+                } else {
+                    ("".to_string(), "".to_string())
+                };
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {:.2} | {:.2} | {} | {} |",
+                    row.backend, g.n, g.gflops, g.speedup_vs_scalar, dist_s, dist_x
+                );
+            }
+        }
+        let _ = writeln!(out);
         let _ = writeln!(
             out,
             "| workload | solver | threads | construct× | factor× | constr+factor× | total× | Δaccuracy |"
@@ -584,10 +776,34 @@ mod tests {
                 "{row:?}"
             );
         }
+        // The dense-substrate section covers every available backend,
+        // scalar first, with scalar pinned to speedup 1.0.
+        let ds = &report.dense_substrate;
+        assert!(!ds.rows.is_empty());
+        assert_eq!(ds.rows[0].backend, "scalar");
+        assert_eq!(ds.rows[0].pairwise_dist_speedup, 1.0);
+        for row in &ds.rows {
+            assert_eq!(row.gemm.len(), 2, "{row:?}");
+            for g in &row.gemm {
+                assert!(g.seconds > 0.0 && g.gflops > 0.0, "{row:?}");
+                if row.backend == "scalar" {
+                    assert_eq!(g.speedup_vs_scalar, 1.0, "{row:?}");
+                }
+            }
+        }
+        assert!(
+            hkrr_linalg::backend::available_backends().len() == 1 || ds.best_gemm_speedup() > 0.0
+        );
+
         let json = report.to_json();
         json::validate(&json).unwrap();
         for key in [
-            "\"schema\":\"hkrr-perf/3\"",
+            "\"schema\":\"hkrr-perf/4\"",
+            "dense_substrate",
+            "active_backend",
+            "speedup_vs_scalar",
+            "pairwise_dist_seconds",
+            "\"gflops\"",
             "construction_seconds",
             "factorization_seconds",
             "pcg_seconds",
@@ -605,6 +821,8 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         let md = report.to_markdown_summary();
+        assert!(md.contains("Dense substrate"));
+        assert!(md.contains("speedup vs scalar"));
         assert!(md.contains("| workload | solver |"));
         assert!(md.contains("pcg iters"));
         assert!(md.contains("ensemble-k4"));

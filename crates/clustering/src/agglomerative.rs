@@ -55,14 +55,7 @@ pub fn agglomerative_ordering(points: &Matrix, leaf_size: usize) -> ClusterOrder
             for b in (a + 1)..active.len() {
                 let ca = &centroids[active[a]];
                 let cb = &centroids[active[b]];
-                let dist: f64 = ca
-                    .iter()
-                    .zip(cb.iter())
-                    .map(|(x, y)| {
-                        let d = x - y;
-                        d * d
-                    })
-                    .sum();
+                let dist = hkrr_linalg::dense_backend().sq_distance(ca, cb);
                 if dist < best_d {
                     best_d = dist;
                     best = (a, b);

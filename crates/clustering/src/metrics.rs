@@ -93,13 +93,8 @@ impl ClusteringQuality {
         };
         let cl = centroid(&left_range);
         let cr = centroid(&right_range);
-        let dist = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter()
-                .zip(b.iter())
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum::<f64>()
-                .sqrt()
-        };
+        let dist =
+            |a: &[f64], b: &[f64]| -> f64 { hkrr_linalg::dense_backend().sq_distance(a, b).sqrt() };
         let mut intra = 0.0;
         let mut count = 0usize;
         for pos in left_range.clone() {

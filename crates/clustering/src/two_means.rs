@@ -8,7 +8,7 @@
 //! changing or the iteration cap is reached.
 
 use crate::splitter::{median_split, Splitter};
-use hkrr_linalg::{Matrix, Pcg64};
+use hkrr_linalg::{dense_backend, Matrix, Pcg64};
 use rayon::prelude::*;
 
 /// Splitter performing one 2-means split per node.
@@ -34,14 +34,11 @@ impl TwoMeansSplitter {
         self
     }
 
+    /// Squared distance through the active dense backend (SIMD for wide
+    /// points, the identical scalar reduction below dimension 8).
+    #[inline]
     fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
-        a.iter()
-            .zip(b.iter())
-            .map(|(x, y)| {
-                let d = x - y;
-                d * d
-            })
-            .sum()
+        dense_backend().sq_distance(a, b)
     }
 }
 

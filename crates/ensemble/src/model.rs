@@ -126,15 +126,9 @@ impl Router {
             "router: query dimension mismatch"
         );
         out.clear();
+        let be = hkrr_linalg::dense_backend();
         for s in 0..self.centroids.nrows() {
-            let d2: f64 = self
-                .centroids
-                .row(s)
-                .iter()
-                .zip(query.iter())
-                .map(|(c, q)| (c - q) * (c - q))
-                .sum();
-            out.push((s, d2));
+            out.push((s, be.sq_distance(self.centroids.row(s), query)));
         }
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         out.truncate(self.route_nearest);

@@ -20,8 +20,19 @@ use crate::HssMatrix;
 use hkrr_clustering::ClusterTree;
 use hkrr_linalg::lu::{lu, Lu};
 use hkrr_linalg::qr::full_qr;
-use hkrr_linalg::{blas, LinalgError, LinalgResult, Matrix};
+use hkrr_linalg::{blas, dense_backend, LinalgError, LinalgResult, Matrix};
 use rayon::prelude::*;
+
+/// Off-diagonal coupling block `(U₁ · B) · U₂ᵀ` through the dense backend,
+/// without materializing `U₂ᵀ`.
+fn coupling_block(u1: &Matrix, b: &Matrix, u2: &Matrix) -> Matrix {
+    let be = dense_backend();
+    let mut tmp = Matrix::zeros(u1.nrows(), b.ncols());
+    be.gemm_into(u1, b, &mut tmp);
+    let mut off = Matrix::zeros(tmp.nrows(), u2.nrows());
+    be.gemm_nt_into(&tmp, u2, &mut off);
+    off
+}
 
 /// Per-node data stored by the factorization. The fields are public so a
 /// factorization can be serialized and rebuilt (via
@@ -114,10 +125,8 @@ impl UlvFactorization {
                         let f2 = factors[c2].as_ref().expect("child factored first");
                         let b12 = nd.b12.as_ref().expect("internal node stores B12");
                         let b21 = nd.b21.as_ref().expect("internal node stores B21");
-                        let off12 =
-                            blas::matmul(&blas::matmul(&f1.uhat, b12), &f2.uhat.transpose());
-                        let off21 =
-                            blas::matmul(&blas::matmul(&f2.uhat, b21), &f1.uhat.transpose());
+                        let off12 = coupling_block(&f1.uhat, b12, &f2.uhat);
+                        let off21 = coupling_block(&f2.uhat, b21, &f1.uhat);
                         let top = f1.dtilde.hstack(&off12);
                         let bottom = off21.hstack(&f2.dtilde);
                         let d_full = top.vstack(&bottom);
@@ -147,8 +156,8 @@ impl UlvFactorization {
         let nd = hss.node_data(root);
         let b12 = nd.b12.as_ref().expect("root stores B12");
         let b21 = nd.b21.as_ref().expect("root stores B21");
-        let off12 = blas::matmul(&blas::matmul(&f1.uhat, b12), &f2.uhat.transpose());
-        let off21 = blas::matmul(&blas::matmul(&f2.uhat, b21), &f1.uhat.transpose());
+        let off12 = coupling_block(&f1.uhat, b12, &f2.uhat);
+        let off21 = coupling_block(&f2.uhat, b21, &f1.uhat);
         let top = f1.dtilde.hstack(&off12);
         let bottom = off21.hstack(&f2.dtilde);
         let d_root = top.vstack(&bottom);
@@ -450,8 +459,13 @@ fn factor_node(d_full: &Matrix, u_full: &Matrix) -> LinalgResult<UlvNodeFactor> 
     }
     let uhat = r.submatrix(0, k, 0, k);
 
-    // Transform the diagonal block: D' = W^T D W.
-    let dprime = blas::matmul_tn(&w, &blas::matmul(d_full, &w));
+    // Transform the diagonal block: D' = W^T D W, reusing one intermediate
+    // buffer through the backend seam.
+    let be = dense_backend();
+    let mut dw = Matrix::zeros(m, m);
+    be.gemm_into(d_full, &w, &mut dw);
+    let mut dprime = Matrix::zeros(m, m);
+    be.gemm_tn_into(&w, &dw, &mut dprime);
     let d11 = dprime.submatrix(0, elim, 0, elim);
     let d12 = dprime.submatrix(0, elim, elim, m);
     let d21 = dprime.submatrix(elim, m, 0, elim);

@@ -1,13 +1,18 @@
 //! Pairwise-distance helpers shared by the clustering algorithms and the
 //! kernel-matrix assembly.
+//!
+//! The bulk forms route through the active
+//! [`DenseBackend`](hkrr_linalg::DenseBackend), so they pick up the SIMD
+//! distance kernels wherever the host supports them.  The buffer-reusing
+//! `*_into` variants are the primary API; the allocating wrappers remain
+//! for tests and one-shot callers.
 
-use hkrr_linalg::Matrix;
-use rayon::prelude::*;
+use hkrr_linalg::{dense_backend, Matrix};
 
 /// Squared Euclidean distance between row `i` and row `j` of `points`.
 #[inline]
 pub fn row_distance_sq(points: &Matrix, i: usize, j: usize) -> f64 {
-    crate::kernels::squared_distance(points.row(i), points.row(j))
+    dense_backend().sq_distance(points.row(i), points.row(j))
 }
 
 /// Full pairwise squared-distance matrix (`n x n`).
@@ -17,25 +22,27 @@ pub fn row_distance_sq(points: &Matrix, i: usize, j: usize) -> f64 {
 pub fn pairwise_sq_distances(points: &Matrix) -> Matrix {
     let n = points.nrows();
     let mut d = Matrix::zeros(n, n);
-    // Parallel over rows; each task fills one disjoint row.
-    let cols = n;
-    d.data_mut()
-        .par_chunks_mut(cols)
-        .enumerate()
-        .for_each(|(i, row)| {
-            for (j, dst) in row.iter_mut().enumerate() {
-                *dst = crate::kernels::squared_distance(points.row(i), points.row(j));
-            }
-        });
+    pairwise_sq_distances_into(points, points, &mut d);
     d
+}
+
+/// All-pairs squared distances `out[i,j] = ‖x_i − y_j‖²` into a
+/// caller-provided `x.nrows() × y.nrows()` buffer, overwriting it.
+pub fn pairwise_sq_distances_into(x: &Matrix, y: &Matrix, out: &mut Matrix) {
+    dense_backend().sq_dists_into(x, y, out);
 }
 
 /// Squared distances from every row of `points` to a single `center`.
 pub fn distances_to_center(points: &Matrix, center: &[f64]) -> Vec<f64> {
-    (0..points.nrows())
-        .into_par_iter()
-        .map(|i| crate::kernels::squared_distance(points.row(i), center))
-        .collect()
+    let mut out = vec![0.0; points.nrows()];
+    distances_to_center_into(points, center, &mut out);
+    out
+}
+
+/// Squared distances from every row of `points` to `center`, into a
+/// caller-provided buffer of length `points.nrows()`, overwriting it.
+pub fn distances_to_center_into(points: &Matrix, center: &[f64], out: &mut [f64]) {
+    dense_backend().dists_to_point_into(points, center, out);
 }
 
 /// Centroid (mean point) of the selected rows.

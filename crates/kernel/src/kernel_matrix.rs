@@ -69,11 +69,24 @@ impl KernelMatrix {
     }
 
     /// Assembles the dense kernel matrix (baseline path / small problems).
+    ///
+    /// Radial kernels assemble in two bulk passes — the backend's all-pairs
+    /// squared distances, then the radial map in place — which matches the
+    /// per-entry path bitwise (same distance kernel, same evaluation).
     pub fn assemble_dense(&self) -> Matrix {
         let n = self.len();
         let mut k = Matrix::zeros(n, n);
         let kernel = self.kernel;
         let points = &self.points;
+        if kernel.is_radial() {
+            crate::distance::pairwise_sq_distances_into(points, points, &mut k);
+            k.data_mut().par_chunks_mut(n.max(1)).for_each(|row| {
+                for v in row.iter_mut() {
+                    *v = kernel.evaluate_from_sq_dist(*v);
+                }
+            });
+            return k;
+        }
         k.data_mut()
             .par_chunks_mut(n)
             .enumerate()

@@ -44,12 +44,15 @@ impl KernelFunction {
     pub fn evaluate(&self, x: &[f64], y: &[f64]) -> f64 {
         debug_assert_eq!(x.len(), y.len(), "kernel points must share dimension");
         match *self {
+            // Radial kernels route the distance through the active dense
+            // backend, which vectorizes it for points of dimension >= 8
+            // (lower dimensions take the identical scalar path).
             KernelFunction::Gaussian { h } => {
-                let d2 = squared_distance(x, y);
+                let d2 = hkrr_linalg::dense_backend().sq_distance(x, y);
                 (-d2 / (2.0 * h * h)).exp()
             }
             KernelFunction::Laplacian { h } => {
-                let d = squared_distance(x, y).sqrt();
+                let d = hkrr_linalg::dense_backend().sq_distance(x, y).sqrt();
                 (-d / h).exp()
             }
             KernelFunction::Polynomial { degree, c } => {
@@ -101,7 +104,9 @@ impl KernelFunction {
     }
 }
 
-/// Squared Euclidean distance between two points.
+/// Squared Euclidean distance between two points (scalar reference
+/// implementation; the bulk paths go through
+/// [`hkrr_linalg::dense_backend`] instead).
 #[inline]
 pub fn squared_distance(x: &[f64], y: &[f64]) -> f64 {
     let mut s = 0.0;

@@ -9,12 +9,19 @@
 //! individual entries and parallel matrix-vector products — without ever
 //! storing the full `n x n` matrix.  This mirrors the interface STRUMPACK's
 //! randomized HSS construction consumes.
+//!
+//! Radial kernel evaluation and the bulk distance helpers in [`distance`]
+//! route through the active [`hkrr_linalg::DenseBackend`], so they pick up
+//! the SIMD substrate on hosts that support it.
+
+#![warn(missing_docs)]
 
 pub mod distance;
 pub mod kernel_matrix;
 pub mod kernels;
 pub mod normalize;
 
+pub use distance::{distances_to_center_into, pairwise_sq_distances_into};
 pub use kernel_matrix::{cross_scores_into, CrossKernel, KernelMatrix};
 pub use kernels::KernelFunction;
 pub use normalize::{NormalizationStats, Normalizer};

@@ -1,15 +1,17 @@
-//! BLAS-like dense kernels (level 1, 2 and 3) with rayon parallelism.
+//! BLAS-like dense kernels: level 1/2 helpers plus allocating level-3
+//! wrappers over the active [`crate::backend::DenseBackend`].
 //!
-//! The level-3 kernels parallelize over row blocks of the output matrix;
-//! this keeps every rayon task writing to a disjoint slice of the output so
-//! no synchronization is needed, following the data-parallel style of the
-//! rayon guide.
+//! The level-3 entry points here ([`matmul`], [`matmul_tn`], [`matmul_nt`],
+//! [`syrk`]) allocate their output and forward to the backend seam; hot
+//! paths that can reuse buffers should call the `*_into` methods on
+//! [`crate::backend::active`] directly.
 
+use crate::backend;
 use crate::matrix::Matrix;
 use rayon::prelude::*;
 
-/// Below this many output elements the parallel GEMM/GEMV kernels fall back
-/// to the sequential path; spawning rayon tasks for tiny blocks costs more
+/// Below this many output elements the parallel GEMV kernel falls back to
+/// the sequential path; spawning rayon tasks for tiny blocks costs more
 /// than the multiply itself.
 const PAR_THRESHOLD: usize = 64 * 64;
 
@@ -40,18 +42,6 @@ pub fn scal(alpha: f64, x: &mut [f64]) {
     for xi in x.iter_mut() {
         *xi *= alpha;
     }
-}
-
-/// Squared Euclidean distance between two points.
-pub fn distance_sq(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len(), "distance_sq: length mismatch");
-    x.iter()
-        .zip(y.iter())
-        .map(|(a, b)| {
-            let d = a - b;
-            d * d
-        })
-        .sum()
 }
 
 /// Dense matrix-vector product `y = A x` (sequential core).
@@ -89,111 +79,44 @@ pub fn gemv_t(a: &Matrix, x: &[f64], y: &mut [f64]) {
     }
 }
 
-/// General matrix multiply `C = A * B`.
+/// General matrix multiply `C = A * B` through the active backend.
 ///
-/// Parallelizes over rows of `C`; each task owns a disjoint row slice.
+/// Allocating wrapper over
+/// [`DenseBackend::gemm_into`](crate::backend::DenseBackend::gemm_into).
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(
-        a.ncols(),
-        b.nrows(),
-        "matmul: inner dimensions do not match ({}x{} * {}x{})",
-        a.nrows(),
-        a.ncols(),
-        b.nrows(),
-        b.ncols()
-    );
-    let (m, k) = a.shape();
-    let n = b.ncols();
-    let mut c = Matrix::zeros(m, n);
-    let work = m * n * k;
-    if work < PAR_THRESHOLD * 8 {
-        matmul_into_seq(a, b, &mut c);
-        return c;
-    }
-    let b_data = b.data();
-    c.data_mut()
-        .par_chunks_mut(n)
-        .enumerate()
-        .for_each(|(i, crow)| {
-            let arow = a.row(i);
-            for (l, &ail) in arow.iter().enumerate() {
-                if ail == 0.0 {
-                    continue;
-                }
-                let brow = &b_data[l * n..(l + 1) * n];
-                for (cj, bj) in crow.iter_mut().zip(brow.iter()) {
-                    *cj += ail * bj;
-                }
-            }
-        });
+    let mut c = Matrix::zeros(a.nrows(), b.ncols());
+    backend::active().gemm_into(a, b, &mut c);
     c
 }
 
-fn matmul_into_seq(a: &Matrix, b: &Matrix, c: &mut Matrix) {
-    let (m, k) = a.shape();
-    let n = b.ncols();
-    for i in 0..m {
-        // i-k-j loop order streams rows of B, friendly to row-major storage.
-        for l in 0..k {
-            let ail = a[(i, l)];
-            if ail == 0.0 {
-                continue;
-            }
-            let brow = b.row(l);
-            let crow = c.row_mut(i);
-            for j in 0..n {
-                crow[j] += ail * brow[j];
-            }
-        }
-    }
-}
-
-/// `C = A^T * B`.
+/// `C = A^T * B` through the active backend.
+///
+/// Allocating wrapper over
+/// [`DenseBackend::gemm_tn_into`](crate::backend::DenseBackend::gemm_tn_into).
 pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.nrows(), b.nrows(), "matmul_tn: row mismatch");
-    // Transposing A is O(mk) while the multiply is O(mkn); the copy is cheap
-    // and lets us reuse the row-parallel kernel.
-    matmul(&a.transpose(), b)
-}
-
-/// `C = A * B^T`.
-pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.ncols(), b.ncols(), "matmul_nt: col mismatch");
-    let (m, k) = a.shape();
-    let n = b.nrows();
-    let mut c = Matrix::zeros(m, n);
-    let work = m * n * k;
-    if work < PAR_THRESHOLD * 8 {
-        for i in 0..m {
-            for j in 0..n {
-                c[(i, j)] = dot(a.row(i), b.row(j));
-            }
-        }
-        return c;
-    }
-    c.data_mut()
-        .par_chunks_mut(n)
-        .enumerate()
-        .for_each(|(i, crow)| {
-            let arow = a.row(i);
-            for (j, cj) in crow.iter_mut().enumerate() {
-                *cj = dot(arow, b.row(j));
-            }
-        });
+    let mut c = Matrix::zeros(a.ncols(), b.ncols());
+    backend::active().gemm_tn_into(a, b, &mut c);
     c
 }
 
-/// Symmetric rank-k update `C = A * A^T` (returns the full symmetric matrix).
+/// `C = A * B^T` through the active backend.
+///
+/// Allocating wrapper over
+/// [`DenseBackend::gemm_nt_into`](crate::backend::DenseBackend::gemm_nt_into).
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.nrows(), b.nrows());
+    backend::active().gemm_nt_into(a, b, &mut c);
+    c
+}
+
+/// Symmetric rank-k update `C = A * A^T` (returns the full symmetric
+/// matrix) through the active backend.
+///
+/// Allocating wrapper over
+/// [`DenseBackend::syrk_into`](crate::backend::DenseBackend::syrk_into).
 pub fn syrk(a: &Matrix) -> Matrix {
-    let m = a.nrows();
-    let mut c = Matrix::zeros(m, m);
-    for i in 0..m {
-        for j in i..m {
-            let v = dot(a.row(i), a.row(j));
-            c[(i, j)] = v;
-            c[(j, i)] = v;
-        }
-    }
+    let mut c = Matrix::zeros(a.nrows(), a.nrows());
+    backend::active().syrk_into(a, &mut c);
     c
 }
 
@@ -239,11 +162,6 @@ mod tests {
     }
 
     #[test]
-    fn distance() {
-        assert_eq!(distance_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
-    }
-
-    #[test]
     fn gemv_matches_manual() {
         let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let x = vec![1.0, 0.0, -1.0];
@@ -283,14 +201,14 @@ mod tests {
     }
 
     #[test]
-    fn parallel_matmul_matches_sequential() {
+    fn matmul_routes_through_active_backend() {
         let mut rng = Pcg64::seed_from_u64(11);
         let a = crate::random::gaussian_matrix(&mut rng, 120, 90);
         let b = crate::random::gaussian_matrix(&mut rng, 90, 70);
-        let c_par = matmul(&a, &b);
-        let mut c_seq = Matrix::zeros(120, 70);
-        matmul_into_seq(&a, &b, &mut c_seq);
-        assert!(relative_error(&c_seq, &c_par) < 1e-13);
+        let c = matmul(&a, &b);
+        let mut c_direct = Matrix::zeros(120, 70);
+        crate::backend::active().gemm_into(&a, &b, &mut c_direct);
+        assert_eq!(c.data(), c_direct.data());
     }
 
     #[test]

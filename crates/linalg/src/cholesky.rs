@@ -70,14 +70,15 @@ impl Cholesky {
         triangular::solve_lower_transpose(&self.l, &y)
     }
 
-    /// Solves `A X = B` for a matrix of right-hand sides.
+    /// Solves `A X = B` for a matrix of right-hand sides via two in-place
+    /// backend TRSMs (`L Y = B`, then `Lᵀ X = Y` as an upper solve on the
+    /// materialized transpose).
     pub fn solve_multi(&self, b: &Matrix) -> LinalgResult<Matrix> {
         assert_eq!(b.nrows(), self.dim(), "Cholesky::solve_multi: dim mismatch");
-        let mut x = Matrix::zeros(b.nrows(), b.ncols());
-        for j in 0..b.ncols() {
-            let col = self.solve(&b.col(j))?;
-            x.set_col(j, &col);
-        }
+        let be = crate::backend::active();
+        let mut x = b.clone();
+        be.trsm_lower_into(&self.l, &mut x)?;
+        be.trsm_upper_into(&self.l.transpose(), &mut x)?;
         Ok(x)
     }
 

@@ -28,7 +28,20 @@
 //! hierarchical formats (leaf blocks and skinny sampling matrices, typically
 //! well under a few thousand rows), favouring robustness and clarity over
 //! squeezing the last flop out of the machine.
+//!
+//! ## Dense backends
+//!
+//! Every level-3 product (GEMM/SYRK/TRSM) and bulk distance kernel routes
+//! through a single dispatch seam, the [`DenseBackend`] trait ([`backend`]):
+//! a `scalar` reference, a cache-`blocked` substrate, and an `avx2`
+//! SIMD substrate selected at startup by runtime feature detection (or
+//! pinned via the `HKRR_DENSE_BACKEND` environment variable).  Results are
+//! bitwise deterministic within a backend at any thread count and
+//! accuracy-bounded across backends.
 
+#![warn(missing_docs)]
+
+pub mod backend;
 pub mod blas;
 pub mod cholesky;
 pub mod eig;
@@ -42,6 +55,7 @@ pub mod random;
 pub mod svd;
 pub mod triangular;
 
+pub use backend::{dense_backend, BackendKind, DenseBackend};
 pub use iterative::{pcg, JacobiPreconditioner, PcgOptions, PcgResult, Preconditioner};
 pub use low_rank::LowRank;
 pub use lu::is_permutation;

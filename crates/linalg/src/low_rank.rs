@@ -55,10 +55,24 @@ impl LowRank {
 
     /// Expands the factorization into a dense matrix.
     pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.nrows(), self.ncols());
+        self.to_dense_into(&mut out);
+        out
+    }
+
+    /// Expands the factorization into a caller-provided buffer (`m x n`),
+    /// overwriting it, through the active backend's in-place NT product.
+    pub fn to_dense_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            (out.nrows(), out.ncols()),
+            (self.nrows(), self.ncols()),
+            "LowRank::to_dense_into: output shape mismatch"
+        );
         if self.rank() == 0 {
-            return Matrix::zeros(self.nrows(), self.ncols());
+            out.data_mut().fill(0.0);
+            return;
         }
-        blas::matmul_nt(&self.u, &self.v)
+        crate::backend::active().gemm_nt_into(&self.u, &self.v, out);
     }
 
     /// `y = (U V^T) x`.

@@ -159,13 +159,34 @@ impl Lu {
     }
 
     /// Solves `A X = B` for a matrix of right-hand sides.
+    ///
+    /// Applies the pivot permutation once, sweeps the implicit-unit lower
+    /// factor across all columns at a time, and finishes with the active
+    /// backend's in-place upper TRSM — element-for-element the same scalar
+    /// sequence as solving column by column.
     pub fn solve_multi(&self, b: &Matrix) -> LinalgResult<Matrix> {
-        assert_eq!(b.nrows(), self.dim(), "Lu::solve_multi: dim mismatch");
-        let mut x = Matrix::zeros(b.nrows(), b.ncols());
-        for j in 0..b.ncols() {
-            let col = self.solve(&b.col(j))?;
-            x.set_col(j, &col);
+        let n = self.dim();
+        assert_eq!(b.nrows(), n, "Lu::solve_multi: dim mismatch");
+        let r = b.ncols();
+        let mut x = Matrix::zeros(n, r);
+        for (i, &p) in self.pivots.iter().enumerate() {
+            x.row_mut(i).copy_from_slice(b.row(p));
         }
+        // Forward substitution with the unit-lower factor (no divide).
+        for i in 0..n {
+            for j in 0..i {
+                let lij = self.packed[(i, j)];
+                let (done, rest) = x.data_mut().split_at_mut(i * r);
+                let xj = &done[j * r..(j + 1) * r];
+                let xi = &mut rest[..r];
+                for (xic, xjc) in xi.iter_mut().zip(xj.iter()) {
+                    *xic -= lij * xjc;
+                }
+            }
+        }
+        // Back substitution reads only the upper triangle of the packed
+        // storage, which is exactly what the backend TRSM consumes.
+        crate::backend::active().trsm_upper_into(&self.packed, &mut x)?;
         Ok(x)
     }
 

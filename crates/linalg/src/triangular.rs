@@ -69,25 +69,26 @@ pub fn solve_lower_transpose(l: &Matrix, b: &[f64]) -> LinalgResult<Vec<f64>> {
     Ok(x)
 }
 
-/// Solves `L X = B` column by column, with `B` a matrix of right-hand sides.
+/// Solves `L X = B` with `B` a matrix of right-hand sides, through the
+/// active backend's in-place TRSM.
+///
+/// The row-sweep TRSM performs, per output element, the identical scalar
+/// operation sequence as solving column by column, so results are bitwise
+/// the same as the historical per-column implementation.
 pub fn solve_lower_multi(l: &Matrix, b: &Matrix) -> LinalgResult<Matrix> {
     assert_eq!(l.nrows(), b.nrows(), "solve_lower_multi: dim mismatch");
-    let mut x = Matrix::zeros(b.nrows(), b.ncols());
-    for j in 0..b.ncols() {
-        let col = solve_lower(l, &b.col(j))?;
-        x.set_col(j, &col);
-    }
+    let mut x = b.clone();
+    crate::backend::active().trsm_lower_into(l, &mut x)?;
     Ok(x)
 }
 
-/// Solves `U X = B` column by column, with `B` a matrix of right-hand sides.
+/// Solves `U X = B` with `B` a matrix of right-hand sides, through the
+/// active backend's in-place TRSM (see [`solve_lower_multi`] on bitwise
+/// equivalence with the per-column solve).
 pub fn solve_upper_multi(u: &Matrix, b: &Matrix) -> LinalgResult<Matrix> {
     assert_eq!(u.nrows(), b.nrows(), "solve_upper_multi: dim mismatch");
-    let mut x = Matrix::zeros(b.nrows(), b.ncols());
-    for j in 0..b.ncols() {
-        let col = solve_upper(u, &b.col(j))?;
-        x.set_col(j, &col);
-    }
+    let mut x = b.clone();
+    crate::backend::active().trsm_upper_into(u, &mut x)?;
     Ok(x)
 }
 
