@@ -1,0 +1,46 @@
+//! Validates Prometheus text-exposition artifacts (`.prom` files scraped
+//! off live servers) with the strict checker in [`hkrr_bench::prom`] — the
+//! CI gate that keeps the `metrics` command's output well-formed.
+//!
+//! Usage: `prom_check FILE...` — exits non-zero on the first file that
+//! fails to parse or violates the counter/histogram invariants, and prints
+//! a one-line family/sample census per valid file.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: prom_check FILE...");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match hkrr_bench::prom::validate(&text) {
+            Ok(scrape) => {
+                let samples: usize = scrape.families.values().map(|f| f.samples.len()).sum();
+                println!(
+                    "{path}: OK — {} families, {samples} samples",
+                    scrape.families.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

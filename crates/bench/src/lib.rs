@@ -11,6 +11,7 @@
 
 pub mod json;
 pub mod perf;
+pub mod prom;
 
 use hkrr_clustering::ClusteringMethod;
 use hkrr_core::{accuracy, KrrConfig, KrrModel, SolverKind};

@@ -1,0 +1,573 @@
+//! A small parser/validator for the Prometheus text exposition format —
+//! the consumer side of the `hkrr_telemetry` registry's `metrics` scrape.
+//!
+//! Used three ways:
+//!
+//! * `loadgen` scrapes a live server before and after a run and folds the
+//!   counter/histogram **deltas** into `BENCH_serve.json`, so the report
+//!   carries server-side truth next to the client-observed numbers;
+//! * the `prom_check` binary validates `.prom` artifacts in CI;
+//! * integration tests pin that the exposition parses and that engine
+//!   counters agree exactly with loadgen-observed request counts.
+//!
+//! The grammar accepted is the subset the registry emits: `# HELP` /
+//! `# TYPE` comment lines, optional `# EOF`, and sample lines of the form
+//! `name{label="value",...} number`.
+
+use std::collections::BTreeMap;
+
+/// One sample line: a (possibly suffixed) sample name, its label set, and
+/// the value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name as written (`hkrr_x_total`, `hkrr_y_bucket`, …).
+    pub name: String,
+    /// Label pairs in exposition order (the registry emits them sorted).
+    pub labels: BTreeMap<String, String>,
+    /// Parsed value (`+Inf`/`-Inf`/`NaN` accepted).
+    pub value: f64,
+}
+
+/// One metric family: the `# TYPE` kind, the `# HELP` text, and every
+/// sample whose name belongs to the family (including `_bucket`, `_sum`,
+/// `_count` suffixes for histograms).
+#[derive(Debug, Clone, Default)]
+pub struct Family {
+    /// `counter`, `gauge`, `histogram`, or `untyped`.
+    pub kind: String,
+    /// The `# HELP` text (may be empty).
+    pub help: String,
+    /// All samples of this family, in exposition order.
+    pub samples: Vec<Sample>,
+}
+
+/// A parsed scrape: families keyed by base metric name.
+#[derive(Debug, Clone, Default)]
+pub struct Scrape {
+    /// Families keyed by base name (without `_bucket`/`_sum`/`_count`).
+    pub families: BTreeMap<String, Family>,
+}
+
+/// An aggregated histogram (possibly summed over several label sets):
+/// cumulative bucket counts plus sum and count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramScrape {
+    /// `(upper_bound, cumulative_count)` per bucket, `le` ascending with
+    /// the `+Inf` bucket last.
+    pub buckets: Vec<(f64, u64)>,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Total observations (= the `+Inf` cumulative count).
+    pub count: u64,
+}
+
+impl HistogramScrape {
+    /// Subtracts an earlier scrape of the same histogram, yielding the
+    /// activity between the two scrapes. Buckets must line up.
+    pub fn delta(&self, earlier: &HistogramScrape) -> Result<HistogramScrape, String> {
+        if self.buckets.len() != earlier.buckets.len() {
+            return Err(format!(
+                "bucket layouts differ: {} vs {} buckets",
+                self.buckets.len(),
+                earlier.buckets.len()
+            ));
+        }
+        let mut buckets = Vec::with_capacity(self.buckets.len());
+        for (&(le, now), &(le2, before)) in self.buckets.iter().zip(&earlier.buckets) {
+            if le != le2 && !(le.is_nan() && le2.is_nan()) {
+                return Err(format!("bucket bounds differ: {le} vs {le2}"));
+            }
+            let d = now
+                .checked_sub(before)
+                .ok_or_else(|| format!("bucket le={le} went backwards ({before} -> {now})"))?;
+            buckets.push((le, d));
+        }
+        let count = self
+            .count
+            .checked_sub(earlier.count)
+            .ok_or_else(|| "histogram count went backwards".to_string())?;
+        Ok(HistogramScrape {
+            buckets,
+            sum: self.sum - earlier.sum,
+            count,
+        })
+    }
+
+    /// Quantile estimate from the cumulative buckets: the upper bound of
+    /// the first bucket whose cumulative count reaches `q * count` (the
+    /// `+Inf` bucket answers with the previous finite bound). Returns 0
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut last_finite = 0.0;
+        for &(le, cum) in &self.buckets {
+            if cum >= target {
+                return if le.is_finite() { le } else { last_finite };
+            }
+            if le.is_finite() {
+                last_finite = le;
+            }
+        }
+        last_finite
+    }
+
+    /// Mean of the observed values (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Scrape {
+    /// Sums every sample named exactly `name` whose labels include all of
+    /// `labels` (an empty filter sums over every label set). `None` when
+    /// no sample matches.
+    pub fn value_sum(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let family = self.families.get(base_name(name))?;
+        let mut total = 0.0;
+        let mut matched = false;
+        for s in &family.samples {
+            if s.name == name && labels_match(&s.labels, labels) {
+                total += s.value;
+                matched = true;
+            }
+        }
+        matched.then_some(total)
+    }
+
+    /// Counter convenience: [`Scrape::value_sum`] rounded to u64 (counters
+    /// render as integers), 0 when the series does not exist yet — a
+    /// counter that never fired and a counter at zero are the same thing.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.value_sum(name, labels).unwrap_or(0.0).round() as u64
+    }
+
+    /// Aggregates the histogram family `name` over every label set that
+    /// includes `labels`, summing per-bucket counts. `None` when nothing
+    /// matches.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<HistogramScrape> {
+        let family = self.families.get(name)?;
+        if family.kind != "histogram" {
+            return None;
+        }
+        let bucket_name = format!("{name}_bucket");
+        let sum_name = format!("{name}_sum");
+        let count_name = format!("{name}_count");
+        // Aggregate cumulative counts per `le` across matching label sets.
+        let mut by_le: BTreeMap<OrderedLe, u64> = BTreeMap::new();
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        let mut matched = false;
+        for s in &family.samples {
+            if !labels_match(&s.labels, labels) {
+                continue;
+            }
+            if s.name == bucket_name {
+                let le = s.labels.get("le")?;
+                let le = parse_le(le)?;
+                *by_le.entry(OrderedLe(le)).or_insert(0) += s.value.round() as u64;
+                matched = true;
+            } else if s.name == sum_name {
+                sum += s.value;
+            } else if s.name == count_name {
+                count += s.value.round() as u64;
+            }
+        }
+        matched.then(|| HistogramScrape {
+            buckets: by_le.into_iter().map(|(le, c)| (le.0, c)).collect(),
+            sum,
+            count,
+        })
+    }
+}
+
+/// `le` values sorted numerically with `+Inf` last.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedLe(f64);
+
+impl Eq for OrderedLe {}
+impl PartialOrd for OrderedLe {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedLe {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+fn parse_le(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" => Some(f64::INFINITY),
+        other => other.parse().ok(),
+    }
+}
+
+fn labels_match(have: &BTreeMap<String, String>, want: &[(&str, &str)]) -> bool {
+    want.iter()
+        .all(|(k, v)| have.get(*k).map(String::as_str) == Some(*v))
+}
+
+/// Strips the histogram sample suffixes to the family's base name.
+fn base_name(sample_name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample_name.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    sample_name
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parses one `label="value"` list (without braces), undoing the `\\`,
+/// `\"`, `\n` escapes the exposition format defines.
+fn parse_labels(s: &str) -> Result<BTreeMap<String, String>, String> {
+    let mut labels = BTreeMap::new();
+    let mut rest = s.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label pair without '=': {rest:?}"))?;
+        let key = rest[..eq].trim();
+        if !valid_name(key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        let after = rest[eq + 1..].trim_start();
+        let mut chars = after.char_indices();
+        if chars.next().map(|(_, c)| c) != Some('"') {
+            return Err(format!("label value must be quoted: {after:?}"));
+        }
+        let mut value = String::new();
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in chars {
+            if escaped {
+                match c {
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    'n' => value.push('\n'),
+                    other => return Err(format!("unknown escape \\{other}")),
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value in {after:?}"))?;
+        if labels.insert(key.to_string(), value).is_some() {
+            return Err(format!("duplicate label {key:?}"));
+        }
+        rest = after[end + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("expected ',' between labels, got {rest:?}"));
+        }
+    }
+    Ok(labels)
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse()
+            .map_err(|_| format!("invalid sample value {other:?}")),
+    }
+}
+
+/// Parses a text-exposition document into a [`Scrape`]. Errors carry the
+/// 1-based line number of the offending line.
+pub fn parse(text: &str) -> Result<Scrape, String> {
+    let mut scrape = Scrape::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("HELP ") {
+                let (name, help) = rest.split_once(' ').unwrap_or((rest, ""));
+                if !valid_name(name) {
+                    return Err(format!("line {lineno}: invalid metric name {name:?}"));
+                }
+                scrape.families.entry(name.to_string()).or_default().help = help.to_string();
+            } else if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let (name, kind) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| format!("line {lineno}: TYPE without a kind"))?;
+                if !valid_name(name) {
+                    return Err(format!("line {lineno}: invalid metric name {name:?}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {lineno}: unknown TYPE {kind:?}"));
+                }
+                let family = scrape.families.entry(name.to_string()).or_default();
+                if !family.kind.is_empty() {
+                    return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+                }
+                family.kind = kind.to_string();
+            }
+            // Other comments (including `# EOF`) are ignored.
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, rest) = match line.find('{') {
+            Some(brace) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| format!("line {lineno}: unclosed label braces"))?;
+                if close < brace {
+                    return Err(format!("line {lineno}: mismatched label braces"));
+                }
+                (&line[..brace], &line[close + 1..])
+            }
+            None => match line.split_once(char::is_whitespace) {
+                Some((n, v)) => (n, v),
+                None => return Err(format!("line {lineno}: sample without a value")),
+            },
+        };
+        let name = name_part.trim();
+        if !valid_name(name) {
+            return Err(format!("line {lineno}: invalid sample name {name:?}"));
+        }
+        let labels = match line.find('{') {
+            Some(brace) => {
+                let close = line.rfind('}').expect("checked above");
+                parse_labels(&line[brace + 1..close]).map_err(|e| format!("line {lineno}: {e}"))?
+            }
+            None => BTreeMap::new(),
+        };
+        let value = parse_value(rest.trim()).map_err(|e| format!("line {lineno}: {e}"))?;
+        let family = scrape
+            .families
+            .entry(base_name(name).to_string())
+            .or_default();
+        family.samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(scrape)
+}
+
+/// Parses **and** cross-checks a scrape — the strict mode `prom_check` and
+/// CI run against `.prom` artifacts:
+///
+/// * every family with samples has a `# TYPE`;
+/// * counter samples end in `_total` and are non-negative finite integers;
+/// * histogram cumulative bucket counts are non-decreasing in `le`, every
+///   label set has a `+Inf` bucket, and `_count` equals it;
+/// * gauges are finite.
+pub fn validate(text: &str) -> Result<Scrape, String> {
+    let scrape = parse(text)?;
+    for (name, family) in &scrape.families {
+        if family.samples.is_empty() {
+            continue;
+        }
+        if family.kind.is_empty() {
+            return Err(format!("family {name} has samples but no # TYPE"));
+        }
+        match family.kind.as_str() {
+            "counter" => {
+                for s in &family.samples {
+                    if !s.name.ends_with("_total") {
+                        return Err(format!("counter sample {} must end in _total", s.name));
+                    }
+                    if !s.value.is_finite() || s.value < 0.0 || s.value.fract() != 0.0 {
+                        return Err(format!(
+                            "counter {} has non-integer value {}",
+                            s.name, s.value
+                        ));
+                    }
+                }
+            }
+            "gauge" => {
+                for s in &family.samples {
+                    if !s.value.is_finite() {
+                        return Err(format!("gauge {} has non-finite value", s.name));
+                    }
+                }
+            }
+            "histogram" => validate_histogram(name, family)?,
+            _ => {}
+        }
+    }
+    Ok(scrape)
+}
+
+fn validate_histogram(name: &str, family: &Family) -> Result<(), String> {
+    // Group buckets/sum/count per label set (minus `le`).
+    type Key = Vec<(String, String)>;
+    type SeriesAcc = (Vec<(f64, u64)>, Option<u64>);
+    let mut series: BTreeMap<Key, SeriesAcc> = BTreeMap::new();
+    let bucket_name = format!("{name}_bucket");
+    let count_name = format!("{name}_count");
+    for s in &family.samples {
+        let key: Key = s
+            .labels
+            .iter()
+            .filter(|(k, _)| k.as_str() != "le")
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let entry = series.entry(key).or_default();
+        if s.name == bucket_name {
+            let le = s
+                .labels
+                .get("le")
+                .and_then(|v| parse_le(v))
+                .ok_or_else(|| format!("{bucket_name} sample without a valid le label"))?;
+            entry.0.push((le, s.value.round() as u64));
+        } else if s.name == count_name {
+            entry.1 = Some(s.value.round() as u64);
+        }
+    }
+    for (key, (mut buckets, count)) in series {
+        buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        if buckets.is_empty() {
+            return Err(format!("histogram {name}{key:?} has no buckets"));
+        }
+        let mut prev = 0u64;
+        for &(le, cum) in &buckets {
+            if cum < prev {
+                return Err(format!(
+                    "histogram {name}{key:?}: bucket le={le} cumulative count decreases"
+                ));
+            }
+            prev = cum;
+        }
+        let (last_le, last_cum) = *buckets.last().expect("non-empty");
+        if last_le.is_finite() {
+            return Err(format!(
+                "histogram {name}{key:?} is missing the +Inf bucket"
+            ));
+        }
+        if let Some(c) = count {
+            if c != last_cum {
+                return Err(format!(
+                    "histogram {name}{key:?}: _count {c} != +Inf bucket {last_cum}"
+                ));
+            }
+        } else {
+            return Err(format!("histogram {name}{key:?} is missing _count"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# HELP hkrr_engine_requests_total Predict requests answered\n\
+# TYPE hkrr_engine_requests_total counter\n\
+hkrr_engine_requests_total{engine=\"e1\"} 42\n\
+hkrr_engine_requests_total{engine=\"e2\"} 8\n\
+# HELP hkrr_uptime_seconds Seconds since start\n\
+# TYPE hkrr_uptime_seconds gauge\n\
+hkrr_uptime_seconds 1.5\n\
+# HELP hkrr_lat Latency\n\
+# TYPE hkrr_lat histogram\n\
+hkrr_lat_bucket{engine=\"e1\",le=\"100\"} 3\n\
+hkrr_lat_bucket{engine=\"e1\",le=\"200\"} 5\n\
+hkrr_lat_bucket{engine=\"e1\",le=\"+Inf\"} 6\n\
+hkrr_lat_sum{engine=\"e1\"} 700\n\
+hkrr_lat_count{engine=\"e1\"} 6\n\
+# EOF\n";
+
+    #[test]
+    fn parses_and_validates_the_registry_shape() {
+        let scrape = validate(SAMPLE).unwrap();
+        assert_eq!(scrape.counter("hkrr_engine_requests_total", &[]), 50);
+        assert_eq!(
+            scrape.counter("hkrr_engine_requests_total", &[("engine", "e1")]),
+            42
+        );
+        assert_eq!(
+            scrape.counter("hkrr_engine_requests_total", &[("engine", "nope")]),
+            0
+        );
+        assert_eq!(scrape.value_sum("hkrr_uptime_seconds", &[]), Some(1.5));
+        let h = scrape.histogram("hkrr_lat", &[("engine", "e1")]).unwrap();
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 700.0);
+        assert_eq!(h.buckets.len(), 3);
+        assert_eq!(h.quantile(0.5), 100.0);
+        assert_eq!(h.quantile(0.99), 200.0); // +Inf answers with last finite
+        assert!((h.mean() - 700.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_deltas_subtract_bucketwise() {
+        let scrape = validate(SAMPLE).unwrap();
+        let after = scrape.histogram("hkrr_lat", &[]).unwrap();
+        let mut before = after.clone();
+        before.buckets = vec![(100.0, 1), (200.0, 1), (f64::INFINITY, 1)];
+        before.count = 1;
+        before.sum = 50.0;
+        let d = after.delta(&before).unwrap();
+        assert_eq!(d.count, 5);
+        assert_eq!(d.buckets, vec![(100.0, 2), (200.0, 4), (f64::INFINITY, 5)]);
+        assert_eq!(d.sum, 650.0);
+        // A shrinking counter is a validation error, not a wrap-around.
+        assert!(before.delta(&after).is_err());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(parse("hkrr_x{unterminated=\"v} 1\n").is_err());
+        assert!(parse("hkrr_x 1 2 3\n").is_err());
+        assert!(parse("hkrr_x{a=\"1\"\n").is_err());
+        assert!(
+            validate("hkrr_untyped_total 3\n").is_err(),
+            "sample without TYPE"
+        );
+        let decreasing = "\
+# TYPE h histogram\n\
+h_bucket{le=\"1\"} 5\n\
+h_bucket{le=\"+Inf\"} 3\n\
+h_count 3\n";
+        assert!(validate(decreasing).is_err());
+        let no_inf = "\
+# TYPE h histogram\n\
+h_bucket{le=\"1\"} 5\n\
+h_count 5\n";
+        assert!(validate(no_inf).is_err());
+        let bad_counter = "\
+# TYPE c counter\nc_total 1.5\n";
+        assert!(validate(bad_counter).is_err());
+    }
+}

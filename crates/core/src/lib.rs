@@ -18,6 +18,13 @@
 //! paper reports: compressed-matrix memory, maximum HSS rank, and the time
 //! split into H construction, HSS sampling, the rest of HSS construction,
 //! factorization, and solve (Table 4).
+//!
+//! The same phases are wrapped in `hkrr_telemetry` spans (`train.*`), so a
+//! run with `HKRR_TRACE=<path>` set produces a chrome://tracing timeline
+//! whose span durations reconcile with the report's timing fields — see
+//! `docs/OBSERVABILITY.md`.
+
+#![warn(missing_docs)]
 
 pub mod config;
 pub mod handle;

@@ -88,6 +88,9 @@ impl KrrModel {
         }
 
         let mut report = TrainingReport::new(config.solver, n, train.ncols());
+        let mut fit_span = hkrr_telemetry::span!("train.fit");
+        fit_span.annotate("n", n);
+        fit_span.annotate("solver", format!("{:?}", config.solver));
 
         // Step 0a: normalization (fit on train only).
         let norm_stats = NormalizationStats::fit(train, config.normalization);
@@ -95,7 +98,10 @@ impl KrrModel {
 
         // Step 0b: clustering-based reordering.
         let t = Instant::now();
-        let ordering = cluster(&normalized, config.clustering, config.leaf_size);
+        let ordering = {
+            let _span = hkrr_telemetry::span!("train.clustering");
+            cluster(&normalized, config.clustering, config.leaf_size)
+        };
         report.clustering_seconds = t.elapsed().as_secs_f64();
         let permuted = normalized.select_rows(ordering.permutation());
         let permuted_labels: Vec<f64> = ordering.apply(labels);
@@ -108,18 +114,27 @@ impl KrrModel {
         let (weights, factors) = match config.solver {
             SolverKind::DenseCholesky => {
                 let t = Instant::now();
-                let k_dense = km.assemble_regularized(config.lambda);
+                let k_dense = {
+                    let _span = hkrr_telemetry::span!("train.assembly");
+                    km.assemble_regularized(config.lambda)
+                };
                 // Dense assembly is its own phase — not HSS work (the
                 // perf JSON reports the HSS fields as compression time).
                 report.assembly_seconds = t.elapsed().as_secs_f64();
                 report.matrix_memory_bytes = k_dense.memory_bytes();
 
                 let t = Instant::now();
-                let factor = cholesky::cholesky(&k_dense)?;
+                let factor = {
+                    let _span = hkrr_telemetry::span!("train.cholesky");
+                    cholesky::cholesky(&k_dense)?
+                };
                 report.factorization_seconds = t.elapsed().as_secs_f64();
 
                 let t = Instant::now();
-                let w = factor.solve(&permuted_labels)?;
+                let w = {
+                    let _span = hkrr_telemetry::span!("train.solve");
+                    factor.solve(&permuted_labels)?
+                };
                 report.solve_seconds = t.elapsed().as_secs_f64();
                 (w, None)
             }
@@ -135,6 +150,7 @@ impl KrrModel {
                 // sampling path).
                 let sampler_h = if config.solver == SolverKind::HssWithHSampling {
                     let t = Instant::now();
+                    let _span = hkrr_telemetry::span!("train.h_sampler");
                     let h = build_hmatrix(
                         &km,
                         &permuted,
@@ -152,9 +168,12 @@ impl KrrModel {
                     None
                 };
 
-                let mut hss = match &sampler_h {
-                    Some(h) => compress_symmetric(&km, h, tree, &hss_opts)?,
-                    None => compress_symmetric(&km, &km, tree, &hss_opts)?,
+                let mut hss = {
+                    let _span = hkrr_telemetry::span!("train.hss_compress");
+                    match &sampler_h {
+                        Some(h) => compress_symmetric(&km, h, tree, &hss_opts)?,
+                        None => compress_symmetric(&km, &km, tree, &hss_opts)?,
+                    }
                 };
                 report.hss_sampling_seconds = hss.construction_stats().sampling_seconds;
                 report.hss_other_seconds = hss.construction_stats().other_seconds;
@@ -164,11 +183,17 @@ impl KrrModel {
                 hss.set_diagonal_shift(config.lambda);
 
                 let t = Instant::now();
-                let factor = UlvFactorization::factor(&hss)?;
+                let factor = {
+                    let _span = hkrr_telemetry::span!("train.ulv_factor");
+                    UlvFactorization::factor(&hss)?
+                };
                 report.factorization_seconds = t.elapsed().as_secs_f64();
 
                 let t = Instant::now();
-                let w = factor.solve(&permuted_labels)?;
+                let w = {
+                    let _span = hkrr_telemetry::span!("train.solve");
+                    factor.solve(&permuted_labels)?
+                };
                 report.solve_seconds = t.elapsed().as_secs_f64();
                 (w, Some(TrainedFactors { hss, ulv: factor }))
             }
@@ -183,7 +208,10 @@ impl KrrModel {
                     ..HssOptions::default()
                 };
                 let tree = ordering.tree().clone();
-                let mut hss = compress_symmetric(&km, &km, tree, &hss_opts)?;
+                let mut hss = {
+                    let _span = hkrr_telemetry::span!("train.hss_compress");
+                    compress_symmetric(&km, &km, tree, &hss_opts)?
+                };
                 report.hss_sampling_seconds = hss.construction_stats().sampling_seconds;
                 report.hss_other_seconds = hss.construction_stats().other_seconds;
                 report.matrix_memory_bytes = hss.memory_bytes();
@@ -192,13 +220,19 @@ impl KrrModel {
                 hss.set_diagonal_shift(config.lambda);
 
                 let t = Instant::now();
-                let factor = UlvFactorization::factor(&hss)?;
+                let factor = {
+                    let _span = hkrr_telemetry::span!("train.ulv_factor");
+                    UlvFactorization::factor(&hss)?
+                };
                 report.factorization_seconds = t.elapsed().as_secs_f64();
 
                 // PCG on the *exact* regularized kernel operator: only
                 // matvecs, nothing assembled, nothing compressed.
                 let t = Instant::now();
+                let mut pcg_span = hkrr_telemetry::span!("train.pcg");
                 let result = run_pcg(&km, config, &factor, &permuted_labels)?;
+                pcg_span.annotate("iterations", result.iterations);
+                drop(pcg_span);
                 report.pcg_seconds = t.elapsed().as_secs_f64();
                 report.pcg_iterations = result.iterations;
                 report.pcg_residual_history = result.residual_history.clone();

@@ -243,14 +243,22 @@ impl EnsembleKrr {
         // them concurrently. Each shard's arithmetic is identical to a
         // standalone fit on its rows, so the schedule stays bitwise
         // deterministic across thread counts.
-        let fitted: Result<Vec<(KrrModel, f64)>, KrrError> = plan
+        let indexed: Vec<(usize, &[usize])> = plan
             .shards()
+            .iter()
+            .map(|v| v.as_slice())
+            .enumerate()
+            .collect();
+        let fitted: Result<Vec<(KrrModel, f64)>, KrrError> = indexed
             .par_iter()
             .with_min_len(1)
-            .map(|indices| {
+            .map(|&(shard, indices)| {
                 let shard_points = train.select_rows(indices);
                 let shard_labels: Vec<f64> = indices.iter().map(|&i| labels[i]).collect();
                 let t = Instant::now();
+                let mut span = hkrr_telemetry::span!("ensemble.fit_shard");
+                span.annotate("shard", shard);
+                span.annotate("rows", indices.len());
                 let model = KrrModel::fit(&shard_points, &shard_labels, &config.base)?;
                 Ok((model, t.elapsed().as_secs_f64()))
             })

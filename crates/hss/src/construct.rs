@@ -226,7 +226,10 @@ fn build_pass(
     // its children (compressed on a deeper level), so the whole level is
     // compressed concurrently; results are scattered sequentially, then the
     // consumed child scratch is released.
-    for level in tree.levels().iter().rev() {
+    for (depth, level) in tree.levels().iter().enumerate().rev() {
+        let mut level_span = hkrr_telemetry::span!("hss.compress_level");
+        level_span.annotate("depth", depth);
+        level_span.annotate("nodes", level.len());
         let results: Vec<(usize, HssNodeData, Option<NodeScratch>, bool)> = level
             .par_iter()
             .with_min_len(1)

@@ -11,6 +11,8 @@
 //!                    [--max-batch 64] [--linger-us 500]
 //! hkrr-serve loadgen --addr 127.0.0.1:7878 [--requests 1000]
 //!                    [--concurrency 8] [--out BENCH_serve.json]
+//! hkrr-serve metrics --addr 127.0.0.1:7878 [--out FILE.prom]
+//!                    # scrape a live server/router's metrics registry
 //! hkrr-serve bench   [--requests 1000] [--concurrency 8] [--shards K]
 //!                    [--out BENCH_serve.json]   # train→save→load→serve→loadgen
 //! hkrr-serve shard-serve <model.hkrr> --shard I [--addr 127.0.0.1:0]
@@ -32,6 +34,7 @@
 
 use hkrr_core::{KrrConfig, SolverKind};
 use hkrr_ensemble::{EnsembleConfig, EnsembleKrr, ShardStrategy};
+use hkrr_serve::client::Client;
 use hkrr_serve::codec::{self, LoadedModel};
 use hkrr_serve::engine::EngineConfig;
 use hkrr_serve::loadgen::{self, LoadgenConfig, RoutingStats};
@@ -376,6 +379,38 @@ fn write_snapshot(report: &loadgen::LoadgenReport, out: &str) -> Result<(), Stri
     Ok(())
 }
 
+/// Scrapes a live server's metrics registry over the binary `metrics`
+/// command, validates the exposition, and prints it (or writes `--out`).
+fn cmd_metrics(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let text = Client::connect(addr)
+        .and_then(|mut c| c.metrics())
+        .map_err(|e| format!("scraping {addr}: {e}"))?;
+    hkrr_bench::prom::validate(&text)
+        .map_err(|e| format!("{addr} returned invalid exposition: {e}"))?;
+    match args.get("out") {
+        Some(out) => {
+            std::fs::write(out, &text).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("wrote {out} ({} bytes)", text.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// Scrapes `addr` and writes the validated exposition to `out` — the
+/// `.prom` artifacts `bench`/`dbench` leave next to their JSON snapshots.
+fn write_prom_artifact(addr: &str, out: &str) -> Result<(), String> {
+    let text = Client::connect(addr)
+        .and_then(|mut c| c.metrics())
+        .map_err(|e| format!("scraping {addr}: {e}"))?;
+    hkrr_bench::prom::validate(&text)
+        .map_err(|e| format!("{addr} returned invalid exposition: {e}"))?;
+    std::fs::write(out, &text).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out} ({} bytes)", text.len());
+    Ok(())
+}
+
 fn cmd_loadgen(args: &Args) -> Result<(), String> {
     let config = LoadgenConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
@@ -425,7 +460,14 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         seed: args.get_parsed("seed", 0x10adu64)?,
     };
     let report = loadgen::run(&config).map_err(|e| e.to_string())?;
+    // Leave the post-run scrape next to the JSON snapshot (CI validates
+    // it with prom_check).
+    write_prom_artifact(
+        &config.addr,
+        args.get("prom-out").unwrap_or("BENCH_serve.prom"),
+    )?;
     server.shutdown();
+    hkrr_telemetry::trace::flush();
     let engine_stats = server.stats();
     println!(
         "engine: {} requests in {} batches (mean batch {:.2})",
@@ -452,10 +494,18 @@ struct ShardProcess {
 }
 
 /// Spawns `hkrr-serve shard-serve` as a real child process on a free
-/// loopback port and scrapes `listening <addr>` from its stdout.
-fn spawn_shard_process(model_path: &str, shard: usize) -> Result<ShardProcess, String> {
+/// loopback port and scrapes `listening <addr>` from its stdout. When the
+/// parent runs under `HKRR_TRACE`, each child gets its own derived trace
+/// path (`<path>.shard<i>r<r>`) — two processes appending to one trace
+/// file would interleave garbage.
+fn spawn_shard_process(
+    model_path: &str,
+    shard: usize,
+    replica: usize,
+) -> Result<ShardProcess, String> {
     let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
-    let mut child = std::process::Command::new(exe)
+    let mut command = std::process::Command::new(exe);
+    command
         .args([
             "shard-serve",
             model_path,
@@ -467,7 +517,11 @@ fn spawn_shard_process(model_path: &str, shard: usize) -> Result<ShardProcess, S
             "1",
         ])
         .stdout(std::process::Stdio::piped())
-        .stderr(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    if let Ok(trace) = std::env::var("HKRR_TRACE") {
+        command.env("HKRR_TRACE", format!("{trace}.shard{shard}r{replica}"));
+    }
+    let mut child = command
         .spawn()
         .map_err(|e| format!("cannot spawn shard-serve: {e}"))?;
     let stdout = child.stdout.take().expect("stdout was piped");
@@ -530,8 +584,8 @@ fn cmd_dbench(args: &Args) -> Result<(), String> {
     // One OS process per shard replica.
     let mut fleet: Vec<ShardProcess> = Vec::with_capacity(shards * replicas);
     for shard in 0..shards {
-        for _ in 0..replicas {
-            match spawn_shard_process(&path_str, shard) {
+        for replica in 0..replicas {
+            match spawn_shard_process(&path_str, shard, replica) {
                 Ok(p) => fleet.push(p),
                 Err(e) => {
                     for p in &mut fleet {
@@ -600,17 +654,50 @@ fn cmd_dbench(args: &Args) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
 
     let stats_json = router.stats_json();
-    let report = report.with_routing(RoutingStats {
-        failovers: router.failovers(),
-        degraded: router.degraded(),
-        exhausted: 0,
-    });
+    // The routing section comes from a registry scrape of the live router
+    // (the same path an external monitoring system would use), not from
+    // in-process accessors — and the scrapes are left behind as validated
+    // .prom artifacts: the router's, and one surviving shard process's.
+    let router_addr = router.local_addr().to_string();
+    let router_scrape = Client::connect(&router_addr)
+        .and_then(|mut c| c.metrics())
+        .map_err(|e| e.to_string())
+        .and_then(|t| {
+            hkrr_bench::prom::validate(&t)
+                .map(|s| (t, s))
+                .map_err(|e| e.to_string())
+        });
+    let report = match &router_scrape {
+        Ok((_, scrape)) => report.with_routing(RoutingStats::from_scrape(scrape)),
+        Err(_) => report.with_routing(RoutingStats {
+            failovers: router.failovers(),
+            degraded: router.degraded(),
+            exhausted: 0,
+        }),
+    };
+    if let Ok((text, _)) = &router_scrape {
+        let out = args.get("router-prom").unwrap_or("BENCH_router.prom");
+        std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote {out} ({} bytes)", text.len());
+    }
+    if let Some(survivor) = fleet.first() {
+        write_prom_artifact(
+            &survivor.addr,
+            args.get("shard-prom").unwrap_or("BENCH_shard.prom"),
+        )?;
+    }
     router.shutdown();
+    hkrr_telemetry::trace::flush();
     for p in &mut fleet {
         let _ = p.child.kill();
         let _ = p.child.wait();
     }
     std::fs::remove_file(&path).ok();
+    let (failovers_scraped, degraded_scraped) = match &report.routing {
+        Some(r) => (r.failovers, r.degraded),
+        None => (0, 0),
+    };
+    println!("registry scrape: {failovers_scraped} failovers, {degraded_scraped} degraded replies");
 
     println!("router stats: {stats_json}");
     write_snapshot(
@@ -648,6 +735,7 @@ const USAGE: &str =
   info         print a persisted model's metadata (line-oriented key: value)
   serve        load a model or ensemble and answer prediction queries over TCP
   loadgen      benchmark a running server, write BENCH_serve.json
+  metrics      scrape a live server/router's metrics registry (Prometheus text)
   bench        end-to-end: train → save → load → serve → loadgen
   shard-serve  serve ONE shard of an ensemble file (--shard I) as its own process
   route        fan-out router over shard-serve processes (--shard ADDR[,ADDR…] per shard)
@@ -660,12 +748,16 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    if std::env::var_os("HKRR_TRACE").is_some() {
+        eprintln!("HKRR_TRACE set: writing chrome://tracing events");
+    }
     let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
         // `train` kept as an alias: saving is what makes training durable.
         "save" | "train" => cmd_save(&args),
         "info" => cmd_info(&args),
         "serve" => cmd_serve(&args),
         "loadgen" => cmd_loadgen(&args),
+        "metrics" => cmd_metrics(&args),
         "bench" => cmd_bench(&args),
         "shard-serve" => cmd_shard_serve(&args),
         "route" => cmd_route(&args),

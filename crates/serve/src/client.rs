@@ -15,7 +15,7 @@
 //! a typed [`ServeError::Io`] after the timeout instead of hanging a
 //! production query forever.
 
-use crate::protocol::{self, Request, WirePrediction};
+use crate::protocol::{self, Request, ServerInfo, WirePrediction};
 use crate::ServeError;
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -89,10 +89,18 @@ impl Client {
         self.call(&Request::Ping).map(|_| ())
     }
 
-    /// Model metadata `(dim, n_train)`.
-    pub fn info(&mut self) -> Result<(u32, u64), ServeError> {
+    /// Model metadata plus server identity: dimension, training points,
+    /// uptime, and the build version/stamp (see [`ServerInfo`]).
+    pub fn info(&mut self) -> Result<ServerInfo, ServeError> {
         let body = self.call(&Request::Info)?;
         protocol::decode_info(&body)
+    }
+
+    /// Scrapes the server's metrics registry as Prometheus text
+    /// exposition (`# HELP`/`# TYPE` plus one sample per line).
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        let body = self.call(&Request::Metrics)?;
+        Ok(String::from_utf8_lossy(&body).into_owned())
     }
 
     /// Health probe: `(role, predict requests answered)`. Unlike

@@ -25,8 +25,9 @@
 use crate::ServeError;
 use hkrr_core::DecisionModel;
 use hkrr_linalg::Matrix;
+use hkrr_telemetry::{Counter, Gauge, Histogram, HistogramSpec};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -143,21 +144,78 @@ struct Request {
     reply: mpsc::Sender<Result<Prediction, EngineError>>,
 }
 
-/// Cumulative engine counters (lock-free reads; written by the workers).
-#[derive(Debug, Default)]
+/// Globally unique (per process) engine ids, so every engine's series in
+/// the process-wide metrics registry stay distinct — and exactly matchable
+/// by tests and scrapes — even with several engines alive at once.
+static NEXT_ENGINE_ID: AtomicUsize = AtomicUsize::new(1);
+
+/// Cumulative engine instruments, registered in the process-global
+/// [`hkrr_telemetry`] registry under an `engine="e<id>"` label (lock-free
+/// writes by the workers; a `metrics` scrape renders the same numbers the
+/// [`StatsSnapshot`] reports).
+#[derive(Debug)]
 pub struct EngineStats {
-    /// Requests answered.
-    pub requests: AtomicU64,
-    /// Batched evaluations performed.
-    pub batches: AtomicU64,
-    /// Largest batch evaluated.
-    pub max_batch_observed: AtomicU64,
-    /// Sum of enqueue-to-reply latencies, in microseconds.
-    pub latency_micros_total: AtomicU64,
-    /// Largest single enqueue-to-reply latency, in microseconds.
-    pub latency_micros_max: AtomicU64,
-    /// Submissions rejected because the queue was full.
-    pub queue_rejections: AtomicU64,
+    /// This engine's unique id within the process.
+    pub engine_id: usize,
+    /// Requests answered (`hkrr_engine_requests_total`).
+    pub requests: Arc<Counter>,
+    /// Batched evaluations performed (`hkrr_engine_batches_total`).
+    pub batches: Arc<Counter>,
+    /// Submissions rejected on a full queue
+    /// (`hkrr_engine_queue_rejections_total`).
+    pub queue_rejections: Arc<Counter>,
+    /// Instantaneous queue depth (`hkrr_engine_queue_depth`).
+    pub queue_depth: Arc<Gauge>,
+    /// Coalesced batch sizes (`hkrr_engine_batch_rows`).
+    pub batch_rows: Arc<Histogram>,
+    /// Enqueue-to-reply latencies in µs
+    /// (`hkrr_engine_request_latency_micros`).
+    pub latency_micros: Arc<Histogram>,
+}
+
+impl EngineStats {
+    /// Registers a fresh engine's instruments in the global registry.
+    pub fn register() -> EngineStats {
+        let engine_id = NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed);
+        let id = format!("e{engine_id}");
+        let labels: &[(&str, &str)] = &[("engine", id.as_str())];
+        let reg = hkrr_telemetry::global();
+        EngineStats {
+            engine_id,
+            requests: reg.counter(
+                "hkrr_engine_requests_total",
+                "Requests answered by the prediction engine",
+                labels,
+            ),
+            batches: reg.counter(
+                "hkrr_engine_batches_total",
+                "Batched evaluations performed",
+                labels,
+            ),
+            queue_rejections: reg.counter(
+                "hkrr_engine_queue_rejections_total",
+                "Submissions rejected because the queue was full",
+                labels,
+            ),
+            queue_depth: reg.gauge(
+                "hkrr_engine_queue_depth",
+                "Requests currently waiting in the engine queue",
+                labels,
+            ),
+            batch_rows: reg.histogram(
+                "hkrr_engine_batch_rows",
+                "Coalesced batch sizes, in rows",
+                labels,
+                &HistogramSpec::batch_rows(),
+            ),
+            latency_micros: reg.histogram(
+                "hkrr_engine_request_latency_micros",
+                "Enqueue-to-reply latency per request, in microseconds",
+                labels,
+                &HistogramSpec::latency_micros(),
+            ),
+        }
+    }
 }
 
 /// A point-in-time copy of [`EngineStats`] with derived ratios, plus the
@@ -165,10 +223,18 @@ pub struct EngineStats {
 /// ensemble; empty when the model is a single `KrrModel`).
 #[derive(Debug, Clone, Default)]
 pub struct StatsSnapshot {
+    /// Id of the engine the snapshot was taken from (its metric series
+    /// carry the matching `engine="e<id>"` label).
+    pub engine_id: usize,
     /// Requests answered.
     pub requests: u64,
     /// Batched evaluations performed.
     pub batches: u64,
+    /// Sum of all batch sizes recorded in the batch histogram. Snapshot
+    /// ordering guarantees `requests >= batch_rows_recorded` — the workers
+    /// bump `requests` before recording the batch, and the snapshot reads
+    /// the histogram first.
+    pub batch_rows_recorded: u64,
     /// Mean coalesced batch size (`requests / batches`).
     pub mean_batch_size: f64,
     /// Largest batch evaluated.
@@ -189,34 +255,34 @@ pub struct StatsSnapshot {
 }
 
 impl EngineStats {
-    /// Takes a consistent-enough snapshot for reporting.
+    /// Takes a consistent snapshot: the histograms are read *before* the
+    /// counters, and the workers bump the counters *before* recording into
+    /// the histograms (all `SeqCst`), so derived invariants such as
+    /// `requests >= batch_rows_recorded` can never be observed inverted
+    /// mid-traffic.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let requests = self.requests.load(Ordering::Relaxed);
-        let batches = self.batches.load(Ordering::Relaxed);
+        let batch = self.batch_rows.snapshot();
+        let latency = self.latency_micros.snapshot();
+        let batches = self.batches.get();
+        let requests = self.requests.get();
         StatsSnapshot {
+            engine_id: self.engine_id,
             requests,
             batches,
+            batch_rows_recorded: batch.sum,
             mean_batch_size: if batches > 0 {
                 requests as f64 / batches as f64
             } else {
                 0.0
             },
-            max_batch_observed: self.max_batch_observed.load(Ordering::Relaxed),
-            mean_latency_ms: if requests > 0 {
-                self.latency_micros_total.load(Ordering::Relaxed) as f64 / requests as f64 / 1000.0
-            } else {
-                0.0
-            },
-            max_latency_ms: self.latency_micros_max.load(Ordering::Relaxed) as f64 / 1000.0,
-            queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
+            max_batch_observed: batch.max,
+            mean_latency_ms: latency.mean() / 1000.0,
+            max_latency_ms: latency.max as f64 / 1000.0,
+            queue_rejections: self.queue_rejections.get(),
             num_models: 1,
             model_requests: Vec::new(),
         }
     }
-}
-
-fn fetch_max(cell: &AtomicU64, value: u64) {
-    cell.fetch_max(value, Ordering::Relaxed);
 }
 
 struct Shared {
@@ -258,7 +324,7 @@ impl PredictionEngine {
             queue: Mutex::new(VecDeque::with_capacity(config.queue_capacity.min(4096))),
             arrived: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            stats: EngineStats::default(),
+            stats: EngineStats::register(),
             config: EngineConfig {
                 max_batch: config.max_batch.max(1),
                 queue_capacity: config.queue_capacity.max(1),
@@ -338,10 +404,7 @@ impl PredictionEngine {
             }
             if queue.len() >= self.shared.config.queue_capacity {
                 drop(queue);
-                self.shared
-                    .stats
-                    .queue_rejections
-                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.queue_rejections.inc();
                 return Err(ServeError::QueueFull);
             }
             queue.push_back(Request {
@@ -349,6 +412,7 @@ impl PredictionEngine {
                 enqueued: Instant::now(),
                 reply: tx,
             });
+            self.shared.stats.queue_depth.set(queue.len() as f64);
         }
         self.shared.arrived.notify_one();
         Ok(PendingPrediction { rx })
@@ -374,6 +438,7 @@ impl PredictionEngine {
         // Resolve any leftovers explicitly instead of silently dropping
         // them: the waiter gets Err(Shutdown), not a bare disconnect.
         let drained: Vec<Request> = self.shared.queue.lock().unwrap().drain(..).collect();
+        self.shared.stats.queue_depth.set(0.0);
         for req in drained {
             let _ = req.reply.send(Err(EngineError::Shutdown));
         }
@@ -398,9 +463,11 @@ fn pop_batch(shared: &Shared, batch: &mut Vec<Request>) {
         while let Some(req) = queue.pop_front() {
             batch.push(req);
             if batch.len() >= max_batch {
+                shared.stats.queue_depth.set(queue.len() as f64);
                 return;
             }
         }
+        shared.stats.queue_depth.set(queue.len() as f64);
         if !batch.is_empty() {
             break;
         }
@@ -415,9 +482,11 @@ fn pop_batch(shared: &Shared, batch: &mut Vec<Request>) {
         while let Some(req) = queue.pop_front() {
             batch.push(req);
             if batch.len() >= max_batch {
+                shared.stats.queue_depth.set(queue.len() as f64);
                 return;
             }
         }
+        shared.stats.queue_depth.set(queue.len() as f64);
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
@@ -459,16 +528,15 @@ fn worker_loop(shared: &Shared) {
         points_buf = test.into_vec();
 
         let stats = &shared.stats;
-        stats.requests.fetch_add(rows as u64, Ordering::Relaxed);
-        stats.batches.fetch_add(1, Ordering::Relaxed);
-        fetch_max(&stats.max_batch_observed, rows as u64);
+        // Counters first, histograms second: paired with the snapshot's
+        // histograms-first read order, a concurrent reader can never see
+        // more batch rows recorded than requests answered.
+        stats.requests.add(rows as u64);
+        stats.batches.inc();
+        stats.batch_rows.record(rows as u64);
         for (req, &score) in batch.drain(..).zip(scores.iter()) {
             let latency = req.enqueued.elapsed();
-            let micros = latency.as_micros() as u64;
-            stats
-                .latency_micros_total
-                .fetch_add(micros, Ordering::Relaxed);
-            fetch_max(&stats.latency_micros_max, micros);
+            stats.latency_micros.record_duration(latency);
             // A dropped receiver (client gone) is fine; ignore send errors.
             let _ = req.reply.send(Ok(Prediction {
                 score,
@@ -739,6 +807,65 @@ mod tests {
         }
     }
 
+    /// Satellite pin: under live traffic, a stats snapshot must never
+    /// observe more batch rows recorded in the histogram than requests
+    /// answered — the worker bumps `requests` first and the snapshot reads
+    /// the histogram first, so the invariant holds at every interleaving.
+    #[test]
+    fn snapshot_never_inverts_requests_vs_recorded_batch_rows() {
+        let (m, ds) = model(150);
+        let engine = PredictionEngine::start(
+            Arc::clone(&m) as Arc<dyn DecisionModel>,
+            EngineConfig {
+                workers: 2,
+                max_batch: 16,
+                linger: Duration::from_micros(100),
+                ..EngineConfig::default()
+            },
+        );
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let engine = &engine;
+                let ds = &ds;
+                scope.spawn(move || {
+                    for r in 0..150 {
+                        let i = (t * 150 + r) % ds.test.nrows();
+                        engine.predict_one(ds.test.row(i).to_vec()).unwrap();
+                    }
+                });
+            }
+            let engine = &engine;
+            let done = &done;
+            scope.spawn(move || {
+                let mut checks = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let snap = engine.stats();
+                    assert!(
+                        snap.requests >= snap.batch_rows_recorded,
+                        "inverted snapshot: {} requests < {} batch rows",
+                        snap.requests,
+                        snap.batch_rows_recorded
+                    );
+                    checks += 1;
+                }
+                assert!(checks > 0);
+            });
+            // Scope joins the writers when this closure returns; flag the
+            // reader down first so it cannot outlive them.
+            for _ in 0..64 {
+                let snap = engine.stats();
+                assert!(snap.requests >= snap.batch_rows_recorded);
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+        let snap = engine.stats();
+        assert_eq!(snap.requests, 600);
+        assert_eq!(snap.batch_rows_recorded, 600, "all batches recorded");
+        engine.shutdown();
+    }
+
     /// Builds a bare `Shared` (no workers) so `pop_batch` edge cases can
     /// be driven directly.
     fn shared_for(model: Arc<KrrModel>, linger: Duration, max_batch: usize) -> Arc<Shared> {
@@ -747,7 +874,7 @@ mod tests {
             queue: Mutex::new(VecDeque::new()),
             arrived: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            stats: EngineStats::default(),
+            stats: EngineStats::register(),
             config: EngineConfig {
                 workers: 0,
                 max_batch,

@@ -17,6 +17,7 @@
 use crate::client::Client;
 use crate::ServeError;
 use hkrr_bench::json::{validate, JsonWriter};
+use hkrr_bench::prom::{self, Scrape};
 use hkrr_linalg::random::Pcg64;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
@@ -67,7 +68,9 @@ pub struct DisruptionStats {
 }
 
 /// Router-side counters for the report's `routing` section, copied from a
-/// [`RouterServer`](crate::router::RouterServer) after the run.
+/// [`RouterServer`](crate::router::RouterServer) after the run — or read
+/// off a `metrics` scrape with [`RoutingStats::from_scrape`] when the
+/// router lives in another process.
 #[derive(Debug, Clone, Copy)]
 pub struct RoutingStats {
     /// Queries where at least one planned shard was replaced or dropped.
@@ -76,6 +79,86 @@ pub struct RoutingStats {
     pub degraded: u64,
     /// Queries no shard replica could answer (errors to the client).
     pub exhausted: u64,
+}
+
+impl RoutingStats {
+    /// Reads the router counters out of a parsed `metrics` scrape (summed
+    /// over every router in the scraped process).
+    pub fn from_scrape(scrape: &Scrape) -> RoutingStats {
+        RoutingStats {
+            failovers: scrape.counter("hkrr_router_failovers_total", &[]),
+            degraded: scrape.counter("hkrr_router_degraded_total", &[]),
+            exhausted: scrape.counter("hkrr_router_exhausted_total", &[]),
+        }
+    }
+}
+
+/// Server-side activity between the pre-run and post-run `metrics`
+/// scrapes of the target: the registry's view of the same run the client
+/// timed, folded into the report's `registry` section.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegistryDelta {
+    /// Predict requests the server-side counters gained during the run
+    /// (engine counters for a model server, router counters for a router).
+    pub requests: u64,
+    /// Queue rejections gained (model servers; 0 for a router).
+    pub queue_rejections: u64,
+    /// Failovers gained (routers; 0 for a model server).
+    pub failovers: u64,
+    /// Degraded replies gained (routers).
+    pub degraded: u64,
+    /// Exhausted replies gained (routers).
+    pub exhausted: u64,
+    /// Observations the request-latency histogram gained.
+    pub latency_count: u64,
+    /// Median server-side latency of the run, from histogram bucket
+    /// deltas (bucket-upper-bound resolution), milliseconds.
+    pub latency_p50_ms: f64,
+    /// 95th percentile from the same bucket deltas, milliseconds.
+    pub latency_p95_ms: f64,
+    /// 99th percentile from the same bucket deltas, milliseconds.
+    pub latency_p99_ms: f64,
+}
+
+impl RegistryDelta {
+    /// Folds two scrapes of the same process into the run's deltas. The
+    /// latency percentiles come from whichever request-latency histogram
+    /// moved (router for a router target, engine otherwise).
+    pub fn between(before: &Scrape, after: &Scrape) -> RegistryDelta {
+        let counter = |name: &str| {
+            after
+                .counter(name, &[])
+                .saturating_sub(before.counter(name, &[]))
+        };
+        let mut delta = RegistryDelta {
+            requests: counter("hkrr_engine_requests_total") + counter("hkrr_router_requests_total"),
+            queue_rejections: counter("hkrr_engine_queue_rejections_total"),
+            failovers: counter("hkrr_router_failovers_total"),
+            degraded: counter("hkrr_router_degraded_total"),
+            exhausted: counter("hkrr_router_exhausted_total"),
+            ..RegistryDelta::default()
+        };
+        for name in [
+            "hkrr_router_request_latency_micros",
+            "hkrr_engine_request_latency_micros",
+        ] {
+            let (Some(a), b) = (after.histogram(name, &[]), before.histogram(name, &[])) else {
+                continue;
+            };
+            let moved = match b {
+                Some(b) => a.delta(&b).ok(),
+                None => Some(a),
+            };
+            if let Some(h) = moved.filter(|h| h.count > 0) {
+                delta.latency_count = h.count;
+                delta.latency_p50_ms = h.quantile(0.50) / 1e3;
+                delta.latency_p95_ms = h.quantile(0.95) / 1e3;
+                delta.latency_p99_ms = h.quantile(0.99) / 1e3;
+                break;
+            }
+        }
+        delta
+    }
 }
 
 /// Aggregated results of a load-generation run.
@@ -116,6 +199,10 @@ pub struct LoadgenReport {
     /// Router counters, filled in by the caller when the target was a
     /// router tier (see [`LoadgenReport::with_routing`]).
     pub routing: Option<RoutingStats>,
+    /// Server-side registry deltas between the pre-run and post-run
+    /// `metrics` scrapes (absent only when the target could not be
+    /// scraped).
+    pub registry: Option<RegistryDelta>,
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -150,8 +237,16 @@ fn run_inner(
     disruption: Option<(usize, Box<dyn FnOnce() + Send + '_>)>,
 ) -> Result<LoadgenReport, ServeError> {
     let concurrency = config.concurrency.max(1);
-    let (dim, n_train) = Client::connect(&config.addr)?.info()?;
-    let dim = dim as usize;
+    let mut probe = Client::connect(&config.addr)?;
+    let info = probe.info()?;
+    let dim = info.dim as usize;
+    let n_train = info.n_train;
+    // Server-side view of the run: scrape the registry before and after so
+    // the report can carry counter/histogram deltas next to the
+    // client-observed numbers. Best-effort — a peer that cannot answer
+    // `metrics` still gets load-generated.
+    let scrape_before = probe.metrics().ok().and_then(|t| prom::parse(&t).ok());
+    drop(probe);
 
     // Split the total as evenly as possible across the clients.
     let base = config.requests / concurrency;
@@ -277,6 +372,14 @@ fn run_inner(
         post_errors += o.post_errors;
     }
     let ok = latencies.len();
+    let registry = scrape_before.and_then(|before| {
+        let after = Client::connect(&config.addr)
+            .ok()?
+            .metrics()
+            .ok()
+            .and_then(|t| prom::parse(&t).ok())?;
+        Some(RegistryDelta::between(&before, &after))
+    });
     let disruption_stats = if disrupted.load(Ordering::Acquire) {
         post_latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
         Some(DisruptionStats {
@@ -326,6 +429,7 @@ fn run_inner(
         max_batch_observed: batch_max,
         disruption: disruption_stats,
         routing: None,
+        registry,
     })
 }
 
@@ -374,6 +478,20 @@ impl LoadgenReport {
             w.field_u64("failovers", r.failovers);
             w.field_u64("degraded", r.degraded);
             w.field_u64("exhausted", r.exhausted);
+            w.end_object();
+        }
+        if let Some(r) = &self.registry {
+            w.key("registry");
+            w.begin_object();
+            w.field_u64("requests", r.requests);
+            w.field_u64("queue_rejections", r.queue_rejections);
+            w.field_u64("failovers", r.failovers);
+            w.field_u64("degraded", r.degraded);
+            w.field_u64("exhausted", r.exhausted);
+            w.field_u64("latency_count", r.latency_count);
+            w.field_f64("latency_p50_ms", r.latency_p50_ms);
+            w.field_f64("latency_p95_ms", r.latency_p95_ms);
+            w.field_f64("latency_p99_ms", r.latency_p99_ms);
             w.end_object();
         }
         w.end_object();
@@ -442,12 +560,14 @@ mod tests {
             max_batch_observed: 12,
             disruption: None,
             routing: None,
+            registry: None,
         };
         let json = report.to_json();
         validate(&json).unwrap();
         assert!(json.contains("\"schema\":\"hkrr-serve-perf/1\""));
         assert!(json.contains("\"mean_batch_size\":3.700000"));
         assert!(!json.contains("\"disruption\""));
+        assert!(!json.contains("\"registry\""));
         assert!(report.summary().contains("100 ok"));
 
         let report = LoadgenReport {
@@ -466,11 +586,62 @@ mod tests {
             degraded: 2,
             exhausted: 0,
         });
+        let report = LoadgenReport {
+            registry: Some(RegistryDelta {
+                requests: 100,
+                latency_count: 100,
+                latency_p50_ms: 0.4,
+                latency_p95_ms: 1.6,
+                latency_p99_ms: 3.2,
+                ..RegistryDelta::default()
+            }),
+            ..report
+        };
         let json = report.to_json();
         validate(&json).unwrap();
         assert!(json.contains("\"disruption\""));
         assert!(json.contains("\"errors_after\":1"));
         assert!(json.contains("\"failovers\":3"));
+        assert!(json.contains("\"registry\""));
+        assert!(json.contains("\"latency_count\":100"));
         assert!(report.summary().contains("after disruption at #52"));
+    }
+
+    #[test]
+    fn registry_delta_reads_both_tiers_from_scrapes() {
+        let before = prom::parse(
+            "# TYPE hkrr_engine_requests_total counter\n\
+             hkrr_engine_requests_total{engine=\"e1\"} 10\n\
+             # TYPE hkrr_engine_request_latency_micros histogram\n\
+             hkrr_engine_request_latency_micros_bucket{engine=\"e1\",le=\"100\"} 5\n\
+             hkrr_engine_request_latency_micros_bucket{engine=\"e1\",le=\"+Inf\"} 10\n\
+             hkrr_engine_request_latency_micros_sum{engine=\"e1\"} 2000\n\
+             hkrr_engine_request_latency_micros_count{engine=\"e1\"} 10\n",
+        )
+        .unwrap();
+        let after = prom::parse(
+            "# TYPE hkrr_engine_requests_total counter\n\
+             hkrr_engine_requests_total{engine=\"e1\"} 30\n\
+             # TYPE hkrr_engine_queue_rejections_total counter\n\
+             hkrr_engine_queue_rejections_total{engine=\"e1\"} 2\n\
+             # TYPE hkrr_engine_request_latency_micros histogram\n\
+             hkrr_engine_request_latency_micros_bucket{engine=\"e1\",le=\"100\"} 20\n\
+             hkrr_engine_request_latency_micros_bucket{engine=\"e1\",le=\"+Inf\"} 30\n\
+             hkrr_engine_request_latency_micros_sum{engine=\"e1\"} 9000\n\
+             hkrr_engine_request_latency_micros_count{engine=\"e1\"} 30\n",
+        )
+        .unwrap();
+        let d = RegistryDelta::between(&before, &after);
+        assert_eq!(d.requests, 20);
+        assert_eq!(d.queue_rejections, 2);
+        assert_eq!(d.latency_count, 20);
+        // 15 of the 20 new observations landed in the le=100µs bucket, so
+        // the median resolves to that bucket's upper bound: 0.1 ms.
+        assert_eq!(d.latency_p50_ms, 0.1);
+        let routing = RoutingStats::from_scrape(&after);
+        assert_eq!(
+            (routing.failovers, routing.degraded, routing.exhausted),
+            (0, 0, 0)
+        );
     }
 }

@@ -19,9 +19,10 @@
 //! | 0x01 | `d × f64` point        | `score f64, label f64, batch u32, µs u64`    |
 //! | 0x02 | —                      | engine stats as a JSON string                |
 //! | 0x03 | — (ping)               | —                                            |
-//! | 0x04 | — (info)               | `dim u32, n_train u64`                       |
+//! | 0x04 | — (info)               | `dim u32, n_train u64, uptime µs u64, version, stamp` |
 //! | 0x05 | — (health)             | `role u8, requests u64`                      |
 //! | 0x06 | — (refresh)            | `num_models u32, n_train u64`                |
+//! | 0x07 | — (metrics)            | Prometheus text exposition (UTF-8)           |
 //!
 //! `health` (0x05) is the router tier's liveness + readiness probe: unlike
 //! `ping`, it proves the peer speaks the binary protocol *and* reports
@@ -29,7 +30,13 @@
 //! predict requests it has answered. `refresh` (0x06) asks a model server
 //! to re-load its model from the source it was started from and hot-swap
 //! it behind the live engine; servers without a reloadable source answer
-//! with a status-1 error.
+//! with a status-1 error. `metrics` (0x07) renders the process-global
+//! telemetry registry in Prometheus text exposition format, so shard
+//! servers and routers are scrapeable in place.
+//!
+//! The info body carries the server's uptime and build identity after the
+//! fixed `dim`/`n_train` fields (version and stamp as `len: u8` + UTF-8
+//! bytes); decoders accept the legacy 12-byte body from pre-0x07 servers.
 //!
 //! Responses carry a status byte before the body: `0` OK, `1` error (body
 //! is a UTF-8 message).
@@ -54,6 +61,8 @@ pub const OP_INFO: u8 = 0x04;
 pub const OP_HEALTH: u8 = 0x05;
 /// Request opcode: re-load the model from its source and hot-swap it.
 pub const OP_REFRESH: u8 = 0x06;
+/// Request opcode: Prometheus text exposition of the telemetry registry.
+pub const OP_METRICS: u8 = 0x07;
 
 /// `role` byte in a health response: a model (shard) server.
 pub const ROLE_MODEL: u8 = 0;
@@ -80,6 +89,8 @@ pub enum Request {
     Health,
     /// Re-load the model from its source and hot-swap it into the engine.
     Refresh,
+    /// Prometheus text exposition of the process-global metrics registry.
+    Metrics,
 }
 
 /// One answered prediction, as it travels on the wire.
@@ -140,6 +151,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Info => vec![OP_INFO],
         Request::Health => vec![OP_HEALTH],
         Request::Refresh => vec![OP_REFRESH],
+        Request::Metrics => vec![OP_METRICS],
     }
 }
 
@@ -167,6 +179,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ServeError> {
         OP_INFO => Ok(Request::Info),
         OP_HEALTH => Ok(Request::Health),
         OP_REFRESH => Ok(Request::Refresh),
+        OP_METRICS => Ok(Request::Metrics),
         op => Err(ServeError::Protocol(format!("unknown opcode {op:#04x}"))),
     }
 }
@@ -227,26 +240,103 @@ pub fn decode_prediction(body: &[u8]) -> Result<WirePrediction, ServeError> {
     })
 }
 
+/// The info reply: model metadata plus server identity, so a scrape can
+/// distinguish a restarted server (uptime reset, same build) from a
+/// redeployed one (new build stamp).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServerInfo {
+    /// Input feature dimension of the served model.
+    pub dim: u32,
+    /// Total training points behind the served model.
+    pub n_train: u64,
+    /// Microseconds since the server process started.
+    pub uptime_micros: u64,
+    /// Crate version of the serving binary (`CARGO_PKG_VERSION`).
+    pub version: String,
+    /// Compile-time build stamp (`HKRR_BUILD_STAMP`, `"dev"` by default;
+    /// empty when talking to a legacy server).
+    pub build_stamp: String,
+}
+
+impl ServerInfo {
+    /// Uptime as fractional seconds.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.uptime_micros as f64 / 1e6
+    }
+}
+
+fn push_short_string(out: &mut Vec<u8>, s: &str) {
+    let bytes = &s.as_bytes()[..s.len().min(u8::MAX as usize)];
+    out.push(bytes.len() as u8);
+    out.extend_from_slice(bytes);
+}
+
+fn take_short_string(body: &[u8], at: &mut usize) -> Result<String, ServeError> {
+    let len = *body
+        .get(*at)
+        .ok_or_else(|| ServeError::Protocol("truncated info string".to_string()))?
+        as usize;
+    *at += 1;
+    let bytes = body
+        .get(*at..*at + len)
+        .ok_or_else(|| ServeError::Protocol("truncated info string".to_string()))?;
+    *at += len;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| ServeError::Protocol("info string is not UTF-8".to_string()))
+}
+
 /// Encodes an info response body.
-pub fn encode_info(dim: u32, n_train: u64) -> Vec<u8> {
-    let mut out = Vec::with_capacity(12);
-    out.extend_from_slice(&dim.to_le_bytes());
-    out.extend_from_slice(&n_train.to_le_bytes());
+pub fn encode_info(info: &ServerInfo) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20 + 2 + info.version.len() + info.build_stamp.len());
+    out.extend_from_slice(&info.dim.to_le_bytes());
+    out.extend_from_slice(&info.n_train.to_le_bytes());
+    out.extend_from_slice(&info.uptime_micros.to_le_bytes());
+    push_short_string(&mut out, &info.version);
+    push_short_string(&mut out, &info.build_stamp);
     out
 }
 
-/// Decodes an info response body into `(dim, n_train)`.
-pub fn decode_info(body: &[u8]) -> Result<(u32, u64), ServeError> {
-    if body.len() != 12 {
+/// Decodes an info response body. A legacy 12-byte body (`dim`, `n_train`
+/// only) decodes with zero uptime and empty identity strings.
+pub fn decode_info(body: &[u8]) -> Result<ServerInfo, ServeError> {
+    if body.len() < 12 {
         return Err(ServeError::Protocol(format!(
-            "info body is {} bytes, expected 12",
+            "info body is {} bytes, expected at least 12",
             body.len()
         )));
     }
-    Ok((
-        u32::from_le_bytes(body[0..4].try_into().unwrap()),
-        u64::from_le_bytes(body[4..12].try_into().unwrap()),
-    ))
+    let dim = u32::from_le_bytes(body[0..4].try_into().unwrap());
+    let n_train = u64::from_le_bytes(body[4..12].try_into().unwrap());
+    if body.len() == 12 {
+        return Ok(ServerInfo {
+            dim,
+            n_train,
+            ..ServerInfo::default()
+        });
+    }
+    if body.len() < 20 {
+        return Err(ServeError::Protocol(format!(
+            "info body is {} bytes, expected 12 (legacy) or at least 20",
+            body.len()
+        )));
+    }
+    let uptime_micros = u64::from_le_bytes(body[12..20].try_into().unwrap());
+    let mut at = 20;
+    let version = take_short_string(body, &mut at)?;
+    let build_stamp = take_short_string(body, &mut at)?;
+    if at != body.len() {
+        return Err(ServeError::Protocol(format!(
+            "info body has {} trailing bytes",
+            body.len() - at
+        )));
+    }
+    Ok(ServerInfo {
+        dim,
+        n_train,
+        uptime_micros,
+        version,
+        build_stamp,
+    })
 }
 
 /// Encodes a health response body.
@@ -311,6 +401,7 @@ pub fn parse_line(line: &str) -> Result<Option<Request>, ServeError> {
         Some("info") => Ok(Some(Request::Info)),
         Some("health") => Ok(Some(Request::Health)),
         Some("refresh") => Ok(Some(Request::Refresh)),
+        Some("metrics") => Ok(Some(Request::Metrics)),
         Some("quit") | Some("exit") => Ok(None),
         Some(cmd) => Err(ServeError::Protocol(format!("unknown command {cmd:?}"))),
     }
@@ -359,6 +450,7 @@ mod tests {
             Request::Info,
             Request::Health,
             Request::Refresh,
+            Request::Metrics,
         ] {
             let decoded = decode_request(&encode_request(&req)).unwrap();
             assert_eq!(decoded, req);
@@ -386,13 +478,35 @@ mod tests {
             Err(ServeError::Rejected(msg)) if msg == "queue full"
         ));
 
-        let info = encode_ok(&encode_info(16, 2000));
-        assert_eq!(
-            decode_info(decode_response(&info).unwrap()).unwrap(),
-            (16, 2000)
-        );
+        let full = ServerInfo {
+            dim: 16,
+            n_train: 2000,
+            uptime_micros: 1_500_000,
+            version: "0.1.0".to_string(),
+            build_stamp: "ci-42".to_string(),
+        };
+        let info = encode_ok(&encode_info(&full));
+        let decoded = decode_info(decode_response(&info).unwrap()).unwrap();
+        assert_eq!(decoded, full);
+        assert_eq!(decoded.uptime_seconds(), 1.5);
+        // A legacy 12-byte body still decodes (zero uptime, no identity).
+        let mut legacy = Vec::new();
+        legacy.extend_from_slice(&16u32.to_le_bytes());
+        legacy.extend_from_slice(&2000u64.to_le_bytes());
+        let decoded = decode_info(&legacy).unwrap();
+        assert_eq!((decoded.dim, decoded.n_train), (16, 2000));
+        assert_eq!(decoded.uptime_micros, 0);
+        assert!(decoded.version.is_empty());
         assert!(decode_prediction(&[0u8; 5]).is_err());
         assert!(decode_info(&[0u8; 5]).is_err());
+        assert!(decode_info(&[0u8; 15]).is_err());
+        // Truncated identity strings are refused, as are trailing bytes.
+        let mut bad = encode_info(&full);
+        bad.pop();
+        assert!(decode_info(&bad).is_err());
+        let mut trailing = encode_info(&full);
+        trailing.push(0xEE);
+        assert!(decode_info(&trailing).is_err());
         assert!(decode_response(&[]).is_err());
 
         let health = encode_ok(&encode_health(ROLE_ROUTER, 12345));
@@ -421,6 +535,7 @@ mod tests {
         assert_eq!(parse_line("info").unwrap(), Some(Request::Info));
         assert_eq!(parse_line("health").unwrap(), Some(Request::Health));
         assert_eq!(parse_line("refresh").unwrap(), Some(Request::Refresh));
+        assert_eq!(parse_line("metrics").unwrap(), Some(Request::Metrics));
         assert_eq!(parse_line("quit").unwrap(), None);
         assert!(parse_line("predict").is_err());
         assert!(parse_line("predict one two").is_err());

@@ -34,16 +34,21 @@
 
 use crate::client::Client;
 use crate::protocol::{Request, WirePrediction, ROLE_ROUTER};
-use crate::server::{Reply, RequestHandler, TcpFrontEnd};
+use crate::server::{metrics_exposition, server_info, Reply, RequestHandler, TcpFrontEnd};
 use crate::ServeError;
 use hkrr_bench::json::JsonWriter;
 use hkrr_ensemble::combine_scores;
 use hkrr_linalg::Matrix;
+use hkrr_telemetry::{Counter, Histogram, HistogramSpec};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Monotone router id so several routers in one process (tests) keep
+/// distinct label sets in the shared registry.
+static NEXT_ROUTER_ID: AtomicUsize = AtomicUsize::new(1);
 
 /// Configuration of the router tier.
 #[derive(Debug, Clone)]
@@ -76,7 +81,10 @@ impl Default for RouterConfig {
 }
 
 /// One replica of one shard: an address, a cached connection, and the
-/// health/load counters the routing decisions read.
+/// health/load instruments the routing decisions read. The cumulative
+/// counters and the dispatch-latency histogram live in the process-global
+/// metrics registry under `{router,shard,replica}` labels, so a `metrics`
+/// scrape of the router carries per-replica dispatch/failure/latency.
 struct Replica {
     addr: String,
     conn: Mutex<Option<Client>>,
@@ -85,13 +93,38 @@ struct Replica {
     /// least-loaded routing key.
     inflight: AtomicU64,
     /// Cumulative requests ever dispatched here (reported by `stats`).
-    dispatched: AtomicU64,
+    dispatched: Arc<Counter>,
     /// Cumulative dispatch failures (reported by `stats`).
-    failures: AtomicU64,
+    failures: Arc<Counter>,
+    /// Wall-clock of successful dispatches (connect + round trip).
+    latency_micros: Arc<Histogram>,
 }
 
 impl Replica {
-    fn new(addr: String) -> Replica {
+    fn new(addr: String, router_label: &str, shard: usize) -> Replica {
+        let registry = hkrr_telemetry::global();
+        let shard_label = shard.to_string();
+        let labels = [
+            ("router", router_label),
+            ("shard", shard_label.as_str()),
+            ("replica", addr.as_str()),
+        ];
+        let dispatched = registry.counter(
+            "hkrr_router_replica_dispatched_total",
+            "Predict requests successfully answered by this replica",
+            &labels,
+        );
+        let failures = registry.counter(
+            "hkrr_router_replica_failures_total",
+            "Dispatches to this replica that failed",
+            &labels,
+        );
+        let latency_micros = registry.histogram(
+            "hkrr_router_replica_latency_micros",
+            "Wall-clock of successful dispatches to this replica",
+            &labels,
+            &HistogramSpec::latency_micros(),
+        );
         Replica {
             addr,
             conn: Mutex::new(None),
@@ -100,8 +133,9 @@ impl Replica {
             // up without permanently blacklisting anyone.
             healthy: AtomicBool::new(true),
             inflight: AtomicU64::new(0),
-            dispatched: AtomicU64::new(0),
-            failures: AtomicU64::new(0),
+            dispatched,
+            failures,
+            latency_micros,
         }
     }
 
@@ -116,6 +150,7 @@ impl Replica {
         io_timeout: Duration,
     ) -> Result<WirePrediction, ServeError> {
         self.inflight.fetch_add(1, Ordering::AcqRel);
+        let dispatch_started = Instant::now();
         let result = (|| {
             let mut guard = self.conn.lock().unwrap();
             if guard.is_none() {
@@ -141,15 +176,17 @@ impl Replica {
         self.inflight.fetch_sub(1, Ordering::AcqRel);
         match &result {
             Ok(_) => {
-                self.dispatched.fetch_add(1, Ordering::Relaxed);
+                self.dispatched.inc();
+                self.latency_micros
+                    .record_duration(dispatch_started.elapsed());
                 self.healthy.store(true, Ordering::Release);
             }
             Err(ServeError::Io(_) | ServeError::Protocol(_)) => {
-                self.failures.fetch_add(1, Ordering::Relaxed);
+                self.failures.inc();
                 self.healthy.store(false, Ordering::Release);
             }
             Err(_) => {
-                self.failures.fetch_add(1, Ordering::Relaxed);
+                self.failures.inc();
             }
         }
         result
@@ -186,14 +223,18 @@ struct RouterInner {
     pools: Vec<ShardPool>,
     connect_timeout: Duration,
     io_timeout: Duration,
+    /// `"r<id>"` — this router's label value in the shared registry.
+    router_label: String,
     /// Predict requests answered (including degraded ones).
-    requests: AtomicU64,
+    requests: Arc<Counter>,
     /// Queries where at least one planned shard was replaced or dropped.
-    failovers: AtomicU64,
+    failovers: Arc<Counter>,
     /// Queries answered with fewer than `route_nearest` contributions.
-    degraded: AtomicU64,
+    degraded: Arc<Counter>,
     /// Queries answered with zero contributions (errors to the caller).
-    exhausted: AtomicU64,
+    exhausted: Arc<Counter>,
+    /// End-to-end routed-query latency (fan-out + combine).
+    latency_micros: Arc<Histogram>,
     /// Total training points behind the fleet, summed from shard `info`
     /// replies at startup (0 until at least one shard answered).
     n_train: AtomicU64,
@@ -215,6 +256,7 @@ impl RouterInner {
             )));
         }
         let started = Instant::now();
+        let mut predict_span = hkrr_telemetry::span!("router.predict");
         let order = self.full_router.route(point);
         // (d2, score) contributions, gathered in failover order: the first
         // `route_nearest` shards when all are reachable — exactly the
@@ -229,6 +271,9 @@ impl RouterInner {
             let pool = &self.pools[shard];
             let mut answered = false;
             for idx in pool.preference_order() {
+                let mut dispatch_span = hkrr_telemetry::span!("router.dispatch");
+                dispatch_span.annotate("shard", shard);
+                dispatch_span.annotate("replica", &pool.replicas[idx].addr);
                 match pool.replicas[idx].call(point, self.connect_timeout, self.io_timeout) {
                     Ok(p) => {
                         contributions.push((d2, p.score));
@@ -249,18 +294,22 @@ impl RouterInner {
                 failed_over = true;
             }
         }
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
+        self.latency_micros.record_duration(started.elapsed());
+        predict_span.annotate("contributions", contributions.len());
+        predict_span.annotate("failed_over", failed_over);
+        drop(predict_span);
         if failed_over {
-            self.failovers.fetch_add(1, Ordering::Relaxed);
+            self.failovers.inc();
         }
         if contributions.is_empty() {
-            self.exhausted.fetch_add(1, Ordering::Relaxed);
+            self.exhausted.inc();
             return Err(ServeError::Rejected(
                 "no shard replica reachable for this query".to_string(),
             ));
         }
         if contributions.len() < self.route_nearest {
-            self.degraded.fetch_add(1, Ordering::Relaxed);
+            self.degraded.inc();
         }
         let num_contributions = contributions.len();
         let score = combine_scores(&mut contributions);
@@ -278,14 +327,19 @@ impl RouterInner {
     /// Router stats as a JSON object (schema `hkrr-router-stats/1`):
     /// query counters plus per-shard, per-replica address / health / load.
     fn stats_json(&self) -> String {
+        let build = hkrr_telemetry::build_info!();
         let mut w = JsonWriter::new();
         w.begin_object();
         w.field_str("schema", "hkrr-router-stats/1");
         w.field_str("role", "router");
-        w.field_u64("requests", self.requests.load(Ordering::Relaxed));
-        w.field_u64("failovers", self.failovers.load(Ordering::Relaxed));
-        w.field_u64("degraded", self.degraded.load(Ordering::Relaxed));
-        w.field_u64("exhausted", self.exhausted.load(Ordering::Relaxed));
+        w.field_f64("uptime_seconds", hkrr_telemetry::uptime_seconds());
+        w.field_str("version", build.version);
+        w.field_str("build_stamp", build.stamp);
+        w.field_str("router", &self.router_label);
+        w.field_u64("requests", self.requests.get());
+        w.field_u64("failovers", self.failovers.get());
+        w.field_u64("degraded", self.degraded.get());
+        w.field_u64("exhausted", self.exhausted.get());
         w.field_usize("shards", self.pools.len());
         w.field_usize("route_nearest", self.route_nearest);
         w.key("replicas");
@@ -298,8 +352,8 @@ impl RouterInner {
                 w.key("healthy");
                 w.value_bool(replica.healthy.load(Ordering::Acquire));
                 w.field_u64("inflight", replica.inflight.load(Ordering::Acquire));
-                w.field_u64("dispatched", replica.dispatched.load(Ordering::Relaxed));
-                w.field_u64("failures", replica.failures.load(Ordering::Relaxed));
+                w.field_u64("dispatched", replica.dispatched.get());
+                w.field_u64("failures", replica.failures.get());
                 w.end_object();
             }
         }
@@ -321,13 +375,14 @@ impl RequestHandler for RouterHandler {
             Request::Predict(point) => Ok(Reply::Prediction(self.inner.predict(&point)?)),
             Request::Stats => Ok(Reply::Json(self.inner.stats_json())),
             Request::Ping => Ok(Reply::Pong),
-            Request::Info => Ok(Reply::Info {
-                dim: self.inner.dim() as u32,
-                n_train: self.inner.n_train.load(Ordering::Relaxed),
-            }),
+            Request::Info => Ok(Reply::Info(server_info(
+                self.inner.dim() as u32,
+                self.inner.n_train.load(Ordering::Relaxed),
+            ))),
+            Request::Metrics => Ok(Reply::Metrics(metrics_exposition())),
             Request::Health => Ok(Reply::Health {
                 role: ROLE_ROUTER,
-                requests: self.inner.requests.load(Ordering::Relaxed),
+                requests: self.inner.requests.get(),
             }),
             Request::Refresh => {
                 // Broadcast: ask one replica per shard (all replicas of a
@@ -431,25 +486,58 @@ impl RouterServer {
                 "route_nearest must be in 1..={shards}, got {route_nearest}"
             )));
         }
+        // Pin the uptime epoch and claim a unique registry label before
+        // any instrument registers under it.
+        hkrr_telemetry::process_start();
+        let router_label = format!("r{}", NEXT_ROUTER_ID.fetch_add(1, Ordering::Relaxed));
         // Full order: the sorted list is both selection and failover plan.
         let full_router =
             hkrr_ensemble::Router::new(centroids, shards).map_err(ServeError::Rejected)?;
         let pools = shard_addrs
             .into_iter()
-            .map(|addrs| ShardPool {
-                replicas: addrs.into_iter().map(Replica::new).collect(),
+            .enumerate()
+            .map(|(shard, addrs)| ShardPool {
+                replicas: addrs
+                    .into_iter()
+                    .map(|addr| Replica::new(addr, &router_label, shard))
+                    .collect(),
             })
             .collect();
+        let registry = hkrr_telemetry::global();
+        let labels = [("router", router_label.as_str())];
         let inner = Arc::new(RouterInner {
             full_router,
             route_nearest,
             pools,
             connect_timeout: config.connect_timeout,
             io_timeout: config.io_timeout,
-            requests: AtomicU64::new(0),
-            failovers: AtomicU64::new(0),
-            degraded: AtomicU64::new(0),
-            exhausted: AtomicU64::new(0),
+            requests: registry.counter(
+                "hkrr_router_requests_total",
+                "Routed predict queries answered (including degraded ones)",
+                &labels,
+            ),
+            failovers: registry.counter(
+                "hkrr_router_failovers_total",
+                "Queries where a planned shard was replaced or dropped",
+                &labels,
+            ),
+            degraded: registry.counter(
+                "hkrr_router_degraded_total",
+                "Queries answered with fewer than route_nearest contributions",
+                &labels,
+            ),
+            exhausted: registry.counter(
+                "hkrr_router_exhausted_total",
+                "Queries answered with zero contributions (errors)",
+                &labels,
+            ),
+            latency_micros: registry.histogram(
+                "hkrr_router_request_latency_micros",
+                "End-to-end routed-query latency (fan-out plus combine)",
+                &labels,
+                &HistogramSpec::latency_micros(),
+            ),
+            router_label,
             n_train: AtomicU64::new(0),
         });
 
@@ -506,23 +594,18 @@ impl RouterServer {
         self.inner
             .pools
             .iter()
-            .map(|pool| {
-                pool.replicas
-                    .iter()
-                    .map(|r| r.dispatched.load(Ordering::Relaxed))
-                    .collect()
-            })
+            .map(|pool| pool.replicas.iter().map(|r| r.dispatched.get()).collect())
             .collect()
     }
 
     /// Queries that needed failover so far.
     pub fn failovers(&self) -> u64 {
-        self.inner.failovers.load(Ordering::Relaxed)
+        self.inner.failovers.get()
     }
 
     /// Queries answered with fewer than `route_nearest` contributions.
     pub fn degraded(&self) -> u64 {
-        self.inner.degraded.load(Ordering::Relaxed)
+        self.inner.degraded.get()
     }
 
     /// Stops the prober and the front-end. Idempotent.
@@ -559,7 +642,7 @@ fn probe_loop(inner: &RouterInner, running: &AtomicBool, interval: Duration) {
                     .and_then(|mut c| {
                         let health = c.health()?;
                         if !have_n_train && shard_n_train.is_none() {
-                            shard_n_train = Some(c.info()?.1);
+                            shard_n_train = Some(c.info()?.n_train);
                         }
                         Ok(health)
                     });

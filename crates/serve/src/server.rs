@@ -18,7 +18,7 @@
 
 use crate::codec;
 use crate::engine::{EngineConfig, PredictionEngine, StatsSnapshot};
-use crate::protocol::{self, Request, WirePrediction, ROLE_MODEL, ROLE_ROUTER};
+use crate::protocol::{self, Request, ServerInfo, WirePrediction, ROLE_MODEL, ROLE_ROUTER};
 use crate::ServeError;
 use hkrr_bench::json::JsonWriter;
 use hkrr_core::DecisionModel;
@@ -61,12 +61,10 @@ pub enum Reply {
     /// Answer to [`Request::Ping`].
     Pong,
     /// Answer to [`Request::Info`].
-    Info {
-        /// Input feature dimension.
-        dim: u32,
-        /// Total training points behind this endpoint.
-        n_train: u64,
-    },
+    Info(ServerInfo),
+    /// Answer to [`Request::Metrics`]: the process metrics registry in
+    /// Prometheus text exposition format.
+    Metrics(String),
     /// Answer to [`Request::Health`].
     Health {
         /// [`ROLE_MODEL`] or [`ROLE_ROUTER`].
@@ -144,11 +142,12 @@ impl RequestHandler for EngineHandler {
             Request::Ping => Ok(Reply::Pong),
             Request::Info => {
                 let model = self.engine.model();
-                Ok(Reply::Info {
-                    dim: model.dim() as u32,
-                    n_train: model.num_train() as u64,
-                })
+                Ok(Reply::Info(server_info(
+                    model.dim() as u32,
+                    model.num_train() as u64,
+                )))
             }
+            Request::Metrics => Ok(Reply::Metrics(metrics_exposition())),
             Request::Health => Ok(Reply::Health {
                 role: ROLE_MODEL,
                 requests: self.engine.stats().requests,
@@ -271,6 +270,9 @@ impl Server {
         source: Option<ModelSource>,
         config: ServerConfig,
     ) -> Result<Server, ServeError> {
+        // Pin the uptime epoch now so `info`/`stats` uptimes measure from
+        // server start even if no other telemetry fired yet.
+        hkrr_telemetry::process_start();
         let engine = PredictionEngine::start(model, config.engine);
         let handler = Arc::new(EngineHandler {
             engine: Arc::clone(&engine),
@@ -309,14 +311,42 @@ impl Drop for Server {
     }
 }
 
+/// The [`ServerInfo`] for this process's endpoint: model geometry plus
+/// uptime (measured from first telemetry wake-up) and the compile-time
+/// build identity.
+pub fn server_info(dim: u32, n_train: u64) -> ServerInfo {
+    let build = hkrr_telemetry::build_info!();
+    ServerInfo {
+        dim,
+        n_train,
+        uptime_micros: (hkrr_telemetry::uptime_seconds() * 1e6) as u64,
+        version: build.version.to_string(),
+        build_stamp: build.stamp.to_string(),
+    }
+}
+
+/// Renders the process-global metrics registry as Prometheus text
+/// exposition, refreshing the `hkrr_uptime_seconds` / `hkrr_build_info`
+/// identity series first so every scrape carries a current uptime.
+pub fn metrics_exposition() -> String {
+    let registry = hkrr_telemetry::global();
+    hkrr_telemetry::record_process_identity(registry, hkrr_telemetry::build_info!());
+    registry.render_prometheus()
+}
+
 /// Engine stats as the JSON object the `stats` command returns. When the
 /// hosted model is a multi-shard ensemble, `model_requests` carries the
 /// cumulative per-shard routed-query counts, so the per-shard serving load
 /// is readable from a live server (binary `stats` opcode or the line-mode
 /// `stats` command) without restarting it.
 pub fn stats_json(stats: &StatsSnapshot) -> String {
+    let build = hkrr_telemetry::build_info!();
     let mut w = JsonWriter::new();
     w.begin_object();
+    w.field_f64("uptime_seconds", hkrr_telemetry::uptime_seconds());
+    w.field_str("version", build.version);
+    w.field_str("build_stamp", build.stamp);
+    w.field_str("engine", &format!("e{}", stats.engine_id));
     w.field_u64("requests", stats.requests);
     w.field_u64("batches", stats.batches);
     w.field_f64("mean_batch_size", stats.mean_batch_size);
@@ -341,7 +371,8 @@ fn binary_body(reply: &Reply) -> Vec<u8> {
         Reply::Prediction(p) => protocol::encode_prediction(p),
         Reply::Json(s) => s.clone().into_bytes(),
         Reply::Pong => Vec::new(),
-        Reply::Info { dim, n_train } => protocol::encode_info(*dim, *n_train),
+        Reply::Info(info) => protocol::encode_info(info),
+        Reply::Metrics(s) => s.clone().into_bytes(),
         Reply::Health { role, requests } => protocol::encode_health(*role, *requests),
         Reply::Refreshed {
             num_models,
@@ -366,7 +397,17 @@ fn line_reply(result: Result<Reply, ServeError>) -> String {
         ),
         Ok(Reply::Json(s)) => format!("ok {s}\n"),
         Ok(Reply::Pong) => "ok pong\n".to_string(),
-        Ok(Reply::Info { dim, n_train }) => format!("ok dim={dim} n_train={n_train}\n"),
+        Ok(Reply::Info(info)) => format!(
+            "ok dim={} n_train={} uptime_seconds={:.3} version={}+{}\n",
+            info.dim,
+            info.n_train,
+            info.uptime_seconds(),
+            info.version,
+            info.build_stamp
+        ),
+        // Multi-line payload: the exposition text follows the ok line and
+        // a `# EOF` marker tells line-mode clients where the scrape ends.
+        Ok(Reply::Metrics(s)) => format!("ok metrics\n{s}# EOF\n"),
         Ok(Reply::Health { role, requests }) => {
             format!("ok role={} requests={requests}\n", role_name(role))
         }
@@ -603,7 +644,10 @@ mod tests {
         let addr = server.local_addr().to_string();
         let mut client = Client::connect(&addr).unwrap();
         client.ping().unwrap();
-        assert_eq!(client.info().unwrap(), (16, 180));
+        let info = client.info().unwrap();
+        assert_eq!((info.dim, info.n_train), (16, 180));
+        assert_eq!(info.version, env!("CARGO_PKG_VERSION"));
+        assert!(!info.build_stamp.is_empty());
         let direct = model.decision_values(&ds.test);
         for i in 0..8 {
             let p = client.predict(ds.test.row(i).to_vec()).unwrap();
@@ -612,6 +656,18 @@ mod tests {
         let stats = client.stats().unwrap();
         hkrr_bench::json::validate(&stats).unwrap();
         assert!(stats.contains("\"requests\":8"));
+        assert!(stats.contains("\"uptime_seconds\":"));
+        assert!(stats.contains("\"version\":"));
+        // The metrics scrape is valid exposition carrying this engine's
+        // request counter under its unique engine label.
+        let scrape = client.metrics().unwrap();
+        let engine_label = format!("engine=\"e{}\"", server.stats().engine_id);
+        assert!(
+            scrape.contains(&format!("hkrr_engine_requests_total{{{engine_label}}} 8")),
+            "scrape missing this engine's counter:\n{scrape}"
+        );
+        assert!(scrape.contains("hkrr_uptime_seconds"));
+        assert!(scrape.contains("hkrr_build_info{"));
         // Health reports the model role and the predict count.
         assert_eq!(client.health().unwrap(), (ROLE_MODEL, 8));
         // Refresh without a model source is a typed rejection, not a hang.

@@ -135,8 +135,10 @@ fn routed_over_tcp_is_bitwise_identical_to_the_in_process_ensemble() {
 
     // The prober's first sweep sums shard info into the router's `info`.
     assert!(
-        wait_until(Duration::from_secs(5), || client.info().unwrap()
-            == (16, 240)),
+        wait_until(Duration::from_secs(5), || {
+            let info = client.info().unwrap();
+            (info.dim, info.n_train) == (16, 240)
+        }),
         "router info must converge to (dim, total n_train)"
     );
 

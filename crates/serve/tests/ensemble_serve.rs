@@ -55,8 +55,8 @@ fn reloaded_ensemble_serves_bitwise_and_reports_per_shard_load() {
     let addr = server.local_addr().to_string();
 
     let mut client = Client::connect(&addr).unwrap();
-    let (dim, n_train) = client.info().unwrap();
-    assert_eq!((dim, n_train), (16, 320));
+    let info = client.info().unwrap();
+    assert_eq!((info.dim, info.n_train), (16, 320));
     for i in 0..ds.test.nrows() {
         let p = client.predict(ds.test.row(i).to_vec()).unwrap();
         assert_eq!(p.score, reference[i], "query {i} differs over the wire");

@@ -1,0 +1,113 @@
+//! End-to-end telemetry integration: a live server's `metrics` scrape must
+//! be valid Prometheus exposition whose engine counters agree **exactly**
+//! with what the load generator observed from the client side.
+
+use hkrr_core::{DecisionModel, KrrConfig, KrrModel, SolverKind};
+use hkrr_datasets::registry::LETTER;
+use hkrr_serve::client::Client;
+use hkrr_serve::engine::EngineConfig;
+use hkrr_serve::loadgen::{self, LoadgenConfig};
+use hkrr_serve::server::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+#[test]
+fn scrape_agrees_exactly_with_loadgen_observed_counts() {
+    let ds = hkrr_datasets::generate(&LETTER, 200, 20, 7);
+    let cfg = KrrConfig {
+        h: LETTER.default_h,
+        lambda: LETTER.default_lambda,
+        solver: SolverKind::Hss,
+        ..KrrConfig::default()
+    };
+    let model = Arc::new(KrrModel::fit(&ds.train, &ds.train_labels, &cfg).unwrap());
+    let server = Server::start(
+        model as Arc<dyn DecisionModel>,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            engine: EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let engine_label = format!("e{}", server.stats().engine_id);
+    let labels = [("engine", engine_label.as_str())];
+
+    let report = loadgen::run(&LoadgenConfig {
+        addr: addr.clone(),
+        requests: 120,
+        concurrency: 4,
+        seed: 0xfeed,
+    })
+    .unwrap();
+    assert_eq!(report.ok, 120, "all queries must succeed");
+
+    // The scrape is valid exposition …
+    let text = Client::connect(&addr).unwrap().metrics().unwrap();
+    let scrape = hkrr_bench::prom::validate(&text).unwrap();
+
+    // … and this engine's counters agree exactly with the client's view.
+    assert_eq!(
+        scrape.counter("hkrr_engine_requests_total", &labels),
+        report.ok as u64
+    );
+    let latency = scrape
+        .histogram("hkrr_engine_request_latency_micros", &labels)
+        .expect("latency histogram must be exposed");
+    assert_eq!(latency.count, report.ok as u64);
+    let batch = scrape
+        .histogram("hkrr_engine_batch_rows", &labels)
+        .expect("batch-size histogram must be exposed");
+    assert_eq!(
+        batch.sum as u64, report.ok as u64,
+        "batch rows sum to requests"
+    );
+    assert_eq!(
+        scrape.counter("hkrr_engine_batches_total", &labels),
+        batch.count
+    );
+    assert_eq!(
+        scrape.counter("hkrr_engine_queue_rejections_total", &labels),
+        0
+    );
+
+    // Process identity rides along on every scrape.
+    assert_eq!(scrape.value_sum("hkrr_build_info", &[]), Some(1.0));
+    assert!(scrape.value_sum("hkrr_uptime_seconds", &[]).unwrap() > 0.0);
+
+    // The loadgen report folded the same truth in as scrape deltas.
+    let registry = report.registry.expect("loadgen must scrape the registry");
+    assert_eq!(registry.requests, report.ok as u64);
+    assert_eq!(registry.latency_count, report.ok as u64);
+    assert!(registry.latency_p95_ms >= registry.latency_p50_ms);
+
+    // Line mode returns the same document, terminated by `# EOF`.
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"metrics\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line, "ok metrics\n");
+    let mut body = String::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        if line == "# EOF\n" {
+            break;
+        }
+        assert!(!line.is_empty(), "stream ended before # EOF");
+        body.push_str(&line);
+    }
+    let line_scrape = hkrr_bench::prom::validate(&body).unwrap();
+    assert_eq!(
+        line_scrape.counter("hkrr_engine_requests_total", &labels),
+        report.ok as u64
+    );
+
+    server.shutdown();
+}

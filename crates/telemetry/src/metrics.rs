@@ -1,0 +1,347 @@
+//! The three metric primitives: [`Counter`], [`Gauge`], and the
+//! log-spaced-bucket [`Histogram`].
+//!
+//! Recording is lock-free (plain atomic RMW ops, `SeqCst`); the sequential
+//! consistency is what lets callers establish cross-metric invariants such
+//! as the serving engine's "`requests` is bumped before the batch-size
+//! histogram records the same rows, so a reader that snapshots the
+//! histogram first can never observe `sum(batch sizes) > requests`".
+//!
+//! Histograms record **integer** values (microseconds, row counts) into
+//! integer bucket bounds, so a snapshot of a fixed recording sequence is
+//! bitwise identical regardless of how many threads produced it — there is
+//! no float accumulation order to diverge.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::SeqCst)
+    }
+}
+
+/// A gauge holding an `f64` (stored as bits in an `AtomicU64`).
+///
+/// Covers both integer instruments (queue depth) and float ones
+/// (uptime seconds). `add`/`sub` are CAS loops — fine at the rates
+/// gauges move in this workspace.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge starting at `0.0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::SeqCst);
+    }
+
+    /// Add `d` (may be negative).
+    pub fn add(&self, d: f64) {
+        let mut cur = self.bits.load(Ordering::SeqCst);
+        loop {
+            let next = (f64::from_bits(cur) + d).to_bits();
+            match self
+                .bits
+                .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Subtract `d`.
+    pub fn sub(&self, d: f64) {
+        self.add(-d);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::SeqCst))
+    }
+}
+
+/// Shape of a histogram's fixed, log-spaced bucket ladder.
+///
+/// Bucket `i` covers values `v <= first * growth^i` (inclusive upper
+/// bounds, computed once at construction and rounded to integers, strictly
+/// increasing); one implicit overflow bucket catches everything above the
+/// last bound. Values therefore never saturate silently — they land in the
+/// rendered `+Inf` bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSpec {
+    /// Upper bound of the first bucket.
+    pub first: u64,
+    /// Multiplicative step between consecutive bounds (`> 1.0`).
+    pub growth: f64,
+    /// Number of finite buckets (the `+Inf` overflow bucket is extra).
+    pub buckets: usize,
+}
+
+impl HistogramSpec {
+    /// Ladder for request/phase latencies recorded in microseconds:
+    /// 24 doubling buckets from 50 µs to ~7 minutes.
+    pub fn latency_micros() -> Self {
+        Self {
+            first: 50,
+            growth: 2.0,
+            buckets: 24,
+        }
+    }
+
+    /// Ladder for batch/row counts: 12 doubling buckets from 1 to 2048.
+    pub fn batch_rows() -> Self {
+        Self {
+            first: 1,
+            growth: 2.0,
+            buckets: 12,
+        }
+    }
+
+    /// The concrete inclusive upper bounds this spec produces.
+    pub fn bounds(&self) -> Vec<u64> {
+        assert!(self.buckets > 0, "histogram needs at least one bucket");
+        assert!(self.growth > 1.0, "histogram growth must exceed 1.0");
+        let mut bounds = Vec::with_capacity(self.buckets);
+        let mut prev = 0u64;
+        for i in 0..self.buckets {
+            let raw = (self.first as f64 * self.growth.powi(i as i32)).round() as u64;
+            let b = raw.max(prev + 1);
+            bounds.push(b);
+            prev = b;
+        }
+        bounds
+    }
+}
+
+/// Lock-free histogram over `u64` values with log-spaced buckets.
+///
+/// `record` touches only atomics; `snapshot` retries a bounded number of
+/// times until the total count is stable across the read, giving a
+/// consistent point-in-time view under quiescence (and a best-effort one
+/// under live traffic).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` slots; the last is the overflow (`+Inf`) bucket.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    max: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram with the given bucket ladder.
+    pub fn new(spec: &HistogramSpec) -> Self {
+        let bounds = spec.bounds();
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds,
+            counts,
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The inclusive upper bounds of the finite buckets.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        let idx = match self.bounds.iter().position(|&b| v <= b) {
+            Some(i) => i,
+            None => self.bounds.len(),
+        };
+        self.counts[idx].fetch_add(1, Ordering::SeqCst);
+        self.sum.fetch_add(v, Ordering::SeqCst);
+        self.max.fetch_max(v, Ordering::SeqCst);
+        // `count` is bumped last so `count <= Σ bucket counts` always holds
+        // for a reader that loads `count` first.
+        self.count.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Record a signed observation, clamping negatives to zero.
+    pub fn record_clamped(&self, v: i64) {
+        self.record(v.max(0) as u64);
+    }
+
+    /// Record a duration in whole microseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::SeqCst)
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::SeqCst)
+    }
+
+    /// Largest value recorded so far (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::SeqCst)
+    }
+
+    /// Consistent point-in-time snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        for _ in 0..8 {
+            let before = self.count.load(Ordering::SeqCst);
+            let snap = self.read_once();
+            let after = self.count.load(Ordering::SeqCst);
+            if before == after {
+                return snap;
+            }
+        }
+        // Constant traffic: settle for the freshest single read rather
+        // than livelock.
+        self.read_once()
+    }
+
+    fn read_once(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::SeqCst))
+                .collect(),
+            sum: self.sum.load(Ordering::SeqCst),
+            max: self.max.load(Ordering::SeqCst),
+            count: self.count.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Owned copy of a histogram's state at one point in time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds of the finite buckets.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; the extra last slot is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) from the bucket counts.
+    ///
+    /// Returns the upper bound of the bucket holding the quantile rank
+    /// (conservative: true quantile is `<=` the estimate); the overflow
+    /// bucket reports the recorded max. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.set(3.5);
+        g.add(1.0);
+        g.sub(0.5);
+        assert_eq!(g.get(), 4.0);
+    }
+
+    #[test]
+    fn bounds_are_strictly_increasing_even_under_rounding() {
+        let spec = HistogramSpec {
+            first: 1,
+            growth: 1.1,
+            buckets: 10,
+        };
+        let b = spec.bounds();
+        assert_eq!(b.len(), 10);
+        for w in b.windows(2) {
+            assert!(w[0] < w[1], "bounds must strictly increase: {b:?}");
+        }
+    }
+
+    #[test]
+    fn quantile_is_bucket_upper_bound() {
+        let h = Histogram::new(&HistogramSpec {
+            first: 10,
+            growth: 2.0,
+            buckets: 4,
+        });
+        for v in [1, 5, 10, 11, 20, 40] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 87);
+        assert_eq!(s.quantile(0.5), 10); // 3rd of 6 sits in the first bucket
+        assert_eq!(s.quantile(1.0), 40);
+    }
+}

@@ -1,0 +1,287 @@
+//! Process-global metric registry and Prometheus text exposition.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) takes a short mutex to
+//! get-or-insert the series and hands back an `Arc` to the instrument; hot
+//! paths record through the `Arc` without ever touching the registry lock
+//! again. Series are keyed by `(metric name, sorted label set)`, so two
+//! engines in one process coexist under distinct `engine` labels and a
+//! test can pick out exactly its own series from a scrape.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSpec};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One registered instrument.
+#[derive(Debug, Clone)]
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Series {
+    fn kind(&self) -> &'static str {
+        match self {
+            Series::Counter(_) => "counter",
+            Series::Gauge(_) => "gauge",
+            Series::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Sorted `(key, value)` label pairs — the series key within a family.
+type LabelSet = Vec<(String, String)>;
+
+#[derive(Debug, Default)]
+struct Family {
+    help: String,
+    series: BTreeMap<LabelSet, Series>,
+}
+
+/// A named collection of metric families.
+///
+/// Most code uses the process-global instance via [`crate::global`]; tests
+/// may build private registries to keep assertions hermetic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+fn validate_name(name: &str) {
+    let ok = !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+    assert!(ok, "invalid metric name {name:?}");
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn label_set(labels: &[(&str, &str)]) -> LabelSet {
+    let mut set: LabelSet = labels
+        .iter()
+        .map(|(k, v)| {
+            validate_name(k);
+            (k.to_string(), v.to_string())
+        })
+        .collect();
+    set.sort();
+    set.dedup_by(|a, b| a.0 == b.0);
+    set
+}
+
+/// Render a sorted label set as Prometheus does: `{k="v",k2="v2"}`; the
+/// empty string when there are no labels. `extra` (e.g. the histogram `le`
+/// bound) is merged in keeping keys sorted.
+fn render_labels(set: &LabelSet, extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<(&str, &str)> = set.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    if let Some((k, v)) = extra {
+        pairs.push((k, v));
+        pairs.sort();
+    }
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, name: &str, help: &str, labels: &[(&str, &str)], make: Series) -> Series {
+        validate_name(name);
+        let key = label_set(labels);
+        let mut fams = self.families.lock().unwrap();
+        let fam = fams.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        let existing = fam.series.entry(key).or_insert_with(|| make.clone());
+        assert!(
+            existing.kind() == make.kind(),
+            "metric {name} already registered as a {}",
+            existing.kind()
+        );
+        existing.clone()
+    }
+
+    /// Get or register a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.register(
+            name,
+            help,
+            labels,
+            Series::Counter(Arc::new(Counter::new())),
+        ) {
+            Series::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get or register a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.register(name, help, labels, Series::Gauge(Arc::new(Gauge::new()))) {
+            Series::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get or register a histogram series with the given bucket ladder.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        spec: &HistogramSpec,
+    ) -> Arc<Histogram> {
+        match self.register(
+            name,
+            help,
+            labels,
+            Series::Histogram(Arc::new(Histogram::new(spec))),
+        ) {
+            Series::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Render every family in Prometheus text exposition format.
+    ///
+    /// Counters and histogram `_count`/`_bucket` values are exact integers;
+    /// histogram buckets are rendered cumulatively with a final `+Inf`
+    /// bucket equal to `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let fams = self.families.lock().unwrap();
+        let mut out = String::new();
+        for (name, fam) in fams.iter() {
+            let kind = match fam.series.values().next() {
+                Some(s) => s.kind(),
+                None => continue,
+            };
+            let _ = writeln!(out, "# HELP {name} {}", fam.help.replace('\n', " "));
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (labels, series) in fam.series.iter() {
+                let plain = render_labels(labels, None);
+                match series {
+                    Series::Counter(c) => {
+                        let _ = writeln!(out, "{name}{plain} {}", c.get());
+                    }
+                    Series::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{plain} {}", fmt_value(g.get()));
+                    }
+                    Series::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cum = 0u64;
+                        for (i, b) in snap.bounds.iter().enumerate() {
+                            cum += snap.counts[i];
+                            let ls = render_labels(labels, Some(("le", &b.to_string())));
+                            let _ = writeln!(out, "{name}_bucket{ls} {cum}");
+                        }
+                        let ls = render_labels(labels, Some(("le", "+Inf")));
+                        let _ = writeln!(out, "{name}_bucket{ls} {}", snap.count);
+                        let _ = writeln!(out, "{name}_sum{plain} {}", snap.sum);
+                        let _ = writeln!(out, "{name}_count{plain} {}", snap.count);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry every subsystem registers into.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("hkrr_test_total", "help", &[("engine", "e1")]);
+        let b = r.counter("hkrr_test_total", "help", &[("engine", "e1")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let other = r.counter("hkrr_test_total", "help", &[("engine", "e2")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("hkrr_kind", "help", &[]);
+        r.gauge("hkrr_kind", "help", &[]);
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let r = Registry::new();
+        r.counter("hkrr_reqs_total", "requests", &[("engine", "e1")])
+            .add(7);
+        r.gauge("hkrr_queue_depth", "depth", &[]).set(3.0);
+        let h = r.histogram(
+            "hkrr_lat_micros",
+            "latency",
+            &[("engine", "e1")],
+            &HistogramSpec {
+                first: 10,
+                growth: 10.0,
+                buckets: 2,
+            },
+        );
+        h.record(5);
+        h.record(50);
+        h.record(5000);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE hkrr_reqs_total counter"));
+        assert!(text.contains("hkrr_reqs_total{engine=\"e1\"} 7"));
+        assert!(text.contains("hkrr_queue_depth 3"));
+        assert!(text.contains("hkrr_lat_micros_bucket{engine=\"e1\",le=\"10\"} 1"));
+        assert!(text.contains("hkrr_lat_micros_bucket{engine=\"e1\",le=\"100\"} 2"));
+        assert!(text.contains("hkrr_lat_micros_bucket{engine=\"e1\",le=\"+Inf\"} 3"));
+        assert!(text.contains("hkrr_lat_micros_sum{engine=\"e1\"} 5055"));
+        assert!(text.contains("hkrr_lat_micros_count{engine=\"e1\"} 3"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Histogram edge behavior (satellite pin): bucket boundary values,
+//! zero/negative clamping, top-bucket overflow, and bitwise-identical
+//! snapshots across thread counts for a fixed recording sequence.
+
+use hkrr_telemetry::{Histogram, HistogramSpec};
+use std::sync::Arc;
+
+fn spec() -> HistogramSpec {
+    HistogramSpec {
+        first: 10,
+        growth: 2.0,
+        buckets: 4, // bounds 10, 20, 40, 80 (+Inf overflow)
+    }
+}
+
+#[test]
+fn boundary_values_land_in_the_lower_bucket() {
+    let h = Histogram::new(&spec());
+    assert_eq!(h.bounds(), &[10, 20, 40, 80]);
+    // Inclusive upper bounds: a value exactly on a bound stays in that
+    // bucket; one past it moves up.
+    for v in [10, 20, 40, 80] {
+        h.record(v);
+    }
+    for v in [11, 21, 41] {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.counts, vec![1, 2, 2, 2, 0]);
+    assert_eq!(s.count, 7);
+}
+
+#[test]
+fn zero_and_negative_observations_clamp_into_the_first_bucket() {
+    let h = Histogram::new(&spec());
+    h.record(0);
+    h.record_clamped(-5);
+    h.record_clamped(-1);
+    h.record_clamped(15);
+    let s = h.snapshot();
+    assert_eq!(s.counts[0], 3, "0 and clamped negatives share bucket 0");
+    assert_eq!(s.counts[1], 1);
+    assert_eq!(s.sum, 15, "clamped values contribute 0 to the sum");
+    assert_eq!(s.max, 15);
+}
+
+#[test]
+fn values_above_the_ladder_overflow_without_saturating_the_sum() {
+    let h = Histogram::new(&spec());
+    h.record(81);
+    h.record(1_000_000);
+    h.record(u64::MAX / 4);
+    let s = h.snapshot();
+    assert_eq!(s.counts, vec![0, 0, 0, 0, 3], "all land in +Inf");
+    assert_eq!(s.sum, 81 + 1_000_000 + u64::MAX / 4);
+    assert_eq!(s.max, u64::MAX / 4);
+    assert_eq!(s.quantile(0.99), s.max, "overflow quantile reports max");
+}
+
+#[test]
+fn snapshots_are_bitwise_identical_across_thread_counts() {
+    // The same multiset of observations must produce the same snapshot no
+    // matter how many threads recorded it — integer sums and counts have
+    // no accumulation order to diverge.
+    let values: Vec<u64> = (0..10_000).map(|i| (i * 7919) % 500).collect();
+    let mut reference = None;
+    for threads in [1usize, 2, 4, 8] {
+        let h = Arc::new(Histogram::new(&spec()));
+        let chunk = values.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for part in values.chunks(chunk) {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for &v in part {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        match &reference {
+            None => reference = Some(snap),
+            Some(r) => assert_eq!(
+                &snap, r,
+                "snapshot diverged between 1 and {threads} threads"
+            ),
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Trace sink end to end: spans from several threads land in one Chrome
+//! trace file with per-thread ids, durations, and annotated args.
+//!
+//! One test function only — the sink is process-global and can be
+//! installed once per process, which is exactly the production contract.
+
+use std::path::PathBuf;
+
+fn temp_trace_path() -> PathBuf {
+    std::env::temp_dir().join(format!("hkrr_trace_test_{}.json", std::process::id()))
+}
+
+#[test]
+fn spans_from_many_threads_write_chrome_trace_events() {
+    let path = temp_trace_path();
+    assert!(
+        hkrr_telemetry::trace::init_with_path(&path).unwrap(),
+        "sink must install into a fresh process"
+    );
+    assert!(hkrr_telemetry::trace::enabled());
+
+    {
+        let mut outer = hkrr_telemetry::span!("test.outer");
+        outer.annotate("iterations", 42);
+        std::thread::scope(|s| {
+            for i in 0..3 {
+                s.spawn(move || {
+                    let _inner = hkrr_telemetry::span!("test.worker {i}");
+                });
+            }
+        });
+    }
+    hkrr_telemetry::trace::flush();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines[0], "[", "file opens a JSON array");
+    // 1 outer + 3 worker spans.
+    let events: Vec<&str> = lines[1..].to_vec();
+    assert_eq!(events.len(), 4, "one line per span: {text}");
+    for e in &events {
+        assert!(e.starts_with('{') && e.ends_with("},"), "event line: {e}");
+        for field in [
+            "\"name\":",
+            "\"ph\":\"X\"",
+            "\"ts\":",
+            "\"dur\":",
+            "\"pid\":",
+            "\"tid\":",
+        ] {
+            assert!(e.contains(field), "missing {field} in {e}");
+        }
+        // Each event line (comma stripped) is standalone JSON.
+        hkrr_bench::json::validate(&e[..e.len() - 1]).unwrap();
+    }
+    assert!(
+        text.contains("\"args\":{\"iterations\":\"42\"}"),
+        "annotation must be exported"
+    );
+    // The three workers ran on distinct threads, none on the outer's.
+    let tids: std::collections::BTreeSet<&str> = events
+        .iter()
+        .map(|e| {
+            let at = e.find("\"tid\":").unwrap() + 6;
+            e[at..].split(|c: char| !c.is_ascii_digit()).next().unwrap()
+        })
+        .collect();
+    assert!(
+        tids.len() >= 2,
+        "expected multiple thread ids, got {tids:?}"
+    );
+
+    // A second init is refused but harmless.
+    assert!(!hkrr_telemetry::trace::init_with_path(&path).unwrap());
+    std::fs::remove_file(&path).ok();
+}
