@@ -8,7 +8,7 @@
 //! achieved parallel speedups, compression ratios, PCG iteration counts,
 //! per-shard factorization times, router overhead, and test accuracy.
 //! [`PerfReport::to_json`] serializes the result as `BENCH_pipeline.json`
-//! (schema `hkrr-perf/4`) so CI can archive one snapshot per commit and
+//! (schema `hkrr-perf/5`) so CI can archive one snapshot per commit and
 //! future PRs are judged against recorded numbers instead of anecdotes.
 //!
 //! Schema `/4` adds a `dense_substrate` section: for every dense backend
@@ -16,6 +16,12 @@
 //! it records GEMM GFLOP/s at n = 256 / 512 and a bulk pairwise-distance
 //! timing, each with its speedup over the scalar reference. CI gates on
 //! the GEMM speedup via `HKRR_REQUIRE_GEMM_SPEEDUP` (see `perf_snapshot`).
+//!
+//! Schema `/5` adds `hss-pcg-f32` rows — the HSS-preconditioned CG solver
+//! with its ULV factors demoted to f32 storage — and a `factor_bytes`
+//! field on every case, so the snapshot tracks the mixed-precision memory
+//! win (f32 rows must come in well under half the f64 factor bytes)
+//! alongside the iteration-count cost it pays for it.
 //!
 //! The dense baseline runs once per workload (at the full thread count):
 //! its wall time anchors the dense-vs-hierarchical comparison, while the
@@ -32,7 +38,7 @@
 use crate::json::JsonWriter;
 use crate::{dataset, test_accuracy, train_timed, with_threads};
 use hkrr_clustering::ClusteringMethod;
-use hkrr_core::{accuracy, KrrConfig, SolverKind};
+use hkrr_core::{accuracy, FactorPrecision, KrrConfig, SolverKind};
 use hkrr_datasets::registry::{LETTER, SUSY};
 use hkrr_datasets::DatasetSpec;
 use hkrr_ensemble::{EnsembleConfig, EnsembleKrr, ShardStrategy};
@@ -100,7 +106,7 @@ pub struct PerfCase {
     /// Workload name (`"small"` / `"medium"`).
     pub workload: String,
     /// Solver label (`"dense"`, `"hss"`, `"hss+h"`, `"hss-pcg"`,
-    /// `"ensemble-k2"`, `"ensemble-k4"`).
+    /// `"hss-pcg-f32"`, `"ensemble-k2"`, `"ensemble-k4"`).
     pub solver: String,
     /// Thread count the run was pinned to.
     pub threads: usize,
@@ -125,6 +131,10 @@ pub struct PerfCase {
     pub accuracy: f64,
     /// Memory of the (compressed or dense) training matrix, in bytes.
     pub matrix_memory_bytes: usize,
+    /// Memory of the retained ULV factor store, in bytes (0 for dense;
+    /// the shard sum for ensembles). The `hss-pcg-f32` rows must come in
+    /// well under half their `hss-pcg` siblings.
+    pub factor_bytes: usize,
     /// Dense bytes divided by compressed bytes (1.0 for the dense solver).
     pub compression_ratio: f64,
     /// Maximum HSS rank (0 for dense).
@@ -229,6 +239,30 @@ pub struct PerfReport {
     pub dense_substrate: DenseSubstrateReport,
 }
 
+/// One solver cell of the workload matrix: a back end plus the ULV
+/// factor-storage precision (the `hss-pcg-f32` row of the snapshot).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SolverCell {
+    solver: SolverKind,
+    factor_precision: FactorPrecision,
+}
+
+impl SolverCell {
+    fn new(solver: SolverKind) -> Self {
+        SolverCell {
+            solver,
+            factor_precision: FactorPrecision::F64,
+        }
+    }
+
+    fn label(&self) -> String {
+        match self.factor_precision {
+            FactorPrecision::F64 => self.solver.label().to_string(),
+            FactorPrecision::F32 => format!("{}-f32", self.solver.label()),
+        }
+    }
+}
+
 fn config_for(spec: &DatasetSpec, solver: SolverKind) -> KrrConfig {
     KrrConfig {
         h: spec.default_h,
@@ -242,10 +276,10 @@ fn config_for(spec: &DatasetSpec, solver: SolverKind) -> KrrConfig {
 fn measure(
     workload: &PerfWorkload,
     ds: &hkrr_datasets::Dataset,
-    solver: SolverKind,
+    cell: SolverCell,
     threads: usize,
 ) -> PerfCase {
-    let cfg = config_for(&workload.spec, solver);
+    let cfg = config_for(&workload.spec, cell.solver).with_factor_precision(cell.factor_precision);
     let (model, timings) = with_threads(threads, || train_timed(ds, &cfg));
     let accuracy = test_accuracy(&model, ds);
     let report = model.report();
@@ -257,7 +291,7 @@ fn measure(
     };
     PerfCase {
         workload: workload.name.to_string(),
-        solver: solver.label().to_string(),
+        solver: cell.label(),
         threads,
         n_train: workload.n_train,
         n_test: workload.n_test,
@@ -269,6 +303,7 @@ fn measure(
         total_seconds: timings.total_seconds,
         accuracy,
         matrix_memory_bytes: report.matrix_memory_bytes,
+        factor_bytes: report.factor_bytes,
         compression_ratio,
         max_rank: report.max_rank,
         shards: 0,
@@ -327,6 +362,7 @@ fn measure_ensemble(
         total_seconds: report.fit_wall_seconds,
         accuracy: ens_accuracy,
         matrix_memory_bytes: memory,
+        factor_bytes: report.shard_reports.iter().map(|r| r.factor_bytes).sum(),
         compression_ratio: if memory > 0 {
             dense_bytes as f64 / memory as f64
         } else {
@@ -447,31 +483,35 @@ pub fn run(opts: &PerfOptions) -> PerfReport {
         cases.push(measure(
             workload,
             &ds,
-            SolverKind::DenseCholesky,
+            SolverCell::new(SolverKind::DenseCholesky),
             max_threads,
         ));
 
         let mut hss_accuracy = 0.0;
-        for solver in [
-            SolverKind::Hss,
-            SolverKind::HssWithHSampling,
-            SolverKind::HssPcg,
+        for cell in [
+            SolverCell::new(SolverKind::Hss),
+            SolverCell::new(SolverKind::HssWithHSampling),
+            SolverCell::new(SolverKind::HssPcg),
+            SolverCell {
+                solver: SolverKind::HssPcg,
+                factor_precision: FactorPrecision::F32,
+            },
         ] {
             let runs: Vec<PerfCase> = opts
                 .thread_counts
                 .iter()
-                .map(|&t| measure(workload, &ds, solver, t))
+                .map(|&t| measure(workload, &ds, cell, t))
                 .collect();
             let base = runs.first().expect("at least one thread count").clone();
             let top = runs.last().expect("at least one thread count").clone();
-            if solver == SolverKind::Hss {
+            if cell == SolverCell::new(SolverKind::Hss) {
                 // Anchor for the ensemble rows' accuracy_vs_hss delta.
                 hss_accuracy = top.accuracy;
             }
             if top.threads > base.threads {
                 speedups.push(PerfSpeedup {
                     workload: workload.name.to_string(),
-                    solver: solver.label().to_string(),
+                    solver: cell.label(),
                     threads: top.threads,
                     construction: ratio(base.construction_seconds, top.construction_seconds),
                     factorization: ratio(base.factorization_seconds, top.factorization_seconds),
@@ -525,6 +565,7 @@ impl PerfCase {
         w.field_f64("total_seconds", self.total_seconds);
         w.field_f64("accuracy", self.accuracy);
         w.field_usize("matrix_memory_bytes", self.matrix_memory_bytes);
+        w.field_usize("factor_bytes", self.factor_bytes);
         w.field_f64("compression_ratio", self.compression_ratio);
         w.field_usize("max_rank", self.max_rank);
         w.field_usize("shards", self.shards);
@@ -585,11 +626,11 @@ impl DenseSubstrateReport {
 }
 
 impl PerfReport {
-    /// Serializes the report (schema `hkrr-perf/4`).
+    /// Serializes the report (schema `hkrr-perf/5`).
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.field_str("schema", "hkrr-perf/4");
+        w.field_str("schema", "hkrr-perf/5");
         w.field_f64("scale", self.scale);
         w.field_usize("host_threads", self.host_threads);
         w.key("dense_substrate");
@@ -673,12 +714,17 @@ impl PerfReport {
         }
         let _ = writeln!(
             out,
-            "\n| workload | solver | threads | shards | total (s) | accuracy | Δacc vs hss | compression× | max rank | pcg iters | router (s) |"
+            "\n| workload | solver | threads | shards | total (s) | accuracy | Δacc vs hss | compression× | factors (MB) | max rank | pcg iters | router (s) |"
         );
-        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|");
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|---|");
         for c in &self.cases {
-            let pcg_iters = if c.solver == SolverKind::HssPcg.label() {
+            let pcg_iters = if c.solver.starts_with(SolverKind::HssPcg.label()) {
                 c.pcg_iterations.to_string()
+            } else {
+                "—".to_string()
+            };
+            let factor_mb = if c.factor_bytes > 0 {
+                format!("{:.2}", c.factor_bytes as f64 / (1024.0 * 1024.0))
             } else {
                 "—".to_string()
             };
@@ -693,7 +739,7 @@ impl PerfReport {
             };
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | {:.3} | {:.4} | {} | {:.1} | {} | {} | {} |",
+                "| {} | {} | {} | {} | {:.3} | {:.4} | {} | {:.1} | {} | {} | {} | {} |",
                 c.workload,
                 c.solver,
                 c.threads,
@@ -702,6 +748,7 @@ impl PerfReport {
                 c.accuracy,
                 delta,
                 c.compression_ratio,
+                factor_mb,
                 c.max_rank,
                 pcg_iters,
                 router
@@ -733,18 +780,18 @@ mod tests {
         let report = run(&opts);
         assert_eq!(
             report.cases.len(),
-            1 + 3 * 2 + 2,
-            "dense + 3 hierarchical solvers × 2 threads + 2 ensembles"
+            1 + 4 * 2 + 2,
+            "dense + 4 hierarchical solver cells × 2 threads + 2 ensembles"
         );
-        assert_eq!(report.speedups.len(), 3);
+        assert_eq!(report.speedups.len(), 4);
         for s in &report.speedups {
             // Bitwise-deterministic parallel schedule: identical accuracy.
             assert_eq!(s.accuracy_delta, 0.0, "{}/{}", s.workload, s.solver);
         }
-        // The hss-pcg rows carry their iteration metrics; direct rows are
-        // zero.
+        // The hss-pcg / hss-pcg-f32 rows carry their iteration metrics;
+        // direct rows are zero.
         for c in &report.cases {
-            if c.solver == SolverKind::HssPcg.label() {
+            if c.solver.starts_with(SolverKind::HssPcg.label()) {
                 assert!(c.pcg_iterations > 0, "{c:?}");
                 assert!(c.pcg_seconds > 0.0, "{c:?}");
             } else {
@@ -752,6 +799,32 @@ mod tests {
                 assert_eq!(c.pcg_seconds, 0.0, "{c:?}");
             }
         }
+        // Every ULV-producing row records its factor store; the f32 rows
+        // come in under half their f64 siblings at the same thread count.
+        for t in [1usize, 2] {
+            let f64_row = report
+                .cases
+                .iter()
+                .find(|c| c.solver == "hss-pcg" && c.threads == t)
+                .unwrap();
+            let f32_row = report
+                .cases
+                .iter()
+                .find(|c| c.solver == "hss-pcg-f32" && c.threads == t)
+                .unwrap();
+            assert!(f64_row.factor_bytes > 0 && f32_row.factor_bytes > 0);
+            assert!(
+                f32_row.factor_bytes * 2 <= f64_row.factor_bytes,
+                "f32 {} vs f64 {}",
+                f32_row.factor_bytes,
+                f64_row.factor_bytes
+            );
+            // Same compressed matrix, same accuracy contract: the outer
+            // f64 iteration absorbs the factor demotion.
+            assert!((f32_row.accuracy - f64_row.accuracy).abs() <= 0.05);
+        }
+        let dense_row = report.cases.iter().find(|c| c.solver == "dense").unwrap();
+        assert_eq!(dense_row.factor_bytes, 0, "dense retains no ULV factors");
         // The ensemble rows record per-shard factorization times, the
         // router overhead, and the accuracy delta against the hss anchor.
         let hss_top = report
@@ -798,7 +871,9 @@ mod tests {
         let json = report.to_json();
         json::validate(&json).unwrap();
         for key in [
-            "\"schema\":\"hkrr-perf/4\"",
+            "\"schema\":\"hkrr-perf/5\"",
+            "\"hss-pcg-f32\"",
+            "factor_bytes",
             "dense_substrate",
             "active_backend",
             "speedup_vs_scalar",
@@ -825,6 +900,8 @@ mod tests {
         assert!(md.contains("speedup vs scalar"));
         assert!(md.contains("| workload | solver |"));
         assert!(md.contains("pcg iters"));
+        assert!(md.contains("factors (MB)"));
+        assert!(md.contains("hss-pcg-f32"));
         assert!(md.contains("ensemble-k4"));
         assert!(md.contains("Δacc vs hss"));
     }

@@ -1,6 +1,7 @@
 //! Training configuration.
 
 use hkrr_clustering::ClusteringMethod;
+use hkrr_hss::FactorPrecision;
 use hkrr_kernel::{KernelFunction, Normalizer};
 
 /// The solver used for the training system `(K + λI) w = y`.
@@ -68,6 +69,13 @@ pub struct KrrConfig {
     /// How much looser than [`KrrConfig::tolerance`] the preconditioner's
     /// HSS compression runs ([`SolverKind::HssPcg`] only; must be ≥ 1).
     pub pcg_loosening: f64,
+    /// Storage precision of the ULV factors ([`SolverKind::HssPcg`] only).
+    ///
+    /// `F32` stores the already-loose preconditioner factors in single
+    /// precision — less than half the factor memory and bandwidth per
+    /// apply, paid for with a few extra PCG iterations on the exact f64
+    /// operator. The default `F64` keeps the bitwise-pinned behavior.
+    pub factor_precision: FactorPrecision,
 }
 
 impl Default for KrrConfig {
@@ -90,6 +98,7 @@ impl Default for KrrConfig {
             pcg_tolerance: 1e-10,
             pcg_max_iterations: 500,
             pcg_loosening: 10.0,
+            factor_precision: FactorPrecision::F64,
         }
     }
 }
@@ -116,6 +125,12 @@ impl KrrConfig {
     /// Returns a copy with a different solver.
     pub fn with_solver(mut self, solver: SolverKind) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Returns a copy with a different factor-storage precision.
+    pub fn with_factor_precision(mut self, precision: FactorPrecision) -> Self {
+        self.factor_precision = precision;
         self
     }
 
@@ -151,6 +166,13 @@ impl KrrConfig {
             return Err(format!(
                 "pcg_loosening must be finite and at least 1, got {}",
                 self.pcg_loosening
+            ));
+        }
+        if self.factor_precision == FactorPrecision::F32 && self.solver != SolverKind::HssPcg {
+            return Err(format!(
+                "factor_precision=f32 requires the hss-pcg solver (accuracy is only \
+                 protected by the outer iteration); solver is {}",
+                self.solver.label()
             ));
         }
         Ok(())
@@ -218,6 +240,23 @@ mod tests {
             },
         ] {
             assert!(bad.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn f32_factors_require_the_pcg_solver() {
+        let good = KrrConfig::default()
+            .with_solver(SolverKind::HssPcg)
+            .with_factor_precision(FactorPrecision::F32);
+        good.validate().unwrap();
+        for solver in [
+            SolverKind::DenseCholesky,
+            SolverKind::Hss,
+            SolverKind::HssWithHSampling,
+        ] {
+            let bad = good.with_solver(solver);
+            let err = bad.validate().unwrap_err();
+            assert!(err.contains("hss-pcg"), "unexpected message: {err}");
         }
     }
 

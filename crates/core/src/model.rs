@@ -6,7 +6,7 @@ use crate::KrrError;
 use hkrr_clustering::cluster;
 use hkrr_hmatrix::{build_hmatrix, HOptions};
 use hkrr_hss::construct::{compress_symmetric, HssOptions};
-use hkrr_hss::{HssMatrix, UlvFactorization};
+use hkrr_hss::{FactorPrecision, HssMatrix, UlvFactorization};
 use hkrr_kernel::{cross_scores_into, KernelMatrix, NormalizationStats};
 use hkrr_linalg::iterative::{pcg, PcgOptions, PcgResult};
 use hkrr_linalg::operator::ShiftedOperator;
@@ -86,6 +86,15 @@ impl KrrModel {
                 "labels must be finite, non-zero (±1)".to_string(),
             ));
         }
+
+        // Resolve the effective factor precision (env override included)
+        // up front, and store the *effective* value in the model's config
+        // so persistence and `solve_new_labels` see what actually ran.
+        let mut config = *config;
+        if config.solver == SolverKind::HssPcg {
+            config.factor_precision = effective_factor_precision(&config);
+        }
+        let config = &config;
 
         let mut report = TrainingReport::new(config.solver, n, train.ncols());
         let mut fit_span = hkrr_telemetry::span!("train.fit");
@@ -195,6 +204,7 @@ impl KrrModel {
                     factor.solve(&permuted_labels)?
                 };
                 report.solve_seconds = t.elapsed().as_secs_f64();
+                record_factor_bytes(&mut report, &factor);
                 (w, Some(TrainedFactors { hss, ulv: factor }))
             }
             SolverKind::HssPcg => {
@@ -220,11 +230,19 @@ impl KrrModel {
                 hss.set_diagonal_shift(config.lambda);
 
                 let t = Instant::now();
-                let factor = {
+                let mut factor = {
                     let _span = hkrr_telemetry::span!("train.ulv_factor");
                     UlvFactorization::factor(&hss)?
                 };
+                // Always factor in f64 (exact pivoting), then demote the
+                // store: the demotion error behaves like extra compression
+                // looseness, which PCG removes anyway.
+                if config.factor_precision == FactorPrecision::F32 {
+                    let _span = hkrr_telemetry::span!("train.ulv_demote");
+                    factor = factor.to_f32();
+                }
                 report.factorization_seconds = t.elapsed().as_secs_f64();
+                record_factor_bytes(&mut report, &factor);
 
                 // PCG on the *exact* regularized kernel operator: only
                 // matvecs, nothing assembled, nothing compressed.
@@ -455,6 +473,34 @@ impl KrrModel {
     }
 }
 
+/// Resolves the factor-storage precision for an `hss-pcg` fit: the
+/// `HKRR_FACTOR_PRECISION` environment variable (`f64` or `f32`,
+/// case-insensitive) overrides [`KrrConfig::factor_precision`] so CI and
+/// benchmark matrices can flip the whole suite without touching code.
+/// An unparseable value panics loudly — a silently ignored typo would run
+/// the entire suite at the wrong precision.
+fn effective_factor_precision(config: &KrrConfig) -> FactorPrecision {
+    match std::env::var("HKRR_FACTOR_PRECISION") {
+        Ok(raw) => FactorPrecision::parse(&raw)
+            .unwrap_or_else(|| panic!("HKRR_FACTOR_PRECISION must be `f64` or `f32`, got `{raw}`")),
+        Err(_) => config.factor_precision,
+    }
+}
+
+/// Records the retained factor store's memory in the report and publishes
+/// it as the `hkrr_train_factor_bytes{precision}` gauge, so the f32 memory
+/// win is visible both per-run and on a metrics scrape.
+fn record_factor_bytes(report: &mut TrainingReport, ulv: &UlvFactorization) {
+    report.factor_bytes = ulv.memory_bytes();
+    hkrr_telemetry::global()
+        .gauge(
+            "hkrr_train_factor_bytes",
+            "Memory of the retained ULV factor store after training, in bytes",
+            &[("precision", ulv.precision().as_str())],
+        )
+        .set(report.factor_bytes as f64);
+}
+
 /// The PCG step of the `hss-pcg` solver: conjugate gradients on the exact
 /// shifted kernel operator, preconditioned by the loose-tolerance ULV
 /// factorization. Shared between [`KrrModel::fit`] and
@@ -620,6 +666,58 @@ mod tests {
             "history {:?}",
             r.pcg_residual_history
         );
+    }
+
+    #[test]
+    fn hss_pcg_with_f32_factors_matches_the_f64_run() {
+        let ds = generate(&LETTER, 400, 100, 9);
+        let f64_model = KrrModel::fit(
+            &ds.train,
+            &ds.train_labels,
+            &quick_config(SolverKind::HssPcg),
+        )
+        .unwrap();
+        let f32_model = KrrModel::fit(
+            &ds.train,
+            &ds.train_labels,
+            &quick_config(SolverKind::HssPcg).with_factor_precision(FactorPrecision::F32),
+        )
+        .unwrap();
+        // The stored factorization really is single precision, at well
+        // under half the f64 footprint.
+        let ulv = &f32_model.factors().unwrap().ulv;
+        assert_eq!(ulv.precision(), FactorPrecision::F32);
+        assert_eq!(f32_model.config().factor_precision, FactorPrecision::F32);
+        let f64_bytes = f64_model.report().factor_bytes;
+        let f32_bytes = f32_model.report().factor_bytes;
+        assert!(f64_bytes > 0 && f32_bytes > 0);
+        assert!(
+            f32_bytes * 2 <= f64_bytes,
+            "f32 factors {f32_bytes}B vs f64 {f64_bytes}B"
+        );
+        // Both iterations converged on the same exact operator to the same
+        // tolerance, so predictions agree to solver precision.
+        let dv64 = f64_model.decision_values(&ds.test);
+        let dv32 = f32_model.decision_values(&ds.test);
+        let rmse = dv64
+            .iter()
+            .zip(dv32.iter())
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt()
+            / (dv64.len() as f64).sqrt();
+        assert!(rmse < 1e-6, "f32 vs f64 factor prediction RMSE {rmse}");
+        assert!(
+            f32_model.report().pcg_iterations
+                <= f64_model.report().pcg_iterations + f64_model.report().pcg_iterations / 2 + 2,
+            "f32 {} vs f64 {} iterations",
+            f32_model.report().pcg_iterations,
+            f64_model.report().pcg_iterations
+        );
+        // Re-solving with the retained f32 preconditioner reproduces the
+        // training weights bitwise, like the f64 path.
+        let w = f32_model.solve_new_labels(&ds.train_labels).unwrap();
+        assert_eq!(w, f32_model.weights());
     }
 
     #[test]

@@ -41,6 +41,10 @@ pub struct TrainingReport {
     pub matrix_memory_bytes: usize,
     /// Memory of the H-matrix sampler, in bytes (0 when unused).
     pub sampler_memory_bytes: usize,
+    /// Memory of the retained ULV factor store, in bytes (0 for the dense
+    /// solver). With `factor_precision=f32` this drops to well under half
+    /// the f64 figure — the headline win of the mixed-precision store.
+    pub factor_bytes: usize,
     /// Maximum HSS rank (0 for the dense solver).
     pub max_rank: usize,
 }
@@ -64,6 +68,7 @@ impl TrainingReport {
             pcg_residual_history: Vec::new(),
             matrix_memory_bytes: 0,
             sampler_memory_bytes: 0,
+            factor_bytes: 0,
             max_rank: 0,
         }
     }
@@ -87,6 +92,11 @@ impl TrainingReport {
     /// Compressed-matrix memory in MB (Table 2 / Figure 5 / Figure 7a).
     pub fn matrix_memory_mb(&self) -> f64 {
         self.matrix_memory_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Retained factor-store memory in MB (0 for the dense solver).
+    pub fn factor_memory_mb(&self) -> f64 {
+        self.factor_bytes as f64 / (1024.0 * 1024.0)
     }
 }
 
@@ -121,10 +131,11 @@ impl std::fmt::Display for TrainingReport {
         if self.solver == SolverKind::HssPcg {
             write!(
                 f,
-                "\n  pcg {:.3}s | {} iterations | final residual {:.2e}",
+                "\n  pcg {:.3}s | {} iterations | final residual {:.2e} | factors {:.2}MB",
                 self.pcg_seconds,
                 self.pcg_iterations,
-                self.pcg_residual_history.last().copied().unwrap_or(0.0)
+                self.pcg_residual_history.last().copied().unwrap_or(0.0),
+                self.factor_memory_mb()
             )?;
         }
         Ok(())

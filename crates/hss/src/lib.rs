@@ -23,6 +23,13 @@
 //! Kernel matrices are symmetric, so the construction builds the symmetric
 //! form (`V = U`, `B_{ji} = B_{ij}^T`); the public API asserts symmetry of
 //! the input operator through a debug check on sampled entries.
+//!
+//! The ULV factor store is precision-parametric ([`FactorPrecision`]):
+//! factorization always runs in f64, and [`UlvFactorization::to_f32`]
+//! demotes the stored factors for the preconditioner role — see
+//! [`ulv`] and [`precond`] for the contract.
+
+#![warn(missing_docs)]
 
 pub mod construct;
 pub mod matvec;
@@ -32,7 +39,7 @@ pub mod ulv;
 
 pub use construct::{ConstructionStats, HssOptions};
 pub use stats::HssStats;
-pub use ulv::{UlvFactorization, UlvNodeFactor};
+pub use ulv::{FactorPrecision, UlvFactorization, UlvNodeFactor, UlvNodeFactorF32};
 
 use hkrr_clustering::ClusterTree;
 use hkrr_linalg::Matrix;

@@ -11,6 +11,14 @@
 //!
 //! The adapter is simply `impl Preconditioner for UlvFactorization`: one
 //! application is one [`UlvFactorization::solve`].
+//!
+//! The same trade licenses the mixed-precision store: a factorization
+//! demoted with [`UlvFactorization::to_f32`] applies the preconditioner
+//! entirely in f32 (the f64 residual is rounded once on entry and the
+//! result accumulates back to f64 at the leaf boundary), halving the
+//! memory traffic of the hot apply loop, while PCG keeps iterating in f64
+//! on the exact operator. The demotion error behaves like extra
+//! compression looseness: a few more iterations, the same final accuracy.
 
 use crate::UlvFactorization;
 use hkrr_linalg::iterative::Preconditioner;
@@ -99,6 +107,38 @@ mod tests {
             .sqrt();
         let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(err / bnorm <= 1e-9, "residual {}", err / bnorm);
+    }
+
+    #[test]
+    fn f32_preconditioner_converges_to_the_same_answer() {
+        let (km, lambda, ulv) = setup(300, 1e-1);
+        let shifted = ShiftedOperator::new(&km, lambda);
+        let mut rng = Pcg64::seed_from_u64(5);
+        let b: Vec<f64> = (0..300).map(|_| rng.next_gaussian()).collect();
+        let opts = PcgOptions {
+            tolerance: 1e-10,
+            max_iterations: 600,
+        };
+        let f64_run = pcg(&shifted, &b, &ulv, &opts).unwrap();
+        let demoted = ulv.to_f32();
+        let f32_run = pcg(&shifted, &b, &demoted, &opts).unwrap();
+        assert!(f32_run.converged, "history {:?}", f32_run.residual_history);
+        // Demotion error acts like extra looseness: bounded iteration
+        // growth, identical final accuracy (both hit the same tolerance on
+        // the same exact operator).
+        assert!(
+            f32_run.iterations <= f64_run.iterations + f64_run.iterations / 2 + 2,
+            "f32 factors {} vs f64 factors {} iterations",
+            f32_run.iterations,
+            f64_run.iterations
+        );
+        let max_diff = f64_run
+            .x
+            .iter()
+            .zip(f32_run.x.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(max_diff < 1e-7, "solution drift {max_diff}");
     }
 
     #[test]

@@ -15,13 +15,75 @@
 //! sequential schedule naturally. Per-node arithmetic is identical to the
 //! sequential order, so factors are bitwise reproducible across thread
 //! counts.
+//!
+//! # Mixed-precision factor store
+//!
+//! Factorization always runs in f64, but the *stored* factors are a
+//! [`FactorPrecision`]-parametric store: [`UlvFactorization::to_f32`]
+//! demotes every per-node solve-path block (transforms, coupling blocks,
+//! eliminated LUs) to f32 and drops the factorization-only blocks
+//! (`dtilde`, `uhat`) entirely — the solve sweeps never read them. Only
+//! the tiny, globally coupled root LU stays f64. That more than halves
+//! factor memory and memory bandwidth in the preconditioner-apply loop,
+//! which the paper's tolerance-vs-accuracy study licenses when the
+//! factorization is used only as a PCG preconditioner on the exact
+//! operator (see [`crate::precond`]).
+//!
+//! The demoted sweep reads f32 storage but computes in f64 through the
+//! widened kernels of the seam
+//! ([`hkrr_linalg::DenseBackendF32::gemv_f64`] and friends), so the apply
+//! stays an exact *linear* operator — the property CG's recurrences rest
+//! on; only the factors' one-time storage rounding separates it from the
+//! f64 preconditioner.
 
 use crate::HssMatrix;
 use hkrr_clustering::ClusterTree;
 use hkrr_linalg::lu::{lu, Lu};
 use hkrr_linalg::qr::full_qr;
-use hkrr_linalg::{blas, dense_backend, LinalgError, LinalgResult, Matrix};
+use hkrr_linalg::{
+    active_f32, blas, dense_backend, LinalgError, LinalgResult, LuF32, Matrix, MatrixF32,
+};
 use rayon::prelude::*;
+
+/// Storage precision of a ULV factor store.
+///
+/// `F64` is the precision factors are *computed* in and the default the
+/// whole pipeline is bitwise-pinned on; `F32` is the demoted store produced
+/// by [`UlvFactorization::to_f32`], intended for the preconditioner role
+/// where the outer f64 iteration absorbs the demotion error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactorPrecision {
+    /// Double-precision factors (the default; bitwise-pinned behavior).
+    F64,
+    /// Single-precision factors: half the memory and bandwidth per apply.
+    F32,
+}
+
+impl FactorPrecision {
+    /// Stable lowercase name (`"f64"` / `"f32"`), used by config parsing,
+    /// the codec info output and metric labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FactorPrecision::F64 => "f64",
+            FactorPrecision::F32 => "f32",
+        }
+    }
+
+    /// Parses a precision name (case-insensitive).
+    pub fn parse(name: &str) -> Option<FactorPrecision> {
+        match name.to_ascii_lowercase().as_str() {
+            "f64" => Some(FactorPrecision::F64),
+            "f32" => Some(FactorPrecision::F32),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FactorPrecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Off-diagonal coupling block `(U₁ · B) · U₂ᵀ` through the dense backend,
 /// without materializing `U₂ᵀ`.
@@ -58,18 +120,177 @@ pub struct UlvNodeFactor {
     pub uhat: Matrix,
 }
 
+/// Per-node data of a demoted (f32) factor store.
+///
+/// Deliberately narrower than [`UlvNodeFactor`]: `dtilde` and `uhat` exist
+/// only to build the *parent* during factorization, which always runs in
+/// f64 — a demoted store is solve-only, so they are dropped rather than
+/// demoted.
+#[derive(Debug, Clone)]
+pub struct UlvNodeFactorF32 {
+    /// Orthogonal transform `W` demoted to f32.
+    pub w: MatrixF32,
+    /// Number of eliminated unknowns (`m - rank`).
+    pub elim: usize,
+    /// HSS rank of the node.
+    pub rank: usize,
+    /// Demoted LU of the leading `elim x elim` block.
+    pub d11_lu: Option<LuF32>,
+    /// Top-right coupling block, demoted.
+    pub d12: MatrixF32,
+    /// Bottom-left coupling block, demoted.
+    pub d21: MatrixF32,
+}
+
+impl UlvNodeFactorF32 {
+    /// Demotes one node factor entrywise, dropping the
+    /// factorization-only blocks.
+    pub fn from_f64(f: &UlvNodeFactor) -> Self {
+        UlvNodeFactorF32 {
+            w: MatrixF32::from_f64(&f.w),
+            elim: f.elim,
+            rank: f.rank,
+            d11_lu: f.d11_lu.as_ref().map(LuF32::from_lu),
+            d12: MatrixF32::from_f64(&f.d12),
+            d21: MatrixF32::from_f64(&f.d21),
+        }
+    }
+}
+
+/// The precision-parametric factor storage behind [`UlvFactorization`].
+#[derive(Debug, Clone)]
+enum FactorStore {
+    F64 {
+        factors: Vec<Option<UlvNodeFactor>>,
+        root_lu: Lu,
+    },
+    /// Demoted per-node factors with the root LU kept in f64: the root
+    /// system carries the factorization's *global* coupling (and hence its
+    /// worst conditioning), but is only `rank(c1)+rank(c2)` square —
+    /// negligible memory next to the per-node blocks. Rounding it to f32
+    /// measurably degrades the preconditioner; keeping it costs nothing.
+    F32 {
+        factors: Vec<Option<UlvNodeFactorF32>>,
+        root_lu: Lu,
+    },
+}
+
 /// A ULV factorization of an [`HssMatrix`]; reusable for many right-hand
 /// sides.
+///
+/// Always *computed* in f64; optionally *stored* in f32 via
+/// [`UlvFactorization::to_f32`] (see the module docs). Every solve entry
+/// point dispatches on [`UlvFactorization::precision`] internally, so
+/// callers — including the [`crate::precond`] adapter — never branch.
 #[derive(Debug, Clone)]
 pub struct UlvFactorization {
     tree: ClusterTree,
-    factors: Vec<Option<UlvNodeFactor>>,
-    root_lu: Lu,
+    store: FactorStore,
     n: usize,
 }
 
+/// Shape summary of one stored node factor, shared by the f64 and f32
+/// deserialization validators.
+struct PartShape {
+    elim: usize,
+    rank: usize,
+    w: (usize, usize),
+    d11_dim: Option<usize>,
+    d12: (usize, usize),
+    d21: (usize, usize),
+    /// Whether precision-specific extra blocks (`dtilde`/`uhat` in f64)
+    /// also carry their expected shapes.
+    extra_ok: bool,
+}
+
+/// Validates the structural consistency of deserialized factor parts
+/// against the tree, so a corrupted file cannot produce an out-of-bounds
+/// solve. Returns the system dimension.
+fn validate_parts(
+    tree: &ClusterTree,
+    shapes: &[Option<PartShape>],
+    root_lu_dim: usize,
+) -> Result<usize, crate::construct::HssError> {
+    use crate::construct::HssError;
+    tree.validate().map_err(HssError::DimensionMismatch)?;
+    if shapes.len() != tree.num_nodes() {
+        return Err(HssError::DimensionMismatch(format!(
+            "{} node factors for a {}-node tree",
+            shapes.len(),
+            tree.num_nodes()
+        )));
+    }
+    let n = tree.root_size();
+    let root = tree.root();
+    if tree.num_nodes() == 1 {
+        if root_lu_dim != n {
+            return Err(HssError::DimensionMismatch(format!(
+                "single-node root LU is {root_lu_dim}x{root_lu_dim}, matrix is {n}x{n}"
+            )));
+        }
+        return Ok(n);
+    }
+    for (id, s) in shapes.iter().enumerate() {
+        if id == root {
+            continue;
+        }
+        let s = s.as_ref().ok_or_else(|| {
+            HssError::DimensionMismatch(format!("non-root node {id} is missing its factor"))
+        })?;
+        let m = s.elim + s.rank;
+        if s.w != (m, m) {
+            return Err(HssError::DimensionMismatch(format!(
+                "node {id}: transform is {}x{}, expected {m}x{m}",
+                s.w.0, s.w.1
+            )));
+        }
+        // The block size must also agree with what the solve sweeps feed
+        // this node: the owned index range at a leaf, the children's
+        // surviving unknowns at an internal node.
+        let node = tree.node(id);
+        let expected_m = if node.is_leaf() {
+            node.size
+        } else {
+            let c1 = node.left.unwrap();
+            let c2 = node.right.unwrap();
+            shapes[c1].as_ref().map_or(0, |s| s.rank) + shapes[c2].as_ref().map_or(0, |s| s.rank)
+        };
+        if m != expected_m {
+            return Err(HssError::DimensionMismatch(format!(
+                "node {id}: factor covers {m} unknowns, the tree supplies {expected_m}"
+            )));
+        }
+        if s.elim > 0 && s.d11_dim != Some(s.elim) {
+            return Err(HssError::DimensionMismatch(format!(
+                "node {id}: eliminated block LU missing or not {0}x{0}",
+                s.elim
+            )));
+        }
+        // Every stored block must carry the shapes the solve sweeps
+        // assume, or a crafted file could panic deep inside a GEMV.
+        let shapes_ok = s.d12 == (s.elim, s.rank) && s.d21 == (s.rank, s.elim) && s.extra_ok;
+        if !shapes_ok {
+            return Err(HssError::DimensionMismatch(format!(
+                "node {id}: factor blocks disagree with elim {} / rank {}",
+                s.elim, s.rank
+            )));
+        }
+    }
+    let root_node = tree.node(root);
+    let (c1, c2) = (root_node.left.unwrap(), root_node.right.unwrap());
+    let expected_root =
+        shapes[c1].as_ref().map_or(0, |s| s.rank) + shapes[c2].as_ref().map_or(0, |s| s.rank);
+    if root_lu_dim != expected_root {
+        return Err(HssError::DimensionMismatch(format!(
+            "root LU is {root_lu_dim}x{root_lu_dim}, children pass up {expected_root} unknowns"
+        )));
+    }
+    Ok(n)
+}
+
 impl UlvFactorization {
-    /// Factors the HSS matrix.
+    /// Factors the HSS matrix (always in f64 — see
+    /// [`UlvFactorization::to_f32`] for the demoted store).
     ///
     /// # Errors
     /// Returns an error when an eliminated block is numerically singular
@@ -90,8 +311,7 @@ impl UlvFactorization {
             let root_lu = lu(d)?;
             return Ok(UlvFactorization {
                 tree,
-                factors,
-                root_lu,
+                store: FactorStore::F64 { factors, root_lu },
                 n,
             });
         }
@@ -165,14 +385,13 @@ impl UlvFactorization {
 
         Ok(UlvFactorization {
             tree,
-            factors,
-            root_lu,
+            store: FactorStore::F64 { factors, root_lu },
             n,
         })
     }
 
-    /// Rebuilds a factorization from its stored parts — the inverse of the
-    /// [`UlvFactorization::tree`] / [`UlvFactorization::node_factors`] /
+    /// Rebuilds an f64 factorization from its stored parts — the inverse of
+    /// the [`UlvFactorization::tree`] / [`UlvFactorization::node_factors`] /
     /// [`UlvFactorization::root_lu`] accessors — so a persisted model skips
     /// re-factorization entirely on reload. Structural consistency with the
     /// tree is validated; the numerical content is trusted as-is.
@@ -181,102 +400,96 @@ impl UlvFactorization {
         factors: Vec<Option<UlvNodeFactor>>,
         root_lu: Lu,
     ) -> Result<Self, crate::construct::HssError> {
-        use crate::construct::HssError;
-        tree.validate().map_err(HssError::DimensionMismatch)?;
-        if factors.len() != tree.num_nodes() {
-            return Err(HssError::DimensionMismatch(format!(
-                "{} node factors for a {}-node tree",
-                factors.len(),
-                tree.num_nodes()
-            )));
-        }
-        let n = tree.root_size();
-        let root = tree.root();
-        if tree.num_nodes() == 1 {
-            if root_lu.dim() != n {
-                return Err(HssError::DimensionMismatch(format!(
-                    "single-node root LU is {}x{0}, matrix is {n}x{n}",
-                    root_lu.dim()
-                )));
-            }
-            return Ok(UlvFactorization {
-                tree,
-                factors,
-                root_lu,
-                n,
-            });
-        }
-        for (id, f) in factors.iter().enumerate() {
-            if id == root {
-                continue;
-            }
-            let f = f.as_ref().ok_or_else(|| {
-                HssError::DimensionMismatch(format!("non-root node {id} is missing its factor"))
-            })?;
-            let m = f.elim + f.rank;
-            if f.w.nrows() != m || f.w.ncols() != m {
-                return Err(HssError::DimensionMismatch(format!(
-                    "node {id}: transform is {}x{}, expected {m}x{m}",
-                    f.w.nrows(),
-                    f.w.ncols()
-                )));
-            }
-            // The block size must also agree with what the solve sweeps
-            // feed this node: the owned index range at a leaf, the
-            // children's surviving unknowns at an internal node.
-            let node = tree.node(id);
-            let expected_m = if node.is_leaf() {
-                node.size
-            } else {
-                let c1 = node.left.unwrap();
-                let c2 = node.right.unwrap();
-                factors[c1].as_ref().map_or(0, |f| f.rank)
-                    + factors[c2].as_ref().map_or(0, |f| f.rank)
-            };
-            if m != expected_m {
-                return Err(HssError::DimensionMismatch(format!(
-                    "node {id}: factor covers {m} unknowns, the tree supplies {expected_m}"
-                )));
-            }
-            if f.elim > 0 && f.d11_lu.as_ref().map(Lu::dim) != Some(f.elim) {
-                return Err(HssError::DimensionMismatch(format!(
-                    "node {id}: eliminated block LU missing or not {0}x{0}",
-                    f.elim
-                )));
-            }
-            // Every stored block must carry the shapes the solve sweeps
-            // assume, or a crafted file could panic deep inside a GEMV.
-            let shapes_ok = f.d12.nrows() == f.elim
-                && f.d12.ncols() == f.rank
-                && f.d21.nrows() == f.rank
-                && f.d21.ncols() == f.elim
-                && f.dtilde.nrows() == f.rank
-                && f.dtilde.ncols() == f.rank
-                && f.uhat.nrows() == f.rank
-                && f.uhat.ncols() == f.rank;
-            if !shapes_ok {
-                return Err(HssError::DimensionMismatch(format!(
-                    "node {id}: factor blocks disagree with elim {} / rank {}",
-                    f.elim, f.rank
-                )));
-            }
-        }
-        let root_node = tree.node(root);
-        let (c1, c2) = (root_node.left.unwrap(), root_node.right.unwrap());
-        let expected_root =
-            factors[c1].as_ref().map_or(0, |f| f.rank) + factors[c2].as_ref().map_or(0, |f| f.rank);
-        if root_lu.dim() != expected_root {
-            return Err(HssError::DimensionMismatch(format!(
-                "root LU is {}x{0}, children pass up {expected_root} unknowns",
-                root_lu.dim()
-            )));
-        }
+        let shapes: Vec<Option<PartShape>> = factors
+            .iter()
+            .map(|f| {
+                f.as_ref().map(|f| PartShape {
+                    elim: f.elim,
+                    rank: f.rank,
+                    w: (f.w.nrows(), f.w.ncols()),
+                    d11_dim: f.d11_lu.as_ref().map(Lu::dim),
+                    d12: (f.d12.nrows(), f.d12.ncols()),
+                    d21: (f.d21.nrows(), f.d21.ncols()),
+                    extra_ok: f.dtilde.nrows() == f.rank
+                        && f.dtilde.ncols() == f.rank
+                        && f.uhat.nrows() == f.rank
+                        && f.uhat.ncols() == f.rank,
+                })
+            })
+            .collect();
+        let n = validate_parts(&tree, &shapes, root_lu.dim())?;
         Ok(UlvFactorization {
             tree,
-            factors,
-            root_lu,
+            store: FactorStore::F64 { factors, root_lu },
             n,
         })
+    }
+
+    /// Rebuilds a demoted (f32) factorization from stored parts, with the
+    /// same structural validation as [`UlvFactorization::from_parts`]. The
+    /// root LU stays f64 in a demoted store (see
+    /// [`UlvFactorization::root_lu`]).
+    pub fn from_parts_f32(
+        tree: ClusterTree,
+        factors: Vec<Option<UlvNodeFactorF32>>,
+        root_lu: Lu,
+    ) -> Result<Self, crate::construct::HssError> {
+        let shapes: Vec<Option<PartShape>> = factors
+            .iter()
+            .map(|f| {
+                f.as_ref().map(|f| PartShape {
+                    elim: f.elim,
+                    rank: f.rank,
+                    w: (f.w.nrows(), f.w.ncols()),
+                    d11_dim: f.d11_lu.as_ref().map(LuF32::dim),
+                    d12: (f.d12.nrows(), f.d12.ncols()),
+                    d21: (f.d21.nrows(), f.d21.ncols()),
+                    extra_ok: true,
+                })
+            })
+            .collect();
+        let n = validate_parts(&tree, &shapes, root_lu.dim())?;
+        Ok(UlvFactorization {
+            tree,
+            store: FactorStore::F32 { factors, root_lu },
+            n,
+        })
+    }
+
+    /// Demotes the factor store to f32 (idempotent).
+    ///
+    /// Every per-node solve-path block is rounded entrywise; the
+    /// factorization-only `dtilde`/`uhat` blocks are dropped (see
+    /// [`UlvNodeFactorF32`]), so the demoted store is solve-only. The tiny
+    /// root LU is kept in f64 — it holds the globally coupled (worst
+    /// conditioned) part of the system and rounding it costs Krylov
+    /// iterations for no measurable memory (see
+    /// [`UlvFactorization::root_lu`]). The tree and all structural
+    /// metadata are unchanged.
+    pub fn to_f32(self) -> Self {
+        let store = match self.store {
+            FactorStore::F32 { .. } => self.store,
+            FactorStore::F64 { factors, root_lu } => FactorStore::F32 {
+                factors: factors
+                    .iter()
+                    .map(|f| f.as_ref().map(UlvNodeFactorF32::from_f64))
+                    .collect(),
+                root_lu,
+            },
+        };
+        UlvFactorization {
+            tree: self.tree,
+            store,
+            n: self.n,
+        }
+    }
+
+    /// Storage precision of the factor store.
+    pub fn precision(&self) -> FactorPrecision {
+        match self.store {
+            FactorStore::F64 { .. } => FactorPrecision::F64,
+            FactorStore::F32 { .. } => FactorPrecision::F32,
+        }
     }
 
     /// Dimension of the factored matrix.
@@ -289,26 +502,65 @@ impl UlvFactorization {
         &self.tree
     }
 
-    /// Per-node factors, indexed by cluster-tree node id (`None` at the
+    /// Per-node f64 factors, indexed by cluster-tree node id (`None` at the
     /// root, whose block lives in [`UlvFactorization::root_lu`], and for a
     /// single-node tree).
+    ///
+    /// # Panics
+    /// Panics on a demoted store — branch on
+    /// [`UlvFactorization::precision`] and use
+    /// [`UlvFactorization::node_factors_f32`] there.
     pub fn node_factors(&self) -> &[Option<UlvNodeFactor>] {
-        &self.factors
+        match &self.store {
+            FactorStore::F64 { factors, .. } => factors,
+            FactorStore::F32 { .. } => panic!("node_factors() on an f32 factor store"),
+        }
     }
 
-    /// The dense LU factor of the root system.
+    /// The dense f64 LU factor of the root system — present at *both*
+    /// precisions: a demoted store keeps its root in f64 because the root
+    /// carries the factorization's global coupling (its worst
+    /// conditioning) yet is only `rank(c1)+rank(c2)` square, so demoting
+    /// it would cost Krylov iterations for no measurable memory.
     pub fn root_lu(&self) -> &Lu {
-        &self.root_lu
+        match &self.store {
+            FactorStore::F64 { root_lu, .. } => root_lu,
+            FactorStore::F32 { root_lu, .. } => root_lu,
+        }
     }
 
-    /// Solves `A x = b`.
+    /// Per-node f32 factors of a demoted store.
+    ///
+    /// # Panics
+    /// Panics on an f64 store — branch on [`UlvFactorization::precision`].
+    pub fn node_factors_f32(&self) -> &[Option<UlvNodeFactorF32>] {
+        match &self.store {
+            FactorStore::F32 { factors, .. } => factors,
+            FactorStore::F64 { .. } => panic!("node_factors_f32() on an f64 factor store"),
+        }
+    }
+
+    /// Solves `A x = b`, dispatching on the store precision.
     pub fn solve(&self, b: &[f64]) -> LinalgResult<Vec<f64>> {
         assert_eq!(b.len(), self.n, "UlvFactorization::solve: rhs length");
+        match &self.store {
+            FactorStore::F64 { factors, root_lu } => self.solve_f64(b, factors, root_lu),
+            FactorStore::F32 { factors, root_lu } => self.solve_f32(b, factors, root_lu),
+        }
+    }
+
+    /// The historical f64 sweep — bitwise identical to the pre-seam solve.
+    fn solve_f64(
+        &self,
+        b: &[f64],
+        factors: &[Option<UlvNodeFactor>],
+        root_lu: &Lu,
+    ) -> LinalgResult<Vec<f64>> {
         let tree = &self.tree;
         let root = tree.root();
 
         if tree.num_nodes() == 1 {
-            return self.root_lu.solve(b);
+            return root_lu.solve(b);
         }
 
         let post = tree.postorder();
@@ -321,7 +573,7 @@ impl UlvFactorization {
                 continue;
             }
             let node = tree.node(id);
-            let f = self.factors[id].as_ref().unwrap();
+            let f = factors[id].as_ref().unwrap();
             let b_local: Vec<f64> = if node.is_leaf() {
                 b[node.range()].to_vec()
             } else {
@@ -358,11 +610,11 @@ impl UlvFactorization {
             .chain(btilde[c2].iter())
             .copied()
             .collect();
-        let w_root = self.root_lu.solve(&b_root)?;
+        let w_root = root_lu.solve(&b_root)?;
 
         // Downward sweep: recover the eliminated unknowns.
         let mut w2: Vec<Vec<f64>> = vec![Vec::new(); tree.num_nodes()];
-        let k1 = self.factors[c1].as_ref().unwrap().rank;
+        let k1 = factors[c1].as_ref().unwrap().rank;
         w2[c1] = w_root[..k1].to_vec();
         w2[c2] = w_root[k1..].to_vec();
 
@@ -372,7 +624,7 @@ impl UlvFactorization {
                 continue;
             }
             let node = tree.node(id);
-            let f = self.factors[id].as_ref().unwrap();
+            let f = factors[id].as_ref().unwrap();
             let w2_i = &w2[id];
             debug_assert_eq!(w2_i.len(), f.rank, "missing skeleton solution");
             let w1 = if f.elim > 0 {
@@ -394,7 +646,127 @@ impl UlvFactorization {
             } else {
                 let cl = node.left.unwrap();
                 let cr = node.right.unwrap();
-                let kl = self.factors[cl].as_ref().unwrap().rank;
+                let kl = factors[cl].as_ref().unwrap().rank;
+                w2[cl] = v[..kl].to_vec();
+                w2[cr] = v[kl..].to_vec();
+            }
+        }
+        Ok(x)
+    }
+
+    /// The demoted sweep: the same operation sequence as [`Self::solve_f64`]
+    /// with every per-node block read from f32 storage but **all
+    /// arithmetic in f64** through the widened kernels of the
+    /// [`active_f32`] seam (`gemv_f64` / `gemv_t_f64` /
+    /// [`LuF32::solve_f64`]); the root system solves through its retained
+    /// f64 LU.
+    ///
+    /// Computing this way matters for the PCG on top: the apply is then the
+    /// exact f64 ULV solve of the f32-*rounded* factorization — a fixed
+    /// linear operator whose distance from the f64 preconditioner is the
+    /// factors' one-time storage rounding, which behaves like a slightly
+    /// looser compression (a few extra iterations). Carrying the sweep
+    /// vectors in f32 instead makes every apply nonlinear at the 1e-7
+    /// level, which breaks CG's recurrences and costs several times more
+    /// iterations on ill-conditioned systems.
+    fn solve_f32(
+        &self,
+        b: &[f64],
+        factors: &[Option<UlvNodeFactorF32>],
+        root_lu: &Lu,
+    ) -> LinalgResult<Vec<f64>> {
+        let tree = &self.tree;
+        let root = tree.root();
+        let be = active_f32();
+
+        if tree.num_nodes() == 1 {
+            return root_lu.solve(b);
+        }
+
+        let post = tree.postorder();
+
+        // Upward sweep.
+        let mut b1_store: Vec<Vec<f64>> = vec![Vec::new(); tree.num_nodes()];
+        let mut btilde: Vec<Vec<f64>> = vec![Vec::new(); tree.num_nodes()];
+        for &id in &post {
+            if id == root {
+                continue;
+            }
+            let node = tree.node(id);
+            let f = factors[id].as_ref().unwrap();
+            let b_local: Vec<f64> = if node.is_leaf() {
+                b[node.range()].to_vec()
+            } else {
+                let c1 = node.left.unwrap();
+                let c2 = node.right.unwrap();
+                btilde[c1]
+                    .iter()
+                    .chain(btilde[c2].iter())
+                    .copied()
+                    .collect()
+            };
+            let mut bprime = vec![0.0f64; b_local.len()];
+            be.gemv_t_f64(&f.w, &b_local, &mut bprime);
+            let b1 = bprime[..f.elim].to_vec();
+            let b2 = bprime[f.elim..].to_vec();
+            let reduced = if f.elim > 0 {
+                let y1 = f.d11_lu.as_ref().unwrap().solve_f64(&b1)?;
+                let mut corr = vec![0.0f64; f.rank];
+                be.gemv_f64(&f.d21, &y1, &mut corr);
+                b2.iter().zip(corr.iter()).map(|(a, c)| a - c).collect()
+            } else {
+                b2
+            };
+            b1_store[id] = b1;
+            btilde[id] = reduced;
+        }
+
+        // Root solve.
+        let root_node = tree.node(root);
+        let c1 = root_node.left.unwrap();
+        let c2 = root_node.right.unwrap();
+        let b_root: Vec<f64> = btilde[c1]
+            .iter()
+            .chain(btilde[c2].iter())
+            .copied()
+            .collect();
+        let w_root = root_lu.solve(&b_root)?;
+
+        // Downward sweep.
+        let mut w2: Vec<Vec<f64>> = vec![Vec::new(); tree.num_nodes()];
+        let k1 = factors[c1].as_ref().unwrap().rank;
+        w2[c1] = w_root[..k1].to_vec();
+        w2[c2] = w_root[k1..].to_vec();
+
+        let mut x = vec![0.0f64; self.n];
+        for &id in post.iter().rev() {
+            if id == root {
+                continue;
+            }
+            let node = tree.node(id);
+            let f = factors[id].as_ref().unwrap();
+            let w2_i = &w2[id];
+            debug_assert_eq!(w2_i.len(), f.rank, "missing skeleton solution");
+            let w1 = if f.elim > 0 {
+                let mut rhs = b1_store[id].clone();
+                let mut corr = vec![0.0f64; f.elim];
+                be.gemv_f64(&f.d12, w2_i, &mut corr);
+                for (r, c) in rhs.iter_mut().zip(corr.iter()) {
+                    *r -= c;
+                }
+                f.d11_lu.as_ref().unwrap().solve_f64(&rhs)?
+            } else {
+                Vec::new()
+            };
+            let w_full: Vec<f64> = w1.iter().chain(w2_i.iter()).copied().collect();
+            if node.is_leaf() {
+                be.gemv_f64(&f.w, &w_full, &mut x[node.range()]);
+            } else {
+                let mut v = vec![0.0f64; w_full.len()];
+                be.gemv_f64(&f.w, &w_full, &mut v);
+                let cl = node.left.unwrap();
+                let cr = node.right.unwrap();
+                let kl = factors[cl].as_ref().unwrap().rank;
                 w2[cl] = v[..kl].to_vec();
                 w2[cr] = v[kl..].to_vec();
             }
@@ -419,21 +791,42 @@ impl UlvFactorization {
     }
 
     /// Memory used by the stored factors, in bytes.
+    ///
+    /// An f32 store reports less than half the f64 figure: every block is
+    /// half-width *and* the factorization-only `dtilde`/`uhat` blocks are
+    /// gone.
     pub fn memory_bytes(&self) -> usize {
-        let node_mem: usize = self
-            .factors
-            .iter()
-            .flatten()
-            .map(|f| {
-                f.w.memory_bytes()
-                    + f.d12.memory_bytes()
-                    + f.d21.memory_bytes()
-                    + f.dtilde.memory_bytes()
-                    + f.uhat.memory_bytes()
-                    + f.elim * f.elim * std::mem::size_of::<f64>()
-            })
-            .sum();
-        node_mem + self.root_lu.dim() * self.root_lu.dim() * std::mem::size_of::<f64>()
+        match &self.store {
+            FactorStore::F64 { factors, root_lu } => {
+                let node_mem: usize = factors
+                    .iter()
+                    .flatten()
+                    .map(|f| {
+                        f.w.memory_bytes()
+                            + f.d12.memory_bytes()
+                            + f.d21.memory_bytes()
+                            + f.dtilde.memory_bytes()
+                            + f.uhat.memory_bytes()
+                            + f.elim * f.elim * std::mem::size_of::<f64>()
+                    })
+                    .sum();
+                node_mem + root_lu.dim() * root_lu.dim() * std::mem::size_of::<f64>()
+            }
+            FactorStore::F32 { factors, root_lu } => {
+                let node_mem: usize = factors
+                    .iter()
+                    .flatten()
+                    .map(|f| {
+                        f.w.memory_bytes()
+                            + f.d12.memory_bytes()
+                            + f.d21.memory_bytes()
+                            + f.elim * f.elim * std::mem::size_of::<f32>()
+                    })
+                    .sum();
+                // The root LU stays f64 in a demoted store.
+                node_mem + root_lu.dim() * root_lu.dim() * std::mem::size_of::<f64>()
+            }
+        }
     }
 }
 
@@ -705,5 +1098,104 @@ mod tests {
         let f = UlvFactorization::factor(&hss).unwrap();
         assert!(f.memory_bytes() > 0);
         assert_eq!(f.dim(), 96);
+    }
+
+    #[test]
+    fn precision_parsing_roundtrips() {
+        for p in [FactorPrecision::F64, FactorPrecision::F32] {
+            assert_eq!(FactorPrecision::parse(p.as_str()), Some(p));
+            assert_eq!(
+                FactorPrecision::parse(&p.to_string().to_uppercase()),
+                Some(p)
+            );
+        }
+        assert_eq!(FactorPrecision::parse("f16"), None);
+    }
+
+    #[test]
+    fn demoted_store_halves_memory_and_solves_close_to_f64() {
+        let (_, hss) = build_shifted(192, 0.08, 2.0, 1e-6);
+        let f = UlvFactorization::factor(&hss).unwrap();
+        assert_eq!(f.precision(), FactorPrecision::F64);
+        let bytes_f64 = f.memory_bytes();
+        let mut rng = Pcg64::seed_from_u64(31);
+        let b: Vec<f64> = (0..192).map(|_| rng.next_gaussian()).collect();
+        let x64 = f.solve(&b).unwrap();
+        let f32f = f.to_f32();
+        assert_eq!(f32f.precision(), FactorPrecision::F32);
+        assert_eq!(f32f.dim(), 192);
+        // Half-width blocks plus dropped dtilde/uhat: well under 50%.
+        assert!(
+            f32f.memory_bytes() * 2 <= bytes_f64,
+            "f32 store {} vs f64 store {bytes_f64}",
+            f32f.memory_bytes()
+        );
+        let x32 = f32f.solve(&b).unwrap();
+        let num: f64 = x64
+            .iter()
+            .zip(x32.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        let den = blas::nrm2(&x64);
+        assert!(num / den < 1e-4, "relative demotion error {}", num / den);
+    }
+
+    #[test]
+    fn to_f32_is_idempotent() {
+        let (_, hss) = build_shifted(96, 0.1, 1.0, 1e-6);
+        let f32f = UlvFactorization::factor(&hss).unwrap().to_f32();
+        let b: Vec<f64> = (0..96).map(|i| (i as f64 * 0.3).sin()).collect();
+        let once = f32f.solve(&b).unwrap();
+        let twice = f32f.clone().to_f32().solve(&b).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn f32_single_block_matrix_solves() {
+        let (a, hss) = build_shifted(12, 0.3, 1.0, 1e-8);
+        assert_eq!(hss.tree().num_nodes(), 1);
+        let f = UlvFactorization::factor(&hss).unwrap().to_f32();
+        let b: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let x = f.solve(&b).unwrap();
+        let x_ref = cholesky::solve_spd(&a, &b).unwrap();
+        for (a, b) in x.iter().zip(x_ref.iter()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn from_parts_f32_roundtrips_solve_bitwise() {
+        let (_, hss) = build_shifted(160, 0.08, 1.5, 1e-6);
+        let f = UlvFactorization::factor(&hss).unwrap().to_f32();
+        let rebuilt = UlvFactorization::from_parts_f32(
+            f.tree().clone(),
+            f.node_factors_f32().to_vec(),
+            f.root_lu().clone(),
+        )
+        .unwrap();
+        let mut rng = Pcg64::seed_from_u64(23);
+        let b: Vec<f64> = (0..160).map(|_| rng.next_gaussian()).collect();
+        assert_eq!(f.solve(&b).unwrap(), rebuilt.solve(&b).unwrap());
+        assert_eq!(rebuilt.precision(), FactorPrecision::F32);
+        assert_eq!(rebuilt.memory_bytes(), f.memory_bytes());
+    }
+
+    #[test]
+    fn from_parts_f32_rejects_inconsistent_factors() {
+        let (_, hss) = build_shifted(96, 0.1, 1.0, 1e-6);
+        let f = UlvFactorization::factor(&hss).unwrap().to_f32();
+        let mut short = f.node_factors_f32().to_vec();
+        short.pop();
+        assert!(
+            UlvFactorization::from_parts_f32(f.tree().clone(), short, f.root_lu().clone()).is_err()
+        );
+        let bad_root = lu(&Matrix::identity(1)).unwrap();
+        assert!(UlvFactorization::from_parts_f32(
+            f.tree().clone(),
+            f.node_factors_f32().to_vec(),
+            bad_root
+        )
+        .is_err());
     }
 }

@@ -1,0 +1,614 @@
+//! Single-precision sibling of the [`DenseBackend`](super::DenseBackend)
+//! seam — the kernels the mixed-precision factor-apply path needs.
+//!
+//! The f64 trait stayed `f64`-only by design (its module docs promised an
+//! f32 factor store would "slot in without touching call sites"); this is
+//! that slot. [`DenseBackendF32`] carries exactly the operations the ULV
+//! apply path and its tests use — GEMM, GEMV in both orientations,
+//! triangular solves — plus the mixed-precision GEMVs where
+//! single-precision factors meet the double-precision PCG vectors: the
+//! `f32 → f64` accumulating variant and the widened `gemv_f64` /
+//! `gemv_t_f64` pair (f32 storage, all arithmetic in f64) that keep the
+//! factor-apply an exact linear operator.
+//!
+//! Three implementations mirror the f64 seam and are selected by the *same*
+//! `HKRR_DENSE_BACKEND` choice (see [`super::active_kind`]): a scalar
+//! reference, a portable register-tiled kernel, and an AVX2+FMA kernel
+//! (8 f32 lanes per ymm — twice the width of the f64 microkernel, on half
+//! the memory traffic). Only `gemm_into` differs between them: the GEMV and
+//! TRSM paths share one scalar implementation, so the ULV f32 *solve* is
+//! bitwise identical across backends at any thread count, and only the
+//! (test-exercised) level-3 products are merely accuracy-bounded.
+
+use super::BackendKind;
+use crate::matrix_f32::MatrixF32;
+use crate::{LinalgError, LinalgResult};
+use rayon::prelude::*;
+
+/// In-place single-precision dense kernels for the factor-apply path.
+///
+/// All `*_into` methods **overwrite** their output argument; dimension
+/// mismatches panic, matching the f64 seam's contract.
+pub trait DenseBackendF32: Send + Sync {
+    /// Short stable name (`"scalar"`, `"blocked"`, `"avx2"`).
+    fn name(&self) -> &'static str;
+
+    /// `C = A · B` with `A` being `m×k`, `B` `k×n` and `C` `m×n`, all f32.
+    fn gemm_into(&self, a: &MatrixF32, b: &MatrixF32, c: &mut MatrixF32);
+
+    /// Matrix-vector product `y = A x` in f32.
+    ///
+    /// Shared scalar implementation (ascending-`j` dot per row): bitwise
+    /// identical across backends.
+    fn gemv(&self, a: &MatrixF32, x: &[f32], y: &mut [f32]) {
+        check_gemv_f32(a, x, y);
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = dot_f32(a.row(i), x);
+        }
+    }
+
+    /// Transposed matrix-vector product `y = Aᵀ x` in f32.
+    ///
+    /// Shared scalar implementation (zero, then ascending-row axpy):
+    /// bitwise identical across backends.
+    fn gemv_t(&self, a: &MatrixF32, x: &[f32], y: &mut [f32]) {
+        assert_eq!(a.nrows(), x.len(), "gemv_t f32: A.nrows != x.len");
+        assert_eq!(a.ncols(), y.len(), "gemv_t f32: A.ncols != y.len");
+        for yi in y.iter_mut() {
+            *yi = 0.0;
+        }
+        for i in 0..a.nrows() {
+            let xi = x[i];
+            for (yj, aij) in y.iter_mut().zip(a.row(i).iter()) {
+                *yj += xi * aij;
+            }
+        }
+    }
+
+    /// Mixed-precision boundary product `y = A x`: each term is formed in
+    /// f32 (one rounding — the factors and vector *are* f32) but the sum
+    /// accumulates in f64, so a long row cannot lose low bits twice.
+    ///
+    /// This is the kernel at the seam where the f32 factor store hands its
+    /// result back to the f64 PCG vectors.
+    fn gemv_into_f64(&self, a: &MatrixF32, x: &[f32], y: &mut [f64]) {
+        assert_eq!(a.ncols(), x.len(), "gemv f32→f64: A.ncols != x.len");
+        assert_eq!(a.nrows(), y.len(), "gemv f32→f64: A.nrows != y.len");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut s = 0.0f64;
+            for (aij, xj) in a.row(i).iter().zip(x.iter()) {
+                s += (aij * xj) as f64;
+            }
+            *yi = s;
+        }
+    }
+
+    /// Widened product `y = A x`: f32-*stored* matrix, f64 vectors, every
+    /// operation in f64 (each `a_ij` is widened in registers).
+    ///
+    /// This is the kernel the mixed-precision ULV apply is built from: the
+    /// factors pay only their one storage rounding, so the whole sweep is
+    /// an exact *linear* f64 operator — exactly what CG's recurrences
+    /// assume of a preconditioner. (Carrying the sweep vectors in f32
+    /// instead makes the apply nonlinear at the 1e-7 level, which costs
+    /// several times more Krylov iterations.)
+    ///
+    /// Shared scalar implementation (ascending-`j` dot per row): bitwise
+    /// identical across backends.
+    fn gemv_f64(&self, a: &MatrixF32, x: &[f64], y: &mut [f64]) {
+        assert_eq!(a.ncols(), x.len(), "gemv f32/f64: A.ncols != x.len");
+        assert_eq!(a.nrows(), y.len(), "gemv f32/f64: A.nrows != y.len");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut s = 0.0f64;
+            for (aij, xj) in a.row(i).iter().zip(x.iter()) {
+                s += *aij as f64 * xj;
+            }
+            *yi = s;
+        }
+    }
+
+    /// Widened transposed product `y = Aᵀ x` — see
+    /// [`DenseBackendF32::gemv_f64`].
+    ///
+    /// Shared scalar implementation (zero, then ascending-row axpy):
+    /// bitwise identical across backends.
+    fn gemv_t_f64(&self, a: &MatrixF32, x: &[f64], y: &mut [f64]) {
+        assert_eq!(a.nrows(), x.len(), "gemv_t f32/f64: A.nrows != x.len");
+        assert_eq!(a.ncols(), y.len(), "gemv_t f32/f64: A.ncols != y.len");
+        for yi in y.iter_mut() {
+            *yi = 0.0;
+        }
+        for i in 0..a.nrows() {
+            let xi = x[i];
+            for (yj, aij) in y.iter_mut().zip(a.row(i).iter()) {
+                *yj += xi * *aij as f64;
+            }
+        }
+    }
+
+    /// In-place forward substitution `B ← L⁻¹ B` for lower-triangular `L`.
+    ///
+    /// Shared scalar row sweep; returns
+    /// [`LinalgError::Singular`] on a zero diagonal entry.
+    fn trsm_lower_into(&self, l: &MatrixF32, b: &mut MatrixF32) -> LinalgResult<()> {
+        trsm_lower_rowsweep_f32(l, b)
+    }
+
+    /// In-place backward substitution `B ← U⁻¹ B` for upper-triangular `U`.
+    ///
+    /// Shared scalar row sweep; returns
+    /// [`LinalgError::Singular`] on a zero diagonal entry.
+    fn trsm_upper_into(&self, u: &MatrixF32, b: &mut MatrixF32) -> LinalgResult<()> {
+        trsm_upper_rowsweep_f32(u, b)
+    }
+}
+
+/// f32 dot product with ascending-index accumulation (the reference order).
+pub(crate) fn dot_f32(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut s = 0.0f32;
+    for (a, b) in x.iter().zip(y.iter()) {
+        s += a * b;
+    }
+    s
+}
+
+fn check_gemv_f32(a: &MatrixF32, x: &[f32], y: &[f32]) {
+    assert_eq!(a.ncols(), x.len(), "gemv f32: A.ncols != x.len");
+    assert_eq!(a.nrows(), y.len(), "gemv f32: A.nrows != y.len");
+}
+
+pub(crate) fn check_gemm_f32(a: &MatrixF32, b: &MatrixF32, c: &MatrixF32) {
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "gemm f32: inner dimensions do not match ({}x{} * {}x{})",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols()
+    );
+    assert_eq!(
+        (c.nrows(), c.ncols()),
+        (a.nrows(), b.ncols()),
+        "gemm f32: output shape mismatch"
+    );
+}
+
+fn check_trsm_f32(t: &MatrixF32, b: &MatrixF32) {
+    assert_eq!(
+        t.nrows(),
+        t.ncols(),
+        "trsm f32: triangular factor must be square"
+    );
+    assert_eq!(t.nrows(), b.nrows(), "trsm f32: dim mismatch");
+}
+
+/// Shared f32 row-sweep forward substitution (same operation sequence as
+/// the f64 [`super::trsm_lower_rowsweep`], in single precision).
+pub(crate) fn trsm_lower_rowsweep_f32(l: &MatrixF32, b: &mut MatrixF32) -> LinalgResult<()> {
+    check_trsm_f32(l, b);
+    let n = l.nrows();
+    let r = b.ncols();
+    for i in 0..n {
+        let d = l[(i, i)];
+        if d == 0.0 {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        for j in 0..i {
+            let lij = l[(i, j)];
+            let (done, rest) = b.data_mut().split_at_mut(i * r);
+            let bj = &done[j * r..(j + 1) * r];
+            let bi = &mut rest[..r];
+            for (bic, bjc) in bi.iter_mut().zip(bj.iter()) {
+                *bic -= lij * bjc;
+            }
+        }
+        for v in b.row_mut(i) {
+            *v /= d;
+        }
+    }
+    Ok(())
+}
+
+/// Shared f32 row-sweep backward substitution (see
+/// [`trsm_lower_rowsweep_f32`]).
+pub(crate) fn trsm_upper_rowsweep_f32(u: &MatrixF32, b: &mut MatrixF32) -> LinalgResult<()> {
+    check_trsm_f32(u, b);
+    let n = u.nrows();
+    let r = b.ncols();
+    for i in (0..n).rev() {
+        let d = u[(i, i)];
+        if d == 0.0 {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        for j in (i + 1)..n {
+            let uij = u[(i, j)];
+            let (head, tail) = b.data_mut().split_at_mut(j * r);
+            let bi = &mut head[i * r..(i + 1) * r];
+            let bj = &tail[..r];
+            for (bic, bjc) in bi.iter_mut().zip(bj.iter()) {
+                *bic -= uij * bjc;
+            }
+        }
+        for v in b.row_mut(i) {
+            *v /= d;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference.
+// ---------------------------------------------------------------------------
+
+pub(crate) static SCALAR_F32: ScalarBackendF32 = ScalarBackendF32;
+
+/// Reference f32 backend: straightforward loops, ascending-`k`
+/// accumulation. The accuracy baseline the other f32 backends are tested
+/// against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarBackendF32;
+
+/// Sequential i-k-j GEMM with ascending-`k` accumulation per output
+/// element (the reference order the tiled kernels reproduce blockwise).
+fn gemm_f32_seq(a: &MatrixF32, b: &MatrixF32, c: &mut MatrixF32) {
+    let n = b.ncols();
+    let kdim = a.ncols();
+    c.data_mut().fill(0.0);
+    for i in 0..a.nrows() {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (k, &aik) in a_row.iter().enumerate().take(kdim) {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b.data()[k * n..(k + 1) * n];
+            for (cj, bj) in c_row.iter_mut().zip(b_row.iter()) {
+                *cj += aik * bj;
+            }
+        }
+    }
+}
+
+impl DenseBackendF32 for ScalarBackendF32 {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn gemm_into(&self, a: &MatrixF32, b: &MatrixF32, c: &mut MatrixF32) {
+        check_gemm_f32(a, b, c);
+        gemm_f32_seq(a, b, c);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable register-tiled backend.
+// ---------------------------------------------------------------------------
+
+pub(crate) static BLOCKED_F32: BlockedBackendF32 = BlockedBackendF32;
+
+/// Portable tiled f32 backend: 4×8 register tiles, rows parallel in
+/// 4-row chunks (each chunk's arithmetic is independent, so results are
+/// bitwise deterministic at any thread count).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockedBackendF32;
+
+/// Below this many `m·k·n` flops the tiled kernel stays sequential.
+const SMALL_WORK_F32: usize = 1 << 18;
+
+/// Register tile width (f32 lanes the autovectorizer can map to one ymm).
+const NR_F32: usize = 8;
+/// Register tile height.
+const MR_F32: usize = 4;
+
+/// Computes `rcount ≤ MR_F32` output rows (starting at global row `i0`)
+/// into `rows` (`rcount × n`, row-major), with 4×8 register tiling on the
+/// full-tile interior and scalar ascending-`k` loops on the fringes.
+fn gemm_f32_tile_rows(rows: &mut [f32], i0: usize, rcount: usize, a: &MatrixF32, b: &MatrixF32) {
+    let n = b.ncols();
+    let kdim = a.ncols();
+    rows.fill(0.0);
+    let n8 = n - n % NR_F32;
+    if rcount == MR_F32 {
+        let mut j = 0;
+        while j < n8 {
+            let mut acc = [[0.0f32; NR_F32]; MR_F32];
+            for k in 0..kdim {
+                let mut bb = [0.0f32; NR_F32];
+                bb.copy_from_slice(&b.data()[k * n + j..k * n + j + NR_F32]);
+                for (r, acc_r) in acc.iter_mut().enumerate() {
+                    let av = a[(i0 + r, k)];
+                    for (al, bl) in acc_r.iter_mut().zip(bb.iter()) {
+                        *al += av * bl;
+                    }
+                }
+            }
+            for (r, acc_r) in acc.iter().enumerate() {
+                rows[r * n + j..r * n + j + NR_F32].copy_from_slice(acc_r);
+            }
+            j += NR_F32;
+        }
+    }
+    let j_start = if rcount == MR_F32 { n8 } else { 0 };
+    for r in 0..rcount {
+        let a_row = a.row(i0 + r);
+        for j in j_start..n {
+            let mut s = 0.0f32;
+            for (k, &aik) in a_row.iter().enumerate().take(kdim) {
+                s += aik * b.data()[k * n + j];
+            }
+            rows[r * n + j] = s;
+        }
+    }
+}
+
+/// Tiled GEMM driver shared by the portable and AVX2 f32 backends: splits
+/// `C` into `MR_F32`-row chunks, computed independently (sequentially below
+/// [`SMALL_WORK_F32`], in parallel above it).
+pub(crate) fn gemm_f32_driver<F>(a: &MatrixF32, b: &MatrixF32, c: &mut MatrixF32, tile: F)
+where
+    F: Fn(&mut [f32], usize, usize, &MatrixF32, &MatrixF32) + Sync,
+{
+    let (m, n) = c.shape();
+    let work = m * n * a.ncols();
+    if work < SMALL_WORK_F32 {
+        for i0 in (0..m).step_by(MR_F32) {
+            let rcount = MR_F32.min(m - i0);
+            tile(
+                &mut c.data_mut()[i0 * n..(i0 + rcount) * n],
+                i0,
+                rcount,
+                a,
+                b,
+            );
+        }
+        return;
+    }
+    c.data_mut()
+        .par_chunks_mut(MR_F32 * n)
+        .enumerate()
+        .for_each(|(chunk, rows)| {
+            let i0 = chunk * MR_F32;
+            let rcount = rows.len() / n;
+            tile(rows, i0, rcount, a, b);
+        });
+}
+
+impl DenseBackendF32 for BlockedBackendF32 {
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+
+    fn gemm_into(&self, a: &MatrixF32, b: &MatrixF32, c: &mut MatrixF32) {
+        check_gemm_f32(a, b, c);
+        gemm_f32_driver(a, b, c, gemm_f32_tile_rows);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 backend (microkernel lives in `super::avx2`, the one unsafe file).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) static AVX2_F32: Avx2BackendF32 = Avx2BackendF32;
+
+/// AVX2+FMA f32 backend: 8-lane `_mm256_*_ps` microkernel (see
+/// `backend::avx2`), only handed out when the CPU reports `avx2`+`fma`.
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Avx2BackendF32;
+
+#[cfg(target_arch = "x86_64")]
+impl DenseBackendF32 for Avx2BackendF32 {
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn gemm_into(&self, a: &MatrixF32, b: &MatrixF32, c: &mut MatrixF32) {
+        check_gemm_f32(a, b, c);
+        gemm_f32_driver(a, b, c, super::avx2::gemm_f32_tile_rows_avx2);
+    }
+}
+
+/// The f32 backend matching the active f64 backend choice: one
+/// `HKRR_DENSE_BACKEND` knob governs both precisions, so a pinned `scalar`
+/// run stays scalar on the f32 side too.
+pub fn active_f32() -> &'static dyn DenseBackendF32 {
+    match super::active_kind() {
+        BackendKind::Scalar => &SCALAR_F32,
+        BackendKind::Blocked => &BLOCKED_F32,
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Avx2 => &AVX2_F32,
+        #[cfg(not(target_arch = "x86_64"))]
+        BackendKind::Avx2 => unreachable!("avx2 is never selected off x86_64"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::Pcg64;
+
+    fn gaussian_f32(rng: &mut Pcg64, m: usize, n: usize) -> MatrixF32 {
+        MatrixF32::from_vec(
+            m,
+            n,
+            (0..m * n).map(|_| rng.next_gaussian() as f32).collect(),
+        )
+    }
+
+    fn max_abs_diff(a: &MatrixF32, b: &MatrixF32) -> f32 {
+        a.data()
+            .iter()
+            .zip(b.data().iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
+    }
+
+    fn f32_backends() -> Vec<&'static dyn DenseBackendF32> {
+        let mut v: Vec<&'static dyn DenseBackendF32> = vec![&SCALAR_F32, &BLOCKED_F32];
+        #[cfg(target_arch = "x86_64")]
+        if super::super::avx2_supported() {
+            v.push(&AVX2_F32);
+        }
+        v
+    }
+
+    #[test]
+    fn every_f32_backend_multiplies_close_to_scalar() {
+        let mut rng = Pcg64::seed_from_u64(101);
+        for (m, k, n) in [(1, 5, 3), (4, 8, 8), (13, 70, 11), (65, 90, 129)] {
+            let a = gaussian_f32(&mut rng, m, k);
+            let b = gaussian_f32(&mut rng, k, n);
+            let mut c_ref = MatrixF32::zeros(m, n);
+            SCALAR_F32.gemm_into(&a, &b, &mut c_ref);
+            for be in f32_backends() {
+                let mut c = MatrixF32::zeros(m, n);
+                be.gemm_into(&a, &b, &mut c);
+                let diff = max_abs_diff(&c_ref, &c);
+                assert!(
+                    diff < 1e-3 * (k as f32).sqrt(),
+                    "{} gemm diverges from scalar at {m}x{k}x{n}: {diff}",
+                    be.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_gemm_matches_f64_gemm_to_single_precision() {
+        let mut rng = Pcg64::seed_from_u64(103);
+        let a64 = crate::random::gaussian_matrix(&mut rng, 40, 60);
+        let b64 = crate::random::gaussian_matrix(&mut rng, 60, 30);
+        let mut c64 = crate::matrix::Matrix::zeros(40, 30);
+        super::super::active().gemm_into(&a64, &b64, &mut c64);
+        let a32 = MatrixF32::from_f64(&a64);
+        let b32 = MatrixF32::from_f64(&b64);
+        for be in f32_backends() {
+            let mut c32 = MatrixF32::zeros(40, 30);
+            be.gemm_into(&a32, &b32, &mut c32);
+            for (x64, x32) in c64.data().iter().zip(c32.data().iter()) {
+                assert!(
+                    (x64 - *x32 as f64).abs() < 1e-3,
+                    "{}: f32 {x32} vs f64 {x64}",
+                    be.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_variants_are_bitwise_shared_across_backends() {
+        let mut rng = Pcg64::seed_from_u64(107);
+        let a = gaussian_f32(&mut rng, 23, 17);
+        let x: Vec<f32> = (0..17).map(|_| rng.next_gaussian() as f32).collect();
+        let xt: Vec<f32> = (0..23).map(|_| rng.next_gaussian() as f32).collect();
+        let mut y_ref = vec![0.0f32; 23];
+        SCALAR_F32.gemv(&a, &x, &mut y_ref);
+        let mut yt_ref = vec![0.0f32; 17];
+        SCALAR_F32.gemv_t(&a, &xt, &mut yt_ref);
+        for be in f32_backends() {
+            let mut y = vec![0.0f32; 23];
+            be.gemv(&a, &x, &mut y);
+            assert_eq!(y, y_ref, "{} gemv must be bitwise shared", be.name());
+            let mut yt = vec![0.0f32; 17];
+            be.gemv_t(&a, &xt, &mut yt);
+            assert_eq!(yt, yt_ref, "{} gemv_t must be bitwise shared", be.name());
+        }
+    }
+
+    #[test]
+    fn gemv_into_f64_accumulates_in_double() {
+        // A row long enough that pure-f32 accumulation visibly drifts:
+        // summing n copies of x where x has low bits set.
+        let n = 40_000;
+        let a = MatrixF32::from_vec(1, n, vec![1.0f32; n]);
+        let x = vec![1.0f32 + f32::EPSILON; n];
+        let mut y = vec![0.0f64; 1];
+        SCALAR_F32.gemv_into_f64(&a, &x, &mut y);
+        let exact = n as f64 * (1.0f32 + f32::EPSILON) as f64;
+        assert!(
+            (y[0] - exact).abs() < 1e-6,
+            "f64-accumulated {} vs exact {exact}",
+            y[0]
+        );
+        // Pure f32 accumulation loses the epsilons entirely at this length.
+        let mut y32 = vec![0.0f32; 1];
+        SCALAR_F32.gemv(&a, &x, &mut y32);
+        assert!((y32[0] as f64 - exact).abs() > (y[0] - exact).abs());
+    }
+
+    #[test]
+    fn widened_gemv_matches_f64_on_exactly_representable_data() {
+        // Integer-valued entries are exact in both precisions, so the
+        // widened kernels must reproduce the f64 reference bitwise.
+        let mut rng = Pcg64::seed_from_u64(113);
+        let m = 13;
+        let n = 9;
+        let data: Vec<f64> = (0..m * n)
+            .map(|_| (rng.next_gaussian() * 4.0).round())
+            .collect();
+        let a64 = crate::matrix::Matrix::from_vec(m, n, data);
+        let a32 = MatrixF32::from_f64(&a64);
+        let x: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let xt: Vec<f64> = (0..m).map(|_| rng.next_gaussian()).collect();
+        let mut y_ref = vec![0.0f64; m];
+        crate::blas::gemv(&a64, &x, &mut y_ref);
+        let mut yt_ref = vec![0.0f64; n];
+        crate::blas::gemv_t(&a64, &xt, &mut yt_ref);
+        for be in f32_backends() {
+            let mut y = vec![0.0f64; m];
+            be.gemv_f64(&a32, &x, &mut y);
+            assert_eq!(y, y_ref, "{} gemv_f64", be.name());
+            let mut yt = vec![0.0f64; n];
+            be.gemv_t_f64(&a32, &xt, &mut yt);
+            assert_eq!(yt, yt_ref, "{} gemv_t_f64", be.name());
+        }
+    }
+
+    #[test]
+    fn trsm_f32_solves_and_reports_singularity() {
+        let mut rng = Pcg64::seed_from_u64(109);
+        let n = 9;
+        let mut l = MatrixF32::zeros(n, n);
+        let mut u = MatrixF32::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let g = rng.next_gaussian() as f32;
+                if j < i {
+                    l[(i, j)] = g;
+                } else if j > i {
+                    u[(i, j)] = g;
+                }
+            }
+            l[(i, i)] = 2.0 + (rng.next_gaussian() as f32).abs();
+            u[(i, i)] = 2.0 + (rng.next_gaussian() as f32).abs();
+        }
+        let b = gaussian_f32(&mut rng, n, 3);
+        let mut x = b.clone();
+        SCALAR_F32.trsm_lower_into(&l, &mut x).unwrap();
+        let mut lx = MatrixF32::zeros(n, 3);
+        SCALAR_F32.gemm_into(&l, &x, &mut lx);
+        assert!(max_abs_diff(&b, &lx) < 1e-4);
+        let mut y = b.clone();
+        SCALAR_F32.trsm_upper_into(&u, &mut y).unwrap();
+        let mut uy = MatrixF32::zeros(n, 3);
+        SCALAR_F32.gemm_into(&u, &y, &mut uy);
+        assert!(max_abs_diff(&b, &uy) < 1e-4);
+
+        let mut sing = MatrixF32::zeros(3, 3);
+        sing[(0, 0)] = 1.0;
+        sing[(2, 2)] = 1.0;
+        let mut rhs = MatrixF32::zeros(3, 1);
+        assert!(matches!(
+            SCALAR_F32.trsm_lower_into(&sing, &mut rhs),
+            Err(LinalgError::Singular { pivot: 1 })
+        ));
+    }
+
+    #[test]
+    fn active_f32_tracks_the_f64_backend_choice() {
+        assert_eq!(active_f32().name(), super::super::active().name());
+    }
+}

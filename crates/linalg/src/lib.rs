@@ -38,6 +38,15 @@
 //! pinned via the `HKRR_DENSE_BACKEND` environment variable).  Results are
 //! bitwise deterministic within a backend at any thread count and
 //! accuracy-bounded across backends.
+//!
+//! ## Mixed precision
+//!
+//! The mixed-precision factor store lives behind a sibling seam:
+//! [`MatrixF32`] holds demoted factor panels, [`LuF32`] the demoted root
+//! factorization, and [`DenseBackendF32`] ([`backend::fp32`]) the f32
+//! kernels that apply them — including the `f32 → f64` accumulating GEMV
+//! used where single-precision factors meet double-precision iteration
+//! vectors.  The same `HKRR_DENSE_BACKEND` choice governs both seams.
 
 #![warn(missing_docs)]
 
@@ -49,17 +58,19 @@ pub mod iterative;
 pub mod low_rank;
 pub mod lu;
 pub mod matrix;
+pub mod matrix_f32;
 pub mod operator;
 pub mod qr;
 pub mod random;
 pub mod svd;
 pub mod triangular;
 
-pub use backend::{dense_backend, BackendKind, DenseBackend};
+pub use backend::{active_f32, dense_backend, BackendKind, DenseBackend, DenseBackendF32};
 pub use iterative::{pcg, JacobiPreconditioner, PcgOptions, PcgResult, Preconditioner};
 pub use low_rank::LowRank;
-pub use lu::is_permutation;
+pub use lu::{is_permutation, LuF32};
 pub use matrix::Matrix;
+pub use matrix_f32::MatrixF32;
 pub use operator::LinearOperator;
 pub use random::Pcg64;
 

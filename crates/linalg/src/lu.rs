@@ -2,9 +2,12 @@
 //!
 //! The ULV factorization of the HSS format reduces the problem to a final
 //! dense solve at the root; that solve (and the dense baselines in the
-//! benchmarks) uses this module.
+//! benchmarks) uses this module.  [`LuF32`] is the demoted sibling the
+//! mixed-precision factor store applies: pivoting always runs in f64, the
+//! factor is *stored* and back-substituted in f32.
 
 use crate::matrix::Matrix;
+use crate::matrix_f32::MatrixF32;
 use crate::{LinalgError, LinalgResult};
 
 /// LU factorization `P A = L U` with partial (row) pivoting.
@@ -205,6 +208,172 @@ impl Lu {
     }
 }
 
+/// Single-precision LU factor store: the packed `L`/`U` of an [`Lu`]
+/// demoted to f32.
+///
+/// Never produced by factoring in f32 — always by demoting an f64
+/// factorization whose pivot order is therefore exact.  Solves mirror
+/// [`Lu::solve`] operation for operation in single precision.
+#[derive(Debug, Clone)]
+pub struct LuF32 {
+    packed: MatrixF32,
+    pivots: Vec<usize>,
+    sign: f64,
+}
+
+impl LuF32 {
+    /// Demotes a double-precision factorization entrywise.
+    pub fn from_lu(f: &Lu) -> LuF32 {
+        LuF32 {
+            packed: MatrixF32::from_f64(f.packed()),
+            pivots: f.pivots().to_vec(),
+            sign: f.sign(),
+        }
+    }
+
+    /// Rebuilds a demoted factorization from stored parts, with the same
+    /// structural validation as [`Lu::from_parts`].
+    pub fn from_parts(packed: MatrixF32, pivots: Vec<usize>, sign: f64) -> LinalgResult<LuF32> {
+        if !packed.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!(
+                    "LuF32::from_parts: packed factor is {}x{}",
+                    packed.nrows(),
+                    packed.ncols()
+                ),
+            });
+        }
+        let n = packed.nrows();
+        if pivots.len() != n || !is_permutation(&pivots) {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("LuF32::from_parts: pivots are not a permutation of 0..{n}"),
+            });
+        }
+        if sign != 1.0 && sign != -1.0 {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("LuF32::from_parts: permutation sign {sign} is not ±1"),
+            });
+        }
+        Ok(LuF32 {
+            packed,
+            pivots,
+            sign,
+        })
+    }
+
+    /// The packed f32 `L`/`U` storage (unit diagonal of `L` implicit).
+    pub fn packed(&self) -> &MatrixF32 {
+        &self.packed
+    }
+
+    /// The row permutation applied by partial pivoting (inherited exactly
+    /// from the f64 factorization).
+    pub fn pivots(&self) -> &[usize] {
+        &self.pivots
+    }
+
+    /// Sign of the row permutation.
+    pub fn sign(&self) -> f64 {
+        self.sign
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.packed.nrows()
+    }
+
+    /// Heap bytes held by the factor storage.
+    pub fn memory_bytes(&self) -> usize {
+        self.packed.memory_bytes() + self.pivots.len() * std::mem::size_of::<usize>()
+    }
+
+    /// Solves `A x = b` reading the f32 factors but computing in f64: the
+    /// same permute / forward / backward sweep as [`Lu::solve`], with every
+    /// packed entry widened in registers.
+    ///
+    /// This is the solve the mixed-precision ULV apply uses — the result is
+    /// the exact f64 solve of the f32-rounded factorization, so the only
+    /// error the caller sees is the factors' one-time storage rounding
+    /// (a fixed linear perturbation, not per-apply f32 noise).
+    pub fn solve_f64(&self, b: &[f64]) -> LinalgResult<Vec<f64>> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "LuF32::solve_f64: rhs length mismatch");
+        let mut x: Vec<f64> = self.pivots.iter().map(|&p| b[p]).collect();
+        for i in 0..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.packed[(i, j)] as f64 * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.packed[(i, j)] as f64 * x[j];
+            }
+            let d = self.packed[(i, i)];
+            if d == 0.0 {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = s / d as f64;
+        }
+        Ok(x)
+    }
+
+    /// Solves `A x = b` in single precision (same permute / forward /
+    /// backward sweep as [`Lu::solve`]).
+    pub fn solve(&self, b: &[f32]) -> LinalgResult<Vec<f32>> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "LuF32::solve: rhs length mismatch");
+        let mut x: Vec<f32> = self.pivots.iter().map(|&p| b[p]).collect();
+        for i in 0..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.packed[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.packed[(i, j)] * x[j];
+            }
+            let d = self.packed[(i, i)];
+            if d == 0.0 {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` for a matrix of f32 right-hand sides, finishing
+    /// with the active f32 backend's upper TRSM (mirrors
+    /// [`Lu::solve_multi`]).
+    pub fn solve_multi(&self, b: &MatrixF32) -> LinalgResult<MatrixF32> {
+        let n = self.dim();
+        assert_eq!(b.nrows(), n, "LuF32::solve_multi: dim mismatch");
+        let r = b.ncols();
+        let mut x = MatrixF32::zeros(n, r);
+        for (i, &p) in self.pivots.iter().enumerate() {
+            x.row_mut(i).copy_from_slice(b.row(p));
+        }
+        for i in 0..n {
+            for j in 0..i {
+                let lij = self.packed[(i, j)];
+                let (done, rest) = x.data_mut().split_at_mut(i * r);
+                let xj = &done[j * r..(j + 1) * r];
+                let xi = &mut rest[..r];
+                for (xic, xjc) in xi.iter_mut().zip(xj.iter()) {
+                    *xic -= lij * xjc;
+                }
+            }
+        }
+        crate::backend::active_f32().trsm_upper_into(&self.packed, &mut x)?;
+        Ok(x)
+    }
+}
+
 /// One-shot dense solve `A x = b`.
 pub fn solve(a: &Matrix, b: &[f64]) -> LinalgResult<Vec<f64>> {
     lu(a)?.solve(b)
@@ -337,5 +506,73 @@ mod tests {
         let x = solve(&a, &[3.0, 7.0]).unwrap();
         assert!((x[0] - 7.0).abs() < 1e-14);
         assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn demoted_lu_solves_to_single_precision() {
+        let mut rng = Pcg64::seed_from_u64(11);
+        let n = 20;
+        let mut a = gaussian_matrix(&mut rng, n, n);
+        a.shift_diagonal(6.0);
+        let f = lu(&a).unwrap();
+        let f32f = LuF32::from_lu(&f);
+        assert_eq!(f32f.dim(), n);
+        assert_eq!(f32f.pivots(), f.pivots());
+        assert!(f32f.memory_bytes() * 2 < f.packed().memory_bytes() + n * 24);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let x64 = f.solve(&b).unwrap();
+        let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+        let x32 = f32f.solve(&b32).unwrap();
+        for (w, s) in x64.iter().zip(x32.iter()) {
+            assert!((w - *s as f64).abs() < 1e-5, "f64 {w} vs f32 {s}");
+        }
+    }
+
+    #[test]
+    fn demoted_lu_widened_solve_tracks_the_f64_solve() {
+        let mut rng = Pcg64::seed_from_u64(12);
+        let n = 20;
+        let mut a = gaussian_matrix(&mut rng, n, n);
+        a.shift_diagonal(6.0);
+        let f = lu(&a).unwrap();
+        let f32f = LuF32::from_lu(&f);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let x64 = f.solve(&b).unwrap();
+        let widened = f32f.solve_f64(&b).unwrap();
+        for (w, s) in x64.iter().zip(widened.iter()) {
+            assert!((w - s).abs() < 1e-5, "f64 {w} vs widened {s}");
+        }
+        // On an exactly representable factorization the widened solve IS
+        // the f64 solve, bitwise: only the storage rounding separates them.
+        let ident = lu(&Matrix::identity(n)).unwrap();
+        let ident32 = LuF32::from_lu(&ident);
+        assert_eq!(ident.solve(&b).unwrap(), ident32.solve_f64(&b).unwrap());
+    }
+
+    #[test]
+    fn demoted_lu_multi_rhs_matches_per_column_solves() {
+        let mut rng = Pcg64::seed_from_u64(13);
+        let n = 10;
+        let mut a = gaussian_matrix(&mut rng, n, n);
+        a.shift_diagonal(5.0);
+        let f32f = LuF32::from_lu(&lu(&a).unwrap());
+        let b = gaussian_matrix(&mut rng, n, 3);
+        let x = f32f.solve_multi(&MatrixF32::from_f64(&b)).unwrap();
+        for c in 0..3 {
+            let col: Vec<f32> = (0..n).map(|i| b[(i, c)] as f32).collect();
+            let xc = f32f.solve(&col).unwrap();
+            for i in 0..n {
+                assert!((x[(i, c)] - xc[i]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn lu_f32_from_parts_validates() {
+        let ident = MatrixF32::from_f64(&Matrix::identity(3));
+        assert!(LuF32::from_parts(ident.clone(), vec![0, 1, 2], 1.0).is_ok());
+        assert!(LuF32::from_parts(MatrixF32::zeros(3, 4), vec![0, 1, 2], 1.0).is_err());
+        assert!(LuF32::from_parts(ident.clone(), vec![0, 0, 2], 1.0).is_err());
+        assert!(LuF32::from_parts(ident, vec![0, 1, 2], 0.5).is_err());
     }
 }

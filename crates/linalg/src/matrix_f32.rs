@@ -1,0 +1,183 @@
+//! Row-major single-precision dense matrix — the storage type of the
+//! mixed-precision factor store.
+//!
+//! [`MatrixF32`] deliberately exposes only the surface the f32 apply path
+//! needs (construction, conversion to/from [`Matrix`], row access and raw
+//! data): it is a *storage* format for factors that are applied, never
+//! re-factored, so the full f64 [`Matrix`] API (QR, submatrices, stacking,
+//! …) has no f32 twin. Halving the bytes per entry halves both the factor
+//! memory and the memory bandwidth of the preconditioner-apply loop, which
+//! is exactly the win the paper's tolerance study licenses for loose
+//! factors.
+
+use crate::matrix::Matrix;
+
+/// Dense row-major `f32` matrix.
+#[derive(Clone, PartialEq)]
+pub struct MatrixF32 {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f32>,
+}
+
+impl MatrixF32 {
+    /// An `nrows × ncols` matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        MatrixF32 {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            nrows * ncols,
+            "MatrixF32::from_vec: data length mismatch"
+        );
+        MatrixF32 { nrows, ncols, data }
+    }
+
+    /// Demotes a double-precision matrix entrywise (round-to-nearest).
+    pub fn from_f64(m: &Matrix) -> Self {
+        MatrixF32 {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            data: m.data().iter().map(|&x| x as f32).collect(),
+        }
+    }
+
+    /// Widens back to double precision (exact: every `f32` is an `f64`).
+    pub fn to_f64(&self) -> Matrix {
+        Matrix::from_vec(
+            self.nrows,
+            self.ncols,
+            self.data.iter().map(|&x| x as f64).collect(),
+        )
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.nrows == self.ncols
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major backing data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable row-major backing data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Row `i` as a mutable slice.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Heap bytes held by the matrix data.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for MatrixF32 {
+    type Output = f32;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f32 {
+        &self.data[i * self.ncols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for MatrixF32 {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
+        &mut self.data[i * self.ncols + j]
+    }
+}
+
+impl std::fmt::Debug for MatrixF32 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "MatrixF32 {}x{} [", self.nrows, self.ncols)?;
+        for i in 0..self.nrows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.ncols.min(8) {
+                write!(f, "{:>10.4} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}", if self.ncols > 8 { "…" } else { "" })?;
+        }
+        if self.nrows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_f64_is_exact() {
+        let m = MatrixF32::from_vec(2, 3, vec![1.5, -2.25, 0.0, 3.0, 0.125, -7.5]);
+        let wide = m.to_f64();
+        let back = MatrixF32::from_f64(&wide);
+        assert_eq!(m, back);
+        assert_eq!(wide[(1, 2)], -7.5);
+    }
+
+    #[test]
+    fn demotion_rounds_to_nearest() {
+        let wide = Matrix::from_vec(1, 1, vec![1.0 + 1e-12]);
+        let m = MatrixF32::from_f64(&wide);
+        assert_eq!(m[(0, 0)], 1.0f32);
+    }
+
+    #[test]
+    fn rows_and_memory_accounting() {
+        let mut m = MatrixF32::zeros(3, 4);
+        m.row_mut(1).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(!m.is_square());
+        assert_eq!(m.memory_bytes(), 3 * 4 * 4);
+        m[(2, 0)] = 9.0;
+        assert_eq!(m[(2, 0)], 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_rejects_bad_length() {
+        let _ = MatrixF32::from_vec(2, 2, vec![1.0; 3]);
+    }
+}

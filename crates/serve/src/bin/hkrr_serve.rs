@@ -4,6 +4,7 @@
 //! ```text
 //! hkrr-serve save    --out model.hkrr [--dataset LETTER] [--n-train 600]
 //!                    [--seed 42] [--solver dense|hss|hss+h|hss-pcg]
+//!                    [--factor-precision f64|f32]   # f32 needs hss-pcg
 //!                    [--shards K] [--route-nearest M]
 //!                    [--shard-strategy cluster|random]
 //! hkrr-serve info    <model.hkrr>
@@ -127,14 +128,21 @@ fn train_model(args: &Args) -> Result<(LoadedModel, hkrr_datasets::Dataset), Str
     let n_test = args.get_parsed("n-test", 150usize)?;
     let seed = args.get_parsed("seed", 42u64)?;
     let solver = solver_from(args.get("solver").unwrap_or("hss"))?;
+    let factor_precision = match args.get("factor-precision") {
+        None => hkrr_core::FactorPrecision::F64,
+        Some(raw) => hkrr_core::FactorPrecision::parse(raw)
+            .ok_or_else(|| format!("--factor-precision: f64 or f32, got {raw:?}"))?,
+    };
     let shards = args.get_parsed("shards", 1usize)?;
     let ds = hkrr_datasets::generate(&spec, n_train, n_test, seed);
     let cfg = KrrConfig {
         h: spec.default_h,
         lambda: spec.default_lambda,
         solver,
+        factor_precision,
         ..KrrConfig::default()
     };
+    cfg.validate()?;
     let model = if shards > 1 {
         let route_nearest = args.get_parsed("route-nearest", 2usize.min(shards))?;
         let strategy = strategy_from(args.get("shard-strategy").unwrap_or("cluster"), seed)?;

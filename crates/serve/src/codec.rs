@@ -32,7 +32,8 @@
 //! | `REPT` | training report                                     | single models |
 //! | `TREE` | cluster tree                                        | HSS only      |
 //! | `HSSM` | compressed HSS matrix (per-node payloads)           | HSS only      |
-//! | `ULVF` | ULV factorization (per-node factors + root LU)      | HSS only      |
+//! | `ULVF` | ULV factorization (per-node factors + root LU); v4  | HSS only      |
+//! |        | prefixes a precision tag and can carry f32 factors  |               |
 //! | `ENSH` | ensemble header (strategy, routing, centroids)      | ensembles (v3) |
 //! | `SH00`…| one complete nested model file per shard            | ensembles (v3) |
 //!
@@ -45,31 +46,40 @@
 //!
 //! ## Versions
 //!
-//! This build writes version 3 and reads 1–3:
+//! This build writes version 4 and reads 1–4:
 //! * **v1** — the original single-model layout.
 //! * **v2** — added the `hss-pcg` solver tag, the PCG split in `REPT`, and
 //!   the PCG parameters in `CONF`.
 //! * **v3** — added ensemble files (`ENSH` + `SHnn`); single-model layout
 //!   unchanged from v2.
+//! * **v4** — mixed-precision factor store: `CONF` gains the
+//!   `factor_precision` knob, `REPT` gains `factor_bytes`, and `ULVF`
+//!   starts with a precision tag (`0` = f64, `1` = f32) so a demoted
+//!   factorization persists as f32 sections (only the small root LU stays
+//!   f64, mirroring the in-memory store) — a model trained with f32
+//!   factors round-trips at less than half the `ULVF` size. Pre-v4 files
+//!   decode as f64 with the defaults their era implied; a model holding
+//!   f32 factors is refused at versions below 4.
 //!
-//! Versions above 3 are refused with a typed
+//! Versions above 4 are refused with a typed
 //! [`CodecError::UnsupportedVersion`].
 
 use hkrr_clustering::{ClusterNode, ClusterTree};
 use hkrr_core::{KrrConfig, KrrModel, ModelParts, SolverKind, TrainedFactors, TrainingReport};
 use hkrr_ensemble::{EnsembleKrr, EnsembleParts, ShardStrategy, MAX_SHARDS};
 use hkrr_hss::construct::ConstructionStats;
-use hkrr_hss::{HssMatrix, HssNodeData, UlvFactorization, UlvNodeFactor};
+use hkrr_hss::UlvNodeFactorF32;
+use hkrr_hss::{FactorPrecision, HssMatrix, HssNodeData, UlvFactorization, UlvNodeFactor};
 use hkrr_kernel::{KernelFunction, NormalizationStats, Normalizer};
 use hkrr_linalg::lu::Lu;
-use hkrr_linalg::Matrix;
+use hkrr_linalg::{LuF32, Matrix, MatrixF32};
 use std::path::Path;
 
 /// File magic: "HKRR model, format generation 1".
 pub const MAGIC: [u8; 8] = *b"HKRRMDL1";
 /// Current format version inside generation 1 (see the module docs for
 /// the version history).
-pub const VERSION: u32 = 3;
+pub const VERSION: u32 = 4;
 /// Oldest format version this build still reads.
 pub const MIN_VERSION: u32 = 1;
 /// Human-readable schema name (mirrors the JSON snapshots' convention).
@@ -193,6 +203,9 @@ impl Enc {
     fn f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
     fn f64_slice(&mut self, v: &[f64]) {
         self.usize(v.len());
         for &x in v {
@@ -220,6 +233,15 @@ impl Enc {
         self.usize(m.ncols());
         for &x in m.data() {
             self.f64(x);
+        }
+    }
+    /// Single-precision matrix: every f32 travels as its exact 4-byte bit
+    /// pattern, so f32 factor stores round-trip bitwise too.
+    fn matrix_f32(&mut self, m: &MatrixF32) {
+        self.usize(m.nrows());
+        self.usize(m.ncols());
+        for &x in m.data() {
+            self.f32(x);
         }
     }
     fn opt_matrix(&mut self, m: Option<&Matrix>) {
@@ -288,6 +310,9 @@ impl<'a> Dec<'a> {
     fn f64(&mut self) -> Result<f64> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
+    fn f32(&mut self) -> Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
     fn f64_vec(&mut self) -> Result<Vec<f64>> {
         let n = self.len(8)?;
         (0..n).map(|_| self.f64()).collect()
@@ -324,6 +349,21 @@ impl<'a> Dec<'a> {
             1 => Ok(Some(self.matrix()?)),
             t => Err(CodecError::Malformed(format!("bad option tag {t}"))),
         }
+    }
+    fn matrix_f32(&mut self) -> Result<MatrixF32> {
+        let rows = self.usize()?;
+        let cols = self.usize()?;
+        let total = rows
+            .checked_mul(cols)
+            .ok_or_else(|| CodecError::Malformed("matrix size overflow".to_string()))?;
+        if total.saturating_mul(4) > self.buf.len() - self.pos {
+            return Err(CodecError::Truncated);
+        }
+        let mut data = Vec::with_capacity(total);
+        for _ in 0..total {
+            data.push(self.f32()?);
+        }
+        Ok(MatrixF32::from_vec(rows, cols, data))
     }
 }
 
@@ -372,6 +412,21 @@ fn dec_clustering(d: &mut Dec) -> Result<hkrr_clustering::ClusteringMethod> {
         3 => Ok(C::TwoMeans { seed: d.u64()? }),
         4 => Ok(C::Agglomerative),
         t => Err(CodecError::Malformed(format!("bad clustering tag {t}"))),
+    }
+}
+
+fn enc_precision(e: &mut Enc, p: FactorPrecision) {
+    e.u8(match p {
+        FactorPrecision::F64 => 0,
+        FactorPrecision::F32 => 1,
+    });
+}
+
+fn dec_precision(d: &mut Dec) -> Result<FactorPrecision> {
+    match d.u8()? {
+        0 => Ok(FactorPrecision::F64),
+        1 => Ok(FactorPrecision::F32),
+        t => Err(CodecError::Malformed(format!("bad precision tag {t}"))),
     }
 }
 
@@ -443,6 +498,9 @@ fn enc_conf(config: &KrrConfig, kernel: KernelFunction, version: u32) -> Vec<u8>
         e.usize(config.pcg_max_iterations);
         e.f64(config.pcg_loosening);
     }
+    if version >= 4 {
+        enc_precision(&mut e, config.factor_precision);
+    }
     enc_kernel(&mut e, kernel);
     e.buf
 }
@@ -469,6 +527,12 @@ fn dec_conf(bytes: &[u8], version: u32) -> Result<(KrrConfig, KernelFunction)> {
             defaults.pcg_loosening,
         )
     };
+    // Pre-v4 files predate the mixed-precision store: always f64.
+    let factor_precision = if version >= 4 {
+        dec_precision(&mut d)?
+    } else {
+        FactorPrecision::F64
+    };
     let config = KrrConfig {
         h,
         lambda,
@@ -482,6 +546,7 @@ fn dec_conf(bytes: &[u8], version: u32) -> Result<(KrrConfig, KernelFunction)> {
         pcg_tolerance,
         pcg_max_iterations,
         pcg_loosening,
+        factor_precision,
     };
     let kernel = dec_kernel(&mut d)?;
     d.finish()?;
@@ -530,6 +595,9 @@ fn enc_report(r: &TrainingReport, version: u32) -> Vec<u8> {
     }
     e.usize(r.matrix_memory_bytes);
     e.usize(r.sampler_memory_bytes);
+    if version >= 4 {
+        e.usize(r.factor_bytes);
+    }
     e.usize(r.max_rank);
     e.buf
 }
@@ -556,6 +624,9 @@ fn dec_report(bytes: &[u8], version: u32) -> Result<TrainingReport> {
     }
     r.matrix_memory_bytes = d.usize()?;
     r.sampler_memory_bytes = d.usize()?;
+    if version >= 4 {
+        r.factor_bytes = d.usize()?;
+    }
     r.max_rank = d.usize()?;
     d.finish()?;
     Ok(r)
@@ -658,37 +729,95 @@ fn dec_lu(d: &mut Dec) -> Result<Lu> {
     Lu::from_parts(packed, pivots, sign).map_err(|e| CodecError::Malformed(e.to_string()))
 }
 
-fn enc_ulv(ulv: &UlvFactorization) -> Vec<u8> {
+fn enc_lu_f32(e: &mut Enc, lu: &LuF32) {
+    e.matrix_f32(lu.packed());
+    e.usize_slice(lu.pivots());
+    e.f64(lu.sign());
+}
+
+fn dec_lu_f32(d: &mut Dec) -> Result<LuF32> {
+    let packed = d.matrix_f32()?;
+    let pivots = d.usize_vec()?;
+    let sign = d.f64()?;
+    LuF32::from_parts(packed, pivots, sign).map_err(|e| CodecError::Malformed(e.to_string()))
+}
+
+/// Encodes the `ULVF` section. At version ≥ 4 the payload starts with a
+/// precision tag and may carry an f32 factor store; older versions write
+/// the bare f64 layout (and [`encode_model_as_version`] refuses f32-factor
+/// models before this function can see them).
+fn enc_ulv(ulv: &UlvFactorization, version: u32) -> Vec<u8> {
     let mut e = Enc::default();
-    e.usize(ulv.node_factors().len());
-    for f in ulv.node_factors() {
-        match f {
-            None => e.u8(0),
-            Some(f) => {
-                e.u8(1);
-                e.matrix(&f.w);
-                e.usize(f.elim);
-                e.usize(f.rank);
-                match &f.d11_lu {
+    if version >= 4 {
+        enc_precision(&mut e, ulv.precision());
+    } else {
+        debug_assert_eq!(
+            ulv.precision(),
+            FactorPrecision::F64,
+            "f32 stores are refused for pre-v4 encodings"
+        );
+    }
+    match ulv.precision() {
+        FactorPrecision::F64 => {
+            e.usize(ulv.node_factors().len());
+            for f in ulv.node_factors() {
+                match f {
                     None => e.u8(0),
-                    Some(lu) => {
+                    Some(f) => {
                         e.u8(1);
-                        enc_lu(&mut e, lu);
+                        e.matrix(&f.w);
+                        e.usize(f.elim);
+                        e.usize(f.rank);
+                        match &f.d11_lu {
+                            None => e.u8(0),
+                            Some(lu) => {
+                                e.u8(1);
+                                enc_lu(&mut e, lu);
+                            }
+                        }
+                        e.matrix(&f.d12);
+                        e.matrix(&f.d21);
+                        e.matrix(&f.dtilde);
+                        e.matrix(&f.uhat);
                     }
                 }
-                e.matrix(&f.d12);
-                e.matrix(&f.d21);
-                e.matrix(&f.dtilde);
-                e.matrix(&f.uhat);
             }
+            enc_lu(&mut e, ulv.root_lu());
+        }
+        FactorPrecision::F32 => {
+            // The demoted store has no dtilde/uhat (factorization-only
+            // blocks), so the f32 layout is both narrower and shorter.
+            e.usize(ulv.node_factors_f32().len());
+            for f in ulv.node_factors_f32() {
+                match f {
+                    None => e.u8(0),
+                    Some(f) => {
+                        e.u8(1);
+                        e.matrix_f32(&f.w);
+                        e.usize(f.elim);
+                        e.usize(f.rank);
+                        match &f.d11_lu {
+                            None => e.u8(0),
+                            Some(lu) => {
+                                e.u8(1);
+                                enc_lu_f32(&mut e, lu);
+                            }
+                        }
+                        e.matrix_f32(&f.d12);
+                        e.matrix_f32(&f.d21);
+                    }
+                }
+            }
+            // The root LU stays f64 even in the demoted store: it carries
+            // the globally coupled (worst-conditioned) block and is only
+            // rank(c1)+rank(c2) square, so the bytes are negligible.
+            enc_lu(&mut e, ulv.root_lu());
         }
     }
-    enc_lu(&mut e, ulv.root_lu());
     e.buf
 }
 
-fn dec_ulv(bytes: &[u8], tree: &ClusterTree) -> Result<UlvFactorization> {
-    let mut d = Dec::new(bytes);
+fn dec_ulv_f64_body(d: &mut Dec, tree: &ClusterTree) -> Result<UlvFactorization> {
     let num_nodes = d.len(1)?;
     let mut factors = Vec::with_capacity(num_nodes);
     for _ in 0..num_nodes {
@@ -700,7 +829,7 @@ fn dec_ulv(bytes: &[u8], tree: &ClusterTree) -> Result<UlvFactorization> {
                 let rank = d.usize()?;
                 let d11_lu = match d.u8()? {
                     0 => None,
-                    1 => Some(dec_lu(&mut d)?),
+                    1 => Some(dec_lu(d)?),
                     t => return Err(CodecError::Malformed(format!("bad option tag {t}"))),
                 };
                 let d12 = d.matrix()?;
@@ -721,10 +850,59 @@ fn dec_ulv(bytes: &[u8], tree: &ClusterTree) -> Result<UlvFactorization> {
             t => return Err(CodecError::Malformed(format!("bad factor tag {t}"))),
         }
     }
-    let root_lu = dec_lu(&mut d)?;
+    let root_lu = dec_lu(d)?;
     d.finish()?;
     UlvFactorization::from_parts(tree.clone(), factors, root_lu)
         .map_err(|e| CodecError::Malformed(e.to_string()))
+}
+
+fn dec_ulv_f32_body(d: &mut Dec, tree: &ClusterTree) -> Result<UlvFactorization> {
+    let num_nodes = d.len(1)?;
+    let mut factors = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        match d.u8()? {
+            0 => factors.push(None),
+            1 => {
+                let w = d.matrix_f32()?;
+                let elim = d.usize()?;
+                let rank = d.usize()?;
+                let d11_lu = match d.u8()? {
+                    0 => None,
+                    1 => Some(dec_lu_f32(d)?),
+                    t => return Err(CodecError::Malformed(format!("bad option tag {t}"))),
+                };
+                let d12 = d.matrix_f32()?;
+                let d21 = d.matrix_f32()?;
+                factors.push(Some(UlvNodeFactorF32 {
+                    w,
+                    elim,
+                    rank,
+                    d11_lu,
+                    d12,
+                    d21,
+                }));
+            }
+            t => return Err(CodecError::Malformed(format!("bad factor tag {t}"))),
+        }
+    }
+    let root_lu = dec_lu(d)?;
+    d.finish()?;
+    UlvFactorization::from_parts_f32(tree.clone(), factors, root_lu)
+        .map_err(|e| CodecError::Malformed(e.to_string()))
+}
+
+fn dec_ulv(bytes: &[u8], tree: &ClusterTree, version: u32) -> Result<UlvFactorization> {
+    let mut d = Dec::new(bytes);
+    // Pre-v4 payloads have no precision tag: the body is the f64 layout.
+    let precision = if version >= 4 {
+        dec_precision(&mut d)?
+    } else {
+        FactorPrecision::F64
+    };
+    match precision {
+        FactorPrecision::F64 => dec_ulv_f64_body(&mut d, tree),
+        FactorPrecision::F32 => dec_ulv_f32_body(&mut d, tree),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -841,6 +1019,17 @@ pub fn encode_model_as_version(model: &KrrModel, version: u32) -> Result<Vec<u8>
             "format version 1 cannot represent the hss-pcg solver".to_string(),
         ));
     }
+    if version < 4 {
+        let holds_f32 = model
+            .factors()
+            .is_some_and(|f| f.ulv.precision() == FactorPrecision::F32)
+            || model.config().factor_precision == FactorPrecision::F32;
+        if holds_f32 {
+            return Err(CodecError::Malformed(format!(
+                "format version {version} cannot represent f32 ULV factors (needs version 4)"
+            )));
+        }
+    }
     let mut e = Enc::default();
     e.matrix(model.train_points());
     let trpt = std::mem::take(&mut e.buf);
@@ -860,7 +1049,7 @@ pub fn encode_model_as_version(model: &KrrModel, version: u32) -> Result<Vec<u8>
     if let Some(f) = model.factors() {
         sections.push((*b"TREE", enc_tree(f.hss.tree())));
         sections.push((*b"HSSM", enc_hss(&f.hss)));
-        sections.push((*b"ULVF", enc_ulv(&f.ulv)));
+        sections.push((*b"ULVF", enc_ulv(&f.ulv, version)));
     }
     Ok(write_file(version, &sections))
 }
@@ -977,7 +1166,7 @@ fn decode_single(version: u32, sections: &[([u8; 4], &[u8])]) -> Result<KrrModel
         (Some(tree_bytes), Some(hss_bytes), Some(ulv_bytes)) => {
             let tree = dec_tree(tree_bytes)?;
             let hss = dec_hss(hss_bytes, &tree)?;
-            let ulv = dec_ulv(ulv_bytes, &tree)?;
+            let ulv = dec_ulv(ulv_bytes, &tree, version)?;
             Some(TrainedFactors { hss, ulv })
         }
         _ => {
@@ -1272,6 +1461,9 @@ pub fn info_lines(version: u32, model: &LoadedModel) -> Vec<String> {
         lines.push(format!("pcg_tolerance: {:e}", config.pcg_tolerance));
         lines.push(format!("pcg_max_iterations: {}", config.pcg_max_iterations));
         lines.push(format!("pcg_loosening: {:e}", config.pcg_loosening));
+        // Pre-v4 files surface the f64 their era implied (dec_conf fills
+        // the default), so the key is stable across versions.
+        lines.push(format!("factor_precision: {}", config.factor_precision));
     };
     match model {
         LoadedModel::Single(m) => {
@@ -1472,10 +1664,11 @@ mod tests {
         }
         let start = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
         let len = u64::from_le_bytes(bytes[pos + 12..pos + 20].try_into().unwrap()) as usize;
-        // CONF ends with the kernel (Gaussian: 1-byte tag + f64 = 9 bytes);
-        // pcg_loosening is the f64 right before it. 0.5 < 1 is a value
+        // CONF ends with the kernel (Gaussian: 1-byte tag + f64 = 9 bytes)
+        // preceded by the v4 factor-precision byte; pcg_loosening is the
+        // f64 right before those. 0.5 < 1 is a value
         // `KrrConfig::validate` forbids and `fit` can never have written.
-        let loosening = start + len - 9 - 8;
+        let loosening = start + len - 9 - 1 - 8;
         bytes[loosening..loosening + 8].copy_from_slice(&0.5f64.to_le_bytes());
         // Recompute the CRC so only the semantic validation can catch it.
         let crc = crc32(&bytes[start..start + len]);
@@ -1483,6 +1676,116 @@ mod tests {
         match decode_model(&bytes) {
             Err(CodecError::Malformed(m)) => assert!(m.contains("pcg_loosening"), "{m}"),
             other => panic!("invalid config must be Malformed, got {other:?}"),
+        }
+    }
+
+    fn trained_f32(n: usize) -> (KrrModel, hkrr_datasets::Dataset) {
+        let ds = hkrr_datasets::generate(&LETTER, n, 32, 7);
+        let cfg = KrrConfig {
+            h: LETTER.default_h,
+            lambda: LETTER.default_lambda,
+            solver: SolverKind::HssPcg,
+            factor_precision: hkrr_core::FactorPrecision::F32,
+            ..KrrConfig::default()
+        };
+        let model = KrrModel::fit(&ds.train, &ds.train_labels, &cfg).unwrap();
+        (model, ds)
+    }
+
+    /// Locates a section's `(payload_start, payload_len, crc_field_pos)`.
+    fn span(bytes: &[u8], tag: &[u8; 4]) -> (usize, usize, usize) {
+        let mut pos = HEADER_LEN;
+        while &bytes[pos..pos + 4] != tag {
+            pos += TABLE_ENTRY_LEN;
+        }
+        let start = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(bytes[pos + 12..pos + 20].try_into().unwrap()) as usize;
+        (start, len, pos + 20)
+    }
+
+    #[test]
+    fn f32_factor_model_roundtrips_bitwise() {
+        use hkrr_core::FactorPrecision;
+        let (model, ds) = trained_f32(180);
+        assert_eq!(
+            model.factors().unwrap().ulv.precision(),
+            FactorPrecision::F32
+        );
+        let bytes = encode_model(&model);
+        let loaded = decode_model(&bytes).unwrap();
+        // The f32 store comes back exactly: same precision, same bytes,
+        // bitwise-identical predictions and re-solves.
+        let ulv = &loaded.factors().unwrap().ulv;
+        assert_eq!(ulv.precision(), FactorPrecision::F32);
+        assert_eq!(
+            ulv.memory_bytes(),
+            model.factors().unwrap().ulv.memory_bytes()
+        );
+        assert_eq!(loaded.config().factor_precision, FactorPrecision::F32);
+        assert_eq!(loaded.report().factor_bytes, model.report().factor_bytes);
+        assert!(loaded.report().factor_bytes > 0);
+        assert_eq!(
+            loaded.decision_values(&ds.test),
+            model.decision_values(&ds.test)
+        );
+        assert_eq!(
+            loaded.solve_new_labels(&ds.train_labels).unwrap(),
+            model.weights()
+        );
+    }
+
+    #[test]
+    fn f32_ulv_section_is_less_than_half_the_f64_one() {
+        let (f32_model, _) = trained_f32(180);
+        let (f64_model, _) = trained(SolverKind::HssPcg, 180);
+        let f32_bytes = encode_model(&f32_model);
+        let f64_bytes = encode_model(&f64_model);
+        let (_, f32_len, _) = span(&f32_bytes, b"ULVF");
+        let (_, f64_len, _) = span(&f64_bytes, b"ULVF");
+        assert!(
+            f32_len * 2 < f64_len,
+            "f32 ULVF {f32_len}B vs f64 ULVF {f64_len}B"
+        );
+    }
+
+    #[test]
+    fn f32_factors_are_refused_below_version_4() {
+        let (model, _) = trained_f32(120);
+        for version in [2u32, 3] {
+            match encode_model_as_version(&model, version) {
+                Err(CodecError::Malformed(m)) => assert!(m.contains("f32"), "{m}"),
+                other => panic!("v{version} must refuse f32 factors, got {other:?}"),
+            }
+        }
+        // The current version carries them fine.
+        assert!(encode_model_as_version(&model, VERSION).is_ok());
+    }
+
+    #[test]
+    fn flipped_byte_in_f32_ulv_section_is_a_checksum_mismatch() {
+        let (model, _) = trained_f32(120);
+        let mut bytes = encode_model(&model);
+        let (start, len, _) = span(&bytes, b"ULVF");
+        bytes[start + len / 2] ^= 0x10;
+        match decode_model(&bytes) {
+            Err(CodecError::ChecksumMismatch { section }) => assert_eq!(section, "ULVF"),
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_precision_tag_with_valid_crc_is_malformed() {
+        let (model, _) = trained_f32(120);
+        let mut bytes = encode_model(&model);
+        let (start, len, crc_pos) = span(&bytes, b"ULVF");
+        // The precision tag is the first payload byte; 7 is not a valid
+        // precision. Recompute the CRC so only the typed tag check fires.
+        bytes[start] = 7;
+        let crc = crc32(&bytes[start..start + len]);
+        bytes[crc_pos..crc_pos + 4].copy_from_slice(&crc.to_le_bytes());
+        match decode_model(&bytes) {
+            Err(CodecError::Malformed(m)) => assert!(m.contains("precision"), "{m}"),
+            other => panic!("expected Malformed, got {other:?}"),
         }
     }
 

@@ -218,7 +218,7 @@ fn nested_ensemble_inside_a_shard_is_typed_not_recursive() {
 fn encoded_version_distinguishes_truncation_from_foreign_files() {
     let (ens, _) = trained_ensemble(2, 130, 3, SolverKind::Hss);
     let bytes = encode_ensemble(&ens);
-    assert_eq!(codec::encoded_version(&bytes).unwrap(), 3);
+    assert_eq!(codec::encoded_version(&bytes).unwrap(), 4);
     assert!(matches!(
         codec::encoded_version(&bytes[..10]),
         Err(CodecError::Truncated)
@@ -260,7 +260,7 @@ fn old_format_versions_still_load_bitwise() {
     let ds = hkrr_datasets::generate(&SUSY, 160, 24, 7);
     let model = KrrModel::fit(&ds.train, &ds.train_labels, &base_config(SolverKind::Hss)).unwrap();
     let reference = model.decision_values(&ds.test);
-    for version in [1u32, 2, 3] {
+    for version in [1u32, 2, 3, 4] {
         let bytes = encode_model_as_version(&model, version)
             .unwrap_or_else(|e| panic!("encoding v{version}: {e}"));
         assert_eq!(codec::encoded_version(&bytes).unwrap(), version);
@@ -327,7 +327,7 @@ fn info_lines_are_parseable_for_every_version() {
     // hss-pcg cannot be a v1 fixture).
     let hss_model =
         KrrModel::fit(&ds.train, &ds.train_labels, &base_config(SolverKind::Hss)).unwrap();
-    for version in [1u32, 2, 3] {
+    for version in [1u32, 2, 3, 4] {
         let source = if version == 1 { &hss_model } else { &model };
         let bytes = encode_model_as_version(source, version).unwrap();
         let loaded = decode_any(&bytes).unwrap();
@@ -342,6 +342,8 @@ fn info_lines_are_parseable_for_every_version() {
         assert!(map.contains_key("pcg_tolerance"), "{map:?}");
         assert_eq!(map["pcg_max_iterations"], "500");
         assert!(map.contains_key("pcg_loosening"));
+        // Pre-v4 files surface the f64 default their era implied.
+        assert_eq!(map["factor_precision"], "f64");
         assert_eq!(map["n_train"], "150");
     }
 

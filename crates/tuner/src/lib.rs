@@ -2,8 +2,9 @@
 //!
 //! Hyperparameter tuning of `(h, λ)` for kernel ridge regression — and,
 //! via [`solver_search`], of the solver back end itself (dense vs direct
-//! HSS vs HSS-preconditioned CG), and via [`ensemble_search`] of the
-//! ensemble shard count, making both one more searchable dimension.
+//! HSS vs HSS-preconditioned CG, at f64 or f32 ULV factor precision — see
+//! [`SolverCandidate`]), and via [`ensemble_search`] of the ensemble shard
+//! count, making both one more searchable dimension.
 //!
 //! The paper compares an exhaustive grid search (128² runs, Figure 6a)
 //! against the black-box optimization of OpenTuner (100 runs, Figure 6b)
@@ -24,7 +25,7 @@ pub use grid::{grid_search, GridSpec};
 pub use objective::{Objective, ValidationObjective};
 pub use search::{
     black_box_search, ensemble_search, solver_search, EnsembleSearchResult, SearchOptions,
-    SolverSearchResult,
+    SolverCandidate, SolverSearchResult,
 };
 
 /// One evaluated hyperparameter point.

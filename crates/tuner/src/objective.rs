@@ -1,5 +1,6 @@
 //! The tuning objective: validation accuracy of a KRR classifier.
 
+use crate::search::SolverCandidate;
 use hkrr_core::{accuracy, KrrConfig, KrrModel, SolverKind};
 use hkrr_linalg::Matrix;
 
@@ -19,6 +20,15 @@ pub trait Objective: Sync {
     /// simply inherit this default, which ignores it.
     fn evaluate_solver(&self, _solver: SolverKind, h: f64, lambda: f64) -> f64 {
         self.evaluate(h, lambda)
+    }
+
+    /// Evaluates the objective with a specific solver *candidate* — back
+    /// end plus ULV factor precision — the hook that makes precision a
+    /// searchable dimension of [`crate::solver_search`]. The default
+    /// ignores the precision and forwards to [`Objective::evaluate_solver`],
+    /// so solver-only objectives keep working unchanged.
+    fn evaluate_candidate(&self, candidate: SolverCandidate, h: f64, lambda: f64) -> f64 {
+        self.evaluate_solver(candidate.solver, h, lambda)
     }
 
     /// Evaluates the objective with a specific ensemble shard count — the
@@ -78,10 +88,27 @@ impl Objective for ValidationObjective<'_> {
             .with_h(h)
             .with_lambda(lambda)
             .with_solver(solver);
-        match KrrModel::fit(self.train, self.train_labels, &config) {
+        self.fit_score(&config)
+    }
+
+    fn evaluate_candidate(&self, candidate: SolverCandidate, h: f64, lambda: f64) -> f64 {
+        let config = self
+            .base_config
+            .with_h(h)
+            .with_lambda(lambda)
+            .with_solver(candidate.solver)
+            .with_factor_precision(candidate.factor_precision);
+        self.fit_score(&config)
+    }
+}
+
+impl ValidationObjective<'_> {
+    fn fit_score(&self, config: &KrrConfig) -> f64 {
+        match KrrModel::fit(self.train, self.train_labels, config) {
             Ok(model) => accuracy(&model.predict(self.validation), self.validation_labels),
-            // Failed fits (e.g. numerically singular systems) score zero so
-            // the search simply moves away from them.
+            // Failed fits (e.g. numerically singular systems, or an invalid
+            // solver/precision combination) score zero so the search simply
+            // moves away from them.
             Err(_) => 0.0,
         }
     }
@@ -134,6 +161,60 @@ mod tests {
         // dense back end on the same split.
         assert!((dense - pcg).abs() <= 0.05, "dense {dense} vs pcg {pcg}");
         assert!(pcg > 0.8);
+    }
+
+    #[test]
+    fn evaluate_candidate_switches_the_factor_precision() {
+        let ds = generate(&LETTER, 150, 40, 3);
+        let obj = ValidationObjective::new(
+            &ds.train,
+            &ds.train_labels,
+            &ds.test,
+            &ds.test_labels,
+            KrrConfig {
+                solver: SolverKind::HssPcg,
+                ..KrrConfig::default()
+            },
+        );
+        let f64_score = obj.evaluate_candidate(
+            SolverCandidate::new(SolverKind::HssPcg),
+            LETTER.default_h,
+            LETTER.default_lambda,
+        );
+        let f32_score = obj.evaluate_candidate(
+            SolverCandidate::hss_pcg_f32(),
+            LETTER.default_h,
+            LETTER.default_lambda,
+        );
+        // The outer f64 PCG iteration absorbs the factor demotion, so the
+        // validation accuracy is unchanged.
+        assert_eq!(f64_score, f32_score, "f64 {f64_score} vs f32 {f32_score}");
+        assert!(f32_score > 0.8);
+    }
+
+    #[test]
+    fn invalid_solver_precision_combinations_score_zero() {
+        let ds = generate(&LETTER, 60, 20, 2);
+        let obj = ValidationObjective::new(
+            &ds.train,
+            &ds.train_labels,
+            &ds.test,
+            &ds.test_labels,
+            KrrConfig {
+                solver: SolverKind::DenseCholesky,
+                ..KrrConfig::default()
+            },
+        );
+        // f32 factors require the hss-pcg solver; the candidate below is
+        // rejected by config validation and must score zero, not panic.
+        let candidate = SolverCandidate {
+            solver: SolverKind::DenseCholesky,
+            factor_precision: hkrr_core::FactorPrecision::F32,
+        };
+        assert_eq!(
+            obj.evaluate_candidate(candidate, LETTER.default_h, LETTER.default_lambda),
+            0.0
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use crate::objective::Objective;
 use crate::{Evaluation, TuningResult};
-use hkrr_core::SolverKind;
+use hkrr_core::{FactorPrecision, SolverKind};
 use hkrr_linalg::Pcg64;
 use rayon::prelude::*;
 
@@ -107,81 +107,130 @@ pub fn black_box_search(objective: &dyn Objective, opts: &SearchOptions) -> Tuni
     TuningResult::from_history(history)
 }
 
-/// The outcome of a solver-dimension search: the winning back end, its best
-/// `(h, λ)`, and the full per-solver tuning results.
-#[derive(Debug, Clone)]
-pub struct SolverSearchResult {
-    /// The solver whose best evaluation won.
-    pub best_solver: SolverKind,
-    /// The winning evaluation.
-    pub best: Evaluation,
-    /// One complete [`TuningResult`] per searched solver, in input order.
-    pub per_solver: Vec<(SolverKind, TuningResult)>,
+/// One point of the solver dimension: a back end plus the precision its
+/// ULV factors are stored at. Precision is part of the searched space
+/// because f32 factors trade a little PCG iteration count for less than
+/// half the factor memory — whether that trade pays is exactly the kind of
+/// question the tuner answers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverCandidate {
+    /// The solver back end.
+    pub solver: SolverKind,
+    /// The ULV factor-storage precision (meaningful for `hss-pcg` only).
+    pub factor_precision: FactorPrecision,
 }
 
-/// Adapter that pins one solver of the searched dimension, so the inner
-/// `(h, λ)` search machinery needs no solver awareness.
-struct SolverPinned<'a> {
-    inner: &'a dyn Objective,
-    solver: SolverKind,
-}
+impl SolverCandidate {
+    /// A candidate at the default f64 factor precision.
+    pub fn new(solver: SolverKind) -> Self {
+        SolverCandidate {
+            solver,
+            factor_precision: FactorPrecision::F64,
+        }
+    }
 
-impl Objective for SolverPinned<'_> {
-    fn evaluate(&self, h: f64, lambda: f64) -> f64 {
-        self.inner.evaluate_solver(self.solver, h, lambda)
+    /// The `hss-pcg` back end with f32-demoted ULV factors.
+    pub fn hss_pcg_f32() -> Self {
+        SolverCandidate {
+            solver: SolverKind::HssPcg,
+            factor_precision: FactorPrecision::F32,
+        }
+    }
+
+    /// Label used in reports and benchmark tables: the solver label, with
+    /// a `-f32` suffix when the factors are demoted (`hss-pcg-f32`).
+    pub fn label(&self) -> String {
+        match self.factor_precision {
+            FactorPrecision::F64 => self.solver.label().to_string(),
+            FactorPrecision::F32 => format!("{}-f32", self.solver.label()),
+        }
     }
 }
 
-/// Black-box search over `(solver, h, λ)`: the total budget is split
-/// across the candidate solvers (a non-divisible remainder goes to the
-/// first solvers, one extra evaluation each, so the full budget is spent),
-/// each slice runs [`black_box_search`] with the *same* seed (so every
-/// solver sees the same candidate points and the comparison is
+impl From<SolverKind> for SolverCandidate {
+    fn from(solver: SolverKind) -> Self {
+        SolverCandidate::new(solver)
+    }
+}
+
+/// The outcome of a solver-dimension search: the winning back end (and
+/// factor precision), its best `(h, λ)`, and the full per-candidate tuning
+/// results.
+#[derive(Debug, Clone)]
+pub struct SolverSearchResult {
+    /// The candidate whose best evaluation won.
+    pub best_candidate: SolverCandidate,
+    /// The winning evaluation.
+    pub best: Evaluation,
+    /// One complete [`TuningResult`] per searched candidate, in input
+    /// order.
+    pub per_candidate: Vec<(SolverCandidate, TuningResult)>,
+}
+
+/// Adapter that pins one candidate of the searched dimension, so the inner
+/// `(h, λ)` search machinery needs no solver awareness.
+struct CandidatePinned<'a> {
+    inner: &'a dyn Objective,
+    candidate: SolverCandidate,
+}
+
+impl Objective for CandidatePinned<'_> {
+    fn evaluate(&self, h: f64, lambda: f64) -> f64 {
+        self.inner.evaluate_candidate(self.candidate, h, lambda)
+    }
+}
+
+/// Black-box search over `(solver, factor precision, h, λ)`: the total
+/// budget is split across the candidates (a non-divisible remainder goes
+/// to the first candidates, one extra evaluation each, so the full budget
+/// is spent), each slice runs [`black_box_search`] with the *same* seed
+/// (so every candidate sees the same `(h, λ)` points and the comparison is
 /// apples-to-apples), and the best evaluation overall wins.
 ///
 /// # Panics
-/// Panics when `solvers` is empty or the per-solver budget would be zero.
+/// Panics when `candidates` is empty or the per-candidate budget would be
+/// zero.
 pub fn solver_search(
     objective: &dyn Objective,
-    solvers: &[SolverKind],
+    candidates: &[SolverCandidate],
     opts: &SearchOptions,
 ) -> SolverSearchResult {
     assert!(
-        !solvers.is_empty(),
-        "solver_search needs at least one solver"
+        !candidates.is_empty(),
+        "solver_search needs at least one candidate"
     );
-    let per_budget = opts.budget / solvers.len();
-    let remainder = opts.budget % solvers.len();
+    let per_budget = opts.budget / candidates.len();
+    let remainder = opts.budget % candidates.len();
     assert!(
         per_budget >= 1,
-        "budget {} cannot cover {} solvers",
+        "budget {} cannot cover {} candidates",
         opts.budget,
-        solvers.len()
+        candidates.len()
     );
-    let per_solver: Vec<(SolverKind, TuningResult)> = solvers
+    let per_candidate: Vec<(SolverCandidate, TuningResult)> = candidates
         .iter()
         .enumerate()
-        .map(|(i, &solver)| {
-            let pinned = SolverPinned {
+        .map(|(i, &candidate)| {
+            let pinned = CandidatePinned {
                 inner: objective,
-                solver,
+                candidate,
             };
             let opts = SearchOptions {
                 budget: per_budget + usize::from(i < remainder),
                 ..*opts
             };
-            (solver, black_box_search(&pinned, &opts))
+            (candidate, black_box_search(&pinned, &opts))
         })
         .collect();
-    let (best_solver, best) = per_solver
+    let (best_candidate, best) = per_candidate
         .iter()
         .map(|(s, r)| (*s, r.best))
         .max_by(|a, b| a.1.accuracy.partial_cmp(&b.1.accuracy).unwrap())
-        .expect("at least one solver was searched");
+        .expect("at least one candidate was searched");
     SolverSearchResult {
-        best_solver,
+        best_candidate,
         best,
-        per_solver,
+        per_candidate,
     }
 }
 
@@ -355,64 +404,123 @@ mod tests {
 
     #[test]
     fn solver_search_explores_the_solver_dimension() {
-        let solvers = [
-            SolverKind::DenseCholesky,
-            SolverKind::Hss,
-            SolverKind::HssPcg,
+        let candidates = [
+            SolverCandidate::new(SolverKind::DenseCholesky),
+            SolverCandidate::new(SolverKind::Hss),
+            SolverCandidate::new(SolverKind::HssPcg),
         ];
         let r = solver_search(
             &SolverAware,
-            &solvers,
+            &candidates,
             &SearchOptions {
                 budget: 60,
                 ..Default::default()
             },
         );
-        assert_eq!(r.best_solver, SolverKind::HssPcg);
-        assert_eq!(r.per_solver.len(), 3);
+        assert_eq!(r.best_candidate.solver, SolverKind::HssPcg);
+        assert_eq!(r.best_candidate.factor_precision, FactorPrecision::F64);
+        assert_eq!(r.per_candidate.len(), 3);
         // The budget was split evenly and fully spent.
-        for (_, result) in &r.per_solver {
+        for (_, result) in &r.per_candidate {
             assert_eq!(result.num_evaluations(), 20);
         }
         // Same seed per slice: every solver saw identical candidates, so
         // the winner's history dominates pointwise by its bonus.
-        let hss = &r.per_solver[1].1.history;
-        let pcg = &r.per_solver[2].1.history;
+        let hss = &r.per_candidate[1].1.history;
+        let pcg = &r.per_candidate[2].1.history;
         for (a, b) in hss.iter().zip(pcg.iter()) {
             assert_eq!(a.h, b.h);
             assert_eq!(a.lambda, b.lambda);
             assert!(b.accuracy > a.accuracy);
         }
-        assert!((r.best.accuracy - r.per_solver[2].1.best.accuracy).abs() < 1e-15);
+        assert!((r.best.accuracy - r.per_candidate[2].1.best.accuracy).abs() < 1e-15);
+    }
+
+    /// An objective that prefers f32 factors: the memory saving is modelled
+    /// as a flat score bonus, so the precision dimension is decisive.
+    struct PrecisionAware;
+
+    impl Objective for PrecisionAware {
+        fn evaluate(&self, h: f64, lambda: f64) -> f64 {
+            Peak.evaluate(h, lambda)
+        }
+
+        fn evaluate_candidate(&self, candidate: SolverCandidate, h: f64, lambda: f64) -> f64 {
+            let bonus = match candidate.factor_precision {
+                FactorPrecision::F32 => 0.1,
+                FactorPrecision::F64 => 0.0,
+            };
+            Peak.evaluate(h, lambda) * 0.8 + bonus
+        }
+    }
+
+    #[test]
+    fn solver_search_explores_the_precision_dimension() {
+        let candidates = [
+            SolverCandidate::new(SolverKind::HssPcg),
+            SolverCandidate::hss_pcg_f32(),
+        ];
+        assert_eq!(candidates[0].label(), "hss-pcg");
+        assert_eq!(candidates[1].label(), "hss-pcg-f32");
+        let r = solver_search(
+            &PrecisionAware,
+            &candidates,
+            &SearchOptions {
+                budget: 40,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.best_candidate, SolverCandidate::hss_pcg_f32());
+        // Same seed per slice: both precisions saw identical `(h, λ)`
+        // points, so the f32 history dominates pointwise by its bonus.
+        let f64_hist = &r.per_candidate[0].1.history;
+        let f32_hist = &r.per_candidate[1].1.history;
+        for (a, b) in f64_hist.iter().zip(f32_hist.iter()) {
+            assert_eq!(a.h, b.h);
+            assert_eq!(a.lambda, b.lambda);
+            assert!(b.accuracy > a.accuracy);
+        }
+    }
+
+    #[test]
+    fn candidates_default_to_f64_via_from() {
+        let c: SolverCandidate = SolverKind::Hss.into();
+        assert_eq!(c.solver, SolverKind::Hss);
+        assert_eq!(c.factor_precision, FactorPrecision::F64);
+        assert_eq!(c.label(), "hss");
     }
 
     #[test]
     #[should_panic]
-    fn solver_search_rejects_an_empty_solver_list() {
+    fn solver_search_rejects_an_empty_candidate_list() {
         let _ = solver_search(&SolverAware, &[], &SearchOptions::default());
     }
 
     #[test]
     fn solver_search_spends_a_non_divisible_budget_fully() {
-        let solvers = [
-            SolverKind::DenseCholesky,
-            SolverKind::Hss,
-            SolverKind::HssPcg,
+        let candidates = [
+            SolverCandidate::new(SolverKind::DenseCholesky),
+            SolverCandidate::new(SolverKind::Hss),
+            SolverCandidate::new(SolverKind::HssPcg),
         ];
         let r = solver_search(
             &SolverAware,
-            &solvers,
+            &candidates,
             &SearchOptions {
                 budget: 7,
                 ..Default::default()
             },
         );
         let counts: Vec<usize> = r
-            .per_solver
+            .per_candidate
             .iter()
             .map(|(_, res)| res.num_evaluations())
             .collect();
-        assert_eq!(counts, vec![3, 2, 2], "remainder goes to the first solvers");
+        assert_eq!(
+            counts,
+            vec![3, 2, 2],
+            "remainder goes to the first candidates"
+        );
         assert_eq!(counts.iter().sum::<usize>(), 7, "full budget spent");
     }
 

@@ -42,7 +42,8 @@ pub use hkrr_tuner as tuner;
 pub mod prelude {
     pub use hkrr_clustering::{ClusteringMethod, DEFAULT_LEAF_SIZE};
     pub use hkrr_core::{
-        accuracy, DecisionModel, KrrConfig, KrrModel, ModelHandle, MulticlassKrr, SolverKind,
+        accuracy, DecisionModel, FactorPrecision, KrrConfig, KrrModel, ModelHandle, MulticlassKrr,
+        SolverKind,
     };
     pub use hkrr_datasets::{generate, generate_multiclass, spec_by_name, DatasetSpec};
     pub use hkrr_ensemble::{EnsembleConfig, EnsembleKrr, ShardPlan, ShardStrategy};
@@ -50,6 +51,6 @@ pub mod prelude {
     pub use hkrr_linalg::{LinearOperator, Matrix};
     pub use hkrr_tuner::{
         black_box_search, ensemble_search, grid_search, solver_search, GridSpec, SearchOptions,
-        ValidationObjective,
+        SolverCandidate, ValidationObjective,
     };
 }
