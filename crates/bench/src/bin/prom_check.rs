@@ -5,8 +5,34 @@
 //! Usage: `prom_check FILE...` — exits non-zero on the first file that
 //! fails to parse or violates the counter/histogram invariants, and prints
 //! a one-line family/sample census per valid file.
+//!
+//! Beyond well-formedness, every file must identify the process that
+//! produced it: an `hkrr_build_info` gauge whose labels carry the version,
+//! build stamp, active dense backend, and factor-storage precision — the
+//! four facts a fleet operator needs to correlate a scrape with a binary.
 
 use std::process::ExitCode;
+
+/// The labels every `hkrr_build_info` sample must carry, non-empty.
+const BUILD_INFO_LABELS: [&str; 4] = ["version", "stamp", "dense_backend", "factor_precision"];
+
+fn check_build_info(scrape: &hkrr_bench::prom::Scrape) -> Result<(), String> {
+    let family = scrape
+        .families
+        .get("hkrr_build_info")
+        .ok_or("no hkrr_build_info gauge (process identity missing)")?;
+    for sample in &family.samples {
+        for label in BUILD_INFO_LABELS {
+            if sample.labels.get(label).map_or(true, |v| v.is_empty()) {
+                return Err(format!(
+                    "hkrr_build_info sample lacks the {label:?} label: {:?}",
+                    sample.labels
+                ));
+            }
+        }
+    }
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let files: Vec<String> = std::env::args().skip(1).collect();
@@ -26,6 +52,11 @@ fn main() -> ExitCode {
         };
         match hkrr_bench::prom::validate(&text) {
             Ok(scrape) => {
+                if let Err(e) = check_build_info(&scrape) {
+                    eprintln!("{path}: INVALID — {e}");
+                    failed = true;
+                    continue;
+                }
                 let samples: usize = scrape.families.values().map(|f| f.samples.len()).sum();
                 println!(
                     "{path}: OK — {} families, {samples} samples",

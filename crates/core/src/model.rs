@@ -11,6 +11,7 @@ use hkrr_kernel::{cross_scores_into, KernelMatrix, NormalizationStats};
 use hkrr_linalg::iterative::{pcg, PcgOptions, PcgResult};
 use hkrr_linalg::operator::ShiftedOperator;
 use hkrr_linalg::{cholesky, is_permutation, LinalgError, Matrix};
+use hkrr_telemetry::log::{self, Level};
 use std::time::Instant;
 
 /// The compressed training operator and its factorization, retained after
@@ -188,6 +189,7 @@ impl KrrModel {
                 report.hss_other_seconds = hss.construction_stats().other_seconds;
                 report.matrix_memory_bytes = hss.memory_bytes();
                 report.max_rank = hss.max_rank();
+                log_compression_event(&report, &hss);
 
                 hss.set_diagonal_shift(config.lambda);
 
@@ -226,6 +228,7 @@ impl KrrModel {
                 report.hss_other_seconds = hss.construction_stats().other_seconds;
                 report.matrix_memory_bytes = hss.memory_bytes();
                 report.max_rank = hss.max_rank();
+                log_compression_event(&report, &hss);
 
                 hss.set_diagonal_shift(config.lambda);
 
@@ -487,9 +490,26 @@ fn effective_factor_precision(config: &KrrConfig) -> FactorPrecision {
     }
 }
 
+/// One structured event-log line per HSS compression (see
+/// `hkrr_telemetry::log`): the rank/bytes/wall summary an operator reads
+/// off `HKRR_LOG` to see where a slow fit spent its time. No-op (one
+/// relaxed load) when event logging is off.
+fn log_compression_event(report: &TrainingReport, hss: &HssMatrix) {
+    log::event(Level::Info, "train.hss_compress")
+        .num("n", hss.dim())
+        .num("max_rank", report.max_rank)
+        .num("bytes", report.matrix_memory_bytes)
+        .num("samples", hss.construction_stats().samples_used)
+        .num("restarts", hss.construction_stats().restarts)
+        .num("sampling_us", (report.hss_sampling_seconds * 1e6) as u64)
+        .num("other_us", (report.hss_other_seconds * 1e6) as u64)
+        .emit();
+}
+
 /// Records the retained factor store's memory in the report and publishes
 /// it as the `hkrr_train_factor_bytes{precision}` gauge, so the f32 memory
-/// win is visible both per-run and on a metrics scrape.
+/// win is visible both per-run and on a metrics scrape. Also lands the
+/// `train.ulv_factor` event-log line (precision, bytes, wall).
 fn record_factor_bytes(report: &mut TrainingReport, ulv: &UlvFactorization) {
     report.factor_bytes = ulv.memory_bytes();
     hkrr_telemetry::global()
@@ -499,6 +519,11 @@ fn record_factor_bytes(report: &mut TrainingReport, ulv: &UlvFactorization) {
             &[("precision", ulv.precision().as_str())],
         )
         .set(report.factor_bytes as f64);
+    log::event(Level::Info, "train.ulv_factor")
+        .field("precision", ulv.precision().as_str())
+        .num("bytes", report.factor_bytes)
+        .num("wall_us", (report.factorization_seconds * 1e6) as u64)
+        .emit();
 }
 
 /// The PCG step of the `hss-pcg` solver: conjugate gradients on the exact
@@ -523,6 +548,30 @@ fn run_pcg(
         return Err(KrrError::Linalg(LinalgError::NoConvergence {
             iterations: result.iterations,
         }));
+    }
+    if log::enabled() {
+        // Residual milestones: the first iteration crossing each decade,
+        // so convergence stalls are visible in the event log without
+        // shipping the whole history.
+        let mut milestone = 0.1_f64;
+        for (i, &r) in result.residual_history.iter().enumerate() {
+            if r <= milestone {
+                log::event(Level::Debug, "train.pcg_milestone")
+                    .num("iteration", i)
+                    .num("residual", r)
+                    .emit();
+                while milestone >= r && milestone > f64::MIN_POSITIVE {
+                    milestone /= 10.0;
+                }
+            }
+        }
+        log::event(Level::Info, "train.pcg")
+            .num("iterations", result.iterations)
+            .num(
+                "final_residual",
+                result.residual_history.last().copied().unwrap_or(0.0),
+            )
+            .emit();
     }
     Ok(result)
 }

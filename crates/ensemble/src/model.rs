@@ -260,7 +260,15 @@ impl EnsembleKrr {
                 span.annotate("shard", shard);
                 span.annotate("rows", indices.len());
                 let model = KrrModel::fit(&shard_points, &shard_labels, &config.base)?;
-                Ok((model, t.elapsed().as_secs_f64()))
+                let wall = t.elapsed();
+                hkrr_telemetry::log::event(hkrr_telemetry::log::Level::Info, "ensemble.fit_shard")
+                    .num("shard", shard)
+                    .num("rows", indices.len())
+                    .num("max_rank", model.report().max_rank)
+                    .num("factor_bytes", model.report().factor_bytes)
+                    .num("wall_us", wall.as_micros())
+                    .emit();
+                Ok((model, wall.as_secs_f64()))
             })
             .collect();
         let fitted = fitted?;

@@ -25,6 +25,11 @@
 //!                    [--out BENCH_serve_distributed.json]
 //!                    # distributed bench: spawn K×R shard processes + router,
 //!                    # kill one shard mid-run, assert availability
+//! hkrr-serve trace-merge --out merged.json FILE [FILE…]
+//!                    # merge per-process HKRR_TRACE files, grouping spans
+//!                    # by trace id across process boundaries
+//! hkrr-serve doctor  --addr ROUTER   # scrape health+metrics+stats across
+//!                    # a router's fleet, print a one-page diagnosis
 //! ```
 //!
 //! `--shards K` (K > 1) trains a cluster-sharded ensemble: the training
@@ -266,9 +271,18 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let server = Server::start_with_source(ModelSource::File(path.into()), config)
         .map_err(|e| e.to_string())?;
     println!("serving on {} (ctrl-c to stop)", server.local_addr());
-    // Serve until killed: the accept loop runs on its own thread.
+    serve_forever()
+}
+
+/// Serve until killed: the accept loop runs on its own thread. The ticker
+/// flushes buffered trace events so a SIGKILLed process (dbench's
+/// kill-a-shard scenario, CI teardown) still leaves a usable `HKRR_TRACE`
+/// file behind; the event log needs no help — its drain thread already
+/// writes continuously.
+fn serve_forever() -> ! {
     loop {
-        std::thread::sleep(Duration::from_secs(3600));
+        std::thread::sleep(Duration::from_millis(200));
+        hkrr_telemetry::trace::flush();
     }
 }
 
@@ -304,9 +318,7 @@ fn cmd_shard_serve(args: &Args) -> Result<(), String> {
     // pipe buffer.
     use std::io::Write as _;
     std::io::stdout().flush().ok();
-    loop {
-        std::thread::sleep(Duration::from_secs(3600));
-    }
+    serve_forever()
 }
 
 /// Parses the repeated `--shard ADDR[,ADDR…]` flags into per-shard replica
@@ -375,9 +387,7 @@ fn cmd_route(args: &Args) -> Result<(), String> {
     println!("listening {}", router.local_addr());
     use std::io::Write as _;
     std::io::stdout().flush().ok();
-    loop {
-        std::thread::sleep(Duration::from_secs(3600));
-    }
+    serve_forever()
 }
 
 fn write_snapshot(report: &loadgen::LoadgenReport, out: &str) -> Result<(), String> {
@@ -425,6 +435,7 @@ fn cmd_loadgen(args: &Args) -> Result<(), String> {
         requests: args.get_parsed("requests", 1000usize)?,
         concurrency: args.get_parsed("concurrency", 8usize)?,
         seed: args.get_parsed("seed", 0x10adu64)?,
+        traced: args.get_parsed("traced", true)?,
     };
     let report = loadgen::run(&config).map_err(|e| e.to_string())?;
     write_snapshot(&report, args.get("out").unwrap_or("BENCH_serve.json"))
@@ -466,6 +477,7 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         requests: args.get_parsed("requests", 1000usize)?,
         concurrency: args.get_parsed("concurrency", 8usize)?,
         seed: args.get_parsed("seed", 0x10adu64)?,
+        traced: args.get_parsed("traced", true)?,
     };
     let report = loadgen::run(&config).map_err(|e| e.to_string())?;
     // Leave the post-run scrape next to the JSON snapshot (CI validates
@@ -503,9 +515,10 @@ struct ShardProcess {
 
 /// Spawns `hkrr-serve shard-serve` as a real child process on a free
 /// loopback port and scrapes `listening <addr>` from its stdout. When the
-/// parent runs under `HKRR_TRACE`, each child gets its own derived trace
-/// path (`<path>.shard<i>r<r>`) — two processes appending to one trace
-/// file would interleave garbage.
+/// parent runs under `HKRR_TRACE` or `HKRR_LOG`, each child gets its own
+/// derived trace/event-log path (`<path>.shard<i>r<r>`) — two processes
+/// appending to one file would interleave garbage. `HKRR_LOG=stderr` is
+/// forwarded as-is (stderr interleaving is line-atomic enough for eyes).
 fn spawn_shard_process(
     model_path: &str,
     shard: usize,
@@ -528,6 +541,13 @@ fn spawn_shard_process(
         .stderr(std::process::Stdio::null());
     if let Ok(trace) = std::env::var("HKRR_TRACE") {
         command.env("HKRR_TRACE", format!("{trace}.shard{shard}r{replica}"));
+    }
+    if let Ok(log) = std::env::var("HKRR_LOG") {
+        if log == "stderr" {
+            command.env("HKRR_LOG", log);
+        } else {
+            command.env("HKRR_LOG", format!("{log}.shard{shard}r{replica}"));
+        }
     }
     let mut child = command
         .spawn()
@@ -651,6 +671,7 @@ fn cmd_dbench(args: &Args) -> Result<(), String> {
         requests,
         concurrency: args.get_parsed("concurrency", 4usize)?,
         seed: args.get_parsed("seed", 0x10adu64)?,
+        traced: args.get_parsed("traced", true)?,
     };
     let disrupt_after = requests / 2;
     let report = loadgen::run_with_disruption(&config, disrupt_after, move || {
@@ -694,13 +715,53 @@ fn cmd_dbench(args: &Args) -> Result<(), String> {
             args.get("shard-prom").unwrap_or("BENCH_shard.prom"),
         )?;
     }
+
+    // Fleet doctor against the live (and deliberately disrupted) router —
+    // the same one-page diagnosis `hkrr-serve doctor --addr` prints, taken
+    // over TCP like an external operator would. The killed shard must show
+    // up unhealthy here.
+    let doctor = doctor_page(&router_addr)?;
+    print!("{doctor}");
+    if let Some(out) = args.get("doctor-out") {
+        std::fs::write(out, &doctor).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+
     router.shutdown();
     hkrr_telemetry::trace::flush();
+    hkrr_telemetry::log::flush();
+    // Give the shard processes one flush tick so their trace files carry
+    // the tail of the run before the SIGKILL below.
+    std::thread::sleep(Duration::from_millis(400));
     for p in &mut fleet {
         let _ = p.child.kill();
         let _ = p.child.wait();
     }
     std::fs::remove_file(&path).ok();
+
+    // With HKRR_TRACE set, stitch the router's trace file and every shard
+    // process's (spawn_shard_process derived `{base}.shardNrM` paths) into
+    // one timeline — the artifact where a single query's spans line up
+    // across process boundaries.
+    if let Ok(trace_base) = std::env::var("HKRR_TRACE") {
+        let mut inputs = vec![trace_base.clone()];
+        for shard in 0..shards {
+            for replica in 0..replicas {
+                let p = format!("{trace_base}.shard{shard}r{replica}");
+                if std::path::Path::new(&p).exists() {
+                    inputs.push(p);
+                }
+            }
+        }
+        let merged = format!("{trace_base}.merged");
+        match merge_trace_files(&inputs, &merged) {
+            Ok(s) => println!(
+                "trace-merge: {} events from {} files, {} traces ({} multi-process) → {merged}",
+                s.events, s.files, s.traces, s.multi_process
+            ),
+            Err(e) => eprintln!("trace-merge skipped: {e}"),
+        }
+    }
     let (failovers_scraped, degraded_scraped) = match &report.routing {
         Some(r) => (r.failovers, r.degraded),
         None => (0, 0),
@@ -736,8 +797,437 @@ fn cmd_dbench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Minimal JSON field extraction for the stats documents this binary's own
+// JsonWriter produced — flat objects and arrays of flat objects, no general
+// JSON parser needed (the workspace deliberately has none).
+// ---------------------------------------------------------------------------
+
+/// `"key":"value"` → the (escaped) string value.
+fn json_str(doc: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = doc.find(&pat)? + pat.len();
+    let bytes = doc.as_bytes();
+    let mut i = start;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(doc[start..i].to_string()),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// `"key":123` → the integer value.
+fn json_u64(doc: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = doc.find(&pat)? + pat.len();
+    let digits: String = doc[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// `"key":true|false` → the flag.
+fn json_bool(doc: &str, key: &str) -> Option<bool> {
+    let pat = format!("\"{key}\":");
+    let start = doc.find(&pat)? + pat.len();
+    let rest = &doc[start..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// The top-level `{…}` elements of the array at `"key":[…]`, each returned
+/// as its raw JSON text.
+fn json_objects(doc: &str, key: &str) -> Vec<String> {
+    let pat = format!("\"{key}\":[");
+    let Some(start) = doc.find(&pat).map(|i| i + pat.len()) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut obj_start = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in doc[start..].char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => {
+                if depth == 0 {
+                    obj_start = i;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    out.push(doc[start + obj_start..start + i + 1].to_string());
+                }
+            }
+            ']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// trace-merge: stitch per-process HKRR_TRACE files into one timeline.
+// ---------------------------------------------------------------------------
+
+/// What [`merge_trace_files`] found.
+struct TraceMergeSummary {
+    files: usize,
+    events: usize,
+    traced_events: usize,
+    traces: usize,
+    /// Traces whose spans came from more than one process id — the proof
+    /// that cross-process propagation actually happened.
+    multi_process: usize,
+}
+
+/// `"trace_id":"<32 hex>"` from one span line.
+fn event_trace_id(line: &str) -> Option<&str> {
+    let pat = "\"trace_id\":\"";
+    let start = line.find(pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// `"pid":N` from one span line.
+fn event_pid(line: &str) -> Option<u64> {
+    json_u64(line, "pid")
+}
+
+/// Reads per-process Chrome trace files (the line-oriented format the
+/// telemetry sink writes: `[` then one `{…},` event per line), merges every
+/// event into `out` as a strictly-valid JSON array, and groups traced spans
+/// by their `trace_id` across process boundaries.
+fn merge_trace_files(inputs: &[String], out: &str) -> Result<TraceMergeSummary, String> {
+    use std::collections::{HashMap, HashSet};
+    let mut events: Vec<String> = Vec::new();
+    let mut traces: HashMap<String, HashSet<u64>> = HashMap::new();
+    let mut traced_events = 0usize;
+    for path in inputs {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        for line in text.lines() {
+            let line = line.trim();
+            let line = line.strip_suffix(',').unwrap_or(line);
+            if !line.starts_with('{') {
+                continue; // the opening `[`, blanks, or a closing `]`
+            }
+            if let Some(trace_id) = event_trace_id(line) {
+                traced_events += 1;
+                traces
+                    .entry(trace_id.to_string())
+                    .or_default()
+                    .insert(event_pid(line).unwrap_or(0));
+            }
+            events.push(line.to_string());
+        }
+    }
+    let body = events.join(",\n");
+    std::fs::write(out, format!("[\n{body}\n]\n"))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    Ok(TraceMergeSummary {
+        files: inputs.len(),
+        events: events.len(),
+        traced_events,
+        traces: traces.len(),
+        multi_process: traces.values().filter(|pids| pids.len() > 1).count(),
+    })
+}
+
+fn cmd_trace_merge(args: &Args) -> Result<(), String> {
+    if args.positional.is_empty() {
+        return Err("usage: hkrr-serve trace-merge [--out merged.json] FILE [FILE…]".to_string());
+    }
+    let out = args.get("out").unwrap_or("trace_merged.json");
+    let min_multi = args.get_parsed("min-multi-process", 0usize)?;
+    let s = merge_trace_files(&args.positional, out)?;
+    println!(
+        "merged {} events from {} files into {out}",
+        s.events, s.files
+    );
+    println!(
+        "traces: {} distinct over {} traced spans, {} spanning multiple processes",
+        s.traces, s.traced_events, s.multi_process
+    );
+    if s.multi_process < min_multi {
+        return Err(format!(
+            "only {} multi-process traces found, --min-multi-process demands {min_multi} \
+             (was HKRR_TRACE set on every process, and did traced queries flow?)",
+            s.multi_process
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// doctor: one-page fleet diagnosis off a live router.
+// ---------------------------------------------------------------------------
+
+/// p99 (µs) of one `{name}_bucket` histogram in a Prometheus text
+/// exposition, restricted to series carrying `label.0="label.1"`.
+/// `u64::MAX` means "in the +Inf overflow bucket".
+fn prom_histogram_p99(text: &str, name: &str, label: (&str, &str)) -> Option<u64> {
+    let prefix = format!("{name}_bucket{{");
+    let needle = format!("{}=\"{}\"", label.0, label.1);
+    let mut buckets: Vec<(f64, u64)> = Vec::new();
+    for line in text.lines() {
+        if !line.starts_with(&prefix) || !line.contains(&needle) {
+            continue;
+        }
+        let le_start = line.find("le=\"")? + 4;
+        let le_end = line[le_start..].find('"')? + le_start;
+        let le = match &line[le_start..le_end] {
+            "+Inf" => f64::INFINITY,
+            v => v.parse().ok()?,
+        };
+        let count: u64 = line.rsplit(' ').next()?.trim().parse().ok()?;
+        buckets.push((le, count));
+    }
+    buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let total = buckets.last()?.1;
+    if total == 0 {
+        return None;
+    }
+    let target = ((total as f64) * 0.99).ceil() as u64;
+    for (le, cum) in buckets {
+        if cum >= target {
+            return Some(if le.is_finite() { le as u64 } else { u64::MAX });
+        }
+    }
+    None
+}
+
+fn fmt_p99(p99: Option<u64>) -> String {
+    match p99 {
+        None => "p99=n/a".to_string(),
+        Some(u64::MAX) => "p99=overflow".to_string(),
+        Some(us) => format!("p99={us}us"),
+    }
+}
+
+/// Scrapes health + stats + metrics from the router at `addr`, then every
+/// replica the router's stats document lists, and renders the one-page
+/// diagnosis `hkrr-serve doctor` prints: per-replica health/dispatch/p99
+/// deltas, queue rejections, failover counters, and the slowest traces.
+fn doctor_page(addr: &str) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let connect = Duration::from_millis(1000);
+    let io = Duration::from_secs(2);
+    let mut client = Client::connect_with(addr, connect, io)
+        .map_err(|e| format!("cannot reach router {addr}: {e}"))?;
+    let health = client
+        .health()
+        .map_err(|e| format!("health of {addr}: {e}"))?;
+    let stats = client
+        .stats()
+        .map_err(|e| format!("stats of {addr}: {e}"))?;
+    let metrics = client
+        .metrics()
+        .map_err(|e| format!("metrics of {addr}: {e}"))?;
+
+    let mut page = String::new();
+    let _ = writeln!(page, "== hkrr fleet doctor: {addr} ==");
+    let role = if health.role == hkrr_serve::protocol::ROLE_ROUTER {
+        "router"
+    } else {
+        "model server"
+    };
+    let _ = writeln!(
+        page,
+        "{role} v{} up {:.0}s, {} requests, max opcode 0x{:02x}",
+        json_str(&stats, "version").unwrap_or_else(|| "?".into()),
+        json_u64(&stats, "uptime_seconds").unwrap_or(0),
+        health.requests,
+        health.max_opcode
+    );
+    let failovers = json_u64(&stats, "failovers").unwrap_or(0);
+    let degraded = json_u64(&stats, "degraded").unwrap_or(0);
+    let exhausted = json_u64(&stats, "exhausted").unwrap_or(0);
+    let downgraded = json_u64(&stats, "downgraded_dispatches").unwrap_or(0);
+    let _ = writeln!(
+        page,
+        "queries: {} | failovers {failovers} | degraded {degraded} | exhausted {exhausted} \
+         | downgraded dispatches {downgraded}",
+        json_u64(&stats, "requests").unwrap_or(0),
+    );
+
+    // Per-replica rows: router-side counters + p99 from the router's own
+    // dispatch histogram, fleet-median delta, and a direct scrape of the
+    // replica's engine stats (unreachable replicas are flagged, not fatal).
+    let replicas = json_objects(&stats, "replicas");
+    let p99s: Vec<Option<u64>> = replicas
+        .iter()
+        .map(|r| {
+            let addr = json_str(r, "addr")?;
+            prom_histogram_p99(
+                &metrics,
+                "hkrr_router_replica_latency_micros",
+                ("replica", &addr),
+            )
+        })
+        .collect();
+    let mut finite: Vec<u64> = p99s
+        .iter()
+        .flatten()
+        .copied()
+        .filter(|&v| v != u64::MAX)
+        .collect();
+    finite.sort_unstable();
+    let median_p99 = finite
+        .get(finite.len() / 2)
+        .copied()
+        .filter(|_| !finite.is_empty());
+    let mut unhealthy: Vec<String> = Vec::new();
+    let mut total_rejections = 0u64;
+    let mut shard_slow: Vec<(u64, String, String, String)> = Vec::new();
+    let _ = writeln!(page, "replicas:");
+    for (replica, p99) in replicas.iter().zip(&p99s) {
+        let raddr = json_str(replica, "addr").unwrap_or_else(|| "?".into());
+        let shard = json_u64(replica, "shard").unwrap_or(0);
+        let healthy = json_bool(replica, "healthy").unwrap_or(false);
+        if !healthy {
+            unhealthy.push(format!("shard {shard} {raddr}"));
+        }
+        let delta = match (p99, median_p99) {
+            (Some(p), Some(m)) if *p != u64::MAX && m > 0 => {
+                format!(
+                    " ({:+.0}% vs fleet median)",
+                    100.0 * (*p as f64 - m as f64) / m as f64
+                )
+            }
+            _ => String::new(),
+        };
+        // The replica's own view, over a short-deadline scrape.
+        let direct = Client::connect_with(
+            &raddr,
+            Duration::from_millis(300),
+            Duration::from_millis(1000),
+        )
+        .and_then(|mut c| c.stats());
+        let engine_info = match &direct {
+            Ok(estats) => {
+                let rejections = json_u64(estats, "queue_rejections").unwrap_or(0);
+                total_rejections += rejections;
+                for entry in json_objects(estats, "slowlog") {
+                    shard_slow.push((
+                        json_u64(&entry, "latency_us").unwrap_or(0),
+                        json_str(&entry, "trace_id").unwrap_or_else(|| "-".into()),
+                        json_str(&entry, "detail").unwrap_or_default(),
+                        format!("shard {shard} {raddr}"),
+                    ));
+                }
+                format!("queue_rejections={rejections}")
+            }
+            Err(e) => format!("unreachable: {e}"),
+        };
+        let _ = writeln!(
+            page,
+            "  shard {shard} {raddr}  {}  dispatched={} failures={} {}{delta}  {engine_info}",
+            if healthy { "healthy" } else { "UNHEALTHY" },
+            json_u64(replica, "dispatched").unwrap_or(0),
+            json_u64(replica, "failures").unwrap_or(0),
+            fmt_p99(*p99),
+        );
+    }
+
+    let _ = writeln!(page, "slowest traces (router):");
+    for entry in json_objects(&stats, "slowlog") {
+        let _ = writeln!(
+            page,
+            "  {:>8}us trace={} {}",
+            json_u64(&entry, "latency_us").unwrap_or(0),
+            json_str(&entry, "trace_id").unwrap_or_else(|| "-".into()),
+            json_str(&entry, "detail").unwrap_or_default(),
+        );
+    }
+    shard_slow.sort_by_key(|e| std::cmp::Reverse(e.0));
+    if !shard_slow.is_empty() {
+        let _ = writeln!(page, "slowest traces (shards):");
+        for (latency_us, trace_id, detail, whom) in shard_slow.iter().take(5) {
+            let _ = writeln!(
+                page,
+                "  {latency_us:>8}us trace={trace_id} {detail} [{whom}]"
+            );
+        }
+    }
+
+    let _ = writeln!(page, "diagnosis:");
+    let mut findings = 0;
+    if !unhealthy.is_empty() {
+        findings += 1;
+        let _ = writeln!(
+            page,
+            "  - {} replica(s) unhealthy: {}",
+            unhealthy.len(),
+            unhealthy.join(", ")
+        );
+    }
+    if failovers > 0 {
+        findings += 1;
+        let _ = writeln!(page, "  - {failovers} queries needed failover");
+    }
+    if degraded > 0 || exhausted > 0 {
+        findings += 1;
+        let _ = writeln!(
+            page,
+            "  - degraded replies: {degraded}, exhausted (errored): {exhausted}"
+        );
+    }
+    if total_rejections > 0 {
+        findings += 1;
+        let _ = writeln!(
+            page,
+            "  - {total_rejections} queue rejections across the fleet"
+        );
+    }
+    if downgraded > 0 {
+        findings += 1;
+        let _ = writeln!(
+            page,
+            "  - {downgraded} traced dispatches downgraded for pre-0x08 replicas"
+        );
+    }
+    if findings == 0 {
+        let _ = writeln!(page, "  - all replicas healthy, no failovers — nominal");
+    }
+    Ok(page)
+}
+
+fn cmd_doctor(args: &Args) -> Result<(), String> {
+    let addr = args
+        .get("addr")
+        .ok_or("usage: hkrr-serve doctor --addr ROUTER [--out FILE]")?;
+    let page = doctor_page(addr)?;
+    print!("{page}");
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, &page).map_err(|e| format!("cannot write {out}: {e}"))?;
+    }
+    Ok(())
+}
+
 const USAGE: &str =
-    "usage: hkrr-serve <save|train|info|serve|loadgen|bench|shard-serve|route|dbench> [options]
+    "usage: hkrr-serve <save|train|info|serve|loadgen|bench|shard-serve|route|dbench|trace-merge|doctor> [options]
   save         train a model on a synthetic dataset and persist it (hkrr-model/1);
                --shards K (K>1) trains a cluster-sharded ensemble
   info         print a persisted model's metadata (line-oriented key: value)
@@ -748,7 +1238,13 @@ const USAGE: &str =
   shard-serve  serve ONE shard of an ensemble file (--shard I) as its own process
   route        fan-out router over shard-serve processes (--shard ADDR[,ADDR…] per shard)
   dbench       distributed bench: spawn shard processes + router, kill a shard
-               mid-run, assert availability, write BENCH_serve_distributed.json";
+               mid-run, assert availability, write BENCH_serve_distributed.json
+  trace-merge  stitch per-process HKRR_TRACE files into one timeline
+               (--out merged.json, --min-multi-process N) and count the
+               traces that crossed process boundaries
+  doctor       one-page fleet diagnosis off a live router (--addr ROUTER
+               [--out FILE]): per-replica health/p99 deltas, failovers,
+               queue rejections, slowest traces";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -770,6 +1266,8 @@ fn main() -> ExitCode {
         "shard-serve" => cmd_shard_serve(&args),
         "route" => cmd_route(&args),
         "dbench" => cmd_dbench(&args),
+        "trace-merge" => cmd_trace_merge(&args),
+        "doctor" => cmd_doctor(&args),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     });
     match result {

@@ -15,7 +15,7 @@
 //! a typed [`ServeError::Io`] after the timeout instead of hanging a
 //! production query forever.
 
-use crate::protocol::{self, Request, ServerInfo, WirePrediction};
+use crate::protocol::{self, HealthReport, Request, ServerInfo, WirePrediction};
 use crate::ServeError;
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -78,6 +78,26 @@ impl Client {
         protocol::decode_prediction(&body)
     }
 
+    /// Predicts one point under a cross-process trace context
+    /// ([`protocol::OP_PREDICT_TRACED`]): the server's engine spans adopt
+    /// `trace_id` and record `parent_span` as their causal parent. Only
+    /// send this to peers whose [`Client::health`] reports
+    /// [`HealthReport::supports_traced_predict`]; a pre-0x08 server
+    /// answers with an unknown-opcode rejection.
+    pub fn predict_traced(
+        &mut self,
+        point: Vec<f64>,
+        trace_id: u128,
+        parent_span: u64,
+    ) -> Result<WirePrediction, ServeError> {
+        let body = self.call(&Request::PredictTraced {
+            point,
+            trace_id,
+            parent_span,
+        })?;
+        protocol::decode_prediction(&body)
+    }
+
     /// Fetches the server's stats JSON.
     pub fn stats(&mut self) -> Result<String, ServeError> {
         let body = self.call(&Request::Stats)?;
@@ -103,10 +123,12 @@ impl Client {
         Ok(String::from_utf8_lossy(&body).into_owned())
     }
 
-    /// Health probe: `(role, predict requests answered)`. Unlike
-    /// [`Client::ping`], this proves the peer speaks the binary protocol
-    /// and says whether it is a model server or a router.
-    pub fn health(&mut self) -> Result<(u8, u64), ServeError> {
+    /// Health probe: role, predict-request count, and the peer's protocol
+    /// capability (see [`HealthReport`]). Unlike [`Client::ping`], this
+    /// proves the peer speaks the binary protocol and says whether it is
+    /// a model server or a router — and whether it accepts 0x08 traced
+    /// predicts.
+    pub fn health(&mut self) -> Result<HealthReport, ServeError> {
         let body = self.call(&Request::Health)?;
         protocol::decode_health(&body)
     }

@@ -22,9 +22,11 @@
 //! steady-state hot path performs no per-request allocation beyond the
 //! request envelope itself.
 
+use crate::slowlog::{SlowEntry, SlowLog, SLOWLOG_CAPACITY};
 use crate::ServeError;
 use hkrr_core::DecisionModel;
 use hkrr_linalg::Matrix;
+use hkrr_telemetry::trace::TraceContext;
 use hkrr_telemetry::{Counter, Gauge, Histogram, HistogramSpec};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -141,6 +143,10 @@ impl PendingPrediction {
 struct Request {
     point: Vec<f64>,
     enqueued: Instant,
+    /// Cross-process trace id (`0` = untraced plain predict).
+    trace_id: u128,
+    /// Caller's span id within that trace (`0` = root).
+    parent_span: u64,
     reply: mpsc::Sender<Result<Prediction, EngineError>>,
 }
 
@@ -252,6 +258,9 @@ pub struct StatsSnapshot {
     /// hosted model tracks one (per-shard load for an ensemble; empty for
     /// a single model).
     pub model_requests: Vec<u64>,
+    /// The engine's slow-query capture: the top-N requests by latency,
+    /// slowest first, with trace ids and batch context.
+    pub slowlog: Vec<SlowEntry>,
 }
 
 impl EngineStats {
@@ -281,6 +290,7 @@ impl EngineStats {
             queue_rejections: self.queue_rejections.get(),
             num_models: 1,
             model_requests: Vec::new(),
+            slowlog: Vec::new(),
         }
     }
 }
@@ -290,6 +300,9 @@ struct Shared {
     arrived: Condvar,
     shutdown: AtomicBool,
     stats: EngineStats,
+    /// Top-N requests by enqueue-to-reply latency (trace ids + batch
+    /// context), surfaced through [`StatsSnapshot::slowlog`].
+    slowlog: SlowLog,
     config: EngineConfig,
     /// The served model, behind a swap lock so `refresh` can replace it
     /// while the workers keep draining: a worker clones the handle once
@@ -325,6 +338,7 @@ impl PredictionEngine {
             arrived: Condvar::new(),
             shutdown: AtomicBool::new(false),
             stats: EngineStats::register(),
+            slowlog: SlowLog::new(SLOWLOG_CAPACITY),
             config: EngineConfig {
                 max_batch: config.max_batch.max(1),
                 queue_capacity: config.queue_capacity.max(1),
@@ -368,12 +382,14 @@ impl PredictionEngine {
     }
 
     /// Cumulative counters, including the hosted model's per-constituent
-    /// (per-shard) routed-query counts when it tracks them.
+    /// (per-shard) routed-query counts when it tracks them, and the
+    /// slow-query capture.
     pub fn stats(&self) -> StatsSnapshot {
         let mut snapshot = self.shared.stats.snapshot();
         let model = self.shared.model();
         snapshot.num_models = model.num_models();
         snapshot.model_requests = model.model_loads();
+        snapshot.slowlog = self.shared.slowlog.snapshot();
         snapshot
     }
 
@@ -381,6 +397,19 @@ impl PredictionEngine {
     /// [`PendingPrediction::wait`]. Validates the dimension and applies
     /// queue backpressure here, before any worker is involved.
     pub fn submit(&self, point: Vec<f64>) -> Result<PendingPrediction, ServeError> {
+        self.submit_traced(point, 0, 0)
+    }
+
+    /// [`PredictionEngine::submit`] under a cross-process trace context:
+    /// the worker's `engine.predict` span adopts `trace_id`/`parent_span`
+    /// and the slowlog remembers the id. `trace_id == 0` means untraced
+    /// (identical to `submit` — same arithmetic, same replies).
+    pub fn submit_traced(
+        &self,
+        point: Vec<f64>,
+        trace_id: u128,
+        parent_span: u64,
+    ) -> Result<PendingPrediction, ServeError> {
         let dim = self.shared.dim;
         if point.len() != dim {
             return Err(ServeError::Rejected(format!(
@@ -405,11 +434,19 @@ impl PredictionEngine {
             if queue.len() >= self.shared.config.queue_capacity {
                 drop(queue);
                 self.shared.stats.queue_rejections.inc();
+                hkrr_telemetry::log::event(hkrr_telemetry::log::Level::Error, "engine.reject")
+                    .trace(trace_id)
+                    .num("engine", self.shared.stats.engine_id)
+                    .field("outcome", "rejected")
+                    .field("reason", "queue_full")
+                    .emit();
                 return Err(ServeError::QueueFull);
             }
             queue.push_back(Request {
                 point,
                 enqueued: Instant::now(),
+                trace_id,
+                parent_span,
                 reply: tx,
             });
             self.shared.stats.queue_depth.set(queue.len() as f64);
@@ -421,6 +458,16 @@ impl PredictionEngine {
     /// Submits one point and blocks for the answer.
     pub fn predict_one(&self, point: Vec<f64>) -> Result<Prediction, ServeError> {
         self.submit(point)?.wait()
+    }
+
+    /// Submits one traced point and blocks for the answer.
+    pub fn predict_one_traced(
+        &self,
+        point: Vec<f64>,
+        trace_id: u128,
+        parent_span: u64,
+    ) -> Result<Prediction, ServeError> {
+        self.submit_traced(point, trace_id, parent_span)?.wait()
     }
 
     /// Signals shutdown, lets the workers drain the queue, and joins them.
@@ -520,6 +567,23 @@ fn worker_loop(shared: &Shared) {
         for req in &batch {
             points_buf.extend_from_slice(&req.point);
         }
+        // One `engine.predict` span per *traced* request, opened before the
+        // evaluation so the span covers the batched model work. When
+        // tracing is disabled this stays an empty Vec (one relaxed load in
+        // `enabled()`, nothing allocated).
+        let mut req_spans: Vec<Option<hkrr_telemetry::trace::Span>> = Vec::new();
+        if hkrr_telemetry::trace::enabled() {
+            req_spans.extend(batch.iter().map(|req| {
+                (req.trace_id != 0).then(|| {
+                    let mut s = hkrr_telemetry::trace::span("engine.predict");
+                    s.adopt(TraceContext {
+                        trace_id: req.trace_id,
+                        parent_span: req.parent_span,
+                    });
+                    s
+                })
+            }));
+        }
         let test = Matrix::from_vec(rows, dim, std::mem::take(&mut points_buf));
         // One handle clone per batch: a concurrent refresh swaps the slot
         // without tearing this batch.
@@ -534,9 +598,17 @@ fn worker_loop(shared: &Shared) {
         stats.requests.add(rows as u64);
         stats.batches.inc();
         stats.batch_rows.record(rows as u64);
-        for (req, &score) in batch.drain(..).zip(scores.iter()) {
+        for (i, (req, &score)) in batch.drain(..).zip(scores.iter()).enumerate() {
             let latency = req.enqueued.elapsed();
             stats.latency_micros.record_duration(latency);
+            let latency_us = latency.as_micros() as u64;
+            shared
+                .slowlog
+                .record(latency_us, req.trace_id, || format!("batch={rows}"));
+            if let Some(Some(span)) = req_spans.get_mut(i) {
+                span.annotate("batch", rows);
+                span.annotate("latency_us", latency_us);
+            }
             // A dropped receiver (client gone) is fine; ignore send errors.
             let _ = req.reply.send(Ok(Prediction {
                 score,
@@ -545,6 +617,9 @@ fn worker_loop(shared: &Shared) {
                 batch_size: rows,
             }));
         }
+        // Spans drop here: each traced request's `engine.predict` event is
+        // written with its trace id once the whole batch has been replied.
+        req_spans.clear();
     }
 }
 
@@ -875,6 +950,7 @@ mod tests {
             arrived: Condvar::new(),
             shutdown: AtomicBool::new(false),
             stats: EngineStats::register(),
+            slowlog: SlowLog::new(SLOWLOG_CAPACITY),
             config: EngineConfig {
                 workers: 0,
                 max_batch,
@@ -891,6 +967,8 @@ mod tests {
         shared.queue.lock().unwrap().push_back(Request {
             point,
             enqueued: Instant::now(),
+            trace_id: 0,
+            parent_span: 0,
             reply: tx,
         });
         shared.arrived.notify_one();

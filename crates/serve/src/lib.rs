@@ -26,7 +26,10 @@
 //! * [`loadgen`] — a benchmarking client that hammers a server over
 //!   loopback (or the network) and writes the `BENCH_serve.json`
 //!   latency/throughput snapshot (schema `hkrr-serve-perf/1`), including a
-//!   kill-a-shard disruption mode for availability testing.
+//!   kill-a-shard disruption mode for availability testing,
+//! * [`slowlog`] — fixed-size top-N-by-latency capture (trace ids +
+//!   context) kept by the engine and the router, surfaced through `stats`
+//!   and the fleet-wide `hkrr-serve doctor` diagnosis.
 //!
 //! The `hkrr-serve` binary stitches these together:
 //! `train → save → serve → loadgen`, or distributed:
@@ -42,6 +45,7 @@ pub mod loadgen;
 pub mod protocol;
 pub mod router;
 pub mod server;
+pub mod slowlog;
 
 pub use client::Client;
 pub use codec::{
@@ -52,6 +56,7 @@ pub use engine::{EngineConfig, EngineError, EngineStats, PredictionEngine};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use router::{RouterConfig, RouterServer};
 pub use server::{ModelSource, Reply, RequestHandler, Server, ServerConfig, TcpFrontEnd};
+pub use slowlog::{SlowEntry, SlowLog};
 
 /// Errors surfaced by the serving layer.
 #[derive(Debug)]

@@ -33,6 +33,13 @@ pub struct LoadgenConfig {
     pub concurrency: usize,
     /// RNG seed for the query points.
     pub seed: u64,
+    /// Send `OP_PREDICT_TRACED` frames (a fresh trace id per query) when
+    /// the server's health reply advertises 0x08 support; the report then
+    /// carries `traced_requests` and the slowest trace ids, so a tail
+    /// latency in `BENCH_serve*.json` can be chased into the merged
+    /// cross-process trace. Auto-downgrades to plain `predict` against a
+    /// pre-0x08 server.
+    pub traced: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -42,6 +49,7 @@ impl Default for LoadgenConfig {
             requests: 1000,
             concurrency: 8,
             seed: 0x10ad,
+            traced: true,
         }
     }
 }
@@ -203,6 +211,24 @@ pub struct LoadgenReport {
     /// `metrics` scrapes (absent only when the target could not be
     /// scraped).
     pub registry: Option<RegistryDelta>,
+    /// Queries sent as `OP_PREDICT_TRACED` frames (0 when the server is
+    /// pre-0x08 or [`LoadgenConfig::traced`] was off).
+    pub traced_requests: usize,
+    /// The slowest traced queries of the run as `(latency_micros,
+    /// trace_id)`, slowest first — the ids to look up in the merged trace
+    /// or the event log.
+    pub slowest_traces: Vec<(u64, u128)>,
+}
+
+/// How many slowest-trace ids the report retains.
+const SLOWEST_TRACES: usize = 5;
+
+/// Merge `(latency_micros, trace_id)` observations into a bounded
+/// slowest-first list.
+fn merge_slowest(into: &mut Vec<(u64, u128)>, from: &[(u64, u128)]) {
+    into.extend_from_slice(from);
+    into.sort_by_key(|&(latency, _)| std::cmp::Reverse(latency));
+    into.truncate(SLOWEST_TRACES);
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -241,6 +267,14 @@ fn run_inner(
     let info = probe.info()?;
     let dim = info.dim as usize;
     let n_train = info.n_train;
+    // Traced sends only against a peer that advertises 0x08 — a legacy
+    // server would reject the opcode, turning a capability mismatch into
+    // phantom errors.
+    let use_traced = config.traced
+        && probe
+            .health()
+            .map(|h| h.supports_traced_predict())
+            .unwrap_or(false);
     // Server-side view of the run: scrape the registry before and after so
     // the report can carry counter/histogram deltas next to the
     // client-observed numbers. Best-effort — a peer that cannot answer
@@ -262,6 +296,8 @@ fn run_inner(
         post_latencies_ms: Vec<f64>,
         post_requests: usize,
         post_errors: usize,
+        traced_requests: usize,
+        slowest_traces: Vec<(u64, u128)>,
     }
 
     // Shared run state: completed-attempt counter drives the disruption
@@ -317,12 +353,28 @@ fn run_inner(
                     for _ in 0..quota {
                         let point: Vec<f64> = (0..dim).map(|_| rng.next_gaussian()).collect();
                         let post = disrupted.load(Ordering::Acquire);
+                        let trace_id = if use_traced {
+                            hkrr_telemetry::trace::mint_trace_id()
+                        } else {
+                            0
+                        };
                         let sent = Instant::now();
-                        let result = client.predict(point);
+                        let result = if trace_id != 0 {
+                            out.traced_requests += 1;
+                            client.predict_traced(point, trace_id, 0)
+                        } else {
+                            client.predict(point)
+                        };
                         let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
                         if post {
                             out.post_requests += 1;
                             out.post_latencies_ms.push(latency_ms);
+                        }
+                        if trace_id != 0 {
+                            merge_slowest(
+                                &mut out.slowest_traces,
+                                &[(sent.elapsed().as_micros() as u64, trace_id)],
+                            );
                         }
                         match result {
                             Ok(p) => {
@@ -361,6 +413,8 @@ fn run_inner(
     let mut errors = 0usize;
     let mut post_requests = 0usize;
     let mut post_errors = 0usize;
+    let mut traced_requests = 0usize;
+    let mut slowest_traces: Vec<(u64, u128)> = Vec::new();
     for o in outcomes {
         latencies.extend_from_slice(&o.latencies_ms);
         post_latencies.extend_from_slice(&o.post_latencies_ms);
@@ -370,6 +424,8 @@ fn run_inner(
         errors += o.errors;
         post_requests += o.post_requests;
         post_errors += o.post_errors;
+        traced_requests += o.traced_requests;
+        merge_slowest(&mut slowest_traces, &o.slowest_traces);
     }
     let ok = latencies.len();
     let registry = scrape_before.and_then(|before| {
@@ -430,6 +486,8 @@ fn run_inner(
         disruption: disruption_stats,
         routing: None,
         registry,
+        traced_requests,
+        slowest_traces,
     })
 }
 
@@ -480,18 +538,30 @@ impl LoadgenReport {
             w.field_u64("exhausted", r.exhausted);
             w.end_object();
         }
-        if let Some(r) = &self.registry {
+        if self.registry.is_some() || self.traced_requests > 0 {
             w.key("registry");
             w.begin_object();
-            w.field_u64("requests", r.requests);
-            w.field_u64("queue_rejections", r.queue_rejections);
-            w.field_u64("failovers", r.failovers);
-            w.field_u64("degraded", r.degraded);
-            w.field_u64("exhausted", r.exhausted);
-            w.field_u64("latency_count", r.latency_count);
-            w.field_f64("latency_p50_ms", r.latency_p50_ms);
-            w.field_f64("latency_p95_ms", r.latency_p95_ms);
-            w.field_f64("latency_p99_ms", r.latency_p99_ms);
+            if let Some(r) = &self.registry {
+                w.field_u64("requests", r.requests);
+                w.field_u64("queue_rejections", r.queue_rejections);
+                w.field_u64("failovers", r.failovers);
+                w.field_u64("degraded", r.degraded);
+                w.field_u64("exhausted", r.exhausted);
+                w.field_u64("latency_count", r.latency_count);
+                w.field_f64("latency_p50_ms", r.latency_p50_ms);
+                w.field_f64("latency_p95_ms", r.latency_p95_ms);
+                w.field_f64("latency_p99_ms", r.latency_p99_ms);
+            }
+            w.field_usize("traced_requests", self.traced_requests);
+            w.key("slowest_traces");
+            w.begin_array();
+            for (latency_us, trace_id) in &self.slowest_traces {
+                w.begin_object();
+                w.field_u64("latency_us", *latency_us);
+                w.field_str("trace_id", &format!("{trace_id:032x}"));
+                w.end_object();
+            }
+            w.end_array();
             w.end_object();
         }
         w.end_object();
@@ -561,6 +631,8 @@ mod tests {
             disruption: None,
             routing: None,
             registry: None,
+            traced_requests: 0,
+            slowest_traces: Vec::new(),
         };
         let json = report.to_json();
         validate(&json).unwrap();
@@ -595,6 +667,8 @@ mod tests {
                 latency_p99_ms: 3.2,
                 ..RegistryDelta::default()
             }),
+            traced_requests: 100,
+            slowest_traces: vec![(900, 0xabcd), (500, 0x1234)],
             ..report
         };
         let json = report.to_json();
@@ -604,7 +678,19 @@ mod tests {
         assert!(json.contains("\"failovers\":3"));
         assert!(json.contains("\"registry\""));
         assert!(json.contains("\"latency_count\":100"));
+        assert!(json.contains("\"traced_requests\":100"));
+        assert!(json.contains(&format!("\"trace_id\":\"{:032x}\"", 0xabcdu128)));
         assert!(report.summary().contains("after disruption at #52"));
+    }
+
+    #[test]
+    fn merge_slowest_keeps_bounded_slowest_first() {
+        let mut acc: Vec<(u64, u128)> = Vec::new();
+        merge_slowest(&mut acc, &[(10, 1), (90, 2)]);
+        merge_slowest(&mut acc, &[(50, 3), (70, 4), (20, 5), (60, 6), (80, 7)]);
+        assert_eq!(acc.len(), SLOWEST_TRACES);
+        assert_eq!(acc[0], (90, 2));
+        assert!(acc.windows(2).all(|w| w[0].0 >= w[1].0));
     }
 
     #[test]

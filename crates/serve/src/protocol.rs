@@ -20,19 +20,30 @@
 //! | 0x02 | —                      | engine stats as a JSON string                |
 //! | 0x03 | — (ping)               | —                                            |
 //! | 0x04 | — (info)               | `dim u32, n_train u64, uptime µs u64, version, stamp` |
-//! | 0x05 | — (health)             | `role u8, requests u64`                      |
+//! | 0x05 | — (health)             | `role u8, requests u64[, max_opcode u8]`     |
 //! | 0x06 | — (refresh)            | `num_models u32, n_train u64`                |
 //! | 0x07 | — (metrics)            | Prometheus text exposition (UTF-8)           |
+//! | 0x08 | `trace u128, parent u64, d × f64` | same as 0x01                      |
 //!
 //! `health` (0x05) is the router tier's liveness + readiness probe: unlike
 //! `ping`, it proves the peer speaks the binary protocol *and* reports
 //! which role it plays (`0` = model server, `1` = router) plus how many
-//! predict requests it has answered. `refresh` (0x06) asks a model server
-//! to re-load its model from the source it was started from and hot-swap
-//! it behind the live engine; servers without a reloadable source answer
-//! with a status-1 error. `metrics` (0x07) renders the process-global
-//! telemetry registry in Prometheus text exposition format, so shard
-//! servers and routers are scrapeable in place.
+//! predict requests it has answered. Post-0x08 servers append a
+//! `max_opcode` capability byte (the highest request opcode they accept);
+//! decoders tolerate the legacy 9-byte body and report
+//! [`OP_METRICS`] for it, which is how the router detects a pre-0x08 peer
+//! and downgrades traced dispatches to plain [`OP_PREDICT`]. `refresh`
+//! (0x06) asks a model server to re-load its model from the source it was
+//! started from and hot-swap it behind the live engine; servers without a
+//! reloadable source answer with a status-1 error. `metrics` (0x07)
+//! renders the process-global telemetry registry in Prometheus text
+//! exposition format, so shard servers and routers are scrapeable in
+//! place. `predict-traced` (0x08) is `predict` plus a leading
+//! cross-process trace context — `trace_id: u128` then
+//! `parent_span: u64`, both little-endian, before the point — so the
+//! server's engine spans join the caller's trace; it is **binary-only**
+//! (line mode rejects it cleanly: trace ids are not meaningful on a
+//! hand-typed `nc` session).
 //!
 //! The info body carries the server's uptime and build identity after the
 //! fixed `dim`/`n_train` fields (version and stamp as `len: u8` + UTF-8
@@ -63,6 +74,17 @@ pub const OP_HEALTH: u8 = 0x05;
 pub const OP_REFRESH: u8 = 0x06;
 /// Request opcode: Prometheus text exposition of the telemetry registry.
 pub const OP_METRICS: u8 = 0x07;
+/// Request opcode: predict one point carrying a cross-process trace
+/// context (`trace_id: u128` + `parent_span: u64` before the features).
+pub const OP_PREDICT_TRACED: u8 = 0x08;
+
+/// The highest request opcode this build understands; advertised in the
+/// health response's `max_opcode` capability byte.
+pub const MAX_OPCODE: u8 = OP_PREDICT_TRACED;
+
+/// Byte length of the trace-context prefix in an [`OP_PREDICT_TRACED`]
+/// body: `trace_id: u128` (16) + `parent_span: u64` (8).
+pub const TRACE_PREFIX_LEN: usize = 24;
 
 /// `role` byte in a health response: a model (shard) server.
 pub const ROLE_MODEL: u8 = 0;
@@ -79,6 +101,16 @@ pub const STATUS_ERR: u8 = 1;
 pub enum Request {
     /// Predict a single raw feature vector.
     Predict(Vec<f64>),
+    /// Predict a single raw feature vector under a caller-supplied trace
+    /// context (binary-only; see [`OP_PREDICT_TRACED`]).
+    PredictTraced {
+        /// The feature vector, as in [`Request::Predict`].
+        point: Vec<f64>,
+        /// Caller's globally-unique trace id (`0` never sent).
+        trace_id: u128,
+        /// Span id of the caller's dispatch span (`0` for a root).
+        parent_span: u64,
+    },
     /// Engine statistics (JSON).
     Stats,
     /// Liveness probe.
@@ -146,6 +178,20 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             }
             out
         }
+        Request::PredictTraced {
+            point,
+            trace_id,
+            parent_span,
+        } => {
+            let mut out = Vec::with_capacity(1 + TRACE_PREFIX_LEN + point.len() * 8);
+            out.push(OP_PREDICT_TRACED);
+            out.extend_from_slice(&trace_id.to_le_bytes());
+            out.extend_from_slice(&parent_span.to_le_bytes());
+            for &v in point {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out
+        }
         Request::Stats => vec![OP_STATS],
         Request::Ping => vec![OP_PING],
         Request::Info => vec![OP_INFO],
@@ -173,6 +219,33 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ServeError> {
                 .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
                 .collect();
             Ok(Request::Predict(point))
+        }
+        OP_PREDICT_TRACED => {
+            if body.len() < TRACE_PREFIX_LEN {
+                return Err(ServeError::Protocol(format!(
+                    "traced predict body of {} bytes is shorter than the \
+                     {TRACE_PREFIX_LEN}-byte trace context",
+                    body.len()
+                )));
+            }
+            let trace_id = u128::from_le_bytes(body[0..16].try_into().unwrap());
+            let parent_span = u64::from_le_bytes(body[16..24].try_into().unwrap());
+            let rest = &body[TRACE_PREFIX_LEN..];
+            if rest.len() % 8 != 0 {
+                return Err(ServeError::Protocol(format!(
+                    "traced predict point of {} bytes is not a whole number of f64s",
+                    rest.len()
+                )));
+            }
+            let point = rest
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            Ok(Request::PredictTraced {
+                point,
+                trace_id,
+                parent_span,
+            })
         }
         OP_STATS => Ok(Request::Stats),
         OP_PING => Ok(Request::Ping),
@@ -339,23 +412,64 @@ pub fn decode_info(body: &[u8]) -> Result<ServerInfo, ServeError> {
     })
 }
 
-/// Encodes a health response body.
+/// A decoded health response: liveness, role, and protocol capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthReport {
+    /// [`ROLE_MODEL`] or [`ROLE_ROUTER`].
+    pub role: u8,
+    /// Cumulative predict requests answered by the peer.
+    pub requests: u64,
+    /// Highest request opcode the peer accepts. Legacy 9-byte bodies
+    /// decode as [`OP_METRICS`] (0x07): a pre-0x08 peer that must be sent
+    /// plain [`OP_PREDICT`] frames.
+    pub max_opcode: u8,
+}
+
+impl HealthReport {
+    /// Whether the peer accepts [`OP_PREDICT_TRACED`] frames.
+    pub fn supports_traced_predict(&self) -> bool {
+        self.max_opcode >= OP_PREDICT_TRACED
+    }
+}
+
+/// Encodes a health response body (10 bytes, capability byte included).
 pub fn encode_health(role: u8, requests: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10);
+    out.push(role);
+    out.extend_from_slice(&requests.to_le_bytes());
+    out.push(MAX_OPCODE);
+    out
+}
+
+/// Encodes the legacy 9-byte health body of a pre-0x08 server. Production
+/// servers always advertise their capability; this exists so
+/// mixed-version tests can impersonate an old peer.
+pub fn encode_health_legacy(role: u8, requests: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(9);
     out.push(role);
     out.extend_from_slice(&requests.to_le_bytes());
     out
 }
 
-/// Decodes a health response body into `(role, requests)`.
-pub fn decode_health(body: &[u8]) -> Result<(u8, u64), ServeError> {
-    if body.len() != 9 {
+/// Decodes a health response body. The legacy 9-byte body (no capability
+/// byte) decodes with `max_opcode = OP_METRICS`; anything else that is not
+/// exactly 10 bytes is refused.
+pub fn decode_health(body: &[u8]) -> Result<HealthReport, ServeError> {
+    if body.len() != 9 && body.len() != 10 {
         return Err(ServeError::Protocol(format!(
-            "health body is {} bytes, expected 9",
+            "health body is {} bytes, expected 9 (legacy) or 10",
             body.len()
         )));
     }
-    Ok((body[0], u64::from_le_bytes(body[1..9].try_into().unwrap())))
+    Ok(HealthReport {
+        role: body[0],
+        requests: u64::from_le_bytes(body[1..9].try_into().unwrap()),
+        max_opcode: if body.len() == 10 {
+            body[9]
+        } else {
+            OP_METRICS
+        },
+    })
 }
 
 /// Encodes a refresh response body.
@@ -382,6 +496,11 @@ pub fn decode_refreshed(body: &[u8]) -> Result<(u32, u64), ServeError> {
 
 /// Parses one line-mode command. Returns `None` for `quit`/`exit` (close
 /// the connection).
+///
+/// Traced predict ([`OP_PREDICT_TRACED`]) has **no line-mode form**: a
+/// `predict-traced …` line is refused with a typed error (rendered as an
+/// `err …` reply, connection kept) rather than silently parsed as an
+/// untraced predict — trace ids are binary-frame-only.
 pub fn parse_line(line: &str) -> Result<Option<Request>, ServeError> {
     let mut words = line.split_whitespace();
     match words.next() {
@@ -396,6 +515,11 @@ pub fn parse_line(line: &str) -> Result<Option<Request>, ServeError> {
                 Err(e) => Err(ServeError::Protocol(format!("bad feature value: {e}"))),
             }
         }
+        Some("predict-traced") => Err(ServeError::Protocol(
+            "predict-traced is binary-only; open an HKRB framed connection to send \
+             trace context"
+                .to_string(),
+        )),
         Some("stats") => Ok(Some(Request::Stats)),
         Some("ping") => Ok(Some(Request::Ping)),
         Some("info") => Ok(Some(Request::Info)),
@@ -461,6 +585,53 @@ mod tests {
     }
 
     #[test]
+    fn traced_predict_roundtrips_bitwise() {
+        let req = Request::PredictTraced {
+            point: vec![1.5, -2.25, f64::MIN_POSITIVE, 1e300],
+            trace_id: 0xfeed_beef_dead_cafe_0123_4567_89ab_cdef,
+            parent_span: 42,
+        };
+        let payload = encode_request(&req);
+        assert_eq!(payload[0], OP_PREDICT_TRACED);
+        assert_eq!(payload.len(), 1 + TRACE_PREFIX_LEN + 4 * 8);
+        assert_eq!(decode_request(&payload).unwrap(), req);
+
+        // Zero-length point is wire-legal at this layer (dimension checks
+        // live in the engine).
+        let empty = Request::PredictTraced {
+            point: vec![],
+            trace_id: 1,
+            parent_span: 0,
+        };
+        assert_eq!(decode_request(&encode_request(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn traced_predict_refuses_truncated_and_garbage_bodies() {
+        // Body shorter than the 24-byte trace context.
+        for short in [0, 1, 8, 23] {
+            let mut payload = vec![OP_PREDICT_TRACED];
+            payload.extend_from_slice(&vec![0xAB; short]);
+            match decode_request(&payload) {
+                Err(ServeError::Protocol(msg)) => {
+                    assert!(msg.contains("trace context"), "unexpected message: {msg}")
+                }
+                other => panic!("expected Protocol error, got {other:?}"),
+            }
+        }
+        // Context present but point bytes not a multiple of 8.
+        let mut payload = vec![OP_PREDICT_TRACED];
+        payload.extend_from_slice(&[0u8; TRACE_PREFIX_LEN]);
+        payload.extend_from_slice(&[1, 2, 3]);
+        match decode_request(&payload) {
+            Err(ServeError::Protocol(msg)) => {
+                assert!(msg.contains("whole number of f64s"), "unexpected: {msg}")
+            }
+            other => panic!("expected Protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn responses_roundtrip() {
         let p = WirePrediction {
             score: -0.123456789,
@@ -510,11 +681,23 @@ mod tests {
         assert!(decode_response(&[]).is_err());
 
         let health = encode_ok(&encode_health(ROLE_ROUTER, 12345));
+        let report = decode_health(decode_response(&health).unwrap()).unwrap();
         assert_eq!(
-            decode_health(decode_response(&health).unwrap()).unwrap(),
-            (ROLE_ROUTER, 12345)
+            report,
+            HealthReport {
+                role: ROLE_ROUTER,
+                requests: 12345,
+                max_opcode: MAX_OPCODE,
+            }
         );
+        assert!(report.supports_traced_predict());
+        // A legacy 9-byte body decodes as a pre-0x08 peer.
+        let legacy = decode_health(&encode_health_legacy(ROLE_MODEL, 7)).unwrap();
+        assert_eq!(legacy.requests, 7);
+        assert_eq!(legacy.max_opcode, OP_METRICS);
+        assert!(!legacy.supports_traced_predict());
         assert!(decode_health(&[0u8; 3]).is_err());
+        assert!(decode_health(&[0u8; 11]).is_err());
 
         let refreshed = encode_ok(&encode_refreshed(4, 2000));
         assert_eq!(
@@ -537,6 +720,12 @@ mod tests {
         assert_eq!(parse_line("refresh").unwrap(), Some(Request::Refresh));
         assert_eq!(parse_line("metrics").unwrap(), Some(Request::Metrics));
         assert_eq!(parse_line("quit").unwrap(), None);
+        // Traced predict is binary-only: the line form is refused with a
+        // typed error, not parsed as a plain predict.
+        match parse_line("predict-traced 1.0 2.0") {
+            Err(ServeError::Protocol(msg)) => assert!(msg.contains("binary-only")),
+            other => panic!("expected Protocol error, got {other:?}"),
+        }
         assert!(parse_line("predict").is_err());
         assert!(parse_line("predict one two").is_err());
         assert!(parse_line("launch missiles").is_err());

@@ -31,20 +31,43 @@
 //!   replica left, the query falls through to the next-nearest centroid's
 //!   shard. A degraded reply (fewer than `route_nearest` contributions, but
 //!   at least one) is still served rather than errored.
+//!
+//! The router is also the root of cross-process request tracing: it mints
+//! a trace id per inbound query (or adopts the caller's on an
+//! [`crate::protocol::OP_PREDICT_TRACED`] request), stamps it on its
+//! `router.predict` / `router.dispatch` spans, and forwards it to each
+//! shard replica so the shard's engine spans join the same timeline.
+//! Capability is probed, not assumed: the health prober records each
+//! replica's `max_opcode` and the dispatcher falls back to plain
+//! `predict` — counting a `downgraded_dispatch` — for pre-0x08 peers.
+//! Every routed query also lands one structured event-log `request` line
+//! (when `HKRR_LOG` is set) and competes for the router's [`SlowLog`].
 
 use crate::client::Client;
 use crate::protocol::{Request, WirePrediction, ROLE_ROUTER};
-use crate::server::{metrics_exposition, server_info, Reply, RequestHandler, TcpFrontEnd};
+use crate::server::{
+    metrics_exposition, server_info, write_slowlog, Reply, RequestHandler, TcpFrontEnd,
+};
+use crate::slowlog::{SlowLog, SLOWLOG_CAPACITY};
 use crate::ServeError;
 use hkrr_bench::json::JsonWriter;
 use hkrr_ensemble::combine_scores;
 use hkrr_linalg::Matrix;
+use hkrr_telemetry::log::{self, Level};
+use hkrr_telemetry::trace::{self, TraceContext};
 use hkrr_telemetry::{Counter, Histogram, HistogramSpec};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Replica traced-predict capability: not yet probed.
+const TRACED_UNKNOWN: u8 = 0;
+/// Replica traced-predict capability: health reported `max_opcode >= 0x08`.
+const TRACED_YES: u8 = 1;
+/// Replica traced-predict capability: pre-0x08 peer — dispatch plain.
+const TRACED_NO: u8 = 2;
 
 /// Monotone router id so several routers in one process (tests) keep
 /// distinct label sets in the shared registry.
@@ -89,6 +112,12 @@ struct Replica {
     addr: String,
     conn: Mutex<Option<Client>>,
     healthy: AtomicBool,
+    /// Whether this replica accepts `OP_PREDICT_TRACED` (0x08), learned
+    /// from the `max_opcode` byte of its health reply: one of
+    /// [`TRACED_UNKNOWN`], [`TRACED_YES`], [`TRACED_NO`]. While unknown
+    /// the router dispatches plain (safe against pre-0x08 peers) without
+    /// counting a downgrade.
+    traced_support: AtomicU8,
     /// Requests currently being answered by this replica — the
     /// least-loaded routing key.
     inflight: AtomicU64,
@@ -132,6 +161,7 @@ impl Replica {
             // so a router can start before its shard fleet finishes coming
             // up without permanently blacklisting anyone.
             healthy: AtomicBool::new(true),
+            traced_support: AtomicU8::new(TRACED_UNKNOWN),
             inflight: AtomicU64::new(0),
             dispatched,
             failures,
@@ -140,12 +170,16 @@ impl Replica {
     }
 
     /// One request/response against this replica, reusing the cached
-    /// connection when possible. On any error the cached connection is
-    /// dropped and the replica is marked unhealthy (the prober re-admits
-    /// it when it answers again).
+    /// connection when possible. `trace` carries the `(trace_id,
+    /// parent_span)` to forward as an `OP_PREDICT_TRACED` frame — the
+    /// caller only passes `Some` when this replica is known to accept
+    /// 0x08. On any error the cached connection is dropped and the
+    /// replica is marked unhealthy (the prober re-admits it when it
+    /// answers again).
     fn call(
         &self,
         point: &[f64],
+        trace: Option<(u128, u64)>,
         connect_timeout: Duration,
         io_timeout: Duration,
     ) -> Result<WirePrediction, ServeError> {
@@ -161,7 +195,13 @@ impl Replica {
                 )?);
             }
             let client = guard.as_mut().expect("connection just established");
-            match client.predict(point.to_vec()) {
+            let outcome = match trace {
+                Some((trace_id, parent_span)) => {
+                    client.predict_traced(point.to_vec(), trace_id, parent_span)
+                }
+                None => client.predict(point.to_vec()),
+            };
+            match outcome {
                 Ok(p) => Ok(p),
                 Err(e @ (ServeError::Io(_) | ServeError::Protocol(_))) => {
                     // The stream may be desynced or dead — never reuse it.
@@ -233,8 +273,14 @@ struct RouterInner {
     degraded: Arc<Counter>,
     /// Queries answered with zero contributions (errors to the caller).
     exhausted: Arc<Counter>,
+    /// Traced dispatches downgraded to plain `predict` because the
+    /// replica's health reply reported a pre-0x08 `max_opcode`.
+    downgraded_dispatches: Arc<Counter>,
     /// End-to-end routed-query latency (fan-out + combine).
     latency_micros: Arc<Histogram>,
+    /// Top-N slowest routed queries (trace ids + fan-out context),
+    /// surfaced through `stats` and `hkrr-serve doctor`.
+    slowlog: SlowLog,
     /// Total training points behind the fleet, summed from shard `info`
     /// replies at startup (0 until at least one shard answered).
     n_train: AtomicU64,
@@ -247,8 +293,32 @@ impl RouterInner {
 
     /// Routes one point to shard processes and combines the replies —
     /// bitwise the in-process ensemble when all shards are reachable.
-    fn predict(&self, point: &[f64]) -> Result<WirePrediction, ServeError> {
+    ///
+    /// `inbound` is the caller's trace context for an `OP_PREDICT_TRACED`
+    /// request. For a plain predict the router mints its own context —
+    /// but only when tracing or event logging is actually on, so the
+    /// fully-disabled path dispatches byte-identical plain `OP_PREDICT`
+    /// frames.
+    fn predict(
+        &self,
+        point: &[f64],
+        inbound: Option<TraceContext>,
+    ) -> Result<WirePrediction, ServeError> {
+        let ctx = match inbound {
+            Some(ctx) => Some(ctx),
+            None if trace::enabled() || log::enabled() => Some(TraceContext::mint()),
+            None => None,
+        };
+        let trace_id = ctx.map_or(0, |c| c.trace_id);
         if point.len() != self.dim() {
+            if log::enabled() {
+                log::event(Level::Error, "request")
+                    .trace(trace_id)
+                    .field("role", "router")
+                    .field("outcome", "rejected")
+                    .field("reason", "dimension_mismatch")
+                    .emit();
+            }
             return Err(ServeError::Rejected(format!(
                 "dimension mismatch: model expects {}, request has {}",
                 self.dim(),
@@ -257,6 +327,10 @@ impl RouterInner {
         }
         let started = Instant::now();
         let mut predict_span = hkrr_telemetry::span!("router.predict");
+        if let Some(ctx) = ctx {
+            predict_span.adopt(ctx);
+        }
+        let predict_span_id = predict_span.id();
         let order = self.full_router.route(point);
         // (d2, score) contributions, gathered in failover order: the first
         // `route_nearest` shards when all are reachable — exactly the
@@ -264,6 +338,9 @@ impl RouterInner {
         // only when a nearer shard is completely dark.
         let mut contributions: Vec<(f64, f64)> = Vec::with_capacity(self.route_nearest);
         let mut failed_over = false;
+        // Slowest successful dispatch `(micros, shard, replica addr)` —
+        // the context string the slowlog entry carries.
+        let mut slowest_dispatch: Option<(u64, usize, usize)> = None;
         for &(shard, d2) in &order {
             if contributions.len() == self.route_nearest {
                 break;
@@ -271,11 +348,39 @@ impl RouterInner {
             let pool = &self.pools[shard];
             let mut answered = false;
             for idx in pool.preference_order() {
+                let replica = &pool.replicas[idx];
                 let mut dispatch_span = hkrr_telemetry::span!("router.dispatch");
                 dispatch_span.annotate("shard", shard);
-                dispatch_span.annotate("replica", &pool.replicas[idx].addr);
-                match pool.replicas[idx].call(point, self.connect_timeout, self.io_timeout) {
+                dispatch_span.annotate("replica", &replica.addr);
+                if let Some(ctx) = ctx {
+                    dispatch_span.adopt(TraceContext {
+                        trace_id: ctx.trace_id,
+                        parent_span: predict_span_id,
+                    });
+                }
+                // Forward the trace only to peers whose health reply
+                // advertised 0x08; a known-legacy peer downgrades the
+                // dispatch to plain predict, an unprobed one dispatches
+                // plain without counting a downgrade.
+                let forward = if trace_id != 0 {
+                    match replica.traced_support.load(Ordering::Acquire) {
+                        TRACED_YES => Some((trace_id, dispatch_span.id())),
+                        TRACED_NO => {
+                            self.downgraded_dispatches.inc();
+                            None
+                        }
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                let dispatch_started = Instant::now();
+                match replica.call(point, forward, self.connect_timeout, self.io_timeout) {
                     Ok(p) => {
+                        let micros = dispatch_started.elapsed().as_micros() as u64;
+                        if slowest_dispatch.map_or(true, |(m, _, _)| micros > m) {
+                            slowest_dispatch = Some((micros, shard, idx));
+                        }
                         contributions.push((d2, p.score));
                         answered = true;
                         break;
@@ -295,12 +400,54 @@ impl RouterInner {
             }
         }
         self.requests.inc();
-        self.latency_micros.record_duration(started.elapsed());
+        let latency = started.elapsed();
+        self.latency_micros.record_duration(latency);
         predict_span.annotate("contributions", contributions.len());
         predict_span.annotate("failed_over", failed_over);
         drop(predict_span);
         if failed_over {
             self.failovers.inc();
+        }
+        let latency_micros = latency.as_micros() as u64;
+        let num_contributions = contributions.len();
+        self.slowlog.record(latency_micros, trace_id, || {
+            let tail = match slowest_dispatch {
+                Some((micros, shard, idx)) => format!(
+                    " slowest_dispatch=shard{shard}:{} ({micros}us)",
+                    self.pools[shard].replicas[idx].addr
+                ),
+                None => String::new(),
+            };
+            format!("contributions={num_contributions} failover={failed_over}{tail}")
+        });
+        let outcome = if contributions.is_empty() {
+            "rejected"
+        } else if num_contributions < self.route_nearest {
+            "degraded"
+        } else if failed_over {
+            "failover"
+        } else {
+            "ok"
+        };
+        if log::enabled() {
+            let level = match outcome {
+                "ok" => Level::Info,
+                "rejected" => Level::Error,
+                _ => Level::Warn,
+            };
+            let mut ev = log::event(level, "request")
+                .trace(trace_id)
+                .field("role", "router")
+                .num("latency_us", latency_micros)
+                .num("contributions", num_contributions)
+                .field("outcome", outcome);
+            if let Some((micros, shard, idx)) = slowest_dispatch {
+                ev = ev
+                    .num("slowest_dispatch_us", micros)
+                    .num("shard", shard)
+                    .field("replica", &self.pools[shard].replicas[idx].addr);
+            }
+            ev.emit();
         }
         if contributions.is_empty() {
             self.exhausted.inc();
@@ -308,10 +455,9 @@ impl RouterInner {
                 "no shard replica reachable for this query".to_string(),
             ));
         }
-        if contributions.len() < self.route_nearest {
+        if num_contributions < self.route_nearest {
             self.degraded.inc();
         }
-        let num_contributions = contributions.len();
         let score = combine_scores(&mut contributions);
         Ok(WirePrediction {
             score,
@@ -340,6 +486,7 @@ impl RouterInner {
         w.field_u64("failovers", self.failovers.get());
         w.field_u64("degraded", self.degraded.get());
         w.field_u64("exhausted", self.exhausted.get());
+        w.field_u64("downgraded_dispatches", self.downgraded_dispatches.get());
         w.field_usize("shards", self.pools.len());
         w.field_usize("route_nearest", self.route_nearest);
         w.key("replicas");
@@ -354,10 +501,13 @@ impl RouterInner {
                 w.field_u64("inflight", replica.inflight.load(Ordering::Acquire));
                 w.field_u64("dispatched", replica.dispatched.get());
                 w.field_u64("failures", replica.failures.get());
+                w.key("supports_traced");
+                w.value_bool(replica.traced_support.load(Ordering::Acquire) == TRACED_YES);
                 w.end_object();
             }
         }
         w.end_array();
+        write_slowlog(&mut w, &self.slowlog.snapshot());
         w.end_object();
         w.finish()
     }
@@ -372,7 +522,18 @@ struct RouterHandler {
 impl RequestHandler for RouterHandler {
     fn handle(&self, req: Request) -> Result<Reply, ServeError> {
         match req {
-            Request::Predict(point) => Ok(Reply::Prediction(self.inner.predict(&point)?)),
+            Request::Predict(point) => Ok(Reply::Prediction(self.inner.predict(&point, None)?)),
+            Request::PredictTraced {
+                point,
+                trace_id,
+                parent_span,
+            } => Ok(Reply::Prediction(self.inner.predict(
+                &point,
+                Some(TraceContext {
+                    trace_id,
+                    parent_span,
+                }),
+            )?)),
             Request::Stats => Ok(Reply::Json(self.inner.stats_json())),
             Request::Ping => Ok(Reply::Pong),
             Request::Info => Ok(Reply::Info(server_info(
@@ -531,6 +692,12 @@ impl RouterServer {
                 "Queries answered with zero contributions (errors)",
                 &labels,
             ),
+            downgraded_dispatches: registry.counter(
+                "hkrr_router_downgraded_dispatches_total",
+                "Traced dispatches downgraded to plain predict for pre-0x08 replicas",
+                &labels,
+            ),
+            slowlog: SlowLog::new(SLOWLOG_CAPACITY),
             latency_micros: registry.histogram(
                 "hkrr_router_request_latency_micros",
                 "End-to-end routed-query latency (fan-out plus combine)",
@@ -608,6 +775,12 @@ impl RouterServer {
         self.inner.degraded.get()
     }
 
+    /// Traced dispatches downgraded to plain `predict` because the target
+    /// replica's health reply reported a pre-0x08 `max_opcode`.
+    pub fn downgraded_dispatches(&self) -> u64 {
+        self.inner.downgraded_dispatches.get()
+    }
+
     /// Stops the prober and the front-end. Idempotent.
     pub fn shutdown(&self) {
         self.prober_running.store(false, Ordering::Release);
@@ -646,6 +819,14 @@ fn probe_loop(inner: &RouterInner, running: &AtomicBool, interval: Duration) {
                         }
                         Ok(health)
                     });
+                if let Ok(health) = &outcome {
+                    let support = if health.supports_traced_predict() {
+                        TRACED_YES
+                    } else {
+                        TRACED_NO
+                    };
+                    replica.traced_support.store(support, Ordering::Release);
+                }
                 replica.healthy.store(outcome.is_ok(), Ordering::Release);
             }
             match shard_n_train {

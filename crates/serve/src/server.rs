@@ -138,6 +138,39 @@ impl RequestHandler for EngineHandler {
                     latency_micros: p.latency.as_micros() as u64,
                 }))
             }
+            Request::PredictTraced {
+                point,
+                trace_id,
+                parent_span,
+            } => {
+                let result = self.engine.predict_one_traced(point, trace_id, parent_span);
+                match &result {
+                    Ok(p) => {
+                        hkrr_telemetry::log::event(hkrr_telemetry::log::Level::Info, "request")
+                            .trace(trace_id)
+                            .field("role", "model")
+                            .num("latency_us", p.latency.as_micros())
+                            .num("batch", p.batch_size)
+                            .field("outcome", "ok")
+                            .emit();
+                    }
+                    Err(e) => {
+                        hkrr_telemetry::log::event(hkrr_telemetry::log::Level::Error, "request")
+                            .trace(trace_id)
+                            .field("role", "model")
+                            .field("outcome", "error")
+                            .field("error", e)
+                            .emit();
+                    }
+                }
+                let p = result?;
+                Ok(Reply::Prediction(WirePrediction {
+                    score: p.score,
+                    label: p.label,
+                    batch_size: p.batch_size as u32,
+                    latency_micros: p.latency.as_micros() as u64,
+                }))
+            }
             Request::Stats => Ok(Reply::Json(stats_json(&self.engine.stats()))),
             Request::Ping => Ok(Reply::Pong),
             Request::Info => {
@@ -325,12 +358,45 @@ pub fn server_info(dim: u32, n_train: u64) -> ServerInfo {
     }
 }
 
+/// The factor-storage precision this process would train with: the
+/// `HKRR_FACTOR_PRECISION` override if set (an unparseable value labels as
+/// `invalid` rather than panicking a scrape), `f64` otherwise.
+fn factor_precision_label() -> &'static str {
+    match std::env::var("HKRR_FACTOR_PRECISION") {
+        Ok(raw) => hkrr_core::FactorPrecision::parse(&raw)
+            .map(|p| p.as_str())
+            .unwrap_or("invalid"),
+        Err(_) => hkrr_core::FactorPrecision::F64.as_str(),
+    }
+}
+
 /// Renders the process-global metrics registry as Prometheus text
 /// exposition, refreshing the `hkrr_uptime_seconds` / `hkrr_build_info`
-/// identity series first so every scrape carries a current uptime.
+/// identity series first so every scrape carries a current uptime. The
+/// build-info gauge is labeled with the crate version, build stamp, active
+/// dense backend, and factor precision, so a scrape identifies exactly
+/// what is running; `hkrr_log_dropped_events` exposes the event-log ring's
+/// overflow count.
 pub fn metrics_exposition() -> String {
     let registry = hkrr_telemetry::global();
-    hkrr_telemetry::record_process_identity(registry, hkrr_telemetry::build_info!());
+    hkrr_telemetry::record_process_identity_with(
+        registry,
+        hkrr_telemetry::build_info!(),
+        &[
+            (
+                "dense_backend",
+                hkrr_linalg::backend::active_kind().as_str(),
+            ),
+            ("factor_precision", factor_precision_label()),
+        ],
+    );
+    registry
+        .gauge(
+            "hkrr_log_dropped_events",
+            "Event-log lines discarded by the bounded ring instead of blocking",
+            &[],
+        )
+        .set(hkrr_telemetry::log::dropped_events() as f64);
     registry.render_prometheus()
 }
 
@@ -361,8 +427,25 @@ pub fn stats_json(stats: &StatsSnapshot) -> String {
         w.value_u64(count);
     }
     w.end_array();
+    write_slowlog(&mut w, &stats.slowlog);
     w.end_object();
     w.finish()
+}
+
+/// Appends the `"slowlog"` array (slowest first) to an open JSON object —
+/// shared by the engine-backed stats and the router stats, so `doctor`
+/// parses one shape everywhere.
+pub(crate) fn write_slowlog(w: &mut JsonWriter, entries: &[crate::slowlog::SlowEntry]) {
+    w.key("slowlog");
+    w.begin_array();
+    for e in entries {
+        w.begin_object();
+        w.field_u64("latency_us", e.latency_micros);
+        w.field_str("trace_id", &e.trace_hex());
+        w.field_str("detail", &e.detail);
+        w.end_object();
+    }
+    w.end_array();
 }
 
 /// Renders a [`Reply`] as the binary-protocol OK body.
@@ -668,8 +751,11 @@ mod tests {
         );
         assert!(scrape.contains("hkrr_uptime_seconds"));
         assert!(scrape.contains("hkrr_build_info{"));
-        // Health reports the model role and the predict count.
-        assert_eq!(client.health().unwrap(), (ROLE_MODEL, 8));
+        // Health reports the model role, the predict count, and the 0x08
+        // capability.
+        let health = client.health().unwrap();
+        assert_eq!((health.role, health.requests), (ROLE_MODEL, 8));
+        assert!(health.supports_traced_predict());
         // Refresh without a model source is a typed rejection, not a hang.
         assert!(matches!(client.refresh(), Err(ServeError::Rejected(_))));
         // Protocol-level rejection: wrong dimension.

@@ -1,0 +1,172 @@
+//! Fixed-size slow-query capture.
+//!
+//! Both the engine and the router keep a [`SlowLog`]: the top-N requests
+//! by latency, each with its trace id and a short context string (batch
+//! size for the engine, shard/replica for the router). The log is
+//! surfaced through the `stats` command and scraped fleet-wide by
+//! `hkrr-serve doctor`, so a tail-latency spike can be attributed to a
+//! specific trace — and then inspected on the merged cross-process
+//! timeline — instead of dissolving into a histogram bucket.
+//!
+//! Recording is designed for the hot path: a relaxed atomic floor check
+//! rejects the common case (a latency below the current top-N cutoff)
+//! without taking the lock or formatting the context string.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default number of entries an engine or router slowlog retains.
+pub const SLOWLOG_CAPACITY: usize = 8;
+
+/// One captured slow request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowEntry {
+    /// Observed latency in microseconds.
+    pub latency_micros: u64,
+    /// Trace id of the request (`0` for an untraced request).
+    pub trace_id: u128,
+    /// Short context: `batch=12` (engine) or `shard=2 replica=0:1`
+    /// (router).
+    pub detail: String,
+}
+
+impl SlowEntry {
+    /// The trace id as the 32-hex-digit form used in trace files and
+    /// event logs, or `"-"` for an untraced request.
+    pub fn trace_hex(&self) -> String {
+        if self.trace_id == 0 {
+            "-".to_string()
+        } else {
+            format!("{:032x}", self.trace_id)
+        }
+    }
+}
+
+/// A bounded top-N-by-latency log. See the module docs.
+#[derive(Debug)]
+pub struct SlowLog {
+    capacity: usize,
+    /// Latency of the cheapest retained entry once the log is full; `0`
+    /// while it still has room. Relaxed reads gate the hot path.
+    floor: AtomicU64,
+    entries: Mutex<Vec<SlowEntry>>,
+}
+
+impl SlowLog {
+    /// An empty log retaining up to `capacity` entries.
+    pub fn new(capacity: usize) -> SlowLog {
+        SlowLog {
+            capacity: capacity.max(1),
+            floor: AtomicU64::new(0),
+            entries: Mutex::new(Vec::with_capacity(capacity.max(1))),
+        }
+    }
+
+    /// Offer one request. `detail` is only invoked when the request
+    /// actually enters the top N, keeping formatting off the common path.
+    pub fn record(&self, latency_micros: u64, trace_id: u128, detail: impl FnOnce() -> String) {
+        if latency_micros <= self.floor.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut entries = self.entries.lock().unwrap();
+        if entries.len() >= self.capacity {
+            // Evict the cheapest entry; re-check under the lock (the
+            // relaxed floor may lag).
+            let (min_idx, min_latency) = entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, e.latency_micros))
+                .min_by_key(|&(_, l)| l)
+                .expect("capacity >= 1");
+            if latency_micros <= min_latency {
+                return;
+            }
+            entries.swap_remove(min_idx);
+        }
+        entries.push(SlowEntry {
+            latency_micros,
+            trace_id,
+            detail: detail(),
+        });
+        if entries.len() >= self.capacity {
+            let new_floor = entries
+                .iter()
+                .map(|e| e.latency_micros)
+                .min()
+                .expect("just pushed");
+            self.floor.store(new_floor, Ordering::Relaxed);
+        }
+    }
+
+    /// The retained entries, slowest first.
+    pub fn snapshot(&self) -> Vec<SlowEntry> {
+        let mut entries = self.entries.lock().unwrap().clone();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.latency_micros));
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_top_n_by_latency() {
+        let log = SlowLog::new(3);
+        for (i, latency) in [50u64, 10, 90, 30, 70, 20].into_iter().enumerate() {
+            log.record(latency, i as u128 + 1, || format!("req={i}"));
+        }
+        let snap = log.snapshot();
+        assert_eq!(
+            snap.iter().map(|e| e.latency_micros).collect::<Vec<_>>(),
+            vec![90, 70, 50]
+        );
+        assert_eq!(snap[0].trace_id, 3);
+        assert_eq!(snap[0].detail, "req=2");
+    }
+
+    #[test]
+    fn floor_gates_below_cutoff_records() {
+        let log = SlowLog::new(2);
+        log.record(100, 1, || "a".into());
+        log.record(200, 2, || "b".into());
+        // Below the floor: the closure must not even run.
+        log.record(50, 3, || panic!("formatted a rejected entry"));
+        assert_eq!(log.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn trace_hex_renders_untraced_as_dash() {
+        let e = SlowEntry {
+            latency_micros: 1,
+            trace_id: 0,
+            detail: String::new(),
+        };
+        assert_eq!(e.trace_hex(), "-");
+        let t = SlowEntry {
+            latency_micros: 1,
+            trace_id: 0xab,
+            detail: String::new(),
+        };
+        assert_eq!(t.trace_hex(), format!("{:032x}", 0xabu128));
+    }
+
+    #[test]
+    fn concurrent_records_never_exceed_capacity() {
+        let log = std::sync::Arc::new(SlowLog::new(4));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let log = std::sync::Arc::clone(&log);
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        log.record(t * 1000 + i, 1, || "x".into());
+                    }
+                });
+            }
+        });
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 4);
+        // The global top entry always survives.
+        assert_eq!(snap[0].latency_micros, 3 * 1000 + 499);
+    }
+}

@@ -115,8 +115,10 @@ fn routed_over_tcp_is_bitwise_identical_to_the_in_process_ensemble() {
 
     // Shard servers identify as models, the router as a router.
     let mut shard_client = Client::connect(&servers[0].local_addr().to_string()).unwrap();
-    assert_eq!(shard_client.health().unwrap().0, ROLE_MODEL);
-    assert_eq!(client.health().unwrap().0, ROLE_ROUTER);
+    let shard_health = shard_client.health().unwrap();
+    assert_eq!(shard_health.role, ROLE_MODEL);
+    assert!(shard_health.supports_traced_predict());
+    assert_eq!(client.health().unwrap().role, ROLE_ROUTER);
 
     // The acceptance pin: every routed-over-TCP score equals the
     // in-process ensemble's bitwise.
@@ -176,6 +178,7 @@ fn replication_spreads_load_and_the_prober_detects_dark_replicas() {
         requests: 200,
         concurrency: 8,
         seed: 7,
+        traced: true,
     })
     .unwrap();
     assert_eq!(report.errors, 0, "healthy fleet must not error");
@@ -238,6 +241,7 @@ fn killing_a_whole_shard_mid_run_keeps_the_service_available() {
             requests: 200,
             concurrency: 4,
             seed: 99,
+            traced: true,
         },
         100,
         || victim.shutdown(),

@@ -42,6 +42,7 @@ fn scrape_agrees_exactly_with_loadgen_observed_counts() {
         requests: 120,
         concurrency: 4,
         seed: 0xfeed,
+        traced: true,
     })
     .unwrap();
     assert_eq!(report.ok, 120, "all queries must succeed");

@@ -1,0 +1,172 @@
+//! Mixed-version fleets: a router with 0x08 (`OP_PREDICT_TRACED`) support
+//! in front of a **pre-0x08 replica** — impersonated by a fake server
+//! answering the legacy 9-byte health body and rejecting the traced
+//! opcode. The pin: the health prober reads the missing capability byte,
+//! the router downgrades every traced dispatch to plain `OP_PREDICT`
+//! (counting `downgraded_dispatches`), and predictions still flow.
+
+use hkrr_linalg::Matrix;
+use hkrr_serve::client::Client;
+use hkrr_serve::protocol::{self, ServerInfo, OP_METRICS, ROLE_MODEL};
+use hkrr_serve::router::{RouterConfig, RouterServer};
+use hkrr_serve::ServeError;
+use std::io::Read as _;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The fixed score the fake legacy replica answers every predict with.
+const LEGACY_SCORE: f64 = 4.25;
+
+/// A minimal pre-0x08 model server: binary hello, legacy health body,
+/// legacy 12-byte info body, plain predict — and `unknown opcode` for
+/// everything else, exactly like an old binary's decoder would. The
+/// returned counter ticks once per answered health probe, so a test can
+/// wait until the router's prober has definitely seen the legacy body.
+fn spawn_legacy_server(dim: usize) -> (String, Arc<AtomicU64>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let health_probes = Arc::new(AtomicU64::new(0));
+    let probes = Arc::clone(&health_probes);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { return };
+            let probes = Arc::clone(&probes);
+            std::thread::spawn(move || {
+                let mut hello = [0u8; 4];
+                if stream.read_exact(&mut hello).is_err() || hello != protocol::BINARY_HELLO {
+                    return;
+                }
+                let mut requests = 0u64;
+                loop {
+                    let Ok(payload) = protocol::read_frame(&mut stream) else {
+                        return;
+                    };
+                    let reply = match payload.first() {
+                        Some(&protocol::OP_PREDICT) => {
+                            requests += 1;
+                            protocol::encode_ok(&protocol::encode_prediction(
+                                &protocol::WirePrediction {
+                                    score: LEGACY_SCORE,
+                                    label: 1.0,
+                                    batch_size: 1,
+                                    latency_micros: 10,
+                                },
+                            ))
+                        }
+                        Some(&protocol::OP_HEALTH) => {
+                            probes.fetch_add(1, Ordering::SeqCst);
+                            protocol::encode_ok(&protocol::encode_health_legacy(
+                                ROLE_MODEL, requests,
+                            ))
+                        }
+                        Some(&protocol::OP_INFO) => {
+                            // A legacy peer sends the short 12-byte body:
+                            // dim + n_train only.
+                            let full = protocol::encode_info(&ServerInfo {
+                                dim: dim as u32,
+                                n_train: 10,
+                                ..ServerInfo::default()
+                            });
+                            protocol::encode_ok(&full[..12])
+                        }
+                        Some(&op) => protocol::encode_err(&format!("unknown opcode {op:#04x}")),
+                        None => protocol::encode_err("empty frame"),
+                    };
+                    if protocol::write_frame(&mut stream, &reply).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    (addr, health_probes)
+}
+
+fn wait_until(deadline: Duration, mut probe: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if probe() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+#[test]
+fn legacy_peer_reports_no_traced_support_and_rejects_0x08() {
+    let (addr, _) = spawn_legacy_server(4);
+    let mut client = Client::connect(&addr).unwrap();
+    let health = client.health().unwrap();
+    assert_eq!(health.role, ROLE_MODEL);
+    assert_eq!(
+        health.max_opcode, OP_METRICS,
+        "9-byte body decodes pre-0x08"
+    );
+    assert!(!health.supports_traced_predict());
+
+    // Sending 0x08 anyway gets a typed rejection, not a dead socket …
+    let err = client
+        .predict_traced(vec![0.0; 4], 0xfeed, 0)
+        .expect_err("legacy peer must reject the traced opcode");
+    assert!(
+        matches!(err, ServeError::Rejected(ref m) if m.contains("unknown opcode")),
+        "unexpected error: {err:?}"
+    );
+    // … so the same connection still answers a plain predict.
+    let p = client.predict(vec![0.0; 4]).unwrap();
+    assert_eq!(p.score, LEGACY_SCORE);
+}
+
+#[test]
+fn router_downgrades_traced_dispatches_for_a_legacy_replica() {
+    let (addr, health_probes) = spawn_legacy_server(4);
+    let router = RouterServer::start(
+        Matrix::from_rows(&[vec![0.0; 4]]),
+        1,
+        vec![vec![addr]],
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            route_nearest: None,
+            health_interval: Duration::from_millis(50),
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_secs(2),
+        },
+    )
+    .unwrap();
+
+    // The prober must read the legacy health body and pin the replica as
+    // pre-0x08. Two answered probes guarantee the first reply was fully
+    // processed (the capability is stored before the prober sleeps).
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            health_probes.load(Ordering::SeqCst) >= 2
+        }),
+        "prober never swept the legacy replica"
+    );
+    assert!(
+        router.stats_json().contains("\"supports_traced\":false"),
+        "stats must report the replica as pre-0x08: {}",
+        router.stats_json()
+    );
+
+    // Traced queries still get answered — over plain OP_PREDICT frames,
+    // each counted as a downgraded dispatch.
+    let mut client = Client::connect(&router.local_addr().to_string()).unwrap();
+    for i in 0..5 {
+        let p = client
+            .predict_traced(vec![0.1 * i as f64; 4], 0x1000 + i as u128, 0)
+            .unwrap();
+        assert_eq!(p.score, LEGACY_SCORE, "query {i} must be answered");
+    }
+    assert_eq!(
+        router.downgraded_dispatches(),
+        5,
+        "every traced dispatch at the legacy replica counts a downgrade"
+    );
+    assert_eq!(router.failovers(), 0);
+
+    router.shutdown();
+}

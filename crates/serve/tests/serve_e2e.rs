@@ -79,6 +79,7 @@ fn loadgen_pushes_1000_queries_with_observable_batching() {
         requests: 1000,
         concurrency: 8,
         seed: 0xfeed,
+        traced: true,
     })
     .unwrap();
 

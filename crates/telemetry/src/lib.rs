@@ -11,13 +11,21 @@
 //! * **Spans** — RAII [`trace::Span`] guards (via the [`span!`] macro)
 //!   with monotonic microsecond timestamps and per-thread ids, written as
 //!   Chrome trace-event JSON when `HKRR_TRACE=<path>` is set and compiled
-//!   down to a relaxed atomic load when it is not.
+//!   down to a relaxed atomic load when it is not. Spans can adopt a
+//!   cross-process [`trace::TraceContext`] so `hkrr-serve trace-merge`
+//!   stitches router and shard files into one causal timeline.
+//! * **Events** — a leveled JSON-lines event log ([`log`]) behind
+//!   `HKRR_LOG=<path|stderr>`: request outcomes and training milestones,
+//!   buffered through a bounded non-blocking ring with an explicit
+//!   [`log::dropped_events`] counter, and the same one-relaxed-load cost
+//!   when disabled.
 //!
 //! See `docs/OBSERVABILITY.md` at the workspace root for the metric-name
-//! catalog and the chrome://tracing workflow.
+//! catalog, the event-log schema, and the chrome://tracing workflow.
 
 #![warn(missing_docs)]
 
+pub mod log;
 pub mod metrics;
 pub mod registry;
 pub mod trace;
@@ -85,11 +93,24 @@ pub fn uptime_seconds() -> f64 {
 /// (refreshed to the current uptime on every call, so refresh it right
 /// before rendering a scrape).
 pub fn record_process_identity(registry: &Registry, build: BuildInfo) {
+    record_process_identity_with(registry, build, &[]);
+}
+
+/// [`record_process_identity`] with extra `hkrr_build_info` labels.
+///
+/// This crate is dependency-free, so runtime facts owned by other layers
+/// — the active dense backend, the factor-storage precision — are passed
+/// in by the caller (the serve tier labels every scrape with both).
+/// Registry series are idempotent by (name, sorted labels): call this
+/// with the *same* extra label set on every scrape of a process.
+pub fn record_process_identity_with(registry: &Registry, build: BuildInfo, extra: &[(&str, &str)]) {
+    let mut labels: Vec<(&str, &str)> = vec![("version", build.version), ("stamp", build.stamp)];
+    labels.extend_from_slice(extra);
     registry
         .gauge(
             "hkrr_build_info",
-            "Build identity (constant 1; version/stamp in labels)",
-            &[("version", build.version), ("stamp", build.stamp)],
+            "Build identity (constant 1; version/stamp/backend/precision in labels)",
+            &labels,
         )
         .set(1.0);
     registry

@@ -28,6 +28,8 @@ const STATE_ENABLED: u8 = 2;
 static STATE: AtomicU8 = AtomicU8::new(STATE_UNKNOWN);
 static SINK: OnceLock<Sink> = OnceLock::new();
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TRACE_SEQ: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
@@ -36,6 +38,56 @@ thread_local! {
 struct Sink {
     out: Mutex<BufWriter<File>>,
     epoch: Instant,
+}
+
+/// A request-scoped trace identity carried across process boundaries.
+///
+/// The router mints one per inbound query ([`mint_trace_id`]), stamps its
+/// own spans with it, and forwards it to shard replicas inside the
+/// `OP_PREDICT_TRACED` frame; the shard engine adopts it so the merged
+/// timeline groups every process's spans under one id. `trace_id == 0`
+/// means "no trace context" and is never minted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Globally-unique request id (hex-rendered in trace args).
+    pub trace_id: u128,
+    /// Span id of the caller's span, `0` for a root.
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// A freshly-minted root context (no parent span).
+    pub fn mint() -> TraceContext {
+        TraceContext {
+            trace_id: mint_trace_id(),
+            parent_span: 0,
+        }
+    }
+}
+
+/// Mint a trace id unique across the processes of one dbench-style run.
+///
+/// Zero-dependency construction: process id, a per-process random-ish seed
+/// from the wall clock at first use, and a monotone sequence number. Never
+/// returns `0` (the "untraced" sentinel). Works whether or not span
+/// tracing is enabled — the id also travels the wire protocol.
+pub fn mint_trace_id() -> u128 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    let seed = *SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ (d.as_secs() << 32))
+            .unwrap_or(0x9e37_79b9);
+        nanos ^ ((std::process::id() as u64) << 17)
+    });
+    let seq = NEXT_TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let id =
+        ((std::process::id() as u128) << 96) | ((seed as u128) << 32) | (seq as u128 & 0xffff_ffff);
+    if id == 0 {
+        1
+    } else {
+        id
+    }
 }
 
 fn escape(s: &str) -> String {
@@ -133,6 +185,8 @@ pub struct Span {
 struct ActiveSpan {
     name: String,
     start_us: u64,
+    span_id: u64,
+    trace: Option<TraceContext>,
     args: Vec<(String, String)>,
 }
 
@@ -146,6 +200,8 @@ pub fn span(name: &str) -> Span {
         inner: Some(ActiveSpan {
             name: name.to_string(),
             start_us: sink.epoch.elapsed().as_micros() as u64,
+            span_id: NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed),
+            trace: None,
             args: Vec::new(),
         }),
     }
@@ -168,6 +224,23 @@ impl Span {
             active.args.push((key.to_string(), value.to_string()));
         }
     }
+
+    /// Stamp this span with a cross-process [`TraceContext`]; the event's
+    /// `args` gain `trace_id` (32-hex-digit), `span_id`, and (when the
+    /// caller's span is known) `parent_span`, which `trace-merge` uses to
+    /// stitch per-process files into one causal timeline. No-op when
+    /// tracing is disabled.
+    pub fn adopt(&mut self, ctx: TraceContext) {
+        if let Some(active) = self.inner.as_mut() {
+            active.trace = Some(ctx);
+        }
+    }
+
+    /// This span's process-unique id (`0` when tracing is disabled).
+    /// Pass it as `parent_span` in the [`TraceContext`] handed to callees.
+    pub fn id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |a| a.span_id)
+    }
 }
 
 impl Drop for Span {
@@ -180,12 +253,24 @@ impl Drop for Span {
         let dur = end_us.saturating_sub(active.start_us);
         let tid = TID.with(|t| *t);
         let mut args = String::new();
-        if !active.args.is_empty() {
+        if !active.args.is_empty() || active.trace.is_some() {
             args.push_str(",\"args\":{");
-            for (i, (k, v)) in active.args.iter().enumerate() {
-                if i > 0 {
+            let mut first = true;
+            if let Some(ctx) = active.trace {
+                args.push_str(&format!(
+                    "\"trace_id\":\"{:032x}\",\"span_id\":\"{}\"",
+                    ctx.trace_id, active.span_id
+                ));
+                if ctx.parent_span != 0 {
+                    args.push_str(&format!(",\"parent_span\":\"{}\"", ctx.parent_span));
+                }
+                first = false;
+            }
+            for (k, v) in active.args.iter() {
+                if !first {
                     args.push(',');
                 }
+                first = false;
                 args.push_str(&format!("\"{}\":\"{}\"", escape(k), escape(v)));
             }
             args.push('}');

@@ -1,0 +1,75 @@
+//! Event log end to end: events emitted from several threads land as one
+//! valid JSON object per line, below-threshold levels are filtered at the
+//! emit site, and nothing is silently lost — every emitted event either
+//! reaches the file or is counted by `dropped_events`.
+//!
+//! One test function only — the sink is process-global and can be
+//! installed once per process, which is exactly the production contract
+//! (the overflow and disabled paths live in their own test binaries).
+
+use hkrr_telemetry::log::{self, Level};
+
+#[test]
+fn concurrent_emitters_write_valid_json_lines() {
+    let path = std::env::temp_dir().join(format!("hkrr_event_log_{}.jsonl", std::process::id()));
+    assert!(
+        log::init_with_path(&path).unwrap(),
+        "sink must install into a fresh process"
+    );
+    assert!(log::enabled());
+
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 64;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    log::event(Level::Info, "test.request")
+                        .trace((t * PER_THREAD + i) as u128 + 1)
+                        .field("outcome", "ok")
+                        .num("latency_us", 100 + i)
+                        .emit();
+                }
+            });
+        }
+    });
+    // Below the default info threshold: filtered before formatting.
+    log::event(Level::Debug, "test.invisible")
+        .field("k", "v")
+        .emit();
+    log::flush();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // The never-blocks contract: emitted = written + explicitly dropped.
+    assert_eq!(
+        lines.len() as u64 + log::dropped_events(),
+        (THREADS * PER_THREAD) as u64,
+        "every event must be written or counted as dropped"
+    );
+    assert!(
+        !text.contains("test.invisible"),
+        "debug filtered by default"
+    );
+    for line in &lines {
+        hkrr_bench::json::validate(line).unwrap_or_else(|e| panic!("bad line {line}: {e}"));
+        for field in [
+            "\"ts_us\":",
+            "\"level\":\"info\"",
+            "\"event\":\"test.request\"",
+            "\"pid\":",
+            "\"trace_id\":\"",
+            "\"outcome\":\"ok\"",
+            "\"latency_us\":",
+        ] {
+            assert!(line.contains(field), "missing {field} in {line}");
+        }
+    }
+    // Trace ids render as the full 32 hex digits, joinable against the
+    // span timeline's args.
+    assert!(text.contains(&format!("\"trace_id\":\"{:032x}\"", 1u128)));
+
+    // A second init is refused but harmless.
+    assert!(!log::init_with_path(&path).unwrap());
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,38 @@
+//! The disabled path of the event log: with `HKRR_LOG` unset nothing is
+//! installed, builders are inert no-ops, and after the first probe the
+//! `enabled()` check settles to a single relaxed atomic load — cheap
+//! enough for per-request call sites in the serve hot path.
+//!
+//! Own test binary: the first `enabled()` probe latches the process-global
+//! state off the environment.
+
+use hkrr_telemetry::log::{self, Level};
+
+#[test]
+fn unset_env_disables_the_log_path() {
+    std::env::remove_var("HKRR_LOG");
+    assert!(!log::enabled());
+
+    // Builders are inert — chaining and emitting is a no-op, not an error,
+    // and nothing is counted as dropped (nothing was accepted).
+    log::event(Level::Error, "test.ignored")
+        .field("k", "v")
+        .num("n", 1)
+        .trace(7)
+        .emit();
+    assert!(!log::enabled());
+    assert_eq!(log::dropped_events(), 0);
+
+    // The settled check is one relaxed load: a million probes stay well
+    // under a generous wall-clock budget even on a busy CI core.
+    let start = std::time::Instant::now();
+    let mut any = false;
+    for _ in 0..1_000_000 {
+        any |= log::enabled();
+    }
+    assert!(!any);
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(1),
+        "disabled-path enabled() must be a relaxed load, not an env probe"
+    );
+}

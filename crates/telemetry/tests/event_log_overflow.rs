@@ -1,0 +1,49 @@
+//! Ring-overflow behaviour of the event log, pinned with a deliberately
+//! tiny ring: a burst far larger than the ring must never block the
+//! emitter — the oldest lines are overwritten and counted by
+//! `dropped_events`, and the written + dropped totals account for every
+//! emitted event.
+//!
+//! Own test binary: the sink (and its capacity) is process-global.
+
+use hkrr_telemetry::log::{self, Level};
+use std::time::{Duration, Instant};
+
+#[test]
+fn ring_overflow_drops_oldest_and_counts_instead_of_blocking() {
+    let path =
+        std::env::temp_dir().join(format!("hkrr_event_overflow_{}.jsonl", std::process::id()));
+    assert!(log::init_with_capacity(&path, 2).unwrap());
+
+    const EMITTED: u64 = 200;
+    let start = Instant::now();
+    for i in 0..EMITTED {
+        log::event(Level::Warn, "test.flood").num("i", i).emit();
+    }
+    // The whole burst is in-memory pushes; even one blocking write to a
+    // cold file would blow this budget.
+    assert!(
+        start.elapsed() < Duration::from_secs(1),
+        "emitters must not block on a full ring"
+    );
+    log::flush();
+
+    let dropped = log::dropped_events();
+    assert!(
+        dropped > 0,
+        "a 2-slot ring under a {EMITTED}-event burst must overflow"
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    let written = text.lines().count() as u64;
+    assert_eq!(
+        written + dropped,
+        EMITTED,
+        "every event is either written or explicitly dropped"
+    );
+    // Whatever survived is still well-formed, one object per line.
+    for line in text.lines() {
+        hkrr_bench::json::validate(line).unwrap_or_else(|e| panic!("bad line {line}: {e}"));
+        assert!(line.contains("\"event\":\"test.flood\""));
+    }
+    std::fs::remove_file(&path).ok();
+}
